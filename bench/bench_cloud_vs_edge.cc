@@ -1,0 +1,98 @@
+/// Experiment F1 (Figure 1): cloud-based vs edge-based HAR deployment.
+///
+/// Both protocols serve the same pre-trained model over the same simulated
+/// link; the figure's claims are (i) per-window latency — the cloud loop pays
+/// RTT + serialisation on every window, the edge loop only local compute —
+/// and (ii) privacy — the cloud loop exfiltrates every window, the edge loop
+/// uplinks nothing. Sweeps the link quality and reports the break-even
+/// stream length at which downloading the bundle beats cloud round trips.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+void Run() {
+  platform::CloudServer server(BenchCloudConfig());
+  CheckOk(server.Pretrain(BenchCorpus(1),
+                          sensors::ActivityRegistry::BaseActivities()),
+          "pretrain");
+  auto bundle = Unwrap(
+      core::ModelBundle::FromString(
+          Unwrap(server.ServeBundleBytes(), "serve")),
+      "parse bundle");
+
+  sensors::SyntheticGenerator phone(2);
+  auto stream = phone.GenerateDataset(sensors::DefaultActivityLibrary(),
+                                      /*per_class=*/1, /*duration_s=*/12.0);
+
+  const struct {
+    const char* name;
+    double rtt_ms;
+    double mbps;
+  } kNetworks[] = {
+      {"5G", 20.0, 100.0},
+      {"4G", 60.0, 20.0},
+      {"3G", 120.0, 5.0},
+      {"congested", 200.0, 2.0},
+  };
+
+  std::printf("== F1: protocol comparison (60 windows of mixed activity) ==\n");
+  std::printf("%-10s %-16s %14s %14s %16s %14s %9s %12s\n", "network",
+              "protocol", "latency/win", "total latency", "uplink user B",
+              "downlink B", "accuracy", "energy (J)");
+  for (const auto& net : kNetworks) {
+    platform::NetworkLink cloud_link(net.rtt_ms, net.mbps);
+    platform::NetworkLink raw_link(net.rtt_ms, net.mbps);
+    platform::NetworkLink edge_link(net.rtt_ms, net.mbps);
+
+    auto cloud = Unwrap(platform::CloudProtocol(&server, &cloud_link)
+                            .Run(stream, bundle.pipeline),
+                        "cloud protocol");
+    auto raw = Unwrap(platform::CloudProtocol(&server, &raw_link)
+                          .Run(stream, bundle.pipeline,
+                               /*uplink_raw_windows=*/true),
+                      "cloud raw protocol");
+    auto edge = Unwrap(platform::EdgeProtocol(&server, &edge_link).Run(stream),
+                       "edge protocol");
+
+    for (const auto* m : {&cloud, &raw, &edge}) {
+      std::printf(
+          "%-10s %-16s %11.2f ms %11.2f s %16zu %14zu %8.1f%% %12.3f\n",
+          net.name, m->protocol.c_str(), m->mean_window_latency_s * 1000.0,
+          m->total_latency_s, m->uplink_user_bytes, m->downlink_bytes,
+          m->accuracy * 100.0, m->total_joules());
+    }
+    // Break-even: after how many windows has the cloud protocol's cumulative
+    // network time exceeded the edge protocol's one-time setup?
+    const double per_window_overhead =
+        cloud.mean_window_latency_s - edge.mean_window_latency_s;
+    if (per_window_overhead > 0.0) {
+      std::printf("%-10s edge pays off after %.1f windows "
+                  "(setup %.2f s vs %.1f ms/window overhead)\n",
+                  net.name, edge.setup_latency_s / per_window_overhead,
+                  edge.setup_latency_s, per_window_overhead * 1000.0);
+    }
+  }
+
+  std::printf("\n== privacy audits ==\n");
+  platform::NetworkLink audit_cloud(60.0, 20.0);
+  platform::NetworkLink audit_edge(60.0, 20.0);
+  (void)platform::CloudProtocol(&server, &audit_cloud)
+      .Run(stream, bundle.pipeline);
+  (void)platform::EdgeProtocol(&server, &audit_edge).Run(stream);
+  std::printf("cloud protocol:\n%s",
+              platform::PrivacyAuditor(&audit_cloud).Report().c_str());
+  std::printf("edge protocol:\n%s",
+              platform::PrivacyAuditor(&audit_edge).Report().c_str());
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() {
+  magneto::bench::Run();
+  return 0;
+}

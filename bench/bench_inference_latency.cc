@@ -1,0 +1,119 @@
+/// Experiment C1 (§4.2.1): "participants will gain a clear understanding of
+/// the imperceptible prediction latency, which is only a few milliseconds."
+///
+/// Measures the end-to-end single-window inference path — denoise ->
+/// featurise -> normalise -> embed -> NCM — plus each stage in isolation,
+/// on both the paper's backbone [1024x512x128x64x128] and the demo-sized one.
+/// Latency is architecture-bound, not training-bound, so the models are
+/// provisioned with a one-epoch fit (identical compute cost).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+struct LatencyFixture {
+  explicit LatencyFixture(std::vector<size_t> dims) {
+    core::CloudConfig config = BenchCloudConfig();
+    config.backbone_dims = std::move(dims);
+    config.train.epochs = 1;
+    core::CloudInitializer cloud(config);
+    auto bundle = Unwrap(
+        cloud.Initialize(BenchCorpus(1, 2, 4.0),
+                         sensors::ActivityRegistry::BaseActivities()),
+        "cloud init");
+    model = std::make_unique<core::EdgeModel>(
+        std::move(bundle).ToEdgeModel());
+    sensors::SyntheticGenerator gen(2);
+    window = gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk],
+                          1.0)
+                 .samples;
+    features = Unwrap(model->pipeline().ProcessWindow(window), "preprocess");
+  }
+
+  std::unique_ptr<core::EdgeModel> model;
+  Matrix window;
+  std::vector<float> features;
+};
+
+LatencyFixture& Paper() {
+  static auto* fixture =
+      new LatencyFixture({1024, 512, 128, 64, 128});
+  return *fixture;
+}
+
+LatencyFixture& Demo() {
+  static auto* fixture = new LatencyFixture({128, 64, 32});
+  return *fixture;
+}
+
+void BM_EndToEndWindow_PaperBackbone(benchmark::State& state) {
+  LatencyFixture& f = Paper();
+  for (auto _ : state) {
+    auto pred = f.model->InferWindow(f.window);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_EndToEndWindow_PaperBackbone)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndWindow_DemoBackbone(benchmark::State& state) {
+  LatencyFixture& f = Demo();
+  for (auto _ : state) {
+    auto pred = f.model->InferWindow(f.window);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_EndToEndWindow_DemoBackbone)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_Preprocess(benchmark::State& state) {
+  LatencyFixture& f = Paper();
+  for (auto _ : state) {
+    auto features = f.model->pipeline().ProcessWindow(f.window);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_Stage_Preprocess)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_Embed_PaperBackbone(benchmark::State& state) {
+  LatencyFixture& f = Paper();
+  Matrix batch(1, f.features.size(), f.features);
+  for (auto _ : state) {
+    Matrix emb = f.model->Embed(batch);
+    benchmark::DoNotOptimize(emb.data());
+  }
+}
+BENCHMARK(BM_Stage_Embed_PaperBackbone)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_NcmClassify(benchmark::State& state) {
+  LatencyFixture& f = Paper();
+  Matrix batch(1, f.features.size(), f.features);
+  Matrix emb = f.model->Embed(batch);
+  for (auto _ : state) {
+    auto pred = f.model->classifier().Classify(emb.RowPtr(0), emb.cols());
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_Stage_NcmClassify)->Unit(benchmark::kMillisecond);
+
+/// Batch-of-windows throughput (the real-time budget is 1 window/second).
+void BM_EndToEndBatch(benchmark::State& state) {
+  LatencyFixture& f = Paper();
+  const size_t batch = state.range(0);
+  sensors::SyntheticGenerator gen(3);
+  sensors::Recording rec = gen.Generate(
+      sensors::DefaultActivityLibrary()[sensors::kRun],
+      static_cast<double>(batch));
+  for (auto _ : state) {
+    auto preds = f.model->InferRecording(rec);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_EndToEndBatch)->Arg(10)->Arg(60)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace magneto::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+/// Experiment C4 (§4.1.2): "the real-time coming data can be processed
+/// instantly, as the preprocessing requires linear time."
+///
+/// Measures preprocessing throughput (denoise + segment + featurise +
+/// normalise) as stream length grows. Linearity shows up as a flat
+/// per-window time across the sweep; google-benchmark's complexity fitter
+/// confirms O(N).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+preprocess::Pipeline& FittedPipeline() {
+  static auto* pipeline = [] {
+    auto* p = new preprocess::Pipeline{preprocess::PipelineConfig{}};
+    auto fitted = p->Fit(BenchCorpus(1, 2, 4.0));
+    CheckOk(fitted.status(), "pipeline fit");
+    return p;
+  }();
+  return *pipeline;
+}
+
+sensors::Recording MakeStream(double seconds) {
+  sensors::SyntheticGenerator gen(5);
+  return gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk],
+                      seconds);
+}
+
+/// Full pipeline over a stream of state.range(0) seconds (= windows).
+void BM_PipelineStream(benchmark::State& state) {
+  preprocess::Pipeline& pipeline = FittedPipeline();
+  sensors::Recording rec = MakeStream(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    auto windows = pipeline.Process(rec);
+    benchmark::DoNotOptimize(windows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineStream)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+/// Stage breakdown on a fixed 60 s stream.
+void BM_Stage_Denoise(benchmark::State& state) {
+  sensors::Recording rec = MakeStream(60.0);
+  preprocess::DenoiseConfig config;
+  for (auto _ : state) {
+    auto out = preprocess::Denoise(rec.samples, config);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_Stage_Denoise)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_DenoiseMedian(benchmark::State& state) {
+  sensors::Recording rec = MakeStream(60.0);
+  preprocess::DenoiseConfig config;
+  config.method = preprocess::DenoiseMethod::kMedian;
+  for (auto _ : state) {
+    auto out = preprocess::Denoise(rec.samples, config);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_Stage_DenoiseMedian)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_Segment(benchmark::State& state) {
+  sensors::Recording rec = MakeStream(60.0);
+  preprocess::SegmentationConfig config;
+  for (auto _ : state) {
+    auto windows = preprocess::Segment(rec, config);
+    benchmark::DoNotOptimize(windows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_Stage_Segment)->Unit(benchmark::kMillisecond);
+
+void BM_Stage_FeatureExtraction(benchmark::State& state) {
+  sensors::Recording rec = MakeStream(1.0);
+  preprocess::FeatureExtractor extractor;
+  for (auto _ : state) {
+    auto features = extractor.Extract(rec.samples);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage_FeatureExtraction)->Unit(benchmark::kMicrosecond);
+
+/// Window-size sensitivity of the 80-feature extractor (still linear).
+void BM_FeatureExtractionVsWindow(benchmark::State& state) {
+  sensors::SyntheticGenerator gen(7);
+  sensors::GeneratorOptions opts;
+  opts.sample_rate_hz = static_cast<double>(state.range(0));
+  sensors::SyntheticGenerator sized(opts, 7);
+  sensors::Recording rec = sized.Generate(
+      sensors::DefaultActivityLibrary()[sensors::kRun], 1.0);
+  preprocess::FeatureExtractor extractor;
+  for (auto _ : state) {
+    auto features = extractor.Extract(rec.samples);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FeatureExtractionVsWindow)
+    ->RangeMultiplier(2)
+    ->Range(60, 1920)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+}  // namespace magneto::bench
+
+BENCHMARK_MAIN();

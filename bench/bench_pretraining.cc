@@ -1,0 +1,221 @@
+/// Experiment C6 (§3.2 / §4.1.2): the cloud-initialised model separates the
+/// five base activities — Drive, E-scooter, Run, Still, Walk — via NCM over
+/// the contrastive embedding.
+///
+/// The corpus is heterogeneous (every recording = a different user under
+/// different capture conditions), like the paper's collection campaign.
+/// Reports held-out accuracy, macro-F1, the confusion matrix, an embedding
+/// ablation (trained vs untrained vs raw features), and the contrastive
+/// margin ablation that motivates the library's roomy default.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+constexpr double kIntensity = 0.7;  // strong person-to-person variation
+
+sensors::FeatureDataset Eval(const core::EdgeModel& model) {
+  // const_cast-free: pipeline() is const, ProcessLabeled is const.
+  return Unwrap(model.pipeline().ProcessLabeled(
+                    HeterogeneousCorpus(999, 6, 1, 8.0, kIntensity)),
+                "eval preprocessing");
+}
+
+void Run() {
+  auto corpus = HeterogeneousCorpus(1, 8, 1, 8.0, kIntensity);
+
+  core::CloudConfig config = BenchCloudConfig();
+  config.train.epochs = 20;
+  core::CloudInitializer cloud(config);
+  core::CloudReport report;
+  auto bundle = Unwrap(
+      cloud.Initialize(corpus, sensors::ActivityRegistry::BaseActivities(),
+                       &report),
+      "cloud init");
+  core::SupportSet support = std::move(bundle.support);
+  core::EdgeModel model = std::move(bundle).ToEdgeModel();
+  auto eval = Eval(model);
+
+  std::printf("== C6: base-activity recognition after cloud init ==\n");
+  std::printf("corpus: 8 users x 5 activities x 8 s, per-capture context "
+              "nuisance; eval: 6 unseen users\n");
+  std::printf("training windows: %zu, final contrastive loss: %.4f\n",
+              report.training_windows, report.train.final_embedding_loss());
+
+  learn::ConfusionMatrix cm;
+  for (const auto& [truth, pred] : Unwrap(model.Predict(eval), "predict")) {
+    cm.Add(truth, pred);
+  }
+  std::printf("\n%s\n", cm.ToString(model.registry()).c_str());
+
+  // --- embedding ablation ---------------------------------------------------
+  std::printf("== embedding ablation (same support set, same eval) ==\n");
+  const double trained = Accuracy(&model, eval);
+
+  Rng rng(55);
+  nn::Sequential random_net =
+      nn::BuildMlp(preprocess::kNumFeatures, config.backbone_dims, &rng);
+  core::EdgeModel random_model(model.pipeline(), std::move(random_net),
+                               core::NcmClassifier{}, model.registry());
+  CheckOk(random_model.RebuildPrototypes(support), "random prototypes");
+  const double untrained = Accuracy(&random_model, eval);
+
+  class IdentityEmbedder : public core::Embedder {
+   public:
+    Matrix Embed(const Matrix& features) override { return features; }
+    size_t embedding_dim() const override { return preprocess::kNumFeatures; }
+  };
+  IdentityEmbedder identity;
+  auto raw_ncm = Unwrap(
+      core::NcmClassifier::FromSupportSet(support, &identity), "raw ncm");
+  size_t raw_correct = 0;
+  for (size_t i = 0; i < eval.size(); ++i) {
+    auto pred =
+        Unwrap(raw_ncm.Classify(eval.Row(i), eval.dim()), "raw classify");
+    raw_correct += (pred.activity == eval.Label(i));
+  }
+  const double raw =
+      static_cast<double>(raw_correct) / static_cast<double>(eval.size());
+
+  std::printf("%-42s %6.1f%%   (embedding dim %zu)\n",
+              "contrastive embedding + NCM (MAGNETO)", trained * 100.0,
+              model.embedding_dim());
+  std::printf("%-42s %6.1f%%   (embedding dim %zu)\n",
+              "untrained backbone + NCM", untrained * 100.0,
+              model.embedding_dim());
+  std::printf("%-42s %6.1f%%   (dim %zu -- 2.5x the storage/compute)\n",
+              "raw normalised features + NCM", raw * 100.0,
+              preprocess::kNumFeatures);
+  std::printf("(the learned space matches raw-feature accuracy at a fraction "
+              "of the dimension, and — unlike raw features — supports the "
+              "distillation-anchored updates of §3.3)\n");
+
+  // --- classifier head: NCM vs kNN --------------------------------------------
+  std::printf("\n== classifier head over the same embedding ==\n");
+  std::printf("%-26s %10s %14s %16s\n", "classifier", "accuracy",
+              "memory (KiB)", "classify cost");
+  {
+    auto time_per_query_us = [&](auto&& classify) {
+      Matrix embeddings = model.Embed(eval.ToMatrix());
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < eval.size(); ++i) {
+        classify(embeddings.RowPtr(i), embeddings.cols());
+      }
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count() /
+             static_cast<double>(eval.size());
+    };
+
+    // NCM (the paper's choice).
+    size_t ncm_correct = 0;
+    for (const auto& [truth, pred] : Unwrap(model.Predict(eval), "ncm")) {
+      ncm_correct += (truth == pred);
+    }
+    const size_t ncm_bytes =
+        model.classifier().num_classes() * model.embedding_dim() *
+        sizeof(float);
+    const double ncm_us = time_per_query_us([&](const float* e, size_t n) {
+      auto p = model.classifier().Classify(e, n);
+      CheckOk(p.status(), "ncm classify");
+    });
+    std::printf("%-26s %9.1f%% %14.2f %13.2f us\n", "NCM (paper)",
+                100.0 * ncm_correct / eval.size(), ncm_bytes / 1024.0,
+                ncm_us);
+
+    // kNN over all support exemplars (related-work style).
+    for (size_t k : {1u, 5u}) {
+      core::KnnClassifier::Options options;
+      options.k = k;
+      auto knn = Unwrap(
+          core::KnnClassifier::FromSupportSet(support, &model, options),
+          "knn build");
+      Matrix embeddings = model.Embed(eval.ToMatrix());
+      size_t correct = 0;
+      for (size_t i = 0; i < eval.size(); ++i) {
+        auto pred = Unwrap(
+            knn.Classify(embeddings.RowPtr(i), embeddings.cols()), "knn");
+        correct += (pred.activity == eval.Label(i));
+      }
+      const double knn_us = time_per_query_us([&](const float* e, size_t n) {
+        auto p = knn.Classify(e, n);
+        CheckOk(p.status(), "knn classify");
+      });
+      std::printf("kNN (k=%zu)%17s %9.1f%% %14.2f %13.2f us\n", k, "",
+                  100.0 * correct / eval.size(), knn.MemoryBytes() / 1024.0,
+                  knn_us);
+    }
+    std::printf("(NCM stores one prototype per class and adds classes with "
+                "a single mean — the property §3.1 builds on)\n");
+  }
+
+  // --- class-count scaling -----------------------------------------------------
+  std::printf("\n== class-count scaling (canonical generators, 3 recordings/"
+              "class) ==\n");
+  std::printf("%-10s %10s %10s %16s\n", "classes", "accuracy", "macro-F1",
+              "hardest class");
+  for (bool extended : {false, true}) {
+    sensors::ActivityLibrary lib = extended
+                                       ? sensors::ExtendedActivityLibrary()
+                                       : sensors::DefaultActivityLibrary();
+    sensors::ActivityRegistry reg =
+        extended ? sensors::ActivityRegistry::ExtendedActivities()
+                 : sensors::ActivityRegistry::BaseActivities();
+    sensors::SyntheticGenerator train_gen(61), eval_gen(62);
+    core::CloudConfig scale_config = BenchCloudConfig();
+    scale_config.train.epochs = 20;
+    core::CloudInitializer scale_cloud(scale_config);
+    auto scale_bundle = Unwrap(
+        scale_cloud.Initialize(train_gen.GenerateDataset(lib, 3, 8.0), reg),
+        "scale init");
+    core::EdgeModel scale_model = std::move(scale_bundle).ToEdgeModel();
+    auto scale_eval = Unwrap(scale_model.pipeline().ProcessLabeled(
+                                 eval_gen.GenerateDataset(lib, 2, 8.0)),
+                             "scale eval");
+    learn::ConfusionMatrix scale_cm;
+    for (const auto& [truth, pred] :
+         Unwrap(scale_model.Predict(scale_eval), "scale predict")) {
+      scale_cm.Add(truth, pred);
+    }
+    sensors::ActivityId hardest = -1;
+    double worst = 2.0;
+    for (sensors::ActivityId cls : scale_cm.Classes()) {
+      if (scale_cm.Recall(cls) < worst) {
+        worst = scale_cm.Recall(cls);
+        hardest = cls;
+      }
+    }
+    std::printf("%-10zu %9.1f%% %10.3f %12s %.0f%%\n", lib.size(),
+                scale_cm.Accuracy() * 100.0, scale_cm.MacroF1(),
+                reg.NameOf(hardest).ValueOrDie().c_str(), worst * 100.0);
+  }
+
+  // --- margin ablation --------------------------------------------------------
+  std::printf("\n== contrastive margin ablation ==\n");
+  std::printf("%-10s %12s\n", "margin", "accuracy");
+  for (double margin : {0.5, 1.0, 3.0, 5.0, 10.0}) {
+    core::CloudConfig m_config = BenchCloudConfig();
+    m_config.train.epochs = 20;
+    m_config.train.margin = margin;
+    core::CloudInitializer m_cloud(m_config);
+    auto m_bundle = Unwrap(
+        m_cloud.Initialize(corpus, sensors::ActivityRegistry::BaseActivities()),
+        "margin init");
+    core::EdgeModel m_model = std::move(m_bundle).ToEdgeModel();
+    std::printf("%-10.1f %11.1f%%%s\n", margin,
+                Accuracy(&m_model, eval) * 100.0,
+                margin == 5.0 ? "   <- library default" : "");
+  }
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() {
+  magneto::bench::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// Ablation A7 — open-set rejection operating points.
+///
+/// A deployed HAR model constantly sees movement it was never taught
+/// (fidgeting, carrying groceries, novel gestures). The NCM distance gives a
+/// natural unknown detector; this bench sweeps the rejection threshold and
+/// reports, per operating point:
+///
+///   known-accept  — fraction of known-activity windows still classified
+///                   (and of those, the accuracy)
+///   unknown-reject — fraction of never-trained-gesture windows flagged
+///
+/// plus the threshold `CalibrateRejectionThreshold` picks automatically.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+void Run() {
+  core::CloudConfig config = BenchCloudConfig();
+  config.train.epochs = 20;
+  core::CloudInitializer cloud(config);
+  auto bundle = Unwrap(
+      cloud.Initialize(HeterogeneousCorpus(1, 8, 1, 8.0, 0.7),
+                       sensors::ActivityRegistry::BaseActivities()),
+      "cloud init");
+  core::EdgeModel model = std::move(bundle).ToEdgeModel();
+
+  // Known-activity stream: unseen users of the five base classes.
+  auto known_corpus = HeterogeneousCorpus(999, 5, 1, 8.0, 0.7);
+  sensors::SyntheticGenerator gen(2);
+  // Easy unknowns: sensor streams no human activity produces (violent
+  // shaking, saturating noise).
+  std::vector<sensors::Recording> easy_unknowns;
+  for (int i = 0; i < 3; ++i) {
+    sensors::SignalModel chaos =
+        sensors::DefaultActivityLibrary()[sensors::kRun];
+    for (auto& ch : chaos.channels) {
+      ch.noise_sigma = ch.noise_sigma * (15.0 + 5.0 * i) + 4.0;
+      ch.drift_sigma += 0.4;
+    }
+    easy_unknowns.push_back(gen.Generate(chaos, 10.0));
+  }
+  // Hard unknowns: never-trained gestures — physically close to Still.
+  std::vector<sensors::Recording> hard_unknowns;
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    hard_unknowns.push_back(
+        gen.Generate(sensors::MakeGestureModel(seed), 10.0));
+  }
+
+  // Collect nearest-prototype distances for both streams once.
+  struct Sample {
+    double distance;
+    bool correct;  // (known stream only)
+  };
+  std::vector<Sample> known, easy, hard;
+  for (const auto& labeled : known_corpus) {
+    for (const auto& p :
+         Unwrap(model.InferRecording(labeled.recording), "known infer")) {
+      known.push_back(
+          {p.prediction.distance, p.prediction.activity == labeled.label});
+    }
+  }
+  for (const auto& rec : easy_unknowns) {
+    for (const auto& p : Unwrap(model.InferRecording(rec), "easy infer")) {
+      easy.push_back({p.prediction.distance, false});
+    }
+  }
+  for (const auto& rec : hard_unknowns) {
+    for (const auto& p : Unwrap(model.InferRecording(rec), "hard infer")) {
+      hard.push_back({p.prediction.distance, false});
+    }
+  }
+
+  std::vector<sensors::Recording> calib;
+  for (const auto& labeled : HeterogeneousCorpus(3, 2, 1, 8.0, 0.7)) {
+    calib.push_back(labeled.recording);
+  }
+  const double auto_threshold =
+      Unwrap(core::CalibrateRejectionThreshold(&model, calib), "calibrate");
+
+  std::printf("== A7: open-set rejection sweep (%zu known, %zu easy-OOD, "
+              "%zu hard-OOD windows) ==\n",
+              known.size(), easy.size(), hard.size());
+  std::printf("%-12s %13s %16s %15s %15s\n", "threshold", "known kept",
+              "kept accuracy", "easy rejected", "hard rejected");
+  for (double threshold : {1.5, 2.0, 3.0, 5.0, 8.0, auto_threshold}) {
+    size_t kept = 0, kept_correct = 0, easy_rej = 0, hard_rej = 0;
+    for (const Sample& s : known) {
+      if (s.distance <= threshold) {
+        ++kept;
+        kept_correct += s.correct;
+      }
+    }
+    for (const Sample& s : easy) easy_rej += (s.distance > threshold);
+    for (const Sample& s : hard) hard_rej += (s.distance > threshold);
+    std::printf("%-12.2f %12.1f%% %15.1f%% %14.1f%% %14.1f%%%s\n", threshold,
+                100.0 * kept / known.size(),
+                kept > 0 ? 100.0 * kept_correct / kept : 0.0,
+                100.0 * easy_rej / easy.size(),
+                100.0 * hard_rej / hard.size(),
+                threshold == auto_threshold ? "  <- auto" : "");
+  }
+  std::printf(
+      "\n(finding: sensor chaos is reliably rejected at the calibrated\n"
+      " threshold, but novel *gestures* embed near Still — rejection cannot\n"
+      " separate them, which is exactly why MAGNETO teaches them as new\n"
+      " classes instead: see bench_incremental)\n");
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() {
+  magneto::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+#ifndef MAGNETO_BENCH_BENCH_UTIL_H_
+#define MAGNETO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "magneto.h"
+
+namespace magneto::bench {
+
+/// Benchmark-sized cloud configuration (same shape as the examples').
+inline core::CloudConfig BenchCloudConfig() {
+  core::CloudConfig config;
+  config.backbone_dims = {128, 64, 32};
+  config.train.epochs = 15;
+  config.train.batch_size = 64;
+  config.train.learning_rate = 1e-3;
+  config.train.seed = 7;
+  config.support_capacity = 50;
+  config.selection = core::SelectionStrategy::kHerding;
+  config.seed = 11;
+  return config;
+}
+
+/// The paper's exact architecture, for footprint/latency-faithful rows.
+inline core::CloudConfig PaperCloudConfig() {
+  core::CloudConfig config = BenchCloudConfig();
+  config.backbone_dims = {1024, 512, 128, 64, 128};
+  config.support_capacity = 200;
+  return config;
+}
+
+inline std::vector<sensors::LabeledRecording> BenchCorpus(
+    uint64_t seed, size_t per_class = 4, double seconds = 8.0) {
+  sensors::SyntheticGenerator gen(seed);
+  return gen.GenerateDataset(sensors::DefaultActivityLibrary(), per_class,
+                             seconds);
+}
+
+/// A population corpus like the paper's collection campaign: every recording
+/// comes from a different person (random `UserProfile`), so each class is a
+/// *family* of signatures rather than a point. This is the regime where a
+/// learned, invariance-inducing embedding earns its keep over raw features.
+inline std::vector<sensors::LabeledRecording> HeterogeneousCorpus(
+    uint64_t seed, size_t users, size_t recordings_per_user_class = 1,
+    double seconds = 8.0, double intensity = 0.6) {
+  sensors::ActivityLibrary canonical = sensors::DefaultActivityLibrary();
+  std::vector<sensors::LabeledRecording> corpus;
+  Rng seeder(seed);
+  for (size_t u = 0; u < users; ++u) {
+    sensors::UserProfile profile(seeder.engine()(), intensity);
+    sensors::SyntheticGenerator gen(seeder.engine()());
+    sensors::ActivityLibrary personal = profile.Personalize(canonical);
+    Rng ctx_rng(seeder.engine()());
+    for (const auto& [id, model] : personal) {
+      for (size_t r = 0; r < recordings_per_user_class; ++r) {
+        // Each capture happens under its own conditions (time of day,
+        // altitude, pocket vs hand, GPS quality).
+        sensors::RecordingContext context =
+            sensors::RecordingContext::Sample(&ctx_rng);
+        corpus.push_back({gen.Generate(context.Apply(model), seconds), id});
+      }
+    }
+  }
+  return corpus;
+}
+
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T Unwrap(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Accuracy of `model` on a labeled feature dataset.
+inline double Accuracy(core::EdgeModel* model,
+                       const sensors::FeatureDataset& data) {
+  auto pairs = Unwrap(model->Predict(data), "predict");
+  if (pairs.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& [truth, pred] : pairs) correct += (truth == pred);
+  return static_cast<double>(correct) / static_cast<double>(pairs.size());
+}
+
+}  // namespace magneto::bench
+
+#endif  // MAGNETO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+/// Figure 1 head-to-head: the conventional cloud-based HAR deployment vs
+/// MAGNETO's edge deployment, on the same model, the same activity stream,
+/// and the same simulated network.
+///
+/// Prints per-protocol latency, byte ledger, and the privacy audit.
+///
+/// Run: ./build/examples/cloud_vs_edge
+
+#include <cstdio>
+
+#include "example_util.h"
+
+int main() {
+  using namespace magneto;
+
+  std::printf("== Pretraining the shared model ==\n");
+  platform::CloudServer server(examples::DemoCloudConfig());
+  examples::CheckOk(server.Pretrain(examples::DemoCorpus(41),
+                                    sensors::ActivityRegistry::BaseActivities()),
+                    "pretrain");
+
+  // One hour of mixed user activity (compressed to 12 s/class for the demo).
+  sensors::SyntheticGenerator phone(/*seed=*/43);
+  auto stream = phone.GenerateDataset(sensors::DefaultActivityLibrary(),
+                                      /*per_class=*/1, /*duration_s=*/12.0);
+
+  auto bundle =
+      core::ModelBundle::FromString(server.ServeBundleBytes().ValueOrDie());
+  examples::CheckOk(bundle.status(), "bundle parse");
+
+  const struct {
+    const char* name;
+    double rtt_ms;
+    double mbps;
+  } kNetworks[] = {
+      {"urban 5G   (20 ms, 100 Mbit/s)", 20.0, 100.0},
+      {"typical 4G (60 ms,  20 Mbit/s)", 60.0, 20.0},
+      {"congested  (200 ms,  2 Mbit/s)", 200.0, 2.0},
+  };
+
+  for (const auto& net : kNetworks) {
+    std::printf("\n== Network: %s ==\n", net.name);
+    platform::NetworkLink cloud_link(net.rtt_ms, net.mbps);
+    platform::NetworkLink edge_link(net.rtt_ms, net.mbps);
+
+    auto cloud = platform::CloudProtocol(&server, &cloud_link)
+                     .Run(stream, bundle.value().pipeline);
+    examples::CheckOk(cloud.status(), "cloud protocol");
+    auto edge = platform::EdgeProtocol(&server, &edge_link).Run(stream);
+    examples::CheckOk(edge.status(), "edge protocol");
+
+    std::printf("%-18s %10s %14s %16s %10s\n", "protocol", "windows",
+                "latency/window", "uplink user B", "accuracy");
+    for (const auto* m : {&cloud.value(), &edge.value()}) {
+      std::printf("%-18s %10zu %11.1f ms %16zu %9.1f%%\n",
+                  m->protocol.c_str(), m->windows,
+                  m->mean_window_latency_s * 1000.0, m->uplink_user_bytes,
+                  m->accuracy * 100.0);
+    }
+    std::printf("edge one-time setup (bundle download): %.0f ms\n",
+                edge.value().setup_latency_s * 1000.0);
+
+    std::printf("cloud-protocol audit:  %s\n",
+                platform::PrivacyAuditor(&cloud_link).Verify().ToString()
+                    .c_str());
+    std::printf("edge-protocol audit:   %s\n",
+                platform::PrivacyAuditor(&edge_link).Verify().ToString()
+                    .c_str());
+  }
+  return 0;
+}

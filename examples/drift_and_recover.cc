@@ -1,0 +1,127 @@
+/// Drift detection closing the personalization loop:
+///
+///   1. the device runs happily on the population model,
+///   2. the user's movement pattern changes (injury, new shoes, new habit),
+///   3. the DriftMonitor notices chronically poor NCM margins and recommends
+///      calibration,
+///   4. the app calibrates from a fresh capture; recognition recovers and
+///      the monitor goes quiet.
+///
+/// Run: ./build/examples/drift_and_recover
+
+#include <cstdio>
+
+#include "example_util.h"
+
+namespace {
+
+using namespace magneto;
+
+struct StreamStats {
+  size_t windows = 0;
+  size_t correct = 0;
+  bool drift_flagged = false;
+};
+
+StreamStats StreamWithMonitor(core::EdgeRuntime* runtime,
+                              core::DriftMonitor* monitor,
+                              const sensors::Recording& rec,
+                              sensors::ActivityId truth) {
+  StreamStats stats;
+  for (size_t i = 0; i < rec.num_samples(); ++i) {
+    sensors::Frame frame;
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frame[c] = rec.samples.At(i, c);
+    }
+    auto pred = runtime->PushFrame(frame);
+    examples::CheckOk(pred.status(), "push frame");
+    if (pred.value().has_value()) {
+      ++stats.windows;
+      stats.correct += (pred.value()->prediction.activity == truth);
+      if (monitor->Observe(pred.value()->prediction)) {
+        stats.drift_flagged = true;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Provisioning ==\n");
+  core::CloudInitializer cloud(examples::DemoCloudConfig());
+  auto bundle = cloud.Initialize(examples::DemoCorpus(81),
+                                 sensors::ActivityRegistry::BaseActivities());
+  examples::CheckOk(bundle.status(), "cloud init");
+  core::IncrementalOptions update;
+  update.train.epochs = 12;
+  update.train.learning_rate = 1e-3;
+  update.train.distill_weight = 1.0;
+  update.train.seed = 82;
+  auto device = platform::EdgeDevice::Provision(
+      bundle.value().SerializeToString(), update);
+  examples::CheckOk(device.status(), "provision");
+  core::EdgeRuntime& runtime = device.value().runtime();
+
+  // Calibrate the monitor's healthy baseline on known-good data.
+  sensors::SyntheticGenerator phone(83);
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  core::DriftMonitor monitor({.window = 8, .min_confidence = 0.5});
+  {
+    auto preds = runtime.model()
+                     .InferRecording(phone.Generate(lib[sensors::kWalk], 5.0))
+                     .ValueOrDie();
+    double mean_distance = 0.0;
+    for (const auto& p : preds) mean_distance += p.prediction.distance;
+    monitor.SetBaselineDistance(mean_distance / preds.size());
+  }
+  std::printf("drift monitor armed (baseline distance %.2f)\n",
+              monitor.baseline_distance());
+
+  std::printf("\n== Phase 1: the user walks normally ==\n");
+  auto healthy = StreamWithMonitor(
+      &runtime, &monitor, phone.Generate(lib[sensors::kWalk], 10.0),
+      sensors::kWalk);
+  std::printf("recognised %zu/%zu windows, drift flagged: %s\n",
+              healthy.correct, healthy.windows,
+              healthy.drift_flagged ? "YES" : "no");
+
+  std::printf("\n== Phase 2: the user's gait changes drastically ==\n");
+  sensors::UserProfile injured(/*seed=*/84, /*intensity=*/1.0);
+  sensors::SignalModel new_gait = injured.Personalize(lib[sensors::kWalk]);
+  auto drifted = StreamWithMonitor(&runtime, &monitor,
+                                   phone.Generate(new_gait, 12.0),
+                                   sensors::kWalk);
+  std::printf("recognised %zu/%zu windows, drift flagged: %s "
+              "(rolling confidence %.2f, rolling distance %.2f)\n",
+              drifted.correct, drifted.windows,
+              drifted.drift_flagged ? "YES" : "no",
+              monitor.rolling_confidence(), monitor.rolling_distance());
+
+  if (drifted.drift_flagged) {
+    std::printf("\n== Phase 3: monitor recommends calibration — "
+                "recording 25 s ==\n");
+    examples::CheckOk(runtime.StartRecording(), "start recording");
+    examples::StreamRecording(&runtime, phone.Generate(new_gait, 25.0));
+    auto report = runtime.FinishRecordingAndCalibrate("Walk");
+    examples::CheckOk(report.status(), "calibrate");
+    monitor.Reset();
+    // Refresh the healthy baseline on the calibrated model.
+    auto preds = runtime.model()
+                     .InferRecording(phone.Generate(new_gait, 5.0))
+                     .ValueOrDie();
+    double mean_distance = 0.0;
+    for (const auto& p : preds) mean_distance += p.prediction.distance;
+    monitor.SetBaselineDistance(mean_distance / preds.size());
+
+    std::printf("\n== Phase 4: after calibration ==\n");
+    auto recovered = StreamWithMonitor(&runtime, &monitor,
+                                       phone.Generate(new_gait, 10.0),
+                                       sensors::kWalk);
+    std::printf("recognised %zu/%zu windows, drift flagged: %s\n",
+                recovered.correct, recovered.windows,
+                recovered.drift_flagged ? "YES" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef MAGNETO_EXAMPLES_EXAMPLE_UTIL_H_
+#define MAGNETO_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "magneto.h"
+
+namespace magneto::examples {
+
+/// A demo-sized cloud configuration: large enough to classify the synthetic
+/// activities reliably, small enough that every example runs in seconds on a
+/// laptop. Swap `backbone_dims` for {1024, 512, 128, 64, 128} to use the
+/// paper's exact architecture.
+inline core::CloudConfig DemoCloudConfig() {
+  core::CloudConfig config;
+  config.backbone_dims = {128, 64, 32};
+  config.train.epochs = 15;
+  config.train.batch_size = 64;
+  config.train.learning_rate = 1e-3;
+  config.train.seed = 7;
+  config.support_capacity = 50;
+  config.selection = core::SelectionStrategy::kHerding;
+  config.seed = 11;
+  return config;
+}
+
+/// The "initial dataset" stand-in: synthetic recordings of the five base
+/// activities (Drive, E-scooter, Run, Still, Walk).
+inline std::vector<sensors::LabeledRecording> DemoCorpus(
+    uint64_t seed, size_t recordings_per_class = 4,
+    double seconds_each = 8.0) {
+  sensors::SyntheticGenerator gen(seed);
+  return gen.GenerateDataset(sensors::DefaultActivityLibrary(),
+                             recordings_per_class, seconds_each);
+}
+
+/// Feeds a recording into a runtime frame by frame (like the phone's sensor
+/// callback would) and returns the emitted predictions.
+inline std::vector<core::NamedPrediction> StreamRecording(
+    core::EdgeRuntime* runtime, const sensors::Recording& rec) {
+  std::vector<core::NamedPrediction> out;
+  for (size_t i = 0; i < rec.num_samples(); ++i) {
+    sensors::Frame frame;
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frame[c] = rec.samples.At(i, c);
+    }
+    auto pred = runtime->PushFrame(frame);
+    if (!pred.ok()) {
+      std::fprintf(stderr, "PushFrame failed: %s\n",
+                   pred.status().ToString().c_str());
+      continue;
+    }
+    if (pred.value().has_value()) out.push_back(*pred.value());
+  }
+  return out;
+}
+
+/// Aborts the example with a message if `status` is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace magneto::examples
+
+#endif  // MAGNETO_EXAMPLES_EXAMPLE_UTIL_H_

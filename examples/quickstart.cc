@@ -1,0 +1,60 @@
+/// Quickstart: the full MAGNETO lifecycle in ~60 lines.
+///
+///   1. Cloud initialization: pre-train on the initial activity corpus.
+///   2. Serialise the bundle (the one artifact that crosses cloud -> edge).
+///   3. Provision an edge device from the bytes.
+///   4. Run real-time inference on the device.
+///
+/// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "example_util.h"
+
+int main() {
+  using namespace magneto;
+
+  // ---- 1. Cloud initialization (offline step, open data only) --------------
+  std::printf("== Cloud initialization ==\n");
+  core::CloudInitializer cloud(examples::DemoCloudConfig());
+  core::CloudReport report;
+  auto bundle = cloud.Initialize(examples::DemoCorpus(/*seed=*/1),
+                                 sensors::ActivityRegistry::BaseActivities(),
+                                 &report);
+  examples::CheckOk(bundle.status(), "cloud initialization");
+  std::printf("trained on %zu windows, final contrastive loss %.4f\n",
+              report.training_windows, report.train.final_embedding_loss());
+
+  // ---- 2. The transfer artifact ---------------------------------------------
+  const std::string wire = bundle.value().SerializeToString();
+  std::printf("bundle size: %.2f KiB (model %.2f KiB, support set %.2f KiB)\n",
+              wire.size() / 1024.0,
+              bundle.value().backbone.NumParameters() * sizeof(float) /
+                  1024.0,
+              bundle.value().support.MemoryBytes() / 1024.0);
+
+  // ---- 3. Edge provisioning --------------------------------------------------
+  auto device = platform::EdgeDevice::Provision(wire, {});
+  examples::CheckOk(device.status(), "edge provisioning");
+  core::EdgeRuntime& runtime = device.value().runtime();
+  std::printf("device provisioned with %zu activities\n",
+              runtime.model().registry().size());
+
+  // ---- 4. Real-time inference ------------------------------------------------
+  std::printf("\n== Edge inference ==\n");
+  sensors::SyntheticGenerator phone(/*seed=*/99);
+  for (const auto& [id, model] : sensors::DefaultActivityLibrary()) {
+    sensors::Recording rec = phone.Generate(model, 3.0);
+    auto preds = examples::StreamRecording(&runtime, rec);
+    const std::string truth =
+        runtime.model().registry().NameOf(id).ValueOrDie();
+    std::printf("true=%-10s ->", truth.c_str());
+    for (const auto& p : preds) {
+      std::printf(" %s(%.2f)", p.name.c_str(), p.prediction.confidence);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nprocessed %zu frames into %zu predictions\n",
+              runtime.stats().frames, runtime.stats().predictions);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run all tests, all benchmarks, and
+# all examples. This is what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "== $b =="
+  "$b"
+done
+
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "== $e =="
+  "$e"
+done

@@ -1,0 +1,134 @@
+#include "common/fft.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace magneto {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  MAGNETO_CHECK(n >= 1);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  std::vector<std::complex<double>>& a = *data;
+  const size_t n = a.size();
+  MAGNETO_CHECK(n > 0 && (n & (n - 1)) == 0);
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (std::complex<double>& x : a) x /= static_cast<double>(n);
+  }
+}
+
+namespace {
+
+std::vector<std::complex<double>> PaddedComplex(const float* x, size_t n) {
+  const size_t padded = NextPowerOfTwo(n);
+  std::vector<std::complex<double>> data(padded);
+  for (size_t i = 0; i < n; ++i) data[i] = x[i];
+  return data;
+}
+
+}  // namespace
+
+std::vector<double> MagnitudeSpectrum(const float* x, size_t n) {
+  std::vector<std::complex<double>> data = PaddedComplex(x, n);
+  Fft(&data);
+  std::vector<double> mag(data.size() / 2 + 1);
+  for (size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(data[k]);
+  return mag;
+}
+
+std::vector<double> PowerSpectrum(const float* x, size_t n) {
+  std::vector<std::complex<double>> data = PaddedComplex(x, n);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  Fft(&data);
+  std::vector<double> power(data.size() / 2 + 1);
+  for (size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(data[k]) * inv_n;
+  }
+  return power;
+}
+
+namespace spectral {
+
+double DominantFrequency(const std::vector<double>& power, double sample_rate,
+                         size_t n_padded) {
+  if (power.size() < 2) return 0.0;
+  size_t best = 1;
+  for (size_t k = 2; k < power.size(); ++k) {
+    if (power[k] > power[best]) best = k;
+  }
+  return static_cast<double>(best) * sample_rate /
+         static_cast<double>(n_padded);
+}
+
+double BandPower(const std::vector<double>& power, double sample_rate,
+                 size_t n_padded, double lo_hz, double hi_hz) {
+  double total = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    const double freq = static_cast<double>(k) * sample_rate /
+                        static_cast<double>(n_padded);
+    if (freq >= lo_hz && freq < hi_hz) total += power[k];
+  }
+  return total;
+}
+
+double SpectralEntropy(const std::vector<double>& power) {
+  double total = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total <= 1e-20) return 0.0;
+  double entropy = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    const double p = power[k] / total;
+    if (p > 1e-20) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double SpectralCentroid(const std::vector<double>& power, double sample_rate,
+                        size_t n_padded) {
+  double total = 0.0, weighted = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    const double freq = static_cast<double>(k) * sample_rate /
+                        static_cast<double>(n_padded);
+    total += power[k];
+    weighted += freq * power[k];
+  }
+  return total > 1e-20 ? weighted / total : 0.0;
+}
+
+}  // namespace spectral
+
+}  // namespace magneto

@@ -1,0 +1,48 @@
+#ifndef MAGNETO_COMMON_FFT_H_
+#define MAGNETO_COMMON_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace magneto {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. Forward transform; pass `inverse = true` for the inverse
+/// (including the 1/N scaling).
+void Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+/// Magnitude spectrum of a real signal: returns |X_k| for k in [0, n/2],
+/// where n is `x.size()` rounded *up* to a power of two (zero-padded).
+/// Bin k corresponds to frequency k * sample_rate / n_padded.
+std::vector<double> MagnitudeSpectrum(const float* x, size_t n);
+
+/// Power spectral density estimate (|X_k|^2 / n) over the same bins.
+std::vector<double> PowerSpectrum(const float* x, size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+namespace spectral {
+
+/// Frequency (Hz) of the strongest non-DC bin.
+double DominantFrequency(const std::vector<double>& power, double sample_rate,
+                         size_t n_padded);
+
+/// Sum of power in [lo_hz, hi_hz).
+double BandPower(const std::vector<double>& power, double sample_rate,
+                 size_t n_padded, double lo_hz, double hi_hz);
+
+/// Shannon entropy of the normalised non-DC power distribution; 0 for a pure
+/// tone, log2(bins) for white noise.
+double SpectralEntropy(const std::vector<double>& power);
+
+/// Power-weighted mean frequency (Hz) over non-DC bins.
+double SpectralCentroid(const std::vector<double>& power, double sample_rate,
+                        size_t n_padded);
+
+}  // namespace spectral
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_FFT_H_

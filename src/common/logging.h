@@ -1,0 +1,79 @@
+#ifndef MAGNETO_COMMON_LOGGING_H_
+#define MAGNETO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace magneto {
+
+/// Severity levels for the MAGNETO logger, ordered by increasing severity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global log configuration. Thread-compatible: set the level once at startup.
+class LogConfig {
+ public:
+  /// Messages below `level` are discarded.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+};
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// `kFatal` messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement that is compiled in but disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define MAGNETO_LOG(level)                                        \
+  ::magneto::internal_logging::LogMessage(                        \
+      ::magneto::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// MAGNETO uses it to guard API invariants whose violation would otherwise
+/// corrupt memory (e.g. dimension mismatches in matrix kernels).
+#define MAGNETO_CHECK(cond)                                              \
+  (cond) ? (void)0                                                       \
+         : (void)(::magneto::internal_logging::LogMessage(               \
+                      ::magneto::LogLevel::kFatal, __FILE__, __LINE__)   \
+                  << "Check failed: " #cond " ")
+
+#define MAGNETO_DCHECK(cond) MAGNETO_CHECK(cond)
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_LOGGING_H_

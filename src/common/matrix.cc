@@ -1,0 +1,240 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace magneto {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MAGNETO_CHECK(data_.size() == rows_ * cols_);
+}
+
+std::vector<float> Matrix::Row(size_t r) const {
+  MAGNETO_CHECK(r < rows_);
+  return std::vector<float>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<float>& values) {
+  MAGNETO_CHECK(r < rows_);
+  MAGNETO_CHECK(values.size() == cols_);
+  std::memcpy(RowPtr(r), values.data(), cols_ * sizeof(float));
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  MAGNETO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  MAGNETO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::MulInPlace(const Matrix& other) {
+  MAGNETO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::Scale(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::Axpy(float s, const Matrix& other) {
+  MAGNETO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out.data()[c * rows_ + r] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::RowSlice(size_t begin, size_t end) const {
+  MAGNETO_CHECK(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::memcpy(out.data(), data_.data() + begin * cols_,
+              (end - begin) * cols_ * sizeof(float));
+  return out;
+}
+
+float Matrix::SumOfSquares() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::AbsMax() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::ColMean() const {
+  Matrix out = ColSum();
+  if (rows_ > 0) out.Scale(1.0f / static_cast<float>(rows_));
+  return out;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = RowPtr(r);
+    float* dst = out.data();
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+namespace {
+// Tile edge chosen so three float tiles fit comfortably in L1.
+constexpr size_t kTile = 64;
+
+// Work below this many multiply-adds is not worth spawning threads for.
+constexpr size_t kParallelFlopThreshold = 4u << 20;
+
+/// Tiled ikj kernel over the output-row range [row0, row1).
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t row0,
+                size_t row1) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t i0 = row0; i0 < row1; i0 += kTile) {
+    const size_t i1 = std::min(i0 + kTile, row1);
+    for (size_t k0 = 0; k0 < k; k0 += kTile) {
+      const size_t k1 = std::min(k0 + kTile, k);
+      for (size_t i = i0; i < i1; ++i) {
+        const float* arow = a.RowPtr(i);
+        float* orow = out->RowPtr(i);
+        for (size_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b.RowPtr(kk);
+          for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Runs `work(row0, row1)` over [0, rows) on up to hardware_concurrency
+/// threads when the problem is large enough. Row-partitioned: each output
+/// row is written by exactly one thread, so results are bit-identical to
+/// the serial kernel.
+template <typename Work>
+void ParallelOverRows(size_t rows, size_t flops, const Work& work) {
+  size_t threads = std::thread::hardware_concurrency();
+  threads = std::min<size_t>({threads == 0 ? 1 : threads, 8, rows});
+  if (threads <= 1 || flops < kParallelFlopThreshold) {
+    work(0, rows);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const size_t chunk = (rows + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t row0 = t * chunk;
+    const size_t row1 = std::min(rows, row0 + chunk);
+    if (row0 >= row1) break;
+    pool.emplace_back([&work, row0, row1] { work(row0, row1); });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  MAGNETO_CHECK(a.cols() == b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  ParallelOverRows(m, m * k * n, [&](size_t row0, size_t row1) {
+    MatMulRows(a, b, &out, row0, row1);
+  });
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  MAGNETO_CHECK(a.rows() == b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.RowPtr(kk);
+    const float* brow = b.RowPtr(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  MAGNETO_CHECK(a.cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  ParallelOverRows(m, m * k * n, [&](size_t row0, size_t row1) {
+    for (size_t i = row0; i < row1; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* orow = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) orow[j] = Dot(arow, b.RowPtr(j), k);
+    }
+  });
+  return out;
+}
+
+Matrix VStack(const Matrix& top, const Matrix& bottom) {
+  if (top.rows() == 0) return bottom;
+  if (bottom.rows() == 0) return top;
+  MAGNETO_CHECK(top.cols() == bottom.cols());
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  std::memcpy(out.data(), top.data(), top.size() * sizeof(float));
+  std::memcpy(out.RowPtr(top.rows()), bottom.data(),
+              bottom.size() * sizeof(float));
+  return out;
+}
+
+float SquaredL2(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace magneto

@@ -1,0 +1,20 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace magneto {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  MAGNETO_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace magneto

@@ -1,0 +1,75 @@
+#ifndef MAGNETO_COMMON_RANDOM_H_
+#define MAGNETO_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace magneto {
+
+/// Deterministic pseudo-random source used throughout MAGNETO.
+///
+/// Every stochastic component (signal synthesis, weight init, pair sampling,
+/// reservoir updates, ...) takes an explicit seed so that tests and benchmarks
+/// are exactly reproducible. Wraps `std::mt19937_64`.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MAGNETO_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  size_t Index(size_t n) {
+    MAGNETO_DCHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Gaussian sample.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  /// Requires k <= n. Order of the returned indices is random.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child RNG; useful for giving each subcomponent
+  /// its own stream without correlated draws.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_RANDOM_H_

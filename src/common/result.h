@@ -1,0 +1,126 @@
+#ifndef MAGNETO_COMMON_RESULT_H_
+#define MAGNETO_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace magneto {
+
+/// A value-or-error discriminated union, in the spirit of
+/// `arrow::Result` / `absl::StatusOr`.
+///
+/// A `Result<T>` holds either a `T` (and an OK status) or a non-OK `Status`.
+/// Accessing the value of an errored result aborts the process — callers must
+/// check `ok()` first (or use `ValueOrDie()` in tests where the invariant is
+/// established by construction).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::Ok()) {  // NOLINT(runtime/explicit)
+    new (&storage_) T(std::move(value));
+  }
+
+  Result(const Result& other) : status_(other.status_) {
+    if (status_.ok()) new (&storage_) T(other.value());
+  }
+
+  Result(Result&& other) noexcept : status_(std::move(other.status_)) {
+    if (status_.ok()) new (&storage_) T(std::move(other.MutableValue()));
+  }
+
+  Result& operator=(const Result& other) {
+    if (this == &other) return *this;
+    Destroy();
+    status_ = other.status_;
+    if (status_.ok()) new (&storage_) T(other.value());
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept {
+    if (this == &other) return *this;
+    Destroy();
+    status_ = std::move(other.status_);
+    if (status_.ok()) new (&storage_) T(std::move(other.MutableValue()));
+    return *this;
+  }
+
+  ~Result() { Destroy(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Aborts if `!ok()`.
+  const T& value() const& {
+    CheckOk();
+    return *std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+
+  T& value() & {
+    CheckOk();
+    return MutableValue();
+  }
+
+  /// Moves the held value out. Aborts if `!ok()`.
+  T&& value() && {
+    CheckOk();
+    return std::move(MutableValue());
+  }
+
+  /// Alias for `value()` that reads better in tests.
+  T& ValueOrDie() & { return value(); }
+  const T& ValueOrDie() const& { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      // Deliberate hard stop: dereferencing an errored Result is a programming
+      // error, equivalent to dereferencing a null pointer.
+      std::abort();
+    }
+  }
+
+  T& MutableValue() { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+
+  void Destroy() {
+    if (status_.ok()) MutableValue().~T();
+  }
+
+  Status status_;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define MAGNETO_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  MAGNETO_ASSIGN_OR_RETURN_IMPL_(                             \
+      MAGNETO_CONCAT_(_magneto_result_, __LINE__), lhs, rexpr)
+
+#define MAGNETO_CONCAT_INNER_(a, b) a##b
+#define MAGNETO_CONCAT_(a, b) MAGNETO_CONCAT_INNER_(a, b)
+
+#define MAGNETO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_RESULT_H_

@@ -1,0 +1,156 @@
+#include "common/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace magneto {
+
+namespace {
+
+/// One-sided Jacobi: orthogonalise the columns of a working copy W (m x n,
+/// double precision). On convergence W = U * diag(S) and the accumulated
+/// rotations give V.
+struct Workspace {
+  size_t m, n;
+  std::vector<double> w;  ///< m x n column-major for cache-friendly columns
+  std::vector<double> v;  ///< n x n, V accumulator (column-major)
+
+  double* Col(size_t j) { return w.data() + j * m; }
+  double* VCol(size_t j) { return v.data() + j * n; }
+};
+
+}  // namespace
+
+Result<SvdResult> Svd(const Matrix& a, size_t max_sweeps, double tolerance) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("cannot decompose an empty matrix");
+  }
+  // Work on the tall orientation so columns are the short dimension.
+  const bool transposed = a.cols() > a.rows();
+  const Matrix& src_ref = a;
+  Matrix src_t;
+  if (transposed) src_t = a.Transposed();
+  const Matrix& src = transposed ? src_t : src_ref;
+
+  Workspace ws;
+  ws.m = src.rows();
+  ws.n = src.cols();
+  ws.w.assign(ws.m * ws.n, 0.0);
+  ws.v.assign(ws.n * ws.n, 0.0);
+  for (size_t i = 0; i < ws.m; ++i) {
+    for (size_t j = 0; j < ws.n; ++j) {
+      ws.Col(j)[i] = src.At(i, j);
+    }
+  }
+  for (size_t j = 0; j < ws.n; ++j) ws.VCol(j)[j] = 1.0;
+
+  // Jacobi sweeps.
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_off = 0.0;
+    for (size_t p = 0; p + 1 < ws.n; ++p) {
+      for (size_t q = p + 1; q < ws.n; ++q) {
+        double* cp = ws.Col(p);
+        double* cq = ws.Col(q);
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < ws.m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        const double denom = std::sqrt(app * aqq);
+        if (denom < 1e-300) continue;
+        const double off = std::fabs(apq) / denom;
+        max_off = std::max(max_off, off);
+        if (off < tolerance) continue;
+
+        // Jacobi rotation that zeroes the (p, q) inner product.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < ws.m; ++i) {
+          const double wp = cp[i];
+          const double wq = cq[i];
+          cp[i] = c * wp - s * wq;
+          cq[i] = s * wp + c * wq;
+        }
+        double* vp = ws.VCol(p);
+        double* vq = ws.VCol(q);
+        for (size_t i = 0; i < ws.n; ++i) {
+          const double xp = vp[i];
+          const double xq = vq[i];
+          vp[i] = c * xp - s * xq;
+          vq[i] = s * xp + c * xq;
+        }
+      }
+    }
+    if (max_off < tolerance) break;
+  }
+
+  // Extract singular values (column norms) and sort descending.
+  std::vector<double> norms(ws.n);
+  for (size_t j = 0; j < ws.n; ++j) {
+    double acc = 0.0;
+    const double* col = ws.Col(j);
+    for (size_t i = 0; i < ws.m; ++i) acc += col[i] * col[i];
+    norms[j] = std::sqrt(acc);
+  }
+  std::vector<size_t> order(ws.n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return norms[x] > norms[y]; });
+
+  SvdResult result;
+  result.u.Reset(ws.m, ws.n);
+  result.vt.Reset(ws.n, ws.n);
+  result.s.resize(ws.n);
+  for (size_t jj = 0; jj < ws.n; ++jj) {
+    const size_t j = order[jj];
+    result.s[jj] = static_cast<float>(norms[j]);
+    const double inv = norms[j] > 1e-300 ? 1.0 / norms[j] : 0.0;
+    const double* col = ws.Col(j);
+    for (size_t i = 0; i < ws.m; ++i) {
+      result.u.At(i, jj) = static_cast<float>(col[i] * inv);
+    }
+    const double* vcol = ws.VCol(j);
+    for (size_t i = 0; i < ws.n; ++i) {
+      result.vt.At(jj, i) = static_cast<float>(vcol[i]);
+    }
+  }
+
+  if (transposed) {
+    // a^T = U S V^T  =>  a = V S U^T.
+    Matrix u = result.vt.Transposed();
+    Matrix vt = result.u.Transposed();
+    result.u = std::move(u);
+    result.vt = std::move(vt);
+  }
+  return result;
+}
+
+Matrix LowRankReconstruct(const SvdResult& svd, size_t k) {
+  k = std::min(k, svd.rank());
+  Matrix us(svd.u.rows(), k);
+  for (size_t i = 0; i < svd.u.rows(); ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      us.At(i, j) = svd.u.At(i, j) * svd.s[j];
+    }
+  }
+  return MatMul(us, svd.vt.RowSlice(0, k));
+}
+
+size_t RankForEnergy(const SvdResult& svd, double energy_fraction) {
+  double total = 0.0;
+  for (float s : svd.s) total += static_cast<double>(s) * s;
+  if (total <= 0.0) return 1;
+  double acc = 0.0;
+  for (size_t k = 0; k < svd.s.size(); ++k) {
+    acc += static_cast<double>(svd.s[k]) * svd.s[k];
+    if (acc >= energy_fraction * total) return k + 1;
+  }
+  return svd.s.size();
+}
+
+}  // namespace magneto

@@ -1,0 +1,36 @@
+#ifndef MAGNETO_COMMON_SVD_H_
+#define MAGNETO_COMMON_SVD_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+
+namespace magneto {
+
+/// Thin singular value decomposition A = U * diag(S) * V^T.
+struct SvdResult {
+  Matrix u;                    ///< m x r, orthonormal columns
+  std::vector<float> s;        ///< r singular values, descending
+  Matrix vt;                   ///< r x n, orthonormal rows
+  size_t rank() const { return s.size(); }
+};
+
+/// One-sided Jacobi SVD of an m x n matrix (any shape; r = min(m, n)).
+///
+/// Accurate for the small-to-medium dense matrices MAGNETO compresses
+/// (backbone layers up to 1024 wide). `sweeps` bounds the Jacobi iterations;
+/// convergence is checked against `tolerance` on column orthogonality.
+Result<SvdResult> Svd(const Matrix& a, size_t max_sweeps = 30,
+                      double tolerance = 1e-10);
+
+/// Reconstructs U_k * diag(S_k) * Vt_k using the top `k` components.
+Matrix LowRankReconstruct(const SvdResult& svd, size_t k);
+
+/// Smallest k whose top-k singular values capture `energy_fraction` of the
+/// total squared spectrum.
+size_t RankForEnergy(const SvdResult& svd, double energy_fraction);
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_SVD_H_

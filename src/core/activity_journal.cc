@@ -1,0 +1,71 @@
+#include "core/activity_journal.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace magneto::core {
+
+ActivityJournal::ActivityJournal(double window_seconds)
+    : window_seconds_(window_seconds) {
+  MAGNETO_CHECK(window_seconds > 0.0);
+}
+
+void ActivityJournal::Record(const NamedPrediction& prediction) {
+  const sensors::ActivityId id = prediction.prediction.activity;
+  seconds_[id] += window_seconds_;
+  names_[id] = prediction.name;
+  if (bouts_.empty() || bouts_.back().activity != id) {
+    ActivityBout bout;
+    bout.activity = id;
+    bout.name = prediction.name;
+    bout.start_s = elapsed_s_;
+    bout.duration_s = window_seconds_;
+    bouts_.push_back(bout);
+    ++bout_counts_[id];
+  } else {
+    bouts_.back().duration_s += window_seconds_;
+  }
+  elapsed_s_ += window_seconds_;
+}
+
+double ActivityJournal::TotalSeconds(sensors::ActivityId activity) const {
+  auto it = seconds_.find(activity);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> ActivityJournal::Totals() const {
+  std::vector<std::pair<std::string, double>> totals;
+  totals.reserve(seconds_.size());
+  for (const auto& [id, secs] : seconds_) {
+    totals.emplace_back(names_.at(id), secs);
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return totals;
+}
+
+std::string ActivityJournal::Summary() const {
+  std::ostringstream os;
+  os << "activity journal (" << std::fixed << std::setprecision(1)
+     << elapsed_s_ / 60.0 << " min total):\n";
+  for (const auto& [id, secs] : seconds_) {
+    const double share = elapsed_s_ > 0.0 ? 100.0 * secs / elapsed_s_ : 0.0;
+    os << "  " << std::left << std::setw(14) << names_.at(id) << std::right
+       << std::setw(7) << std::setprecision(1) << secs / 60.0 << " min  "
+       << std::setw(5) << share << "%  " << bout_counts_.at(id) << " bout(s)\n";
+  }
+  return os.str();
+}
+
+void ActivityJournal::Reset() {
+  elapsed_s_ = 0.0;
+  seconds_.clear();
+  names_.clear();
+  bout_counts_.clear();
+  bouts_.clear();
+}
+
+}  // namespace magneto::core

@@ -1,0 +1,102 @@
+#include "core/async_updater.h"
+
+#include <functional>
+#include <utility>
+
+namespace magneto::core {
+
+AsyncUpdater::~AsyncUpdater() {
+  if (worker_.joinable()) worker_.join();
+}
+
+Status AsyncUpdater::StartLearn(const EdgeModel& model,
+                                const SupportSet& support, std::string name,
+                                std::vector<sensors::Recording> recordings) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kIdle) {
+      return Status::FailedPrecondition("an update is already in flight");
+    }
+    state_ = State::kRunning;
+  }
+  IncrementalOptions options = options_;
+  Launch(model.Clone(), support,
+         [options, name = std::move(name),
+          recordings = std::move(recordings)](EdgeModel* m, SupportSet* s) {
+           IncrementalLearner learner(options);
+           return learner.LearnNewActivity(m, s, name, recordings);
+         });
+  return Status::Ok();
+}
+
+Status AsyncUpdater::StartCalibrate(
+    const EdgeModel& model, const SupportSet& support, sensors::ActivityId id,
+    std::vector<sensors::Recording> recordings) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kIdle) {
+      return Status::FailedPrecondition("an update is already in flight");
+    }
+    state_ = State::kRunning;
+  }
+  IncrementalOptions options = options_;
+  Launch(model.Clone(), support,
+         [options, id, recordings = std::move(recordings)](EdgeModel* m,
+                                                           SupportSet* s) {
+           IncrementalLearner learner(options);
+           return learner.Calibrate(m, s, id, recordings);
+         });
+  return Status::Ok();
+}
+
+void AsyncUpdater::Launch(
+    EdgeModel snapshot_model, SupportSet snapshot_support,
+    std::function<Result<UpdateReport>(EdgeModel*, SupportSet*)> update) {
+  // A previous (already-taken) worker may still need joining.
+  if (worker_.joinable()) worker_.join();
+  // The snapshots move into the worker; the caller's deployment is untouched
+  // and keeps serving inference.
+  worker_ = std::thread(
+      [this, model = std::make_shared<EdgeModel>(std::move(snapshot_model)),
+       support = std::make_shared<SupportSet>(std::move(snapshot_support)),
+       update = std::move(update)]() mutable {
+        Result<UpdateReport> report = update(model.get(), support.get());
+        auto outcome = std::make_unique<Result<Outcome>>([&]() -> Result<Outcome> {
+          if (!report.ok()) return report.status();
+          Outcome out{std::move(*model), std::move(*support),
+                      std::move(report).value()};
+          return out;
+        }());
+        std::lock_guard<std::mutex> lock(mu_);
+        outcome_ = std::move(outcome);
+        state_ = State::kDone;
+      });
+}
+
+bool AsyncUpdater::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ != State::kIdle;
+}
+
+bool AsyncUpdater::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kDone;
+}
+
+Result<AsyncUpdater::Outcome> AsyncUpdater::Take() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kIdle) {
+      return Status::FailedPrecondition("no update was started");
+    }
+  }
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  MAGNETO_CHECK(state_ == State::kDone && outcome_ != nullptr);
+  Result<Outcome> result = std::move(*outcome_);
+  outcome_.reset();
+  state_ = State::kIdle;
+  return result;
+}
+
+}  // namespace magneto::core

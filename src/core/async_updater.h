@@ -1,0 +1,80 @@
+#ifndef MAGNETO_CORE_ASYNC_UPDATER_H_
+#define MAGNETO_CORE_ASYNC_UPDATER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_model.h"
+#include "core/incremental_learner.h"
+#include "core/support_set.h"
+#include "sensors/recording.h"
+
+namespace magneto::core {
+
+/// Runs an incremental update on a background thread against a *snapshot* of
+/// the deployment, so the foreground keeps classifying with the current model
+/// until the new one is ready — exactly what a responsive phone app needs
+/// during the paper's Figure 3(d) "Updating the Edge model" step.
+///
+/// Protocol: `StartLearn`/`StartCalibrate` (fails if an update is running) ->
+/// poll `ready()` (or just call `Take`, which blocks) -> `Take()` returns the
+/// updated model + support set for an atomic swap by the owner.
+class AsyncUpdater {
+ public:
+  /// The updated deployment produced by a background update.
+  struct Outcome {
+    EdgeModel model;
+    SupportSet support;
+    UpdateReport report;
+  };
+
+  explicit AsyncUpdater(IncrementalOptions options) : options_(options) {}
+
+  /// Joins any in-flight update (its result is discarded).
+  ~AsyncUpdater();
+
+  AsyncUpdater(const AsyncUpdater&) = delete;
+  AsyncUpdater& operator=(const AsyncUpdater&) = delete;
+
+  /// Snapshots `model` + `support` and learns `name` in the background.
+  Status StartLearn(const EdgeModel& model, const SupportSet& support,
+                    std::string name,
+                    std::vector<sensors::Recording> recordings);
+
+  /// Snapshots and re-calibrates activity `id` in the background.
+  Status StartCalibrate(const EdgeModel& model, const SupportSet& support,
+                        sensors::ActivityId id,
+                        std::vector<sensors::Recording> recordings);
+
+  /// True between a successful Start* and the matching Take().
+  bool busy() const;
+
+  /// True when the background work has finished and Take() will not block.
+  bool ready() const;
+
+  /// Waits for completion and returns the outcome (or the update's error).
+  /// Fails with kFailedPrecondition if no update was started.
+  Result<Outcome> Take();
+
+ private:
+  enum class State { kIdle, kRunning, kDone };
+
+  void Launch(EdgeModel snapshot_model, SupportSet snapshot_support,
+              std::function<Result<UpdateReport>(EdgeModel*, SupportSet*)>
+                  update);
+
+  IncrementalOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kIdle;
+  std::thread worker_;
+  std::unique_ptr<Result<Outcome>> outcome_;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_ASYNC_UPDATER_H_

@@ -1,0 +1,78 @@
+#include "core/cross_validation.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "learn/metrics.h"
+
+namespace magneto::core {
+
+Result<CrossValidationReport> CrossValidateCloud(
+    const CloudConfig& config,
+    const std::vector<sensors::LabeledRecording>& corpus,
+    const sensors::ActivityRegistry& registry, size_t folds, uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  if (corpus.size() < folds) {
+    return Status::InvalidArgument("fewer recordings than folds");
+  }
+
+  // Shuffle recording indices once, then deal them round-robin into folds —
+  // round-robin keeps the per-class balance of the (class-ordered) corpus.
+  std::vector<size_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  std::vector<size_t> fold_of(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) fold_of[order[i]] = i % folds;
+
+  CrossValidationReport report;
+  report.folds.reserve(folds);
+  for (size_t fold = 0; fold < folds; ++fold) {
+    std::vector<sensors::LabeledRecording> train, test;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      (fold_of[i] == fold ? test : train).push_back(corpus[i]);
+    }
+    if (test.empty() || train.empty()) {
+      return Status::InvalidArgument("fold " + std::to_string(fold) +
+                                     " is degenerate");
+    }
+
+    CloudInitializer cloud(config);
+    CloudReport cloud_report;
+    MAGNETO_ASSIGN_OR_RETURN(ModelBundle bundle,
+                             cloud.Initialize(train, registry, &cloud_report));
+    EdgeModel model = std::move(bundle).ToEdgeModel();
+    MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset eval,
+                             model.pipeline().ProcessLabeled(test));
+    if (eval.empty()) {
+      return Status::InvalidArgument("fold " + std::to_string(fold) +
+                                     " has no complete test windows");
+    }
+    learn::ConfusionMatrix cm;
+    MAGNETO_ASSIGN_OR_RETURN(auto pairs, model.Predict(eval));
+    for (const auto& [truth, pred] : pairs) cm.Add(truth, pred);
+
+    FoldResult result;
+    result.accuracy = cm.Accuracy();
+    result.macro_f1 = cm.MacroF1();
+    result.train_windows = cloud_report.training_windows;
+    result.test_windows = eval.size();
+    report.folds.push_back(result);
+  }
+
+  double sum = 0.0, sum2 = 0.0, f1 = 0.0;
+  for (const FoldResult& fold : report.folds) {
+    sum += fold.accuracy;
+    sum2 += fold.accuracy * fold.accuracy;
+    f1 += fold.macro_f1;
+  }
+  const double n = static_cast<double>(folds);
+  report.mean_accuracy = sum / n;
+  report.stddev_accuracy =
+      std::sqrt(std::max(0.0, sum2 / n - report.mean_accuracy *
+                                             report.mean_accuracy));
+  report.mean_macro_f1 = f1 / n;
+  return report;
+}
+
+}  // namespace magneto::core

@@ -1,0 +1,42 @@
+#ifndef MAGNETO_CORE_CROSS_VALIDATION_H_
+#define MAGNETO_CORE_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/cloud_initializer.h"
+
+namespace magneto::core {
+
+/// One fold's outcome.
+struct FoldResult {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  size_t train_windows = 0;
+  size_t test_windows = 0;
+};
+
+/// Aggregate over folds.
+struct CrossValidationReport {
+  std::vector<FoldResult> folds;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double mean_macro_f1 = 0.0;
+};
+
+/// k-fold cross-validation of the full cloud-initialization recipe at
+/// *recording* granularity: recordings (not windows) are partitioned so that
+/// windows from one capture never straddle the train/test boundary — window-
+/// level splits leak heavily because adjacent windows of one recording are
+/// nearly identical.
+///
+/// Each fold runs `CloudInitializer::Initialize` on the training recordings
+/// and evaluates NCM accuracy on the held-out ones. Deterministic in `seed`.
+Result<CrossValidationReport> CrossValidateCloud(
+    const CloudConfig& config,
+    const std::vector<sensors::LabeledRecording>& corpus,
+    const sensors::ActivityRegistry& registry, size_t folds, uint64_t seed);
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_CROSS_VALIDATION_H_

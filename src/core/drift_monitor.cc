@@ -1,0 +1,49 @@
+#include "core/drift_monitor.h"
+
+#include "common/logging.h"
+
+namespace magneto::core {
+
+DriftMonitor::DriftMonitor(Options options) : options_(options) {
+  MAGNETO_CHECK(options_.window >= 1);
+}
+
+void DriftMonitor::SetBaselineDistance(double distance) {
+  baseline_distance_ = distance;
+}
+
+double DriftMonitor::rolling_confidence() const {
+  if (history_.empty()) return 1.0;
+  double total = 0.0;
+  for (const Prediction& p : history_) total += p.confidence;
+  return total / static_cast<double>(history_.size());
+}
+
+double DriftMonitor::rolling_distance() const {
+  if (history_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Prediction& p : history_) total += p.distance;
+  return total / static_cast<double>(history_.size());
+}
+
+bool DriftMonitor::Observe(const Prediction& prediction) {
+  history_.push_back(prediction);
+  while (history_.size() > options_.window) history_.pop_front();
+  if (history_.size() < options_.window) {
+    drifting_ = false;  // not enough evidence yet
+    return false;
+  }
+  const bool low_confidence = rolling_confidence() < options_.min_confidence;
+  const bool far_from_prototypes =
+      baseline_distance_ > 0.0 &&
+      rolling_distance() > baseline_distance_ * options_.distance_factor;
+  drifting_ = low_confidence || far_from_prototypes;
+  return drifting_;
+}
+
+void DriftMonitor::Reset() {
+  history_.clear();
+  drifting_ = false;
+}
+
+}  // namespace magneto::core

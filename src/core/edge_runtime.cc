@@ -1,0 +1,201 @@
+#include "core/edge_runtime.h"
+
+namespace magneto::core {
+
+EdgeRuntime::EdgeRuntime(EdgeModel model, SupportSet support,
+                         IncrementalOptions options, double sample_rate_hz)
+    : model_(std::move(model)),
+      support_(std::move(support)),
+      update_options_(options),
+      learner_(options),
+      sample_rate_hz_(sample_rate_hz) {}
+
+Matrix EdgeRuntime::TakeWindow() {
+  const auto& seg = model_.pipeline().config().segmentation;
+  Matrix window(seg.window_samples, sensors::kNumChannels);
+  for (size_t r = 0; r < seg.window_samples; ++r) {
+    const sensors::Frame& f = stream_buffer_[r];
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      window.At(r, c) = f[c];
+    }
+  }
+  // Advance by the stride. With stride > window (gapped sampling) the
+  // surplus frames have not arrived yet; remember how many to discard.
+  const size_t advance = std::min(seg.stride, stream_buffer_.size());
+  stream_buffer_.erase(stream_buffer_.begin(),
+                       stream_buffer_.begin() + advance);
+  pending_skip_ = seg.stride - advance;
+  return window;
+}
+
+Result<std::optional<NamedPrediction>> EdgeRuntime::PushFrame(
+    const sensors::Frame& frame) {
+  ++stats_.frames;
+  if (mode_ == RuntimeMode::kRecording) {
+    capture_buffer_.push_back(frame);
+    return std::optional<NamedPrediction>{};
+  }
+  if (pending_skip_ > 0) {
+    --pending_skip_;
+    return std::optional<NamedPrediction>{};
+  }
+  stream_buffer_.push_back(frame);
+  const auto& seg = model_.pipeline().config().segmentation;
+  if (stream_buffer_.size() < seg.window_samples) {
+    return std::optional<NamedPrediction>{};
+  }
+  Matrix window = TakeWindow();
+  ++stats_.windows;
+  MAGNETO_ASSIGN_OR_RETURN(NamedPrediction pred, model_.InferWindow(window));
+  ++stats_.predictions;
+  if (smoother_ != nullptr) pred = smoother_->Push(pred);
+  if (drift_monitor_ != nullptr) drift_monitor_->Observe(pred.prediction);
+  if (journal_ != nullptr) journal_->Record(pred);
+  last_prediction_ = pred;
+  return std::optional<NamedPrediction>(std::move(pred));
+}
+
+Status EdgeRuntime::StartRecording() {
+  if (mode_ == RuntimeMode::kRecording) {
+    return Status::FailedPrecondition("already recording");
+  }
+  mode_ = RuntimeMode::kRecording;
+  capture_buffer_.clear();
+  stream_buffer_.clear();  // stale inference context would straddle modes
+  if (smoother_ != nullptr) smoother_->Reset();
+  if (drift_monitor_ != nullptr) drift_monitor_->Reset();
+  return Status::Ok();
+}
+
+sensors::Recording EdgeRuntime::FinishCapture() {
+  sensors::Recording rec;
+  rec.sample_rate_hz = sample_rate_hz_;
+  rec.samples.Reset(capture_buffer_.size(), sensors::kNumChannels);
+  for (size_t r = 0; r < capture_buffer_.size(); ++r) {
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      rec.samples.At(r, c) = capture_buffer_[r][c];
+    }
+  }
+  capture_buffer_.clear();
+  mode_ = RuntimeMode::kInference;
+  return rec;
+}
+
+Result<UpdateReport> EdgeRuntime::FinishRecordingAndLearn(
+    const std::string& name) {
+  if (mode_ != RuntimeMode::kRecording) {
+    return Status::FailedPrecondition("not recording");
+  }
+  sensors::Recording rec = FinishCapture();
+  MAGNETO_ASSIGN_OR_RETURN(
+      UpdateReport report,
+      learner_.LearnNewActivity(&model_, &support_, name, {rec}));
+  ++stats_.updates;
+  return report;
+}
+
+Result<UpdateReport> EdgeRuntime::FinishRecordingAndCalibrate(
+    const std::string& name) {
+  if (mode_ != RuntimeMode::kRecording) {
+    return Status::FailedPrecondition("not recording");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(sensors::ActivityId id,
+                           model_.registry().IdOf(name));
+  sensors::Recording rec = FinishCapture();
+  MAGNETO_ASSIGN_OR_RETURN(
+      UpdateReport report, learner_.Calibrate(&model_, &support_, id, {rec}));
+  ++stats_.updates;
+  return report;
+}
+
+void EdgeRuntime::CancelRecording() {
+  capture_buffer_.clear();
+  mode_ = RuntimeMode::kInference;
+}
+
+Status EdgeRuntime::FinishRecordingAndLearnAsync(const std::string& name) {
+  if (mode_ != RuntimeMode::kRecording) {
+    return Status::FailedPrecondition("not recording");
+  }
+  if (UpdatePending()) {
+    return Status::FailedPrecondition("an update is already in flight");
+  }
+  sensors::Recording rec = FinishCapture();
+  if (updater_ == nullptr) {
+    updater_ = std::make_unique<AsyncUpdater>(update_options_);
+  }
+  return updater_->StartLearn(model_, support_, name, {std::move(rec)});
+}
+
+Status EdgeRuntime::FinishRecordingAndCalibrateAsync(const std::string& name) {
+  if (mode_ != RuntimeMode::kRecording) {
+    return Status::FailedPrecondition("not recording");
+  }
+  if (UpdatePending()) {
+    return Status::FailedPrecondition("an update is already in flight");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(sensors::ActivityId id,
+                           model_.registry().IdOf(name));
+  sensors::Recording rec = FinishCapture();
+  if (updater_ == nullptr) {
+    updater_ = std::make_unique<AsyncUpdater>(update_options_);
+  }
+  return updater_->StartCalibrate(model_, support_, id, {std::move(rec)});
+}
+
+bool EdgeRuntime::UpdatePending() const {
+  return updater_ != nullptr && updater_->busy();
+}
+
+bool EdgeRuntime::UpdateReady() const {
+  return updater_ != nullptr && updater_->ready();
+}
+
+Result<UpdateReport> EdgeRuntime::CommitUpdate() {
+  if (updater_ == nullptr) {
+    return Status::FailedPrecondition("no update was started");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(AsyncUpdater::Outcome outcome, updater_->Take());
+  // Atomic from the caller's perspective: between PushFrame calls.
+  model_ = std::move(outcome.model);
+  support_ = std::move(outcome.support);
+  stream_buffer_.clear();
+  if (smoother_ != nullptr) smoother_->Reset();
+  if (drift_monitor_ != nullptr) drift_monitor_->Reset();
+  ++stats_.updates;
+  return std::move(outcome.report);
+}
+
+void EdgeRuntime::EnableSmoothing(PredictionSmoother::Options options) {
+  smoother_ = std::make_unique<PredictionSmoother>(options);
+}
+
+void EdgeRuntime::DisableSmoothing() { smoother_.reset(); }
+
+void EdgeRuntime::EnableDriftMonitoring(DriftMonitor::Options options,
+                                        double baseline_distance) {
+  drift_monitor_ = std::make_unique<DriftMonitor>(options);
+  drift_monitor_->SetBaselineDistance(baseline_distance);
+}
+
+void EdgeRuntime::DisableDriftMonitoring() { drift_monitor_.reset(); }
+
+bool EdgeRuntime::Drifting() const {
+  return drift_monitor_ != nullptr && drift_monitor_->drifting();
+}
+
+void EdgeRuntime::EnableJournal() {
+  const auto& seg = model_.pipeline().config().segmentation;
+  journal_ = std::make_unique<ActivityJournal>(
+      sample_rate_hz_ > 0
+          ? static_cast<double>(seg.stride) / sample_rate_hz_
+          : 1.0);
+}
+
+double EdgeRuntime::recorded_seconds() const {
+  return sample_rate_hz_ > 0
+             ? static_cast<double>(capture_buffer_.size()) / sample_rate_hz_
+             : 0.0;
+}
+
+}  // namespace magneto::core

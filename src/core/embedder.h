@@ -1,0 +1,29 @@
+#ifndef MAGNETO_CORE_EMBEDDER_H_
+#define MAGNETO_CORE_EMBEDDER_H_
+
+#include <cstddef>
+
+#include "common/matrix.h"
+
+namespace magneto::core {
+
+/// Maps preprocessed feature vectors into the learned embedding space.
+///
+/// Abstracting this (rather than passing `nn::Sequential` around) lets the
+/// support-set herding and the NCM classifier stay independent of the
+/// backbone implementation — the paper notes the FC backbone "can be replaced
+/// by any other advanced networks".
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Embeds a batch (rows = feature vectors). Non-const because network
+  /// forward passes cache activations.
+  virtual Matrix Embed(const Matrix& features) = 0;
+
+  virtual size_t embedding_dim() const = 0;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_EMBEDDER_H_

@@ -1,0 +1,133 @@
+#include "core/incremental_learner.h"
+
+#include "common/random.h"
+#include "learn/ewc.h"
+
+namespace magneto::core {
+
+Result<UpdateReport> IncrementalLearner::LearnNewActivity(
+    EdgeModel* model, SupportSet* support, const std::string& name,
+    const std::vector<sensors::Recording>& recordings) const {
+  if (model == nullptr || support == nullptr) {
+    return Status::InvalidArgument("model and support must not be null");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(sensors::ActivityId id,
+                           model->registry().Register(name));
+  auto report = Update(model, support, id, recordings, /*is_new_class=*/true);
+  if (!report.ok()) {
+    // Roll back the registration so a failed capture can be retried under
+    // the same name.
+    // (Registry has no unregister; re-register would collide.)
+    // NOTE: ids are never reused, so simply removing the name is safe.
+    // We reconstruct the registry without the failed entry.
+    sensors::ActivityRegistry cleaned;
+    for (sensors::ActivityId existing : model->registry().Ids()) {
+      if (existing == id) continue;
+      auto existing_name = model->registry().NameOf(existing);
+      MAGNETO_CHECK(existing_name.ok());
+      MAGNETO_CHECK(
+          cleaned.RegisterWithId(existing, existing_name.value()).ok());
+    }
+    model->registry() = std::move(cleaned);
+  }
+  return report;
+}
+
+Result<UpdateReport> IncrementalLearner::Calibrate(
+    EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+    const std::vector<sensors::Recording>& recordings) const {
+  if (model == nullptr || support == nullptr) {
+    return Status::InvalidArgument("model and support must not be null");
+  }
+  if (!model->registry().Contains(id)) {
+    return Status::NotFound("cannot calibrate unknown activity: " +
+                            std::to_string(id));
+  }
+  if (!support->HasClass(id)) {
+    return Status::FailedPrecondition(
+        "activity has no support data to replace: " + std::to_string(id));
+  }
+  return Update(model, support, id, recordings, /*is_new_class=*/false);
+}
+
+Result<UpdateReport> IncrementalLearner::Update(
+    EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+    const std::vector<sensors::Recording>& recordings,
+    bool is_new_class) const {
+  // (1) Preprocess the user's capture with the frozen pipeline.
+  std::vector<sensors::LabeledRecording> labeled;
+  labeled.reserve(recordings.size());
+  for (const sensors::Recording& rec : recordings) {
+    labeled.push_back({rec, id});
+  }
+  MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset new_data,
+                           model->pipeline().ProcessLabeled(labeled));
+  if (new_data.empty()) {
+    return Status::InvalidArgument(
+        "recordings yielded no complete windows; record for longer");
+  }
+
+  // (2) Freeze the pre-update backbone as the distillation teacher. The
+  // distillation targets are the embeddings of the *retained* knowledge:
+  // every support class except the one being (re)learned.
+  const sensors::FeatureDataset retained =
+      is_new_class ? support->AsDataset() : support->DatasetExcluding(id);
+
+  // (3) Joint retraining on old exemplars + fresh windows (or, with
+  // rehearsal disabled, the naive fine-tuning baseline).
+  sensors::FeatureDataset train_data =
+      options_.rehearse_support ? retained : sensors::FeatureDataset{};
+  train_data.Merge(new_data);
+
+  learn::TrainOptions train_options = options_.train;
+  const bool distill =
+      train_options.distill_weight > 0.0 && !retained.empty();
+  const bool use_ewc = options_.ewc_weight > 0.0 && !retained.empty();
+  train_options.ewc_weight = use_ewc ? options_.ewc_weight : 0.0;
+
+  // EWC importance is measured on the *pre-update* model against the
+  // retained knowledge, before any weight moves.
+  std::unique_ptr<learn::EwcRegularizer> ewc;
+  if (use_ewc) {
+    learn::EwcRegularizer::Options ewc_options;
+    ewc_options.margin = train_options.margin;
+    ewc_options.seed = options_.seed ^ 0x5757;
+    MAGNETO_ASSIGN_OR_RETURN(
+        learn::EwcRegularizer estimated,
+        learn::EwcRegularizer::Estimate(&model->backbone(), retained,
+                                        ewc_options));
+    ewc = std::make_unique<learn::EwcRegularizer>(std::move(estimated));
+  }
+
+  learn::SiameseTrainer trainer(train_options);
+  learn::TrainReport train_report;
+  if (distill) {
+    nn::Sequential teacher = model->backbone().Clone();
+    MAGNETO_ASSIGN_OR_RETURN(
+        train_report,
+        trainer.Train(&model->backbone(), train_data, &teacher, &retained,
+                      ewc.get()));
+  } else {
+    MAGNETO_ASSIGN_OR_RETURN(
+        train_report,
+        trainer.Train(&model->backbone(), train_data, nullptr, nullptr,
+                      ewc.get()));
+  }
+
+  // (4) Support-set update: fold in (or, for calibration, replace with) the
+  // fresh windows, herded through the *updated* embedding space.
+  Rng rng(options_.seed ^ static_cast<uint64_t>(id));
+  MAGNETO_RETURN_IF_ERROR(support->SetClass(id, new_data, model, &rng));
+
+  // (5) All prototypes move when the backbone moves — rebuild every class.
+  MAGNETO_RETURN_IF_ERROR(model->RebuildPrototypes(*support));
+
+  UpdateReport report;
+  report.activity = id;
+  report.new_windows = new_data.size();
+  report.train = std::move(train_report);
+  report.support_bytes = support->MemoryBytes();
+  return report;
+}
+
+}  // namespace magneto::core

@@ -1,0 +1,94 @@
+#ifndef MAGNETO_CORE_INCREMENTAL_LEARNER_H_
+#define MAGNETO_CORE_INCREMENTAL_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_model.h"
+#include "core/support_set.h"
+#include "learn/siamese_trainer.h"
+#include "sensors/recording.h"
+
+namespace magneto::core {
+
+/// Hyperparameters of an on-device update.
+struct IncrementalOptions {
+  /// Edge retraining config. `distill_weight` > 0 activates the paper's
+  /// anti-forgetting term; set to 0 to reproduce the catastrophic-forgetting
+  /// baseline (ablated in bench_incremental).
+  learn::TrainOptions train = [] {
+    learn::TrainOptions t;
+    t.epochs = 15;
+    t.batch_size = 32;
+    t.learning_rate = 5e-4;
+    t.distill_weight = 1.0;
+    return t;
+  }();
+
+  /// Weight of the EWC penalty against the pre-update parameters (0 =
+  /// disabled). Ablated in bench_incremental as the regularisation-based
+  /// alternative to the paper's rehearsal + distillation.
+  double ewc_weight = 0.0;
+
+  /// If true (the paper's recipe, §3.3 step 3), the retraining set is the
+  /// support set plus the fresh windows. If false, training sees only the
+  /// fresh windows — naive fine-tuning, the catastrophic-forgetting baseline
+  /// ablated in bench_incremental.
+  bool rehearse_support = true;
+
+  uint64_t seed = 99;
+};
+
+/// Outcome of one on-device update.
+struct UpdateReport {
+  sensors::ActivityId activity = -1;
+  size_t new_windows = 0;       ///< windows extracted from the recordings
+  learn::TrainReport train;
+  size_t support_bytes = 0;     ///< support-set payload after the update
+};
+
+/// Definition 2 of the paper, executed entirely on the edge device:
+/// enriches the model with the user's personal data, either by learning a
+/// brand-new activity or by re-calibrating an existing one, without
+/// forgetting what the cloud model knew.
+///
+/// The update recipe (§3.3):
+///   1. preprocess the user's fresh recording into feature windows,
+///   2. freeze a copy of the current backbone as the distillation teacher,
+///   3. retrain on {old support set} U {new windows} with the joint
+///      contrastive + distillation objective,
+///   4. fold the new windows into the support set (herding),
+///   5. recompute all NCM prototypes through the updated backbone.
+class IncrementalLearner {
+ public:
+  explicit IncrementalLearner(IncrementalOptions options)
+      : options_(options) {}
+
+  const IncrementalOptions& options() const { return options_; }
+
+  /// Learns a new activity named `name` from the user's recordings. Registers
+  /// the name in the model's registry and returns the update report.
+  Result<UpdateReport> LearnNewActivity(
+      EdgeModel* model, SupportSet* support, const std::string& name,
+      const std::vector<sensors::Recording>& recordings) const;
+
+  /// Re-calibrates the existing activity `id` to the user's personal style:
+  /// identical to re-training, except the activity's support data is
+  /// *replaced* by the newly acquired data (§3.3, final paragraph).
+  Result<UpdateReport> Calibrate(
+      EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+      const std::vector<sensors::Recording>& recordings) const;
+
+ private:
+  Result<UpdateReport> Update(
+      EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+      const std::vector<sensors::Recording>& recordings,
+      bool is_new_class) const;
+
+  IncrementalOptions options_;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_INCREMENTAL_LEARNER_H_

@@ -1,0 +1,79 @@
+#include "core/knn_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace magneto::core {
+
+Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
+                                                    Embedder* embedder,
+                                                    Options options) {
+  if (embedder == nullptr) {
+    return Status::InvalidArgument("embedder must not be null");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (support.NumClasses() == 0) {
+    return Status::InvalidArgument("support set is empty");
+  }
+
+  KnnClassifier knn;
+  knn.options_ = options;
+
+  sensors::FeatureDataset all = support.AsDataset();
+  knn.embeddings_ = embedder->Embed(all.ToMatrix());
+  knn.labels_ = all.labels();
+  knn.dim_ = knn.embeddings_.cols();
+  return knn;
+}
+
+Result<Prediction> KnnClassifier::Classify(const float* embedding,
+                                           size_t n) const {
+  if (labels_.empty()) {
+    return Status::FailedPrecondition("classifier has no exemplars");
+  }
+  if (n != dim_) {
+    return Status::InvalidArgument("embedding dim " + std::to_string(n) +
+                                   " != classifier dim " +
+                                   std::to_string(dim_));
+  }
+
+  // Distances to all exemplars; partial sort for the k nearest.
+  std::vector<std::pair<double, size_t>> dist(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    dist[i] = {std::sqrt(SquaredL2(embedding, embeddings_.RowPtr(i), dim_)),
+               i};
+  }
+  const size_t k = std::min(options_.k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+
+  std::map<sensors::ActivityId, double> votes;
+  std::map<sensors::ActivityId, double> nearest;
+  double total_vote = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    const auto& [d, idx] = dist[j];
+    const sensors::ActivityId label = labels_[idx];
+    const double w = options_.distance_weighted ? 1.0 / (d + 1e-6) : 1.0;
+    votes[label] += w;
+    total_vote += w;
+    auto it = nearest.find(label);
+    if (it == nearest.end() || d < it->second) nearest[label] = d;
+  }
+
+  Prediction pred;
+  double best = -1.0;
+  for (const auto& [label, vote] : votes) {
+    if (vote > best) {
+      best = vote;
+      pred.activity = label;
+    }
+  }
+  pred.distance = nearest[pred.activity];
+  pred.confidence = total_vote > 0.0 ? best / total_vote : 0.0;
+  return pred;
+}
+
+}  // namespace magneto::core

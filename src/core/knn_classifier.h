@@ -1,0 +1,60 @@
+#ifndef MAGNETO_CORE_KNN_CLASSIFIER_H_
+#define MAGNETO_CORE_KNN_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/embedder.h"
+#include "core/ncm_classifier.h"
+#include "core/support_set.h"
+#include "sensors/activity.h"
+
+namespace magneto::core {
+
+/// k-nearest-neighbour classifier over the embedded support exemplars — the
+/// classical alternative the related work builds on (Shapelet features with
+/// a kNN classifier, §2.2). Kept as a drop-in baseline against NCM:
+/// it stores every exemplar embedding (k x the memory of NCM's single
+/// prototype per class) and pays O(support size) per query instead of
+/// O(classes); bench_pretraining reports the trade.
+class KnnClassifier {
+ public:
+  struct Options {
+    size_t k = 5;
+    /// Weight votes by 1/(distance + eps) instead of uniformly.
+    bool distance_weighted = true;
+  };
+
+  /// Embeds every support exemplar through `embedder`.
+  static Result<KnnClassifier> FromSupportSet(const SupportSet& support,
+                                              Embedder* embedder,
+                                              Options options);
+
+  size_t num_examples() const { return labels_.size(); }
+  size_t embedding_dim() const { return dim_; }
+  const Options& options() const { return options_; }
+
+  /// Bytes of stored exemplar embeddings.
+  size_t MemoryBytes() const { return embeddings_.size() * sizeof(float); }
+
+  /// Classifies one embedding: majority (or distance-weighted) vote among
+  /// the k nearest stored exemplars. `Prediction::distance` is the distance
+  /// to the nearest exemplar of the winning class; `confidence` is the
+  /// winning class's share of the vote mass.
+  Result<Prediction> Classify(const float* embedding, size_t n) const;
+  Result<Prediction> Classify(const std::vector<float>& embedding) const {
+    return Classify(embedding.data(), embedding.size());
+  }
+
+ private:
+  KnnClassifier() = default;
+
+  Options options_;
+  size_t dim_ = 0;
+  Matrix embeddings_;  ///< num_examples x dim
+  std::vector<sensors::ActivityId> labels_;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_KNN_CLASSIFIER_H_

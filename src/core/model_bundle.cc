@@ -1,0 +1,89 @@
+#include "core/model_bundle.h"
+
+#include <cstring>
+
+namespace magneto::core {
+
+namespace {
+constexpr char kMagic[4] = {'M', 'G', 'T', 'O'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string ModelBundle::SerializeToString() const {
+  BinaryWriter payload;
+  pipeline.Serialize(&payload);
+  backbone.Serialize(&payload);
+  classifier.Serialize(&payload);
+  registry.Serialize(&payload);
+  support.Serialize(&payload);
+  const std::string& body = payload.buffer();
+
+  BinaryWriter out;
+  out.WriteBytes(kMagic, sizeof(kMagic));
+  out.WriteU32(kVersion);
+  out.WriteU64(body.size());
+  out.WriteBytes(body.data(), body.size());
+  out.WriteU32(Crc32(body.data(), body.size()));
+  return out.TakeBuffer();
+}
+
+Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::Corruption("bundle too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad bundle magic");
+  }
+  BinaryReader header(bytes.data() + sizeof(kMagic),
+                      bytes.size() - sizeof(kMagic));
+  MAGNETO_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported bundle version: " +
+                              std::to_string(version));
+  }
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t body_size, header.ReadU64());
+  if (header.remaining() < body_size + sizeof(uint32_t)) {
+    return Status::Corruption("truncated bundle body");
+  }
+  const char* body = bytes.data() + (bytes.size() - header.remaining());
+  BinaryReader body_reader(body, body_size);
+
+  BinaryReader crc_reader(body + body_size, sizeof(uint32_t));
+  MAGNETO_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.ReadU32());
+  if (Crc32(body, body_size) != stored_crc) {
+    return Status::Corruption("bundle checksum mismatch");
+  }
+
+  ModelBundle bundle;
+  MAGNETO_ASSIGN_OR_RETURN(bundle.pipeline,
+                           preprocess::Pipeline::Deserialize(&body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
+                           nn::Sequential::Deserialize(&body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.classifier,
+                           NcmClassifier::Deserialize(&body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.registry,
+                           sensors::ActivityRegistry::Deserialize(&body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.support,
+                           SupportSet::Deserialize(&body_reader));
+  if (!body_reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in bundle body");
+  }
+  return bundle;
+}
+
+Status ModelBundle::SaveToFile(const std::string& path) const {
+  return WriteFile(path, SerializeToString());
+}
+
+Result<ModelBundle> ModelBundle::LoadFromFile(const std::string& path) {
+  MAGNETO_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  return FromString(bytes);
+}
+
+EdgeModel ModelBundle::ToEdgeModel() && {
+  return EdgeModel(std::move(pipeline), std::move(backbone),
+                   std::move(classifier), std::move(registry));
+}
+
+}  // namespace magneto::core

@@ -1,0 +1,55 @@
+#ifndef MAGNETO_CORE_MODEL_BUNDLE_H_
+#define MAGNETO_CORE_MODEL_BUNDLE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/edge_model.h"
+#include "core/ncm_classifier.h"
+#include "core/support_set.h"
+#include "nn/sequential.h"
+#include "preprocess/pipeline.h"
+#include "sensors/activity.h"
+
+namespace magneto::core {
+
+/// The single artifact that crosses the cloud -> edge link (§3.2): the
+/// pre-processing function (with frozen normaliser stats), the initial ML
+/// model, the support set, plus the activity registry and NCM prototypes
+/// derived from them.
+///
+/// Wire format (".magneto" file): magic "MGTO", u32 version, u64 payload
+/// length, payload, u32 CRC-32 of the payload. Move-only (owns the backbone).
+struct ModelBundle {
+  preprocess::Pipeline pipeline;
+  nn::Sequential backbone;
+  NcmClassifier classifier;
+  sensors::ActivityRegistry registry;
+  SupportSet support{200, SelectionStrategy::kHerding};
+
+  ModelBundle() = default;
+  ModelBundle(ModelBundle&&) noexcept = default;
+  ModelBundle& operator=(ModelBundle&&) noexcept = default;
+
+  /// Serialises the whole bundle (with header and checksum).
+  std::string SerializeToString() const;
+
+  /// Parses and checksum-verifies a serialised bundle.
+  static Result<ModelBundle> FromString(const std::string& bytes);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<ModelBundle> LoadFromFile(const std::string& path);
+
+  /// Exact size of the artifact the edge must store — the paper's "< 5 MB"
+  /// claim (§4.2.2) is measured on this.
+  size_t SerializedBytes() const { return SerializeToString().size(); }
+
+  /// Consumes the bundle into a runnable edge model. The support set is not
+  /// part of `EdgeModel`; move `support` out separately (the edge runtime
+  /// owns it next to the model).
+  EdgeModel ToEdgeModel() &&;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_MODEL_BUNDLE_H_

@@ -1,0 +1,132 @@
+#include "core/ncm_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magneto::core {
+
+Status NcmClassifier::SetPrototypeFromEmbeddings(sensors::ActivityId id,
+                                                 const Matrix& embeddings) {
+  if (embeddings.rows() == 0) {
+    return Status::InvalidArgument("no embeddings for class " +
+                                   std::to_string(id));
+  }
+  if (dim_ == 0) {
+    dim_ = embeddings.cols();
+  } else if (embeddings.cols() != dim_) {
+    return Status::InvalidArgument("embedding dim mismatch: expected " +
+                                   std::to_string(dim_) + ", got " +
+                                   std::to_string(embeddings.cols()));
+  }
+  prototypes_[id] = embeddings.ColMean().Row(0);
+  return Status::Ok();
+}
+
+Result<NcmClassifier> NcmClassifier::FromSupportSet(const SupportSet& support,
+                                                    Embedder* embedder) {
+  if (embedder == nullptr) {
+    return Status::InvalidArgument("embedder must not be null");
+  }
+  NcmClassifier ncm;
+  for (sensors::ActivityId id : support.Classes()) {
+    MAGNETO_ASSIGN_OR_RETURN(Matrix exemplars, support.ClassExemplars(id));
+    Matrix embeddings = embedder->Embed(exemplars);
+    MAGNETO_RETURN_IF_ERROR(ncm.SetPrototypeFromEmbeddings(id, embeddings));
+  }
+  if (ncm.num_classes() == 0) {
+    return Status::InvalidArgument("support set is empty");
+  }
+  return ncm;
+}
+
+Status NcmClassifier::RemoveClass(sensors::ActivityId id) {
+  if (prototypes_.erase(id) == 0) {
+    return Status::NotFound("class not in classifier: " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+std::vector<sensors::ActivityId> NcmClassifier::Classes() const {
+  std::vector<sensors::ActivityId> out;
+  out.reserve(prototypes_.size());
+  for (const auto& [id, proto] : prototypes_) out.push_back(id);
+  return out;
+}
+
+Result<std::vector<float>> NcmClassifier::Prototype(
+    sensors::ActivityId id) const {
+  auto it = prototypes_.find(id);
+  if (it == prototypes_.end()) {
+    return Status::NotFound("class not in classifier: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<std::vector<std::pair<sensors::ActivityId, double>>>
+NcmClassifier::Distances(const float* embedding, size_t n) const {
+  if (prototypes_.empty()) {
+    return Status::FailedPrecondition("classifier has no prototypes");
+  }
+  if (n != dim_) {
+    return Status::InvalidArgument("embedding dim " + std::to_string(n) +
+                                   " != classifier dim " +
+                                   std::to_string(dim_));
+  }
+  std::vector<std::pair<sensors::ActivityId, double>> out;
+  out.reserve(prototypes_.size());
+  for (const auto& [id, proto] : prototypes_) {
+    out.emplace_back(
+        id, std::sqrt(SquaredL2(embedding, proto.data(), dim_)));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+Result<Prediction> NcmClassifier::Classify(const float* embedding,
+                                           size_t n) const {
+  MAGNETO_ASSIGN_OR_RETURN(auto distances, Distances(embedding, n));
+  Prediction pred;
+  pred.activity = distances.front().first;
+  pred.distance = distances.front().second;
+  // Confidence: softmax over negative distances.
+  double denom = 0.0;
+  const double dmin = distances.front().second;
+  for (const auto& [id, d] : distances) denom += std::exp(dmin - d);
+  pred.confidence = 1.0 / denom;
+  return pred;
+}
+
+Result<Prediction> NcmClassifier::ClassifyWithRejection(
+    const float* embedding, size_t n, double reject_threshold) const {
+  MAGNETO_ASSIGN_OR_RETURN(Prediction pred, Classify(embedding, n));
+  if (pred.distance > reject_threshold) pred.activity = kUnknownActivity;
+  return pred;
+}
+
+void NcmClassifier::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(dim_);
+  writer->WriteU64(prototypes_.size());
+  for (const auto& [id, proto] : prototypes_) {
+    writer->WriteI64(id);
+    writer->WriteF32Vector(proto);
+  }
+}
+
+Result<NcmClassifier> NcmClassifier::Deserialize(BinaryReader* reader) {
+  NcmClassifier ncm;
+  MAGNETO_ASSIGN_OR_RETURN(ncm.dim_, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  for (uint64_t i = 0; i < n; ++i) {
+    MAGNETO_ASSIGN_OR_RETURN(int64_t id, reader->ReadI64());
+    MAGNETO_ASSIGN_OR_RETURN(std::vector<float> proto,
+                             reader->ReadF32Vector());
+    if (proto.size() != ncm.dim_) {
+      return Status::Corruption("prototype dim mismatch");
+    }
+    ncm.prototypes_[id] = std::move(proto);
+  }
+  return ncm;
+}
+
+}  // namespace magneto::core

@@ -1,0 +1,86 @@
+#ifndef MAGNETO_CORE_NCM_CLASSIFIER_H_
+#define MAGNETO_CORE_NCM_CLASSIFIER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "core/embedder.h"
+#include "core/support_set.h"
+#include "sensors/activity.h"
+
+namespace magneto::core {
+
+/// Sentinel id for open-set rejection: "none of the known activities".
+inline constexpr sensors::ActivityId kUnknownActivity = -1;
+
+/// One inference outcome.
+struct Prediction {
+  sensors::ActivityId activity = kUnknownActivity;
+  double distance = 0.0;    ///< Euclidean distance to the winning prototype
+  double confidence = 0.0;  ///< softmax over negative distances
+  bool is_unknown() const { return activity == kUnknownActivity; }
+};
+
+/// Nearest-class-mean classifier over the embedding space (§3.1).
+///
+/// The decisive property for MAGNETO: adding a class is *one mean
+/// computation* — no output-layer surgery, no softmax retraining — which is
+/// why the platform can learn user activities on-device in seconds. Each
+/// prototype is the mean embedding of that class's support exemplars.
+class NcmClassifier {
+ public:
+  NcmClassifier() = default;
+
+  /// Builds/overwrites the prototype of one class from its embeddings
+  /// (rows = exemplar embeddings).
+  Status SetPrototypeFromEmbeddings(sensors::ActivityId id,
+                                    const Matrix& embeddings);
+
+  /// Builds all prototypes from a support set, embedding every exemplar
+  /// through `embedder`. Clears previous prototypes.
+  static Result<NcmClassifier> FromSupportSet(const SupportSet& support,
+                                              Embedder* embedder);
+
+  Status RemoveClass(sensors::ActivityId id);
+
+  size_t num_classes() const { return prototypes_.size(); }
+  size_t embedding_dim() const { return dim_; }
+  bool HasClass(sensors::ActivityId id) const {
+    return prototypes_.count(id) > 0;
+  }
+  std::vector<sensors::ActivityId> Classes() const;
+
+  Result<std::vector<float>> Prototype(sensors::ActivityId id) const;
+
+  /// Classifies one embedding (length must equal embedding_dim()).
+  Result<Prediction> Classify(const float* embedding, size_t n) const;
+  Result<Prediction> Classify(const std::vector<float>& embedding) const {
+    return Classify(embedding.data(), embedding.size());
+  }
+
+  /// Open-set variant: if the nearest prototype is farther than
+  /// `reject_threshold`, the prediction is `kUnknownActivity` (the distance
+  /// and confidence of the would-be winner are preserved for display).
+  /// A practical threshold is a small multiple of the typical intra-class
+  /// distance in the trained embedding — see `CalibrateRejectionThreshold`.
+  Result<Prediction> ClassifyWithRejection(const float* embedding, size_t n,
+                                           double reject_threshold) const;
+
+  /// Distance to every prototype, ascending by distance.
+  Result<std::vector<std::pair<sensors::ActivityId, double>>> Distances(
+      const float* embedding, size_t n) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<NcmClassifier> Deserialize(BinaryReader* reader);
+
+ private:
+  size_t dim_ = 0;
+  std::map<sensors::ActivityId, std::vector<float>> prototypes_;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_NCM_CLASSIFIER_H_

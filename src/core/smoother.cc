@@ -1,0 +1,51 @@
+#include "core/smoother.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace magneto::core {
+
+PredictionSmoother::PredictionSmoother(Options options) : options_(options) {
+  MAGNETO_CHECK(options_.window >= 1);
+}
+
+NamedPrediction PredictionSmoother::Push(const NamedPrediction& raw) {
+  if (raw.prediction.confidence >= options_.min_confidence) {
+    history_.push_back(raw);
+    while (history_.size() > options_.window) history_.pop_front();
+  }
+  if (history_.empty()) return raw;
+
+  // Confidence-weighted vote over the history.
+  std::map<sensors::ActivityId, double> votes;
+  double total = 0.0;
+  for (const NamedPrediction& p : history_) {
+    votes[p.prediction.activity] += p.prediction.confidence;
+    total += p.prediction.confidence;
+  }
+  sensors::ActivityId winner = raw.prediction.activity;
+  double best = -1.0;
+  for (const auto& [label, vote] : votes) {
+    if (vote > best) {
+      best = vote;
+      winner = label;
+    }
+  }
+
+  // Report the most recent raw prediction of the winning class (name and
+  // distance stay meaningful), with the smoothed confidence.
+  NamedPrediction out = raw;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->prediction.activity == winner) {
+      out = *it;
+      break;
+    }
+  }
+  out.prediction.confidence = total > 0.0 ? best / total : 0.0;
+  return out;
+}
+
+void PredictionSmoother::Reset() { history_.clear(); }
+
+}  // namespace magneto::core

@@ -1,0 +1,44 @@
+#ifndef MAGNETO_CORE_SMOOTHER_H_
+#define MAGNETO_CORE_SMOOTHER_H_
+
+#include <deque>
+
+#include "core/edge_model.h"
+
+namespace magneto::core {
+
+/// Temporal post-processing of the per-window prediction stream — the
+/// "post-processing and result interpretation" stage the paper's intro names
+/// as part of a complete HAR pipeline.
+///
+/// A single noisy window (a pothole during Drive, one arm swing during Walk)
+/// should not flip the displayed activity. The smoother majority-votes over
+/// the last `window` predictions, weighting each vote by its confidence, and
+/// only switches its output once the new activity actually wins the window.
+/// Latency cost: a switch is confirmed after about `window/2` windows.
+class PredictionSmoother {
+ public:
+  struct Options {
+    size_t window = 5;          ///< vote history length, >= 1
+    double min_confidence = 0.0;///< raw predictions below this don't vote
+  };
+
+  explicit PredictionSmoother(Options options);
+
+  /// Feeds one raw prediction, returns the smoothed one. The smoothed
+  /// confidence is the winning class's share of the vote mass.
+  NamedPrediction Push(const NamedPrediction& raw);
+
+  /// Clears history (call on mode switches or after a model update).
+  void Reset();
+
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  Options options_;
+  std::deque<NamedPrediction> history_;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_SMOOTHER_H_

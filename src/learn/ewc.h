@@ -1,0 +1,62 @@
+#ifndef MAGNETO_LEARN_EWC_H_
+#define MAGNETO_LEARN_EWC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/sequential.h"
+#include "sensors/dataset.h"
+
+namespace magneto::learn {
+
+/// Elastic Weight Consolidation (Kirkpatrick et al.), the classic
+/// regularisation-based alternative to MAGNETO's rehearsal + distillation
+/// recipe — one of the continual-learning families surveyed in the paper's
+/// reference [3]. Implemented here so bench_incremental can ablate the
+/// anti-forgetting mechanism itself.
+///
+/// At update time the old task's parameter importance is estimated as the
+/// diagonal empirical Fisher information F (squared gradients of the old
+/// task's loss), and training adds the penalty
+///
+///   L_ewc = (lambda / 2) * sum_i F_i (theta_i - theta*_i)^2
+///
+/// pulling each weight toward its pre-update value theta* proportionally to
+/// how much the old task cared about it.
+class EwcRegularizer {
+ public:
+  struct Options {
+    size_t batches = 8;      ///< Fisher estimation batches
+    size_t batch_size = 32;  ///< pairs per batch
+    double margin = 5.0;     ///< contrastive margin of the old task's loss
+    uint64_t seed = 77;
+  };
+
+  /// Estimates the diagonal Fisher of the contrastive loss on `old_data`
+  /// and snapshots the current parameters as theta*. `net` is forwarded and
+  /// backwarded during estimation but its parameters are left unchanged.
+  static Result<EwcRegularizer> Estimate(nn::Sequential* net,
+                                         const sensors::FeatureDataset& old_data,
+                                         const Options& options);
+
+  /// Adds lambda * F (theta - theta*) to `net`'s gradient buffers. Call
+  /// between the task-loss backward and the optimizer step. `net` must have
+  /// the same parameter shapes as at estimation time.
+  void AccumulatePenaltyGradient(nn::Sequential* net, double lambda) const;
+
+  /// Current penalty value (for telemetry).
+  double Penalty(nn::Sequential* net, double lambda) const;
+
+  size_t num_parameters() const;
+
+ private:
+  EwcRegularizer() = default;
+
+  std::vector<Matrix> fisher_;      ///< diagonal Fisher per parameter tensor
+  std::vector<Matrix> anchor_;      ///< theta*
+};
+
+}  // namespace magneto::learn
+
+#endif  // MAGNETO_LEARN_EWC_H_

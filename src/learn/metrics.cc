@@ -1,0 +1,122 @@
+#include "learn/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+namespace magneto::learn {
+
+void ConfusionMatrix::Add(sensors::ActivityId truth,
+                          sensors::ActivityId predicted) {
+  ++counts_[{truth, predicted}];
+  ++truth_totals_[truth];
+  ++predicted_totals_[predicted];
+  ++total_;
+}
+
+size_t ConfusionMatrix::Count(sensors::ActivityId truth,
+                              sensors::ActivityId predicted) const {
+  auto it = counts_.find({truth, predicted});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (const auto& [truth, n] : truth_totals_) {
+    correct += Count(truth, truth);
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(sensors::ActivityId cls) const {
+  auto it = truth_totals_.find(cls);
+  if (it == truth_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::Precision(sensors::ActivityId cls) const {
+  auto it = predicted_totals_.find(cls);
+  if (it == predicted_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::F1(sensors::ActivityId cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  if (truth_totals_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [cls, n] : truth_totals_) sum += F1(cls);
+  return sum / static_cast<double>(truth_totals_.size());
+}
+
+std::map<sensors::ActivityId, double> ConfusionMatrix::PerClassRecall() const {
+  std::map<sensors::ActivityId, double> out;
+  for (const auto& [cls, n] : truth_totals_) out[cls] = Recall(cls);
+  return out;
+}
+
+std::vector<sensors::ActivityId> ConfusionMatrix::Classes() const {
+  std::vector<sensors::ActivityId> out;
+  for (const auto& [cls, n] : truth_totals_) out.push_back(cls);
+  return out;
+}
+
+std::string ConfusionMatrix::ToString(
+    const sensors::ActivityRegistry& registry) const {
+  // Columns cover every class that appears as truth or prediction.
+  std::set<sensors::ActivityId> all;
+  for (const auto& [cls, n] : truth_totals_) all.insert(cls);
+  for (const auto& [cls, n] : predicted_totals_) all.insert(cls);
+
+  auto name_of = [&](sensors::ActivityId id) {
+    auto name = registry.NameOf(id);
+    return name.ok() ? name.value() : ("#" + std::to_string(id));
+  };
+
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "truth\\pred";
+  for (sensors::ActivityId c : all) os << std::setw(12) << name_of(c);
+  os << std::setw(8) << "recall" << "\n";
+  for (sensors::ActivityId t : all) {
+    os << std::left << std::setw(14) << name_of(t);
+    for (sensors::ActivityId p : all) os << std::setw(12) << Count(t, p);
+    os << std::fixed << std::setprecision(3) << Recall(t) << "\n";
+  }
+  os << "accuracy=" << std::fixed << std::setprecision(4) << Accuracy()
+     << " macro_f1=" << MacroF1() << " n=" << total_ << "\n";
+  return os.str();
+}
+
+ForgettingReport ComputeForgetting(const ConfusionMatrix& before,
+                                   const ConfusionMatrix& after,
+                                   sensors::ActivityId new_class) {
+  ForgettingReport report;
+  const std::vector<sensors::ActivityId> old_classes = before.Classes();
+  if (!old_classes.empty()) {
+    double forget = 0.0, acc_after = 0.0, acc_before = 0.0;
+    for (sensors::ActivityId cls : old_classes) {
+      const double rb = before.Recall(cls);
+      const double ra = after.Recall(cls);
+      forget += std::max(0.0, rb - ra);
+      acc_after += ra;
+      acc_before += rb;
+    }
+    const double n = static_cast<double>(old_classes.size());
+    report.mean_forgetting = forget / n;
+    report.old_class_accuracy_after = acc_after / n;
+    report.old_class_accuracy_before = acc_before / n;
+  }
+  report.new_class_accuracy = after.Recall(new_class);
+  return report;
+}
+
+}  // namespace magneto::learn

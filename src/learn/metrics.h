@@ -1,0 +1,75 @@
+#ifndef MAGNETO_LEARN_METRICS_H_
+#define MAGNETO_LEARN_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensors/activity.h"
+
+namespace magneto::learn {
+
+/// Multi-class confusion matrix keyed by activity id (so classes added
+/// incrementally on the edge slot in without re-indexing).
+class ConfusionMatrix {
+ public:
+  void Add(sensors::ActivityId truth, sensors::ActivityId predicted);
+
+  size_t total() const { return total_; }
+  size_t Count(sensors::ActivityId truth, sensors::ActivityId predicted) const;
+
+  /// Overall fraction correct; 0 when empty.
+  double Accuracy() const;
+
+  /// Recall of one class; 0 if the class never appears as truth.
+  double Recall(sensors::ActivityId cls) const;
+
+  /// Precision of one class; 0 if the class is never predicted.
+  double Precision(sensors::ActivityId cls) const;
+
+  /// F1 of one class (harmonic mean of precision and recall).
+  double F1(sensors::ActivityId cls) const;
+
+  /// Unweighted mean F1 over all truth classes.
+  double MacroF1() const;
+
+  /// Per-class recall map (the "did it forget class X?" readout).
+  std::map<sensors::ActivityId, double> PerClassRecall() const;
+
+  /// Truth classes seen, ascending.
+  std::vector<sensors::ActivityId> Classes() const;
+
+  /// Multi-line table using `registry` for names.
+  std::string ToString(const sensors::ActivityRegistry& registry) const;
+
+ private:
+  std::map<std::pair<sensors::ActivityId, sensors::ActivityId>, size_t>
+      counts_;
+  std::map<sensors::ActivityId, size_t> truth_totals_;
+  std::map<sensors::ActivityId, size_t> predicted_totals_;
+  size_t total_ = 0;
+};
+
+/// Catastrophic-forgetting readout for one incremental update: per-class
+/// accuracy before vs after the update, over the classes that existed before.
+struct ForgettingReport {
+  /// Mean over old classes of max(0, recall_before - recall_after).
+  double mean_forgetting = 0.0;
+  /// Mean recall over old classes after the update.
+  double old_class_accuracy_after = 0.0;
+  /// Mean recall over old classes before the update.
+  double old_class_accuracy_before = 0.0;
+  /// Recall of the newly added class after the update.
+  double new_class_accuracy = 0.0;
+};
+
+/// Computes the forgetting report from before/after evaluations.
+/// `before` must have been evaluated on the old classes only; `after` on old
+/// + new. `new_class` identifies the freshly learned activity.
+ForgettingReport ComputeForgetting(const ConfusionMatrix& before,
+                                   const ConfusionMatrix& after,
+                                   sensors::ActivityId new_class);
+
+}  // namespace magneto::learn
+
+#endif  // MAGNETO_LEARN_METRICS_H_

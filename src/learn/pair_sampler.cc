@@ -1,0 +1,68 @@
+#include "learn/pair_sampler.h"
+
+#include <cstring>
+
+namespace magneto::learn {
+
+PairSampler::PairSampler(const sensors::FeatureDataset& data, uint64_t seed)
+    : data_(data), rng_(seed) {
+  MAGNETO_CHECK(!data.empty());
+  for (size_t i = 0; i < data.size(); ++i) {
+    class_indices_[data.Label(i)].push_back(i);
+  }
+  for (const auto& [label, indices] : class_indices_) {
+    classes_.push_back(label);
+    if (indices.size() >= 2) has_positive_class_ = true;
+  }
+}
+
+PairBatch PairSampler::Sample(size_t batch_size) {
+  MAGNETO_CHECK(batch_size > 0);
+  // A dataset with a single example admits no pair of either kind; sampling
+  // would spin forever. Callers validate via CanSample*().
+  MAGNETO_CHECK(CanSamplePositives() || CanSampleNegatives());
+  const size_t dim = data_.dim();
+  PairBatch batch;
+  batch.a.Reset(batch_size, dim);
+  batch.b.Reset(batch_size, dim);
+  batch.same.resize(batch_size);
+
+  for (size_t i = 0; i < batch_size; ++i) {
+    // Alternate positive / negative for an exact 50/50 split, falling back
+    // to whichever kind is available in degenerate datasets.
+    bool want_positive = (i % 2 == 0);
+    if (want_positive && !CanSamplePositives()) want_positive = false;
+    if (!want_positive && !CanSampleNegatives()) want_positive = true;
+
+    size_t ia = 0, ib = 0;
+    if (want_positive) {
+      // Pick a class with at least two examples, uniformly among such.
+      sensors::ActivityId cls;
+      do {
+        cls = classes_[rng_.Index(classes_.size())];
+      } while (class_indices_[cls].size() < 2);
+      const std::vector<size_t>& idx = class_indices_[cls];
+      ia = idx[rng_.Index(idx.size())];
+      do {
+        ib = idx[rng_.Index(idx.size())];
+      } while (ib == ia);
+      batch.same[i] = 1;
+    } else {
+      const size_t c1 = rng_.Index(classes_.size());
+      size_t c2;
+      do {
+        c2 = rng_.Index(classes_.size());
+      } while (c2 == c1);
+      const std::vector<size_t>& idx1 = class_indices_[classes_[c1]];
+      const std::vector<size_t>& idx2 = class_indices_[classes_[c2]];
+      ia = idx1[rng_.Index(idx1.size())];
+      ib = idx2[rng_.Index(idx2.size())];
+      batch.same[i] = 0;
+    }
+    std::memcpy(batch.a.RowPtr(i), data_.Row(ia), dim * sizeof(float));
+    std::memcpy(batch.b.RowPtr(i), data_.Row(ib), dim * sizeof(float));
+  }
+  return batch;
+}
+
+}  // namespace magneto::learn

@@ -1,0 +1,53 @@
+#ifndef MAGNETO_LEARN_PAIR_SAMPLER_H_
+#define MAGNETO_LEARN_PAIR_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "sensors/dataset.h"
+
+namespace magneto::learn {
+
+/// One batch of Siamese training pairs.
+struct PairBatch {
+  Matrix a;                   ///< batch x dim, left branch inputs
+  Matrix b;                   ///< batch x dim, right branch inputs
+  std::vector<uint8_t> same;  ///< 1 if a[i] and b[i] share a class
+  size_t size() const { return same.size(); }
+};
+
+/// Draws balanced positive/negative pairs from a labeled dataset.
+///
+/// Positives pair two distinct windows of one activity; negatives pair
+/// windows of two different activities. The 50/50 balance keeps the
+/// contrastive loss from collapsing when class counts are skewed — which is
+/// exactly the situation during an edge update, where the freshly recorded
+/// activity briefly dominates the support set.
+class PairSampler {
+ public:
+  /// `data` must contain at least 2 classes and 2 examples in some class.
+  /// The sampler keeps a reference; `data` must outlive it.
+  PairSampler(const sensors::FeatureDataset& data, uint64_t seed);
+
+  /// Samples `batch_size` pairs (half positive, half negative when possible).
+  PairBatch Sample(size_t batch_size);
+
+  /// True if the dataset supports positive pairs (some class has >= 2
+  /// examples) and negative pairs (>= 2 classes).
+  bool CanSamplePositives() const { return has_positive_class_; }
+  bool CanSampleNegatives() const { return class_indices_.size() >= 2; }
+
+ private:
+  const sensors::FeatureDataset& data_;
+  Rng rng_;
+  std::vector<sensors::ActivityId> classes_;
+  std::map<sensors::ActivityId, std::vector<size_t>> class_indices_;
+  bool has_positive_class_ = false;
+};
+
+}  // namespace magneto::learn
+
+#endif  // MAGNETO_LEARN_PAIR_SAMPLER_H_

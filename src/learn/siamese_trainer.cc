@@ -1,0 +1,190 @@
+#include "learn/siamese_trainer.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "learn/pair_sampler.h"
+
+namespace magneto::learn {
+
+namespace {
+
+/// Copies the dataset rows at `indices` into a batch matrix.
+Matrix GatherRows(const sensors::FeatureDataset& data,
+                  const std::vector<size_t>& indices) {
+  Matrix out(indices.size(), data.dim());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.RowPtr(i), data.Row(indices[i]),
+                data.dim() * sizeof(float));
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& source, const std::vector<size_t>& indices) {
+  Matrix out(indices.size(), source.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.RowPtr(i), source.RowPtr(indices[i]),
+                source.cols() * sizeof(float));
+  }
+  return out;
+}
+
+std::unique_ptr<nn::Optimizer> MakeOptimizer(const TrainOptions& options,
+                                             nn::Sequential* net) {
+  if (options.optimizer == OptimizerKind::kSgd) {
+    nn::Sgd::Options sgd;
+    sgd.learning_rate = options.learning_rate;
+    sgd.momentum = 0.9;
+    sgd.weight_decay = options.weight_decay;
+    return std::make_unique<nn::Sgd>(net->Params(), net->Grads(), sgd);
+  }
+  nn::Adam::Options adam;
+  adam.learning_rate = options.learning_rate;
+  adam.weight_decay = options.weight_decay;
+  return std::make_unique<nn::Adam>(net->Params(), net->Grads(), adam);
+}
+
+}  // namespace
+
+Result<TrainReport> SiameseTrainer::Train(
+    nn::Sequential* net, const sensors::FeatureDataset& data,
+    const nn::Sequential* teacher,
+    const sensors::FeatureDataset* distill_data,
+    const EwcRegularizer* ewc) const {
+  if (net == nullptr) return Status::InvalidArgument("net must not be null");
+  if (data.empty()) return Status::InvalidArgument("training data is empty");
+  if (data.size() < 2) {
+    return Status::InvalidArgument(
+        "training data has a single example; no pair of any kind exists");
+  }
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  if (options_.epochs == 0) {
+    return Status::InvalidArgument("epochs must be > 0");
+  }
+  const bool distill = teacher != nullptr;
+  if (distill && (distill_data == nullptr || distill_data->empty())) {
+    return Status::InvalidArgument(
+        "distillation requires non-empty distill_data");
+  }
+  if (distill && options_.distill_weight <= 0.0) {
+    return Status::InvalidArgument(
+        "teacher given but distill_weight is not positive");
+  }
+  if (options_.ewc_weight > 0.0 && ewc == nullptr) {
+    return Status::InvalidArgument(
+        "ewc_weight is positive but no EwcRegularizer was given");
+  }
+
+  // The teacher is frozen: compute its targets once.
+  Matrix teacher_targets;
+  if (distill) {
+    nn::Sequential frozen = teacher->Clone();
+    teacher_targets =
+        frozen.Forward(distill_data->ToMatrix(), /*training=*/false);
+  }
+
+  const size_t pairs_per_epoch = options_.pairs_per_epoch > 0
+                                     ? options_.pairs_per_epoch
+                                     : 2 * data.size();
+  const size_t steps_per_epoch =
+      std::max<size_t>(1, (pairs_per_epoch + options_.batch_size - 1) /
+                              options_.batch_size);
+
+  Rng rng(options_.seed);
+  PairSampler sampler(data, rng.engine()());
+  std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(options_, net);
+
+  // SupCon needs dense integer labels.
+  std::vector<int> dense_labels;
+  if (options_.embedding_loss == EmbeddingLoss::kSupCon) {
+    std::map<sensors::ActivityId, int> remap;
+    for (sensors::ActivityId id : data.Classes()) {
+      const int next = static_cast<int>(remap.size());
+      remap[id] = next;
+    }
+    dense_labels.reserve(data.size());
+    for (sensors::ActivityId id : data.labels()) {
+      dense_labels.push_back(remap[id]);
+    }
+  }
+
+  TrainReport report;
+  report.epochs.reserve(options_.epochs);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    EpochStats stats;
+    for (size_t step = 0; step < steps_per_epoch; ++step) {
+      optimizer->ZeroGrad();
+
+      // --- embedding objective ---
+      if (options_.embedding_loss == EmbeddingLoss::kPairwiseContrastive) {
+        PairBatch batch = sampler.Sample(options_.batch_size);
+        // One forward over [a; b] keeps the two branches weight-tied by
+        // construction (a Siamese network is one network applied twice).
+        Matrix stacked = VStack(batch.a, batch.b);
+        Matrix emb = net->Forward(stacked, /*training=*/true);
+        const size_t b = batch.size();
+        Matrix emb_a = emb.RowSlice(0, b);
+        Matrix emb_b = emb.RowSlice(b, 2 * b);
+        nn::PairLossResult pair =
+            nn::ContrastiveLoss(emb_a, emb_b, batch.same, options_.margin);
+        net->Backward(VStack(pair.grad_a, pair.grad_b));
+        stats.embedding_loss += pair.loss;
+      } else {
+        std::vector<size_t> idx(options_.batch_size);
+        std::vector<int> labels(options_.batch_size);
+        for (size_t i = 0; i < idx.size(); ++i) {
+          idx[i] = rng.Index(data.size());
+          labels[i] = dense_labels[idx[i]];
+        }
+        Matrix x = GatherRows(data, idx);
+        Matrix emb = net->Forward(x, /*training=*/true);
+        nn::LossResult loss =
+            nn::SupConLoss(emb, labels, options_.supcon_temperature);
+        net->Backward(loss.grad);
+        stats.embedding_loss += loss.loss;
+      }
+
+      // --- distillation objective (anti-forgetting) ---
+      if (distill) {
+        const size_t b =
+            std::min(options_.batch_size, distill_data->size());
+        std::vector<size_t> idx(b);
+        for (size_t i = 0; i < b; ++i) idx[i] = rng.Index(distill_data->size());
+        Matrix x = GatherRows(*distill_data, idx);
+        Matrix targets = GatherRows(teacher_targets, idx);
+        Matrix student = net->Forward(x, /*training=*/true);
+        nn::LossResult dl =
+            options_.distillation == DistillationKind::kCosine
+                ? nn::DistillationCosine(student, targets)
+                : nn::DistillationMse(student, targets);
+        dl.grad.Scale(static_cast<float>(options_.distill_weight));
+        net->Backward(dl.grad);
+        stats.distill_loss += options_.distill_weight * dl.loss;
+      }
+
+      // --- EWC penalty (optional second anti-forgetting mechanism) ---
+      if (ewc != nullptr && options_.ewc_weight > 0.0) {
+        ewc->AccumulatePenaltyGradient(net, options_.ewc_weight);
+      }
+
+      optimizer->Step();
+    }
+    stats.embedding_loss /= static_cast<double>(steps_per_epoch);
+    stats.distill_loss /= static_cast<double>(steps_per_epoch);
+    report.epochs.push_back(stats);
+    if (options_.lr_decay != 1.0) {
+      if (auto* adam = dynamic_cast<nn::Adam*>(optimizer.get())) {
+        adam->set_learning_rate(adam->learning_rate() * options_.lr_decay);
+      } else if (auto* sgd = dynamic_cast<nn::Sgd*>(optimizer.get())) {
+        sgd->set_learning_rate(sgd->learning_rate() * options_.lr_decay);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace magneto::learn

@@ -1,0 +1,75 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace magneto::nn {
+
+Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  MAGNETO_CHECK(grad_output.SameShape(cached_input_));
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  }
+  return grad;
+}
+
+void Relu::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(LayerType::kRelu));
+}
+
+Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  MAGNETO_CHECK(grad_output.SameShape(cached_output_));
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_.data()[i];
+    grad.data()[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+void Tanh::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(LayerType::kTanh));
+}
+
+Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  MAGNETO_CHECK(grad_output.SameShape(cached_output_));
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_.data()[i];
+    grad.data()[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+void Sigmoid::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(LayerType::kSigmoid));
+}
+
+}  // namespace magneto::nn

@@ -1,0 +1,61 @@
+#ifndef MAGNETO_NN_ACTIVATION_H_
+#define MAGNETO_NN_ACTIVATION_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace magneto::nn {
+
+/// Rectified linear unit, elementwise max(0, x).
+class Relu : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  LayerType type() const override { return LayerType::kRelu; }
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Relu>();
+  }
+  void Serialize(BinaryWriter* writer) const override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Elementwise tanh.
+class Tanh : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  LayerType type() const override { return LayerType::kTanh; }
+  std::string name() const override { return "Tanh"; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Tanh>();
+  }
+  void Serialize(BinaryWriter* writer) const override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  LayerType type() const override { return LayerType::kSigmoid; }
+  std::string name() const override { return "Sigmoid"; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Sigmoid>();
+  }
+  void Serialize(BinaryWriter* writer) const override;
+
+ private:
+  Matrix cached_output_;
+};
+
+}  // namespace magneto::nn
+
+#endif  // MAGNETO_NN_ACTIVATION_H_

@@ -1,0 +1,58 @@
+#include "nn/dropout.h"
+
+namespace magneto::nn {
+
+Dropout::Dropout(double p, uint64_t seed) : p_(p), seed_(seed), rng_(seed) {
+  MAGNETO_CHECK(p >= 0.0 && p < 1.0);
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0) return input;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.Reset(input.rows(), input.cols());
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_.Bernoulli(p_)) {
+      out.data()[i] = 0.0f;
+      mask_.data()[i] = 0.0f;
+    } else {
+      out.data()[i] *= keep_scale;
+      mask_.data()[i] = keep_scale;
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (!last_training_ || p_ == 0.0) return grad_output;
+  MAGNETO_CHECK(grad_output.SameShape(mask_));
+  Matrix grad = grad_output;
+  grad.MulInPlace(mask_);
+  return grad;
+}
+
+std::string Dropout::name() const {
+  return "Dropout(p=" + std::to_string(p_) + ")";
+}
+
+std::unique_ptr<Layer> Dropout::Clone() const {
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+void Dropout::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(LayerType::kDropout));
+  writer->WriteF64(p_);
+  writer->WriteU64(seed_);
+}
+
+Result<std::unique_ptr<Dropout>> Dropout::Deserialize(BinaryReader* reader) {
+  MAGNETO_ASSIGN_OR_RETURN(double p, reader->ReadF64());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t seed, reader->ReadU64());
+  if (p < 0.0 || p >= 1.0) {
+    return Status::Corruption("dropout p out of range");
+  }
+  return std::make_unique<Dropout>(p, seed);
+}
+
+}  // namespace magneto::nn

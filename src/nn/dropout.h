@@ -1,0 +1,43 @@
+#ifndef MAGNETO_NN_DROPOUT_H_
+#define MAGNETO_NN_DROPOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "nn/layer.h"
+
+namespace magneto::nn {
+
+/// Inverted dropout: in training, each unit is zeroed with probability `p`
+/// and survivors are scaled by 1/(1-p); in inference the layer is identity.
+///
+/// The mask RNG is owned by the layer (seeded at construction) so training
+/// runs are reproducible.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, uint64_t seed);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+  LayerType type() const override { return LayerType::kDropout; }
+  std::string name() const override;
+  double p() const { return p_; }
+
+  std::unique_ptr<Layer> Clone() const override;
+  void Serialize(BinaryWriter* writer) const override;
+  static Result<std::unique_ptr<Dropout>> Deserialize(BinaryReader* reader);
+
+ private:
+  double p_;
+  uint64_t seed_;
+  Rng rng_;
+  Matrix mask_;         ///< scaled keep-mask of the last training forward
+  bool last_training_ = false;
+};
+
+}  // namespace magneto::nn
+
+#endif  // MAGNETO_NN_DROPOUT_H_

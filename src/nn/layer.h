@@ -1,0 +1,64 @@
+#ifndef MAGNETO_NN_LAYER_H_
+#define MAGNETO_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/serial.h"
+
+namespace magneto::nn {
+
+/// Serialisation tags for layer types (stable on-disk ids).
+enum class LayerType : uint8_t {
+  kLinear = 1,
+  kRelu = 2,
+  kTanh = 3,
+  kSigmoid = 4,
+  kDropout = 5,
+};
+
+/// A differentiable network layer.
+///
+/// MAGNETO's backbone is a plain MLP, so the layer contract is the classic
+/// batch one: `Forward` maps a (batch x in_dim) matrix to (batch x out_dim)
+/// and caches whatever it needs; `Backward` receives dLoss/dOutput,
+/// *accumulates* parameter gradients, and returns dLoss/dInput. Gradients
+/// accumulate across calls until `ZeroGrad` — that is what lets the joint
+/// contrastive + distillation objective sum several loss terms per step.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// `training` enables train-only behaviour (e.g. dropout masking).
+  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+
+  /// Must be called after a matching `Forward`.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Matrix*> Params() { return {}; }
+
+  /// Gradient buffers, parallel to `Params()`.
+  virtual std::vector<Matrix*> Grads() { return {}; }
+
+  virtual void ZeroGrad() {}
+
+  virtual LayerType type() const = 0;
+  virtual std::string name() const = 0;
+  virtual size_t output_dim(size_t input_dim) const { return input_dim; }
+
+  /// Fixed input width, or 0 if the layer accepts any width.
+  virtual size_t input_dim() const { return 0; }
+
+  /// Deep copy, including parameter values (not cached activations).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  /// Writes the layer type tag plus its own payload.
+  virtual void Serialize(BinaryWriter* writer) const = 0;
+};
+
+}  // namespace magneto::nn
+
+#endif  // MAGNETO_NN_LAYER_H_

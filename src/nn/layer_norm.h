@@ -1,0 +1,64 @@
+#ifndef MAGNETO_NN_LAYER_NORM_H_
+#define MAGNETO_NN_LAYER_NORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/layer.h"
+
+namespace magneto::nn {
+
+/// Serialisation tag extension for LayerNorm.
+inline constexpr uint8_t kLayerNormTag = 7;
+
+/// Layer normalisation (Ba et al.): per-sample standardisation over the
+/// feature axis followed by a learned affine map,
+///
+///   y = gamma * (x - mean(x)) / sqrt(var(x) + eps) + beta.
+///
+/// Unlike batch norm, it has no batch-statistics state, which matters on the
+/// edge: incremental updates train on tiny, class-skewed batches where batch
+/// statistics would thrash. Optional in `BuildMlp`-style backbones.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(size_t dim, double epsilon = 1e-5);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+  std::vector<Matrix*> Params() override { return {&gamma_, &beta_}; }
+  std::vector<Matrix*> Grads() override { return {&grad_gamma_, &grad_beta_}; }
+  void ZeroGrad() override;
+
+  LayerType type() const override {
+    return static_cast<LayerType>(kLayerNormTag);
+  }
+  std::string name() const override;
+  size_t input_dim() const override { return dim_; }
+  size_t output_dim(size_t) const override { return dim_; }
+
+  Matrix& gamma() { return gamma_; }
+  Matrix& beta() { return beta_; }
+
+  std::unique_ptr<Layer> Clone() const override;
+  void Serialize(BinaryWriter* writer) const override;
+  static Result<std::unique_ptr<LayerNorm>> Deserialize(BinaryReader* reader);
+
+ private:
+  size_t dim_;
+  double epsilon_;
+  Matrix gamma_;       ///< 1 x dim, init 1
+  Matrix beta_;        ///< 1 x dim, init 0
+  Matrix grad_gamma_;
+  Matrix grad_beta_;
+
+  // Forward cache for backward.
+  Matrix normalized_;        ///< x_hat
+  std::vector<float> inv_std_;  ///< per row
+};
+
+}  // namespace magneto::nn
+
+#endif  // MAGNETO_NN_LAYER_NORM_H_

@@ -1,0 +1,93 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace magneto::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      grad_weight_(in_dim, out_dim),
+      grad_bias_(1, out_dim) {
+  MAGNETO_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
+    : Linear(in_dim, out_dim) {
+  // He-uniform: U(-limit, limit), limit = sqrt(6 / fan_in). Suits the ReLU
+  // MLP backbone.
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_dim));
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    weight_.data()[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+  MAGNETO_CHECK(input.cols() == in_dim_);
+  cached_input_ = input;
+  Matrix out = MatMul(input, weight_);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowPtr(r);
+    const float* b = bias_.RowPtr(0);
+    for (size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  MAGNETO_CHECK(grad_output.cols() == out_dim_);
+  MAGNETO_CHECK(grad_output.rows() == cached_input_.rows());
+  grad_weight_.AddInPlace(MatMulTransA(cached_input_, grad_output));
+  grad_bias_.AddInPlace(grad_output.ColSum());
+  return MatMulTransB(grad_output, weight_);
+}
+
+void Linear::ZeroGrad() {
+  grad_weight_.Fill(0.0f);
+  grad_bias_.Fill(0.0f);
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_dim_) + "->" + std::to_string(out_dim_) +
+         ")";
+}
+
+std::unique_ptr<Layer> Linear::Clone() const {
+  auto clone = std::make_unique<Linear>(in_dim_, out_dim_);
+  clone->weight_ = weight_;
+  clone->bias_ = bias_;
+  return clone;
+}
+
+void Linear::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(LayerType::kLinear));
+  writer->WriteU64(in_dim_);
+  writer->WriteU64(out_dim_);
+  writer->WriteF32Vector(weight_.storage());
+  writer->WriteF32Vector(bias_.storage());
+}
+
+Result<std::unique_ptr<Linear>> Linear::Deserialize(BinaryReader* reader) {
+  // Caller consumed the type tag already.
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t in_dim, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t out_dim, reader->ReadU64());
+  // Dimension sanity cap: rejects hostile headers whose product would wrap
+  // or demand an absurd allocation before the payload check can catch it.
+  constexpr uint64_t kMaxDim = 1 << 20;
+  if (in_dim == 0 || out_dim == 0 || in_dim > kMaxDim || out_dim > kMaxDim) {
+    return Status::Corruption("linear layer dimensions out of range");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<float> w, reader->ReadF32Vector());
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<float> b, reader->ReadF32Vector());
+  if (w.size() != in_dim * out_dim || b.size() != out_dim) {
+    return Status::Corruption("linear layer payload size mismatch");
+  }
+  auto layer = std::make_unique<Linear>(in_dim, out_dim);
+  layer->weight_ = Matrix(in_dim, out_dim, std::move(w));
+  layer->bias_ = Matrix(1, out_dim, std::move(b));
+  return layer;
+}
+
+}  // namespace magneto::nn

@@ -1,0 +1,59 @@
+#ifndef MAGNETO_NN_LINEAR_H_
+#define MAGNETO_NN_LINEAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "nn/layer.h"
+
+namespace magneto::nn {
+
+/// Fully-connected layer: y = x W + b, with W of shape (in_dim x out_dim).
+class Linear : public Layer {
+ public:
+  /// Weights start at zero; call an initialiser (see initializer.h) or use
+  /// `Linear(in, out, rng)` for He-uniform init.
+  Linear(size_t in_dim, size_t out_dim);
+
+  /// He-uniform initialised weights, zero bias.
+  Linear(size_t in_dim, size_t out_dim, Rng* rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+  std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Matrix*> Grads() override { return {&grad_weight_, &grad_bias_}; }
+  void ZeroGrad() override;
+
+  LayerType type() const override { return LayerType::kLinear; }
+  std::string name() const override;
+  size_t output_dim(size_t) const override { return out_dim_; }
+  size_t input_dim() const override { return in_dim_; }
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  Matrix& weight() { return weight_; }
+  const Matrix& weight() const { return weight_; }
+  Matrix& bias() { return bias_; }
+  const Matrix& bias() const { return bias_; }
+
+  std::unique_ptr<Layer> Clone() const override;
+  void Serialize(BinaryWriter* writer) const override;
+  static Result<std::unique_ptr<Linear>> Deserialize(BinaryReader* reader);
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Matrix weight_;       ///< in_dim x out_dim
+  Matrix bias_;         ///< 1 x out_dim
+  Matrix grad_weight_;
+  Matrix grad_bias_;
+  Matrix cached_input_;  ///< last forward input, for backward
+};
+
+}  // namespace magneto::nn
+
+#endif  // MAGNETO_NN_LINEAR_H_

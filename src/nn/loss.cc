@@ -1,0 +1,216 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace magneto::nn {
+
+LossResult SoftmaxCrossEntropy(const Matrix& logits,
+                               const std::vector<int>& labels) {
+  const size_t batch = logits.rows();
+  const size_t classes = logits.cols();
+  MAGNETO_CHECK(labels.size() == batch);
+  MAGNETO_CHECK(batch > 0);
+
+  LossResult result;
+  result.grad = logits;  // will be overwritten with softmax - onehot
+  double loss = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    float* row = result.grad.RowPtr(i);
+    SoftmaxInPlace(row, classes);
+    const int label = labels[i];
+    MAGNETO_CHECK(label >= 0 && static_cast<size_t>(label) < classes);
+    loss += -std::log(std::max(1e-12f, row[label]));
+    row[label] -= 1.0f;
+  }
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  result.grad.Scale(inv_batch);
+  result.loss = loss / static_cast<double>(batch);
+  return result;
+}
+
+PairLossResult ContrastiveLoss(const Matrix& a, const Matrix& b,
+                               const std::vector<uint8_t>& same,
+                               double margin) {
+  MAGNETO_CHECK(a.SameShape(b));
+  MAGNETO_CHECK(same.size() == a.rows());
+  MAGNETO_CHECK(a.rows() > 0);
+  const size_t batch = a.rows();
+  const size_t dim = a.cols();
+
+  PairLossResult result;
+  result.grad_a.Reset(batch, dim);
+  result.grad_b.Reset(batch, dim);
+  double loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+
+  for (size_t i = 0; i < batch; ++i) {
+    const float* ai = a.RowPtr(i);
+    const float* bi = b.RowPtr(i);
+    const double d2 = SquaredL2(ai, bi, dim);
+    const double d = std::sqrt(d2);
+    float* ga = result.grad_a.RowPtr(i);
+    float* gb = result.grad_b.RowPtr(i);
+    if (same[i]) {
+      loss += 0.5 * d2;
+      // dL/da = (a - b), scaled by 1/batch.
+      for (size_t j = 0; j < dim; ++j) {
+        const float diff = static_cast<float>(inv_batch) * (ai[j] - bi[j]);
+        ga[j] = diff;
+        gb[j] = -diff;
+      }
+    } else if (d < margin) {
+      const double gap = margin - d;
+      loss += 0.5 * gap * gap;
+      // dL/da = -(margin - d) * (a - b) / d. Guard d ~ 0: the hinge term is
+      // then flat in direction, use zero gradient (measure-zero event).
+      if (d > 1e-12) {
+        const double coef = -gap / d * inv_batch;
+        for (size_t j = 0; j < dim; ++j) {
+          const float g = static_cast<float>(coef * (ai[j] - bi[j]));
+          ga[j] = g;
+          gb[j] = -g;
+        }
+      }
+    }
+  }
+  result.loss = loss * inv_batch;
+  return result;
+}
+
+LossResult SupConLoss(const Matrix& embeddings, const std::vector<int>& labels,
+                      double temperature) {
+  const size_t batch = embeddings.rows();
+  const size_t dim = embeddings.cols();
+  MAGNETO_CHECK(labels.size() == batch);
+  MAGNETO_CHECK(temperature > 0.0);
+
+  LossResult result;
+  result.grad.Reset(batch, dim);
+  if (batch < 2) return result;
+
+  // L2-normalise rows: u_i = z_i / ||z_i||.
+  Matrix u(batch, dim);
+  std::vector<double> norms(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const float* z = embeddings.RowPtr(i);
+    double n2 = 0.0;
+    for (size_t j = 0; j < dim; ++j) n2 += static_cast<double>(z[j]) * z[j];
+    const double n = std::max(std::sqrt(n2), 1e-12);
+    norms[i] = n;
+    float* urow = u.RowPtr(i);
+    for (size_t j = 0; j < dim; ++j) {
+      urow[j] = static_cast<float>(z[j] / n);
+    }
+  }
+
+  // Similarity logits s_ij = u_i . u_j / tau (diagonal excluded).
+  Matrix s = MatMulTransB(u, u);
+  s.Scale(static_cast<float>(1.0 / temperature));
+
+  // q_ij = softmax over j != i of s_ij; phat_ij = 1{same class}/|P(i)|.
+  // dL_i/ds_ij = (q_ij - phat_ij) / num_anchors.
+  size_t num_anchors = 0;
+  std::vector<size_t> positives(batch, 0);
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < batch; ++j) {
+      if (j != i && labels[j] == labels[i]) ++positives[i];
+    }
+    if (positives[i] > 0) ++num_anchors;
+  }
+  if (num_anchors == 0) return result;
+
+  Matrix ds(batch, batch);  // dL/ds, zero where i == j or anchor skipped
+  double loss = 0.0;
+  std::vector<double> row_logits(batch - 1);
+  for (size_t i = 0; i < batch; ++i) {
+    if (positives[i] == 0) continue;
+    // log-sum-exp over j != i.
+    size_t k = 0;
+    for (size_t j = 0; j < batch; ++j) {
+      if (j != i) row_logits[k++] = s.At(i, j);
+    }
+    const double lse = LogSumExp(row_logits.data(), k);
+    const double inv_p = 1.0 / static_cast<double>(positives[i]);
+    for (size_t j = 0; j < batch; ++j) {
+      if (j == i) continue;
+      const double q = std::exp(static_cast<double>(s.At(i, j)) - lse);
+      double phat = 0.0;
+      if (labels[j] == labels[i]) {
+        phat = inv_p;
+        loss += -(static_cast<double>(s.At(i, j)) - lse) * inv_p;
+      }
+      ds.At(i, j) = static_cast<float>((q - phat) /
+                                       static_cast<double>(num_anchors));
+    }
+  }
+  result.loss = loss / static_cast<double>(num_anchors);
+
+  // dL/du_i = sum_j (ds_ij + ds_ji) * u_j / tau.
+  Matrix sym = ds;
+  sym.AddInPlace(ds.Transposed());
+  Matrix du = MatMul(sym, u);
+  du.Scale(static_cast<float>(1.0 / temperature));
+
+  // Backprop through the normalisation: dL/dz = (g - (g.u) u) / ||z||.
+  for (size_t i = 0; i < batch; ++i) {
+    const float* g = du.RowPtr(i);
+    const float* urow = u.RowPtr(i);
+    const double gu = Dot(g, urow, dim);
+    float* out = result.grad.RowPtr(i);
+    for (size_t j = 0; j < dim; ++j) {
+      out[j] = static_cast<float>((g[j] - gu * urow[j]) / norms[i]);
+    }
+  }
+  return result;
+}
+
+LossResult DistillationMse(const Matrix& student, const Matrix& teacher) {
+  MAGNETO_CHECK(student.SameShape(teacher));
+  MAGNETO_CHECK(student.rows() > 0);
+  const size_t batch = student.rows();
+  LossResult result;
+  result.grad = student;
+  result.grad.SubInPlace(teacher);
+  result.loss = static_cast<double>(result.grad.SumOfSquares()) /
+                static_cast<double>(batch);
+  result.grad.Scale(2.0f / static_cast<float>(batch));
+  return result;
+}
+
+LossResult DistillationCosine(const Matrix& student, const Matrix& teacher) {
+  MAGNETO_CHECK(student.SameShape(teacher));
+  MAGNETO_CHECK(student.rows() > 0);
+  const size_t batch = student.rows();
+  const size_t dim = student.cols();
+  LossResult result;
+  result.grad.Reset(batch, dim);
+  double loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const float* s = student.RowPtr(i);
+    const float* t = teacher.RowPtr(i);
+    double ss = 0.0, tt = 0.0, st = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      ss += static_cast<double>(s[j]) * s[j];
+      tt += static_cast<double>(t[j]) * t[j];
+      st += static_cast<double>(s[j]) * t[j];
+    }
+    const double ns = std::max(std::sqrt(ss), 1e-12);
+    const double nt = std::max(std::sqrt(tt), 1e-12);
+    const double cosine = st / (ns * nt);
+    loss += 1.0 - cosine;
+    // d(1 - cos)/ds_j = -(t_j / (ns*nt) - cos * s_j / ns^2)
+    float* g = result.grad.RowPtr(i);
+    for (size_t j = 0; j < dim; ++j) {
+      g[j] = static_cast<float>(
+          inv_batch * -(t[j] / (ns * nt) - cosine * s[j] / (ns * ns)));
+    }
+  }
+  result.loss = loss * inv_batch;
+  return result;
+}
+
+}  // namespace magneto::nn

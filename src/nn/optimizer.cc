@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace magneto::nn {
+
+Optimizer::Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  MAGNETO_CHECK(params_.size() == grads_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    MAGNETO_CHECK(params_[i]->SameShape(*grads_[i]));
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Matrix* g : grads_) g->Fill(0.0f);
+}
+
+Sgd::Sgd(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+         Options options)
+    : Optimizer(std::move(params), std::move(grads)), options_(options) {
+  if (options_.momentum != 0.0) {
+    velocity_.reserve(params_.size());
+    for (Matrix* p : params_) velocity_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    if (mu != 0.0f) {
+      Matrix& v = velocity_[i];
+      // v = mu * v + g;  p -= lr * v
+      v.Scale(mu);
+      v.AddInPlace(g);
+      p.Axpy(-lr, v);
+    } else {
+      p.Axpy(-lr, g);
+    }
+    if (wd != 0.0f) p.Scale(1.0f - lr * wd);
+  }
+}
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+           Options options)
+    : Optimizer(std::move(params), std::move(grads)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double lr = options_.learning_rate;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double eps = options_.epsilon;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* md = m.data();
+    float* vd = v.data();
+    for (size_t j = 0; j < p.size(); ++j) {
+      md[j] = static_cast<float>(b1 * md[j] + (1.0 - b1) * gd[j]);
+      vd[j] = static_cast<float>(b2 * vd[j] +
+                                 (1.0 - b2) * static_cast<double>(gd[j]) *
+                                     gd[j]);
+      const double mhat = md[j] / bc1;
+      const double vhat = vd[j] / bc2;
+      pd[j] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
+    }
+    if (wd != 0.0f) p.Scale(1.0f - static_cast<float>(lr) * wd);
+  }
+}
+
+}  // namespace magneto::nn

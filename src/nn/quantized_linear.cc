@@ -1,0 +1,127 @@
+#include "nn/quantized_linear.h"
+
+#include <cmath>
+
+namespace magneto::nn {
+
+QuantizedMatrix QuantizedMatrix::Quantize(const Matrix& w) {
+  QuantizedMatrix q;
+  q.rows = w.rows();
+  q.cols = w.cols();
+  q.data.resize(w.size());
+  q.scales.assign(w.cols(), 0.0f);
+  for (size_t j = 0; j < w.cols(); ++j) {
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < w.rows(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(w.At(i, j)));
+    }
+    q.scales[j] = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  }
+  for (size_t i = 0; i < w.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      const float scaled = w.At(i, j) / q.scales[j];
+      q.data[i * w.cols() + j] = static_cast<int8_t>(
+          std::lround(std::fmin(127.0f, std::fmax(-127.0f, scaled))));
+    }
+  }
+  return q;
+}
+
+Matrix QuantizedMatrix::Dequantize() const {
+  Matrix w(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      w.At(i, j) = static_cast<float>(data[i * cols + j]) * scales[j];
+    }
+  }
+  return w;
+}
+
+QuantizedLinear::QuantizedLinear(const Linear& source)
+    : in_dim_(source.in_dim()),
+      out_dim_(source.out_dim()),
+      weight_(QuantizedMatrix::Quantize(source.weight())),
+      bias_(source.bias().Row(0)) {}
+
+Matrix QuantizedLinear::Forward(const Matrix& input, bool /*training*/) {
+  MAGNETO_CHECK(input.cols() == in_dim_);
+  Matrix out(input.rows(), out_dim_);
+  // y[r][j] = (sum_i x[r][i] * q[i][j]) * scale[j] + b[j]. The inner
+  // accumulation runs over int8 weights widened on the fly.
+  for (size_t r = 0; r < input.rows(); ++r) {
+    const float* x = input.RowPtr(r);
+    float* y = out.RowPtr(r);
+    for (size_t j = 0; j < out_dim_; ++j) y[j] = 0.0f;
+    for (size_t i = 0; i < in_dim_; ++i) {
+      const float xi = x[i];
+      if (xi == 0.0f) continue;
+      const int8_t* wrow = weight_.data.data() + i * out_dim_;
+      for (size_t j = 0; j < out_dim_; ++j) {
+        y[j] += xi * static_cast<float>(wrow[j]);
+      }
+    }
+    for (size_t j = 0; j < out_dim_; ++j) {
+      y[j] = y[j] * weight_.scales[j] + bias_[j];
+    }
+  }
+  return out;
+}
+
+Matrix QuantizedLinear::Backward(const Matrix& /*grad_output*/) {
+  MAGNETO_LOG(Fatal) << "QuantizedLinear is inference-only";
+  return Matrix();
+}
+
+std::string QuantizedLinear::name() const {
+  return "QuantizedLinear(" + std::to_string(in_dim_) + "->" +
+         std::to_string(out_dim_) + ", int8)";
+}
+
+float QuantizedLinear::MaxWeightError(const Linear& source) const {
+  Matrix dequantized = weight_.Dequantize();
+  dequantized.SubInPlace(source.weight());
+  return dequantized.AbsMax();
+}
+
+std::unique_ptr<Layer> QuantizedLinear::Clone() const {
+  auto clone = std::unique_ptr<QuantizedLinear>(new QuantizedLinear());
+  clone->in_dim_ = in_dim_;
+  clone->out_dim_ = out_dim_;
+  clone->weight_ = weight_;
+  clone->bias_ = bias_;
+  return clone;
+}
+
+void QuantizedLinear::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(kQuantizedLinearTag);
+  writer->WriteU64(in_dim_);
+  writer->WriteU64(out_dim_);
+  writer->WriteI8Vector(weight_.data);
+  writer->WriteF32Vector(weight_.scales);
+  writer->WriteF32Vector(bias_);
+}
+
+Result<std::unique_ptr<QuantizedLinear>> QuantizedLinear::Deserialize(
+    BinaryReader* reader) {
+  auto layer = std::unique_ptr<QuantizedLinear>(new QuantizedLinear());
+  MAGNETO_ASSIGN_OR_RETURN(layer->in_dim_, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(layer->out_dim_, reader->ReadU64());
+  constexpr uint64_t kMaxDim = 1 << 20;
+  if (layer->in_dim_ == 0 || layer->out_dim_ == 0 ||
+      layer->in_dim_ > kMaxDim || layer->out_dim_ > kMaxDim) {
+    return Status::Corruption("quantized linear dimensions out of range");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.data, reader->ReadI8Vector());
+  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.scales, reader->ReadF32Vector());
+  MAGNETO_ASSIGN_OR_RETURN(layer->bias_, reader->ReadF32Vector());
+  layer->weight_.rows = layer->in_dim_;
+  layer->weight_.cols = layer->out_dim_;
+  if (layer->weight_.data.size() != layer->in_dim_ * layer->out_dim_ ||
+      layer->weight_.scales.size() != layer->out_dim_ ||
+      layer->bias_.size() != layer->out_dim_) {
+    return Status::Corruption("quantized linear payload size mismatch");
+  }
+  return layer;
+}
+
+}  // namespace magneto::nn

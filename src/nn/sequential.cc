@@ -1,0 +1,153 @@
+#include "nn/sequential.h"
+
+#include "nn/activation.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/layer_norm.h"
+#include "nn/quantized_linear.h"
+#include "preprocess/features.h"
+
+namespace magneto::nn {
+
+Matrix Sequential::Forward(const Matrix& input, bool training) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Matrix*> Sequential::Params() {
+  std::vector<Matrix*> params;
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Matrix*> Sequential::Grads() {
+  std::vector<Matrix*> grads;
+  for (auto& layer : layers_) {
+    for (Matrix* g : layer->Grads()) grads.push_back(g);
+  }
+  return grads;
+}
+
+void Sequential::ZeroGrad() {
+  for (auto& layer : layers_) layer->ZeroGrad();
+}
+
+size_t Sequential::NumParameters() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) {
+    // Params() is non-const by design (optimisers mutate); cast is safe here
+    // because we only read sizes.
+    for (Matrix* p : const_cast<Layer&>(*layer).Params()) n += p->size();
+  }
+  return n;
+}
+
+size_t Sequential::InputDim() const {
+  for (const auto& layer : layers_) {
+    if (layer->input_dim() > 0) return layer->input_dim();
+  }
+  return 0;
+}
+
+Sequential Sequential::Clone() const {
+  Sequential clone;
+  for (const auto& layer : layers_) clone.Add(layer->Clone());
+  return clone;
+}
+
+std::string Sequential::Summary() const {
+  std::string out;
+  for (const auto& layer : layers_) {
+    out += layer->name();
+    out += "\n";
+  }
+  return out;
+}
+
+void Sequential::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(layers_.size());
+  for (const auto& layer : layers_) layer->Serialize(writer);
+}
+
+Result<Sequential> Sequential::Deserialize(BinaryReader* reader) {
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  Sequential net;
+  for (uint64_t i = 0; i < n; ++i) {
+    MAGNETO_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+    switch (static_cast<LayerType>(tag)) {
+      case LayerType::kLinear: {
+        MAGNETO_ASSIGN_OR_RETURN(std::unique_ptr<Linear> layer,
+                                 Linear::Deserialize(reader));
+        net.Add(std::move(layer));
+        break;
+      }
+      case LayerType::kRelu:
+        net.Add(std::make_unique<Relu>());
+        break;
+      case LayerType::kTanh:
+        net.Add(std::make_unique<Tanh>());
+        break;
+      case LayerType::kSigmoid:
+        net.Add(std::make_unique<Sigmoid>());
+        break;
+      case LayerType::kDropout: {
+        MAGNETO_ASSIGN_OR_RETURN(std::unique_ptr<Dropout> layer,
+                                 Dropout::Deserialize(reader));
+        net.Add(std::move(layer));
+        break;
+      }
+      default: {
+        if (tag == kQuantizedLinearTag) {
+          MAGNETO_ASSIGN_OR_RETURN(std::unique_ptr<QuantizedLinear> layer,
+                                   QuantizedLinear::Deserialize(reader));
+          net.Add(std::move(layer));
+          break;
+        }
+        if (tag == kLayerNormTag) {
+          MAGNETO_ASSIGN_OR_RETURN(std::unique_ptr<LayerNorm> layer,
+                                   LayerNorm::Deserialize(reader));
+          net.Add(std::move(layer));
+          break;
+        }
+        return Status::Corruption("unknown layer tag: " + std::to_string(tag));
+      }
+    }
+  }
+  return net;
+}
+
+Sequential BuildMlp(size_t input_dim, const std::vector<size_t>& dims,
+                    Rng* rng, double dropout_p) {
+  MAGNETO_CHECK(!dims.empty());
+  Sequential net;
+  size_t in = input_dim;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    net.Add(std::make_unique<Linear>(in, dims[i], rng));
+    const bool last = (i + 1 == dims.size());
+    if (!last) {
+      net.Add(std::make_unique<Relu>());
+      if (dropout_p > 0.0) {
+        net.Add(std::make_unique<Dropout>(dropout_p, rng->engine()()));
+      }
+    }
+    in = dims[i];
+  }
+  return net;
+}
+
+Sequential BuildPaperBackbone(Rng* rng) {
+  return BuildMlp(preprocess::kNumFeatures, {1024, 512, 128, 64, 128}, rng);
+}
+
+}  // namespace magneto::nn

@@ -1,0 +1,34 @@
+#include "platform/cloud_server.h"
+
+#include "core/model_bundle.h"
+
+namespace magneto::platform {
+
+Status CloudServer::Pretrain(
+    const std::vector<sensors::LabeledRecording>& corpus,
+    const sensors::ActivityRegistry& registry) {
+  core::CloudReport report;
+  auto bundle = initializer_.Initialize(corpus, registry, &report);
+  if (!bundle.ok()) return bundle.status();
+  bundle_bytes_ = bundle.value().SerializeToString();
+  model_ = std::make_unique<core::EdgeModel>(
+      std::move(bundle).value().ToEdgeModel());
+  return Status::Ok();
+}
+
+Result<std::string> CloudServer::ServeBundleBytes() const {
+  if (!pretrained()) {
+    return Status::FailedPrecondition("server has not pretrained a model");
+  }
+  return bundle_bytes_;
+}
+
+Result<core::NamedPrediction> CloudServer::RemoteInfer(
+    const std::vector<float>& features) {
+  if (!pretrained()) {
+    return Status::FailedPrecondition("server has not pretrained a model");
+  }
+  return model_->InferFeatures(features);
+}
+
+}  // namespace magneto::platform

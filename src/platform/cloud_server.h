@@ -1,0 +1,51 @@
+#ifndef MAGNETO_PLATFORM_CLOUD_SERVER_H_
+#define MAGNETO_PLATFORM_CLOUD_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cloud_initializer.h"
+#include "core/edge_model.h"
+#include "sensors/activity.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::platform {
+
+/// The cloud side of both Figure-1 protocols.
+///
+/// For the *edge* protocol it plays its one legitimate role: run the offline
+/// initialization and serve the resulting bundle bytes. For the *cloud*
+/// (baseline) protocol it additionally hosts the model and answers per-window
+/// inference requests — the architecture MAGNETO argues against.
+class CloudServer {
+ public:
+  explicit CloudServer(core::CloudConfig config)
+      : initializer_(std::move(config)) {}
+
+  /// Offline step: trains on `corpus` and retains the model server-side.
+  Status Pretrain(const std::vector<sensors::LabeledRecording>& corpus,
+                  const sensors::ActivityRegistry& registry);
+
+  bool pretrained() const { return model_ != nullptr; }
+
+  /// Serialised bundle for the cloud -> edge transfer. Requires Pretrain.
+  Result<std::string> ServeBundleBytes() const;
+
+  /// Cloud-protocol inference endpoint: classifies one preprocessed feature
+  /// vector that the edge uplinked. Requires Pretrain.
+  Result<core::NamedPrediction> RemoteInfer(const std::vector<float>& features);
+
+  /// Size in bytes of an inference reply (activity id + confidence).
+  static constexpr size_t kResultBytes = 16;
+
+ private:
+  core::CloudInitializer initializer_;
+  std::string bundle_bytes_;
+  std::unique_ptr<core::EdgeModel> model_;  ///< server-side inference copy
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_CLOUD_SERVER_H_

@@ -1,0 +1,17 @@
+#include "platform/edge_device.h"
+
+namespace magneto::platform {
+
+Result<EdgeDevice> EdgeDevice::Provision(const std::string& bundle_bytes,
+                                         core::IncrementalOptions options,
+                                         double sample_rate_hz) {
+  MAGNETO_ASSIGN_OR_RETURN(core::ModelBundle bundle,
+                           core::ModelBundle::FromString(bundle_bytes));
+  core::SupportSet support = std::move(bundle.support);
+  core::EdgeModel model = std::move(bundle).ToEdgeModel();
+  auto runtime = std::make_unique<core::EdgeRuntime>(
+      std::move(model), std::move(support), options, sample_rate_hz);
+  return EdgeDevice(std::move(runtime), bundle_bytes.size());
+}
+
+}  // namespace magneto::platform

@@ -1,0 +1,39 @@
+#ifndef MAGNETO_PLATFORM_EDGE_DEVICE_H_
+#define MAGNETO_PLATFORM_EDGE_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/edge_runtime.h"
+#include "core/model_bundle.h"
+
+namespace magneto::platform {
+
+/// The device side of the deployment fabric: a phone-shaped wrapper that
+/// provisions an `EdgeRuntime` from the bytes it pulled over the link.
+class EdgeDevice {
+ public:
+  /// Deserialises the bundle and boots the runtime.
+  static Result<EdgeDevice> Provision(
+      const std::string& bundle_bytes, core::IncrementalOptions options,
+      double sample_rate_hz = sensors::kDefaultSampleRateHz);
+
+  core::EdgeRuntime& runtime() { return *runtime_; }
+  const core::EdgeRuntime& runtime() const { return *runtime_; }
+
+  /// Bytes of the bundle this device was provisioned from.
+  size_t provisioned_bytes() const { return provisioned_bytes_; }
+
+ private:
+  explicit EdgeDevice(std::unique_ptr<core::EdgeRuntime> runtime,
+                      size_t provisioned_bytes)
+      : runtime_(std::move(runtime)), provisioned_bytes_(provisioned_bytes) {}
+
+  std::unique_ptr<core::EdgeRuntime> runtime_;
+  size_t provisioned_bytes_;
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_EDGE_DEVICE_H_

@@ -1,0 +1,33 @@
+#ifndef MAGNETO_PLATFORM_ENERGY_H_
+#define MAGNETO_PLATFORM_ENERGY_H_
+
+namespace magneto::platform {
+
+/// First-order energy model of a phone-class device — the paper's challenge
+/// (iii): "Energy consumption, constraining the training process to be very
+/// efficient without excessive power consumption" (§1).
+///
+/// Energy = power x time, with separate budgets for CPU-bound work (compute)
+/// and radio-bound work (transfers). Defaults are representative of a
+/// mid-range smartphone: ~2 W sustained big-core compute, ~0.8 W active
+/// radio, against a ~12 Wh (43 kJ) battery.
+struct EnergyModel {
+  double cpu_active_watts = 2.0;
+  double radio_active_watts = 0.8;
+  double battery_joules = 43200.0;  ///< ~12 Wh
+
+  double ComputeJoules(double cpu_seconds) const {
+    return cpu_active_watts * cpu_seconds;
+  }
+  double RadioJoules(double radio_seconds) const {
+    return radio_active_watts * radio_seconds;
+  }
+  /// Fraction of the battery consumed by `joules`.
+  double BatteryFraction(double joules) const {
+    return battery_joules > 0.0 ? joules / battery_joules : 0.0;
+  }
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_ENERGY_H_

@@ -1,0 +1,49 @@
+#include "platform/network_link.h"
+
+#include "common/logging.h"
+
+namespace magneto::platform {
+
+NetworkLink::NetworkLink(double rtt_ms, double bandwidth_mbps)
+    : rtt_ms_(rtt_ms), bandwidth_mbps_(bandwidth_mbps) {
+  MAGNETO_CHECK(rtt_ms >= 0.0);
+  MAGNETO_CHECK(bandwidth_mbps > 0.0);
+}
+
+double NetworkLink::EstimateSeconds(size_t bytes) const {
+  const double one_way_s = rtt_ms_ / 2.0 / 1000.0;
+  const double serialize_s =
+      static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1e6);
+  return one_way_s + serialize_s;
+}
+
+double NetworkLink::Transfer(Direction direction, PayloadKind kind,
+                             size_t bytes) {
+  const double seconds = EstimateSeconds(bytes);
+  records_.push_back({direction, kind, bytes, seconds});
+  return seconds;
+}
+
+size_t NetworkLink::TotalBytes(Direction direction) const {
+  size_t total = 0;
+  for (const TransferRecord& r : records_) {
+    if (r.direction == direction) total += r.bytes;
+  }
+  return total;
+}
+
+size_t NetworkLink::TotalBytes(Direction direction, PayloadKind kind) const {
+  size_t total = 0;
+  for (const TransferRecord& r : records_) {
+    if (r.direction == direction && r.kind == kind) total += r.bytes;
+  }
+  return total;
+}
+
+double NetworkLink::TotalSeconds() const {
+  double total = 0.0;
+  for (const TransferRecord& r : records_) total += r.seconds;
+  return total;
+}
+
+}  // namespace magneto::platform

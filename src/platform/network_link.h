@@ -1,0 +1,66 @@
+#ifndef MAGNETO_PLATFORM_NETWORK_LINK_H_
+#define MAGNETO_PLATFORM_NETWORK_LINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace magneto::platform {
+
+/// Transfer direction, from the edge device's point of view.
+enum class Direction : uint8_t {
+  kUplink = 0,    ///< edge -> cloud
+  kDownlink = 1,  ///< cloud -> edge
+};
+
+/// What a transfer carries — the privacy auditor keys on this.
+enum class PayloadKind : uint8_t {
+  kUserData = 0,       ///< raw or derived user sensor data
+  kModelArtifact = 1,  ///< pre-trained bundle, weights, prototypes
+  kControl = 2,        ///< requests, acks
+  kResult = 3,         ///< inference results
+};
+
+/// One simulated transfer.
+struct TransferRecord {
+  Direction direction;
+  PayloadKind kind;
+  size_t bytes;
+  double seconds;  ///< simulated wall time of this transfer
+};
+
+/// A deterministic latency/bandwidth model of the user-cloud connection.
+///
+/// Transfer time = one-way latency + bytes / bandwidth. Every transfer is
+/// logged so the `PrivacyAuditor` can verify Definition 1 (no user data from
+/// edge to cloud) and the Figure-1 benchmark can report exact byte counts.
+class NetworkLink {
+ public:
+  /// `rtt_ms`: round-trip time; `bandwidth_mbps`: megabits/second, shared by
+  /// both directions.
+  NetworkLink(double rtt_ms, double bandwidth_mbps);
+
+  /// Simulates one transfer and returns its duration in seconds.
+  double Transfer(Direction direction, PayloadKind kind, size_t bytes);
+
+  /// Transfer duration without recording (for what-if probes).
+  double EstimateSeconds(size_t bytes) const;
+
+  double rtt_ms() const { return rtt_ms_; }
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+
+  const std::vector<TransferRecord>& records() const { return records_; }
+  size_t TotalBytes(Direction direction) const;
+  size_t TotalBytes(Direction direction, PayloadKind kind) const;
+  double TotalSeconds() const;
+  void Reset() { records_.clear(); }
+
+ private:
+  double rtt_ms_;
+  double bandwidth_mbps_;
+  std::vector<TransferRecord> records_;
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_NETWORK_LINK_H_

@@ -1,0 +1,54 @@
+#include "platform/privacy_auditor.h"
+
+#include <sstream>
+
+namespace magneto::platform {
+
+namespace {
+const char* KindName(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kUserData:
+      return "user_data";
+    case PayloadKind::kModelArtifact:
+      return "model_artifact";
+    case PayloadKind::kControl:
+      return "control";
+    case PayloadKind::kResult:
+      return "result";
+  }
+  return "?";
+}
+}  // namespace
+
+size_t PrivacyAuditor::UserBytesUplinked() const {
+  return link_->TotalBytes(Direction::kUplink, PayloadKind::kUserData);
+}
+
+Status PrivacyAuditor::Verify() const {
+  const size_t leaked = UserBytesUplinked();
+  if (leaked > 0) {
+    return Status::PermissionDenied(
+        "privacy violation: " + std::to_string(leaked) +
+        " bytes of user data were sent from edge to cloud");
+  }
+  return Status::Ok();
+}
+
+std::string PrivacyAuditor::Report() const {
+  std::ostringstream os;
+  os << "privacy audit: uplink user bytes = " << UserBytesUplinked()
+     << (UserBytesUplinked() == 0 ? " (PASS)" : " (VIOLATION)") << "\n";
+  const PayloadKind kinds[] = {PayloadKind::kUserData,
+                               PayloadKind::kModelArtifact,
+                               PayloadKind::kControl, PayloadKind::kResult};
+  for (Direction d : {Direction::kUplink, Direction::kDownlink}) {
+    os << (d == Direction::kUplink ? "  uplink  " : "  downlink");
+    for (PayloadKind k : kinds) {
+      os << "  " << KindName(k) << "=" << link_->TotalBytes(d, k);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace magneto::platform

@@ -1,0 +1,34 @@
+#ifndef MAGNETO_PLATFORM_PRIVACY_AUDITOR_H_
+#define MAGNETO_PLATFORM_PRIVACY_AUDITOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "platform/network_link.h"
+
+namespace magneto::platform {
+
+/// Checks Definition 1 of the paper against a link's transfer log:
+/// "no user data is allowed to be transferred from Edge to Cloud. However,
+/// it is less restrict to pull data from Cloud to Edge."
+class PrivacyAuditor {
+ public:
+  explicit PrivacyAuditor(const NetworkLink* link) : link_(link) {}
+
+  /// Bytes of user data that crossed edge -> cloud. Must be zero for an
+  /// edge-protocol deployment.
+  size_t UserBytesUplinked() const;
+
+  /// kPermissionDenied with a byte count if any user data went uplink.
+  Status Verify() const;
+
+  /// Human-readable audit summary (per direction / payload kind).
+  std::string Report() const;
+
+ private:
+  const NetworkLink* link_;
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_PRIVACY_AUDITOR_H_

@@ -1,0 +1,118 @@
+#include "platform/protocols.h"
+
+#include <chrono>
+
+#include "platform/energy.h"
+#include "sensors/sensor_types.h"
+
+namespace magneto::platform {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<ProtocolMetrics> CloudProtocol::Run(
+    const std::vector<sensors::LabeledRecording>& stream,
+    const preprocess::Pipeline& edge_pipeline, bool uplink_raw_windows) {
+  if (!server_->pretrained()) {
+    return Status::FailedPrecondition("cloud server not pretrained");
+  }
+  ProtocolMetrics metrics;
+  metrics.protocol = uplink_raw_windows ? "cloud(raw)" : "cloud(features)";
+
+  const size_t window_samples =
+      edge_pipeline.config().segmentation.window_samples;
+  const size_t raw_window_bytes =
+      window_samples * sensors::kNumChannels * sizeof(float);
+
+  size_t correct = 0;
+  for (const sensors::LabeledRecording& labeled : stream) {
+    MAGNETO_ASSIGN_OR_RETURN(std::vector<std::vector<float>> windows,
+                             edge_pipeline.Process(labeled.recording));
+    for (const std::vector<float>& features : windows) {
+      const size_t uplink_bytes = uplink_raw_windows
+                                      ? raw_window_bytes
+                                      : features.size() * sizeof(float);
+      const double up_s =
+          link_->Transfer(Direction::kUplink, PayloadKind::kUserData,
+                          uplink_bytes);
+      const double t0 = NowSeconds();
+      MAGNETO_ASSIGN_OR_RETURN(core::NamedPrediction pred,
+                               server_->RemoteInfer(features));
+      const double server_s = NowSeconds() - t0;
+      const double down_s = link_->Transfer(
+          Direction::kDownlink, PayloadKind::kResult,
+          CloudServer::kResultBytes);
+      metrics.network_seconds += up_s + down_s;
+      metrics.total_latency_s += up_s + server_s + down_s;
+      ++metrics.windows;
+      if (pred.prediction.activity == labeled.label) ++correct;
+    }
+  }
+  if (metrics.windows > 0) {
+    metrics.mean_window_latency_s =
+        metrics.total_latency_s / static_cast<double>(metrics.windows);
+    metrics.accuracy =
+        static_cast<double>(correct) / static_cast<double>(metrics.windows);
+  }
+  metrics.uplink_user_bytes =
+      link_->TotalBytes(Direction::kUplink, PayloadKind::kUserData);
+  metrics.downlink_bytes = link_->TotalBytes(Direction::kDownlink);
+  const EnergyModel energy;
+  metrics.cpu_joules = energy.ComputeJoules(metrics.compute_seconds);
+  metrics.radio_joules = energy.RadioJoules(metrics.network_seconds);
+  return metrics;
+}
+
+Result<ProtocolMetrics> EdgeProtocol::Run(
+    const std::vector<sensors::LabeledRecording>& stream) {
+  MAGNETO_ASSIGN_OR_RETURN(std::string bundle_bytes,
+                           server_->ServeBundleBytes());
+  ProtocolMetrics metrics;
+  metrics.protocol = "edge";
+  metrics.setup_latency_s = link_->Transfer(
+      Direction::kDownlink, PayloadKind::kModelArtifact, bundle_bytes.size());
+  metrics.network_seconds += metrics.setup_latency_s;
+
+  MAGNETO_ASSIGN_OR_RETURN(
+      EdgeDevice device,
+      EdgeDevice::Provision(bundle_bytes, core::IncrementalOptions{}));
+  core::EdgeModel& model = device.runtime().model();
+
+  size_t correct = 0;
+  for (const sensors::LabeledRecording& labeled : stream) {
+    MAGNETO_ASSIGN_OR_RETURN(std::vector<std::vector<float>> windows,
+                             model.pipeline().Process(labeled.recording));
+    for (const std::vector<float>& features : windows) {
+      const double t0 = NowSeconds();
+      MAGNETO_ASSIGN_OR_RETURN(core::NamedPrediction pred,
+                               model.InferFeatures(features));
+      const double compute_s = NowSeconds() - t0;
+      metrics.compute_seconds += compute_s;
+      metrics.total_latency_s += compute_s;
+      ++metrics.windows;
+      if (pred.prediction.activity == labeled.label) ++correct;
+    }
+  }
+  if (metrics.windows > 0) {
+    metrics.mean_window_latency_s =
+        metrics.total_latency_s / static_cast<double>(metrics.windows);
+    metrics.accuracy =
+        static_cast<double>(correct) / static_cast<double>(metrics.windows);
+  }
+  metrics.uplink_user_bytes =
+      link_->TotalBytes(Direction::kUplink, PayloadKind::kUserData);
+  metrics.downlink_bytes = link_->TotalBytes(Direction::kDownlink);
+  const EnergyModel energy;
+  metrics.cpu_joules = energy.ComputeJoules(metrics.compute_seconds);
+  metrics.radio_joules = energy.RadioJoules(metrics.network_seconds);
+  return metrics;
+}
+
+}  // namespace magneto::platform

@@ -1,0 +1,78 @@
+#ifndef MAGNETO_PLATFORM_PROTOCOLS_H_
+#define MAGNETO_PLATFORM_PROTOCOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_runtime.h"
+#include "platform/cloud_server.h"
+#include "platform/edge_device.h"
+#include "platform/network_link.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::platform {
+
+/// What one protocol run cost, in the dimensions Figure 1 contrasts.
+struct ProtocolMetrics {
+  std::string protocol;
+  size_t windows = 0;
+  double accuracy = 0.0;
+  /// Mean end-to-end seconds from "window captured" to "label available on
+  /// the device", including simulated network time and real compute time.
+  double mean_window_latency_s = 0.0;
+  double total_latency_s = 0.0;
+  size_t uplink_user_bytes = 0;   ///< the privacy cost
+  size_t downlink_bytes = 0;      ///< provisioning + results
+  /// One-time setup latency (bundle download for the edge protocol).
+  double setup_latency_s = 0.0;
+
+  /// Device-side energy split (paper challenge iii), via `EnergyModel`.
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  double cpu_joules = 0.0;
+  double radio_joules = 0.0;
+  double total_joules() const { return cpu_joules + radio_joules; }
+};
+
+/// Figure 1, left: the conventional cloud-based deployment. Every captured
+/// window's features are uplinked, classified server-side, and the label
+/// downlinked. Constant user-data exfiltration, per-window network latency.
+class CloudProtocol {
+ public:
+  CloudProtocol(CloudServer* server, NetworkLink* link)
+      : server_(server), link_(link) {}
+
+  /// Streams every window of `stream` through the cloud loop.
+  /// The edge still runs the (cheap) preprocessing locally; the 80-float
+  /// feature vector is what goes up — the *favourable* variant for the
+  /// baseline. Pass `uplink_raw_windows = true` to ship raw windows instead.
+  Result<ProtocolMetrics> Run(
+      const std::vector<sensors::LabeledRecording>& stream,
+      const preprocess::Pipeline& edge_pipeline,
+      bool uplink_raw_windows = false);
+
+ private:
+  CloudServer* server_;
+  NetworkLink* link_;
+};
+
+/// Figure 1, right: the MAGNETO deployment. One model-artifact download at
+/// setup; all inference local; zero uplink.
+class EdgeProtocol {
+ public:
+  EdgeProtocol(CloudServer* server, NetworkLink* link)
+      : server_(server), link_(link) {}
+
+  /// Provisions a device over the link, then classifies `stream` locally.
+  Result<ProtocolMetrics> Run(
+      const std::vector<sensors::LabeledRecording>& stream);
+
+ private:
+  CloudServer* server_;
+  NetworkLink* link_;
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_PROTOCOLS_H_

@@ -1,0 +1,104 @@
+#include "preprocess/denoise.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace magneto::preprocess {
+
+void DenoiseConfig::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(method));
+  writer->WriteU64(window);
+  writer->WriteF64(alpha);
+}
+
+Result<DenoiseConfig> DenoiseConfig::Deserialize(BinaryReader* reader) {
+  DenoiseConfig config;
+  MAGNETO_ASSIGN_OR_RETURN(uint8_t method, reader->ReadU8());
+  if (method > static_cast<uint8_t>(DenoiseMethod::kLowPass)) {
+    return Status::Corruption("bad denoise method: " + std::to_string(method));
+  }
+  config.method = static_cast<DenoiseMethod>(method);
+  MAGNETO_ASSIGN_OR_RETURN(config.window, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(config.alpha, reader->ReadF64());
+  return config;
+}
+
+namespace {
+
+// Centred boxcar with shrinking window at the edges. O(n) per channel via a
+// sliding sum.
+void MovingAverageColumn(const Matrix& in, Matrix* out, size_t col,
+                         size_t window) {
+  const size_t n = in.rows();
+  const size_t half = window / 2;
+  double sum = 0.0;
+  size_t lo = 0, hi = 0;  // current [lo, hi) window
+  for (size_t i = 0; i < n; ++i) {
+    const size_t want_lo = i >= half ? i - half : 0;
+    const size_t want_hi = std::min(n, i + half + 1);
+    while (hi < want_hi) sum += in.At(hi++, col);
+    while (lo < want_lo) sum -= in.At(lo++, col);
+    out->At(i, col) = static_cast<float>(sum / static_cast<double>(hi - lo));
+  }
+}
+
+void MedianColumn(const Matrix& in, Matrix* out, size_t col, size_t window) {
+  const size_t n = in.rows();
+  const size_t half = window / 2;
+  std::vector<float> buf;
+  buf.reserve(window);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n, i + half + 1);
+    buf.clear();
+    for (size_t j = lo; j < hi; ++j) buf.push_back(in.At(j, col));
+    std::nth_element(buf.begin(), buf.begin() + (buf.size() / 2), buf.end());
+    out->At(i, col) = buf[buf.size() / 2];
+  }
+}
+
+void LowPassColumn(const Matrix& in, Matrix* out, size_t col, double alpha) {
+  const size_t n = in.rows();
+  if (n == 0) return;
+  double y = in.At(0, col);
+  out->At(0, col) = static_cast<float>(y);
+  for (size_t i = 1; i < n; ++i) {
+    y = alpha * in.At(i, col) + (1.0 - alpha) * y;
+    out->At(i, col) = static_cast<float>(y);
+  }
+}
+
+}  // namespace
+
+Result<Matrix> Denoise(const Matrix& samples, const DenoiseConfig& config) {
+  if (config.method == DenoiseMethod::kNone) return samples;
+  if (config.method == DenoiseMethod::kLowPass) {
+    if (config.alpha <= 0.0 || config.alpha > 1.0) {
+      return Status::InvalidArgument("low-pass alpha must be in (0, 1]");
+    }
+  } else {
+    if (config.window == 0 || config.window % 2 == 0) {
+      return Status::InvalidArgument("denoise window must be odd and >= 1");
+    }
+  }
+
+  Matrix out(samples.rows(), samples.cols());
+  for (size_t c = 0; c < samples.cols(); ++c) {
+    switch (config.method) {
+      case DenoiseMethod::kMovingAverage:
+        MovingAverageColumn(samples, &out, c, config.window);
+        break;
+      case DenoiseMethod::kMedian:
+        MedianColumn(samples, &out, c, config.window);
+        break;
+      case DenoiseMethod::kLowPass:
+        LowPassColumn(samples, &out, c, config.alpha);
+        break;
+      case DenoiseMethod::kNone:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace magneto::preprocess

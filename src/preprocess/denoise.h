@@ -1,0 +1,36 @@
+#ifndef MAGNETO_PREPROCESS_DENOISE_H_
+#define MAGNETO_PREPROCESS_DENOISE_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/serial.h"
+
+namespace magneto::preprocess {
+
+/// Denoising filter applied independently to each sensor channel (column).
+enum class DenoiseMethod : uint8_t {
+  kNone = 0,
+  kMovingAverage = 1,  ///< centred boxcar of `window` samples
+  kMedian = 2,         ///< centred running median of `window` samples
+  kLowPass = 3,        ///< single-pole IIR, y[t] = a*x[t] + (1-a)*y[t-1]
+};
+
+struct DenoiseConfig {
+  DenoiseMethod method = DenoiseMethod::kMovingAverage;
+  size_t window = 5;    ///< for kMovingAverage / kMedian; must be odd and >= 1
+  double alpha = 0.3;   ///< for kLowPass; in (0, 1]
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<DenoiseConfig> Deserialize(BinaryReader* reader);
+};
+
+/// Returns a denoised copy of `samples` (rows = time, cols = channels).
+/// All methods are linear (or near-linear) in the number of samples, keeping
+/// the paper's "preprocessing requires linear time" property.
+Result<Matrix> Denoise(const Matrix& samples, const DenoiseConfig& config);
+
+}  // namespace magneto::preprocess
+
+#endif  // MAGNETO_PREPROCESS_DENOISE_H_

@@ -1,0 +1,174 @@
+#include "preprocess/features.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "sensors/sensor_types.h"
+
+namespace magneto::preprocess {
+
+namespace {
+
+using sensors::Channel;
+using sensors::kNumChannels;
+
+// Extracts column `ch` of `window` into a contiguous buffer.
+void ExtractColumn(const Matrix& window, size_t ch, std::vector<float>* out) {
+  out->resize(window.rows());
+  for (size_t i = 0; i < window.rows(); ++i) (*out)[i] = window.At(i, ch);
+}
+
+// Euclidean magnitude of a tri-axial channel group.
+void Magnitude(const Matrix& window, Channel x, Channel y, Channel z,
+               std::vector<float>* out) {
+  const size_t cx = static_cast<size_t>(x);
+  const size_t cy = static_cast<size_t>(y);
+  const size_t cz = static_cast<size_t>(z);
+  out->resize(window.rows());
+  for (size_t i = 0; i < window.rows(); ++i) {
+    const double a = window.At(i, cx);
+    const double b = window.At(i, cy);
+    const double c = window.At(i, cz);
+    (*out)[i] = static_cast<float>(std::sqrt(a * a + b * b + c * c));
+  }
+}
+
+double ColumnStd(const Matrix& window, Channel c, std::vector<float>* buf) {
+  ExtractColumn(window, static_cast<size_t>(c), buf);
+  return stats::StdDev(buf->data(), buf->size());
+}
+
+double ColumnMean(const Matrix& window, Channel c, std::vector<float>* buf) {
+  ExtractColumn(window, static_cast<size_t>(c), buf);
+  return stats::Mean(buf->data(), buf->size());
+}
+
+constexpr Channel kMotionAxes[9] = {
+    Channel::kAccX,    Channel::kAccY,    Channel::kAccZ,
+    Channel::kGyroX,   Channel::kGyroY,   Channel::kGyroZ,
+    Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ};
+
+}  // namespace
+
+Result<std::vector<float>> FeatureExtractor::Extract(
+    const Matrix& window) const {
+  if (window.cols() != kNumChannels) {
+    return Status::InvalidArgument(
+        "window must have " + std::to_string(kNumChannels) + " channels, got " +
+        std::to_string(window.cols()));
+  }
+  if (window.rows() < 2) {
+    return Status::InvalidArgument("window must have at least 2 samples");
+  }
+
+  std::vector<float> out;
+  out.reserve(kNumFeatures);
+  std::vector<float> buf;
+
+  // [0..44] per-axis motion stats.
+  for (Channel c : kMotionAxes) {
+    ExtractColumn(window, static_cast<size_t>(c), &buf);
+    const float* x = buf.data();
+    const size_t n = buf.size();
+    out.push_back(static_cast<float>(stats::Mean(x, n)));
+    out.push_back(static_cast<float>(stats::StdDev(x, n)));
+    out.push_back(static_cast<float>(stats::Min(x, n)));
+    out.push_back(static_cast<float>(stats::Max(x, n)));
+    out.push_back(static_cast<float>(stats::ZeroCrossingRate(x, n)));
+  }
+
+  // [45..68] magnitude-signal stats.
+  const struct {
+    Channel x, y, z;
+  } kGroups[3] = {
+      {Channel::kAccX, Channel::kAccY, Channel::kAccZ},
+      {Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ},
+      {Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ}};
+  const size_t lag = std::max<size_t>(1, window.rows() / 10);
+  for (const auto& g : kGroups) {
+    Magnitude(window, g.x, g.y, g.z, &buf);
+    const float* x = buf.data();
+    const size_t n = buf.size();
+    out.push_back(static_cast<float>(stats::Mean(x, n)));
+    out.push_back(static_cast<float>(stats::StdDev(x, n)));
+    out.push_back(static_cast<float>(stats::Skewness(x, n)));
+    out.push_back(static_cast<float>(stats::Kurtosis(x, n)));
+    out.push_back(static_cast<float>(stats::Energy(x, n)));
+    out.push_back(static_cast<float>(stats::MeanAbsDiff(x, n)));
+    out.push_back(static_cast<float>(stats::Autocorrelation(x, n, lag)));
+    out.push_back(static_cast<float>(stats::Iqr(buf)));
+  }
+
+  // [69..71] accelerometer cross-axis correlations.
+  std::vector<float> ax, ay, az;
+  ExtractColumn(window, static_cast<size_t>(Channel::kAccX), &ax);
+  ExtractColumn(window, static_cast<size_t>(Channel::kAccY), &ay);
+  ExtractColumn(window, static_cast<size_t>(Channel::kAccZ), &az);
+  const size_t n = ax.size();
+  out.push_back(
+      static_cast<float>(stats::PearsonCorrelation(ax.data(), ay.data(), n)));
+  out.push_back(
+      static_cast<float>(stats::PearsonCorrelation(ax.data(), az.data(), n)));
+  out.push_back(
+      static_cast<float>(stats::PearsonCorrelation(ay.data(), az.data(), n)));
+
+  // [72..79] context stats.
+  out.push_back(static_cast<float>(ColumnMean(window, Channel::kGravityZ, &buf)));
+  out.push_back(static_cast<float>((ColumnStd(window, Channel::kRotX, &buf) +
+                                    ColumnStd(window, Channel::kRotY, &buf) +
+                                    ColumnStd(window, Channel::kRotZ, &buf)) /
+                                   3.0));
+  out.push_back(static_cast<float>((ColumnStd(window, Channel::kMagX, &buf) +
+                                    ColumnStd(window, Channel::kMagY, &buf) +
+                                    ColumnStd(window, Channel::kMagZ, &buf)) /
+                                   3.0));
+  out.push_back(
+      static_cast<float>(ColumnMean(window, Channel::kPressure, &buf)));
+  out.push_back(static_cast<float>(ColumnMean(window, Channel::kLight, &buf)));
+  out.push_back(
+      static_cast<float>(ColumnMean(window, Channel::kProximity, &buf)));
+  out.push_back(static_cast<float>(ColumnMean(window, Channel::kSpeed, &buf)));
+  out.push_back(static_cast<float>(ColumnStd(window, Channel::kSpeed, &buf)));
+
+  MAGNETO_CHECK(out.size() == kNumFeatures);
+  return out;
+}
+
+const std::vector<std::string>& FeatureExtractor::FeatureNames() {
+  static const std::vector<std::string>& kNames = *[] {
+    auto* names = new std::vector<std::string>();
+    const char* axes[9] = {"acc_x",     "acc_y",     "acc_z",
+                           "gyro_x",    "gyro_y",    "gyro_z",
+                           "lin_acc_x", "lin_acc_y", "lin_acc_z"};
+    const char* axis_stats[5] = {"mean", "std", "min", "max", "zcr"};
+    for (const char* axis : axes) {
+      for (const char* stat : axis_stats) {
+        names->push_back(std::string(axis) + "_" + stat);
+      }
+    }
+    const char* mags[3] = {"acc_mag", "gyro_mag", "lin_acc_mag"};
+    const char* mag_stats[8] = {"mean",   "std",      "skew", "kurtosis",
+                                "energy", "abs_diff", "acorr", "iqr"};
+    for (const char* mag : mags) {
+      for (const char* stat : mag_stats) {
+        names->push_back(std::string(mag) + "_" + stat);
+      }
+    }
+    names->push_back("acc_corr_xy");
+    names->push_back("acc_corr_xz");
+    names->push_back("acc_corr_yz");
+    names->push_back("gravity_z_mean");
+    names->push_back("rot_std_avg");
+    names->push_back("mag_std_avg");
+    names->push_back("pressure_mean");
+    names->push_back("light_mean");
+    names->push_back("proximity_mean");
+    names->push_back("speed_mean");
+    names->push_back("speed_std");
+    MAGNETO_CHECK(names->size() == kNumFeatures);
+    return names;
+  }();
+  return kNames;
+}
+
+}  // namespace magneto::preprocess

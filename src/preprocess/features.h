@@ -1,0 +1,52 @@
+#ifndef MAGNETO_PREPROCESS_FEATURES_H_
+#define MAGNETO_PREPROCESS_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+
+namespace magneto::preprocess {
+
+/// Number of hand-crafted statistical features per window (§4.1.2: "We
+/// extract 80 statistical features").
+inline constexpr size_t kNumFeatures = 80;
+
+/// The paper's "primary feature extractor that relies on handcrafted
+/// statistic features, requiring linear processing time" (§3.2 item 1).
+///
+/// Layout of the 80-dimensional vector, computed on one window
+/// (window_samples x 22 channels):
+///
+///   [0..44]  per-axis stats on the 9 motion channels
+///            (acc x/y/z, gyro x/y/z, lin_acc x/y/z):
+///            mean, std, min, max, zero-crossing rate       (9 x 5 = 45)
+///   [45..68] magnitude-signal stats on |acc|, |gyro|, |lin_acc|:
+///            mean, std, skewness, kurtosis, energy,
+///            mean |diff|, autocorr(lag=win/10), IQR        (3 x 8 = 24)
+///   [69..71] accelerometer cross-axis Pearson correlations
+///            (xy, xz, yz)                                  (3)
+///   [72..79] context stats: gravity_z mean, rotation std (avg of 3 axes),
+///            magnetometer std (avg of 3 axes), pressure mean, light mean,
+///            proximity mean, speed mean, speed std         (8)
+///
+/// Every statistic is O(window) except IQR/quantiles, which are
+/// O(window log window) on a 120-sample window — constant-bounded per window,
+/// so the pipeline stays linear in stream length.
+class FeatureExtractor {
+ public:
+  FeatureExtractor() = default;
+
+  /// Computes the 80 features on `window` (rows = time, 22 columns).
+  /// Fails with kInvalidArgument if the window has the wrong channel count or
+  /// fewer than 2 samples.
+  Result<std::vector<float>> Extract(const Matrix& window) const;
+
+  /// Stable names for each of the 80 dimensions, for docs and debugging.
+  static const std::vector<std::string>& FeatureNames();
+};
+
+}  // namespace magneto::preprocess
+
+#endif  // MAGNETO_PREPROCESS_FEATURES_H_

@@ -1,0 +1,115 @@
+#include "preprocess/normalization.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace magneto::preprocess {
+
+Result<Normalizer> Normalizer::Fit(NormalizationMethod method,
+                                   const sensors::FeatureDataset& data) {
+  Normalizer norm;
+  norm.method_ = method;
+  if (method == NormalizationMethod::kNone) return norm;
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit normalizer on empty dataset");
+  }
+  const size_t d = data.dim();
+  const size_t n = data.size();
+  norm.offset_.assign(d, 0.0f);
+  norm.scale_.assign(d, 1.0f);
+
+  if (method == NormalizationMethod::kZScore) {
+    std::vector<double> mean(d, 0.0), m2(d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = row[j] - mean[j];
+        m2[j] += diff * diff;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const double var = m2[j] / static_cast<double>(n);
+      const double stddev = std::sqrt(var);
+      norm.offset_[j] = static_cast<float>(mean[j]);
+      // Constant dimensions map to 0 (offset subtracts the constant).
+      norm.scale_[j] =
+          stddev > 1e-12 ? static_cast<float>(1.0 / stddev) : 1.0f;
+    }
+  } else {  // kMinMax
+    std::vector<float> lo(d, std::numeric_limits<float>::max());
+    std::vector<float> hi(d, std::numeric_limits<float>::lowest());
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        lo[j] = std::min(lo[j], row[j]);
+        hi[j] = std::max(hi[j], row[j]);
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      norm.offset_[j] = lo[j];
+      const float range = hi[j] - lo[j];
+      norm.scale_[j] = range > 1e-12f ? 1.0f / range : 1.0f;
+    }
+  }
+  return norm;
+}
+
+Status Normalizer::Apply(std::vector<float>* features) const {
+  return Apply(features->data(), features->size());
+}
+
+Status Normalizer::Apply(float* features, size_t n) const {
+  if (method_ == NormalizationMethod::kNone) return Status::Ok();
+  if (n != offset_.size()) {
+    return Status::InvalidArgument(
+        "feature dim " + std::to_string(n) + " != normalizer dim " +
+        std::to_string(offset_.size()));
+  }
+  for (size_t j = 0; j < n; ++j) {
+    features[j] = (features[j] - offset_[j]) * scale_[j];
+  }
+  return Status::Ok();
+}
+
+Result<sensors::FeatureDataset> Normalizer::ApplyToDataset(
+    const sensors::FeatureDataset& data) const {
+  sensors::FeatureDataset out;
+  std::vector<float> row(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    row = data.RowVector(i);
+    MAGNETO_RETURN_IF_ERROR(Apply(&row));
+    out.Append(row, data.Label(i));
+  }
+  return out;
+}
+
+void Normalizer::Serialize(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(method_));
+  writer->WriteF32Vector(offset_);
+  writer->WriteF32Vector(scale_);
+}
+
+Result<Normalizer> Normalizer::Deserialize(BinaryReader* reader) {
+  Normalizer norm;
+  MAGNETO_ASSIGN_OR_RETURN(uint8_t method, reader->ReadU8());
+  if (method > static_cast<uint8_t>(NormalizationMethod::kMinMax)) {
+    return Status::Corruption("bad normalization method: " +
+                              std::to_string(method));
+  }
+  norm.method_ = static_cast<NormalizationMethod>(method);
+  MAGNETO_ASSIGN_OR_RETURN(norm.offset_, reader->ReadF32Vector());
+  MAGNETO_ASSIGN_OR_RETURN(norm.scale_, reader->ReadF32Vector());
+  if (norm.offset_.size() != norm.scale_.size()) {
+    return Status::Corruption("normalizer offset/scale size mismatch");
+  }
+  return norm;
+}
+
+}  // namespace magneto::preprocess

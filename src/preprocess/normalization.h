@@ -1,0 +1,63 @@
+#ifndef MAGNETO_PREPROCESS_NORMALIZATION_H_
+#define MAGNETO_PREPROCESS_NORMALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "sensors/dataset.h"
+
+namespace magneto::preprocess {
+
+enum class NormalizationMethod : uint8_t {
+  kNone = 0,
+  kZScore = 1,  ///< (x - mean) / std, per dimension
+  kMinMax = 2,  ///< (x - min) / (max - min), per dimension
+};
+
+/// Per-dimension affine normaliser with *frozen* statistics.
+///
+/// The statistics are fitted once on the cloud pre-training data and shipped
+/// to the edge as part of the bundle ("the pre-processing function", §3.2
+/// item 1). The edge never re-fits them: incremental updates must live in the
+/// same input space the backbone was trained in, otherwise old prototypes and
+/// the distillation targets would silently shift.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Fits statistics of `method` on the rows of `data`.
+  static Result<Normalizer> Fit(NormalizationMethod method,
+                                const sensors::FeatureDataset& data);
+
+  NormalizationMethod method() const { return method_; }
+  bool fitted() const { return method_ == NormalizationMethod::kNone || !scale_.empty(); }
+  size_t dim() const { return offset_.size(); }
+
+  /// Normalises one feature vector in place.
+  Status Apply(std::vector<float>* features) const;
+  Status Apply(float* features, size_t n) const;
+
+  /// Normalises every row of `data`, returning a new dataset.
+  Result<sensors::FeatureDataset> ApplyToDataset(
+      const sensors::FeatureDataset& data) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Normalizer> Deserialize(BinaryReader* reader);
+
+  bool operator==(const Normalizer& other) const {
+    return method_ == other.method_ && offset_ == other.offset_ &&
+           scale_ == other.scale_;
+  }
+
+ private:
+  NormalizationMethod method_ = NormalizationMethod::kNone;
+  // Normalised value = (x - offset) * scale, per dimension.
+  std::vector<float> offset_;
+  std::vector<float> scale_;
+};
+
+}  // namespace magneto::preprocess
+
+#endif  // MAGNETO_PREPROCESS_NORMALIZATION_H_

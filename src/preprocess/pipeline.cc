@@ -1,0 +1,147 @@
+#include "preprocess/pipeline.h"
+
+namespace magneto::preprocess {
+
+size_t FeatureDim(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kStatistical:
+      return kNumFeatures;
+    case FeatureMode::kSpectral:
+      return kNumSpectralFeatures;
+    case FeatureMode::kCombined:
+      return kNumFeatures + kNumSpectralFeatures;
+  }
+  return 0;
+}
+
+void PipelineConfig::Serialize(BinaryWriter* writer) const {
+  denoise.Serialize(writer);
+  segmentation.Serialize(writer);
+  writer->WriteU8(static_cast<uint8_t>(normalization));
+  writer->WriteU8(static_cast<uint8_t>(features));
+  writer->WriteF64(sample_rate_hz);
+}
+
+Result<PipelineConfig> PipelineConfig::Deserialize(BinaryReader* reader) {
+  PipelineConfig config;
+  MAGNETO_ASSIGN_OR_RETURN(config.denoise, DenoiseConfig::Deserialize(reader));
+  MAGNETO_ASSIGN_OR_RETURN(config.segmentation,
+                           SegmentationConfig::Deserialize(reader));
+  MAGNETO_ASSIGN_OR_RETURN(uint8_t norm, reader->ReadU8());
+  if (norm > static_cast<uint8_t>(NormalizationMethod::kMinMax)) {
+    return Status::Corruption("bad normalization method: " +
+                              std::to_string(norm));
+  }
+  config.normalization = static_cast<NormalizationMethod>(norm);
+  MAGNETO_ASSIGN_OR_RETURN(uint8_t features, reader->ReadU8());
+  if (features > static_cast<uint8_t>(FeatureMode::kCombined)) {
+    return Status::Corruption("bad feature mode: " + std::to_string(features));
+  }
+  config.features = static_cast<FeatureMode>(features);
+  MAGNETO_ASSIGN_OR_RETURN(config.sample_rate_hz, reader->ReadF64());
+  return config;
+}
+
+Result<std::vector<float>> Pipeline::Featurize(const Matrix& window) const {
+  switch (config_.features) {
+    case FeatureMode::kStatistical:
+      return extractor_.Extract(window);
+    case FeatureMode::kSpectral:
+      return spectral_.Extract(window);
+    case FeatureMode::kCombined: {
+      MAGNETO_ASSIGN_OR_RETURN(std::vector<float> stat,
+                               extractor_.Extract(window));
+      MAGNETO_ASSIGN_OR_RETURN(std::vector<float> spec,
+                               spectral_.Extract(window));
+      stat.insert(stat.end(), spec.begin(), spec.end());
+      return stat;
+    }
+  }
+  return Status::Internal("unknown feature mode");
+}
+
+Result<sensors::FeatureDataset> Pipeline::RawFeatures(
+    const std::vector<sensors::LabeledRecording>& recordings) const {
+  sensors::FeatureDataset out;
+  for (const sensors::LabeledRecording& labeled : recordings) {
+    MAGNETO_ASSIGN_OR_RETURN(
+        Matrix denoised, Denoise(labeled.recording.samples, config_.denoise));
+    MAGNETO_ASSIGN_OR_RETURN(std::vector<Matrix> windows,
+                             Segment(denoised, config_.segmentation));
+    for (const Matrix& window : windows) {
+      MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features,
+                               Featurize(window));
+      out.Append(features, labeled.label);
+    }
+  }
+  return out;
+}
+
+Result<sensors::FeatureDataset> Pipeline::Fit(
+    const std::vector<sensors::LabeledRecording>& recordings) {
+  MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset raw,
+                           RawFeatures(recordings));
+  if (raw.empty()) {
+    return Status::InvalidArgument(
+        "no complete windows in the fitting recordings");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(normalizer_,
+                           Normalizer::Fit(config_.normalization, raw));
+  return normalizer_.ApplyToDataset(raw);
+}
+
+Result<std::vector<float>> Pipeline::ProcessWindow(const Matrix& window) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("pipeline normalizer not fitted");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(Matrix denoised, Denoise(window, config_.denoise));
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features, Featurize(denoised));
+  MAGNETO_RETURN_IF_ERROR(normalizer_.Apply(&features));
+  return features;
+}
+
+Result<std::vector<std::vector<float>>> Pipeline::Process(
+    const sensors::Recording& recording) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("pipeline normalizer not fitted");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(Matrix denoised,
+                           Denoise(recording.samples, config_.denoise));
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<Matrix> windows,
+                           Segment(denoised, config_.segmentation));
+  std::vector<std::vector<float>> out;
+  out.reserve(windows.size());
+  for (const Matrix& window : windows) {
+    MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features, Featurize(window));
+    MAGNETO_RETURN_IF_ERROR(normalizer_.Apply(&features));
+    out.push_back(std::move(features));
+  }
+  return out;
+}
+
+Result<sensors::FeatureDataset> Pipeline::ProcessLabeled(
+    const std::vector<sensors::LabeledRecording>& recordings) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("pipeline normalizer not fitted");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset raw,
+                           RawFeatures(recordings));
+  return normalizer_.ApplyToDataset(raw);
+}
+
+void Pipeline::Serialize(BinaryWriter* writer) const {
+  config_.Serialize(writer);
+  normalizer_.Serialize(writer);
+}
+
+Result<Pipeline> Pipeline::Deserialize(BinaryReader* reader) {
+  Pipeline pipeline;
+  MAGNETO_ASSIGN_OR_RETURN(pipeline.config_,
+                           PipelineConfig::Deserialize(reader));
+  pipeline.spectral_ = SpectralFeatureExtractor(pipeline.config_.sample_rate_hz);
+  MAGNETO_ASSIGN_OR_RETURN(pipeline.normalizer_,
+                           Normalizer::Deserialize(reader));
+  return pipeline;
+}
+
+}  // namespace magneto::preprocess

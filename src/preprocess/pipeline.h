@@ -1,0 +1,100 @@
+#ifndef MAGNETO_PREPROCESS_PIPELINE_H_
+#define MAGNETO_PREPROCESS_PIPELINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "preprocess/denoise.h"
+#include "preprocess/features.h"
+#include "preprocess/normalization.h"
+#include "preprocess/segmentation.h"
+#include "preprocess/spectral_features.h"
+#include "sensors/dataset.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::preprocess {
+
+/// Which feature family the pipeline produces per window.
+enum class FeatureMode : uint8_t {
+  kStatistical = 0,  ///< the paper's 80 hand-crafted statistics (default)
+  kSpectral = 1,     ///< 27 FFT-based descriptors
+  kCombined = 2,     ///< both, concatenated (107)
+};
+
+/// Feature dimension produced by a mode.
+size_t FeatureDim(FeatureMode mode);
+
+/// Configuration of the full preprocessing function.
+struct PipelineConfig {
+  DenoiseConfig denoise;
+  SegmentationConfig segmentation;
+  NormalizationMethod normalization = NormalizationMethod::kZScore;
+  FeatureMode features = FeatureMode::kStatistical;
+  double sample_rate_hz = 120.0;  ///< used by the spectral extractor
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<PipelineConfig> Deserialize(BinaryReader* reader);
+};
+
+/// The paper's "pre-processing function" (§3.2 item 1): denoising ->
+/// segmentation -> feature extraction -> normalisation, as one serialisable
+/// unit that the cloud ships to the edge.
+///
+/// Usage: the cloud calls `Fit` on the pre-training recordings (freezing the
+/// normaliser statistics), the edge then calls `Process`/`ProcessLabeled` on
+/// fresh sensor data. Both ends run the identical code path — there is no
+/// cloud-only shortcut.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(PipelineConfig config)
+      : config_(config), spectral_(config.sample_rate_hz) {}
+
+  const PipelineConfig& config() const { return config_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  bool fitted() const {
+    return config_.normalization == NormalizationMethod::kNone ||
+           normalizer_.dim() > 0;
+  }
+
+  /// Fits the normaliser on `recordings` and returns the processed dataset.
+  /// (Cloud-side, done once.)
+  Result<sensors::FeatureDataset> Fit(
+      const std::vector<sensors::LabeledRecording>& recordings);
+
+  /// Processes one recording into per-window feature vectors using the frozen
+  /// normaliser. Fails with kFailedPrecondition if not fitted.
+  Result<std::vector<std::vector<float>>> Process(
+      const sensors::Recording& recording) const;
+
+  /// Processes one already-segmented window.
+  Result<std::vector<float>> ProcessWindow(const Matrix& window) const;
+
+  /// Processes labeled recordings into a labeled dataset (frozen normaliser).
+  Result<sensors::FeatureDataset> ProcessLabeled(
+      const std::vector<sensors::LabeledRecording>& recordings) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Pipeline> Deserialize(BinaryReader* reader);
+
+  /// Feature dimension this pipeline produces per window.
+  size_t feature_dim() const { return FeatureDim(config_.features); }
+
+ private:
+  /// Runs the configured feature extractor(s) on one denoised window.
+  Result<std::vector<float>> Featurize(const Matrix& window) const;
+
+  /// Denoise + segment + featurise, no normalisation.
+  Result<sensors::FeatureDataset> RawFeatures(
+      const std::vector<sensors::LabeledRecording>& recordings) const;
+
+  PipelineConfig config_;
+  FeatureExtractor extractor_;
+  SpectralFeatureExtractor spectral_;
+  Normalizer normalizer_;
+};
+
+}  // namespace magneto::preprocess
+
+#endif  // MAGNETO_PREPROCESS_PIPELINE_H_

@@ -1,0 +1,123 @@
+#include "preprocess/spectral_features.h"
+
+#include <cmath>
+
+#include "common/fft.h"
+#include "sensors/sensor_types.h"
+
+namespace magneto::preprocess {
+
+namespace {
+
+using sensors::Channel;
+using sensors::kNumChannels;
+
+constexpr Channel kMotionAxes[9] = {
+    Channel::kAccX,    Channel::kAccY,    Channel::kAccZ,
+    Channel::kGyroX,   Channel::kGyroY,   Channel::kGyroZ,
+    Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ};
+
+void ExtractColumn(const Matrix& window, Channel ch, std::vector<float>* out) {
+  const size_t c = static_cast<size_t>(ch);
+  out->resize(window.rows());
+  for (size_t i = 0; i < window.rows(); ++i) (*out)[i] = window.At(i, c);
+}
+
+void Magnitude(const Matrix& window, Channel x, Channel y, Channel z,
+               std::vector<float>* out) {
+  out->resize(window.rows());
+  for (size_t i = 0; i < window.rows(); ++i) {
+    const double a = window.At(i, static_cast<size_t>(x));
+    const double b = window.At(i, static_cast<size_t>(y));
+    const double c = window.At(i, static_cast<size_t>(z));
+    (*out)[i] = static_cast<float>(std::sqrt(a * a + b * b + c * c));
+  }
+}
+
+/// Removes the mean so the DC bin does not swamp the gait bands.
+void RemoveMean(std::vector<float>* x) {
+  double mean = 0.0;
+  for (float v : *x) mean += v;
+  mean /= static_cast<double>(x->size());
+  for (float& v : *x) v = static_cast<float>(v - mean);
+}
+
+}  // namespace
+
+Result<std::vector<float>> SpectralFeatureExtractor::Extract(
+    const Matrix& window) const {
+  if (window.cols() != kNumChannels) {
+    return Status::InvalidArgument(
+        "window must have " + std::to_string(kNumChannels) + " channels, got " +
+        std::to_string(window.cols()));
+  }
+  if (window.rows() < 4) {
+    return Status::InvalidArgument("window must have at least 4 samples");
+  }
+
+  std::vector<float> out;
+  out.reserve(kNumSpectralFeatures);
+  std::vector<float> buf;
+
+  const struct {
+    Channel x, y, z;
+  } kGroups[3] = {
+      {Channel::kAccX, Channel::kAccY, Channel::kAccZ},
+      {Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ},
+      {Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ}};
+
+  for (const auto& g : kGroups) {
+    Magnitude(window, g.x, g.y, g.z, &buf);
+    RemoveMean(&buf);
+    const size_t padded = NextPowerOfTwo(buf.size());
+    const std::vector<double> power = PowerSpectrum(buf.data(), buf.size());
+    out.push_back(static_cast<float>(
+        spectral::DominantFrequency(power, sample_rate_hz_, padded)));
+    out.push_back(static_cast<float>(
+        spectral::SpectralCentroid(power, sample_rate_hz_, padded)));
+    out.push_back(static_cast<float>(spectral::SpectralEntropy(power)));
+    out.push_back(static_cast<float>(
+        spectral::BandPower(power, sample_rate_hz_, padded, 0.5, 3.0)));
+    out.push_back(static_cast<float>(
+        spectral::BandPower(power, sample_rate_hz_, padded, 3.0, 8.0)));
+    out.push_back(static_cast<float>(
+        spectral::BandPower(power, sample_rate_hz_, padded, 8.0, 20.0)));
+  }
+
+  for (Channel c : kMotionAxes) {
+    ExtractColumn(window, c, &buf);
+    RemoveMean(&buf);
+    const size_t padded = NextPowerOfTwo(buf.size());
+    const std::vector<double> power = PowerSpectrum(buf.data(), buf.size());
+    out.push_back(static_cast<float>(
+        spectral::DominantFrequency(power, sample_rate_hz_, padded)));
+  }
+
+  MAGNETO_CHECK(out.size() == kNumSpectralFeatures);
+  return out;
+}
+
+const std::vector<std::string>& SpectralFeatureExtractor::FeatureNames() {
+  static const std::vector<std::string>& kNames = *[] {
+    auto* names = new std::vector<std::string>();
+    const char* groups[3] = {"acc_mag", "gyro_mag", "lin_acc_mag"};
+    const char* stats[6] = {"dom_freq", "centroid",   "entropy",
+                            "band_gait", "band_mid",  "band_vib"};
+    for (const char* group : groups) {
+      for (const char* stat : stats) {
+        names->push_back(std::string(group) + "_" + stat);
+      }
+    }
+    const char* axes[9] = {"acc_x",     "acc_y",     "acc_z",
+                           "gyro_x",    "gyro_y",    "gyro_z",
+                           "lin_acc_x", "lin_acc_y", "lin_acc_z"};
+    for (const char* axis : axes) {
+      names->push_back(std::string(axis) + "_dom_freq");
+    }
+    MAGNETO_CHECK(names->size() == kNumSpectralFeatures);
+    return names;
+  }();
+  return kNames;
+}
+
+}  // namespace magneto::preprocess

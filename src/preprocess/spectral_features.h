@@ -1,0 +1,46 @@
+#ifndef MAGNETO_PREPROCESS_SPECTRAL_FEATURES_H_
+#define MAGNETO_PREPROCESS_SPECTRAL_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+
+namespace magneto::preprocess {
+
+/// Number of spectral features per window.
+inline constexpr size_t kNumSpectralFeatures = 27;
+
+/// The "more advanced feature extractor" slot the paper leaves open (§3.2
+/// item 1: "more advanced feature extractors can be explored and integrated
+/// into our framework"). FFT-based descriptors of the motion channels:
+///
+///   per magnitude group (|acc|, |gyro|, |lin_acc|):
+///     dominant frequency, spectral centroid, spectral entropy,
+///     band power 0.5-3 Hz (gait band), 3-8 Hz (vigorous motion / gesture),
+///     8-20 Hz (vibration)                                  (3 x 6 = 18)
+///   per motion axis (acc/gyro/lin_acc x/y/z):
+///     dominant frequency                                   (9)
+///
+/// Cost is O(window log window) per window — still constant-bounded per
+/// one-second window, preserving the real-time property.
+class SpectralFeatureExtractor {
+ public:
+  explicit SpectralFeatureExtractor(double sample_rate_hz = 120.0)
+      : sample_rate_hz_(sample_rate_hz) {}
+
+  double sample_rate_hz() const { return sample_rate_hz_; }
+
+  /// Computes the 27 features on `window` (rows = time, 22 channels).
+  Result<std::vector<float>> Extract(const Matrix& window) const;
+
+  static const std::vector<std::string>& FeatureNames();
+
+ private:
+  double sample_rate_hz_;
+};
+
+}  // namespace magneto::preprocess
+
+#endif  // MAGNETO_PREPROCESS_SPECTRAL_FEATURES_H_

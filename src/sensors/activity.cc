@@ -1,0 +1,96 @@
+#include "sensors/activity.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace magneto::sensors {
+
+ActivityRegistry ActivityRegistry::BaseActivities() {
+  ActivityRegistry registry;
+  // Order fixed to match the base ids above.
+  MAGNETO_CHECK(registry.RegisterWithId(kDrive, "Drive").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kEScooter, "E-scooter").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kRun, "Run").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kStill, "Still").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kWalk, "Walk").ok());
+  return registry;
+}
+
+ActivityRegistry ActivityRegistry::ExtendedActivities() {
+  ActivityRegistry registry = BaseActivities();
+  MAGNETO_CHECK(registry.RegisterWithId(kCycle, "Cycle").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kStairsUp, "Stairs Up").ok());
+  MAGNETO_CHECK(registry.RegisterWithId(kSit, "Sit").ok());
+  return registry;
+}
+
+Result<ActivityId> ActivityRegistry::Register(const std::string& name) {
+  if (ids_.count(name) > 0) {
+    return Status::AlreadyExists("activity name taken: " + name);
+  }
+  const ActivityId id = next_id_;
+  MAGNETO_RETURN_IF_ERROR(RegisterWithId(id, name));
+  return id;
+}
+
+Status ActivityRegistry::RegisterWithId(ActivityId id,
+                                        const std::string& name) {
+  if (names_.count(id) > 0) {
+    return Status::AlreadyExists("activity id taken: " + std::to_string(id));
+  }
+  if (ids_.count(name) > 0) {
+    return Status::AlreadyExists("activity name taken: " + name);
+  }
+  names_[id] = name;
+  ids_[name] = id;
+  next_id_ = std::max(next_id_, id + 1);
+  return Status::Ok();
+}
+
+Result<ActivityId> ActivityRegistry::IdOf(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return Status::NotFound("unknown activity: " + name);
+  return it->second;
+}
+
+Result<std::string> ActivityRegistry::NameOf(ActivityId id) const {
+  auto it = names_.find(id);
+  if (it == names_.end()) {
+    return Status::NotFound("unknown activity id: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<ActivityId> ActivityRegistry::Ids() const {
+  std::vector<ActivityId> ids;
+  ids.reserve(names_.size());
+  for (const auto& [id, name] : names_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ActivityRegistry::Serialize(BinaryWriter* writer) const {
+  const std::vector<ActivityId> ids = Ids();
+  writer->WriteU64(ids.size());
+  for (ActivityId id : ids) {
+    writer->WriteI64(id);
+    writer->WriteString(names_.at(id));
+  }
+  writer->WriteI64(next_id_);
+}
+
+Result<ActivityRegistry> ActivityRegistry::Deserialize(BinaryReader* reader) {
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  ActivityRegistry registry;
+  for (uint64_t i = 0; i < n; ++i) {
+    MAGNETO_ASSIGN_OR_RETURN(int64_t id, reader->ReadI64());
+    MAGNETO_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    MAGNETO_RETURN_IF_ERROR(registry.RegisterWithId(id, name));
+  }
+  MAGNETO_ASSIGN_OR_RETURN(int64_t next_id, reader->ReadI64());
+  registry.next_id_ = std::max(registry.next_id_, next_id);
+  return registry;
+}
+
+}  // namespace magneto::sensors

@@ -1,0 +1,77 @@
+#ifndef MAGNETO_SENSORS_ACTIVITY_H_
+#define MAGNETO_SENSORS_ACTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace magneto::sensors {
+
+/// Numeric label of an activity class. Stable across the lifetime of a
+/// deployment: new user-defined activities get fresh ids, ids are never
+/// reused.
+using ActivityId = int64_t;
+
+/// Base activity ids — the five classes the paper pre-trains on (§4.1.2).
+inline constexpr ActivityId kDrive = 0;
+inline constexpr ActivityId kEScooter = 1;
+inline constexpr ActivityId kRun = 2;
+inline constexpr ActivityId kStill = 3;
+inline constexpr ActivityId kWalk = 4;
+
+/// Extended activity ids (the optional 8-class configuration; see
+/// `ExtendedActivityLibrary`).
+inline constexpr ActivityId kCycle = 5;
+inline constexpr ActivityId kStairsUp = 6;
+inline constexpr ActivityId kSit = 7;
+
+/// Bidirectional name <-> id registry of activity classes.
+///
+/// The registry is *dynamic*: MAGNETO's whole point is that users can add new
+/// activities on the Edge at runtime (Definition 2 / §3.3). The registry is
+/// part of the serialised model bundle so that the set of known classes
+/// travels with the model.
+class ActivityRegistry {
+ public:
+  ActivityRegistry() = default;
+
+  /// Registry pre-populated with the paper's five base activities.
+  static ActivityRegistry BaseActivities();
+
+  /// Base activities plus Cycle, Stairs Up and Sit (8 classes) — for the
+  /// scaling experiments beyond the paper's demo set.
+  static ActivityRegistry ExtendedActivities();
+
+  /// Registers a new activity under `name`. Fails with kAlreadyExists if the
+  /// name is taken. Returns the new id.
+  Result<ActivityId> Register(const std::string& name);
+
+  /// Registers `name` under a caller-chosen id (used by deserialisation).
+  Status RegisterWithId(ActivityId id, const std::string& name);
+
+  Result<ActivityId> IdOf(const std::string& name) const;
+  Result<std::string> NameOf(ActivityId id) const;
+  bool Contains(ActivityId id) const { return names_.count(id) > 0; }
+
+  size_t size() const { return names_.size(); }
+
+  /// Ids in ascending order.
+  std::vector<ActivityId> Ids() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<ActivityRegistry> Deserialize(BinaryReader* reader);
+
+ private:
+  std::unordered_map<ActivityId, std::string> names_;
+  std::unordered_map<std::string, ActivityId> ids_;
+  ActivityId next_id_ = 0;
+};
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_ACTIVITY_H_

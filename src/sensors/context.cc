@@ -1,0 +1,52 @@
+#include "sensors/context.h"
+
+#include <cmath>
+
+namespace magneto::sensors {
+
+RecordingContext RecordingContext::Sample(Rng* rng) {
+  RecordingContext ctx;
+  // Illuminance spans orders of magnitude between night and noon: log-uniform.
+  ctx.light_scale = std::exp(rng->Uniform(std::log(0.05), std::log(5.0)));
+  // Altitude (0-1500 m) and weather systems move the barometer tens of hPa.
+  ctx.pressure_shift = rng->Uniform(-40.0, 15.0);
+  // Pocket vs hand: proximity sensor covered or not.
+  ctx.proximity = rng->Bernoulli(0.5) ? rng->Uniform(0.0, 1.0)
+                                      : rng->Uniform(4.0, 6.0);
+  ctx.speed_noise_scale = std::exp(rng->Normal(0.0, 0.4));
+  for (int i = 0; i < 3; ++i) {
+    ctx.mag_shift[i] = rng->Normal(0.0, 15.0);
+    ctx.orientation_gain[i] = std::exp(rng->Normal(0.0, 0.15));
+  }
+  return ctx;
+}
+
+SignalModel RecordingContext::Apply(const SignalModel& model) const {
+  SignalModel out = model;
+
+  ChannelModel& light = out.channel(Channel::kLight);
+  light.baseline *= light_scale;
+  light.noise_sigma *= light_scale;
+
+  out.channel(Channel::kPressure).baseline += pressure_shift;
+  out.channel(Channel::kProximity).baseline = proximity;
+
+  ChannelModel& speed = out.channel(Channel::kSpeed);
+  speed.noise_sigma *= speed_noise_scale;
+
+  const Channel mags[3] = {Channel::kMagX, Channel::kMagY, Channel::kMagZ};
+  const Channel gravity[3] = {Channel::kGravityX, Channel::kGravityY,
+                              Channel::kGravityZ};
+  const Channel rot[3] = {Channel::kRotX, Channel::kRotY, Channel::kRotZ};
+  for (int i = 0; i < 3; ++i) {
+    out.channel(mags[i]).baseline += mag_shift[i];
+    ChannelModel& g = out.channel(gravity[i]);
+    g.baseline *= orientation_gain[i];
+    for (Harmonic& h : g.harmonics) h.amplitude *= orientation_gain[i];
+    ChannelModel& r = out.channel(rot[i]);
+    r.baseline *= orientation_gain[i];
+  }
+  return out;
+}
+
+}  // namespace magneto::sensors

@@ -1,0 +1,38 @@
+#ifndef MAGNETO_SENSORS_CONTEXT_H_
+#define MAGNETO_SENSORS_CONTEXT_H_
+
+#include "common/random.h"
+#include "sensors/signal_model.h"
+
+namespace magneto::sensors {
+
+/// Recording-context nuisance: conditions that vary between captures but say
+/// nothing about the activity — time of day (light), weather/altitude
+/// (pressure), carry position (proximity, orientation), GPS quality (speed
+/// noise), local magnetic disturbances.
+///
+/// Real sensor corpora are full of this variance; a recognizer that keys on
+/// absolute light level or barometric pressure generalises terribly. Sampling
+/// a `RecordingContext` per capture injects exactly that confound into the
+/// synthetic data, which is what makes the learned, nuisance-suppressing
+/// embedding measurably better than raw-feature matching (ablated in
+/// bench_pretraining).
+struct RecordingContext {
+  double light_scale = 1.0;      ///< night ... noon sun
+  double pressure_shift = 0.0;   ///< hPa, altitude + weather
+  double proximity = 5.0;        ///< cm; ~0 = in pocket
+  double speed_noise_scale = 1.0;///< GPS fix quality
+  double mag_shift[3] = {0, 0, 0};  ///< nearby ferrous objects, uT
+  double orientation_gain[3] = {1, 1, 1};  ///< carry-angle projection of
+                                           ///< gravity/rotation axes
+
+  /// Samples a plausible random context.
+  static RecordingContext Sample(Rng* rng);
+
+  /// Returns `model` as it would be captured under this context.
+  SignalModel Apply(const SignalModel& model) const;
+};
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_CONTEXT_H_

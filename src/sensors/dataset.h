@@ -1,0 +1,86 @@
+#ifndef MAGNETO_SENSORS_DATASET_H_
+#define MAGNETO_SENSORS_DATASET_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "sensors/activity.h"
+
+namespace magneto::sensors {
+
+/// A labeled set of fixed-length feature vectors.
+///
+/// This is the representation everything downstream of the preprocessing
+/// pipeline works on: one row = one one-second window reduced to the 80
+/// statistical features, `labels()[i]` = the activity performed in that
+/// window. Storage is a flat row-major buffer with amortised append.
+class FeatureDataset {
+ public:
+  FeatureDataset() = default;
+
+  /// Takes ownership of row-major `features` (n x dim) and `labels` (n).
+  FeatureDataset(Matrix features, std::vector<ActivityId> labels);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  size_t dim() const { return dim_; }
+
+  const std::vector<ActivityId>& labels() const { return labels_; }
+
+  const float* Row(size_t i) const {
+    MAGNETO_DCHECK(i < size());
+    return data_.data() + i * dim_;
+  }
+  std::vector<float> RowVector(size_t i) const {
+    const float* r = Row(i);
+    return std::vector<float>(r, r + dim_);
+  }
+  ActivityId Label(size_t i) const { return labels_[i]; }
+
+  /// Copies all rows into a fresh (size x dim) matrix.
+  Matrix ToMatrix() const;
+
+  /// Appends one example. The first append fixes the feature dimension.
+  void Append(const float* feature, size_t dim, ActivityId label);
+  void Append(const std::vector<float>& feature, ActivityId label) {
+    Append(feature.data(), feature.size(), label);
+  }
+
+  /// Appends all examples of `other` (dimensions must match).
+  void Merge(const FeatureDataset& other);
+
+  /// Random permutation of the examples.
+  void Shuffle(Rng* rng);
+
+  /// Stratified split: `train_fraction` of each class goes to the first
+  /// dataset, the rest to the second. Preserves class balance in both halves.
+  std::pair<FeatureDataset, FeatureDataset> StratifiedSplit(
+      double train_fraction, Rng* rng) const;
+
+  /// All examples of class `label`.
+  FeatureDataset FilterByClass(ActivityId label) const;
+
+  /// All examples whose label is in `labels`.
+  FeatureDataset FilterByClasses(const std::vector<ActivityId>& labels) const;
+
+  /// Examples per class.
+  std::map<ActivityId, size_t> ClassCounts() const;
+
+  /// Distinct labels in ascending order.
+  std::vector<ActivityId> Classes() const;
+
+  /// Keeps at most `max_per_class` random examples per class.
+  FeatureDataset SubsamplePerClass(size_t max_per_class, Rng* rng) const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> data_;  ///< row-major, size() * dim_ floats
+  std::vector<ActivityId> labels_;
+};
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_DATASET_H_

@@ -1,0 +1,32 @@
+#ifndef MAGNETO_SENSORS_RECORDING_H_
+#define MAGNETO_SENSORS_RECORDING_H_
+
+#include <cstddef>
+
+#include "common/matrix.h"
+#include "sensors/sensor_types.h"
+
+namespace magneto::sensors {
+
+/// A contiguous multi-channel sensor capture.
+///
+/// Rows are time steps, columns are channels (see `Channel` for the layout).
+/// This is the raw unit the preprocessing pipeline consumes — e.g. the
+/// "roughly 20-30 seconds of recording" a user captures for a new activity
+/// (§3.3 step 1).
+struct Recording {
+  Matrix samples;                              ///< num_samples x kNumChannels
+  double sample_rate_hz = kDefaultSampleRateHz;
+
+  size_t num_samples() const { return samples.rows(); }
+  size_t num_channels() const { return samples.cols(); }
+  double duration_seconds() const {
+    return sample_rate_hz > 0
+               ? static_cast<double>(num_samples()) / sample_rate_hz
+               : 0.0;
+  }
+};
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_RECORDING_H_

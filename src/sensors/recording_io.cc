@@ -1,0 +1,119 @@
+#include "sensors/recording_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace magneto::sensors {
+
+namespace {
+constexpr char kMagic[4] = {'M', 'S', 'N', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kMaxSide = 1ull << 32;  // wire sanity cap
+}  // namespace
+
+void SerializeRecording(const Recording& recording, BinaryWriter* writer) {
+  writer->WriteF64(recording.sample_rate_hz);
+  writer->WriteU64(recording.samples.rows());
+  writer->WriteU64(recording.samples.cols());
+  writer->WriteF32Vector(recording.samples.storage());
+}
+
+Result<Recording> DeserializeRecording(BinaryReader* reader) {
+  Recording rec;
+  MAGNETO_ASSIGN_OR_RETURN(rec.sample_rate_hz, reader->ReadF64());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t rows, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t cols, reader->ReadU64());
+  if (rows >= kMaxSide || cols >= kMaxSide) {
+    return Status::Corruption("recording dimensions out of range");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<float> data, reader->ReadF32Vector());
+  if (data.size() != rows * cols) {
+    return Status::Corruption("recording payload size mismatch");
+  }
+  rec.samples = Matrix(rows, cols, std::move(data));
+  return rec;
+}
+
+Status SaveRecordings(const std::vector<LabeledRecording>& recordings,
+                      const std::string& path) {
+  BinaryWriter body;
+  body.WriteU32(kVersion);
+  body.WriteU64(recordings.size());
+  for (const LabeledRecording& rec : recordings) {
+    body.WriteI64(rec.label);
+    SerializeRecording(rec.recording, &body);
+  }
+
+  BinaryWriter out;
+  out.WriteBytes(kMagic, sizeof(kMagic));
+  out.WriteBytes(body.buffer().data(), body.size());
+  out.WriteU32(Crc32(body.buffer().data(), body.size()));
+  return WriteFile(path, out.buffer());
+}
+
+Result<std::vector<LabeledRecording>> LoadRecordings(const std::string& path) {
+  MAGNETO_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a MAGNETO recording file: " + path);
+  }
+  const char* body = bytes.data() + sizeof(kMagic);
+  const size_t body_size = bytes.size() - sizeof(kMagic) - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (Crc32(body, body_size) != stored_crc) {
+    return Status::Corruption("recording file checksum mismatch: " + path);
+  }
+
+  BinaryReader reader(body, body_size);
+  MAGNETO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported recording file version: " +
+                              std::to_string(version));
+  }
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  std::vector<LabeledRecording> out;
+  out.reserve(std::min<uint64_t>(count, 4096));
+  for (uint64_t i = 0; i < count; ++i) {
+    LabeledRecording rec;
+    MAGNETO_ASSIGN_OR_RETURN(rec.label, reader.ReadI64());
+    MAGNETO_ASSIGN_OR_RETURN(rec.recording, DeserializeRecording(&reader));
+    out.push_back(std::move(rec));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in recording file");
+  }
+  return out;
+}
+
+Status WriteFeatureCsv(const FeatureDataset& dataset,
+                       const std::vector<std::string>& feature_names,
+                       const std::string& path) {
+  if (!feature_names.empty() && feature_names.size() != dataset.dim()) {
+    return Status::InvalidArgument(
+        "feature_names size " + std::to_string(feature_names.size()) +
+        " != dataset dim " + std::to_string(dataset.dim()));
+  }
+  std::string csv;
+  csv.reserve(dataset.size() * dataset.dim() * 12 + 1024);
+  csv += "label";
+  for (size_t j = 0; j < dataset.dim(); ++j) {
+    csv += ',';
+    csv += feature_names.empty() ? "f" + std::to_string(j) : feature_names[j];
+  }
+  csv += '\n';
+  char cell[48];
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    csv += std::to_string(dataset.Label(i));
+    const float* row = dataset.Row(i);
+    for (size_t j = 0; j < dataset.dim(); ++j) {
+      std::snprintf(cell, sizeof(cell), ",%.9g", row[j]);
+      csv += cell;
+    }
+    csv += '\n';
+  }
+  return WriteFile(path, csv);
+}
+
+}  // namespace magneto::sensors

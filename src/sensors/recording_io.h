@@ -1,0 +1,40 @@
+#ifndef MAGNETO_SENSORS_RECORDING_IO_H_
+#define MAGNETO_SENSORS_RECORDING_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serial.h"
+#include "sensors/dataset.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::sensors {
+
+/// Binary persistence for sensor recordings — the on-disk artifact of a
+/// "data collection campaign" (§3.2). Format: magic "MSNS", u32 version,
+/// u64 count, per recording {i64 label, f64 rate, u64 rows, u64 cols,
+/// packed f32 samples}, u32 CRC of everything after the magic.
+///
+/// A labeled capture file round-trips losslessly and is what `magneto
+/// collect` writes and `magneto pretrain --data` consumes.
+
+void SerializeRecording(const Recording& recording, BinaryWriter* writer);
+Result<Recording> DeserializeRecording(BinaryReader* reader);
+
+/// Whole-campaign file helpers.
+Status SaveRecordings(const std::vector<LabeledRecording>& recordings,
+                      const std::string& path);
+Result<std::vector<LabeledRecording>> LoadRecordings(const std::string& path);
+
+/// Writes a feature dataset as CSV for external analysis (pandas, R, ...):
+/// header `label,<feature names...>`, one row per example. `feature_names`
+/// must match the dataset dimension (e.g. `FeatureExtractor::FeatureNames()`)
+/// or be empty, in which case columns are named f0..fN.
+Status WriteFeatureCsv(const FeatureDataset& dataset,
+                       const std::vector<std::string>& feature_names,
+                       const std::string& path);
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_RECORDING_IO_H_

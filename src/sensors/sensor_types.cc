@@ -1,0 +1,55 @@
+#include "sensors/sensor_types.h"
+
+namespace magneto::sensors {
+
+std::string_view ChannelName(Channel c) {
+  switch (c) {
+    case Channel::kAccX:
+      return "acc_x";
+    case Channel::kAccY:
+      return "acc_y";
+    case Channel::kAccZ:
+      return "acc_z";
+    case Channel::kGyroX:
+      return "gyro_x";
+    case Channel::kGyroY:
+      return "gyro_y";
+    case Channel::kGyroZ:
+      return "gyro_z";
+    case Channel::kMagX:
+      return "mag_x";
+    case Channel::kMagY:
+      return "mag_y";
+    case Channel::kMagZ:
+      return "mag_z";
+    case Channel::kLinAccX:
+      return "lin_acc_x";
+    case Channel::kLinAccY:
+      return "lin_acc_y";
+    case Channel::kLinAccZ:
+      return "lin_acc_z";
+    case Channel::kGravityX:
+      return "gravity_x";
+    case Channel::kGravityY:
+      return "gravity_y";
+    case Channel::kGravityZ:
+      return "gravity_z";
+    case Channel::kRotX:
+      return "rot_x";
+    case Channel::kRotY:
+      return "rot_y";
+    case Channel::kRotZ:
+      return "rot_z";
+    case Channel::kPressure:
+      return "pressure";
+    case Channel::kLight:
+      return "light";
+    case Channel::kProximity:
+      return "proximity";
+    case Channel::kSpeed:
+      return "speed";
+  }
+  return "unknown";
+}
+
+}  // namespace magneto::sensors

@@ -1,0 +1,55 @@
+#ifndef MAGNETO_SENSORS_SENSOR_TYPES_H_
+#define MAGNETO_SENSORS_SENSOR_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace magneto::sensors {
+
+/// Number of sensor channels produced by the (simulated) mobile device.
+/// Matches the paper's "22 mobile sensors" (§4.1.2).
+inline constexpr size_t kNumChannels = 22;
+
+/// Default sampling rate. The paper segments into one-second windows of
+/// "roughly 120 sequential measurements", i.e. ~120 Hz.
+inline constexpr double kDefaultSampleRateHz = 120.0;
+
+/// Identifies one scalar sensor channel on the device.
+///
+/// The layout mirrors a typical Android sensor stack: three-axis inertial
+/// sensors plus scalar environment sensors.
+enum class Channel : uint8_t {
+  kAccX = 0,
+  kAccY = 1,
+  kAccZ = 2,
+  kGyroX = 3,
+  kGyroY = 4,
+  kGyroZ = 5,
+  kMagX = 6,
+  kMagY = 7,
+  kMagZ = 8,
+  kLinAccX = 9,
+  kLinAccY = 10,
+  kLinAccZ = 11,
+  kGravityX = 12,
+  kGravityY = 13,
+  kGravityZ = 14,
+  kRotX = 15,
+  kRotY = 16,
+  kRotZ = 17,
+  kPressure = 18,
+  kLight = 19,
+  kProximity = 20,
+  kSpeed = 21,
+};
+
+/// Stable, human-readable channel name (e.g. "acc_x").
+std::string_view ChannelName(Channel c);
+
+/// One synchronous multi-channel sample (one row of a recording).
+using Frame = std::array<float, kNumChannels>;
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_SENSOR_TYPES_H_

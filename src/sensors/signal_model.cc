@@ -1,0 +1,408 @@
+#include "sensors/signal_model.h"
+
+#include <cmath>
+
+namespace magneto::sensors {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kGravity = 9.81;
+
+void SetTriAxis(SignalModel* m, Channel x, Channel y, Channel z,
+                const ChannelModel& base, double y_scale, double z_scale) {
+  m->channel(x) = base;
+  m->channel(y) = base;
+  m->channel(z) = base;
+  for (Harmonic& h : m->channel(y).harmonics) h.amplitude *= y_scale;
+  for (Harmonic& h : m->channel(z).harmonics) h.amplitude *= z_scale;
+  m->channel(y).burst_amplitude *= y_scale;
+  m->channel(z).burst_amplitude *= z_scale;
+}
+
+/// Shared environment-channel defaults: phone in pocket / hand, outdoors.
+void SetEnvironmentDefaults(SignalModel* m, double pressure_noise,
+                            double light_level, double speed_mps,
+                            double speed_noise) {
+  ChannelModel pressure;
+  pressure.baseline = 1013.0;
+  pressure.noise_sigma = pressure_noise;
+  pressure.drift_sigma = 0.0005;
+  m->channel(Channel::kPressure) = pressure;
+
+  ChannelModel light;
+  light.baseline = light_level;
+  light.noise_sigma = light_level * 0.05 + 1.0;
+  m->channel(Channel::kLight) = light;
+
+  ChannelModel proximity;
+  proximity.baseline = 5.0;  // cm; uncovered
+  proximity.noise_sigma = 0.05;
+  m->channel(Channel::kProximity) = proximity;
+
+  ChannelModel speed;
+  speed.baseline = speed_mps;
+  speed.noise_sigma = speed_noise;
+  speed.drift_sigma = speed_noise * 0.02;
+  m->channel(Channel::kSpeed) = speed;
+}
+
+/// Magnetometer: earth field plus activity-dependent orientation wobble.
+void SetMagDefaults(SignalModel* m, double wobble_amp, double wobble_hz) {
+  const double field[3] = {22.0, 5.0, -42.0};  // microtesla, typical
+  const Channel mags[3] = {Channel::kMagX, Channel::kMagY, Channel::kMagZ};
+  for (int i = 0; i < 3; ++i) {
+    ChannelModel c;
+    c.baseline = field[i];
+    c.noise_sigma = 0.4;
+    if (wobble_amp > 0.0) {
+      c.harmonics.push_back({wobble_amp * (1.0 + 0.2 * i), wobble_hz,
+                             0.7 * static_cast<double>(i)});
+    }
+    m->channel(mags[i]) = c;
+  }
+}
+
+/// Gravity channels: constant ~g split across axes with small tilt wobble.
+void SetGravityDefaults(SignalModel* m, double tilt_wobble_amp,
+                        double wobble_hz) {
+  const double g_axis[3] = {0.8, 2.1, kGravity * 0.97};
+  const Channel grav[3] = {Channel::kGravityX, Channel::kGravityY,
+                           Channel::kGravityZ};
+  for (int i = 0; i < 3; ++i) {
+    ChannelModel c;
+    c.baseline = g_axis[i];
+    c.noise_sigma = 0.02;
+    if (tilt_wobble_amp > 0.0) {
+      c.harmonics.push_back(
+          {tilt_wobble_amp, wobble_hz, 0.5 * static_cast<double>(i)});
+    }
+    m->channel(grav[i]) = c;
+  }
+}
+
+SignalModel MakeStill() {
+  SignalModel m;
+  ChannelModel acc;
+  acc.baseline = 0.05;
+  acc.noise_sigma = 0.02;  // hand tremor
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 1.0,
+             1.0);
+  m.channel(Channel::kAccZ).baseline = kGravity;  // device flat
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.01;
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 1.0,
+             1.0);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.015;
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             1.0, 1.0);
+
+  ChannelModel rot;
+  rot.baseline = 0.1;
+  rot.noise_sigma = 0.005;
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.2,
+             0.8);
+
+  SetMagDefaults(&m, /*wobble_amp=*/0.0, /*wobble_hz=*/0.0);
+  SetGravityDefaults(&m, 0.0, 0.0);
+  SetEnvironmentDefaults(&m, /*pressure_noise=*/0.01, /*light_level=*/150.0,
+                         /*speed_mps=*/0.0, /*speed_noise=*/0.05);
+  return m;
+}
+
+SignalModel MakeWalk() {
+  SignalModel m;
+  const double step_hz = 1.9;  // cadence
+  ChannelModel acc;
+  acc.baseline = 0.1;
+  acc.noise_sigma = 0.25;
+  acc.harmonics = {{1.6, step_hz, 0.0}, {0.7, 2 * step_hz, 0.9}};
+  acc.burst_rate_hz = step_hz;  // heel strikes
+  acc.burst_amplitude = 1.2;
+  acc.burst_duration_s = 0.08;
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 0.7,
+             1.4);
+  m.channel(Channel::kAccZ).baseline = kGravity;
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.12;
+  gyro.harmonics = {{0.8, step_hz, 0.5}, {0.3, 2 * step_hz, 1.1}};
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 1.3,
+             0.6);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.2;
+  lin.harmonics = {{1.5, step_hz, 0.2}, {0.6, 2 * step_hz, 1.4}};
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             0.8, 1.5);
+
+  ChannelModel rot;
+  rot.baseline = 0.1;
+  rot.noise_sigma = 0.03;
+  rot.harmonics = {{0.15, step_hz, 0.0}};
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.0,
+             1.0);
+
+  SetMagDefaults(&m, /*wobble_amp=*/2.5, /*wobble_hz=*/step_hz);
+  SetGravityDefaults(&m, 0.35, step_hz);
+  SetEnvironmentDefaults(&m, 0.02, 800.0, /*speed_mps=*/1.4,
+                         /*speed_noise=*/0.15);
+  return m;
+}
+
+SignalModel MakeRun() {
+  SignalModel m;
+  const double step_hz = 2.8;
+  ChannelModel acc;
+  acc.baseline = 0.2;
+  acc.noise_sigma = 0.6;
+  acc.harmonics = {{4.5, step_hz, 0.0}, {1.8, 2 * step_hz, 0.7},
+                   {0.6, 3 * step_hz, 1.9}};
+  acc.burst_rate_hz = step_hz;
+  acc.burst_amplitude = 4.0;
+  acc.burst_duration_s = 0.05;
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 0.8,
+             1.6);
+  m.channel(Channel::kAccZ).baseline = kGravity;
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.35;
+  gyro.harmonics = {{2.2, step_hz, 0.4}, {0.9, 2 * step_hz, 1.2}};
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 1.4,
+             0.7);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.5;
+  lin.harmonics = {{4.2, step_hz, 0.1}, {1.6, 2 * step_hz, 1.0}};
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             0.9, 1.7);
+
+  ChannelModel rot;
+  rot.baseline = 0.15;
+  rot.noise_sigma = 0.08;
+  rot.harmonics = {{0.4, step_hz, 0.3}};
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.0,
+             1.0);
+
+  SetMagDefaults(&m, 5.0, step_hz);
+  SetGravityDefaults(&m, 0.8, step_hz);
+  SetEnvironmentDefaults(&m, 0.03, 1500.0, /*speed_mps=*/3.2,
+                         /*speed_noise=*/0.4);
+  return m;
+}
+
+SignalModel MakeDrive() {
+  SignalModel m;
+  const double engine_hz = 28.0;   // engine/road texture
+  const double sway_hz = 0.4;      // suspension sway
+  ChannelModel acc;
+  acc.baseline = 0.05;
+  acc.noise_sigma = 0.12;
+  acc.harmonics = {{0.25, engine_hz, 0.0}, {0.35, sway_hz, 0.8}};
+  acc.burst_rate_hz = 0.3;  // potholes
+  acc.burst_amplitude = 1.0;
+  acc.burst_duration_s = 0.12;
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 1.1,
+             0.9);
+  m.channel(Channel::kAccZ).baseline = kGravity;
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.03;
+  gyro.harmonics = {{0.08, sway_hz, 0.2}};
+  gyro.drift_sigma = 0.001;  // slow heading changes
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 0.8,
+             1.5);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.1;
+  lin.harmonics = {{0.2, engine_hz, 0.3}, {0.3, sway_hz, 1.2}};
+  lin.drift_sigma = 0.004;  // accel/brake cycles
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             1.0, 0.8);
+
+  ChannelModel rot;
+  rot.baseline = 0.2;
+  rot.noise_sigma = 0.01;
+  rot.drift_sigma = 0.002;
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.0,
+             1.0);
+
+  SetMagDefaults(&m, 8.0, sway_hz);  // car body distorts the field
+  SetGravityDefaults(&m, 0.1, sway_hz);
+  SetEnvironmentDefaults(&m, 0.05, 400.0, /*speed_mps=*/13.0,
+                         /*speed_noise=*/1.5);
+  return m;
+}
+
+SignalModel MakeEScooter() {
+  SignalModel m;
+  const double deck_hz = 14.0;  // deck vibration from small wheels
+  const double lean_hz = 0.8;
+  ChannelModel acc;
+  acc.baseline = 0.1;
+  acc.noise_sigma = 0.3;
+  acc.harmonics = {{0.9, deck_hz, 0.0}, {0.4, lean_hz, 0.6}};
+  acc.burst_rate_hz = 1.2;  // pavement joints
+  acc.burst_amplitude = 1.8;
+  acc.burst_duration_s = 0.06;
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 0.9,
+             1.3);
+  m.channel(Channel::kAccZ).baseline = kGravity;
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.08;
+  gyro.harmonics = {{0.25, lean_hz, 0.4}, {0.1, deck_hz, 1.0}};
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 1.2,
+             0.9);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.25;
+  lin.harmonics = {{0.8, deck_hz, 0.2}, {0.35, lean_hz, 1.1}};
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             1.0, 1.2);
+
+  ChannelModel rot;
+  rot.baseline = 0.12;
+  rot.noise_sigma = 0.02;
+  rot.harmonics = {{0.1, lean_hz, 0.5}};
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.0,
+             1.0);
+
+  SetMagDefaults(&m, 3.0, lean_hz);
+  SetGravityDefaults(&m, 0.25, lean_hz);
+  SetEnvironmentDefaults(&m, 0.03, 1000.0, /*speed_mps=*/5.5,
+                         /*speed_noise=*/0.6);
+  return m;
+}
+
+SignalModel MakeCycle() {
+  SignalModel m;
+  const double cadence_hz = 1.3;  // pedal revolutions
+  ChannelModel acc;
+  acc.baseline = 0.1;
+  acc.noise_sigma = 0.25;
+  acc.harmonics = {{1.0, cadence_hz, 0.0}, {0.5, 2 * cadence_hz, 0.8}};
+  SetTriAxis(&m, Channel::kAccX, Channel::kAccY, Channel::kAccZ, acc, 1.2,
+             0.8);
+  m.channel(Channel::kAccZ).baseline = kGravity;
+
+  ChannelModel gyro;
+  gyro.noise_sigma = 0.1;
+  // Leg swing couples strongly into the thigh-pocket gyro.
+  gyro.harmonics = {{1.4, cadence_hz, 0.3}, {0.4, 2 * cadence_hz, 1.0}};
+  SetTriAxis(&m, Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ, gyro, 0.9,
+             0.5);
+
+  ChannelModel lin;
+  lin.noise_sigma = 0.2;
+  lin.harmonics = {{0.9, cadence_hz, 0.1}, {0.4, 2 * cadence_hz, 1.2}};
+  SetTriAxis(&m, Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ, lin,
+             1.1, 0.7);
+
+  ChannelModel rot;
+  rot.baseline = 0.12;
+  rot.noise_sigma = 0.02;
+  rot.harmonics = {{0.2, cadence_hz, 0.4}};
+  SetTriAxis(&m, Channel::kRotX, Channel::kRotY, Channel::kRotZ, rot, 1.0,
+             1.0);
+
+  SetMagDefaults(&m, 3.5, cadence_hz);
+  SetGravityDefaults(&m, 0.3, cadence_hz);
+  SetEnvironmentDefaults(&m, 0.03, 1200.0, /*speed_mps=*/4.5,
+                         /*speed_noise=*/0.5);
+  return m;
+}
+
+SignalModel MakeStairsUp() {
+  // Walking gait, slower cadence, with the barometer falling as altitude
+  // rises (~0.12 hPa per metre; ~0.2 m per step at 1.5 steps/s).
+  SignalModel m = MakeWalk();
+  for (Channel c : {Channel::kAccX, Channel::kAccY, Channel::kAccZ,
+                    Channel::kGyroX, Channel::kGyroY, Channel::kGyroZ,
+                    Channel::kLinAccX, Channel::kLinAccY, Channel::kLinAccZ}) {
+    for (Harmonic& h : m.channel(c).harmonics) {
+      h.frequency_hz *= 0.75;   // slower cadence
+      h.amplitude *= 1.25;      // stronger vertical work
+    }
+    m.channel(c).burst_rate_hz *= 0.75;
+  }
+  ChannelModel& pressure = m.channel(Channel::kPressure);
+  pressure.drift_sigma = 0.02;
+  pressure.baseline -= 0.5;  // climbing away from street level
+  m.channel(Channel::kSpeed).baseline = 0.5;  // GPS barely moves in stairwells
+  m.channel(Channel::kSpeed).noise_sigma = 0.4;
+  return m;
+}
+
+SignalModel MakeSit() {
+  // Still-like, but the device rests at a different attitude (thigh pocket,
+  // roughly 70 degrees from flat) with occasional fidgeting.
+  SignalModel m = MakeStill();
+  m.channel(Channel::kAccZ).baseline = kGravity * 0.35;
+  m.channel(Channel::kAccX).baseline = kGravity * 0.9;
+  m.channel(Channel::kGravityZ).baseline = kGravity * 0.35;
+  m.channel(Channel::kGravityX).baseline = kGravity * 0.9;
+  for (Channel c : {Channel::kAccX, Channel::kAccY, Channel::kAccZ}) {
+    ChannelModel& ch = m.channel(c);
+    ch.burst_rate_hz = 0.1;  // fidgets
+    ch.burst_amplitude = 0.6;
+    ch.burst_duration_s = 0.3;
+  }
+  m.channel(Channel::kLight).baseline = 40.0;  // pocket / indoors
+  m.channel(Channel::kProximity).baseline = 0.5;
+  return m;
+}
+
+}  // namespace
+
+ActivityLibrary ExtendedActivityLibrary() {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  lib[kCycle] = MakeCycle();
+  lib[kStairsUp] = MakeStairsUp();
+  lib[kSit] = MakeSit();
+  return lib;
+}
+
+ActivityLibrary DefaultActivityLibrary() {
+  ActivityLibrary lib;
+  lib[kDrive] = MakeDrive();
+  lib[kEScooter] = MakeEScooter();
+  lib[kRun] = MakeRun();
+  lib[kStill] = MakeStill();
+  lib[kWalk] = MakeWalk();
+  return lib;
+}
+
+SignalModel MakeGestureModel(uint64_t seed) {
+  Rng rng(seed);
+  // Start from a stationary body (gestures are performed standing still)...
+  SignalModel m = MakeStill();
+  // ...and overlay a distinctive arm oscillation on the motion channels.
+  const double gesture_hz = rng.Uniform(3.5, 7.5);
+  const double amp = rng.Uniform(1.5, 3.5);
+  const Channel motion[] = {Channel::kAccX,    Channel::kAccY,
+                            Channel::kAccZ,    Channel::kGyroX,
+                            Channel::kGyroY,   Channel::kGyroZ,
+                            Channel::kLinAccX, Channel::kLinAccY,
+                            Channel::kLinAccZ};
+  for (Channel c : motion) {
+    ChannelModel& cm = m.channel(c);
+    const double axis_scale = rng.Uniform(0.3, 1.0);
+    cm.harmonics.push_back(
+        {amp * axis_scale, gesture_hz, rng.Uniform(0.0, 2.0 * kPi)});
+    // Secondary harmonic gives each gesture a distinct timbre.
+    cm.harmonics.push_back({amp * axis_scale * rng.Uniform(0.2, 0.5),
+                            gesture_hz * rng.Uniform(1.7, 2.3),
+                            rng.Uniform(0.0, 2.0 * kPi)});
+    cm.noise_sigma += 0.05;
+  }
+  // Wrist rotation wobble.
+  m.channel(Channel::kRotX).harmonics.push_back({0.3, gesture_hz, 0.0});
+  m.channel(Channel::kRotY).harmonics.push_back({0.2, gesture_hz, 1.0});
+  return m;
+}
+
+}  // namespace magneto::sensors

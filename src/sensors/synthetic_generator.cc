@@ -1,0 +1,96 @@
+#include "sensors/synthetic_generator.h"
+
+#include <cmath>
+
+namespace magneto::sensors {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+Recording SyntheticGenerator::Generate(const SignalModel& model,
+                                       double duration_s) {
+  const double rate = options_.sample_rate_hz;
+  const size_t n = static_cast<size_t>(std::llround(duration_s * rate));
+  Recording rec;
+  rec.sample_rate_hz = rate;
+  rec.samples.Reset(n, kNumChannels);
+
+  for (size_t ch = 0; ch < kNumChannels; ++ch) {
+    const ChannelModel& cm = model.channels[ch];
+    // Per-recording random phase offset, shared by the channel's harmonics so
+    // their relative alignment (the "shape" of the gait) is preserved.
+    const double phase0 =
+        options_.randomize_phase ? rng_.Uniform(0.0, kTwoPi) : 0.0;
+
+    // Pre-sample burst windows as a Poisson process over the recording.
+    std::vector<std::pair<size_t, size_t>> bursts;  // [start, end) in samples
+    std::vector<double> burst_signs;
+    if (cm.burst_rate_hz > 0.0 && cm.burst_amplitude != 0.0) {
+      double t = 0.0;
+      while (true) {
+        // Exponential inter-arrival.
+        t += -std::log(1.0 - rng_.Uniform(0.0, 1.0)) / cm.burst_rate_hz;
+        if (t >= duration_s) break;
+        const size_t start = static_cast<size_t>(t * rate);
+        const size_t len = std::max<size_t>(
+            1, static_cast<size_t>(cm.burst_duration_s * rate));
+        bursts.emplace_back(start, std::min(n, start + len));
+        burst_signs.push_back(rng_.Bernoulli(0.5) ? 1.0 : -1.0);
+      }
+    }
+
+    double drift = 0.0;
+    size_t burst_idx = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / rate;
+      double v = cm.baseline;
+      for (const Harmonic& h : cm.harmonics) {
+        v += h.amplitude *
+             std::sin(kTwoPi * h.frequency_hz * t + h.phase + phase0);
+      }
+      if (cm.noise_sigma > 0.0) v += rng_.Normal(0.0, cm.noise_sigma);
+      if (cm.drift_sigma > 0.0) {
+        drift += rng_.Normal(0.0, cm.drift_sigma);
+        v += drift;
+      }
+      // Advance past bursts that ended before i.
+      while (burst_idx < bursts.size() && bursts[burst_idx].second <= i) {
+        ++burst_idx;
+      }
+      if (burst_idx < bursts.size() && i >= bursts[burst_idx].first &&
+          i < bursts[burst_idx].second) {
+        const auto& [start, end] = bursts[burst_idx];
+        // Half-sine envelope over the burst window.
+        const double u = static_cast<double>(i - start) /
+                         static_cast<double>(end - start);
+        v += burst_signs[burst_idx] * cm.burst_amplitude *
+             std::sin(u * 3.14159265358979323846);
+      }
+      rec.samples.At(i, ch) = static_cast<float>(v);
+    }
+  }
+  return rec;
+}
+
+std::vector<Recording> SyntheticGenerator::GenerateMany(
+    const SignalModel& model, size_t count, double duration_s) {
+  std::vector<Recording> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Generate(model, duration_s));
+  return out;
+}
+
+std::vector<LabeledRecording> SyntheticGenerator::GenerateDataset(
+    const ActivityLibrary& library, size_t per_class, double duration_s) {
+  std::vector<LabeledRecording> out;
+  out.reserve(library.size() * per_class);
+  for (const auto& [id, model] : library) {
+    for (size_t i = 0; i < per_class; ++i) {
+      out.push_back({Generate(model, duration_s), id});
+    }
+  }
+  return out;
+}
+
+}  // namespace magneto::sensors

@@ -1,0 +1,59 @@
+#include "sensors/user_profile.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace magneto::sensors {
+
+UserProfile::UserProfile(uint64_t seed, double intensity)
+    : intensity_(intensity) {
+  Rng rng(seed);
+  // Tempo: everyone walks/runs at their own cadence.
+  tempo_scale_ = std::exp(rng.Normal(0.0, 0.08 * intensity));
+  for (size_t i = 0; i < kNumChannels; ++i) {
+    amplitude_scale_[i] = std::exp(rng.Normal(0.0, 0.25 * intensity));
+    phase_offset_[i] = rng.Normal(0.0, 0.6 * intensity);
+    noise_scale_[i] = std::exp(rng.Normal(0.0, 0.2 * intensity));
+    baseline_shift_[i] = rng.Normal(0.0, 0.1 * intensity);
+  }
+}
+
+UserProfile UserProfile::Canonical() {
+  UserProfile p;
+  p.intensity_ = 0.0;
+  p.tempo_scale_ = 1.0;
+  p.amplitude_scale_.fill(1.0);
+  p.phase_offset_.fill(0.0);
+  p.noise_scale_.fill(1.0);
+  p.baseline_shift_.fill(0.0);
+  return p;
+}
+
+SignalModel UserProfile::Personalize(const SignalModel& model) const {
+  SignalModel out = model;
+  for (size_t i = 0; i < kNumChannels; ++i) {
+    ChannelModel& c = out.channels[i];
+    for (Harmonic& h : c.harmonics) {
+      h.amplitude *= amplitude_scale_[i];
+      h.frequency_hz *= tempo_scale_;
+      h.phase += phase_offset_[i];
+    }
+    c.noise_sigma *= noise_scale_[i];
+    c.burst_amplitude *= amplitude_scale_[i];
+    c.burst_rate_hz *= tempo_scale_;
+    // Baseline shift scaled by the channel's own magnitude so environment
+    // channels (pressure ~1013) are not destroyed by an additive unit shift.
+    const double scale = std::max(0.05, std::fabs(c.baseline) * 0.05);
+    c.baseline += baseline_shift_[i] * scale;
+  }
+  return out;
+}
+
+ActivityLibrary UserProfile::Personalize(const ActivityLibrary& library) const {
+  ActivityLibrary out;
+  for (const auto& [id, model] : library) out[id] = Personalize(model);
+  return out;
+}
+
+}  // namespace magneto::sensors

@@ -1,0 +1,54 @@
+#ifndef MAGNETO_SENSORS_USER_PROFILE_H_
+#define MAGNETO_SENSORS_USER_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "sensors/sensor_types.h"
+#include "sensors/signal_model.h"
+
+namespace magneto::sensors {
+
+/// Models one person's *style*: how their physiology and habits distort the
+/// canonical activity signatures.
+///
+/// Personalization (Definition 2 of the paper) only matters because users
+/// differ from the population the cloud model was pre-trained on. A
+/// `UserProfile` applies per-channel amplitude/frequency/phase perturbations
+/// and extra noise to a `SignalModel`, producing that person's version of the
+/// activity. The `intensity` knob controls how far the user deviates from the
+/// canonical signature — benchmarks sweep it to show when calibration pays
+/// off (Experiment C7).
+class UserProfile {
+ public:
+  /// Samples a random profile. `intensity` in [0, ~1]: 0 = exactly canonical,
+  /// 0.3 = typical person-to-person variation, 1 = extreme outlier.
+  UserProfile(uint64_t seed, double intensity);
+
+  /// The canonical (no-op) profile.
+  static UserProfile Canonical();
+
+  /// Returns `model` as this user performs it.
+  SignalModel Personalize(const SignalModel& model) const;
+
+  /// Personalizes every activity in `library`.
+  ActivityLibrary Personalize(const ActivityLibrary& library) const;
+
+  double intensity() const { return intensity_; }
+
+ private:
+  UserProfile() = default;
+
+  double intensity_ = 0.0;
+  // Per-channel multiplicative amplitude factors, global tempo factor,
+  // per-channel phase offsets, per-channel extra-noise factors.
+  std::array<double, kNumChannels> amplitude_scale_{};
+  double tempo_scale_ = 1.0;
+  std::array<double, kNumChannels> phase_offset_{};
+  std::array<double, kNumChannels> noise_scale_{};
+  std::array<double, kNumChannels> baseline_shift_{};
+};
+
+}  // namespace magneto::sensors
+
+#endif  // MAGNETO_SENSORS_USER_PROFILE_H_

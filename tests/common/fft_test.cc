@@ -1,0 +1,189 @@
+#include "common/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace magneto {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(120), 128u);
+  EXPECT_EQ(NextPowerOfTwo(128), 128u);
+  EXPECT_EQ(NextPowerOfTwo(129), 256u);
+}
+
+TEST(FftTest, DcSignal) {
+  std::vector<std::complex<double>> data(8, {1.0, 0.0});
+  Fft(&data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12) << "bin " << k;
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = std::cos(2.0 * kPi * 5.0 * static_cast<double>(i) /
+                       static_cast<double>(n));
+  }
+  Fft(&data);
+  // A unit cosine at bin 5 -> |X_5| = |X_59| = n/2.
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  for (size_t k = 0; k < n; ++k) {
+    if (k != 5 && k != n - 5) {
+      EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(FftTest, InverseRecoversSignal) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(128);
+  std::vector<std::complex<double>> original(128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.Normal(0, 1), rng.Normal(0, 1)};
+    original[i] = data[i];
+  }
+  Fft(&data);
+  Fft(&data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(2);
+  const size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = rng.Normal(0, 1);
+    time_energy += std::norm(data[i]);
+  }
+  Fft(&data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(3);
+  const size_t n = 16;
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.Normal(0, 1), 0.0};
+  std::vector<std::complex<double>> naive(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const double angle = -2.0 * kPi * static_cast<double>(k * i) /
+                           static_cast<double>(n);
+      acc += data[i] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    naive[k] = acc;
+  }
+  Fft(&data);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), naive[k].real(), 1e-9) << "bin " << k;
+    EXPECT_NEAR(data[k].imag(), naive[k].imag(), 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftDeathTest, NonPowerOfTwoAborts) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_DEATH(Fft(&data), "Check failed");
+}
+
+TEST(SpectrumTest, PowerSpectrumOfTone) {
+  // 6 Hz cosine sampled at 128 Hz for 1 s: 128 samples, bin 6.
+  const size_t n = 128;
+  std::vector<float> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(
+        std::cos(2.0 * kPi * 6.0 * static_cast<double>(i) / 128.0));
+  }
+  const auto power = PowerSpectrum(x.data(), n);
+  ASSERT_EQ(power.size(), n / 2 + 1);
+  size_t best = 0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[best]) best = k;
+  }
+  EXPECT_EQ(best, 6u);
+}
+
+TEST(SpectrumTest, ZeroPaddingKeepsFrequencyMapping) {
+  // 120 samples @ 120 Hz padded to 128: a 4 Hz tone maps near bin
+  // 4 * 128 / 120 ~ 4.27 -> dominant frequency estimate within one bin width.
+  const size_t n = 120;
+  std::vector<float> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * kPi * 4.0 * static_cast<double>(i) / 120.0));
+  }
+  const auto power = PowerSpectrum(x.data(), n);
+  const double freq =
+      spectral::DominantFrequency(power, 120.0, NextPowerOfTwo(n));
+  EXPECT_NEAR(freq, 4.0, 120.0 / 128.0);
+}
+
+TEST(SpectralStatsTest, BandPowerPartitionsEnergy) {
+  Rng rng(4);
+  std::vector<float> x(128);
+  for (float& v : x) v = static_cast<float>(rng.Normal(0, 1));
+  const auto power = PowerSpectrum(x.data(), x.size());
+  const double total = spectral::BandPower(power, 128.0, 128, 0.0, 65.0);
+  const double lo = spectral::BandPower(power, 128.0, 128, 0.0, 20.0);
+  const double hi = spectral::BandPower(power, 128.0, 128, 20.0, 65.0);
+  EXPECT_NEAR(lo + hi, total, 1e-9);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, 0.0);
+}
+
+TEST(SpectralStatsTest, EntropyOrdersToneBelowNoise) {
+  std::vector<float> tone(128), noise(128);
+  Rng rng(5);
+  for (size_t i = 0; i < 128; ++i) {
+    tone[i] = static_cast<float>(
+        std::sin(2.0 * kPi * 10.0 * static_cast<double>(i) / 128.0));
+    noise[i] = static_cast<float>(rng.Normal(0, 1));
+  }
+  const double tone_entropy =
+      spectral::SpectralEntropy(PowerSpectrum(tone.data(), 128));
+  const double noise_entropy =
+      spectral::SpectralEntropy(PowerSpectrum(noise.data(), 128));
+  EXPECT_LT(tone_entropy, 1.0);
+  EXPECT_GT(noise_entropy, 4.0);
+}
+
+TEST(SpectralStatsTest, CentroidTracksToneFrequency) {
+  std::vector<float> x(128);
+  for (size_t i = 0; i < 128; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * kPi * 20.0 * static_cast<double>(i) / 128.0));
+  }
+  const double centroid =
+      spectral::SpectralCentroid(PowerSpectrum(x.data(), 128), 128.0, 128);
+  EXPECT_NEAR(centroid, 20.0, 1.0);
+}
+
+TEST(SpectralStatsTest, DegenerateInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(spectral::DominantFrequency(empty, 100.0, 4), 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(spectral::SpectralEntropy(zeros), 0.0);
+  EXPECT_DOUBLE_EQ(spectral::SpectralCentroid(zeros, 100.0, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace magneto

@@ -1,0 +1,152 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magneto {
+namespace {
+
+TEST(StatsTest, MeanVarianceStd) {
+  const std::vector<float> x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stats::Mean(x.data(), x.size()), 5.0);
+  EXPECT_DOUBLE_EQ(stats::Variance(x.data(), x.size()), 4.0);
+  EXPECT_DOUBLE_EQ(stats::StdDev(x.data(), x.size()), 2.0);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(stats::Mean(nullptr, 0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Variance(nullptr, 0), 0.0);
+  const float one = 5.0f;
+  EXPECT_DOUBLE_EQ(stats::Mean(&one, 1), 5.0);
+  EXPECT_DOUBLE_EQ(stats::Variance(&one, 1), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Skewness(&one, 1), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Kurtosis(&one, 1), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<float> x{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(stats::Min(x.data(), x.size()), -1.0);
+  EXPECT_DOUBLE_EQ(stats::Max(x.data(), x.size()), 5.0);
+}
+
+TEST(StatsTest, QuantileAndMedian) {
+  const std::vector<float> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(x, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::Median(x), 2.5);
+  EXPECT_DOUBLE_EQ(stats::Quantile(x, 0.25), 1.75);
+  // Out-of-range p is clamped.
+  EXPECT_DOUBLE_EQ(stats::Quantile(x, 2.0), 4.0);
+}
+
+TEST(StatsTest, IqrOfUniformGrid) {
+  const std::vector<float> x{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(stats::Iqr(x), 4.0);
+}
+
+TEST(StatsTest, SkewnessSignReflectsAsymmetry) {
+  const std::vector<float> right{1, 1, 1, 1, 10};
+  const std::vector<float> left{-10, 1, 1, 1, 1};
+  EXPECT_GT(stats::Skewness(right.data(), right.size()), 0.5);
+  EXPECT_LT(stats::Skewness(left.data(), left.size()), -0.5);
+  const std::vector<float> sym{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(stats::Skewness(sym.data(), sym.size()), 0.0, 1e-9);
+}
+
+TEST(StatsTest, KurtosisOfConstantIsZero) {
+  const std::vector<float> c{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(stats::Kurtosis(c.data(), c.size()), 0.0);
+}
+
+TEST(StatsTest, KurtosisHeavyTails) {
+  // A spike among constants has positive excess kurtosis.
+  std::vector<float> x(100, 0.0f);
+  x[0] = 10.0f;
+  EXPECT_GT(stats::Kurtosis(x.data(), x.size()), 3.0);
+}
+
+TEST(StatsTest, EnergyAndRms) {
+  const std::vector<float> x{3, 4};
+  EXPECT_DOUBLE_EQ(stats::Energy(x.data(), x.size()), 12.5);
+  EXPECT_DOUBLE_EQ(stats::RootMeanSquare(x.data(), x.size()),
+                   std::sqrt(12.5));
+}
+
+TEST(StatsTest, MeanAbsDeviation) {
+  const std::vector<float> x{1, 3};  // mean 2, deviations 1,1
+  EXPECT_DOUBLE_EQ(stats::MeanAbsDeviation(x.data(), x.size()), 1.0);
+}
+
+TEST(StatsTest, ZeroCrossingRateOfAlternatingSignal) {
+  const std::vector<float> x{1, -1, 1, -1, 1};
+  EXPECT_DOUBLE_EQ(stats::ZeroCrossingRate(x.data(), x.size()), 1.0);
+  const std::vector<float> flat{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(stats::ZeroCrossingRate(flat.data(), flat.size()), 0.0);
+}
+
+TEST(StatsTest, AutocorrelationOfPeriodicSignal) {
+  // Period-4 square-ish wave: lag-4 autocorr near 1, lag-2 near -1.
+  std::vector<float> x;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back((i % 4 < 2) ? 1.0f : -1.0f);
+  }
+  EXPECT_NEAR(stats::Autocorrelation(x.data(), x.size(), 4), 1.0, 0.1);
+  EXPECT_LT(stats::Autocorrelation(x.data(), x.size(), 2), -0.8);
+}
+
+TEST(StatsTest, AutocorrelationDegenerateCases) {
+  const std::vector<float> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::Autocorrelation(x.data(), x.size(), 5), 0.0);
+  const std::vector<float> c{2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(stats::Autocorrelation(c.data(), c.size(), 1), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  const std::vector<float> x{1, 2, 3, 4};
+  const std::vector<float> y{2, 4, 6, 8};
+  EXPECT_NEAR(stats::PearsonCorrelation(x.data(), y.data(), 4), 1.0, 1e-9);
+  const std::vector<float> z{8, 6, 4, 2};
+  EXPECT_NEAR(stats::PearsonCorrelation(x.data(), z.data(), 4), -1.0, 1e-9);
+  const std::vector<float> c{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::PearsonCorrelation(x.data(), c.data(), 4), 0.0);
+}
+
+TEST(StatsTest, MeanAbsDiff) {
+  const std::vector<float> x{0, 2, 1, 4};
+  EXPECT_DOUBLE_EQ(stats::MeanAbsDiff(x.data(), x.size()), 2.0);
+  const float one = 1.0f;
+  EXPECT_DOUBLE_EQ(stats::MeanAbsDiff(&one, 1), 0.0);
+}
+
+TEST(MathTest, LogSumExpStable) {
+  const std::vector<double> big{1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(big.data(), big.size()), 1000.0 + std::log(2.0),
+              1e-9);
+  const std::vector<double> mixed{0.0, std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(mixed.data(), mixed.size()), std::log(4.0), 1e-12);
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(x.data(), x.size());
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0, 1e-6);
+  EXPECT_GT(x[2], x[1]);
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(MathTest, SoftmaxHandlesLargeLogits) {
+  std::vector<float> x{1000.0f, 1000.0f};
+  SoftmaxInPlace(x.data(), x.size());
+  EXPECT_NEAR(x[0], 0.5, 1e-6);
+}
+
+TEST(MathTest, Clamp) {
+  EXPECT_FLOAT_EQ(Clamp(5.0f, 0.0f, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(Clamp(-5.0f, 0.0f, 1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(Clamp(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+}  // namespace
+}  // namespace magneto

@@ -1,0 +1,205 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace magneto {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FLOAT_EQ(m.At(2, 3), 0.0f);
+  EXPECT_EQ(m.ShapeString(), "[3 x 4]");
+}
+
+TEST(MatrixTest, ConstructionFromData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 4.0f);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.Row(1), (std::vector<float>{4, 5, 6}));
+  m.SetRow(0, {9, 8, 7});
+  EXPECT_FLOAT_EQ(m.At(0, 2), 7.0f);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 44.0f);
+  a.SubInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 4.0f);
+  a.MulInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(0, 1), 40.0f);
+  a.Scale(0.5f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 5.0f);
+}
+
+TEST(MatrixTest, Axpy) {
+  Matrix a(1, 3, {1, 1, 1});
+  Matrix b(1, 3, {2, 4, 6});
+  a.Axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 2), 4.0f);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t.At(2, 1), 6.0f);
+  EXPECT_FLOAT_EQ(t.At(0, 1), 4.0f);
+}
+
+TEST(MatrixTest, RowSlice) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix s = m.RowSlice(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 1), 6.0f);
+}
+
+TEST(MatrixTest, VStack) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(2, 2, {3, 4, 5, 6});
+  Matrix s = VStack(a, b);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_FLOAT_EQ(s.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(s.At(2, 0), 5.0f);
+  // Empty operands pass through.
+  Matrix empty;
+  EXPECT_EQ(VStack(empty, b).rows(), 2u);
+  EXPECT_EQ(VStack(a, Matrix()).rows(), 1u);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m(2, 2, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(m.SumOfSquares(), 30.0f);
+  EXPECT_FLOAT_EQ(m.AbsMax(), 4.0f);
+  Matrix mean = m.ColMean();
+  EXPECT_EQ(mean.rows(), 1u);
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mean.At(0, 1), -3.0f);
+  Matrix sum = m.ColSum();
+  EXPECT_FLOAT_EQ(sum.At(0, 0), 4.0f);
+}
+
+TEST(MatMulTest, SmallKnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix id(2, 2, {1, 0, 0, 1});
+  Matrix c = MatMul(a, id);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 4.0f);
+}
+
+TEST(MatMulTest, TransAVariantMatchesExplicitTranspose) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 4, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+  Matrix expected = MatMul(a.Transposed(), b);
+  Matrix got = MatMulTransA(a, b);
+  ASSERT_TRUE(got.SameShape(expected));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_FLOAT_EQ(got.data()[i], expected.data()[i]) << "index " << i;
+  }
+}
+
+TEST(MatMulTest, TransBVariantMatchesExplicitTranspose) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(4, 3, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+  Matrix expected = MatMul(a, b.Transposed());
+  Matrix got = MatMulTransB(a, b);
+  ASSERT_TRUE(got.SameShape(expected));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_FLOAT_EQ(got.data()[i], expected.data()[i]) << "index " << i;
+  }
+}
+
+TEST(MatMulTest, LargeSizesCrossTileBoundaries) {
+  // Exercise the tiled kernel across tile edges (tile = 64).
+  const size_t m = 70, k = 130, n = 65;
+  Matrix a(m, k), b(k, n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>((i % 7)) - 3.0f;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>((i % 5)) - 2.0f;
+  }
+  Matrix c = MatMul(a, b);
+  // Spot-check a few entries against a reference dot product.
+  for (size_t probe : {size_t{0}, size_t{m * n / 2}, size_t{m * n - 1}}) {
+    const size_t r = probe / n, col = probe % n;
+    double expect = 0.0;
+    for (size_t kk = 0; kk < k; ++kk) {
+      expect += static_cast<double>(a.At(r, kk)) * b.At(kk, col);
+    }
+    EXPECT_NEAR(c.At(r, col), expect, 1e-3) << "at " << r << "," << col;
+  }
+}
+
+TEST(MatMulTest, ParallelPathMatchesSerialSemantics) {
+  // Large enough to cross the threading threshold; results must equal a
+  // row-by-row reference since row partitioning never splits accumulation.
+  const size_t m = 256, k = 256, n = 256;  // 16.7M MACs > threshold
+  Matrix a(m, k), b(k, n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>((i * 2654435761u) % 17) - 8.0f;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>((i * 40503u) % 13) - 6.0f;
+  }
+  Matrix c = MatMul(a, b);
+  // Spot-check 16 scattered entries against direct dot products.
+  for (size_t probe = 0; probe < 16; ++probe) {
+    const size_t r = (probe * 911) % m;
+    const size_t col = (probe * 577) % n;
+    double expect = 0.0;
+    for (size_t kk = 0; kk < k; ++kk) {
+      expect += static_cast<double>(a.At(r, kk)) * b.At(kk, col);
+    }
+    EXPECT_NEAR(c.At(r, col), expect, std::fabs(expect) * 1e-5 + 1e-2);
+  }
+  // Determinism across calls (no cross-thread accumulation races).
+  Matrix c2 = MatMul(a, b);
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_FLOAT_EQ(c.data()[i], c2.data()[i]);
+  }
+}
+
+TEST(SpanMathTest, SquaredL2AndDot) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, 6, 8};
+  EXPECT_FLOAT_EQ(SquaredL2(a, b, 3), 9.0f + 16.0f + 25.0f);
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 4.0f + 12.0f + 24.0f);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_DEATH(a.AddInPlace(b), "Check failed");
+  EXPECT_DEATH(MatMul(a, Matrix(3, 2)), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto

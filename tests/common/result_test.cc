@@ -1,0 +1,96 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magneto {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  // Constructing a Result from an OK status is a programming error that is
+  // converted to an internal error rather than UB.
+  Result<int> r(Status::Ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, CopySemantics) {
+  Result<std::string> a(std::string("hello"));
+  Result<std::string> b = a;
+  EXPECT_EQ(a.value(), "hello");
+  EXPECT_EQ(b.value(), "hello");
+  Result<std::string> c(Status::IoError("x"));
+  c = b;
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), "hello");
+}
+
+TEST(ResultTest, CopyErrorOverValue) {
+  Result<std::string> a(std::string("hello"));
+  Result<std::string> err(Status::IoError("x"));
+  a = err;
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveSemantics) {
+  Result<std::vector<int>> a(std::vector<int>{1, 2, 3});
+  Result<std::vector<int>> b = std::move(a);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.value().push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("bad");
+    return 5;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    MAGNETO_ASSIGN_OR_RETURN(int v, producer(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(consumer(false).value(), 10);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_DEATH({ (void)r.value(); }, "");
+}
+
+}  // namespace
+}  // namespace magneto

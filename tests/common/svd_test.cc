@@ -1,0 +1,136 @@
+#include "common/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace magneto {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  Matrix d = a;
+  d.SubInPlace(b);
+  return d.AbsMax();
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a(3, 3, {3, 0, 0, 0, 5, 0, 0, 0, 1});
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd.value().rank(), 3u);
+  EXPECT_NEAR(svd.value().s[0], 5.0f, 1e-5);
+  EXPECT_NEAR(svd.value().s[1], 3.0f, 1e-5);
+  EXPECT_NEAR(svd.value().s[2], 1.0f, 1e-5);
+}
+
+TEST(SvdTest, ReconstructionIsExactAtFullRank) {
+  Matrix a = RandomMatrix(10, 6, 1);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  Matrix back = LowRankReconstruct(svd.value(), svd.value().rank());
+  EXPECT_LT(MaxAbsDiff(a, back), 1e-4);
+}
+
+TEST(SvdTest, WideMatrixHandledViaTranspose) {
+  Matrix a = RandomMatrix(4, 12, 2);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd.value().u.rows(), 4u);
+  EXPECT_EQ(svd.value().vt.cols(), 12u);
+  Matrix back = LowRankReconstruct(svd.value(), svd.value().rank());
+  EXPECT_LT(MaxAbsDiff(a, back), 1e-4);
+}
+
+TEST(SvdTest, SingularValuesDescendAndNonNegative) {
+  Matrix a = RandomMatrix(20, 15, 3);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 0; i + 1 < svd.value().s.size(); ++i) {
+    EXPECT_GE(svd.value().s[i], svd.value().s[i + 1]);
+  }
+  EXPECT_GE(svd.value().s.back(), 0.0f);
+}
+
+TEST(SvdTest, ColumnsOfUAreOrthonormal) {
+  Matrix a = RandomMatrix(12, 5, 4);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  const Matrix& u = svd.value().u;
+  Matrix gram = MatMulTransA(u, u);
+  for (size_t i = 0; i < gram.rows(); ++i) {
+    for (size_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_NEAR(gram.At(i, j), i == j ? 1.0f : 0.0f, 1e-4)
+          << "gram(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SvdTest, RowsOfVtAreOrthonormal) {
+  Matrix a = RandomMatrix(12, 5, 5);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  Matrix gram = MatMulTransB(svd.value().vt, svd.value().vt);
+  for (size_t i = 0; i < gram.rows(); ++i) {
+    for (size_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_NEAR(gram.At(i, j), i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(SvdTest, LowRankMatrixRecoveredWithFewComponents) {
+  // Build an exactly rank-2 matrix.
+  Matrix u = RandomMatrix(8, 2, 6);
+  Matrix v = RandomMatrix(2, 10, 7);
+  Matrix a = MatMul(u, v);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  // Only two meaningful singular values.
+  EXPECT_GT(svd.value().s[1], 1e-3);
+  EXPECT_LT(svd.value().s[2], 1e-3);
+  Matrix back = LowRankReconstruct(svd.value(), 2);
+  EXPECT_LT(MaxAbsDiff(a, back), 1e-3);
+  EXPECT_EQ(RankForEnergy(svd.value(), 0.999), 2u);
+}
+
+TEST(SvdTest, RankForEnergyBounds) {
+  Matrix a = RandomMatrix(6, 6, 8);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GE(RankForEnergy(svd.value(), 0.01), 1u);
+  EXPECT_EQ(RankForEnergy(svd.value(), 1.0), svd.value().rank());
+  EXPECT_LE(RankForEnergy(svd.value(), 0.5),
+            RankForEnergy(svd.value(), 0.99));
+}
+
+TEST(SvdTest, EmptyMatrixRejected) {
+  EXPECT_FALSE(Svd(Matrix()).ok());
+}
+
+TEST(SvdTest, FrobeniusErrorShrinksWithRank) {
+  Matrix a = RandomMatrix(16, 12, 9);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  double prev = 1e300;
+  for (size_t k : {2u, 4u, 8u, 12u}) {
+    Matrix back = LowRankReconstruct(svd.value(), k);
+    back.SubInPlace(a);
+    const double err = std::sqrt(back.SumOfSquares());
+    EXPECT_LE(err, prev + 1e-6);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-3);  // full rank = exact
+}
+
+}  // namespace
+}  // namespace magneto

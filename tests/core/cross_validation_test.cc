@@ -1,0 +1,72 @@
+#include "core/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+
+namespace magneto::core {
+namespace {
+
+TEST(CrossValidationTest, ThreeFoldRunsAndAggregates) {
+  auto corpus = testing::SmallCorpus(1, /*per_class=*/3, /*seconds=*/4.0);
+  auto report = CrossValidateCloud(testing::SmallCloudConfig(), corpus,
+                                   sensors::ActivityRegistry::BaseActivities(),
+                                   /*folds=*/3, /*seed=*/7);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report.value().folds.size(), 3u);
+  for (const FoldResult& fold : report.value().folds) {
+    EXPECT_GT(fold.train_windows, 0u);
+    EXPECT_GT(fold.test_windows, 0u);
+    EXPECT_GE(fold.accuracy, 0.0);
+    EXPECT_LE(fold.accuracy, 1.0);
+  }
+  // Clean synthetic task: CV accuracy must be far above chance (0.2).
+  EXPECT_GT(report.value().mean_accuracy, 0.6);
+  EXPECT_GE(report.value().stddev_accuracy, 0.0);
+  EXPECT_LE(report.value().stddev_accuracy, 0.5);
+}
+
+TEST(CrossValidationTest, DeterministicInSeed) {
+  auto corpus = testing::SmallCorpus(2, 3, 4.0);
+  auto a = CrossValidateCloud(testing::SmallCloudConfig(), corpus,
+                              sensors::ActivityRegistry::BaseActivities(), 3,
+                              11);
+  auto b = CrossValidateCloud(testing::SmallCloudConfig(), corpus,
+                              sensors::ActivityRegistry::BaseActivities(), 3,
+                              11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a.value().folds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().folds[i].accuracy,
+                     b.value().folds[i].accuracy);
+  }
+}
+
+TEST(CrossValidationTest, InputValidation) {
+  auto corpus = testing::SmallCorpus(3, 1, 4.0);
+  const auto registry = sensors::ActivityRegistry::BaseActivities();
+  const auto config = testing::SmallCloudConfig();
+  EXPECT_FALSE(CrossValidateCloud(config, corpus, registry, 1, 1).ok());
+  EXPECT_FALSE(
+      CrossValidateCloud(config, corpus, registry, corpus.size() + 1, 1)
+          .ok());
+  EXPECT_FALSE(CrossValidateCloud(config, {}, registry, 2, 1).ok());
+}
+
+TEST(CrossValidationTest, FoldsPartitionTheCorpus) {
+  // Sum of test windows across folds == windows of the whole corpus.
+  auto corpus = testing::SmallCorpus(4, 2, 4.0);
+  auto report = CrossValidateCloud(testing::SmallCloudConfig(), corpus,
+                                   sensors::ActivityRegistry::BaseActivities(),
+                                   2, 13);
+  ASSERT_TRUE(report.ok());
+  size_t total_test = 0;
+  for (const FoldResult& fold : report.value().folds) {
+    total_test += fold.test_windows;
+  }
+  // 4 s recordings -> 4 windows each; 10 recordings.
+  EXPECT_EQ(total_test, 40u);
+}
+
+}  // namespace
+}  // namespace magneto::core

@@ -1,0 +1,85 @@
+#include "core/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::core {
+namespace {
+
+Prediction Pred(double confidence, double distance) {
+  Prediction p;
+  p.activity = 0;
+  p.confidence = confidence;
+  p.distance = distance;
+  return p;
+}
+
+TEST(DriftMonitorTest, NoAlarmBeforeFullWindow) {
+  DriftMonitor monitor({.window = 10, .min_confidence = 0.9});
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(monitor.Observe(Pred(0.1, 1.0)));  // terrible but young
+  }
+  EXPECT_TRUE(monitor.Observe(Pred(0.1, 1.0)));  // evidence complete
+}
+
+TEST(DriftMonitorTest, HealthyStreamNeverAlarms) {
+  DriftMonitor monitor({.window = 5, .min_confidence = 0.5});
+  monitor.SetBaselineDistance(1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(monitor.Observe(Pred(0.9, 1.0))) << "at " << i;
+  }
+  EXPECT_FALSE(monitor.drifting());
+  EXPECT_NEAR(monitor.rolling_confidence(), 0.9, 1e-9);
+}
+
+TEST(DriftMonitorTest, LowConfidenceTriggersAlarm) {
+  DriftMonitor monitor({.window = 5, .min_confidence = 0.55});
+  for (int i = 0; i < 5; ++i) monitor.Observe(Pred(0.9, 1.0));
+  EXPECT_FALSE(monitor.drifting());
+  // Confidence collapses.
+  bool alarmed = false;
+  for (int i = 0; i < 5; ++i) alarmed = monitor.Observe(Pred(0.3, 1.0));
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(DriftMonitorTest, DistanceGrowthTriggersAlarm) {
+  DriftMonitor monitor(
+      {.window = 5, .min_confidence = 0.0, .distance_factor = 2.0});
+  monitor.SetBaselineDistance(1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(monitor.Observe(Pred(0.9, 1.5)));  // below 2x baseline
+  }
+  for (int i = 0; i < 5; ++i) monitor.Observe(Pred(0.9, 3.0));
+  EXPECT_TRUE(monitor.drifting());
+  EXPECT_NEAR(monitor.rolling_distance(), 3.0, 1e-9);
+}
+
+TEST(DriftMonitorTest, NoDistanceAlarmWithoutBaseline) {
+  DriftMonitor monitor({.window = 3, .min_confidence = 0.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(monitor.Observe(Pred(0.9, 1000.0)));
+  }
+}
+
+TEST(DriftMonitorTest, RecoversWhenStreamImproves) {
+  DriftMonitor monitor({.window = 4, .min_confidence = 0.5});
+  for (int i = 0; i < 4; ++i) monitor.Observe(Pred(0.2, 1.0));
+  EXPECT_TRUE(monitor.drifting());
+  for (int i = 0; i < 4; ++i) monitor.Observe(Pred(0.95, 1.0));
+  EXPECT_FALSE(monitor.drifting());
+}
+
+TEST(DriftMonitorTest, ResetClearsEvidence) {
+  DriftMonitor monitor({.window = 3, .min_confidence = 0.5});
+  for (int i = 0; i < 3; ++i) monitor.Observe(Pred(0.1, 1.0));
+  EXPECT_TRUE(monitor.drifting());
+  monitor.Reset();
+  EXPECT_FALSE(monitor.drifting());
+  EXPECT_FALSE(monitor.Observe(Pred(0.1, 1.0)));  // window must refill
+}
+
+TEST(DriftMonitorDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(DriftMonitor({.window = 0}), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto::core

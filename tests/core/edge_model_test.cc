@@ -1,0 +1,184 @@
+#include "core/edge_model.h"
+
+#include <gtest/gtest.h>
+
+#include "learn/metrics.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::core {
+namespace {
+
+class EdgeModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new ModelBundle(testing::SmallPretrainedBundle(101));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+
+  /// Fresh model sharing the pretrained weights.
+  EdgeModel MakeModel() {
+    return EdgeModel(bundle_->pipeline, bundle_->backbone.Clone(),
+                     bundle_->classifier, bundle_->registry);
+  }
+
+  static ModelBundle* bundle_;
+};
+
+ModelBundle* EdgeModelTest::bundle_ = nullptr;
+
+TEST_F(EdgeModelTest, EmbeddingDimMatchesBackbone) {
+  EdgeModel model = MakeModel();
+  EXPECT_EQ(model.embedding_dim(), 16u);  // SmallCloudConfig dims {32, 16}
+  Matrix features(3, preprocess::kNumFeatures);
+  Matrix emb = model.Embed(features);
+  EXPECT_EQ(emb.rows(), 3u);
+  EXPECT_EQ(emb.cols(), 16u);
+}
+
+TEST_F(EdgeModelTest, InferWindowReturnsKnownActivityName) {
+  EdgeModel model = MakeModel();
+  sensors::SyntheticGenerator gen(11);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kStill], 1.0);
+  auto pred = model.InferWindow(rec.samples);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(model.registry().Contains(pred.value().prediction.activity));
+  EXPECT_FALSE(pred.value().name.empty());
+  EXPECT_GT(pred.value().prediction.confidence, 0.0);
+}
+
+TEST_F(EdgeModelTest, InferRecordingYieldsOnePredictionPerWindow) {
+  EdgeModel model = MakeModel();
+  sensors::SyntheticGenerator gen(12);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk], 5.0);
+  auto preds = model.InferRecording(rec);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(preds.value().size(), 5u);
+}
+
+TEST_F(EdgeModelTest, PretrainedModelSeparatesBaseActivities) {
+  EdgeModel model = MakeModel();
+  // Fresh evaluation data (different seed than the training corpus).
+  auto eval_recordings = testing::SmallCorpus(777, 2, 4.0);
+  auto eval = model.pipeline().ProcessLabeled(eval_recordings);
+  ASSERT_TRUE(eval.ok());
+  auto pairs = model.Predict(eval.value());
+  ASSERT_TRUE(pairs.ok());
+  learn::ConfusionMatrix cm;
+  for (const auto& [truth, pred] : pairs.value()) cm.Add(truth, pred);
+  // A tiny backbone on clean synthetic data should do far better than the
+  // 20% chance level.
+  EXPECT_GT(cm.Accuracy(), 0.7) << cm.ToString(model.registry());
+}
+
+TEST_F(EdgeModelTest, InferFeaturesRejectsWrongDim) {
+  EdgeModel model = MakeModel();
+  // Wrong feature dimension surfaces as a classifier dim mismatch.
+  EXPECT_FALSE(model.InferFeatures(std::vector<float>(7, 0.0f)).ok());
+}
+
+TEST_F(EdgeModelTest, RebuildPrototypesTracksBackboneChange) {
+  EdgeModel model = MakeModel();
+  sensors::SyntheticGenerator gen(13);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kRun], 1.0);
+  auto before = model.InferWindow(rec.samples);
+  ASSERT_TRUE(before.ok());
+
+  // Zero the last linear layer: embeddings collapse; stale prototypes would
+  // be garbage. Rebuild must succeed and classify into *some* known class
+  // with every prototype now identical -> distance 0.
+  nn::Sequential& net = model.backbone();
+  net.Params().back()->Fill(0.0f);
+  auto params = net.Params();
+  params[params.size() - 2]->Fill(0.0f);
+  ASSERT_TRUE(model.RebuildPrototypes(bundle_->support).ok());
+  auto after = model.InferWindow(rec.samples);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(after.value().prediction.distance, 0.0, 1e-5);
+}
+
+TEST_F(EdgeModelTest, BackboneBytesAccountsAllParameters) {
+  EdgeModel model = MakeModel();
+  EXPECT_EQ(model.BackboneBytes(),
+            model.backbone().NumParameters() * sizeof(float));
+  EXPECT_GT(model.BackboneBytes(), 0u);
+}
+
+TEST_F(EdgeModelTest, RejectionThresholdFlagsUnfamiliarWindows) {
+  EdgeModel model = MakeModel();
+  // A wildly out-of-distribution window: constant extreme values.
+  Matrix weird(120, sensors::kNumChannels);
+  weird.Fill(1e4f);
+  auto accepted = model.InferWindow(weird);
+  ASSERT_TRUE(accepted.ok());
+  const double weird_distance = accepted.value().prediction.distance;
+
+  // Threshold below the weird window's distance: it becomes Unknown, while
+  // a familiar Still window stays classified.
+  model.set_rejection_threshold(weird_distance * 0.5);
+  auto rejected = model.InferWindow(weird);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().name, "Unknown");
+  EXPECT_TRUE(rejected.value().prediction.is_unknown());
+
+  sensors::SyntheticGenerator gen(77);
+  sensors::Recording still =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kStill], 1.0);
+  auto familiar = model.InferWindow(still.samples);
+  ASSERT_TRUE(familiar.ok());
+  EXPECT_NE(familiar.value().name, "Unknown")
+      << "threshold " << model.rejection_threshold() << " too tight: "
+      << familiar.value().prediction.distance;
+
+  // Clone preserves the threshold.
+  EdgeModel copy = model.Clone();
+  EXPECT_DOUBLE_EQ(copy.rejection_threshold(), model.rejection_threshold());
+}
+
+TEST_F(EdgeModelTest, CalibrateRejectionThresholdFromKnownData) {
+  EdgeModel model = MakeModel();
+  sensors::SyntheticGenerator gen(88);
+  std::vector<sensors::Recording> known;
+  for (const auto& [id, m] : sensors::DefaultActivityLibrary()) {
+    known.push_back(gen.Generate(m, 2.0));
+  }
+  auto threshold = CalibrateRejectionThreshold(&model, known, 1.0, 1.5);
+  ASSERT_TRUE(threshold.ok()) << threshold.status();
+  EXPECT_GT(threshold.value(), 0.0);
+  // Known data passes at the calibrated threshold.
+  model.set_rejection_threshold(threshold.value());
+  for (const auto& rec : known) {
+    auto preds = model.InferRecording(rec);
+    ASSERT_TRUE(preds.ok());
+    for (const auto& p : preds.value()) {
+      EXPECT_NE(p.name, "Unknown");
+    }
+  }
+  // Percentile/headroom monotonicity.
+  auto median = CalibrateRejectionThreshold(&model, known, 0.5, 1.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_LE(median.value(), threshold.value());
+
+  // Validation.
+  EXPECT_FALSE(CalibrateRejectionThreshold(nullptr, known).ok());
+  EXPECT_FALSE(CalibrateRejectionThreshold(&model, known, 1.5).ok());
+  EXPECT_FALSE(CalibrateRejectionThreshold(&model, known, 1.0, 0.0).ok());
+  EXPECT_FALSE(CalibrateRejectionThreshold(&model, {}).ok());
+  // The model's own threshold is restored after calibration.
+  EXPECT_DOUBLE_EQ(model.rejection_threshold(), threshold.value());
+}
+
+TEST_F(EdgeModelTest, PredictOnEmptyDatasetIsEmpty) {
+  EdgeModel model = MakeModel();
+  auto pairs = model.Predict(sensors::FeatureDataset{});
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs.value().empty());
+}
+
+}  // namespace
+}  // namespace magneto::core

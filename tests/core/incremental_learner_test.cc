@@ -1,0 +1,203 @@
+#include "core/incremental_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "learn/metrics.h"
+#include "sensors/user_profile.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::core {
+namespace {
+
+IncrementalOptions FastUpdateOptions() {
+  IncrementalOptions options;
+  options.train.epochs = 6;
+  options.train.batch_size = 32;
+  options.train.learning_rate = 5e-4;
+  options.train.distill_weight = 1.0;
+  options.train.seed = 17;
+  options.seed = 18;
+  return options;
+}
+
+struct Deployment {
+  EdgeModel model;
+  SupportSet support;
+};
+
+Deployment Deploy(uint64_t seed) {
+  ModelBundle bundle = testing::SmallPretrainedBundle(seed);
+  SupportSet support = std::move(bundle.support);
+  EdgeModel model = std::move(bundle).ToEdgeModel();
+  return {std::move(model), std::move(support)};
+}
+
+std::vector<sensors::Recording> GestureRecordings(uint64_t seed,
+                                                  double seconds = 25.0) {
+  sensors::SyntheticGenerator gen(seed);
+  return {gen.Generate(sensors::MakeGestureModel(seed), seconds)};
+}
+
+TEST(IncrementalLearnerTest, LearnNewActivityRegistersAndClassifies) {
+  Deployment dep = Deploy(301);
+  IncrementalLearner learner(FastUpdateOptions());
+  auto report = learner.LearnNewActivity(&dep.model, &dep.support,
+                                         "Gesture Hi",
+                                         GestureRecordings(1));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().new_windows, 25u);
+  EXPECT_TRUE(dep.model.registry().Contains(report.value().activity));
+  EXPECT_EQ(dep.model.registry().NameOf(report.value().activity).value(),
+            "Gesture Hi");
+  EXPECT_TRUE(dep.support.HasClass(report.value().activity));
+  EXPECT_TRUE(dep.model.classifier().HasClass(report.value().activity));
+
+  // The model now recognises fresh gesture data.
+  sensors::SyntheticGenerator gen(2);
+  sensors::Recording fresh =
+      gen.Generate(sensors::MakeGestureModel(1), 8.0);
+  auto preds = dep.model.InferRecording(fresh);
+  ASSERT_TRUE(preds.ok());
+  size_t hits = 0;
+  for (const auto& p : preds.value()) {
+    if (p.prediction.activity == report.value().activity) ++hits;
+  }
+  EXPECT_GT(hits, preds.value().size() / 2)
+      << "gesture recognised in " << hits << "/" << preds.value().size();
+}
+
+TEST(IncrementalLearnerTest, OldClassesSurviveTheUpdate) {
+  Deployment dep = Deploy(302);
+  // Baseline accuracy on held-out base-activity data.
+  auto eval = dep.model.pipeline()
+                  .ProcessLabeled(testing::SmallCorpus(999, 2, 4.0))
+                  .value();
+  auto measure = [&](EdgeModel* model) {
+    learn::ConfusionMatrix cm;
+    auto pairs = model->Predict(eval);
+    EXPECT_TRUE(pairs.ok());
+    for (const auto& [truth, pred] : pairs.value()) {
+      cm.Add(truth, pred);
+    }
+    return cm.Accuracy();
+  };
+  const double before = measure(&dep.model);
+
+  IncrementalLearner learner(FastUpdateOptions());
+  ASSERT_TRUE(learner
+                  .LearnNewActivity(&dep.model, &dep.support, "Gesture Hi",
+                                    GestureRecordings(3))
+                  .ok());
+  const double after = measure(&dep.model);
+  // The distillation term keeps old-class accuracy within a modest band.
+  EXPECT_GT(after, before - 0.15)
+      << "catastrophic forgetting: " << before << " -> " << after;
+}
+
+TEST(IncrementalLearnerTest, DuplicateNameRejected) {
+  Deployment dep = Deploy(303);
+  IncrementalLearner learner(FastUpdateOptions());
+  auto res = learner.LearnNewActivity(&dep.model, &dep.support, "Walk",
+                                      GestureRecordings(4));
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(IncrementalLearnerTest, TooShortRecordingFailsAndRollsBack) {
+  Deployment dep = Deploy(304);
+  IncrementalLearner learner(FastUpdateOptions());
+  sensors::SyntheticGenerator gen(5);
+  std::vector<sensors::Recording> tiny{
+      gen.Generate(sensors::MakeGestureModel(5), 0.5)};  // < one window
+  auto res = learner.LearnNewActivity(&dep.model, &dep.support, "Gesture Hi",
+                                      tiny);
+  EXPECT_FALSE(res.ok());
+  // The failed name must be free for a retry with a longer capture.
+  EXPECT_FALSE(dep.model.registry().IdOf("Gesture Hi").ok());
+  auto retry = learner.LearnNewActivity(&dep.model, &dep.support,
+                                        "Gesture Hi", GestureRecordings(6));
+  EXPECT_TRUE(retry.ok()) << retry.status();
+}
+
+TEST(IncrementalLearnerTest, NullArgumentsRejected) {
+  Deployment dep = Deploy(305);
+  IncrementalLearner learner(FastUpdateOptions());
+  EXPECT_FALSE(learner
+                   .LearnNewActivity(nullptr, &dep.support, "X",
+                                     GestureRecordings(7))
+                   .ok());
+  EXPECT_FALSE(
+      learner.LearnNewActivity(&dep.model, nullptr, "X", GestureRecordings(7))
+          .ok());
+}
+
+TEST(IncrementalLearnerTest, CalibrationReplacesSupportData) {
+  Deployment dep = Deploy(306);
+  IncrementalLearner learner(FastUpdateOptions());
+
+  // The user's personal walking style, strongly shifted from canonical.
+  sensors::UserProfile user(77, 0.8);
+  sensors::SignalModel personal_walk =
+      user.Personalize(sensors::DefaultActivityLibrary()[sensors::kWalk]);
+  sensors::SyntheticGenerator gen(8);
+  std::vector<sensors::Recording> capture{gen.Generate(personal_walk, 25.0)};
+
+  const size_t size_before = dep.support.ClassSize(sensors::kWalk);
+  auto report =
+      learner.Calibrate(&dep.model, &dep.support, sensors::kWalk, capture);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().activity, sensors::kWalk);
+  // Support class replaced (same capacity cap).
+  EXPECT_LE(dep.support.ClassSize(sensors::kWalk),
+            dep.support.capacity_per_class());
+  EXPECT_GT(dep.support.ClassSize(sensors::kWalk), 0u);
+  (void)size_before;
+
+  // Calibrated model recognises the personal style.
+  sensors::Recording fresh = gen.Generate(personal_walk, 8.0);
+  auto preds = dep.model.InferRecording(fresh);
+  ASSERT_TRUE(preds.ok());
+  size_t hits = 0;
+  for (const auto& p : preds.value()) {
+    if (p.prediction.activity == sensors::kWalk) ++hits;
+  }
+  EXPECT_GT(hits, preds.value().size() / 2);
+}
+
+TEST(IncrementalLearnerTest, CalibrateUnknownActivityFails) {
+  Deployment dep = Deploy(307);
+  IncrementalLearner learner(FastUpdateOptions());
+  auto res =
+      learner.Calibrate(&dep.model, &dep.support, 999, GestureRecordings(9));
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IncrementalLearnerTest, SequentialUpdatesAddMultipleActivities) {
+  // "the learning process can be repeated to accommodate the addition of
+  // multiple activities" (§3.3).
+  Deployment dep = Deploy(308);
+  IncrementalLearner learner(FastUpdateOptions());
+  auto r1 = learner.LearnNewActivity(&dep.model, &dep.support, "Gesture Hi",
+                                     GestureRecordings(10));
+  ASSERT_TRUE(r1.ok());
+  auto r2 = learner.LearnNewActivity(&dep.model, &dep.support, "Gesture Bye",
+                                     GestureRecordings(11));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1.value().activity, r2.value().activity);
+  EXPECT_EQ(dep.model.registry().size(), 7u);
+  EXPECT_EQ(dep.support.NumClasses(), 7u);
+  EXPECT_EQ(dep.model.classifier().num_classes(), 7u);
+}
+
+TEST(IncrementalLearnerTest, ReportAccountsSupportBytes) {
+  Deployment dep = Deploy(309);
+  IncrementalLearner learner(FastUpdateOptions());
+  auto report = learner.LearnNewActivity(&dep.model, &dep.support,
+                                         "Gesture Hi", GestureRecordings(12));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().support_bytes, dep.support.MemoryBytes());
+  EXPECT_GT(report.value().train.epochs.size(), 0u);
+}
+
+}  // namespace
+}  // namespace magneto::core

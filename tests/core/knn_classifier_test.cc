@@ -1,0 +1,129 @@
+#include "core/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::core {
+namespace {
+
+class IdentityEmbedder : public Embedder {
+ public:
+  Matrix Embed(const Matrix& features) override { return features; }
+  size_t embedding_dim() const override { return 2; }
+};
+
+SupportSet TwoClusterSupport() {
+  SupportSet support(10, SelectionStrategy::kRandom);
+  Rng rng(1);
+  sensors::FeatureDataset c0, c1;
+  for (int i = 0; i < 6; ++i) {
+    c0.Append({0.0f + 0.1f * i, 0.0f}, 0);
+    c1.Append({10.0f + 0.1f * i, 0.0f}, 1);
+  }
+  MAGNETO_CHECK(support.SetClass(0, c0, nullptr, &rng).ok());
+  MAGNETO_CHECK(support.SetClass(1, c1, nullptr, &rng).ok());
+  return support;
+}
+
+TEST(KnnClassifierTest, BuildsFromSupportSet) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, {});
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn.value().num_examples(), 12u);
+  EXPECT_EQ(knn.value().embedding_dim(), 2u);
+  EXPECT_EQ(knn.value().MemoryBytes(), 12u * 2u * sizeof(float));
+}
+
+TEST(KnnClassifierTest, ClassifiesByNeighbours) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  EXPECT_EQ(knn.Classify({1.0f, 0.5f}).value().activity, 0);
+  EXPECT_EQ(knn.Classify({9.5f, -0.5f}).value().activity, 1);
+  EXPECT_GT(knn.Classify({0.2f, 0.0f}).value().confidence, 0.9);
+}
+
+TEST(KnnClassifierTest, KOneIsNearestNeighbour) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  KnnClassifier::Options options;
+  options.k = 1;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, options)
+                 .value();
+  // Cluster 0 spans x in [0, 0.5], cluster 1 spans [10, 10.5]: x = 5.8 is
+  // nearer to cluster 1's closest exemplar (4.2 vs 5.3).
+  auto pred = knn.Classify({5.8f, 0.0f}).value();
+  EXPECT_EQ(pred.activity, 1);
+  EXPECT_DOUBLE_EQ(pred.confidence, 1.0);
+}
+
+TEST(KnnClassifierTest, UnweightedMajorityVote) {
+  // 2 exemplars of class 0 close by, 3 of class 1 farther: with k=5
+  // unweighted, class 1 wins on count; distance-weighted, class 0 wins.
+  SupportSet support(10, SelectionStrategy::kRandom);
+  Rng rng(2);
+  sensors::FeatureDataset c0, c1;
+  c0.Append({0.1f, 0.0f}, 0);
+  c0.Append({-0.1f, 0.0f}, 0);
+  c1.Append({3.0f, 0.0f}, 1);
+  c1.Append({3.1f, 0.0f}, 1);
+  c1.Append({3.2f, 0.0f}, 1);
+  MAGNETO_CHECK(support.SetClass(0, c0, nullptr, &rng).ok());
+  MAGNETO_CHECK(support.SetClass(1, c1, nullptr, &rng).ok());
+  IdentityEmbedder embedder;
+
+  KnnClassifier::Options unweighted;
+  unweighted.k = 5;
+  unweighted.distance_weighted = false;
+  auto knn_u = KnnClassifier::FromSupportSet(support, &embedder, unweighted)
+                   .value();
+  EXPECT_EQ(knn_u.Classify({0.0f, 0.0f}).value().activity, 1);
+
+  KnnClassifier::Options weighted;
+  weighted.k = 5;
+  weighted.distance_weighted = true;
+  auto knn_w = KnnClassifier::FromSupportSet(support, &embedder, weighted)
+                   .value();
+  EXPECT_EQ(knn_w.Classify({0.0f, 0.0f}).value().activity, 0);
+}
+
+TEST(KnnClassifierTest, KLargerThanExemplarsIsClamped) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  KnnClassifier::Options options;
+  options.k = 1000;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, options);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn.value().Classify({0.0f, 0.0f}).ok());
+}
+
+TEST(KnnClassifierTest, InvalidInputsRejected) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  EXPECT_FALSE(KnnClassifier::FromSupportSet(support, nullptr, {}).ok());
+  KnnClassifier::Options zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(KnnClassifier::FromSupportSet(support, &embedder, zero_k).ok());
+  SupportSet empty(5, SelectionStrategy::kRandom);
+  EXPECT_FALSE(KnnClassifier::FromSupportSet(empty, &embedder, {}).ok());
+
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  EXPECT_EQ(knn.Classify({1.0f}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KnnClassifierTest, AgreesWithNcmOnSeparatedClusters) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  auto ncm = NcmClassifier::FromSupportSet(support, &embedder).value();
+  for (float x : {0.0f, 2.0f, 8.0f, 10.5f}) {
+    const std::vector<float> q{x, 0.0f};
+    EXPECT_EQ(knn.Classify(q).value().activity,
+              ncm.Classify(q).value().activity)
+        << "query x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace magneto::core

@@ -1,0 +1,115 @@
+#include "core/model_bundle.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+
+namespace magneto::core {
+namespace {
+
+class ModelBundleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new ModelBundle(testing::SmallPretrainedBundle(202));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static ModelBundle* bundle_;
+};
+
+ModelBundle* ModelBundleTest::bundle_ = nullptr;
+
+TEST_F(ModelBundleTest, RoundTripPreservesEverything) {
+  const std::string bytes = bundle_->SerializeToString();
+  auto back = ModelBundle::FromString(bytes);
+  ASSERT_TRUE(back.ok());
+
+  EXPECT_EQ(back.value().registry.size(), bundle_->registry.size());
+  EXPECT_EQ(back.value().support.TotalSize(), bundle_->support.TotalSize());
+  EXPECT_EQ(back.value().classifier.num_classes(),
+            bundle_->classifier.num_classes());
+  EXPECT_EQ(back.value().backbone.NumParameters(),
+            bundle_->backbone.NumParameters());
+
+  // The round-tripped model must predict identically.
+  sensors::SyntheticGenerator gen(5);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk], 1.0);
+  EdgeModel m1(bundle_->pipeline, bundle_->backbone.Clone(),
+               bundle_->classifier, bundle_->registry);
+  EdgeModel m2 = std::move(back).value().ToEdgeModel();
+  auto p1 = m1.InferWindow(rec.samples);
+  auto p2 = m2.InferWindow(rec.samples);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value().prediction.activity, p2.value().prediction.activity);
+  EXPECT_NEAR(p1.value().prediction.distance, p2.value().prediction.distance,
+              1e-6);
+}
+
+TEST_F(ModelBundleTest, RejectsBadMagic) {
+  std::string bytes = bundle_->SerializeToString();
+  bytes[0] = 'X';
+  auto res = ModelBundle::FromString(bytes);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ModelBundleTest, RejectsFlippedPayloadBit) {
+  std::string bytes = bundle_->SerializeToString();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the body
+  auto res = ModelBundle::FromString(bytes);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ModelBundleTest, RejectsTruncation) {
+  std::string bytes = bundle_->SerializeToString();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(ModelBundle::FromString(bytes).ok());
+  EXPECT_FALSE(ModelBundle::FromString("MG").ok());
+  EXPECT_FALSE(ModelBundle::FromString("").ok());
+}
+
+TEST_F(ModelBundleTest, RejectsUnsupportedVersion) {
+  std::string bytes = bundle_->SerializeToString();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  EXPECT_FALSE(ModelBundle::FromString(bytes).ok());
+}
+
+TEST_F(ModelBundleTest, RejectsTrailingGarbageInsideBody) {
+  // Extend the declared body and append bytes: the parser must notice.
+  std::string bytes = bundle_->SerializeToString();
+  bytes.insert(bytes.size() - 4, std::string(8, '\0'));
+  // (length field now disagrees with the actual structure)
+  EXPECT_FALSE(ModelBundle::FromString(bytes).ok());
+}
+
+TEST_F(ModelBundleTest, FileRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "magneto_bundle_test.magneto";
+  ASSERT_TRUE(bundle_->SaveToFile(path).ok());
+  auto back = ModelBundle::LoadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().registry.size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, LoadMissingFileFails) {
+  EXPECT_EQ(ModelBundle::LoadFromFile("/no/such/file.magneto").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(ModelBundleTest, SerializedSizeIsStable) {
+  EXPECT_EQ(bundle_->SerializedBytes(), bundle_->SerializeToString().size());
+  // The small test bundle should be well under the paper's 5 MB budget.
+  EXPECT_LT(bundle_->SerializedBytes(), 5u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace magneto::core

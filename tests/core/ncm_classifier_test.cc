@@ -1,0 +1,179 @@
+#include "core/ncm_classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::core {
+namespace {
+
+class IdentityEmbedder : public Embedder {
+ public:
+  Matrix Embed(const Matrix& features) override { return features; }
+  size_t embedding_dim() const override { return 2; }
+};
+
+NcmClassifier TwoClassClassifier() {
+  NcmClassifier ncm;
+  // Prototypes at (0,0) and (10,0).
+  MAGNETO_CHECK(
+      ncm.SetPrototypeFromEmbeddings(0, Matrix(1, 2, {0, 0})).ok());
+  MAGNETO_CHECK(
+      ncm.SetPrototypeFromEmbeddings(1, Matrix(1, 2, {10, 0})).ok());
+  return ncm;
+}
+
+TEST(NcmClassifierTest, PrototypeIsClassMean) {
+  NcmClassifier ncm;
+  Matrix embeddings(3, 2, {0, 0, 2, 4, 4, 2});
+  ASSERT_TRUE(ncm.SetPrototypeFromEmbeddings(7, embeddings).ok());
+  auto proto = ncm.Prototype(7);
+  ASSERT_TRUE(proto.ok());
+  EXPECT_FLOAT_EQ(proto.value()[0], 2.0f);
+  EXPECT_FLOAT_EQ(proto.value()[1], 2.0f);
+}
+
+TEST(NcmClassifierTest, ClassifiesByNearestPrototype) {
+  NcmClassifier ncm = TwoClassClassifier();
+  const std::vector<float> near0{1.0f, 1.0f};
+  auto pred = ncm.Classify(near0);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred.value().activity, 0);
+  EXPECT_NEAR(pred.value().distance, std::sqrt(2.0), 1e-5);
+
+  const std::vector<float> near1{9.0f, -1.0f};
+  EXPECT_EQ(ncm.Classify(near1).value().activity, 1);
+}
+
+TEST(NcmClassifierTest, ConfidenceReflectsMarginBetweenPrototypes) {
+  NcmClassifier ncm = TwoClassClassifier();
+  auto confident = ncm.Classify({0.0f, 0.0f}).value();
+  auto borderline = ncm.Classify({5.0f, 0.0f}).value();
+  EXPECT_GT(confident.confidence, 0.99);
+  EXPECT_NEAR(borderline.confidence, 0.5, 1e-6);
+  EXPECT_GE(confident.confidence, borderline.confidence);
+}
+
+TEST(NcmClassifierTest, DistancesSortedAscending) {
+  NcmClassifier ncm = TwoClassClassifier();
+  ASSERT_TRUE(
+      ncm.SetPrototypeFromEmbeddings(2, Matrix(1, 2, {3, 0})).ok());
+  const std::vector<float> q{1.0f, 0.0f};
+  auto distances = ncm.Distances(q.data(), q.size()).value();
+  ASSERT_EQ(distances.size(), 3u);
+  EXPECT_EQ(distances[0].first, 0);
+  EXPECT_EQ(distances[1].first, 2);
+  EXPECT_EQ(distances[2].first, 1);
+  EXPECT_LE(distances[0].second, distances[1].second);
+  EXPECT_LE(distances[1].second, distances[2].second);
+}
+
+TEST(NcmClassifierTest, AddingClassNeedsNoRetraining) {
+  // The property the paper builds on: a class is added by one prototype
+  // insert, and existing decisions away from it are untouched.
+  NcmClassifier ncm = TwoClassClassifier();
+  const std::vector<float> q{1.0f, 1.0f};
+  EXPECT_EQ(ncm.Classify(q).value().activity, 0);
+  ASSERT_TRUE(
+      ncm.SetPrototypeFromEmbeddings(5, Matrix(1, 2, {100, 100})).ok());
+  EXPECT_EQ(ncm.num_classes(), 3u);
+  EXPECT_EQ(ncm.Classify(q).value().activity, 0);  // unchanged
+  EXPECT_EQ(ncm.Classify({99.0f, 99.0f}).value().activity, 5);
+}
+
+TEST(NcmClassifierTest, RemoveClass) {
+  NcmClassifier ncm = TwoClassClassifier();
+  ASSERT_TRUE(ncm.RemoveClass(1).ok());
+  EXPECT_EQ(ncm.num_classes(), 1u);
+  EXPECT_EQ(ncm.RemoveClass(1).code(), StatusCode::kNotFound);
+  // Every query now lands on the remaining class.
+  EXPECT_EQ(ncm.Classify({100.0f, 0.0f}).value().activity, 0);
+}
+
+TEST(NcmClassifierTest, DimMismatchRejected) {
+  NcmClassifier ncm = TwoClassClassifier();
+  EXPECT_EQ(ncm.Classify({1.0f}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      ncm.SetPrototypeFromEmbeddings(9, Matrix(1, 3, {1, 2, 3})).ok());
+}
+
+TEST(NcmClassifierTest, EmptyClassifierFailsClassification) {
+  NcmClassifier ncm;
+  EXPECT_EQ(ncm.Classify({1.0f, 2.0f}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NcmClassifierTest, EmptyEmbeddingBatchRejected) {
+  NcmClassifier ncm;
+  EXPECT_FALSE(ncm.SetPrototypeFromEmbeddings(0, Matrix(0, 2)).ok());
+}
+
+TEST(NcmClassifierTest, FromSupportSetBuildsAllPrototypes) {
+  SupportSet support(4, SelectionStrategy::kRandom);
+  Rng rng(1);
+  sensors::FeatureDataset c0, c1;
+  for (int i = 0; i < 6; ++i) {
+    c0.Append({0.0f + i * 0.01f, 0.0f}, 0);
+    c1.Append({8.0f + i * 0.01f, 0.0f}, 1);
+  }
+  ASSERT_TRUE(support.SetClass(0, c0, nullptr, &rng).ok());
+  ASSERT_TRUE(support.SetClass(1, c1, nullptr, &rng).ok());
+
+  IdentityEmbedder embedder;
+  auto ncm = NcmClassifier::FromSupportSet(support, &embedder);
+  ASSERT_TRUE(ncm.ok());
+  EXPECT_EQ(ncm.value().num_classes(), 2u);
+  EXPECT_EQ(ncm.value().Classify({0.5f, 0.0f}).value().activity, 0);
+  EXPECT_EQ(ncm.value().Classify({7.5f, 0.0f}).value().activity, 1);
+}
+
+TEST(NcmClassifierTest, FromEmptySupportSetFails) {
+  SupportSet support(4, SelectionStrategy::kRandom);
+  IdentityEmbedder embedder;
+  EXPECT_FALSE(NcmClassifier::FromSupportSet(support, &embedder).ok());
+  EXPECT_FALSE(NcmClassifier::FromSupportSet(support, nullptr).ok());
+}
+
+TEST(NcmClassifierTest, RejectionThresholdYieldsUnknown) {
+  NcmClassifier ncm = TwoClassClassifier();
+  const std::vector<float> far{100.0f, 100.0f};  // ~134 from both prototypes
+  auto accepted = ncm.Classify(far).value();
+  EXPECT_NE(accepted.activity, kUnknownActivity);
+
+  auto rejected =
+      ncm.ClassifyWithRejection(far.data(), far.size(), 50.0).value();
+  EXPECT_EQ(rejected.activity, kUnknownActivity);
+  EXPECT_TRUE(rejected.is_unknown());
+  // Distance of the would-be winner is preserved for display.
+  EXPECT_NEAR(rejected.distance, accepted.distance, 1e-9);
+
+  // Close queries are unaffected by the threshold.
+  const std::vector<float> near{0.5f, 0.0f};
+  auto kept = ncm.ClassifyWithRejection(near.data(), near.size(), 50.0)
+                  .value();
+  EXPECT_EQ(kept.activity, 0);
+}
+
+TEST(NcmClassifierTest, SerializationRoundTrip) {
+  NcmClassifier ncm = TwoClassClassifier();
+  BinaryWriter w;
+  ncm.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = NcmClassifier::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_classes(), 2u);
+  EXPECT_EQ(back.value().embedding_dim(), 2u);
+  EXPECT_EQ(back.value().Classify({9.0f, 0.0f}).value().activity, 1);
+}
+
+TEST(NcmClassifierTest, DeserializeRejectsDimMismatch) {
+  BinaryWriter w;
+  w.WriteU64(3);  // dim 3
+  w.WriteU64(1);  // one prototype
+  w.WriteI64(0);
+  w.WriteF32Vector({1.0f, 2.0f});  // but only 2 floats
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(NcmClassifier::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace magneto::core

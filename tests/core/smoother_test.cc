@@ -1,0 +1,98 @@
+#include "core/smoother.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::core {
+namespace {
+
+NamedPrediction Pred(sensors::ActivityId id, double confidence,
+                     const std::string& name = "") {
+  NamedPrediction p;
+  p.prediction.activity = id;
+  p.prediction.confidence = confidence;
+  p.name = name.empty() ? "#" + std::to_string(id) : name;
+  return p;
+}
+
+TEST(PredictionSmootherTest, SinglePredictionPassesThrough) {
+  PredictionSmoother smoother({});
+  NamedPrediction out = smoother.Push(Pred(3, 0.9, "Still"));
+  EXPECT_EQ(out.prediction.activity, 3);
+  EXPECT_EQ(out.name, "Still");
+  EXPECT_DOUBLE_EQ(out.prediction.confidence, 1.0);  // 100% of vote mass
+}
+
+TEST(PredictionSmootherTest, SuppressesSingleOutlier) {
+  PredictionSmoother smoother({.window = 5});
+  for (int i = 0; i < 4; ++i) smoother.Push(Pred(0, 0.8, "Walk"));
+  // One noisy window must not flip the output.
+  NamedPrediction out = smoother.Push(Pred(1, 0.6, "Run"));
+  EXPECT_EQ(out.prediction.activity, 0);
+  EXPECT_EQ(out.name, "Walk");
+  EXPECT_LT(out.prediction.confidence, 1.0);
+}
+
+TEST(PredictionSmootherTest, SwitchesAfterSustainedChange) {
+  PredictionSmoother smoother({.window = 5});
+  for (int i = 0; i < 5; ++i) smoother.Push(Pred(0, 0.8));
+  // A real activity change wins once it dominates the window.
+  NamedPrediction out = Pred(0, 0.0);
+  for (int i = 0; i < 3; ++i) out = smoother.Push(Pred(1, 0.8));
+  EXPECT_EQ(out.prediction.activity, 1);
+}
+
+TEST(PredictionSmootherTest, ConfidenceWeightingBreaksTies) {
+  PredictionSmoother smoother({.window = 4});
+  smoother.Push(Pred(0, 0.9));
+  smoother.Push(Pred(0, 0.9));
+  smoother.Push(Pred(1, 0.2));
+  NamedPrediction out = smoother.Push(Pred(1, 0.2));
+  // Two high-confidence votes beat two low-confidence ones.
+  EXPECT_EQ(out.prediction.activity, 0);
+}
+
+TEST(PredictionSmootherTest, MinConfidenceFilterSkipsVotes) {
+  PredictionSmoother smoother({.window = 3, .min_confidence = 0.5});
+  smoother.Push(Pred(0, 0.9));
+  // Low-confidence garbage does not enter the history.
+  smoother.Push(Pred(1, 0.1));
+  smoother.Push(Pred(1, 0.1));
+  EXPECT_EQ(smoother.history_size(), 1u);
+  NamedPrediction out = smoother.Push(Pred(1, 0.1));
+  EXPECT_EQ(out.prediction.activity, 0);
+}
+
+TEST(PredictionSmootherTest, AllFilteredFallsBackToRaw) {
+  PredictionSmoother smoother({.window = 3, .min_confidence = 0.99});
+  NamedPrediction out = smoother.Push(Pred(7, 0.5, "Run"));
+  // Nothing in history: the raw prediction is passed through.
+  EXPECT_EQ(out.prediction.activity, 7);
+}
+
+TEST(PredictionSmootherTest, ResetClearsHistory) {
+  PredictionSmoother smoother({.window = 5});
+  for (int i = 0; i < 5; ++i) smoother.Push(Pred(0, 0.8));
+  smoother.Reset();
+  EXPECT_EQ(smoother.history_size(), 0u);
+  NamedPrediction out = smoother.Push(Pred(1, 0.5));
+  EXPECT_EQ(out.prediction.activity, 1);
+}
+
+TEST(PredictionSmootherTest, WindowBoundsHistory) {
+  PredictionSmoother smoother({.window = 3});
+  for (int i = 0; i < 10; ++i) smoother.Push(Pred(0, 0.8));
+  EXPECT_EQ(smoother.history_size(), 3u);
+  // Old votes age out: 3 new windows fully replace the history.
+  smoother.Push(Pred(1, 0.8));
+  smoother.Push(Pred(1, 0.8));
+  NamedPrediction out = smoother.Push(Pred(1, 0.8));
+  EXPECT_EQ(out.prediction.activity, 1);
+  EXPECT_DOUBLE_EQ(out.prediction.confidence, 1.0);
+}
+
+TEST(PredictionSmootherDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(PredictionSmoother({.window = 0}), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "magneto.h"
+#include "testing/test_helpers.h"
+
+namespace magneto {
+namespace {
+
+/// Randomised corruption suite for the wire formats: whatever bytes arrive
+/// over the link, the parsers must return an error or a valid object — never
+/// crash, never read out of bounds, never half-construct.
+
+class BundleFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    wire_ = new std::string(
+        testing::SmallPretrainedBundle(901).SerializeToString());
+  }
+  static void TearDownTestSuite() {
+    delete wire_;
+    wire_ = nullptr;
+  }
+  static std::string* wire_;
+};
+
+std::string* BundleFuzzTest::wire_ = nullptr;
+
+TEST_F(BundleFuzzTest, RandomSingleByteCorruptionNeverCrashes) {
+  Rng rng(1);
+  size_t parsed_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = *wire_;
+    const size_t pos = rng.Index(bytes.size());
+    bytes[pos] ^= static_cast<char>(1 + rng.Index(255));
+    auto bundle = core::ModelBundle::FromString(bytes);
+    if (bundle.ok()) {
+      // Only corruption outside the CRC-protected region (header fields that
+      // happen to still parse) could land here; the object must be usable.
+      ++parsed_ok;
+      EXPECT_GE(bundle.value().registry.size(), 0u);
+    }
+  }
+  // The CRC catches essentially every body flip.
+  EXPECT_LT(parsed_ok, 5u);
+}
+
+TEST_F(BundleFuzzTest, RandomTruncationNeverCrashes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = wire_->substr(0, rng.Index(wire_->size()));
+    auto bundle = core::ModelBundle::FromString(bytes);
+    EXPECT_FALSE(bundle.ok());  // a strict prefix can never checksum
+  }
+}
+
+TEST_F(BundleFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes(rng.Index(4096), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(-128, 127));
+    auto bundle = core::ModelBundle::FromString(bytes);
+    EXPECT_FALSE(bundle.ok());
+  }
+}
+
+TEST_F(BundleFuzzTest, ShuffledChunksNeverCrash) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bytes = *wire_;
+    // Swap two random chunks.
+    const size_t chunk = 64;
+    if (bytes.size() < 2 * chunk) break;
+    const size_t a = rng.Index(bytes.size() - chunk);
+    const size_t b = rng.Index(bytes.size() - chunk);
+    for (size_t i = 0; i < chunk; ++i) std::swap(bytes[a + i], bytes[b + i]);
+    (void)core::ModelBundle::FromString(bytes);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(ReaderFuzzTest, RandomBytesThroughEveryReader) {
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes(rng.Index(256), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(-128, 127));
+    BinaryReader reader(bytes);
+    // Walk the buffer with a random sequence of reads until one fails.
+    for (int step = 0; step < 32; ++step) {
+      bool failed = false;
+      switch (rng.Index(7)) {
+        case 0: failed = !reader.ReadU8().ok(); break;
+        case 1: failed = !reader.ReadU32().ok(); break;
+        case 2: failed = !reader.ReadU64().ok(); break;
+        case 3: failed = !reader.ReadF32().ok(); break;
+        case 4: failed = !reader.ReadString().ok(); break;
+        case 5: failed = !reader.ReadF32Vector().ok(); break;
+        case 6: failed = !reader.ReadI64Vector().ok(); break;
+      }
+      if (failed) break;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ReaderFuzzTest, SequentialDeserializeOnGarbage) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinaryWriter w;
+    // Plausible-looking header followed by garbage.
+    w.WriteU64(rng.Index(8) + 1);
+    for (int i = 0; i < 64; ++i) {
+      w.WriteU8(static_cast<uint8_t>(rng.Index(256)));
+    }
+    BinaryReader r(w.buffer());
+    (void)nn::Sequential::Deserialize(&r);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(ReaderFuzzTest, PipelineDeserializeOnGarbage) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes(rng.Index(128) + 1, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(-128, 127));
+    BinaryReader r(bytes);
+    (void)preprocess::Pipeline::Deserialize(&r);
+    BinaryReader r2(bytes);
+    (void)core::SupportSet::Deserialize(&r2);
+    BinaryReader r3(bytes);
+    (void)core::NcmClassifier::Deserialize(&r3);
+    BinaryReader r4(bytes);
+    (void)sensors::ActivityRegistry::Deserialize(&r4);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace magneto

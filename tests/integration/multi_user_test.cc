@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "magneto.h"
+#include "testing/test_helpers.h"
+
+namespace magneto {
+namespace {
+
+/// Two users provision devices from the same cloud bundle and personalise
+/// independently. The paper's privacy/personalization story implies device
+/// isolation: one user's updates must never leak into another's model, and
+/// the shared cloud artifact must stay pristine.
+
+std::vector<core::NamedPrediction> Infer(core::EdgeRuntime* runtime,
+                                         const sensors::Recording& rec) {
+  std::vector<core::NamedPrediction> out;
+  for (size_t i = 0; i < rec.num_samples(); ++i) {
+    sensors::Frame frame;
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frame[c] = rec.samples.At(i, c);
+    }
+    auto pred = runtime->PushFrame(frame);
+    EXPECT_TRUE(pred.ok());
+    if (pred.ok() && pred.value().has_value()) out.push_back(*pred.value());
+  }
+  return out;
+}
+
+size_t CountName(const std::vector<core::NamedPrediction>& preds,
+                 const std::string& name) {
+  size_t n = 0;
+  for (const auto& p : preds) n += (p.name == name);
+  return n;
+}
+
+TEST(MultiUserTest, IndependentPersonalizationWithoutCrosstalk) {
+  // One cloud artifact, served to both devices.
+  platform::CloudServer server(testing::SmallCloudConfig());
+  ASSERT_TRUE(server
+                  .Pretrain(testing::SmallCorpus(1001),
+                            sensors::ActivityRegistry::BaseActivities())
+                  .ok());
+  const std::string wire = server.ServeBundleBytes().ValueOrDie();
+
+  core::IncrementalOptions update;
+  update.train.epochs = 8;
+  update.train.learning_rate = 1e-3;
+  update.train.distill_weight = 1.0;
+  update.train.seed = 5;
+
+  auto alice_device = platform::EdgeDevice::Provision(wire, update);
+  auto bob_device = platform::EdgeDevice::Provision(wire, update);
+  ASSERT_TRUE(alice_device.ok());
+  ASSERT_TRUE(bob_device.ok());
+  core::EdgeRuntime& alice = alice_device.value().runtime();
+  core::EdgeRuntime& bob = bob_device.value().runtime();
+
+  // Alice teaches her device a wave; Bob teaches his a stretch.
+  sensors::SignalModel wave = sensors::MakeGestureModel(111);
+  sensors::SignalModel stretch = sensors::MakeGestureModel(222);
+  sensors::SyntheticGenerator alice_phone(2);
+  sensors::SyntheticGenerator bob_phone(3);
+
+  ASSERT_TRUE(alice.StartRecording().ok());
+  Infer(&alice, alice_phone.Generate(wave, 22.0));
+  ASSERT_TRUE(alice.FinishRecordingAndLearn("Wave").ok());
+
+  ASSERT_TRUE(bob.StartRecording().ok());
+  Infer(&bob, bob_phone.Generate(stretch, 22.0));
+  ASSERT_TRUE(bob.FinishRecordingAndLearn("Stretch").ok());
+
+  // Each device knows its own gesture...
+  EXPECT_TRUE(alice.model().registry().IdOf("Wave").ok());
+  EXPECT_TRUE(bob.model().registry().IdOf("Stretch").ok());
+  // ...and not the other's (device isolation).
+  EXPECT_FALSE(alice.model().registry().IdOf("Stretch").ok());
+  EXPECT_FALSE(bob.model().registry().IdOf("Wave").ok());
+
+  // Each recognises its own user's new activity on fresh data.
+  EXPECT_GT(CountName(Infer(&alice, alice_phone.Generate(wave, 6.0)), "Wave"),
+            3u);
+  EXPECT_GT(CountName(Infer(&bob, bob_phone.Generate(stretch, 6.0)),
+                      "Stretch"),
+            3u);
+
+  // Both still recognise the shared base activities.
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  EXPECT_GT(CountName(Infer(&alice, alice_phone.Generate(lib[sensors::kRun],
+                                                         4.0)),
+                      "Run"),
+            2u);
+  EXPECT_GT(
+      CountName(Infer(&bob, bob_phone.Generate(lib[sensors::kStill], 4.0)),
+                "Still"),
+      2u);
+
+  // The cloud artifact is untouched by either user's learning.
+  EXPECT_EQ(server.ServeBundleBytes().ValueOrDie(), wire);
+}
+
+TEST(MultiUserTest, SameNameDifferentMeaningPerDevice) {
+  // Both users name their gesture "My Move", but the gestures differ: the
+  // name is purely device-local.
+  platform::CloudServer server(testing::SmallCloudConfig());
+  ASSERT_TRUE(server
+                  .Pretrain(testing::SmallCorpus(1002),
+                            sensors::ActivityRegistry::BaseActivities())
+                  .ok());
+  const std::string wire = server.ServeBundleBytes().ValueOrDie();
+
+  core::IncrementalOptions update;
+  update.train.epochs = 8;
+  update.train.distill_weight = 1.0;
+  update.train.seed = 7;
+  auto a = platform::EdgeDevice::Provision(wire, update);
+  auto b = platform::EdgeDevice::Provision(wire, update);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  sensors::SignalModel move_a = sensors::MakeGestureModel(333);
+  sensors::SignalModel move_b = sensors::MakeGestureModel(444);
+  sensors::SyntheticGenerator gen(8);
+
+  ASSERT_TRUE(a.value().runtime().StartRecording().ok());
+  Infer(&a.value().runtime(), gen.Generate(move_a, 22.0));
+  ASSERT_TRUE(a.value().runtime().FinishRecordingAndLearn("My Move").ok());
+
+  ASSERT_TRUE(b.value().runtime().StartRecording().ok());
+  Infer(&b.value().runtime(), gen.Generate(move_b, 22.0));
+  ASSERT_TRUE(b.value().runtime().FinishRecordingAndLearn("My Move").ok());
+
+  // Device A recognises its own "My Move" on A's gesture...
+  EXPECT_GT(CountName(Infer(&a.value().runtime(), gen.Generate(move_a, 6.0)),
+                      "My Move"),
+            3u);
+  // ...and device B its own.
+  EXPECT_GT(CountName(Infer(&b.value().runtime(), gen.Generate(move_b, 6.0)),
+                      "My Move"),
+            3u);
+}
+
+}  // namespace
+}  // namespace magneto

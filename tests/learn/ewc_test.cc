@@ -1,0 +1,165 @@
+#include "learn/ewc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "learn/pair_sampler.h"
+#include "learn/siamese_trainer.h"
+
+namespace magneto::learn {
+namespace {
+
+sensors::FeatureDataset Blobs(size_t classes, size_t per_class, size_t dim,
+                              uint64_t seed) {
+  Rng rng(seed);
+  sensors::FeatureDataset ds;
+  for (size_t c = 0; c < classes; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      std::vector<float> x(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        x[j] = (((c >> (j % 4)) & 1) ? 2.0f : -2.0f) +
+               static_cast<float>(rng.Normal(0.0, 0.3));
+      }
+      ds.Append(x, static_cast<sensors::ActivityId>(c));
+    }
+  }
+  return ds;
+}
+
+TEST(EwcTest, EstimateLeavesParametersUntouched) {
+  Rng rng(1);
+  nn::Sequential net = nn::BuildMlp(6, {8, 4}, &rng);
+  std::vector<Matrix> before;
+  for (Matrix* p : net.Params()) before.push_back(*p);
+  sensors::FeatureDataset data = Blobs(2, 20, 6, 2);
+  auto ewc = EwcRegularizer::Estimate(&net, data, {});
+  ASSERT_TRUE(ewc.ok());
+  auto params = net.Params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      ASSERT_FLOAT_EQ(params[i]->data()[j], before[i].data()[j]);
+    }
+  }
+  // And gradients are left clean.
+  for (Matrix* g : net.Grads()) EXPECT_FLOAT_EQ(g->AbsMax(), 0.0f);
+}
+
+TEST(EwcTest, PenaltyIsZeroAtAnchor) {
+  Rng rng(3);
+  nn::Sequential net = nn::BuildMlp(6, {8, 4}, &rng);
+  sensors::FeatureDataset data = Blobs(2, 20, 6, 4);
+  auto ewc = EwcRegularizer::Estimate(&net, data, {}).value();
+  EXPECT_DOUBLE_EQ(ewc.Penalty(&net, 1.0), 0.0);
+  // Gradient contribution at the anchor is zero.
+  net.ZeroGrad();
+  ewc.AccumulatePenaltyGradient(&net, 1.0);
+  for (Matrix* g : net.Grads()) EXPECT_FLOAT_EQ(g->AbsMax(), 0.0f);
+}
+
+TEST(EwcTest, PenaltyGrowsWithParameterDrift) {
+  Rng rng(5);
+  nn::Sequential net = nn::BuildMlp(6, {8, 4}, &rng);
+  sensors::FeatureDataset data = Blobs(2, 20, 6, 6);
+  auto ewc = EwcRegularizer::Estimate(&net, data, {}).value();
+  net.Params()[0]->data()[0] += 0.5f;
+  const double small = ewc.Penalty(&net, 1.0);
+  net.Params()[0]->data()[0] += 0.5f;
+  const double large = ewc.Penalty(&net, 1.0);
+  EXPECT_GE(large, small);
+  EXPECT_GE(small, 0.0);
+  // Lambda scales linearly.
+  EXPECT_NEAR(ewc.Penalty(&net, 2.0), 2.0 * large, 1e-9);
+}
+
+TEST(EwcTest, PenaltyGradientMatchesAnalyticForm) {
+  Rng rng(7);
+  nn::Sequential net = nn::BuildMlp(4, {5, 3}, &rng);
+  sensors::FeatureDataset data = Blobs(2, 15, 4, 8);
+  auto ewc = EwcRegularizer::Estimate(&net, data, {}).value();
+
+  // Shift one parameter and check dPenalty/dtheta = lambda * F * (theta-a).
+  Matrix* p0 = net.Params()[0];
+  const float delta = 0.3f;
+  p0->data()[2] += delta;
+  net.ZeroGrad();
+  ewc.AccumulatePenaltyGradient(&net, 2.0);
+  const float grad = net.Grads()[0]->data()[2];
+
+  // Finite difference of Penalty wrt that parameter.
+  const double eps = 1e-3;
+  p0->data()[2] += static_cast<float>(eps);
+  const double plus = ewc.Penalty(&net, 2.0);
+  p0->data()[2] -= static_cast<float>(2 * eps);
+  const double minus = ewc.Penalty(&net, 2.0);
+  const double numeric = (plus - minus) / (2 * eps);
+  EXPECT_NEAR(grad, numeric, 1e-2 * (std::fabs(numeric) + 1.0));
+}
+
+TEST(EwcTest, ReducesDriftOnImportantWeights) {
+  // Train on task A; then train on task B with and without EWC. The EWC run
+  // must keep the old-task loss lower.
+  sensors::FeatureDataset task_a = Blobs(2, 30, 6, 9);
+  sensors::FeatureDataset task_b = Blobs(4, 30, 6, 10).FilterByClasses({2, 3});
+
+  Rng rng(11);
+  nn::Sequential net = nn::BuildMlp(6, {12, 4}, &rng);
+  TrainOptions pretrain;
+  pretrain.epochs = 15;
+  pretrain.seed = 12;
+  ASSERT_TRUE(SiameseTrainer(pretrain).Train(&net, task_a).ok());
+
+  auto old_task_loss = [&](nn::Sequential* m) {
+    // Mean contrastive loss over a fixed pair sample of task A.
+    PairSampler sampler(task_a, 99);
+    double total = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      PairBatch batch = sampler.Sample(32);
+      Matrix emb = m->Forward(VStack(batch.a, batch.b), false);
+      total += nn::ContrastiveLoss(emb.RowSlice(0, 32), emb.RowSlice(32, 64),
+                                   batch.same, 5.0)
+                   .loss;
+    }
+    return total / 10.0;
+  };
+
+  auto run_update = [&](double lambda) {
+    nn::Sequential student = net.Clone();
+    auto ewc = EwcRegularizer::Estimate(&student, task_a, {}).value();
+    TrainOptions update;
+    update.epochs = 15;
+    update.seed = 13;
+    update.ewc_weight = lambda;
+    SiameseTrainer trainer(update);
+    EXPECT_TRUE(trainer
+                    .Train(&student, task_b, nullptr, nullptr,
+                           lambda > 0 ? &ewc : nullptr)
+                    .ok());
+    return old_task_loss(&student);
+  };
+
+  const double with_ewc = run_update(50.0);
+  const double without = run_update(0.0);
+  EXPECT_LE(with_ewc, without + 1e-6)
+      << "EWC " << with_ewc << " vs plain " << without;
+}
+
+TEST(EwcTest, InputValidation) {
+  Rng rng(14);
+  nn::Sequential net = nn::BuildMlp(4, {4}, &rng);
+  sensors::FeatureDataset data = Blobs(2, 5, 4, 15);
+  EXPECT_FALSE(EwcRegularizer::Estimate(nullptr, data, {}).ok());
+  EXPECT_FALSE(EwcRegularizer::Estimate(&net, {}, {}).ok());
+  EwcRegularizer::Options zero;
+  zero.batches = 0;
+  EXPECT_FALSE(EwcRegularizer::Estimate(&net, data, zero).ok());
+
+  // Trainer refuses ewc_weight without a regularizer.
+  TrainOptions options;
+  options.ewc_weight = 1.0;
+  options.epochs = 1;
+  EXPECT_FALSE(SiameseTrainer(options).Train(&net, data).ok());
+}
+
+}  // namespace
+}  // namespace magneto::learn

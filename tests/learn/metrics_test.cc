@@ -1,0 +1,120 @@
+#include "learn/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::learn {
+namespace {
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 10; ++i) {
+    cm.Add(0, 0);
+    cm.Add(1, 1);
+  }
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.F1(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownMix) {
+  ConfusionMatrix cm;
+  // class 0: 3 correct, 1 predicted as 1.
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  // class 1: 1 correct, 1 predicted as 0.
+  cm.Add(1, 1);
+  cm.Add(1, 0);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.Count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 0.75);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 0.75);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, UnseenClassesAreZero) {
+  ConfusionMatrix cm;
+  cm.Add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.Recall(5), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(5), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(5), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerClassRecallMap) {
+  ConfusionMatrix cm;
+  cm.Add(3, 3);
+  cm.Add(3, 7);
+  cm.Add(7, 7);
+  auto recall = cm.PerClassRecall();
+  EXPECT_EQ(recall.size(), 2u);
+  EXPECT_DOUBLE_EQ(recall[3], 0.5);
+  EXPECT_DOUBLE_EQ(recall[7], 1.0);
+  EXPECT_EQ(cm.Classes(), (std::vector<sensors::ActivityId>{3, 7}));
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsNamesAndAccuracy) {
+  ConfusionMatrix cm;
+  cm.Add(sensors::kWalk, sensors::kWalk);
+  cm.Add(sensors::kRun, sensors::kWalk);
+  const std::string table =
+      cm.ToString(sensors::ActivityRegistry::BaseActivities());
+  EXPECT_NE(table.find("Walk"), std::string::npos);
+  EXPECT_NE(table.find("Run"), std::string::npos);
+  EXPECT_NE(table.find("accuracy=0.5"), std::string::npos);
+}
+
+TEST(ForgettingTest, NoForgettingWhenRecallPreserved) {
+  ConfusionMatrix before, after;
+  for (int i = 0; i < 10; ++i) {
+    before.Add(0, 0);
+    before.Add(1, 1);
+    after.Add(0, 0);
+    after.Add(1, 1);
+    after.Add(2, 2);  // new class
+  }
+  auto report = ComputeForgetting(before, after, 2);
+  EXPECT_DOUBLE_EQ(report.mean_forgetting, 0.0);
+  EXPECT_DOUBLE_EQ(report.old_class_accuracy_after, 1.0);
+  EXPECT_DOUBLE_EQ(report.new_class_accuracy, 1.0);
+}
+
+TEST(ForgettingTest, MeasuresRecallDrop) {
+  ConfusionMatrix before, after;
+  for (int i = 0; i < 10; ++i) {
+    before.Add(0, 0);  // recall 1.0 before
+    before.Add(1, 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    after.Add(0, i < 6 ? 0 : 2);  // recall 0.6 after
+    after.Add(1, 1);              // retained
+    after.Add(2, i < 8 ? 2 : 0);  // new class recall 0.8
+  }
+  auto report = ComputeForgetting(before, after, 2);
+  EXPECT_NEAR(report.mean_forgetting, (0.4 + 0.0) / 2.0, 1e-9);
+  EXPECT_NEAR(report.old_class_accuracy_after, (0.6 + 1.0) / 2.0, 1e-9);
+  EXPECT_NEAR(report.old_class_accuracy_before, 1.0, 1e-9);
+  EXPECT_NEAR(report.new_class_accuracy, 0.8, 1e-9);
+}
+
+TEST(ForgettingTest, ImprovementIsNotNegativeForgetting) {
+  ConfusionMatrix before, after;
+  before.Add(0, 1);  // recall 0 before
+  after.Add(0, 0);   // recall 1 after (improved)
+  auto report = ComputeForgetting(before, after, 9);
+  EXPECT_DOUBLE_EQ(report.mean_forgetting, 0.0);  // clamped at 0
+}
+
+}  // namespace
+}  // namespace magneto::learn

@@ -1,0 +1,122 @@
+#include "learn/pair_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::learn {
+namespace {
+
+sensors::FeatureDataset ThreeClassData() {
+  sensors::FeatureDataset ds;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      ds.Append({static_cast<float>(c), static_cast<float>(i)}, c);
+    }
+  }
+  return ds;
+}
+
+TEST(PairSamplerTest, BatchShape) {
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler sampler(ds, 1);
+  PairBatch batch = sampler.Sample(8);
+  EXPECT_EQ(batch.size(), 8u);
+  EXPECT_EQ(batch.a.rows(), 8u);
+  EXPECT_EQ(batch.b.rows(), 8u);
+  EXPECT_EQ(batch.a.cols(), 2u);
+}
+
+TEST(PairSamplerTest, LabelsMatchSameFlag) {
+  // Feature[0] encodes the class, so we can verify the flag from content.
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler sampler(ds, 2);
+  PairBatch batch = sampler.Sample(64);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const bool same_class = batch.a.At(i, 0) == batch.b.At(i, 0);
+    EXPECT_EQ(same_class, batch.same[i] == 1) << "pair " << i;
+  }
+}
+
+TEST(PairSamplerTest, BalancedBatches) {
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler sampler(ds, 3);
+  PairBatch batch = sampler.Sample(100);
+  size_t positives = 0;
+  for (uint8_t s : batch.same) positives += s;
+  EXPECT_EQ(positives, 50u);
+}
+
+TEST(PairSamplerTest, PositivePairsUseDistinctExamples) {
+  // Feature[1] is a per-class example index: a positive pair must not pair an
+  // example with itself.
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler sampler(ds, 4);
+  PairBatch batch = sampler.Sample(200);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch.same[i]) {
+      const bool identical = batch.a.At(i, 0) == batch.b.At(i, 0) &&
+                             batch.a.At(i, 1) == batch.b.At(i, 1);
+      EXPECT_FALSE(identical) << "pair " << i;
+    }
+  }
+}
+
+TEST(PairSamplerTest, SingleClassFallsBackToPositives) {
+  sensors::FeatureDataset ds;
+  ds.Append({1, 0}, 7);
+  ds.Append({1, 1}, 7);
+  ds.Append({1, 2}, 7);
+  PairSampler sampler(ds, 5);
+  EXPECT_TRUE(sampler.CanSamplePositives());
+  EXPECT_FALSE(sampler.CanSampleNegatives());
+  PairBatch batch = sampler.Sample(10);
+  for (uint8_t s : batch.same) EXPECT_EQ(s, 1);
+}
+
+TEST(PairSamplerTest, SingletonClassesFallBackToNegatives) {
+  sensors::FeatureDataset ds;
+  ds.Append({0, 0}, 0);
+  ds.Append({1, 0}, 1);
+  ds.Append({2, 0}, 2);
+  PairSampler sampler(ds, 6);
+  EXPECT_FALSE(sampler.CanSamplePositives());
+  EXPECT_TRUE(sampler.CanSampleNegatives());
+  PairBatch batch = sampler.Sample(10);
+  for (uint8_t s : batch.same) EXPECT_EQ(s, 0);
+}
+
+TEST(PairSamplerDeathTest, SingleExampleDatasetAborts) {
+  // One example total: neither a positive nor a negative pair exists.
+  sensors::FeatureDataset ds;
+  ds.Append({1, 2}, 0);
+  PairSampler sampler(ds, 9);
+  EXPECT_FALSE(sampler.CanSamplePositives());
+  EXPECT_FALSE(sampler.CanSampleNegatives());
+  EXPECT_DEATH(sampler.Sample(4), "Check failed");
+}
+
+TEST(PairSamplerTest, DeterministicForSeed) {
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler s1(ds, 42), s2(ds, 42);
+  PairBatch b1 = s1.Sample(16);
+  PairBatch b2 = s2.Sample(16);
+  for (size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(b1.same[i], b2.same[i]);
+    EXPECT_FLOAT_EQ(b1.a.At(i, 0), b2.a.At(i, 0));
+    EXPECT_FLOAT_EQ(b1.b.At(i, 1), b2.b.At(i, 1));
+  }
+}
+
+TEST(PairSamplerTest, CoversAllClassesEventually) {
+  sensors::FeatureDataset ds = ThreeClassData();
+  PairSampler sampler(ds, 7);
+  std::set<float> seen;
+  PairBatch batch = sampler.Sample(300);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    seen.insert(batch.a.At(i, 0));
+    seen.insert(batch.b.At(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace magneto::learn

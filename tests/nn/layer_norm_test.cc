@@ -1,0 +1,162 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/gradient_check.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace magneto::nn {
+namespace {
+
+TEST(LayerNormTest, ForwardStandardisesEachRow) {
+  LayerNorm ln(4);
+  Matrix x(2, 4, {1, 2, 3, 4, 10, 10, 10, 10});
+  Matrix y = ln.Forward(x, false);
+  // Row 0: mean 2.5, population std sqrt(1.25).
+  double mean = 0.0, var = 0.0;
+  for (size_t j = 0; j < 4; ++j) mean += y.At(0, j);
+  mean /= 4.0;
+  for (size_t j = 0; j < 4; ++j) {
+    var += (y.At(0, j) - mean) * (y.At(0, j) - mean);
+  }
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+  // Constant row maps to ~0 (epsilon guards the division).
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y.At(1, j), 0.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, AffineParametersApply) {
+  LayerNorm ln(2);
+  ln.gamma() = Matrix(1, 2, {2.0f, 3.0f});
+  ln.beta() = Matrix(1, 2, {1.0f, -1.0f});
+  Matrix x(1, 2, {-1, 1});  // xhat = {-1, 1}
+  Matrix y = ln.Forward(x, false);
+  EXPECT_NEAR(y.At(0, 0), 2.0f * -1.0f + 1.0f, 1e-4);
+  EXPECT_NEAR(y.At(0, 1), 3.0f * 1.0f - 1.0f, 1e-4);
+}
+
+TEST(LayerNormTest, ParameterGradientsMatchFiniteDifference) {
+  Rng rng(1);
+  Sequential net;
+  net.Add(std::make_unique<Linear>(5, 6, &rng));
+  net.Add(std::make_unique<LayerNorm>(6));
+  net.Add(std::make_unique<Linear>(6, 3, &rng));
+
+  Matrix x(4, 5);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  Matrix target(4, 3);
+  for (size_t i = 0; i < target.size(); ++i) {
+    target.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  auto loss_fn = [&]() {
+    Matrix out = net.Forward(x, true);
+    auto res = DistillationMse(out, target);
+    net.Backward(res.grad);
+    return res.loss;
+  };
+  auto check = CheckParameterGradients(&net, loss_fn, 1e-3, 10);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(LayerNormTest, InputGradientMatchesFiniteDifference) {
+  LayerNorm ln(6);
+  Rng rng(2);
+  ln.gamma() = Matrix(1, 6);
+  for (size_t j = 0; j < 6; ++j) {
+    ln.gamma().At(0, j) = static_cast<float>(rng.Uniform(0.5, 1.5));
+  }
+  Matrix x(3, 6);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  Matrix target(3, 6);
+  auto check = CheckInputGradient(
+      x,
+      [&](const Matrix& input, Matrix* grad) {
+        Matrix out = ln.Forward(input, true);
+        auto res = DistillationMse(out, target);
+        ln.ZeroGrad();
+        *grad = ln.Backward(res.grad);
+        return res.loss;
+      },
+      1e-3, 18);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(LayerNormTest, SerializationRoundTrip) {
+  LayerNorm ln(3, 1e-4);
+  ln.gamma() = Matrix(1, 3, {1.5f, 0.5f, 2.0f});
+  ln.beta() = Matrix(1, 3, {0.1f, -0.2f, 0.3f});
+  BinaryWriter w;
+  ln.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_EQ(r.ReadU8().value(), kLayerNormTag);
+  auto back = LayerNorm::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  Matrix x(2, 3, {1, 2, 3, -1, 0, 1});
+  Matrix y1 = ln.Forward(x, false);
+  Matrix y2 = back.value()->Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(LayerNormTest, SequentialRoundTripWithLayerNorm) {
+  Rng rng(3);
+  Sequential net;
+  net.Add(std::make_unique<Linear>(4, 8, &rng));
+  net.Add(std::make_unique<LayerNorm>(8));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Linear>(8, 2, &rng));
+  BinaryWriter w;
+  net.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Sequential::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().num_layers(), 4u);
+  Matrix x(2, 4, {1, 2, 3, 4, -1, 0, 1, 2});
+  Matrix y1 = net.Forward(x, false);
+  Matrix y2 = back.value().Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(LayerNormTest, CloneIsDeep) {
+  LayerNorm ln(2);
+  auto clone = ln.Clone();
+  ln.gamma().At(0, 0) = 42.0f;
+  auto* cloned = static_cast<LayerNorm*>(clone.get());
+  EXPECT_FLOAT_EQ(cloned->gamma().At(0, 0), 1.0f);
+}
+
+TEST(LayerNormTest, GradAccumulationAndZero) {
+  LayerNorm ln(3);
+  Matrix x(1, 3, {1, 2, 3});
+  ln.Forward(x, true);
+  Matrix g(1, 3, {1, 1, 1});
+  ln.Backward(g);
+  ln.Forward(x, true);
+  ln.Backward(g);
+  EXPECT_GT(ln.Grads()[1]->AbsMax(), 0.0f);  // beta grad = 2 per dim
+  EXPECT_FLOAT_EQ(ln.Grads()[1]->At(0, 0), 2.0f);
+  ln.ZeroGrad();
+  EXPECT_FLOAT_EQ(ln.Grads()[0]->AbsMax(), 0.0f);
+}
+
+TEST(LayerNormDeathTest, ZeroDimAborts) {
+  EXPECT_DEATH(LayerNorm(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto::nn

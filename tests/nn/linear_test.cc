@@ -1,0 +1,124 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Linear layer(2, 3);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 1]
+  layer.weight() = Matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  layer.bias() = Matrix(1, 3, {0.5f, -0.5f, 1.0f});
+  Matrix x(1, 2, {1, 2});
+  Matrix y = layer.Forward(x, false);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 1 + 8 + 0.5f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), 2 + 10 - 0.5f);
+  EXPECT_FLOAT_EQ(y.At(0, 2), 3 + 12 + 1.0f);
+}
+
+TEST(LinearTest, ForwardBatches) {
+  Linear layer(2, 2);
+  layer.weight() = Matrix(2, 2, {1, 0, 0, 1});  // identity
+  Matrix x(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix y = layer.Forward(x, false);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_FLOAT_EQ(y.At(2, 1), 6.0f);
+}
+
+TEST(LinearTest, BackwardShapesAndGradients) {
+  Linear layer(2, 2);
+  layer.weight() = Matrix(2, 2, {1, 2, 3, 4});
+  Matrix x(1, 2, {1, 1});
+  layer.Forward(x, true);
+  Matrix grad_out(1, 2, {1, 0});
+  Matrix grad_in = layer.Backward(grad_out);
+  // dL/dx = grad_out * W^T = [1*1+0*2, 1*3+0*4] = [1, 3]
+  EXPECT_FLOAT_EQ(grad_in.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad_in.At(0, 1), 3.0f);
+  // dL/dW = x^T grad_out = [[1,0],[1,0]]
+  EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(layer.Grads()[0]->At(1, 0), 1.0f);
+  // dL/db = grad_out col-sum
+  EXPECT_FLOAT_EQ(layer.Grads()[1]->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(layer.Grads()[1]->At(0, 1), 0.0f);
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  Linear layer(1, 1);
+  layer.weight() = Matrix(1, 1, {2});
+  Matrix x(1, 1, {3});
+  layer.Forward(x, true);
+  layer.Backward(Matrix(1, 1, {1}));
+  layer.Forward(x, true);
+  layer.Backward(Matrix(1, 1, {1}));
+  EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 0), 6.0f);  // 3 + 3
+  layer.ZeroGrad();
+  EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 0), 0.0f);
+}
+
+TEST(LinearTest, HeInitialisationIsBoundedAndNonZero) {
+  Rng rng(1);
+  Linear layer(100, 50, &rng);
+  const double limit = std::sqrt(6.0 / 100.0);
+  bool any_nonzero = false;
+  for (size_t i = 0; i < layer.weight().size(); ++i) {
+    const float w = layer.weight().data()[i];
+    EXPECT_LE(std::fabs(w), limit + 1e-6);
+    any_nonzero = any_nonzero || w != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  // Bias starts at zero.
+  for (size_t i = 0; i < layer.bias().size(); ++i) {
+    EXPECT_FLOAT_EQ(layer.bias().data()[i], 0.0f);
+  }
+}
+
+TEST(LinearTest, CloneCopiesParametersDeeply) {
+  Rng rng(2);
+  Linear layer(3, 3, &rng);
+  auto clone = layer.Clone();
+  auto* cloned = static_cast<Linear*>(clone.get());
+  EXPECT_FLOAT_EQ(cloned->weight().At(1, 1), layer.weight().At(1, 1));
+  layer.weight().At(1, 1) += 5.0f;
+  EXPECT_NE(cloned->weight().At(1, 1), layer.weight().At(1, 1));
+}
+
+TEST(LinearTest, SerializationRoundTrip) {
+  Rng rng(3);
+  Linear layer(4, 2, &rng);
+  layer.bias() = Matrix(1, 2, {1.5f, -2.5f});
+  BinaryWriter w;
+  layer.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_EQ(r.ReadU8().value(), static_cast<uint8_t>(LayerType::kLinear));
+  auto back = Linear::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->in_dim(), 4u);
+  EXPECT_EQ(back.value()->out_dim(), 2u);
+  for (size_t i = 0; i < layer.weight().size(); ++i) {
+    EXPECT_FLOAT_EQ(back.value()->weight().data()[i],
+                    layer.weight().data()[i]);
+  }
+  EXPECT_FLOAT_EQ(back.value()->bias().At(0, 1), -2.5f);
+}
+
+TEST(LinearTest, DeserializeRejectsPayloadMismatch) {
+  BinaryWriter w;
+  w.WriteU64(2);
+  w.WriteU64(2);
+  w.WriteF32Vector({1.0f});  // should be 4 weights
+  w.WriteF32Vector({0.0f, 0.0f});
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(Linear::Deserialize(&r).ok());
+}
+
+TEST(LinearTest, NameDescribesShape) {
+  Linear layer(80, 128);
+  EXPECT_EQ(layer.name(), "Linear(80->128)");
+  EXPECT_EQ(layer.output_dim(80), 128u);
+}
+
+}  // namespace
+}  // namespace magneto::nn

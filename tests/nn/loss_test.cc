@@ -1,0 +1,195 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/gradient_check.h"
+
+namespace magneto::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, PerfectPredictionHasLowLoss) {
+  Matrix logits(1, 3, {10.0f, -10.0f, -10.0f});
+  auto res = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits(2, 4);
+  auto res = SoftmaxCrossEntropy(logits, {1, 3});
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsSoftmaxMinusOnehot) {
+  Matrix logits(1, 2, {0.0f, 0.0f});
+  auto res = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_NEAR(res.grad.At(0, 0), -0.5, 1e-6);
+  EXPECT_NEAR(res.grad.At(0, 1), 0.5, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesFiniteDifference) {
+  Matrix logits(3, 4, {0.3f, -0.2f, 0.8f, 0.1f, -0.4f, 0.5f, 0.2f, -0.1f,
+                       0.7f, 0.0f, -0.6f, 0.4f});
+  const std::vector<int> labels{2, 1, 0};
+  auto check = CheckInputGradient(
+      logits,
+      [&](const Matrix& input, Matrix* grad) {
+        auto res = SoftmaxCrossEntropy(input, labels);
+        *grad = res.grad;
+        return res.loss;
+      },
+      1e-3, 12);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(ContrastiveLossTest, IdenticalPositivePairHasZeroLoss) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b = a;
+  auto res = ContrastiveLoss(a, b, {1}, 1.0);
+  EXPECT_DOUBLE_EQ(res.loss, 0.0);
+  EXPECT_FLOAT_EQ(res.grad_a.AbsMax(), 0.0f);
+}
+
+TEST(ContrastiveLossTest, FarNegativePairHasZeroLoss) {
+  Matrix a(1, 2, {0, 0});
+  Matrix b(1, 2, {10, 0});
+  auto res = ContrastiveLoss(a, b, {0}, 1.0);
+  EXPECT_DOUBLE_EQ(res.loss, 0.0);
+  EXPECT_FLOAT_EQ(res.grad_a.AbsMax(), 0.0f);
+}
+
+TEST(ContrastiveLossTest, ClosePositivePairPenalty) {
+  Matrix a(1, 2, {0, 0});
+  Matrix b(1, 2, {3, 4});  // d = 5
+  auto res = ContrastiveLoss(a, b, {1}, 1.0);
+  EXPECT_NEAR(res.loss, 0.5 * 25.0, 1e-5);
+  // Gradient pulls a toward b.
+  EXPECT_LT(res.grad_a.At(0, 0), 0.0f);
+  EXPECT_GT(res.grad_b.At(0, 0), 0.0f);
+}
+
+TEST(ContrastiveLossTest, CloseNegativePairPenalty) {
+  Matrix a(1, 2, {0, 0});
+  Matrix b(1, 2, {0.6f, 0});  // d = 0.6 < margin 1
+  auto res = ContrastiveLoss(a, b, {0}, 1.0);
+  EXPECT_NEAR(res.loss, 0.5 * 0.16, 1e-5);
+  // The descent step -grad moves a away from b (b sits at +x of a), so the
+  // gradient itself points toward b: positive for a, negative for b.
+  EXPECT_GT(res.grad_a.At(0, 0), 0.0f);
+  EXPECT_LT(res.grad_b.At(0, 0), 0.0f);
+}
+
+TEST(ContrastiveLossTest, BatchAveraging) {
+  Matrix a(2, 2, {0, 0, 0, 0});
+  Matrix b(2, 2, {3, 4, 3, 4});
+  auto res = ContrastiveLoss(a, b, {1, 1}, 1.0);
+  EXPECT_NEAR(res.loss, 0.5 * 25.0, 1e-4);  // mean over identical pairs
+}
+
+TEST(ContrastiveLossTest, GradientMatchesFiniteDifferencePositives) {
+  Matrix a(2, 3, {0.1f, -0.2f, 0.3f, 0.5f, 0.0f, -0.4f});
+  Matrix b(2, 3, {-0.1f, 0.4f, 0.2f, 0.3f, -0.2f, 0.1f});
+  const std::vector<uint8_t> same{1, 0};
+  auto check = CheckInputGradient(
+      a,
+      [&](const Matrix& input, Matrix* grad) {
+        auto res = ContrastiveLoss(input, b, same, 1.0);
+        *grad = res.grad_a;
+        return res.loss;
+      },
+      1e-3, 6);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(SupConLossTest, ZeroWhenNoPositives) {
+  Matrix emb(2, 3, {1, 0, 0, 0, 1, 0});
+  auto res = SupConLoss(emb, {0, 1}, 0.1);
+  EXPECT_DOUBLE_EQ(res.loss, 0.0);
+  EXPECT_FLOAT_EQ(res.grad.AbsMax(), 0.0f);
+}
+
+TEST(SupConLossTest, ClusteredEmbeddingsScoreBetterThanMixed) {
+  // Two tight, well separated clusters vs interleaved points.
+  Matrix good(4, 2, {1, 0, 0.99f, 0.05f, -1, 0, -0.99f, -0.05f});
+  Matrix bad(4, 2, {1, 0, -1, 0, 0.99f, 0.05f, -0.99f, -0.05f});
+  const std::vector<int> labels{0, 0, 1, 1};
+  auto res_good = SupConLoss(good, labels, 0.1);
+  auto res_bad = SupConLoss(bad, labels, 0.1);
+  EXPECT_LT(res_good.loss, res_bad.loss);
+}
+
+TEST(SupConLossTest, GradientMatchesFiniteDifference) {
+  Matrix emb(4, 3, {0.5f, -0.2f, 0.8f, 0.4f, -0.1f, 0.9f, -0.6f, 0.3f, 0.2f,
+                    -0.5f, 0.4f, 0.1f});
+  const std::vector<int> labels{0, 0, 1, 1};
+  auto check = CheckInputGradient(
+      emb,
+      [&](const Matrix& input, Matrix* grad) {
+        auto res = SupConLoss(input, labels, 0.5);
+        *grad = res.grad;
+        return res.loss;
+      },
+      1e-3, 12);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(DistillationMseTest, ZeroWhenStudentMatchesTeacher) {
+  Matrix s(2, 3, {1, 2, 3, 4, 5, 6});
+  auto res = DistillationMse(s, s);
+  EXPECT_DOUBLE_EQ(res.loss, 0.0);
+  EXPECT_FLOAT_EQ(res.grad.AbsMax(), 0.0f);
+}
+
+TEST(DistillationMseTest, LossAndGradient) {
+  Matrix s(1, 2, {1, 1});
+  Matrix t(1, 2, {0, 0});
+  auto res = DistillationMse(s, t);
+  EXPECT_NEAR(res.loss, 2.0, 1e-6);  // ||s - t||^2 / batch
+  EXPECT_NEAR(res.grad.At(0, 0), 2.0, 1e-6);
+}
+
+TEST(DistillationMseTest, GradientMatchesFiniteDifference) {
+  Matrix s(2, 4, {0.1f, 0.2f, -0.3f, 0.4f, -0.5f, 0.6f, 0.7f, -0.8f});
+  Matrix t(2, 4, {0.0f, 0.1f, 0.1f, 0.3f, -0.2f, 0.5f, 0.9f, -0.6f});
+  auto check = CheckInputGradient(
+      s,
+      [&](const Matrix& input, Matrix* grad) {
+        auto res = DistillationMse(input, t);
+        *grad = res.grad;
+        return res.loss;
+      },
+      1e-3, 8);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+TEST(DistillationCosineTest, AlignedDirectionsGiveZero) {
+  Matrix s(1, 2, {2, 0});
+  Matrix t(1, 2, {5, 0});  // same direction, different scale
+  auto res = DistillationCosine(s, t);
+  EXPECT_NEAR(res.loss, 0.0, 1e-6);
+}
+
+TEST(DistillationCosineTest, OppositeDirectionsGiveTwo) {
+  Matrix s(1, 2, {1, 0});
+  Matrix t(1, 2, {-1, 0});
+  auto res = DistillationCosine(s, t);
+  EXPECT_NEAR(res.loss, 2.0, 1e-6);
+}
+
+TEST(DistillationCosineTest, GradientMatchesFiniteDifference) {
+  Matrix s(2, 3, {0.5f, -0.3f, 0.8f, 0.2f, 0.9f, -0.4f});
+  Matrix t(2, 3, {0.4f, -0.1f, 0.7f, -0.3f, 0.8f, 0.1f});
+  auto check = CheckInputGradient(
+      s,
+      [&](const Matrix& input, Matrix* grad) {
+        auto res = DistillationCosine(input, t);
+        *grad = res.grad;
+        return res.loss;
+      },
+      1e-3, 6);
+  EXPECT_TRUE(check.Passed(5e-2)) << "rel err " << check.max_rel_error;
+}
+
+}  // namespace
+}  // namespace magneto::nn

@@ -1,0 +1,145 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace magneto::nn {
+namespace {
+
+/// Quadratic bowl f(p) = 0.5 * ||p - target||^2; gradient = p - target.
+struct Bowl {
+  explicit Bowl(const std::vector<float>& target_values)
+      : param(1, target_values.size()),
+        grad(1, target_values.size()),
+        target(1, target_values.size(), target_values) {}
+
+  void ComputeGrad() {
+    grad = param;
+    grad.SubInPlace(target);
+  }
+
+  double Loss() const {
+    Matrix diff = param;
+    diff.SubInPlace(target);
+    return 0.5 * diff.SumOfSquares();
+  }
+
+  Matrix param;
+  Matrix grad;
+  Matrix target;
+};
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Bowl bowl({3.0f, -2.0f, 0.5f});
+  Sgd::Options options;
+  options.learning_rate = 0.1;
+  Sgd sgd({&bowl.param}, {&bowl.grad}, options);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    bowl.ComputeGrad();
+    sgd.Step();
+  }
+  EXPECT_LT(bowl.Loss(), 1e-8);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Bowl plain({10.0f});
+  Bowl with_momentum({10.0f});
+  Sgd::Options slow;
+  slow.learning_rate = 0.01;
+  Sgd sgd_plain({&plain.param}, {&plain.grad}, slow);
+  Sgd::Options fast = slow;
+  fast.momentum = 0.9;
+  Sgd sgd_momentum({&with_momentum.param}, {&with_momentum.grad}, fast);
+  for (int i = 0; i < 50; ++i) {
+    plain.ComputeGrad();
+    sgd_plain.Step();
+    with_momentum.ComputeGrad();
+    sgd_momentum.Step();
+  }
+  EXPECT_LT(with_momentum.Loss(), plain.Loss());
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Matrix p(1, 1, {1.0f});
+  Matrix g(1, 1, {0.0f});  // no gradient, only decay
+  Sgd::Options options;
+  options.learning_rate = 0.1;
+  options.weight_decay = 0.5;
+  Sgd sgd({&p}, {&g}, options);
+  sgd.Step();
+  EXPECT_NEAR(p.At(0, 0), 1.0f * (1.0f - 0.1f * 0.5f), 1e-6);
+}
+
+TEST(SgdTest, StepScalesWithLearningRate) {
+  Matrix p(1, 1, {0.0f});
+  Matrix g(1, 1, {1.0f});
+  Sgd::Options options;
+  options.learning_rate = 0.25;
+  Sgd sgd({&p}, {&g}, options);
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.At(0, 0), -0.25f);
+  sgd.set_learning_rate(0.5);
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.At(0, 0), -0.75f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Bowl bowl({5.0f, -7.0f});
+  Adam::Options options;
+  options.learning_rate = 0.1;
+  Adam adam({&bowl.param}, {&bowl.grad}, options);
+  for (int i = 0; i < 500; ++i) {
+    adam.ZeroGrad();
+    bowl.ComputeGrad();
+    adam.Step();
+  }
+  EXPECT_LT(bowl.Loss(), 1e-4);
+}
+
+TEST(AdamTest, FirstStepIsApproximatelyLearningRate) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless of
+  // gradient scale.
+  for (float scale : {0.001f, 1.0f, 1000.0f}) {
+    Matrix p(1, 1, {0.0f});
+    Matrix g(1, 1, {scale});
+    Adam::Options options;
+    options.learning_rate = 0.1;
+    Adam adam({&p}, {&g}, options);
+    adam.Step();
+    EXPECT_NEAR(p.At(0, 0), -0.1f, 1e-3) << "gradient scale " << scale;
+  }
+}
+
+TEST(AdamTest, HandlesSparseGradients) {
+  // Adam keeps moving (from moment estimates) even when a step's gradient is
+  // zero; this just checks no NaN/instability appears.
+  Matrix p(1, 2, {1.0f, 1.0f});
+  Matrix g(1, 2);
+  Adam adam({&p}, {&g}, Adam::Options{});
+  for (int i = 0; i < 10; ++i) {
+    g.Fill(i % 2 == 0 ? 1.0f : 0.0f);
+    adam.Step();
+  }
+  EXPECT_TRUE(std::isfinite(p.At(0, 0)));
+  EXPECT_LT(p.At(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsBuffers) {
+  Matrix p(2, 2);
+  Matrix g(2, 2);
+  g.Fill(3.0f);
+  Sgd sgd({&p}, {&g}, Sgd::Options{});
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(g.AbsMax(), 0.0f);
+}
+
+TEST(OptimizerDeathTest, MismatchedShapesAbort) {
+  Matrix p(2, 2);
+  Matrix g(2, 3);
+  EXPECT_DEATH(Sgd({&p}, {&g}, Sgd::Options{}), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto::nn

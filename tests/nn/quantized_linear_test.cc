@@ -1,0 +1,137 @@
+#include "nn/quantized_linear.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/sequential.h"
+
+namespace magneto::nn {
+namespace {
+
+Linear RandomLinear(size_t in, size_t out, uint64_t seed) {
+  Rng rng(seed);
+  return Linear(in, out, &rng);
+}
+
+TEST(QuantizedMatrixTest, RoundTripErrorBounded) {
+  Rng rng(1);
+  Matrix w(20, 10);
+  for (size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<float>(rng.Normal(0.0, 0.5));
+  }
+  QuantizedMatrix q = QuantizedMatrix::Quantize(w);
+  Matrix back = q.Dequantize();
+  // Symmetric int8: error per weight <= scale/2 = max|col| / 254.
+  for (size_t j = 0; j < w.cols(); ++j) {
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < w.rows(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(w.At(i, j)));
+    }
+    for (size_t i = 0; i < w.rows(); ++i) {
+      EXPECT_LE(std::fabs(back.At(i, j) - w.At(i, j)),
+                max_abs / 254.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(QuantizedMatrixTest, ZeroMatrixSafe) {
+  Matrix w(3, 3);
+  QuantizedMatrix q = QuantizedMatrix::Quantize(w);
+  Matrix back = q.Dequantize();
+  EXPECT_FLOAT_EQ(back.AbsMax(), 0.0f);
+}
+
+TEST(QuantizedMatrixTest, PayloadIsRoughlyQuarter) {
+  Matrix w(100, 100);
+  QuantizedMatrix q = QuantizedMatrix::Quantize(w);
+  EXPECT_EQ(q.data.size(), 10000u);
+  EXPECT_LT(q.PayloadBytes(), 100u * 100u * sizeof(float) / 3);
+}
+
+TEST(QuantizedLinearTest, ForwardTracksFp32Layer) {
+  Linear fp32 = RandomLinear(16, 8, 2);
+  QuantizedLinear q(fp32);
+  Rng rng(3);
+  Matrix x(4, 16);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  Matrix y_fp = fp32.Forward(x, false);
+  Matrix y_q = q.Forward(x, false);
+  ASSERT_TRUE(y_fp.SameShape(y_q));
+  const float scale = y_fp.AbsMax();
+  for (size_t i = 0; i < y_fp.size(); ++i) {
+    EXPECT_NEAR(y_q.data()[i], y_fp.data()[i], 0.02f * scale + 1e-4f);
+  }
+}
+
+TEST(QuantizedLinearTest, MaxWeightErrorSmall) {
+  Linear fp32 = RandomLinear(32, 16, 4);
+  QuantizedLinear q(fp32);
+  EXPECT_LT(q.MaxWeightError(fp32), fp32.weight().AbsMax() / 100.0f);
+}
+
+TEST(QuantizedLinearTest, SerializationRoundTrip) {
+  Linear fp32 = RandomLinear(6, 4, 5);
+  QuantizedLinear q(fp32);
+  BinaryWriter w;
+  q.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_EQ(r.ReadU8().value(), kQuantizedLinearTag);
+  auto back = QuantizedLinear::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  Matrix x(2, 6);
+  x.Fill(0.5f);
+  Matrix y1 = q.Forward(x, false);
+  Matrix y2 = back.value()->Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(QuantizedLinearTest, SequentialDeserializesQuantizedTag) {
+  Rng rng(6);
+  Sequential net;
+  net.Add(std::make_unique<QuantizedLinear>(RandomLinear(5, 3, 7)));
+  BinaryWriter w;
+  net.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Sequential::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_layers(), 1u);
+  EXPECT_EQ(back.value().InputDim(), 5u);
+}
+
+TEST(QuantizedLinearTest, CloneIsIndependentCopy) {
+  QuantizedLinear q(RandomLinear(4, 4, 8));
+  auto clone = q.Clone();
+  Matrix x(1, 4);
+  x.Fill(1.0f);
+  Matrix y1 = q.Forward(x, false);
+  Matrix y2 = clone->Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(QuantizedLinearDeathTest, BackwardAborts) {
+  QuantizedLinear q(RandomLinear(4, 4, 9));
+  Matrix x(1, 4);
+  q.Forward(x, true);
+  EXPECT_DEATH(q.Backward(Matrix(1, 4)), "inference-only");
+}
+
+TEST(QuantizedLinearTest, DeserializeRejectsSizeMismatch) {
+  BinaryWriter w;
+  w.WriteU64(4);
+  w.WriteU64(4);
+  w.WriteI8Vector(std::vector<int8_t>(7));  // should be 16
+  w.WriteF32Vector(std::vector<float>(4));
+  w.WriteF32Vector(std::vector<float>(4));
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(QuantizedLinear::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace magneto::nn

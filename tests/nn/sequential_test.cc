@@ -1,0 +1,144 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "preprocess/features.h"
+
+namespace magneto::nn {
+namespace {
+
+Sequential SmallNet(uint64_t seed) {
+  Rng rng(seed);
+  return BuildMlp(4, {8, 3}, &rng);
+}
+
+TEST(SequentialTest, BuildMlpLayerLayout) {
+  Rng rng(1);
+  Sequential net = BuildMlp(10, {20, 5}, &rng);
+  // Linear, ReLU, Linear.
+  ASSERT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.layer(0).type(), LayerType::kLinear);
+  EXPECT_EQ(net.layer(1).type(), LayerType::kRelu);
+  EXPECT_EQ(net.layer(2).type(), LayerType::kLinear);
+}
+
+TEST(SequentialTest, BuildMlpWithDropout) {
+  Rng rng(1);
+  Sequential net = BuildMlp(10, {20, 20, 5}, &rng, 0.1);
+  // Linear, ReLU, Dropout, Linear, ReLU, Dropout, Linear.
+  ASSERT_EQ(net.num_layers(), 7u);
+  EXPECT_EQ(net.layer(2).type(), LayerType::kDropout);
+}
+
+TEST(SequentialTest, PaperBackboneShape) {
+  Rng rng(1);
+  Sequential net = BuildPaperBackbone(&rng);
+  size_t dim = preprocess::kNumFeatures;
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    dim = net.layer(i).output_dim(dim);
+  }
+  EXPECT_EQ(dim, 128u);  // paper embedding dim
+  // 80*1024+1024 + 1024*512+512 + 512*128+128 + 128*64+64 + 64*128+128
+  EXPECT_EQ(net.NumParameters(),
+            80u * 1024 + 1024 + 1024 * 512 + 512 + 512 * 128 + 128 +
+                128 * 64 + 64 + 64 * 128 + 128);
+}
+
+TEST(SequentialTest, ForwardProducesEmbedding) {
+  Sequential net = SmallNet(2);
+  Matrix x(5, 4);
+  x.Fill(0.5f);
+  Matrix y = net.Forward(x, false);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(SequentialTest, CloneIsIndependent) {
+  Sequential net = SmallNet(3);
+  Sequential clone = net.Clone();
+  Matrix x(1, 4, {1, 2, 3, 4});
+  Matrix y1 = net.Forward(x, false);
+  Matrix y2 = clone.Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+  // Mutating the original must not affect the clone.
+  net.Params()[0]->Fill(0.0f);
+  Matrix y3 = clone.Forward(x, false);
+  for (size_t i = 0; i < y2.size(); ++i) {
+    EXPECT_FLOAT_EQ(y3.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(SequentialTest, ParamsAndGradsAreParallel) {
+  Sequential net = SmallNet(4);
+  auto params = net.Params();
+  auto grads = net.Grads();
+  ASSERT_EQ(params.size(), grads.size());
+  ASSERT_EQ(params.size(), 4u);  // 2 Linear layers x (W, b)
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(params[i]->SameShape(*grads[i]));
+  }
+}
+
+TEST(SequentialTest, BackwardFillsAllGradients) {
+  Sequential net = SmallNet(5);
+  Matrix x(2, 4);
+  x.Fill(1.0f);
+  Matrix y = net.Forward(x, true);
+  Matrix g(y.rows(), y.cols());
+  g.Fill(1.0f);
+  net.Backward(g);
+  bool any_nonzero = false;
+  for (Matrix* grad : net.Grads()) {
+    any_nonzero = any_nonzero || grad->AbsMax() > 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.ZeroGrad();
+  for (Matrix* grad : net.Grads()) {
+    EXPECT_FLOAT_EQ(grad->AbsMax(), 0.0f);
+  }
+}
+
+TEST(SequentialTest, SerializationRoundTripPreservesOutputs) {
+  Rng rng(6);
+  Sequential net = BuildMlp(6, {10, 4}, &rng, 0.2);
+  BinaryWriter w;
+  net.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Sequential::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().num_layers(), net.num_layers());
+
+  Matrix x(3, 6);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(i) * 0.1f;
+  }
+  // Inference mode: dropout inactive, outputs must match exactly.
+  Matrix y1 = net.Forward(x, false);
+  Matrix y2 = back.value().Forward(x, false);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(SequentialTest, DeserializeRejectsUnknownTag) {
+  BinaryWriter w;
+  w.WriteU64(1);
+  w.WriteU8(200);  // bogus layer tag
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(Sequential::Deserialize(&r).ok());
+}
+
+TEST(SequentialTest, SummaryListsLayers) {
+  Sequential net = SmallNet(7);
+  const std::string summary = net.Summary();
+  EXPECT_NE(summary.find("Linear(4->8)"), std::string::npos);
+  EXPECT_NE(summary.find("ReLU"), std::string::npos);
+  EXPECT_NE(summary.find("Linear(8->3)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magneto::nn

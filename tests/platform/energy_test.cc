@@ -1,0 +1,41 @@
+#include "platform/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/protocols.h"
+
+namespace magneto::platform {
+namespace {
+
+TEST(EnergyModelTest, EnergyIsPowerTimesTime) {
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.ComputeJoules(10.0), 20.0);  // 2 W x 10 s
+  EXPECT_DOUBLE_EQ(model.RadioJoules(10.0), 8.0);     // 0.8 W x 10 s
+  EXPECT_DOUBLE_EQ(model.ComputeJoules(0.0), 0.0);
+}
+
+TEST(EnergyModelTest, BatteryFraction) {
+  EnergyModel model;
+  model.battery_joules = 1000.0;
+  EXPECT_DOUBLE_EQ(model.BatteryFraction(10.0), 0.01);
+  model.battery_joules = 0.0;
+  EXPECT_DOUBLE_EQ(model.BatteryFraction(10.0), 0.0);
+}
+
+TEST(EnergyModelTest, CustomPowerDraws) {
+  EnergyModel model;
+  model.cpu_active_watts = 5.0;
+  model.radio_active_watts = 1.5;
+  EXPECT_DOUBLE_EQ(model.ComputeJoules(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(model.RadioJoules(2.0), 3.0);
+}
+
+TEST(ProtocolMetricsTest, TotalJoulesSumsComponents) {
+  ProtocolMetrics metrics;
+  metrics.cpu_joules = 1.5;
+  metrics.radio_joules = 2.5;
+  EXPECT_DOUBLE_EQ(metrics.total_joules(), 4.0);
+}
+
+}  // namespace
+}  // namespace magneto::platform

@@ -1,0 +1,53 @@
+#include "platform/network_link.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::platform {
+namespace {
+
+TEST(NetworkLinkTest, TransferTimeModel) {
+  NetworkLink link(100.0, 8.0);  // 100 ms RTT, 8 Mbit/s = 1 MB/s
+  // 1 MB transfer: 50 ms one-way latency + 1 s serialisation.
+  const double t = link.EstimateSeconds(1000000);
+  EXPECT_NEAR(t, 0.05 + 1.0, 1e-9);
+  // Zero bytes still pays latency.
+  EXPECT_NEAR(link.EstimateSeconds(0), 0.05, 1e-12);
+}
+
+TEST(NetworkLinkTest, TransferRecordsLedger) {
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kUplink, PayloadKind::kUserData, 1000);
+  link.Transfer(Direction::kUplink, PayloadKind::kControl, 64);
+  link.Transfer(Direction::kDownlink, PayloadKind::kModelArtifact, 5000);
+
+  EXPECT_EQ(link.records().size(), 3u);
+  EXPECT_EQ(link.TotalBytes(Direction::kUplink), 1064u);
+  EXPECT_EQ(link.TotalBytes(Direction::kDownlink), 5000u);
+  EXPECT_EQ(link.TotalBytes(Direction::kUplink, PayloadKind::kUserData),
+            1000u);
+  EXPECT_EQ(link.TotalBytes(Direction::kDownlink, PayloadKind::kUserData),
+            0u);
+  EXPECT_GT(link.TotalSeconds(), 0.0);
+}
+
+TEST(NetworkLinkTest, ResetClearsLedger) {
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kUplink, PayloadKind::kUserData, 1000);
+  link.Reset();
+  EXPECT_TRUE(link.records().empty());
+  EXPECT_EQ(link.TotalBytes(Direction::kUplink), 0u);
+}
+
+TEST(NetworkLinkTest, FasterLinkIsFaster) {
+  NetworkLink slow(50.0, 1.0);
+  NetworkLink fast(50.0, 100.0);
+  EXPECT_GT(slow.EstimateSeconds(100000), fast.EstimateSeconds(100000));
+}
+
+TEST(NetworkLinkDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(NetworkLink(-1.0, 10.0), "Check failed");
+  EXPECT_DEATH(NetworkLink(10.0, 0.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace magneto::platform

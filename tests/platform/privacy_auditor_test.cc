@@ -1,0 +1,60 @@
+#include "platform/privacy_auditor.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::platform {
+namespace {
+
+TEST(PrivacyAuditorTest, CleanLinkPasses) {
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kDownlink, PayloadKind::kModelArtifact, 100000);
+  link.Transfer(Direction::kDownlink, PayloadKind::kUserData, 500);
+  link.Transfer(Direction::kUplink, PayloadKind::kControl, 32);
+  PrivacyAuditor auditor(&link);
+  EXPECT_EQ(auditor.UserBytesUplinked(), 0u);
+  EXPECT_TRUE(auditor.Verify().ok());
+  EXPECT_NE(auditor.Report().find("PASS"), std::string::npos);
+}
+
+TEST(PrivacyAuditorTest, UplinkUserDataIsViolation) {
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kUplink, PayloadKind::kUserData, 320);
+  PrivacyAuditor auditor(&link);
+  EXPECT_EQ(auditor.UserBytesUplinked(), 320u);
+  Status status = auditor.Verify();
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(status.message().find("320"), std::string::npos);
+  EXPECT_NE(auditor.Report().find("VIOLATION"), std::string::npos);
+}
+
+TEST(PrivacyAuditorTest, Definition1AllowsCloudToEdgePulls) {
+  // "it is less restrict to pull data from Cloud to Edge" — downlink user
+  // data (e.g. open datasets) is not a violation.
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kDownlink, PayloadKind::kUserData, 1 << 20);
+  PrivacyAuditor auditor(&link);
+  EXPECT_TRUE(auditor.Verify().ok());
+}
+
+TEST(PrivacyAuditorTest, ModelUplinkIsNotUserData) {
+  // Uplinking *model* bytes (e.g. federated-style gradients are out of scope
+  // here, but a control ack is fine) does not trip the user-data rule.
+  NetworkLink link(50.0, 10.0);
+  link.Transfer(Direction::kUplink, PayloadKind::kModelArtifact, 1024);
+  PrivacyAuditor auditor(&link);
+  EXPECT_TRUE(auditor.Verify().ok());
+}
+
+TEST(PrivacyAuditorTest, ReportTabulatesAllKinds) {
+  NetworkLink link(10.0, 10.0);
+  link.Transfer(Direction::kUplink, PayloadKind::kUserData, 11);
+  link.Transfer(Direction::kUplink, PayloadKind::kControl, 22);
+  link.Transfer(Direction::kDownlink, PayloadKind::kResult, 33);
+  const std::string report = PrivacyAuditor(&link).Report();
+  EXPECT_NE(report.find("user_data=11"), std::string::npos);
+  EXPECT_NE(report.find("control=22"), std::string::npos);
+  EXPECT_NE(report.find("result=33"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magneto::platform

@@ -1,0 +1,167 @@
+#include "platform/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/privacy_auditor.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::platform {
+namespace {
+
+class ProtocolsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    server_ = new CloudServer(testing::SmallCloudConfig());
+    ASSERT_TRUE(server_
+                    ->Pretrain(testing::SmallCorpus(501),
+                               sensors::ActivityRegistry::BaseActivities())
+                    .ok());
+    stream_ = new std::vector<sensors::LabeledRecording>(
+        testing::SmallCorpus(502, 1, 4.0));
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    delete stream_;
+  }
+
+  static CloudServer* server_;
+  static std::vector<sensors::LabeledRecording>* stream_;
+};
+
+CloudServer* ProtocolsTest::server_ = nullptr;
+std::vector<sensors::LabeledRecording>* ProtocolsTest::stream_ = nullptr;
+
+TEST_F(ProtocolsTest, ServerLifecycle) {
+  CloudServer fresh(testing::SmallCloudConfig());
+  EXPECT_FALSE(fresh.pretrained());
+  EXPECT_EQ(fresh.ServeBundleBytes().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(fresh.RemoteInfer(std::vector<float>(80, 0.0f)).ok());
+  EXPECT_TRUE(server_->pretrained());
+  EXPECT_GT(server_->ServeBundleBytes().value().size(), 1000u);
+}
+
+TEST_F(ProtocolsTest, EdgeProtocolUplinksZeroUserBytes) {
+  NetworkLink link(50.0, 10.0);
+  EdgeProtocol protocol(server_, &link);
+  auto metrics = protocol.Run(*stream_);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics.value().uplink_user_bytes, 0u);
+  EXPECT_GT(metrics.value().windows, 0u);
+  EXPECT_GT(metrics.value().downlink_bytes, 0u);  // the one-time bundle
+  PrivacyAuditor auditor(&link);
+  EXPECT_TRUE(auditor.Verify().ok());
+}
+
+TEST_F(ProtocolsTest, CloudProtocolLeaksUserData) {
+  NetworkLink link(50.0, 10.0);
+  // Fresh deserialised pipeline stands in for the device's preprocessing.
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  CloudProtocol protocol(server_, &link);
+  auto metrics = protocol.Run(*stream_, bundle.value().pipeline);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics.value().uplink_user_bytes, 0u);
+  // Exactly one 80-float feature vector per window.
+  EXPECT_EQ(metrics.value().uplink_user_bytes,
+            metrics.value().windows * 80 * sizeof(float));
+  PrivacyAuditor auditor(&link);
+  EXPECT_EQ(auditor.Verify().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ProtocolsTest, EdgeBeatsCloudOnPerWindowLatency) {
+  // Figure 1's headline: once provisioned, edge inference avoids the
+  // per-window RTT entirely.
+  NetworkLink cloud_link(50.0, 10.0);
+  NetworkLink edge_link(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+
+  auto cloud = CloudProtocol(server_, &cloud_link)
+                   .Run(*stream_, bundle.value().pipeline);
+  auto edge = EdgeProtocol(server_, &edge_link).Run(*stream_);
+  ASSERT_TRUE(cloud.ok());
+  ASSERT_TRUE(edge.ok());
+  EXPECT_LT(edge.value().mean_window_latency_s,
+            cloud.value().mean_window_latency_s);
+  // The cloud loop pays at least the full RTT per window (50 ms here).
+  EXPECT_GE(cloud.value().mean_window_latency_s, 0.05);
+  // Local inference is the paper's "few milliseconds".
+  EXPECT_LT(edge.value().mean_window_latency_s, 0.05);
+}
+
+TEST_F(ProtocolsTest, SameModelSameAccuracy) {
+  // Both protocols serve the same weights; accuracy must agree.
+  NetworkLink link1(50.0, 10.0), link2(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  auto cloud = CloudProtocol(server_, &link1)
+                   .Run(*stream_, bundle.value().pipeline);
+  auto edge = EdgeProtocol(server_, &link2).Run(*stream_);
+  ASSERT_TRUE(cloud.ok());
+  ASSERT_TRUE(edge.ok());
+  EXPECT_NEAR(cloud.value().accuracy, edge.value().accuracy, 1e-9);
+  EXPECT_EQ(cloud.value().windows, edge.value().windows);
+}
+
+TEST_F(ProtocolsTest, RawUplinkCostsMoreThanFeatureUplink) {
+  NetworkLink features_link(50.0, 10.0);
+  NetworkLink raw_link(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  auto features = CloudProtocol(server_, &features_link)
+                      .Run(*stream_, bundle.value().pipeline, false);
+  auto raw = CloudProtocol(server_, &raw_link)
+                 .Run(*stream_, bundle.value().pipeline, true);
+  ASSERT_TRUE(features.ok());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_GT(raw.value().uplink_user_bytes,
+            features.value().uplink_user_bytes * 5);
+}
+
+TEST_F(ProtocolsTest, EnergyAccountingSplitsCpuAndRadio) {
+  NetworkLink cloud_link(50.0, 10.0);
+  NetworkLink edge_link(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  auto cloud = CloudProtocol(server_, &cloud_link)
+                   .Run(*stream_, bundle.value().pipeline);
+  auto edge = EdgeProtocol(server_, &edge_link).Run(*stream_);
+  ASSERT_TRUE(cloud.ok());
+  ASSERT_TRUE(edge.ok());
+
+  // Cloud protocol: energy dominated by radio time (RTT per window).
+  EXPECT_GT(cloud.value().radio_joules, 0.0);
+  EXPECT_GT(cloud.value().network_seconds, 1.0);  // 60 windows x >= 50 ms RTT
+  EXPECT_GT(cloud.value().radio_joules, cloud.value().cpu_joules);
+
+  // Edge protocol: tiny one-time radio cost, the rest is local compute.
+  EXPECT_GT(edge.value().cpu_joules, 0.0);
+  EXPECT_LT(edge.value().network_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(edge.value().total_joules(),
+                   edge.value().cpu_joules + edge.value().radio_joules);
+  // And the edge total is far below the cloud total.
+  EXPECT_LT(edge.value().total_joules(), cloud.value().total_joules() / 5);
+}
+
+TEST_F(ProtocolsTest, EdgeDeviceProvisionRejectsCorruptBundle) {
+  std::string bytes = server_->ServeBundleBytes().value();
+  bytes[bytes.size() / 2] ^= 1;
+  EXPECT_FALSE(EdgeDevice::Provision(bytes, core::IncrementalOptions{}).ok());
+}
+
+TEST_F(ProtocolsTest, ProvisionedDeviceReportsBundleSize) {
+  const std::string bytes = server_->ServeBundleBytes().value();
+  auto device = EdgeDevice::Provision(bytes, core::IncrementalOptions{});
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ(device.value().provisioned_bytes(), bytes.size());
+  EXPECT_EQ(device.value().runtime().model().registry().size(), 5u);
+}
+
+}  // namespace
+}  // namespace magneto::platform

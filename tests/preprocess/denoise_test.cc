@@ -1,0 +1,185 @@
+#include "preprocess/denoise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/random.h"
+
+namespace magneto::preprocess {
+namespace {
+
+Matrix NoisySine(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    m.At(i, 0) = static_cast<float>(
+        std::sin(2.0 * M_PI * 0.01 * static_cast<double>(i)) +
+        rng.Normal(0.0, noise));
+  }
+  return m;
+}
+
+double ColumnStd(const Matrix& m, size_t col) {
+  std::vector<float> v(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) v[i] = m.At(i, col);
+  return magneto::stats::StdDev(v.data(), v.size());
+}
+
+TEST(DenoiseTest, NoneIsIdentity) {
+  Matrix input = NoisySine(100, 0.5, 1);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kNone;
+  auto out = Denoise(input, config);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < input.rows(); ++i) {
+    EXPECT_FLOAT_EQ(out.value().At(i, 0), input.At(i, 0));
+  }
+}
+
+TEST(DenoiseTest, MovingAverageReducesNoise) {
+  Matrix clean = NoisySine(500, 0.0, 1);
+  Matrix noisy = NoisySine(500, 0.5, 1);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kMovingAverage;
+  config.window = 7;
+  auto out = Denoise(noisy, config);
+  ASSERT_TRUE(out.ok());
+  // Residual vs the clean signal shrinks after smoothing.
+  double raw_err = 0.0, smooth_err = 0.0;
+  for (size_t i = 0; i < clean.rows(); ++i) {
+    raw_err += std::fabs(noisy.At(i, 0) - clean.At(i, 0));
+    smooth_err += std::fabs(out.value().At(i, 0) - clean.At(i, 0));
+  }
+  EXPECT_LT(smooth_err, raw_err * 0.7);
+}
+
+TEST(DenoiseTest, MovingAveragePreservesConstant) {
+  Matrix m(50, 2);
+  m.Fill(3.5f);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kMovingAverage;
+  config.window = 5;
+  auto out = Denoise(m, config);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_NEAR(out.value().At(i, 0), 3.5f, 1e-5);
+    EXPECT_NEAR(out.value().At(i, 1), 3.5f, 1e-5);
+  }
+}
+
+TEST(DenoiseTest, MovingAverageMatchesBruteForce) {
+  Matrix m(20, 1);
+  for (size_t i = 0; i < 20; ++i) m.At(i, 0) = static_cast<float>(i * i % 13);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kMovingAverage;
+  config.window = 5;
+  auto out = Denoise(m, config);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const size_t lo = i >= 2 ? i - 2 : 0;
+    const size_t hi = std::min<size_t>(20, i + 3);
+    double sum = 0.0;
+    for (size_t j = lo; j < hi; ++j) sum += m.At(j, 0);
+    EXPECT_NEAR(out.value().At(i, 0), sum / (hi - lo), 1e-5) << "row " << i;
+  }
+}
+
+TEST(DenoiseTest, MedianRemovesImpulses) {
+  Matrix m(101, 1);
+  m.Fill(1.0f);
+  m.At(50, 0) = 100.0f;  // spike
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kMedian;
+  config.window = 5;
+  auto out = Denoise(m, config);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out.value().At(50, 0), 1.0f);
+}
+
+TEST(DenoiseTest, LowPassReducesVariance) {
+  Matrix noisy = NoisySine(500, 0.5, 3);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kLowPass;
+  config.alpha = 0.2;
+  auto out = Denoise(noisy, config);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(ColumnStd(out.value(), 0), ColumnStd(noisy, 0));
+}
+
+TEST(DenoiseTest, LowPassAlphaOneIsIdentity) {
+  Matrix input = NoisySine(50, 0.3, 5);
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kLowPass;
+  config.alpha = 1.0;
+  auto out = Denoise(input, config);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < input.rows(); ++i) {
+    EXPECT_NEAR(out.value().At(i, 0), input.At(i, 0), 1e-5);
+  }
+}
+
+TEST(DenoiseTest, ChannelsAreIndependent) {
+  Matrix m(30, 2);
+  for (size_t i = 0; i < 30; ++i) {
+    m.At(i, 0) = static_cast<float>(i);
+    m.At(i, 1) = 7.0f;
+  }
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kMovingAverage;
+  config.window = 3;
+  auto out = Denoise(m, config);
+  ASSERT_TRUE(out.ok());
+  // Constant channel unchanged even though the other one varies.
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(out.value().At(i, 1), 7.0f, 1e-6);
+  }
+}
+
+TEST(DenoiseTest, InvalidConfigsRejected) {
+  Matrix m(10, 1);
+  DenoiseConfig even;
+  even.method = DenoiseMethod::kMovingAverage;
+  even.window = 4;
+  EXPECT_FALSE(Denoise(m, even).ok());
+
+  DenoiseConfig zero;
+  zero.method = DenoiseMethod::kMedian;
+  zero.window = 0;
+  EXPECT_FALSE(Denoise(m, zero).ok());
+
+  DenoiseConfig bad_alpha;
+  bad_alpha.method = DenoiseMethod::kLowPass;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(Denoise(m, bad_alpha).ok());
+  bad_alpha.alpha = 1.5;
+  EXPECT_FALSE(Denoise(m, bad_alpha).ok());
+}
+
+TEST(DenoiseTest, ConfigSerializationRoundTrip) {
+  DenoiseConfig config;
+  config.method = DenoiseMethod::kLowPass;
+  config.window = 9;
+  config.alpha = 0.42;
+  BinaryWriter w;
+  config.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = DenoiseConfig::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().method, DenoiseMethod::kLowPass);
+  EXPECT_EQ(back.value().window, 9u);
+  EXPECT_DOUBLE_EQ(back.value().alpha, 0.42);
+}
+
+TEST(DenoiseTest, DeserializeRejectsBadMethod) {
+  BinaryWriter w;
+  w.WriteU8(99);
+  w.WriteU64(5);
+  w.WriteF64(0.5);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(DenoiseConfig::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace magneto::preprocess

@@ -1,0 +1,168 @@
+#include "preprocess/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sensors/signal_model.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::preprocess {
+namespace {
+
+using sensors::Channel;
+
+Matrix ZeroWindow(size_t samples = 120) {
+  return Matrix(samples, sensors::kNumChannels);
+}
+
+TEST(FeatureExtractorTest, ProducesExactly80Features) {
+  FeatureExtractor fx;
+  auto features = fx.Extract(ZeroWindow());
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features.value().size(), kNumFeatures);
+  EXPECT_EQ(kNumFeatures, 80u);
+}
+
+TEST(FeatureExtractorTest, FeatureNamesMatchCount) {
+  const auto& names = FeatureExtractor::FeatureNames();
+  EXPECT_EQ(names.size(), kNumFeatures);
+  EXPECT_EQ(names[0], "acc_x_mean");
+  EXPECT_EQ(names[79], "speed_std");
+  // Names are unique.
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(FeatureExtractorTest, WrongChannelCountRejected) {
+  FeatureExtractor fx;
+  EXPECT_FALSE(fx.Extract(Matrix(120, 10)).ok());
+}
+
+TEST(FeatureExtractorTest, TooFewSamplesRejected) {
+  FeatureExtractor fx;
+  EXPECT_FALSE(fx.Extract(Matrix(1, sensors::kNumChannels)).ok());
+}
+
+TEST(FeatureExtractorTest, ConstantWindowGivesConstantStats) {
+  Matrix window = ZeroWindow();
+  for (size_t i = 0; i < window.rows(); ++i) {
+    window.At(i, static_cast<size_t>(Channel::kAccX)) = 2.0f;
+  }
+  FeatureExtractor fx;
+  auto features = fx.Extract(window).value();
+  EXPECT_FLOAT_EQ(features[0], 2.0f);  // acc_x_mean
+  EXPECT_FLOAT_EQ(features[1], 0.0f);  // acc_x_std
+  EXPECT_FLOAT_EQ(features[2], 2.0f);  // acc_x_min
+  EXPECT_FLOAT_EQ(features[3], 2.0f);  // acc_x_max
+  EXPECT_FLOAT_EQ(features[4], 0.0f);  // acc_x_zcr
+}
+
+TEST(FeatureExtractorTest, MagnitudeFeatureReflectsTriAxisNorm) {
+  Matrix window = ZeroWindow();
+  for (size_t i = 0; i < window.rows(); ++i) {
+    window.At(i, static_cast<size_t>(Channel::kAccX)) = 3.0f;
+    window.At(i, static_cast<size_t>(Channel::kAccY)) = 4.0f;
+  }
+  FeatureExtractor fx;
+  auto features = fx.Extract(window).value();
+  // acc_mag_mean is feature 45.
+  EXPECT_NEAR(features[45], 5.0f, 1e-5);
+}
+
+TEST(FeatureExtractorTest, SpeedFeaturesTrackSpeedChannel) {
+  Matrix window = ZeroWindow();
+  for (size_t i = 0; i < window.rows(); ++i) {
+    window.At(i, static_cast<size_t>(Channel::kSpeed)) =
+        (i % 2 == 0) ? 10.0f : 14.0f;
+  }
+  FeatureExtractor fx;
+  auto features = fx.Extract(window).value();
+  EXPECT_NEAR(features[78], 12.0f, 1e-4);  // speed_mean
+  EXPECT_NEAR(features[79], 2.0f, 1e-4);   // speed_std
+}
+
+TEST(FeatureExtractorTest, CorrelationFeatureDetectsLinkedAxes) {
+  Matrix window = ZeroWindow();
+  for (size_t i = 0; i < window.rows(); ++i) {
+    const float v = std::sin(0.3f * static_cast<float>(i));
+    window.At(i, static_cast<size_t>(Channel::kAccX)) = v;
+    window.At(i, static_cast<size_t>(Channel::kAccY)) = v;   // identical
+    window.At(i, static_cast<size_t>(Channel::kAccZ)) = -v;  // inverted
+  }
+  FeatureExtractor fx;
+  auto features = fx.Extract(window).value();
+  EXPECT_NEAR(features[69], 1.0, 1e-4);   // corr(x,y)
+  EXPECT_NEAR(features[70], -1.0, 1e-4);  // corr(x,z)
+}
+
+TEST(FeatureExtractorTest, SeparatesActivitiesInFeatureSpace) {
+  // The core requirement: windows of different activities land in
+  // measurably different regions of the 80-d space.
+  sensors::SyntheticGenerator gen(17);
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  FeatureExtractor fx;
+
+  auto mean_feature = [&](sensors::ActivityId id, size_t dim) {
+    double acc = 0.0;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      sensors::Recording rec = gen.Generate(lib[id], 1.0);
+      acc += fx.Extract(rec.samples).value()[dim];
+    }
+    return acc / reps;
+  };
+
+  // acc_mag_std (feature 46) orders Still < Walk < Run.
+  const double still_std = mean_feature(sensors::kStill, 46);
+  const double walk_std = mean_feature(sensors::kWalk, 46);
+  const double run_std = mean_feature(sensors::kRun, 46);
+  EXPECT_LT(still_std, walk_std);
+  EXPECT_LT(walk_std, run_std);
+
+  // speed_mean (feature 78) makes Drive stand apart from everything on foot.
+  EXPECT_GT(mean_feature(sensors::kDrive, 78),
+            mean_feature(sensors::kRun, 78) + 3.0);
+}
+
+TEST(FeatureExtractorTest, DeterministicOnSameInput) {
+  sensors::SyntheticGenerator gen(23);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk], 1.0);
+  FeatureExtractor fx;
+  auto a = fx.Extract(rec.samples).value();
+  auto b = fx.Extract(rec.samples).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeatureExtractorTest, AllFeaturesFiniteOnRealisticData) {
+  sensors::SyntheticGenerator gen(29);
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  FeatureExtractor fx;
+  for (const auto& [id, model] : lib) {
+    sensors::Recording rec = gen.Generate(model, 1.0);
+    auto features = fx.Extract(rec.samples).value();
+    for (size_t j = 0; j < features.size(); ++j) {
+      EXPECT_TRUE(std::isfinite(features[j]))
+          << "activity " << id << " feature "
+          << FeatureExtractor::FeatureNames()[j];
+    }
+  }
+}
+
+// Property sweep: the extractor accepts any window length >= 2 and stays
+// 80-dimensional.
+class FeatureWindowSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FeatureWindowSizeTest, SizeInvariant) {
+  FeatureExtractor fx;
+  auto features = fx.Extract(ZeroWindow(GetParam()));
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features.value().size(), kNumFeatures);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, FeatureWindowSizeTest,
+                         ::testing::Values(2, 10, 60, 120, 240, 1000));
+
+}  // namespace
+}  // namespace magneto::preprocess

@@ -1,0 +1,157 @@
+#include "preprocess/spectral_features.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "preprocess/pipeline.h"
+#include "sensors/signal_model.h"
+#include "sensors/synthetic_generator.h"
+
+namespace magneto::preprocess {
+namespace {
+
+using sensors::Channel;
+
+TEST(SpectralFeatureExtractorTest, ProducesExactly27Features) {
+  SpectralFeatureExtractor fx;
+  Matrix window(120, sensors::kNumChannels);
+  auto features = fx.Extract(window);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features.value().size(), kNumSpectralFeatures);
+}
+
+TEST(SpectralFeatureExtractorTest, NamesMatchCountAndAreUnique) {
+  const auto& names = SpectralFeatureExtractor::FeatureNames();
+  EXPECT_EQ(names.size(), kNumSpectralFeatures);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  EXPECT_EQ(names[0], "acc_mag_dom_freq");
+  EXPECT_EQ(names.back(), "lin_acc_z_dom_freq");
+}
+
+TEST(SpectralFeatureExtractorTest, InvalidInputsRejected) {
+  SpectralFeatureExtractor fx;
+  EXPECT_FALSE(fx.Extract(Matrix(120, 10)).ok());
+  EXPECT_FALSE(fx.Extract(Matrix(3, sensors::kNumChannels)).ok());
+}
+
+TEST(SpectralFeatureExtractorTest, DominantFrequencyDetectsInjectedTone) {
+  // 6 Hz tone on acc_x at 120 Hz sampling.
+  Matrix window(120, sensors::kNumChannels);
+  for (size_t i = 0; i < 120; ++i) {
+    window.At(i, static_cast<size_t>(Channel::kAccX)) = static_cast<float>(
+        std::sin(2.0 * M_PI * 6.0 * static_cast<double>(i) / 120.0));
+  }
+  SpectralFeatureExtractor fx(120.0);
+  auto features = fx.Extract(window).value();
+  // Feature 18 is acc_x_dom_freq (after the 3x6 magnitude block).
+  EXPECT_NEAR(features[18], 6.0, 1.0);
+  // acc magnitude is |sin| (full-wave rectified): dominant component at 2x.
+  EXPECT_NEAR(features[0], 12.0, 1.5);
+}
+
+TEST(SpectralFeatureExtractorTest, SeparatesCadences) {
+  // Walk (~1.9 Hz) vs E-scooter (~14 Hz deck vibration) should land in
+  // different bands.
+  sensors::SyntheticGenerator gen(3);
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  SpectralFeatureExtractor fx(120.0);
+
+  auto mean_feature = [&](sensors::ActivityId id, size_t dim) {
+    double acc = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      sensors::Recording rec = gen.Generate(lib[id], 1.0);
+      acc += fx.Extract(rec.samples).value()[dim];
+    }
+    return acc / 5.0;
+  };
+
+  // acc_mag gait-band power (feature 3) dominates for Walk...
+  EXPECT_GT(mean_feature(sensors::kWalk, 3),
+            mean_feature(sensors::kEScooter, 3));
+  // ...while vibration-band power (feature 5) dominates for E-scooter.
+  EXPECT_GT(mean_feature(sensors::kEScooter, 5),
+            mean_feature(sensors::kWalk, 5));
+}
+
+TEST(SpectralFeatureExtractorTest, AllFiniteOnRealisticData) {
+  sensors::SyntheticGenerator gen(5);
+  SpectralFeatureExtractor fx(120.0);
+  for (const auto& [id, model] : sensors::DefaultActivityLibrary()) {
+    sensors::Recording rec = gen.Generate(model, 1.0);
+    auto features = fx.Extract(rec.samples).value();
+    for (size_t j = 0; j < features.size(); ++j) {
+      EXPECT_TRUE(std::isfinite(features[j]))
+          << "activity " << id << " feature " << j;
+    }
+  }
+}
+
+TEST(PipelineFeatureModeTest, DimsPerMode) {
+  EXPECT_EQ(FeatureDim(FeatureMode::kStatistical), 80u);
+  EXPECT_EQ(FeatureDim(FeatureMode::kSpectral), 27u);
+  EXPECT_EQ(FeatureDim(FeatureMode::kCombined), 107u);
+}
+
+class PipelineFeatureModeTest : public ::testing::TestWithParam<FeatureMode> {
+};
+
+TEST_P(PipelineFeatureModeTest, PipelineProducesModeDim) {
+  PipelineConfig config;
+  config.features = GetParam();
+  Pipeline pipeline(config);
+  sensors::SyntheticGenerator gen(7);
+  auto corpus = gen.GenerateDataset(sensors::DefaultActivityLibrary(), 1, 3.0);
+  auto data = pipeline.Fit(corpus);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().dim(), FeatureDim(GetParam()));
+  EXPECT_EQ(pipeline.feature_dim(), FeatureDim(GetParam()));
+
+  // Round trip keeps the mode and the normaliser dimension.
+  BinaryWriter w;
+  pipeline.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Pipeline::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().config().features, GetParam());
+  sensors::Recording rec = gen.Generate(
+      sensors::DefaultActivityLibrary()[sensors::kRun], 2.0);
+  auto a = pipeline.Process(rec);
+  auto b = back.value().Process(rec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PipelineFeatureModeTest,
+                         ::testing::Values(FeatureMode::kStatistical,
+                                           FeatureMode::kSpectral,
+                                           FeatureMode::kCombined));
+
+TEST(PipelineFeatureModeTest, CombinedConcatenatesInOrder) {
+  PipelineConfig stat_config;
+  PipelineConfig comb_config;
+  comb_config.features = FeatureMode::kCombined;
+  // Without normalisation the combined vector's prefix equals the
+  // statistical vector exactly.
+  stat_config.normalization = NormalizationMethod::kNone;
+  comb_config.normalization = NormalizationMethod::kNone;
+  Pipeline stat(stat_config), comb(comb_config);
+  sensors::SyntheticGenerator gen(9);
+  sensors::Recording rec = gen.Generate(
+      sensors::DefaultActivityLibrary()[sensors::kWalk], 1.0);
+  auto s = stat.ProcessWindow(rec.samples).value();
+  auto c = comb.ProcessWindow(rec.samples).value();
+  ASSERT_EQ(c.size(), 107u);
+  for (size_t j = 0; j < 80; ++j) {
+    EXPECT_FLOAT_EQ(c[j], s[j]) << "feature " << j;
+  }
+}
+
+}  // namespace
+}  // namespace magneto::preprocess

@@ -1,0 +1,99 @@
+#include "sensors/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace magneto::sensors {
+namespace {
+
+TEST(ActivityRegistryTest, BaseActivitiesArePresent) {
+  ActivityRegistry reg = ActivityRegistry::BaseActivities();
+  EXPECT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg.IdOf("Drive").value(), kDrive);
+  EXPECT_EQ(reg.IdOf("E-scooter").value(), kEScooter);
+  EXPECT_EQ(reg.IdOf("Run").value(), kRun);
+  EXPECT_EQ(reg.IdOf("Still").value(), kStill);
+  EXPECT_EQ(reg.IdOf("Walk").value(), kWalk);
+  EXPECT_EQ(reg.NameOf(kWalk).value(), "Walk");
+}
+
+TEST(ActivityRegistryTest, ExtendedActivitiesPresent) {
+  ActivityRegistry reg = ActivityRegistry::ExtendedActivities();
+  EXPECT_EQ(reg.size(), 8u);
+  EXPECT_EQ(reg.IdOf("Cycle").value(), kCycle);
+  EXPECT_EQ(reg.IdOf("Stairs Up").value(), kStairsUp);
+  EXPECT_EQ(reg.IdOf("Sit").value(), kSit);
+  // User-added classes continue after the extended block.
+  EXPECT_EQ(reg.Register("Custom").value(), 8);
+}
+
+TEST(ActivityRegistryTest, RegisterAssignsFreshIds) {
+  ActivityRegistry reg = ActivityRegistry::BaseActivities();
+  auto id = reg.Register("Gesture Hi");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 5);  // first id after the 5 base classes
+  EXPECT_EQ(reg.NameOf(5).value(), "Gesture Hi");
+  auto id2 = reg.Register("Jumping Jacks");
+  EXPECT_EQ(id2.value(), 6);
+}
+
+TEST(ActivityRegistryTest, DuplicateNameRejected) {
+  ActivityRegistry reg = ActivityRegistry::BaseActivities();
+  auto res = reg.Register("Walk");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ActivityRegistryTest, DuplicateIdRejected) {
+  ActivityRegistry reg;
+  ASSERT_TRUE(reg.RegisterWithId(3, "A").ok());
+  EXPECT_EQ(reg.RegisterWithId(3, "B").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(reg.RegisterWithId(4, "A").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ActivityRegistryTest, UnknownLookupsFail) {
+  ActivityRegistry reg = ActivityRegistry::BaseActivities();
+  EXPECT_EQ(reg.IdOf("Fly").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reg.NameOf(999).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reg.Contains(999));
+  EXPECT_TRUE(reg.Contains(kStill));
+}
+
+TEST(ActivityRegistryTest, IdsSortedAscending) {
+  ActivityRegistry reg;
+  ASSERT_TRUE(reg.RegisterWithId(7, "c").ok());
+  ASSERT_TRUE(reg.RegisterWithId(2, "a").ok());
+  ASSERT_TRUE(reg.RegisterWithId(5, "b").ok());
+  EXPECT_EQ(reg.Ids(), (std::vector<ActivityId>{2, 5, 7}));
+}
+
+TEST(ActivityRegistryTest, NextIdSkipsManualIds) {
+  ActivityRegistry reg;
+  ASSERT_TRUE(reg.RegisterWithId(10, "manual").ok());
+  auto id = reg.Register("auto");
+  EXPECT_EQ(id.value(), 11);
+}
+
+TEST(ActivityRegistryTest, SerializationRoundTrip) {
+  ActivityRegistry reg = ActivityRegistry::BaseActivities();
+  ASSERT_TRUE(reg.Register("Gesture Hi").ok());
+
+  BinaryWriter w;
+  reg.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = ActivityRegistry::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 6u);
+  EXPECT_EQ(back.value().IdOf("Gesture Hi").value(), 5);
+  // New registrations after deserialisation continue from the right id.
+  EXPECT_EQ(back.value().Register("Next").value(), 6);
+}
+
+TEST(ActivityRegistryTest, DeserializeCorruptFails) {
+  BinaryWriter w;
+  w.WriteU64(3);  // claims 3 entries, provides none
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(ActivityRegistry::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace magneto::sensors

@@ -1,0 +1,77 @@
+#include "sensors/context.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace magneto::sensors {
+namespace {
+
+TEST(RecordingContextTest, SampleIsDeterministicInRng) {
+  Rng a(42), b(42);
+  RecordingContext c1 = RecordingContext::Sample(&a);
+  RecordingContext c2 = RecordingContext::Sample(&b);
+  EXPECT_DOUBLE_EQ(c1.light_scale, c2.light_scale);
+  EXPECT_DOUBLE_EQ(c1.pressure_shift, c2.pressure_shift);
+  EXPECT_DOUBLE_EQ(c1.proximity, c2.proximity);
+}
+
+TEST(RecordingContextTest, SamplesStayInPhysicalRanges) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    RecordingContext ctx = RecordingContext::Sample(&rng);
+    EXPECT_GT(ctx.light_scale, 0.01);
+    EXPECT_LT(ctx.light_scale, 10.0);
+    EXPECT_GE(ctx.pressure_shift, -40.0);
+    EXPECT_LE(ctx.pressure_shift, 15.0);
+    EXPECT_GE(ctx.proximity, 0.0);
+    EXPECT_LE(ctx.proximity, 6.0);
+    EXPECT_GT(ctx.speed_noise_scale, 0.0);
+  }
+}
+
+TEST(RecordingContextTest, ApplyShiftsEnvironmentChannels) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  RecordingContext ctx;
+  ctx.light_scale = 3.0;
+  ctx.pressure_shift = -25.0;
+  ctx.proximity = 0.5;
+  SignalModel out = ctx.Apply(lib[kWalk]);
+  EXPECT_NEAR(out.channel(Channel::kLight).baseline,
+              lib[kWalk].channel(Channel::kLight).baseline * 3.0, 1e-9);
+  EXPECT_NEAR(out.channel(Channel::kPressure).baseline,
+              lib[kWalk].channel(Channel::kPressure).baseline - 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.channel(Channel::kProximity).baseline, 0.5);
+}
+
+TEST(RecordingContextTest, ApplyLeavesMotionHarmonicsAlone) {
+  // The activity's gait signature must survive the context: contexts are
+  // nuisance, not class information.
+  ActivityLibrary lib = DefaultActivityLibrary();
+  Rng rng(9);
+  RecordingContext ctx = RecordingContext::Sample(&rng);
+  SignalModel out = ctx.Apply(lib[kRun]);
+  const auto& orig = lib[kRun].channel(Channel::kAccX).harmonics;
+  const auto& after = out.channel(Channel::kAccX).harmonics;
+  ASSERT_EQ(orig.size(), after.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_DOUBLE_EQ(orig[i].amplitude, after[i].amplitude);
+    EXPECT_DOUBLE_EQ(orig[i].frequency_hz, after[i].frequency_hz);
+  }
+}
+
+TEST(RecordingContextTest, MagnetometerShifted) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  RecordingContext ctx;
+  ctx.mag_shift[0] = 10.0;
+  ctx.mag_shift[1] = -5.0;
+  ctx.mag_shift[2] = 0.0;
+  SignalModel out = ctx.Apply(lib[kStill]);
+  EXPECT_NEAR(out.channel(Channel::kMagX).baseline,
+              lib[kStill].channel(Channel::kMagX).baseline + 10.0, 1e-9);
+  EXPECT_NEAR(out.channel(Channel::kMagY).baseline,
+              lib[kStill].channel(Channel::kMagY).baseline - 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace magneto::sensors

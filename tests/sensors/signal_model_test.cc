@@ -1,0 +1,133 @@
+#include "sensors/signal_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sensors/sensor_types.h"
+
+namespace magneto::sensors {
+namespace {
+
+TEST(SignalModelTest, DefaultLibraryCoversBaseActivities) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  EXPECT_EQ(lib.size(), 5u);
+  EXPECT_TRUE(lib.count(kDrive));
+  EXPECT_TRUE(lib.count(kEScooter));
+  EXPECT_TRUE(lib.count(kRun));
+  EXPECT_TRUE(lib.count(kStill));
+  EXPECT_TRUE(lib.count(kWalk));
+}
+
+TEST(SignalModelTest, StillIsQuieterThanRun) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  const ChannelModel& still_acc = lib[kStill].channel(Channel::kAccX);
+  const ChannelModel& run_acc = lib[kRun].channel(Channel::kAccX);
+  double still_amp = still_acc.noise_sigma;
+  for (const Harmonic& h : still_acc.harmonics) still_amp += h.amplitude;
+  double run_amp = run_acc.noise_sigma;
+  for (const Harmonic& h : run_acc.harmonics) run_amp += h.amplitude;
+  EXPECT_LT(still_amp, run_amp);
+}
+
+TEST(SignalModelTest, WalkAndRunHaveDistinctCadence) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  const auto& walk = lib[kWalk].channel(Channel::kAccX).harmonics;
+  const auto& run = lib[kRun].channel(Channel::kAccX).harmonics;
+  ASSERT_FALSE(walk.empty());
+  ASSERT_FALSE(run.empty());
+  EXPECT_LT(walk[0].frequency_hz, run[0].frequency_hz);
+}
+
+TEST(SignalModelTest, DriveHasSpeedBaseline) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  EXPECT_GT(lib[kDrive].channel(Channel::kSpeed).baseline, 5.0);
+  EXPECT_LT(lib[kStill].channel(Channel::kSpeed).baseline, 0.5);
+}
+
+TEST(SignalModelTest, GravityZNearG) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  for (const auto& [id, model] : lib) {
+    EXPECT_NEAR(model.channel(Channel::kGravityZ).baseline, 9.5, 0.5)
+        << "activity " << id;
+  }
+}
+
+TEST(SignalModelTest, GestureModelsDifferBySeed) {
+  SignalModel g1 = MakeGestureModel(1);
+  SignalModel g2 = MakeGestureModel(2);
+  const auto& h1 = g1.channel(Channel::kAccX).harmonics;
+  const auto& h2 = g2.channel(Channel::kAccX).harmonics;
+  ASSERT_FALSE(h1.empty());
+  ASSERT_FALSE(h2.empty());
+  // Gesture frequency is seed-dependent.
+  EXPECT_NE(h1.back().frequency_hz, h2.back().frequency_hz);
+}
+
+TEST(SignalModelTest, GestureModelIsDeterministicInSeed) {
+  SignalModel a = MakeGestureModel(42);
+  SignalModel b = MakeGestureModel(42);
+  const auto& ha = a.channel(Channel::kGyroY).harmonics;
+  const auto& hb = b.channel(Channel::kGyroY).harmonics;
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha[i].amplitude, hb[i].amplitude);
+    EXPECT_DOUBLE_EQ(ha[i].frequency_hz, hb[i].frequency_hz);
+  }
+}
+
+TEST(SignalModelTest, GestureAddsEnergyOverStill) {
+  // A gesture is "Still plus an arm oscillation": its motion channels must
+  // carry more harmonic energy than plain Still.
+  ActivityLibrary lib = DefaultActivityLibrary();
+  SignalModel gesture = MakeGestureModel(7);
+  const auto& still_h = lib[kStill].channel(Channel::kLinAccX).harmonics;
+  const auto& gesture_h = gesture.channel(Channel::kLinAccX).harmonics;
+  EXPECT_GT(gesture_h.size(), still_h.size());
+}
+
+TEST(SignalModelTest, ExtendedLibraryAddsThreeClasses) {
+  ActivityLibrary lib = ExtendedActivityLibrary();
+  EXPECT_EQ(lib.size(), 8u);
+  EXPECT_TRUE(lib.count(kCycle));
+  EXPECT_TRUE(lib.count(kStairsUp));
+  EXPECT_TRUE(lib.count(kSit));
+  // The base five are identical to the default library.
+  ActivityLibrary base = DefaultActivityLibrary();
+  EXPECT_DOUBLE_EQ(lib[kWalk].channel(Channel::kAccX).harmonics[0].amplitude,
+                   base[kWalk].channel(Channel::kAccX).harmonics[0].amplitude);
+}
+
+TEST(SignalModelTest, StairsUpSlowerThanWalkWithFallingPressure) {
+  ActivityLibrary lib = ExtendedActivityLibrary();
+  const auto& walk = lib[kWalk].channel(Channel::kAccX).harmonics;
+  const auto& stairs = lib[kStairsUp].channel(Channel::kAccX).harmonics;
+  ASSERT_FALSE(walk.empty());
+  ASSERT_FALSE(stairs.empty());
+  EXPECT_LT(stairs[0].frequency_hz, walk[0].frequency_hz);
+  EXPECT_GT(lib[kStairsUp].channel(Channel::kPressure).drift_sigma,
+            lib[kWalk].channel(Channel::kPressure).drift_sigma);
+}
+
+TEST(SignalModelTest, SitHasTiltedGravity) {
+  ActivityLibrary lib = ExtendedActivityLibrary();
+  // Sitting (thigh pocket): gravity projects mostly onto X, not Z.
+  EXPECT_GT(lib[kSit].channel(Channel::kGravityX).baseline,
+            lib[kSit].channel(Channel::kGravityZ).baseline);
+  EXPECT_GT(lib[kStill].channel(Channel::kGravityZ).baseline,
+            lib[kStill].channel(Channel::kGravityX).baseline);
+}
+
+TEST(SignalModelTest, CycleHasIntermediateSpeed) {
+  ActivityLibrary lib = ExtendedActivityLibrary();
+  const double cycle = lib[kCycle].channel(Channel::kSpeed).baseline;
+  EXPECT_GT(cycle, lib[kWalk].channel(Channel::kSpeed).baseline);
+  EXPECT_LT(cycle, lib[kDrive].channel(Channel::kSpeed).baseline);
+}
+
+TEST(SensorTypesTest, ChannelNamesAreStable) {
+  EXPECT_EQ(ChannelName(Channel::kAccX), "acc_x");
+  EXPECT_EQ(ChannelName(Channel::kSpeed), "speed");
+  EXPECT_EQ(ChannelName(Channel::kPressure), "pressure");
+}
+
+}  // namespace
+}  // namespace magneto::sensors

@@ -1,0 +1,103 @@
+#include "sensors/user_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace magneto::sensors {
+namespace {
+
+TEST(UserProfileTest, CanonicalIsIdentity) {
+  UserProfile canonical = UserProfile::Canonical();
+  ActivityLibrary lib = DefaultActivityLibrary();
+  SignalModel walk = lib[kWalk];
+  SignalModel same = canonical.Personalize(walk);
+  for (size_t c = 0; c < kNumChannels; ++c) {
+    EXPECT_DOUBLE_EQ(same.channels[c].baseline, walk.channels[c].baseline);
+    EXPECT_DOUBLE_EQ(same.channels[c].noise_sigma,
+                     walk.channels[c].noise_sigma);
+    ASSERT_EQ(same.channels[c].harmonics.size(),
+              walk.channels[c].harmonics.size());
+    for (size_t h = 0; h < walk.channels[c].harmonics.size(); ++h) {
+      EXPECT_DOUBLE_EQ(same.channels[c].harmonics[h].amplitude,
+                       walk.channels[c].harmonics[h].amplitude);
+      EXPECT_DOUBLE_EQ(same.channels[c].harmonics[h].frequency_hz,
+                       walk.channels[c].harmonics[h].frequency_hz);
+    }
+  }
+}
+
+TEST(UserProfileTest, ZeroIntensityIsNearCanonical) {
+  UserProfile p(123, 0.0);
+  ActivityLibrary lib = DefaultActivityLibrary();
+  SignalModel walk = lib[kWalk];
+  SignalModel out = p.Personalize(walk);
+  // exp(N(0, 0)) == 1, N(0, 0) == 0: everything must be untouched.
+  for (size_t c = 0; c < kNumChannels; ++c) {
+    for (size_t h = 0; h < walk.channels[c].harmonics.size(); ++h) {
+      EXPECT_NEAR(out.channels[c].harmonics[h].amplitude,
+                  walk.channels[c].harmonics[h].amplitude, 1e-12);
+    }
+  }
+}
+
+TEST(UserProfileTest, PerturbationsScaleWithIntensity) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  const SignalModel& walk = lib[kWalk];
+  const double base_amp = walk.channel(Channel::kAccX).harmonics[0].amplitude;
+
+  double mild_dev = 0.0, strong_dev = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    UserProfile mild(1000 + i, 0.1);
+    UserProfile strong(1000 + i, 1.0);
+    mild_dev += std::fabs(
+        mild.Personalize(walk).channel(Channel::kAccX).harmonics[0].amplitude -
+        base_amp);
+    strong_dev += std::fabs(
+        strong.Personalize(walk).channel(Channel::kAccX).harmonics[0].amplitude -
+        base_amp);
+  }
+  EXPECT_LT(mild_dev, strong_dev);
+}
+
+TEST(UserProfileTest, DeterministicInSeed) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  UserProfile a(55, 0.3), b(55, 0.3);
+  SignalModel ma = a.Personalize(lib[kRun]);
+  SignalModel mb = b.Personalize(lib[kRun]);
+  EXPECT_DOUBLE_EQ(ma.channel(Channel::kGyroX).noise_sigma,
+                   mb.channel(Channel::kGyroX).noise_sigma);
+}
+
+TEST(UserProfileTest, TempoShiftAppliesToAllHarmonicsEqually) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  UserProfile p(7, 0.5);
+  SignalModel out = p.Personalize(lib[kWalk]);
+  const auto& orig = lib[kWalk].channel(Channel::kAccX).harmonics;
+  const auto& pers = out.channel(Channel::kAccX).harmonics;
+  ASSERT_GE(orig.size(), 2u);
+  const double ratio0 = pers[0].frequency_hz / orig[0].frequency_hz;
+  const double ratio1 = pers[1].frequency_hz / orig[1].frequency_hz;
+  EXPECT_NEAR(ratio0, ratio1, 1e-12);  // one cadence for the whole body
+  EXPECT_NE(ratio0, 1.0);
+}
+
+TEST(UserProfileTest, PersonalizeLibraryCoversAllActivities) {
+  ActivityLibrary lib = DefaultActivityLibrary();
+  UserProfile p(9, 0.3);
+  ActivityLibrary personal = p.Personalize(lib);
+  EXPECT_EQ(personal.size(), lib.size());
+  for (const auto& [id, model] : lib) EXPECT_TRUE(personal.count(id));
+}
+
+TEST(UserProfileTest, EnvironmentBaselinesStaySane) {
+  // Pressure (~1013 hPa) must not be shifted by a unit-scale offset.
+  ActivityLibrary lib = DefaultActivityLibrary();
+  UserProfile p(13, 1.0);
+  SignalModel out = p.Personalize(lib[kStill]);
+  EXPECT_NEAR(out.channel(Channel::kPressure).baseline, 1013.0, 30.0);
+}
+
+}  // namespace
+}  // namespace magneto::sensors

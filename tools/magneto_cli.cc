@@ -1,0 +1,477 @@
+/// magneto — command-line front end to the MAGNETO platform.
+///
+///   magneto pretrain --out model.magneto [--users N] [--seconds S]
+///                    [--epochs E] [--support K] [--paper-backbone]
+///       Runs the offline cloud step on a synthetic multi-user corpus and
+///       writes the transferable bundle.
+///
+///   magneto inspect <bundle>
+///       Prints the bundle's architecture, classes, and size breakdown.
+///
+///   magneto simulate --bundle <bundle> [--activity NAME] [--seconds S]
+///                    [--user-intensity X]
+///       Streams synthetic sensor data through the edge runtime and prints
+///       the live predictions.
+///
+///   magneto learn --bundle <bundle> --out <bundle> --name NAME
+///                 [--gesture-seed N] [--seconds S]
+///       On-device incremental learning of a new synthetic gesture;
+///       writes the updated bundle.
+///
+///   magneto calibrate --bundle <bundle> --out <bundle> --activity NAME
+///                     [--user-intensity X] [--seconds S]
+///       Re-calibrates an existing activity to a personalised style.
+///
+///   magneto compress --bundle <bundle> --out <bundle>
+///                    [--method int8|student|lowrank] [--student-dims N]
+///       Produces an inference-only compressed deployment bundle.
+///
+///   magneto collect --out data.msns [--users N] [--seconds S] [--seed N]
+///       Writes a synthetic multi-user collection campaign to disk.
+///
+///   magneto crossval [--data data.msns | --users N] [--folds K]
+///       k-fold cross-validation of the cloud recipe at recording level.
+///
+///   magneto export-csv --bundle <bundle> --data data.msns --out features.csv
+///       Runs a campaign through the bundle's preprocessing pipeline and
+///       writes the normalised features as CSV for external analysis.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "magneto.h"
+
+namespace {
+
+using namespace magneto;
+
+/// Minimal flag parser: --key value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    for (int i = first; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper-backbone") == 0) {
+        flags_["paper-backbone"] = true;
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  bool GetFlag(const std::string& key) const { return flags_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+};
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "error: %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+std::vector<sensors::LabeledRecording> SyntheticCorpus(uint64_t seed,
+                                                       size_t users,
+                                                       double seconds) {
+  sensors::ActivityLibrary canonical = sensors::DefaultActivityLibrary();
+  std::vector<sensors::LabeledRecording> corpus;
+  Rng seeder(seed);
+  for (size_t u = 0; u < users; ++u) {
+    sensors::UserProfile profile(seeder.engine()(), 0.6);
+    sensors::SyntheticGenerator gen(seeder.engine()());
+    Rng ctx_rng(seeder.engine()());
+    for (const auto& [id, model] : profile.Personalize(canonical)) {
+      sensors::RecordingContext ctx =
+          sensors::RecordingContext::Sample(&ctx_rng);
+      corpus.push_back({gen.Generate(ctx.Apply(model), seconds), id});
+    }
+  }
+  return corpus;
+}
+
+int CmdPretrain(const Args& args) {
+  const std::string out = args.Get("out", "model.magneto");
+  core::CloudConfig config;
+  if (args.GetFlag("paper-backbone")) {
+    config.backbone_dims = {1024, 512, 128, 64, 128};
+  } else {
+    config.backbone_dims = {128, 64, 32};
+  }
+  config.train.epochs = static_cast<size_t>(args.GetInt("epochs", 20));
+  config.support_capacity = static_cast<size_t>(args.GetInt("support", 50));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+
+  std::vector<sensors::LabeledRecording> corpus;
+  const std::string data = args.Get("data", "");
+  if (!data.empty()) {
+    auto loaded = sensors::LoadRecordings(data);
+    if (!loaded.ok()) return Fail(loaded.status(), "load campaign");
+    corpus = std::move(loaded).value();
+    std::printf("pretraining on %zu recordings from %s\n", corpus.size(),
+                data.c_str());
+  } else {
+    const size_t users = static_cast<size_t>(args.GetInt("users", 8));
+    const double seconds = args.GetDouble("seconds", 8.0);
+    std::printf(
+        "pretraining on %zu synthetic users x 5 activities x %.0f s\n",
+        users, seconds);
+    corpus = SyntheticCorpus(config.seed, users, seconds);
+  }
+
+  core::CloudInitializer cloud(config);
+  core::CloudReport report;
+  auto bundle = cloud.Initialize(corpus,
+                                 sensors::ActivityRegistry::BaseActivities(),
+                                 &report);
+  if (!bundle.ok()) return Fail(bundle.status(), "pretrain");
+  Status saved = bundle.value().SaveToFile(out);
+  if (!saved.ok()) return Fail(saved, "save");
+  std::printf("trained on %zu windows (final loss %.4f)\n",
+              report.training_windows, report.train.final_embedding_loss());
+  std::printf("wrote %s (%.1f KiB)\n", out.c_str(),
+              report.bundle_bytes / 1024.0);
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  auto bundle = core::ModelBundle::LoadFromFile(path);
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const core::ModelBundle& b = bundle.value();
+  std::printf("bundle: %s\n", path.c_str());
+  std::printf("  serialized: %.1f KiB\n", b.SerializedBytes() / 1024.0);
+  std::printf("  backbone (%zu params, %.1f KiB):\n",
+              b.backbone.NumParameters(),
+              b.backbone.NumParameters() * sizeof(float) / 1024.0);
+  std::string summary = b.backbone.Summary();
+  for (size_t pos = 0; pos < summary.size();) {
+    const size_t eol = summary.find('\n', pos);
+    std::printf("    %s\n", summary.substr(pos, eol - pos).c_str());
+    pos = eol == std::string::npos ? summary.size() : eol + 1;
+  }
+  std::printf("  features: %zu-dim, normaliser %s\n",
+              b.pipeline.feature_dim(),
+              b.pipeline.fitted() ? "fitted" : "NOT FITTED");
+  std::printf("  activities (%zu):\n", b.registry.size());
+  for (sensors::ActivityId id : b.registry.Ids()) {
+    std::printf("    %2lld  %-14s support=%zu%s\n",
+                static_cast<long long>(id),
+                b.registry.NameOf(id).ValueOrDie().c_str(),
+                b.support.ClassSize(id),
+                b.classifier.HasClass(id) ? "" : "  (no prototype!)");
+  }
+  std::printf("  support set: %zu exemplars, %.1f KiB (capacity %zu/class)\n",
+              b.support.TotalSize(), b.support.MemoryBytes() / 1024.0,
+              b.support.capacity_per_class());
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const std::string activity = args.Get("activity", "Walk");
+  const double seconds = args.GetDouble("seconds", 6.0);
+  const double intensity = args.GetDouble("user-intensity", 0.0);
+
+  auto id = bundle.value().registry.IdOf(activity);
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  sensors::SignalModel model;
+  if (id.ok() && lib.count(id.value())) {
+    model = lib[id.value()];
+  } else {
+    std::printf("note: '%s' has no canonical generator; using a gesture "
+                "signature seeded from the name hash\n",
+                activity.c_str());
+    uint64_t h = 1469598103934665603ull;
+    for (char c : activity) h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ull;
+    model = sensors::MakeGestureModel(h);
+  }
+  if (intensity > 0.0) {
+    model = sensors::UserProfile(99, intensity).Personalize(model);
+  }
+
+  core::SupportSet support = std::move(bundle.value().support);
+  core::EdgeModel edge = std::move(bundle).value().ToEdgeModel();
+  core::EdgeRuntime runtime(std::move(edge), std::move(support), {});
+
+  sensors::SyntheticGenerator gen(42);
+  sensors::Recording rec = gen.Generate(model, seconds);
+  std::printf("%8s  %-14s %10s\n", "t", "prediction", "confidence");
+  double t = 0.0;
+  for (size_t i = 0; i < rec.num_samples(); ++i) {
+    sensors::Frame frame;
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frame[c] = rec.samples.At(i, c);
+    }
+    auto pred = runtime.PushFrame(frame);
+    if (!pred.ok()) return Fail(pred.status(), "inference");
+    if (pred.value().has_value()) {
+      std::printf("%7.1fs  %-14s %9.2f\n", t, pred.value()->name.c_str(),
+                  pred.value()->prediction.confidence);
+    }
+    t += 1.0 / rec.sample_rate_hz;
+  }
+  return 0;
+}
+
+int CmdLearn(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const std::string out = args.Get("out", "updated.magneto");
+  const std::string name = args.Get("name", "Gesture Hi");
+  const double seconds = args.GetDouble("seconds", 25.0);
+  const uint64_t gesture_seed =
+      static_cast<uint64_t>(args.GetInt("gesture-seed", 4242));
+
+  core::SupportSet support = std::move(bundle.value().support);
+  core::EdgeModel model = std::move(bundle).value().ToEdgeModel();
+
+  sensors::SyntheticGenerator gen(7);
+  sensors::Recording capture =
+      gen.Generate(sensors::MakeGestureModel(gesture_seed), seconds);
+  std::printf("learning '%s' from a %.0f s synthetic capture...\n",
+              name.c_str(), seconds);
+
+  core::IncrementalOptions options;
+  options.train.epochs = 12;
+  options.train.learning_rate = 1e-3;
+  options.train.distill_weight = 1.0;
+  core::IncrementalLearner learner(options);
+  auto report = learner.LearnNewActivity(&model, &support, name, {capture});
+  if (!report.ok()) return Fail(report.status(), "learn");
+  std::printf("learned activity #%lld from %zu windows "
+              "(contrastive %.4f, distill %.4f)\n",
+              static_cast<long long>(report.value().activity),
+              report.value().new_windows,
+              report.value().train.final_embedding_loss(),
+              report.value().train.final_distill_loss());
+
+  core::ModelBundle updated;
+  updated.pipeline = model.pipeline();
+  updated.classifier = model.classifier();
+  updated.registry = model.registry();
+  updated.support = std::move(support);
+  updated.backbone = std::move(model.backbone());
+  Status saved = updated.SaveToFile(out);
+  if (!saved.ok()) return Fail(saved, "save");
+  std::printf("wrote %s (%.1f KiB)\n", out.c_str(),
+              updated.SerializedBytes() / 1024.0);
+  return 0;
+}
+
+int CmdCalibrate(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const std::string out = args.Get("out", "calibrated.magneto");
+  const std::string activity = args.Get("activity", "Walk");
+  const double seconds = args.GetDouble("seconds", 25.0);
+  const double intensity = args.GetDouble("user-intensity", 0.8);
+
+  core::SupportSet support = std::move(bundle.value().support);
+  core::EdgeModel model = std::move(bundle).value().ToEdgeModel();
+  auto id = model.registry().IdOf(activity);
+  if (!id.ok()) return Fail(id.status(), "activity lookup");
+
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  if (!lib.count(id.value())) {
+    std::fprintf(stderr, "error: no canonical generator for '%s'\n",
+                 activity.c_str());
+    return 1;
+  }
+  sensors::UserProfile user(99, intensity);
+  sensors::SyntheticGenerator gen(9);
+  sensors::Recording capture =
+      gen.Generate(user.Personalize(lib[id.value()]), seconds);
+
+  std::printf("calibrating '%s' to a user at intensity %.1f...\n",
+              activity.c_str(), intensity);
+  core::IncrementalOptions options;
+  options.train.epochs = 12;
+  options.train.learning_rate = 1e-3;
+  options.train.distill_weight = 1.0;
+  core::IncrementalLearner learner(options);
+  auto report = learner.Calibrate(&model, &support, id.value(), {capture});
+  if (!report.ok()) return Fail(report.status(), "calibrate");
+
+  core::ModelBundle updated;
+  updated.pipeline = model.pipeline();
+  updated.classifier = model.classifier();
+  updated.registry = model.registry();
+  updated.support = std::move(support);
+  updated.backbone = std::move(model.backbone());
+  Status saved = updated.SaveToFile(out);
+  if (!saved.ok()) return Fail(saved, "save");
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdCompress(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const std::string out = args.Get("out", "compressed.magneto");
+  const std::string method = args.Get("method", "int8");
+  const size_t before = bundle.value().SerializedBytes();
+
+  Result<nn::Sequential> compressed = Status::Unimplemented("");
+  if (method == "int8") {
+    compressed = compress::QuantizeBackbone(bundle.value().backbone);
+  } else if (method == "lowrank") {
+    compressed = compress::FactorizeBackbone(bundle.value().backbone,
+                                             args.GetDouble("energy", 0.9));
+  } else if (method == "student") {
+    compress::StudentOptions options;
+    options.dims = {static_cast<size_t>(args.GetInt("student-dims", 64))};
+    options.epochs = 80;
+    compressed = compress::DistillStudent(
+        bundle.value().backbone, bundle.value().support.AsDataset(), options);
+  } else {
+    std::fprintf(stderr, "error: unknown method '%s'\n", method.c_str());
+    return 1;
+  }
+  if (!compressed.ok()) return Fail(compressed.status(), "compress");
+  bundle.value().backbone = std::move(compressed).value();
+
+  // Prototypes must be rebuilt through the compressed embedding.
+  core::SupportSet support = std::move(bundle.value().support);
+  core::EdgeModel model = std::move(bundle).value().ToEdgeModel();
+  Status rebuilt = model.RebuildPrototypes(support);
+  if (!rebuilt.ok()) return Fail(rebuilt, "rebuild prototypes");
+
+  core::ModelBundle updated;
+  updated.pipeline = model.pipeline();
+  updated.classifier = model.classifier();
+  updated.registry = model.registry();
+  updated.support = std::move(support);
+  updated.backbone = std::move(model.backbone());
+  Status saved = updated.SaveToFile(out);
+  if (!saved.ok()) return Fail(saved, "save");
+  std::printf("%s: %.1f KiB -> %.1f KiB (%s)%s\n", out.c_str(),
+              before / 1024.0, updated.SerializedBytes() / 1024.0,
+              method.c_str(),
+              method == "int8" ? "  [inference-only: no on-device updates]"
+                               : "");
+  return 0;
+}
+
+int CmdCollect(const Args& args) {
+  const std::string out = args.Get("out", "campaign.msns");
+  const size_t users = static_cast<size_t>(args.GetInt("users", 8));
+  const double seconds = args.GetDouble("seconds", 8.0);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+  auto corpus = SyntheticCorpus(seed, users, seconds);
+  Status saved = sensors::SaveRecordings(corpus, out);
+  if (!saved.ok()) return Fail(saved, "save campaign");
+  size_t samples = 0;
+  for (const auto& rec : corpus) samples += rec.recording.num_samples();
+  std::printf("wrote %s: %zu recordings, %zu samples (%zu users x 5 "
+              "activities x %.0f s)\n",
+              out.c_str(), corpus.size(), samples, users, seconds);
+  return 0;
+}
+
+int CmdCrossval(const Args& args) {
+  std::vector<sensors::LabeledRecording> corpus;
+  const std::string data = args.Get("data", "");
+  if (!data.empty()) {
+    auto loaded = sensors::LoadRecordings(data);
+    if (!loaded.ok()) return Fail(loaded.status(), "load campaign");
+    corpus = std::move(loaded).value();
+  } else {
+    corpus = SyntheticCorpus(static_cast<uint64_t>(args.GetInt("seed", 11)),
+                             static_cast<size_t>(args.GetInt("users", 8)),
+                             args.GetDouble("seconds", 8.0));
+  }
+  core::CloudConfig config;
+  config.backbone_dims = {128, 64, 32};
+  config.train.epochs = static_cast<size_t>(args.GetInt("epochs", 15));
+  const size_t folds = static_cast<size_t>(args.GetInt("folds", 5));
+  std::printf("%zu-fold recording-level cross-validation over %zu "
+              "recordings...\n",
+              folds, corpus.size());
+  auto report = core::CrossValidateCloud(
+      config, corpus, sensors::ActivityRegistry::BaseActivities(), folds,
+      static_cast<uint64_t>(args.GetInt("seed", 11)));
+  if (!report.ok()) return Fail(report.status(), "cross-validate");
+  for (size_t i = 0; i < report.value().folds.size(); ++i) {
+    const core::FoldResult& fold = report.value().folds[i];
+    std::printf("  fold %zu: accuracy %.1f%% (train %zu / test %zu "
+                "windows)\n",
+                i, fold.accuracy * 100.0, fold.train_windows,
+                fold.test_windows);
+  }
+  std::printf("mean accuracy %.1f%% +- %.1f%%, macro-F1 %.3f\n",
+              report.value().mean_accuracy * 100.0,
+              report.value().stddev_accuracy * 100.0,
+              report.value().mean_macro_f1);
+  return 0;
+}
+
+int CmdExportCsv(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load bundle");
+  auto campaign = sensors::LoadRecordings(args.Get("data", ""));
+  if (!campaign.ok()) return Fail(campaign.status(), "load campaign");
+  auto features = bundle.value().pipeline.ProcessLabeled(campaign.value());
+  if (!features.ok()) return Fail(features.status(), "preprocess");
+  const std::string out = args.Get("out", "features.csv");
+  std::vector<std::string> names;
+  if (bundle.value().pipeline.config().features ==
+      preprocess::FeatureMode::kStatistical) {
+    names = preprocess::FeatureExtractor::FeatureNames();
+  }
+  Status saved = sensors::WriteFeatureCsv(features.value(), names, out);
+  if (!saved.ok()) return Fail(saved, "write csv");
+  std::printf("wrote %s: %zu rows x %zu features\n", out.c_str(),
+              features.value().size(), features.value().dim());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: magneto <pretrain|inspect|simulate|learn|calibrate|compress|"
+               "collect|crossval|export-csv> "
+               "[flags]\n(see the header of tools/magneto_cli.cc)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "pretrain") return CmdPretrain(args);
+  if (command == "inspect") {
+    if (argc < 3) {
+      Usage();
+      return 2;
+    }
+    return CmdInspect(argv[2]);
+  }
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "learn") return CmdLearn(args);
+  if (command == "calibrate") return CmdCalibrate(args);
+  if (command == "compress") return CmdCompress(args);
+  if (command == "collect") return CmdCollect(args);
+  if (command == "crossval") return CmdCrossval(args);
+  if (command == "export-csv") return CmdExportCsv(args);
+  Usage();
+  return 2;
+}
