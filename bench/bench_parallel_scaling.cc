@@ -1,0 +1,199 @@
+// Thread-scaling sweep over the pooled hot paths: GEMM, preprocessing
+// throughput, and one Siamese training epoch, at 1/2/4/8 lanes. Emits
+// BENCH_parallel.json so the perf trajectory is tracked across PRs, and
+// fails (exit 1) if any workload is not bit-identical across thread counts —
+// the determinism contract of the shared runtime (DESIGN.md, "Parallel
+// runtime").
+//
+// Speedups are only meaningful on a machine with that many cores;
+// `hardware_threads` is recorded in the JSON so readers can judge.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// FNV-1a over raw float bytes: bit-exact fingerprint of a result.
+uint64_t Fingerprint(const float* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n * sizeof(float); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct Sample {
+  double seconds = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+/// Best-of-`reps` wall time; the fingerprint must agree across reps.
+template <typename Fn>
+Sample BestOf(size_t reps, Fn fn) {
+  Sample best;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const uint64_t fp = fn();
+    const double s = Seconds(t0, Clock::now());
+    if (r == 0 || s < best.seconds) best.seconds = s;
+    best.fingerprint = fp;
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  double work_units;        // flops for GEMM, windows/examples otherwise
+  std::string units_label;  // what work_units/seconds means
+  std::vector<size_t> threads;
+  std::vector<Sample> samples;  // one per thread count
+};
+
+void Report(const std::vector<Workload>& workloads, bool deterministic) {
+  FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"deterministic_across_thread_counts\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const Workload& wl = workloads[w];
+    const double t1 = wl.samples.front().seconds;
+    std::fprintf(out, "    {\"name\": \"%s\", \"units\": \"%s\",\n",
+                 wl.name.c_str(), wl.units_label.c_str());
+    std::fprintf(out, "     \"runs\": [");
+    for (size_t i = 0; i < wl.threads.size(); ++i) {
+      const Sample& s = wl.samples[i];
+      std::fprintf(out,
+                   "%s{\"threads\": %zu, \"seconds\": %.6f, "
+                   "\"throughput\": %.3f, \"speedup_vs_1t\": %.3f}",
+                   i == 0 ? "" : ", ", wl.threads[i], s.seconds,
+                   wl.work_units / s.seconds / 1e6, t1 / s.seconds);
+    }
+    std::fprintf(out, "]}%s\n", w + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() {
+  using namespace magneto;
+  using namespace magneto::bench;
+
+  const std::vector<size_t> sweep = {1, 2, 4, 8};
+  std::vector<Workload> workloads;
+  bool deterministic = true;
+
+  // --- GEMM: 320^3, the backbone's dominant kernel shape class ---
+  {
+    const size_t dim = 320;
+    Matrix a(dim, dim), b(dim, dim);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = static_cast<float>((i * 2654435761u) % 17) - 8.0f;
+      b.data()[i] = static_cast<float>((i * 40503u) % 13) - 6.0f;
+    }
+    Workload wl{"gemm_320", 2.0 * dim * dim * dim, "Mflop/s", sweep, {}};
+    for (size_t t : sweep) {
+      SetParallelThreads(t);
+      wl.samples.push_back(BestOf(3, [&] {
+        Matrix c = MatMul(a, b);
+        return Fingerprint(c.data(), c.size());
+      }));
+    }
+    workloads.push_back(wl);
+  }
+
+  // --- Preprocessing pipeline throughput over a labeled corpus ---
+  {
+    const auto corpus = BenchCorpus(/*seed=*/21, /*per_class=*/4);
+    preprocess::PipelineConfig config;
+    config.features = preprocess::FeatureMode::kCombined;
+    preprocess::Pipeline pipeline(config);
+    Unwrap(pipeline.Fit(corpus), "pipeline fit");
+    const size_t windows =
+        Unwrap(pipeline.ProcessLabeled(corpus), "pipeline warmup").size();
+    Workload wl{"pipeline_process", static_cast<double>(windows),
+                "Mwindows/s", sweep, {}};
+    for (size_t t : sweep) {
+      SetParallelThreads(t);
+      wl.samples.push_back(BestOf(3, [&] {
+        auto ds = Unwrap(pipeline.ProcessLabeled(corpus), "pipeline process");
+        Matrix m = ds.ToMatrix();
+        return Fingerprint(m.data(), m.size());
+      }));
+    }
+    workloads.push_back(wl);
+  }
+
+  // --- One Siamese training epoch (forward + backward + optimizer) ---
+  {
+    const auto corpus = BenchCorpus(/*seed=*/22, /*per_class=*/6);
+    preprocess::Pipeline pipeline{preprocess::PipelineConfig{}};
+    sensors::FeatureDataset data = Unwrap(pipeline.Fit(corpus), "fit");
+    learn::TrainOptions options;
+    options.epochs = 1;
+    options.batch_size = 64;
+    options.seed = 7;
+    Workload wl{"siamese_epoch", static_cast<double>(data.size()),
+                "Mexamples/s", sweep, {}};
+    for (size_t t : sweep) {
+      SetParallelThreads(t);
+      wl.samples.push_back(BestOf(2, [&] {
+        Rng rng(3);
+        nn::Sequential net = nn::BuildMlp(data.dim(), {256, 128, 64}, &rng);
+        learn::SiameseTrainer trainer(options);
+        Unwrap(trainer.Train(&net, data), "train");
+        uint64_t h = 1469598103934665603ull;
+        for (const Matrix* p : net.Params()) {
+          h ^= Fingerprint(p->data(), p->size());
+        }
+        return h;
+      }));
+    }
+    workloads.push_back(wl);
+  }
+
+  for (const Workload& wl : workloads) {
+    std::printf("%-18s", wl.name.c_str());
+    for (size_t i = 0; i < wl.threads.size(); ++i) {
+      std::printf("  %zut: %8.2f ms (x%.2f)", wl.threads[i],
+                  wl.samples[i].seconds * 1e3,
+                  wl.samples.front().seconds / wl.samples[i].seconds);
+    }
+    std::printf("\n");
+    for (const Sample& s : wl.samples) {
+      if (s.fingerprint != wl.samples.front().fingerprint) {
+        std::fprintf(stderr, "%s: results differ across thread counts!\n",
+                     wl.name.c_str());
+        deterministic = false;
+      }
+    }
+  }
+
+  Report(workloads, deterministic);
+  std::printf("wrote BENCH_parallel.json (hardware threads: %u)\n",
+              std::thread::hardware_concurrency());
+  return deterministic ? 0 : 1;
+}

@@ -8,6 +8,13 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
+# TSan pass over the shared thread pool and the parallel kernels. Forces an
+# oversubscribed pool so races surface even on small CI machines.
+cmake -B build-tsan -G Ninja -DMAGNETO_SANITIZE=thread
+cmake --build build-tsan --target common_test
+MAGNETO_THREADS=8 ./build-tsan/tests/common_test \
+  --gtest_filter='Parallel*:MatMul*:MatrixTest.*'
+
 for b in build/bench/bench_*; do
   echo "== $b =="
   "$b"

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
-#include <thread>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace magneto {
 
@@ -60,7 +61,11 @@ Matrix& Matrix::Scale(float s) {
 
 Matrix& Matrix::Axpy(float s, const Matrix& other) {
   MAGNETO_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, data_.size(), size_t{1} << 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) dst[i] += s * src[i];
+  });
   return *this;
 }
 
@@ -119,10 +124,22 @@ namespace {
 // Tile edge chosen so three float tiles fit comfortably in L1.
 constexpr size_t kTile = 64;
 
-// Work below this many multiply-adds is not worth spawning threads for.
-constexpr size_t kParallelFlopThreshold = 4u << 20;
+// Target multiply-adds per ParallelFor chunk. Grain sizes derived from this
+// depend only on the problem shape (never the worker count), which keeps the
+// chunk decomposition — and therefore the results — identical at any thread
+// count.
+constexpr size_t kFlopsPerChunk = 1u << 21;
 
-/// Tiled ikj kernel over the output-row range [row0, row1).
+/// Rows per chunk so one chunk is roughly kFlopsPerChunk multiply-adds.
+size_t RowGrain(size_t flops_per_row) {
+  return std::max<size_t>(1, kFlopsPerChunk / (flops_per_row + 1));
+}
+
+/// Tiled ikj kernel over the output-row range [row0, row1). The kk loop is
+/// 4-way unrolled into independent axpy streams: branch-free bodies with
+/// contiguous float accumulation that auto-vectorize cleanly. Accumulation
+/// order per output row depends only on the k tiling, so row partitioning
+/// never changes results.
 void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t row0,
                 size_t row1) {
   const size_t k = a.cols(), n = b.cols();
@@ -133,9 +150,20 @@ void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t row0,
       for (size_t i = i0; i < i1; ++i) {
         const float* arow = a.RowPtr(i);
         float* orow = out->RowPtr(i);
-        for (size_t kk = k0; kk < k1; ++kk) {
+        size_t kk = k0;
+        for (; kk + 4 <= k1; kk += 4) {
+          const float a0 = arow[kk], a1 = arow[kk + 1];
+          const float a2 = arow[kk + 2], a3 = arow[kk + 3];
+          const float* b0 = b.RowPtr(kk);
+          const float* b1 = b.RowPtr(kk + 1);
+          const float* b2 = b.RowPtr(kk + 2);
+          const float* b3 = b.RowPtr(kk + 3);
+          for (size_t j = 0; j < n; ++j) {
+            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+        }
+        for (; kk < k1; ++kk) {
           const float av = arow[kk];
-          if (av == 0.0f) continue;
           const float* brow = b.RowPtr(kk);
           for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
         }
@@ -144,37 +172,13 @@ void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t row0,
   }
 }
 
-/// Runs `work(row0, row1)` over [0, rows) on up to hardware_concurrency
-/// threads when the problem is large enough. Row-partitioned: each output
-/// row is written by exactly one thread, so results are bit-identical to
-/// the serial kernel.
-template <typename Work>
-void ParallelOverRows(size_t rows, size_t flops, const Work& work) {
-  size_t threads = std::thread::hardware_concurrency();
-  threads = std::min<size_t>({threads == 0 ? 1 : threads, 8, rows});
-  if (threads <= 1 || flops < kParallelFlopThreshold) {
-    work(0, rows);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  const size_t chunk = (rows + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t row0 = t * chunk;
-    const size_t row1 = std::min(rows, row0 + chunk);
-    if (row0 >= row1) break;
-    pool.emplace_back([&work, row0, row1] { work(row0, row1); });
-  }
-  for (std::thread& th : pool) th.join();
-}
-
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   MAGNETO_CHECK(a.cols() == b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix out(m, n);
-  ParallelOverRows(m, m * k * n, [&](size_t row0, size_t row1) {
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t row0, size_t row1) {
     MatMulRows(a, b, &out, row0, row1);
   });
   return out;
@@ -184,16 +188,21 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   MAGNETO_CHECK(a.rows() == b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   Matrix out(m, n);
-  for (size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.RowPtr(kk);
-    const float* brow = b.RowPtr(kk);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Partitioned over output rows (columns of a): each row of the result is
+  // accumulated over kk by exactly one chunk, in the same order as the serial
+  // loop, so results are bit-identical at any thread count. b's rows stream
+  // through each chunk once per kk, as in the serial kernel.
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t i0, size_t i1) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.RowPtr(kk);
+      const float* brow = b.RowPtr(kk);
+      for (size_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        float* orow = out.RowPtr(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -201,7 +210,7 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   MAGNETO_CHECK(a.cols() == b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix out(m, n);
-  ParallelOverRows(m, m * k * n, [&](size_t row0, size_t row1) {
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t row0, size_t row1) {
     for (size_t i = row0; i < row1; ++i) {
       const float* arow = a.RowPtr(i);
       float* orow = out.RowPtr(i);
@@ -222,19 +231,42 @@ Matrix VStack(const Matrix& top, const Matrix& bottom) {
   return out;
 }
 
+// Dot and SquaredL2 use four independent float accumulators: the streams
+// break the loop-carried dependency so the compiler can keep one vector
+// register per stream, and the fixed combine order keeps results identical
+// for a given n regardless of the calling context.
+
 float SquaredL2(const float* a, const float* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
   }
-  return static_cast<float>(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 float Dot(const float* a, const float* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(acc);
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 }  // namespace magneto

@@ -14,7 +14,10 @@ namespace magneto {
 /// This is the numeric workhorse under `magneto::nn`. Single precision is a
 /// deliberate choice: the paper sizes its Edge payload in "32-bit precision"
 /// (200 observations/class ~= 0.5 MB), so the on-device numeric type is
-/// float32. All heavy kernels (GEMM) are cache-tiled but dependency-free.
+/// float32. All heavy kernels (GEMM, Axpy) are cache-tiled, branch-free in
+/// the inner loop, and run on the shared `ThreadPool` (common/parallel.h)
+/// partitioned by output row — results are bit-identical at any thread
+/// count.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -1,0 +1,206 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace magneto {
+
+namespace {
+
+/// True while the current thread is executing chunks (worker threads always,
+/// the submitting thread for the duration of a region). Nested ParallelFor
+/// calls see it and run inline instead of deadlocking on the shared job slot.
+thread_local bool t_inside_pool = false;
+
+struct InsidePoolGuard {
+  bool saved = t_inside_pool;
+  InsidePoolGuard() { t_inside_pool = true; }
+  ~InsidePoolGuard() { t_inside_pool = saved; }
+};
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("MAGNETO_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+/// One in-flight parallel region. Workers pull chunk indices from an atomic
+/// counter; the last finished chunk wakes the submitting thread. The job is
+/// heap-held (shared_ptr) because a late-waking worker may still poke the
+/// chunk counter after the submitter has already observed completion.
+struct ThreadPool::Impl {
+  struct Job {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t num_chunks = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::exception_ptr error;  // first captured exception, under error_mutex
+    std::mutex error_mutex;
+  };
+
+  std::mutex mutex;                 // guards job/epoch/stop and cv waits
+  std::condition_variable work_cv;  // workers wait here for a new epoch
+  std::condition_variable done_cv;  // the submitter waits here
+  std::shared_ptr<Job> job;
+  uint64_t epoch = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+  // Serialises external submitters; nested calls never take this path.
+  std::mutex submit_mutex;
+
+  void RunChunks(Job* j) {
+    for (;;) {
+      const size_t c = j->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= j->num_chunks) return;
+      const size_t b = j->begin + c * j->grain;
+      const size_t e = std::min(j->end, b + j->grain);
+      try {
+        (*j->fn)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(j->error_mutex);
+        if (!j->error) j->error = std::current_exception();
+      }
+      if (j->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          j->num_chunks) {
+        // Last chunk: wake the submitter. Take the pool mutex so the wake
+        // cannot race ahead of the submitter's wait.
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_inside_pool = true;
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Job> j;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] {
+          return stop || (job != nullptr && epoch != seen_epoch);
+        });
+        if (stop) return;
+        seen_epoch = epoch;
+        j = job;
+      }
+      RunChunks(j.get());
+    }
+  }
+
+  void StartWorkers(size_t n) {
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+    std::lock_guard<std::mutex> lock(mutex);
+    stop = false;
+  }
+};
+
+ThreadPool::ThreadPool(size_t threads) : impl_(new Impl) {
+  impl_->StartWorkers(threads > 0 ? threads - 1 : 0);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->StopWorkers();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads must outlive static destructors of
+  // translation units that might still issue ParallelFor during teardown.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+size_t ThreadPool::thread_count() const { return impl_->workers.size() + 1; }
+
+void ThreadPool::SetThreadCount(size_t n) {
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  impl_->StopWorkers();
+  impl_->StartWorkers(n > 0 ? n - 1 : 0);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial path: nested call, single-lane pool, or a range that fits in one
+  // chunk. Walk the identical chunk sequence so per-chunk kernels see the
+  // same subranges as the threaded path.
+  if (t_inside_pool || impl_->workers.empty() || num_chunks == 1) {
+    InsidePoolGuard guard;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t b = begin + c * grain;
+      const size_t e = std::min(end, b + grain);
+      fn(b, e);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  auto job = std::make_shared<Impl::Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->epoch;
+  }
+  impl_->work_cv.notify_all();
+  {
+    InsidePoolGuard guard;
+    impl_->RunChunks(job.get());
+  }
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return job->done_chunks.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+size_t ParallelThreads() { return ThreadPool::Global().thread_count(); }
+
+void SetParallelThreads(size_t n) { ThreadPool::Global().SetThreadCount(n); }
+
+}  // namespace magneto

@@ -1,0 +1,68 @@
+#ifndef MAGNETO_COMMON_PARALLEL_H_
+#define MAGNETO_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace magneto {
+
+/// Shared intra-op parallel runtime.
+///
+/// One lazily-initialised global pool serves every hot path (GEMM, the
+/// preprocessing pipeline, trainer batch assembly, classifier construction).
+/// Work is expressed through `ParallelFor`, which splits [begin, end) into
+/// chunks of at most `grain` indices. The chunk decomposition depends only on
+/// (begin, end, grain) — never on the worker count — and every chunk covers a
+/// disjoint index range, so any kernel whose per-index output is independent
+/// of the partitioning produces bit-identical results at every thread count.
+/// The serial fallback walks the exact same chunk sequence.
+///
+/// Thread count resolution, in priority order:
+///   1. `SetParallelThreads(n)` (tests and benchmarks; takes effect on the
+///      next ParallelFor),
+///   2. the `MAGNETO_THREADS` environment variable, read once at first use,
+///   3. `std::thread::hardware_concurrency()`.
+///
+/// Nested `ParallelFor` calls (from inside a worker) run serially inline —
+/// the outer loop already owns the pool. Exceptions thrown by `fn` are
+/// captured and rethrown on the calling thread after all chunks finish.
+class ThreadPool {
+ public:
+  /// The process-wide pool. First call reads MAGNETO_THREADS and spawns
+  /// workers; subsequent calls are a plain atomic load.
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the calling thread).
+  size_t thread_count() const;
+
+  /// Resizes the pool to `n` total lanes (min 1). Joins existing workers
+  /// first; safe to call between parallel regions, not from inside one.
+  void SetThreadCount(size_t n);
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into chunks of
+  /// at most `grain` indices (grain 0 is treated as 1). Blocks until every
+  /// chunk is done. The caller participates in the work. Empty ranges return
+  /// immediately without invoking `fn`.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  explicit ThreadPool(size_t threads);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience wrappers over ThreadPool::Global().
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+size_t ParallelThreads();
+void SetParallelThreads(size_t n);
+
+}  // namespace magneto
+
+#endif  // MAGNETO_COMMON_PARALLEL_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "common/parallel.h"
+
 namespace magneto::core {
 
 Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
@@ -41,12 +43,18 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding,
                                    std::to_string(dim_));
   }
 
-  // Distances to all exemplars; partial sort for the k nearest.
-  std::vector<std::pair<double, size_t>> dist(labels_.size());
-  for (size_t i = 0; i < labels_.size(); ++i) {
-    dist[i] = {std::sqrt(SquaredL2(embedding, embeddings_.RowPtr(i), dim_)),
-               i};
-  }
+  // Squared distances to all exemplars; ranking by squared distance is
+  // order-identical (sqrt is monotone), so the single sqrt per reported
+  // neighbour is deferred to the vote/margin computation below. The scratch
+  // buffer is reused across calls to keep the per-query cost allocation-free.
+  static thread_local std::vector<std::pair<float, uint32_t>> dist;
+  dist.resize(labels_.size());
+  ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      dist[i] = {SquaredL2(embedding, embeddings_.RowPtr(i), dim_),
+                 static_cast<uint32_t>(i)};
+    }
+  });
   const size_t k = std::min(options_.k, dist.size());
   std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
 
@@ -54,7 +62,8 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding,
   std::map<sensors::ActivityId, double> nearest;
   double total_vote = 0.0;
   for (size_t j = 0; j < k; ++j) {
-    const auto& [d, idx] = dist[j];
+    const auto& [d2, idx] = dist[j];
+    const double d = std::sqrt(static_cast<double>(d2));
     const sensors::ActivityId label = labels_[idx];
     const double w = options_.distance_weighted ? 1.0 / (d + 1e-6) : 1.0;
     votes[label] += w;

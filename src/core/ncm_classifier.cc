@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace magneto::core {
 
@@ -27,14 +28,44 @@ Result<NcmClassifier> NcmClassifier::FromSupportSet(const SupportSet& support,
   if (embedder == nullptr) {
     return Status::InvalidArgument("embedder must not be null");
   }
-  NcmClassifier ncm;
-  for (sensors::ActivityId id : support.Classes()) {
-    MAGNETO_ASSIGN_OR_RETURN(Matrix exemplars, support.ClassExemplars(id));
-    Matrix embeddings = embedder->Embed(exemplars);
-    MAGNETO_RETURN_IF_ERROR(ncm.SetPrototypeFromEmbeddings(id, embeddings));
-  }
-  if (ncm.num_classes() == 0) {
+  const std::vector<sensors::ActivityId> ids = support.Classes();
+  if (ids.empty()) {
     return Status::InvalidArgument("support set is empty");
+  }
+
+  // Stack every class's exemplars and embed them in one batched forward:
+  // one large pool-parallel GEMM per layer instead of num_classes small
+  // ones. Row-wise kernels make the stacked embeddings identical to the
+  // per-class ones, so the prototypes are unchanged.
+  std::vector<Matrix> exemplars;
+  exemplars.reserve(ids.size());
+  size_t total_rows = 0;
+  size_t dim = 0;
+  for (sensors::ActivityId id : ids) {
+    MAGNETO_ASSIGN_OR_RETURN(Matrix m, support.ClassExemplars(id));
+    if (m.rows() == 0) {
+      return Status::InvalidArgument("no embeddings for class " +
+                                     std::to_string(id));
+    }
+    total_rows += m.rows();
+    dim = m.cols();
+    exemplars.push_back(std::move(m));
+  }
+  Matrix stacked(total_rows, dim);
+  size_t row = 0;
+  for (const Matrix& m : exemplars) {
+    std::memcpy(stacked.RowPtr(row), m.data(), m.size() * sizeof(float));
+    row += m.rows();
+  }
+  Matrix embeddings = embedder->Embed(stacked);
+
+  NcmClassifier ncm;
+  row = 0;
+  for (size_t c = 0; c < ids.size(); ++c) {
+    const size_t rows = exemplars[c].rows();
+    MAGNETO_RETURN_IF_ERROR(ncm.SetPrototypeFromEmbeddings(
+        ids[c], embeddings.RowSlice(row, row + rows)));
+    row += rows;
   }
   return ncm;
 }

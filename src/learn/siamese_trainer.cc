@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "learn/pair_sampler.h"
 
@@ -11,23 +12,31 @@ namespace magneto::learn {
 
 namespace {
 
+// Rows per chunk when gathering batch rows: pure memcpy, so chunks need to
+// be large for the dispatch to pay off.
+constexpr size_t kGatherGrain = 256;
+
 /// Copies the dataset rows at `indices` into a batch matrix.
 Matrix GatherRows(const sensors::FeatureDataset& data,
                   const std::vector<size_t>& indices) {
   Matrix out(indices.size(), data.dim());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    std::memcpy(out.RowPtr(i), data.Row(indices[i]),
-                data.dim() * sizeof(float));
-  }
+  ParallelFor(0, indices.size(), kGatherGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      std::memcpy(out.RowPtr(i), data.Row(indices[i]),
+                  data.dim() * sizeof(float));
+    }
+  });
   return out;
 }
 
 Matrix GatherRows(const Matrix& source, const std::vector<size_t>& indices) {
   Matrix out(indices.size(), source.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    std::memcpy(out.RowPtr(i), source.RowPtr(indices[i]),
-                source.cols() * sizeof(float));
-  }
+  ParallelFor(0, indices.size(), kGatherGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      std::memcpy(out.RowPtr(i), source.RowPtr(indices[i]),
+                  source.cols() * sizeof(float));
+    }
+  });
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/serial.h"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace magneto::nn {
 
@@ -77,15 +78,17 @@ void Adam::Step() {
     const float* gd = g.data();
     float* md = m.data();
     float* vd = v.data();
-    for (size_t j = 0; j < p.size(); ++j) {
-      md[j] = static_cast<float>(b1 * md[j] + (1.0 - b1) * gd[j]);
-      vd[j] = static_cast<float>(b2 * vd[j] +
-                                 (1.0 - b2) * static_cast<double>(gd[j]) *
-                                     gd[j]);
-      const double mhat = md[j] / bc1;
-      const double vhat = vd[j] / bc2;
-      pd[j] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
-    }
+    ParallelFor(0, p.size(), size_t{1} << 16, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        md[j] = static_cast<float>(b1 * md[j] + (1.0 - b1) * gd[j]);
+        vd[j] = static_cast<float>(b2 * vd[j] +
+                                   (1.0 - b2) * static_cast<double>(gd[j]) *
+                                       gd[j]);
+        const double mhat = md[j] / bc1;
+        const double vhat = vd[j] / bc2;
+        pd[j] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
+      }
+    });
     if (wd != 0.0f) p.Scale(1.0f - static_cast<float>(lr) * wd);
   }
 }

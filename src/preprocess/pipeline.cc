@@ -1,6 +1,21 @@
 #include "preprocess/pipeline.h"
 
+#include "common/parallel.h"
+
 namespace magneto::preprocess {
+
+namespace {
+
+/// Returns the first non-OK status in `statuses`, or OK. Scanning in index
+/// order keeps the reported error identical to the serial loop's.
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 size_t FeatureDim(FeatureMode mode) {
   switch (mode) {
@@ -62,17 +77,57 @@ Result<std::vector<float>> Pipeline::Featurize(const Matrix& window) const {
 
 Result<sensors::FeatureDataset> Pipeline::RawFeatures(
     const std::vector<sensors::LabeledRecording>& recordings) const {
-  sensors::FeatureDataset out;
-  for (const sensors::LabeledRecording& labeled : recordings) {
-    MAGNETO_ASSIGN_OR_RETURN(
-        Matrix denoised, Denoise(labeled.recording.samples, config_.denoise));
-    MAGNETO_ASSIGN_OR_RETURN(std::vector<Matrix> windows,
-                             Segment(denoised, config_.segmentation));
-    for (const Matrix& window : windows) {
-      MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features,
-                               Featurize(window));
-      out.Append(features, labeled.label);
+  // Stage 1: denoise + segment, one recording per work item.
+  const size_t n = recordings.size();
+  std::vector<std::vector<Matrix>> windows(n);
+  std::vector<Status> seg_status(n, Status::Ok());
+  ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Result<Matrix> denoised =
+          Denoise(recordings[i].recording.samples, config_.denoise);
+      if (!denoised.ok()) {
+        seg_status[i] = denoised.status();
+        continue;
+      }
+      Result<std::vector<Matrix>> segs =
+          Segment(denoised.value(), config_.segmentation);
+      if (!segs.ok()) {
+        seg_status[i] = segs.status();
+        continue;
+      }
+      windows[i] = std::move(segs).value();
     }
+  });
+  MAGNETO_RETURN_IF_ERROR(FirstError(seg_status));
+
+  // Stage 2: featurize every window. The flattened work list preserves
+  // (recording, window) order, so the assembled dataset matches the serial
+  // loop row for row.
+  std::vector<const Matrix*> work;
+  std::vector<sensors::ActivityId> work_labels;
+  for (size_t i = 0; i < n; ++i) {
+    for (const Matrix& w : windows[i]) {
+      work.push_back(&w);
+      work_labels.push_back(recordings[i].label);
+    }
+  }
+  std::vector<std::vector<float>> features(work.size());
+  std::vector<Status> feat_status(work.size(), Status::Ok());
+  ParallelFor(0, work.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Result<std::vector<float>> f = Featurize(*work[i]);
+      if (f.ok()) {
+        features[i] = std::move(f).value();
+      } else {
+        feat_status[i] = f.status();
+      }
+    }
+  });
+  MAGNETO_RETURN_IF_ERROR(FirstError(feat_status));
+
+  sensors::FeatureDataset out;
+  for (size_t i = 0; i < work.size(); ++i) {
+    out.Append(features[i], work_labels[i]);
   }
   return out;
 }
@@ -109,13 +164,20 @@ Result<std::vector<std::vector<float>>> Pipeline::Process(
                            Denoise(recording.samples, config_.denoise));
   MAGNETO_ASSIGN_OR_RETURN(std::vector<Matrix> windows,
                            Segment(denoised, config_.segmentation));
-  std::vector<std::vector<float>> out;
-  out.reserve(windows.size());
-  for (const Matrix& window : windows) {
-    MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features, Featurize(window));
-    MAGNETO_RETURN_IF_ERROR(normalizer_.Apply(&features));
-    out.push_back(std::move(features));
-  }
+  std::vector<std::vector<float>> out(windows.size());
+  std::vector<Status> status(windows.size(), Status::Ok());
+  ParallelFor(0, windows.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Result<std::vector<float>> features = Featurize(windows[i]);
+      if (!features.ok()) {
+        status[i] = features.status();
+        continue;
+      }
+      out[i] = std::move(features).value();
+      status[i] = normalizer_.Apply(&out[i]);
+    }
+  });
+  MAGNETO_RETURN_IF_ERROR(FirstError(status));
   return out;
 }
 

@@ -1,0 +1,123 @@
+// Determinism contract of the shared parallel runtime: every pooled hot path
+// must produce bit-identical results at any thread count (DESIGN.md,
+// "Parallel runtime"). These tests run each workload at 1 and 8 lanes and
+// compare raw float bits.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "magneto.h"
+
+namespace magneto {
+namespace {
+
+/// Runs `fn` at `threads` lanes and restores the previous pool size.
+template <typename Fn>
+auto WithThreads(size_t threads, Fn fn) {
+  const size_t saved = ParallelThreads();
+  SetParallelThreads(threads);
+  auto result = fn();
+  SetParallelThreads(saved);
+  return result;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": outputs differ between thread counts";
+}
+
+Matrix PseudoRandomMatrix(size_t rows, size_t cols, uint64_t salt) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] =
+        static_cast<float>(((i + salt) * 2654435761u) % 1009) / 503.0f - 1.0f;
+  }
+  return m;
+}
+
+TEST(ParallelDeterminismTest, MatMulFamilyBitIdenticalAcrossThreadCounts) {
+  const Matrix a = PseudoRandomMatrix(300, 217, 1);
+  const Matrix b = PseudoRandomMatrix(217, 190, 2);
+  const Matrix bt = PseudoRandomMatrix(190, 217, 3);
+  const Matrix at = PseudoRandomMatrix(217, 300, 4);
+
+  auto run = [&] {
+    return std::tuple{MatMul(a, b), MatMulTransA(at, b), MatMulTransB(a, bt)};
+  };
+  auto serial = WithThreads(1, run);
+  auto threaded = WithThreads(8, run);
+  ExpectBitIdentical(std::get<0>(serial), std::get<0>(threaded), "MatMul");
+  ExpectBitIdentical(std::get<1>(serial), std::get<1>(threaded),
+                     "MatMulTransA");
+  ExpectBitIdentical(std::get<2>(serial), std::get<2>(threaded),
+                     "MatMulTransB");
+}
+
+TEST(ParallelDeterminismTest, PipelineBitIdenticalAcrossThreadCounts) {
+  sensors::SyntheticGenerator gen(17);
+  const std::vector<sensors::LabeledRecording> corpus =
+      gen.GenerateDataset(sensors::DefaultActivityLibrary(), 2, 6.0);
+
+  auto run = [&] {
+    preprocess::PipelineConfig config;
+    config.features = preprocess::FeatureMode::kCombined;
+    preprocess::Pipeline pipeline(config);
+    auto fitted = pipeline.Fit(corpus);
+    EXPECT_TRUE(fitted.ok()) << fitted.status().ToString();
+    auto processed = pipeline.ProcessLabeled(corpus);
+    EXPECT_TRUE(processed.ok()) << processed.status().ToString();
+    return std::pair{std::move(fitted).value().ToMatrix(),
+                     std::move(processed).value().ToMatrix()};
+  };
+  auto serial = WithThreads(1, run);
+  auto threaded = WithThreads(8, run);
+  ExpectBitIdentical(serial.first, threaded.first, "Pipeline::Fit");
+  ExpectBitIdentical(serial.second, threaded.second,
+                     "Pipeline::ProcessLabeled");
+}
+
+TEST(ParallelDeterminismTest, SiameseTrainingBitIdenticalAcrossThreadCounts) {
+  // Gaussian-ish blobs, two classes; small net, two epochs.
+  sensors::FeatureDataset data;
+  for (size_t i = 0; i < 64; ++i) {
+    std::vector<float> x(16);
+    const int label = static_cast<int>(i % 2);
+    for (size_t j = 0; j < x.size(); ++j) {
+      x[j] = (label ? 1.0f : -1.0f) +
+             static_cast<float>(((i * 31 + j * 7) % 13)) / 13.0f;
+    }
+    data.Append(x, label);
+  }
+
+  auto run = [&] {
+    Rng rng(99);
+    nn::Sequential net = nn::BuildMlp(16, {32, 8}, &rng);
+    learn::TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 16;
+    options.seed = 5;
+    learn::SiameseTrainer trainer(options);
+    auto report = trainer.Train(&net, data);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    std::vector<Matrix> params;
+    for (const Matrix* p : net.Params()) params.push_back(*p);
+    return std::pair{std::move(params), report.value().epochs};
+  };
+  auto serial = WithThreads(1, run);
+  auto threaded = WithThreads(8, run);
+  ASSERT_EQ(serial.first.size(), threaded.first.size());
+  for (size_t i = 0; i < serial.first.size(); ++i) {
+    ExpectBitIdentical(serial.first[i], threaded.first[i], "trainer params");
+  }
+  ASSERT_EQ(serial.second.size(), threaded.second.size());
+  for (size_t e = 0; e < serial.second.size(); ++e) {
+    EXPECT_EQ(serial.second[e].embedding_loss, threaded.second[e].embedding_loss)
+        << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace magneto
