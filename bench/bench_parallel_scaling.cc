@@ -64,35 +64,37 @@ struct Workload {
 };
 
 void Report(const std::vector<Workload>& workloads, bool deterministic) {
-  FILE* out = std::fopen("BENCH_parallel.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
-    std::exit(1);
-  }
-  std::fprintf(out, "{\n  \"bench\": \"parallel_scaling\",\n");
-  std::fprintf(out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"deterministic_across_thread_counts\": %s,\n",
-               deterministic ? "true" : "false");
-  std::fprintf(out, "  \"workloads\": [\n");
-  for (size_t w = 0; w < workloads.size(); ++w) {
-    const Workload& wl = workloads[w];
+  obs::JsonWriter json = BenchJson("parallel_scaling");
+  json.Field("hardware_threads", std::thread::hardware_concurrency())
+      .Field("deterministic_across_thread_counts", deterministic)
+      .Key("workloads")
+      .BeginArray();
+  for (const Workload& wl : workloads) {
     const double t1 = wl.samples.front().seconds;
-    std::fprintf(out, "    {\"name\": \"%s\", \"units\": \"%s\",\n",
-                 wl.name.c_str(), wl.units_label.c_str());
-    std::fprintf(out, "     \"runs\": [");
+    json.BeginObject()
+        .Field("name", wl.name)
+        .Field("units", wl.units_label)
+        .Key("runs")
+        .BeginArray();
     for (size_t i = 0; i < wl.threads.size(); ++i) {
       const Sample& s = wl.samples[i];
-      std::fprintf(out,
-                   "%s{\"threads\": %zu, \"seconds\": %.6f, "
-                   "\"throughput\": %.3f, \"speedup_vs_1t\": %.3f}",
-                   i == 0 ? "" : ", ", wl.threads[i], s.seconds,
-                   wl.work_units / s.seconds / 1e6, t1 / s.seconds);
+      json.BeginObject()
+          .Field("threads", static_cast<uint64_t>(wl.threads[i]))
+          .Field("seconds", s.seconds)
+          .Field("throughput", wl.work_units / s.seconds / 1e6)
+          .Field("speedup_vs_1t", t1 / s.seconds)
+          .EndObject();
     }
-    std::fprintf(out, "]}%s\n", w + 1 < workloads.size() ? "," : "");
+    json.EndArray().EndObject();
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  json.EndArray().EndObject();
+  if (!json.WriteToFile("BENCH_parallel.json")) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    std::exit(1);
+  }
+  // The run's own telemetry rides along: counters/histograms filled by the
+  // instrumented runtime while the sweep executed.
+  WriteMetricsSnapshot("BENCH_parallel.metrics.json");
 }
 
 }  // namespace

@@ -3,11 +3,38 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "magneto.h"
 
 namespace magneto::bench {
+
+/// Version of the BENCH_*.json layout. Bump when a field changes meaning so
+/// downstream tooling can tell old artifacts from new ones. v2: emitted via
+/// obs::JsonWriter, top-level {"schema_version", "bench", ...}.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Starts a BENCH_*.json document with the common header fields. The caller
+/// fills in bench-specific fields and closes the root object.
+inline obs::JsonWriter BenchJson(const std::string& bench_name) {
+  obs::JsonWriter json(/*pretty=*/true);
+  json.BeginObject()
+      .Field("schema_version", kBenchSchemaVersion)
+      .Field("bench", bench_name);
+  return json;
+}
+
+/// Dumps the process-wide metrics registry next to a bench's main artifact
+/// (e.g. BENCH_parallel.metrics.json) so each bench run leaves its telemetry
+/// behind. Exits on I/O failure like the other bench helpers.
+inline void WriteMetricsSnapshot(const std::string& path) {
+  const std::string json = obs::Registry::Global().TakeSnapshot().ToJson();
+  if (!obs::WriteStringToFile(json, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
 
 /// Benchmark-sized cloud configuration (same shape as the examples').
 inline core::CloudConfig BenchCloudConfig() {

@@ -11,9 +11,27 @@ ctest --test-dir build -j"$(nproc)" --output-on-failure
 # TSan pass over the shared thread pool and the parallel kernels. Forces an
 # oversubscribed pool so races surface even on small CI machines.
 cmake -B build-tsan -G Ninja -DMAGNETO_SANITIZE=thread
-cmake --build build-tsan --target common_test
+cmake --build build-tsan --target common_test obs_test
 MAGNETO_THREADS=8 ./build-tsan/tests/common_test \
-  --gtest_filter='Parallel*:MatMul*:MatrixTest.*'
+  --gtest_filter='Parallel*:MatMul*:MatrixTest.*:Logging*'
+# Telemetry under TSan with tracing forced on: the metrics registry and the
+# per-thread trace rings must stay race-free while the pool hammers them.
+MAGNETO_THREADS=8 MAGNETO_TRACE=1 ./build-tsan/tests/obs_test
+
+# CLI telemetry smoke: every run must leave a parseable metrics snapshot and
+# a trace with events.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/tools/magneto pretrain --out "$smoke_dir/m.magneto" \
+  --users 3 --epochs 3 --metrics-out "$smoke_dir/pretrain_metrics.json"
+./build/tools/magneto simulate --bundle "$smoke_dir/m.magneto" --seconds 3 \
+  --metrics-out "$smoke_dir/metrics.json" --trace-out "$smoke_dir/trace.json"
+for f in pretrain_metrics.json metrics.json trace.json; do
+  [ -s "$smoke_dir/$f" ] || { echo "missing/empty $f" >&2; exit 1; }
+done
+grep -q '"schema_version"' "$smoke_dir/metrics.json"
+grep -q '"traceEvents"' "$smoke_dir/trace.json"
+grep -q '"ph":"B"' "$smoke_dir/trace.json"
 
 for b in build/bench/bench_*; do
   echo "== $b =="

@@ -1,14 +1,26 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
 
 namespace magneto {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+constexpr int kLevelUnset = -1;
+
+/// kLevelUnset until the first read latches MAGNETO_LOG_LEVEL.
+std::atomic<int> g_min_level{kLevelUnset};
+
+/// Guards g_sink; log emission is not a hot path.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = stderr default
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +43,40 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+int LatchLevelFromEnv() {
+  int level = static_cast<int>(LogLevel::kInfo);
+  if (const char* env = std::getenv("MAGNETO_LOG_LEVEL")) {
+    if (auto parsed = LogConfig::ParseLevel(env)) {
+      level = static_cast<int>(*parsed);
+    }
+  }
+  int expected = kLevelUnset;
+  g_min_level.compare_exchange_strong(expected, level,
+                                      std::memory_order_relaxed);
+  return g_min_level.load(std::memory_order_relaxed);
+}
+
+obs::Counter* LineCounter(LogLevel level) {
+  static obs::Counter* const debug =
+      obs::Registry::Global().GetCounter("log.debug");
+  static obs::Counter* const info =
+      obs::Registry::Global().GetCounter("log.info");
+  static obs::Counter* const warning =
+      obs::Registry::Global().GetCounter("log.warning");
+  static obs::Counter* const error =
+      obs::Registry::Global().GetCounter("log.error");
+  switch (level) {
+    case LogLevel::kDebug:
+      return debug;
+    case LogLevel::kInfo:
+      return info;
+    case LogLevel::kWarning:
+      return warning;
+    default:
+      return error;  // kError and kFatal both count as errors
+  }
+}
+
 }  // namespace
 
 void LogConfig::SetMinLevel(LogLevel level) {
@@ -38,13 +84,39 @@ void LogConfig::SetMinLevel(LogLevel level) {
 }
 
 LogLevel LogConfig::min_level() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  const int level = g_min_level.load(std::memory_order_relaxed);
+  return static_cast<LogLevel>(level == kLevelUnset ? LatchLevelFromEnv()
+                                                    : level);
+}
+
+std::optional<LogLevel> LogConfig::ParseLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "fatal" || lower == "4") return LogLevel::kFatal;
+  return std::nullopt;
+}
+
+void LogConfig::SetSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
 }
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
+      file_(file),
+      line_(line),
       enabled_(static_cast<int>(level) >=
                static_cast<int>(LogConfig::min_level())) {
   if (enabled_) {
@@ -55,8 +127,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    LineCounter(level_)->Increment();
+    const std::string message = stream_.str();
+    LogSink sink;
+    {
+      std::lock_guard<std::mutex> lock(g_sink_mutex);
+      sink = g_sink;  // copy so a slow sink doesn't serialize all logging
+    }
+    if (sink) {
+      sink(level_, file_, line_, message);
+    } else {
+      std::fprintf(stderr, "%s\n", message.c_str());
+      std::fflush(stderr);
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -2,8 +2,11 @@
 #define MAGNETO_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace magneto {
 
@@ -16,18 +19,36 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
-/// Global log configuration. Thread-compatible: set the level once at startup.
+/// Receives every emitted log line. `message` is the full formatted line
+/// ("[LEVEL file:line] text"). Must be thread-safe: log statements come from
+/// worker threads too.
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& message)>;
+
+/// Global log configuration. Thread-safe.
 class LogConfig {
  public:
   /// Messages below `level` are discarded.
   static void SetMinLevel(LogLevel level);
+
+  /// The active threshold. The first call latches `MAGNETO_LOG_LEVEL` from
+  /// the environment (name or number, see `ParseLevel`); default kInfo.
   static LogLevel min_level();
+
+  /// "debug"/"info"/"warn"/"warning"/"error"/"fatal" (any case) or "0".."4".
+  static std::optional<LogLevel> ParseLevel(std::string_view text);
+
+  /// Routes log lines somewhere other than stderr (e.g. a test capture).
+  /// An empty sink restores the stderr default. `kFatal` still aborts after
+  /// the sink runs.
+  static void SetSink(LogSink sink);
 };
 
 namespace internal_logging {
 
-/// Accumulates one log line and emits it (to stderr) on destruction.
-/// `kFatal` messages abort the process after emission.
+/// Accumulates one log line and emits it (to the configured sink, stderr by
+/// default) on destruction. `kFatal` messages abort the process after
+/// emission.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -44,6 +65,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   bool enabled_;
   std::ostringstream stream_;
 };

@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,9 +10,36 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magneto {
 
 namespace {
+
+/// Static handles: registry lookup happens once per process, the hot path
+/// only touches the atomics behind the pointers.
+struct PoolMetrics {
+  obs::Counter* regions =
+      obs::Registry::Global().GetCounter("parallel.regions");
+  obs::Counter* serial_regions =
+      obs::Registry::Global().GetCounter("parallel.regions_serial");
+  obs::Counter* chunks = obs::Registry::Global().GetCounter("parallel.chunks");
+  obs::Counter* worker_chunks =
+      obs::Registry::Global().GetCounter("parallel.chunks_worker");
+  obs::Counter* submitter_chunks =
+      obs::Registry::Global().GetCounter("parallel.chunks_submitter");
+  obs::Histogram* region_us =
+      obs::Registry::Global().GetHistogram("parallel.region_us");
+  obs::Histogram* submit_wait_us =
+      obs::Registry::Global().GetHistogram("parallel.submit_wait_us");
+  obs::Gauge* threads = obs::Registry::Global().GetGauge("parallel.threads");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics;
+  return *metrics;
+}
 
 /// True while the current thread is executing chunks (worker threads always,
 /// the submitting thread for the duration of a region). Nested ParallelFor
@@ -63,10 +91,13 @@ struct ThreadPool::Impl {
   // Serialises external submitters; nested calls never take this path.
   std::mutex submit_mutex;
 
-  void RunChunks(Job* j) {
+  /// `chunk_counter` attributes executed chunks to worker vs submitter
+  /// lanes (the per-worker utilization split in the metrics snapshot).
+  void RunChunks(Job* j, obs::Counter* chunk_counter) {
     for (;;) {
       const size_t c = j->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= j->num_chunks) return;
+      chunk_counter->Increment();
       const size_t b = j->begin + c * j->grain;
       const size_t e = std::min(j->end, b + j->grain);
       try {
@@ -99,7 +130,7 @@ struct ThreadPool::Impl {
         seen_epoch = epoch;
         j = job;
       }
-      RunChunks(j.get());
+      RunChunks(j.get(), Metrics().worker_chunks);
     }
   }
 
@@ -125,6 +156,7 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(size_t threads) : impl_(new Impl) {
   impl_->StartWorkers(threads > 0 ? threads - 1 : 0);
+  Metrics().threads->Set(static_cast<double>(thread_count()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -145,6 +177,7 @@ void ThreadPool::SetThreadCount(size_t n) {
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
   impl_->StopWorkers();
   impl_->StartWorkers(n > 0 ? n - 1 : 0);
+  Metrics().threads->Set(static_cast<double>(thread_count()));
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -157,6 +190,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // chunk. Walk the identical chunk sequence so per-chunk kernels see the
   // same subranges as the threaded path.
   if (t_inside_pool || impl_->workers.empty() || num_chunks == 1) {
+    // Counter-only telemetry here: this branch also serves nested calls from
+    // inside workers, which are far too hot for clocks or spans.
+    Metrics().serial_regions->Increment();
+    Metrics().chunks->Increment(num_chunks);
     InsidePoolGuard guard;
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t b = begin + c * grain;
@@ -165,6 +202,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     }
     return;
   }
+
+  Metrics().regions->Increment();
+  Metrics().chunks->Increment(num_chunks);
+  obs::TraceSpan span("ParallelFor");
+  obs::ScopedTimer region_timer(Metrics().region_us);
 
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
   auto job = std::make_shared<Impl::Job>();
@@ -181,15 +223,23 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   impl_->work_cv.notify_all();
   {
     InsidePoolGuard guard;
-    impl_->RunChunks(job.get());
+    impl_->RunChunks(job.get(), Metrics().submitter_chunks);
   }
   {
+    // Time the submitter's idle tail: how long it waits for straggler
+    // workers after running out of chunks itself (load-imbalance signal).
+    const auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->done_cv.wait(lock, [&] {
       return job->done_chunks.load(std::memory_order_acquire) ==
              job->num_chunks;
     });
     impl_->job.reset();
+    Metrics().submit_wait_us->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wait_start)
+            .count() *
+        1e6);
   }
   if (job->error) std::rethrow_exception(job->error);
 }

@@ -1,9 +1,33 @@
 #include "core/async_updater.h"
 
+#include <chrono>
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magneto::core {
+
+namespace {
+
+struct AsyncMetrics {
+  obs::Counter* started =
+      obs::Registry::Global().GetCounter("async.updates_started");
+  obs::Counter* completed =
+      obs::Registry::Global().GetCounter("async.updates_completed");
+  obs::Counter* failed =
+      obs::Registry::Global().GetCounter("async.updates_failed");
+  obs::Histogram* update_ms = obs::Registry::Global().GetHistogram(
+      "async.update_ms", obs::LatencyBucketsMs());
+};
+
+AsyncMetrics& Metrics() {
+  static AsyncMetrics* metrics = new AsyncMetrics;
+  return *metrics;
+}
+
+}  // namespace
 
 AsyncUpdater::~AsyncUpdater() {
   if (worker_.joinable()) worker_.join();
@@ -54,13 +78,24 @@ void AsyncUpdater::Launch(
     std::function<Result<UpdateReport>(EdgeModel*, SupportSet*)> update) {
   // A previous (already-taken) worker may still need joining.
   if (worker_.joinable()) worker_.join();
+  Metrics().started->Increment();
   // The snapshots move into the worker; the caller's deployment is untouched
   // and keeps serving inference.
   worker_ = std::thread(
       [this, model = std::make_shared<EdgeModel>(std::move(snapshot_model)),
        support = std::make_shared<SupportSet>(std::move(snapshot_support)),
        update = std::move(update)]() mutable {
-        Result<UpdateReport> report = update(model.get(), support.get());
+        const auto start = std::chrono::steady_clock::now();
+        Result<UpdateReport> report = [&] {
+          obs::TraceSpan span("AsyncUpdater::Update");
+          return update(model.get(), support.get());
+        }();
+        Metrics().update_ms->Record(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count() *
+            1e3);
+        (report.ok() ? Metrics().completed : Metrics().failed)->Increment();
         auto outcome = std::make_unique<Result<Outcome>>([&]() -> Result<Outcome> {
           if (!report.ok()) return report.status();
           Outcome out{std::move(*model), std::move(*support),

@@ -1,8 +1,25 @@
 #include "core/drift_monitor.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace magneto::core {
+
+namespace {
+
+struct DriftMetrics {
+  obs::Counter* observations =
+      obs::Registry::Global().GetCounter("drift.observations");
+  // Rising edges only: a long drifting stretch counts as one trigger.
+  obs::Counter* triggers = obs::Registry::Global().GetCounter("drift.triggers");
+};
+
+DriftMetrics& Metrics() {
+  static DriftMetrics* metrics = new DriftMetrics;
+  return *metrics;
+}
+
+}  // namespace
 
 DriftMonitor::DriftMonitor(Options options) : options_(options) {
   MAGNETO_CHECK(options_.window >= 1);
@@ -27,6 +44,7 @@ double DriftMonitor::rolling_distance() const {
 }
 
 bool DriftMonitor::Observe(const Prediction& prediction) {
+  Metrics().observations->Increment();
   history_.push_back(prediction);
   while (history_.size() > options_.window) history_.pop_front();
   if (history_.size() < options_.window) {
@@ -37,7 +55,9 @@ bool DriftMonitor::Observe(const Prediction& prediction) {
   const bool far_from_prototypes =
       baseline_distance_ > 0.0 &&
       rolling_distance() > baseline_distance_ * options_.distance_factor;
+  const bool was_drifting = drifting_;
   drifting_ = low_confidence || far_from_prototypes;
+  if (drifting_ && !was_drifting) Metrics().triggers->Increment();
   return drifting_;
 }
 

@@ -1,6 +1,32 @@
 #include "core/edge_runtime.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magneto::core {
+
+namespace {
+
+struct EdgeMetrics {
+  obs::Counter* frames = obs::Registry::Global().GetCounter("edge.frames");
+  obs::Counter* windows = obs::Registry::Global().GetCounter("edge.windows");
+  obs::Counter* predictions =
+      obs::Registry::Global().GetCounter("edge.predictions");
+  obs::Counter* rejections =
+      obs::Registry::Global().GetCounter("edge.rejections");
+  obs::Counter* smoother_overrides =
+      obs::Registry::Global().GetCounter("edge.smoother_overrides");
+  obs::Counter* updates = obs::Registry::Global().GetCounter("edge.updates");
+  obs::Histogram* classify_us =
+      obs::Registry::Global().GetHistogram("edge.classify_us");
+};
+
+EdgeMetrics& Metrics() {
+  static EdgeMetrics* metrics = new EdgeMetrics;
+  return *metrics;
+}
+
+}  // namespace
 
 EdgeRuntime::EdgeRuntime(EdgeModel model, SupportSet support,
                          IncrementalOptions options, double sample_rate_hz)
@@ -31,6 +57,7 @@ Matrix EdgeRuntime::TakeWindow() {
 Result<std::optional<NamedPrediction>> EdgeRuntime::PushFrame(
     const sensors::Frame& frame) {
   ++stats_.frames;
+  Metrics().frames->Increment();
   if (mode_ == RuntimeMode::kRecording) {
     capture_buffer_.push_back(frame);
     return std::optional<NamedPrediction>{};
@@ -46,9 +73,20 @@ Result<std::optional<NamedPrediction>> EdgeRuntime::PushFrame(
   }
   Matrix window = TakeWindow();
   ++stats_.windows;
+  Metrics().windows->Increment();
+  obs::TraceSpan span("EdgeRuntime::Classify");
+  obs::ScopedTimer classify_timer(Metrics().classify_us);
   MAGNETO_ASSIGN_OR_RETURN(NamedPrediction pred, model_.InferWindow(window));
   ++stats_.predictions;
-  if (smoother_ != nullptr) pred = smoother_->Push(pred);
+  Metrics().predictions->Increment();
+  if (pred.prediction.is_unknown()) Metrics().rejections->Increment();
+  if (smoother_ != nullptr) {
+    const sensors::ActivityId raw_activity = pred.prediction.activity;
+    pred = smoother_->Push(pred);
+    if (pred.prediction.activity != raw_activity) {
+      Metrics().smoother_overrides->Increment();
+    }
+  }
   if (drift_monitor_ != nullptr) drift_monitor_->Observe(pred.prediction);
   if (journal_ != nullptr) journal_->Record(pred);
   last_prediction_ = pred;
@@ -91,6 +129,7 @@ Result<UpdateReport> EdgeRuntime::FinishRecordingAndLearn(
       UpdateReport report,
       learner_.LearnNewActivity(&model_, &support_, name, {rec}));
   ++stats_.updates;
+  Metrics().updates->Increment();
   return report;
 }
 
@@ -105,6 +144,7 @@ Result<UpdateReport> EdgeRuntime::FinishRecordingAndCalibrate(
   MAGNETO_ASSIGN_OR_RETURN(
       UpdateReport report, learner_.Calibrate(&model_, &support_, id, {rec}));
   ++stats_.updates;
+  Metrics().updates->Increment();
   return report;
 }
 
@@ -163,6 +203,7 @@ Result<UpdateReport> EdgeRuntime::CommitUpdate() {
   if (smoother_ != nullptr) smoother_->Reset();
   if (drift_monitor_ != nullptr) drift_monitor_->Reset();
   ++stats_.updates;
+  Metrics().updates->Increment();
   return std::move(outcome.report);
 }
 

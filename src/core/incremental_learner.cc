@@ -1,9 +1,45 @@
 #include "core/incremental_learner.h"
 
+#include <chrono>
+
 #include "common/random.h"
 #include "learn/ewc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace magneto::core {
+
+namespace {
+
+struct LearnerMetrics {
+  obs::Counter* updates =
+      obs::Registry::Global().GetCounter("learner.updates");
+  obs::Histogram* update_ms = obs::Registry::Global().GetHistogram(
+      "learner.update_ms", obs::LatencyBucketsMs());
+  // Cost split of one incremental update: frozen-pipeline featurization of
+  // the capture vs backbone retraining (distillation + contrastive) vs the
+  // support-set / prototype refresh.
+  obs::Histogram* preprocess_ms = obs::Registry::Global().GetHistogram(
+      "learner.preprocess_ms", obs::LatencyBucketsMs());
+  obs::Histogram* train_ms = obs::Registry::Global().GetHistogram(
+      "learner.train_ms", obs::LatencyBucketsMs());
+  obs::Histogram* support_ms = obs::Registry::Global().GetHistogram(
+      "learner.support_ms", obs::LatencyBucketsMs());
+};
+
+LearnerMetrics& Metrics() {
+  static LearnerMetrics* metrics = new LearnerMetrics;
+  return *metrics;
+}
+
+using UpdateClock = std::chrono::steady_clock;
+
+double MsSince(UpdateClock::time_point start) {
+  return std::chrono::duration<double>(UpdateClock::now() - start).count() *
+         1e3;
+}
+
+}  // namespace
 
 Result<UpdateReport> IncrementalLearner::LearnNewActivity(
     EdgeModel* model, SupportSet* support, const std::string& name,
@@ -54,7 +90,12 @@ Result<UpdateReport> IncrementalLearner::Update(
     EdgeModel* model, SupportSet* support, sensors::ActivityId id,
     const std::vector<sensors::Recording>& recordings,
     bool is_new_class) const {
+  obs::TraceSpan span("IncrementalLearner::Update");
+  obs::ScopedTimer update_timer(Metrics().update_ms, /*scale=*/1e3);
+  Metrics().updates->Increment();
+
   // (1) Preprocess the user's capture with the frozen pipeline.
+  const auto preprocess_start = UpdateClock::now();
   std::vector<sensors::LabeledRecording> labeled;
   labeled.reserve(recordings.size());
   for (const sensors::Recording& rec : recordings) {
@@ -62,6 +103,7 @@ Result<UpdateReport> IncrementalLearner::Update(
   }
   MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset new_data,
                            model->pipeline().ProcessLabeled(labeled));
+  Metrics().preprocess_ms->Record(MsSince(preprocess_start));
   if (new_data.empty()) {
     return Status::InvalidArgument(
         "recordings yielded no complete windows; record for longer");
@@ -101,6 +143,7 @@ Result<UpdateReport> IncrementalLearner::Update(
 
   learn::SiameseTrainer trainer(train_options);
   learn::TrainReport train_report;
+  const auto train_start = UpdateClock::now();
   if (distill) {
     nn::Sequential teacher = model->backbone().Clone();
     MAGNETO_ASSIGN_OR_RETURN(
@@ -113,14 +156,17 @@ Result<UpdateReport> IncrementalLearner::Update(
         trainer.Train(&model->backbone(), train_data, nullptr, nullptr,
                       ewc.get()));
   }
+  Metrics().train_ms->Record(MsSince(train_start));
 
   // (4) Support-set update: fold in (or, for calibration, replace with) the
   // fresh windows, herded through the *updated* embedding space.
+  const auto support_start = UpdateClock::now();
   Rng rng(options_.seed ^ static_cast<uint64_t>(id));
   MAGNETO_RETURN_IF_ERROR(support->SetClass(id, new_data, model, &rng));
 
   // (5) All prototypes move when the backbone moves — rebuild every class.
   MAGNETO_RETURN_IF_ERROR(model->RebuildPrototypes(*support));
+  Metrics().support_ms->Record(MsSince(support_start));
 
   UpdateReport report;
   report.activity = id;

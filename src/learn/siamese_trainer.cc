@@ -1,5 +1,6 @@
 #include "learn/siamese_trainer.h"
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -7,10 +8,45 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "learn/pair_sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace magneto::learn {
 
 namespace {
+
+struct TrainerMetrics {
+  obs::Counter* epochs = obs::Registry::Global().GetCounter("train.epochs");
+  obs::Counter* steps = obs::Registry::Global().GetCounter("train.steps");
+  obs::Histogram* epoch_ms = obs::Registry::Global().GetHistogram(
+      "train.epoch_ms", obs::LatencyBucketsMs());
+  // Where an epoch's time goes: pair sampling / batch assembly vs the
+  // forward+backward passes vs the distillation term vs the optimizer.
+  obs::Histogram* sample_ms = obs::Registry::Global().GetHistogram(
+      "train.sample_ms", obs::LatencyBucketsMs());
+  obs::Histogram* forward_backward_ms = obs::Registry::Global().GetHistogram(
+      "train.forward_backward_ms", obs::LatencyBucketsMs());
+  obs::Histogram* distill_ms = obs::Registry::Global().GetHistogram(
+      "train.distill_ms", obs::LatencyBucketsMs());
+  obs::Histogram* optimizer_ms = obs::Registry::Global().GetHistogram(
+      "train.optimizer_ms", obs::LatencyBucketsMs());
+  obs::Gauge* last_embedding_loss =
+      obs::Registry::Global().GetGauge("train.last_embedding_loss");
+  obs::Gauge* last_distill_loss =
+      obs::Registry::Global().GetGauge("train.last_distill_loss");
+};
+
+TrainerMetrics& Metrics() {
+  static TrainerMetrics* metrics = new TrainerMetrics;
+  return *metrics;
+}
+
+using TrainClock = std::chrono::steady_clock;
+
+double MsSince(TrainClock::time_point start) {
+  return std::chrono::duration<double>(TrainClock::now() - start).count() *
+         1e3;
+}
 
 // Rows per chunk when gathering batch rows: pure memcpy, so chunks need to
 // be large for the dispatch to pay off.
@@ -121,19 +157,33 @@ Result<TrainReport> SiameseTrainer::Train(
     }
   }
 
+  obs::TraceSpan train_span("SiameseTrainer::Train");
+
   TrainReport report;
   report.epochs.reserve(options_.epochs);
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("SiameseTrainer::Epoch");
+    const auto epoch_start = TrainClock::now();
+    // Per-phase wall time accumulated over the epoch's steps and recorded
+    // once per epoch; per-step clock reads are cheap relative to a
+    // forward/backward pass but per-step histogram records would not be.
+    double sample_ms = 0.0;
+    double forward_backward_ms = 0.0;
+    double distill_ms = 0.0;
+    double optimizer_ms = 0.0;
     EpochStats stats;
     for (size_t step = 0; step < steps_per_epoch; ++step) {
       optimizer->ZeroGrad();
 
       // --- embedding objective ---
       if (options_.embedding_loss == EmbeddingLoss::kPairwiseContrastive) {
+        const auto sample_start = TrainClock::now();
         PairBatch batch = sampler.Sample(options_.batch_size);
         // One forward over [a; b] keeps the two branches weight-tied by
         // construction (a Siamese network is one network applied twice).
         Matrix stacked = VStack(batch.a, batch.b);
+        sample_ms += MsSince(sample_start);
+        const auto fb_start = TrainClock::now();
         Matrix emb = net->Forward(stacked, /*training=*/true);
         const size_t b = batch.size();
         Matrix emb_a = emb.RowSlice(0, b);
@@ -141,8 +191,10 @@ Result<TrainReport> SiameseTrainer::Train(
         nn::PairLossResult pair =
             nn::ContrastiveLoss(emb_a, emb_b, batch.same, options_.margin);
         net->Backward(VStack(pair.grad_a, pair.grad_b));
+        forward_backward_ms += MsSince(fb_start);
         stats.embedding_loss += pair.loss;
       } else {
+        const auto sample_start = TrainClock::now();
         std::vector<size_t> idx(options_.batch_size);
         std::vector<int> labels(options_.batch_size);
         for (size_t i = 0; i < idx.size(); ++i) {
@@ -150,15 +202,19 @@ Result<TrainReport> SiameseTrainer::Train(
           labels[i] = dense_labels[idx[i]];
         }
         Matrix x = GatherRows(data, idx);
+        sample_ms += MsSince(sample_start);
+        const auto fb_start = TrainClock::now();
         Matrix emb = net->Forward(x, /*training=*/true);
         nn::LossResult loss =
             nn::SupConLoss(emb, labels, options_.supcon_temperature);
         net->Backward(loss.grad);
+        forward_backward_ms += MsSince(fb_start);
         stats.embedding_loss += loss.loss;
       }
 
       // --- distillation objective (anti-forgetting) ---
       if (distill) {
+        const auto distill_start = TrainClock::now();
         const size_t b =
             std::min(options_.batch_size, distill_data->size());
         std::vector<size_t> idx(b);
@@ -173,6 +229,7 @@ Result<TrainReport> SiameseTrainer::Train(
         dl.grad.Scale(static_cast<float>(options_.distill_weight));
         net->Backward(dl.grad);
         stats.distill_loss += options_.distill_weight * dl.loss;
+        distill_ms += MsSince(distill_start);
       }
 
       // --- EWC penalty (optional second anti-forgetting mechanism) ---
@@ -180,11 +237,22 @@ Result<TrainReport> SiameseTrainer::Train(
         ewc->AccumulatePenaltyGradient(net, options_.ewc_weight);
       }
 
+      const auto optimizer_start = TrainClock::now();
       optimizer->Step();
+      optimizer_ms += MsSince(optimizer_start);
+      Metrics().steps->Increment();
     }
     stats.embedding_loss /= static_cast<double>(steps_per_epoch);
     stats.distill_loss /= static_cast<double>(steps_per_epoch);
     report.epochs.push_back(stats);
+    Metrics().epochs->Increment();
+    Metrics().epoch_ms->Record(MsSince(epoch_start));
+    Metrics().sample_ms->Record(sample_ms);
+    Metrics().forward_backward_ms->Record(forward_backward_ms);
+    if (distill) Metrics().distill_ms->Record(distill_ms);
+    Metrics().optimizer_ms->Record(optimizer_ms);
+    Metrics().last_embedding_loss->Set(stats.embedding_loss);
+    Metrics().last_distill_loss->Set(stats.distill_loss);
     if (options_.lr_decay != 1.0) {
       if (auto* adam = dynamic_cast<nn::Adam*>(optimizer.get())) {
         adam->set_learning_rate(adam->learning_rate() * options_.lr_decay);

@@ -59,6 +59,9 @@
 #include "nn/optimizer.h"
 #include "nn/quantized_linear.h"
 #include "nn/sequential.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/cloud_server.h"
 #include "platform/edge_device.h"
 #include "platform/energy.h"

@@ -1,0 +1,165 @@
+#include "obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace magneto::obs {
+
+void JsonEscape(std::string_view v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::Indent() {
+  if (!pretty_) return;
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+/// Emits the comma/indent/colon that must precede the next value (or
+/// container opening) in the current context.
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": was already emitted
+  }
+  if (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.count > 0) out_.push_back(',');
+    ++top.count;
+    Indent();
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back({true, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had_members = !stack_.empty() && stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) Indent();
+  out_.push_back('}');
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back({false, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had_members = !stack_.empty() && stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) Indent();
+  out_.push_back(']');
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  if (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.count > 0) out_.push_back(',');
+    ++top.count;
+    Indent();
+  }
+  out_.push_back('"');
+  JsonEscape(name, &out_);
+  out_.append(pretty_ ? "\": " : "\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  out_.push_back('"');
+  JsonEscape(v, &out_);
+  out_.push_back('"');
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_.append("null");  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, ptr);
+  }
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_.append(v ? "true" : "false");
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, ptr);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, ptr);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+bool JsonWriter::WriteToFile(const std::string& path) const {
+  return WriteStringToFile(out_, path);
+}
+
+bool WriteStringToFile(const std::string& content, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace magneto::obs

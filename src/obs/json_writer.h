@@ -1,0 +1,82 @@
+#ifndef MAGNETO_OBS_JSON_WRITER_H_
+#define MAGNETO_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace magneto::obs {
+
+/// Minimal streaming JSON writer shared by the metrics/trace exporters and
+/// the bench harness (`bench/bench_util.h`). Emits syntactically valid JSON
+/// with correct string escaping and shortest round-trip numbers; commas and
+/// (optionally) indentation are handled by the writer, so call sites read as
+/// a flat sequence of Begin/Key/Value calls.
+///
+/// `magneto_obs` sits below `magneto_common` in the link order, so this
+/// header deliberately avoids Status/Result; file I/O reports plain bool.
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines and two-space indentation.
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member. Must be inside an object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+
+  /// Key + Value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view name, T v) {
+    Key(name);
+    return Value(v);
+  }
+
+  /// True once every container opened has been closed.
+  bool Complete() const { return stack_.empty() && wrote_root_; }
+
+  /// The document so far (the full document once `Complete()`).
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; false on I/O failure.
+  bool WriteToFile(const std::string& path) const;
+
+ private:
+  void Indent();
+  void BeforeValue();
+
+  struct Frame {
+    bool is_object;
+    size_t count = 0;
+  };
+
+  bool pretty_;
+  bool wrote_root_ = false;
+  bool pending_key_ = false;
+  std::vector<Frame> stack_;
+  std::string out_;
+};
+
+/// Appends `v` to `out` JSON-escaped, without surrounding quotes.
+void JsonEscape(std::string_view v, std::string* out);
+
+/// Writes `content` to `path` atomically enough for our purposes (single
+/// fopen/fwrite/fclose); false on failure.
+bool WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace magneto::obs
+
+#endif  // MAGNETO_OBS_JSON_WRITER_H_

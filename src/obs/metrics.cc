@@ -1,0 +1,282 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json_writer.h"
+
+namespace magneto::obs {
+
+namespace {
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+/// 1-2-5 series across `decades` decades starting at `first`.
+std::vector<double> OneTwoFive(double first, int decades) {
+  std::vector<double> bounds;
+  double base = first;
+  for (int d = 0; d < decades; ++d) {
+    bounds.push_back(base);
+    bounds.push_back(base * 2.0);
+    bounds.push_back(base * 5.0);
+    base *= 10.0;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double> bounds = OneTwoFive(1.0, 7);  // 1us..5s
+  return bounds;
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double> bounds = OneTwoFive(0.01, 7);  // 10us..50s
+  return bounds;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      min_bits_(DoubleBits(std::numeric_limits<double>::infinity())),
+      max_bits_(DoubleBits(-std::numeric_limits<double>::infinity())) {
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point sum: integer adds commute, so the total is bit-identical at
+  // any thread count (the determinism contract of the snapshot).
+  sum_milli_.fetch_add(static_cast<int64_t>(std::llround(value * 1000.0)),
+                       std::memory_order_relaxed);
+  uint64_t cur = min_bits_.load(std::memory_order_relaxed);
+  while (value < BitsDouble(cur) &&
+         !min_bits_.compare_exchange_weak(cur, DoubleBits(value),
+                                          std::memory_order_relaxed)) {
+  }
+  cur = max_bits_.load(std::memory_order_relaxed);
+  while (value > BitsDouble(cur) &&
+         !max_bits_.compare_exchange_weak(cur, DoubleBits(value),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  const double v = BitsDouble(min_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+  return std::isinf(v) ? 0.0 : v;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_milli_.store(0, std::memory_order_relaxed);
+  min_bits_.store(DoubleBits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(DoubleBits(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;  // leaked: handles never dangle
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = LatencyBucketsUs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::string(name), std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iterates in name order, which is what makes snapshots
+  // deterministic (and diffs between snapshots readable).
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Snapshot::HistogramValue value;
+    value.name = name;
+    value.bounds = histogram->bounds();
+    value.buckets.resize(histogram->num_buckets());
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      value.buckets[i] = histogram->bucket(i);
+    }
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    value.min = histogram->min();
+    value.max = histogram->max();
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+double Snapshot::HistogramValue::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+const Snapshot::CounterValue* Snapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Snapshot::GaugeValue* Snapshot::FindGauge(std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const Snapshot::HistogramValue* Snapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::ToJson(bool pretty) const {
+  JsonWriter json(pretty);
+  json.BeginObject();
+  json.Field("schema_version", 1);
+  json.Key("counters").BeginObject();
+  for (const CounterValue& c : counters) json.Field(c.name, c.value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const GaugeValue& g : gauges) json.Field(g.name, g.value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const HistogramValue& h : histograms) {
+    json.Key(h.name).BeginObject();
+    json.Field("count", h.count);
+    json.Field("sum", h.sum);
+    json.Field("min", h.min);
+    json.Field("max", h.max);
+    json.Field("mean",
+               h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+    json.Field("p50", h.Quantile(0.50));
+    json.Field("p95", h.Quantile(0.95));
+    json.Field("p99", h.Quantile(0.99));
+    json.Key("bounds").BeginArray();
+    for (double b : h.bounds) json.Value(b);
+    json.EndArray();
+    json.Key("buckets").BeginArray();
+    for (uint64_t b : h.buckets) json.Value(b);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string Snapshot::ToTable() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterValue& c : counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %12llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeValue& g : gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %12.3f\n", g.name.c_str(),
+                    g.value);
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:                                       "
+           "count      mean       p50       p95       max\n";
+    for (const HistogramValue& h : histograms) {
+      const double mean =
+          h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+      std::snprintf(line, sizeof(line),
+                    "  %-40s %9llu %9.2f %9.2f %9.2f %9.2f\n", h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), mean,
+                    h.Quantile(0.50), h.Quantile(0.95), h.max);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace magneto::obs

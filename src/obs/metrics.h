@@ -1,0 +1,226 @@
+#ifndef MAGNETO_OBS_METRICS_H_
+#define MAGNETO_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace magneto::obs {
+
+/// Process-wide metrics for the MAGNETO hot paths.
+///
+/// Design contract (DESIGN.md, "Telemetry"):
+///   * Hot-path cost is one relaxed atomic RMW per event. Registration (name
+///     lookup) happens once per call site through a function-local static
+///     handle; after that no locks, no allocation, no string hashing.
+///   * Everything is additive and thread-safe: concurrent increments from N
+///     threads produce exact totals.
+///   * Snapshots are deterministic for deterministic workloads: metrics are
+///     emitted sorted by name, histogram bucket boundaries are fixed at
+///     registration, and value sums accumulate in fixed-point (1/1000)
+///     units so the total is independent of thread interleaving.
+///
+/// Idiomatic call site:
+///
+///   static obs::Counter* const windows =
+///       obs::Registry::Global().GetCounter("pipeline.windows");
+///   windows->Increment();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written level (thread count, queue depth, last loss, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Note: floating-point addition order depends on thread interleaving;
+  /// prefer `Set` where snapshot determinism across thread counts matters.
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts values `<= bounds[i]`; one
+/// overflow bucket catches the rest. Boundaries are fixed at registration, so
+/// two runs of the same workload fill identical buckets regardless of thread
+/// count. The value sum accumulates in integer 1/1000 units (exact,
+/// order-independent); min/max are exact.
+class Histogram {
+ public:
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of recorded values, quantised to 1/1000 units.
+  double sum() const {
+    return static_cast<double>(sum_milli_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  double min() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;  // strictly increasing, fixed for life
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_milli_{0};
+  std::atomic<uint64_t> min_bits_;  // double bit pattern, CAS-updated
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Default latency boundaries in microseconds: 1-2-5 decades from 1 us to
+/// 10 s. Every latency histogram in the codebase uses these unless it
+/// registers its own, so snapshots are comparable across subsystems.
+const std::vector<double>& LatencyBucketsUs();
+
+/// Same shape in milliseconds (0.01 ms .. 100 s) for coarse phases
+/// (training epochs, incremental updates).
+const std::vector<double>& LatencyBucketsMs();
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value;
+    bool operator==(const CounterValue&) const = default;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+    bool operator==(const GaugeValue&) const = default;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Upper bucket boundary at which the cumulative count crosses `q`.
+    double Quantile(double q) const;
+    bool operator==(const HistogramValue&) const = default;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// nullptr when the metric does not exist.
+  const CounterValue* FindCounter(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+  const GaugeValue* FindGauge(std::string_view name) const;
+
+  /// {"schema_version": 1, "counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
+  ///                        bounds, buckets}}}
+  std::string ToJson(bool pretty = true) const;
+
+  /// Fixed-width text table for terminal output.
+  std::string ToTable() const;
+};
+
+/// Owner of every metric. Metrics are created on first lookup and live for
+/// the process (handles never dangle); `ResetAll` zeroes values but keeps
+/// registrations, so static handles stay valid across bench repetitions.
+class Registry {
+ public:
+  /// The process-wide registry (leaked, like ThreadPool::Global, so handles
+  /// outlive static destructors).
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` applies only to the creating call; later lookups of the same
+  /// name return the existing histogram. Empty bounds = LatencyBucketsUs().
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  Snapshot TakeSnapshot() const;
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the scope's wall time into a histogram on destruction, in the
+/// unit the histogram was registered with (microseconds by default).
+class ScopedTimer {
+ public:
+  /// `scale` converts seconds to the histogram's unit (1e6 = microseconds).
+  explicit ScopedTimer(Histogram* histogram, double scale = 1e6)
+      : histogram_(histogram),
+        scale_(scale),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    histogram_->Record(std::chrono::duration<double>(end - start_).count() *
+                       scale_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace magneto::obs
+
+#endif  // MAGNETO_OBS_METRICS_H_

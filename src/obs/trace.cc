@@ -1,0 +1,217 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "obs/json_writer.h"
+
+namespace magneto::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+/// -1 = not yet latched from the environment.
+std::atomic<int> g_enabled{-1};
+
+int LatchFromEnv() {
+  const char* env = std::getenv("MAGNETO_TRACE");
+  const int v = (env != nullptr && env[0] != '\0' &&
+                 !(env[0] == '0' && env[1] == '\0'))
+                    ? 1
+                    : 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::atomic<size_t> g_ring_capacity{16384};
+std::atomic<uint32_t> g_next_thread_id{0};
+
+/// Fixed-capacity ring of completed spans for one thread. The owning thread
+/// appends; exporters read under the same mutex. Spans are recorded whole
+/// (at close), so wraparound can never orphan half a span — every kept span
+/// exports as a matched B/E pair.
+struct Ring {
+  explicit Ring(size_t capacity, uint32_t thread_id)
+      : capacity(capacity), thread(thread_id) {
+    events.reserve(capacity);
+  }
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < capacity) {
+      events.push_back(event);
+    } else {
+      events[head] = event;
+      head = (head + 1) % capacity;
+    }
+  }
+
+  /// Oldest-to-newest copy of the ring's contents.
+  std::vector<TraceEvent> Contents() const {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      out.push_back(events[(head + i) % events.size()]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+    head = 0;
+  }
+
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t head = 0;  // oldest element once the ring is full
+  const size_t capacity;
+  const uint32_t thread;
+};
+
+/// Keeps every thread's ring alive past thread exit so late exports still
+/// see its spans. Leaked (like ThreadPool::Global) to survive static
+/// teardown of tracing translation units.
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* directory = new RingDirectory;
+  return *directory;
+}
+
+Ring& ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>(
+        g_ring_capacity.load(std::memory_order_relaxed),
+        g_next_thread_id.fetch_add(1, std::memory_order_relaxed));
+    RingDirectory& directory = Directory();
+    std::lock_guard<std::mutex> lock(directory.mu);
+    directory.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+thread_local uint16_t t_depth = 0;
+
+}  // namespace
+
+bool TraceEnabled() {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  return (v < 0 ? LatchFromEnv() : v) != 0;
+}
+
+void SetTraceEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(TraceEnabled() ? name : nullptr) {
+  if (name_ == nullptr) return;
+  depth_ = t_depth++;
+  begin_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  uint64_t end_ns = NowNs();
+  // A strictly positive duration keeps B strictly before E after the export
+  // sort, so zero-cost spans cannot invert into E-before-B.
+  if (end_ns <= begin_ns_) end_ns = begin_ns_ + 1;
+  --t_depth;
+  Ring& ring = ThreadRing();
+  ring.Push({name_, begin_ns_, end_ns, ring.thread, depth_});
+}
+
+void SetTraceRingCapacity(size_t spans) {
+  g_ring_capacity.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  RingDirectory& directory = Directory();
+  std::lock_guard<std::mutex> lock(directory.mu);
+  for (const std::shared_ptr<Ring>& ring : directory.rings) ring->Clear();
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> events;
+  {
+    RingDirectory& directory = Directory();
+    std::lock_guard<std::mutex> lock(directory.mu);
+    for (const std::shared_ptr<Ring>& ring : directory.rings) {
+      std::vector<TraceEvent> contents = ring->Contents();
+      events.insert(events.end(), contents.begin(), contents.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+std::string TraceToJson() {
+  const std::vector<TraceEvent> spans = CollectTraceEvents();
+
+  // Split every span into a B and an E marker, then order them the way the
+  // Chrome trace viewer requires: by timestamp; at equal timestamps closes
+  // precede opens (disjoint spans) and outer spans open before inner ones.
+  struct Marker {
+    uint64_t ts_ns;
+    bool is_begin;
+    const TraceEvent* span;
+  };
+  std::vector<Marker> markers;
+  markers.reserve(spans.size() * 2);
+  uint64_t epoch_ns = UINT64_MAX;
+  for (const TraceEvent& span : spans) {
+    markers.push_back({span.begin_ns, true, &span});
+    markers.push_back({span.end_ns, false, &span});
+    epoch_ns = std::min(epoch_ns, span.begin_ns);
+  }
+  std::sort(markers.begin(), markers.end(),
+            [](const Marker& a, const Marker& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.is_begin != b.is_begin) return !a.is_begin;  // E first
+              return a.is_begin ? a.span->depth < b.span->depth
+                                : a.span->depth > b.span->depth;
+            });
+
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject();
+  json.Field("displayTimeUnit", "ms");
+  json.Key("traceEvents").BeginArray();
+  for (const Marker& marker : markers) {
+    json.BeginObject();
+    json.Field("name", marker.span->name);
+    json.Field("cat", "magneto");
+    json.Field("ph", marker.is_begin ? "B" : "E");
+    json.Field("ts",
+               static_cast<double>(marker.ts_ns - epoch_ns) / 1000.0);
+    json.Field("pid", 1);
+    json.Field("tid", marker.span->thread);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+bool WriteTrace(const std::string& path) {
+  return WriteStringToFile(TraceToJson(), path);
+}
+
+}  // namespace magneto::obs

@@ -1,0 +1,77 @@
+#ifndef MAGNETO_OBS_TRACE_H_
+#define MAGNETO_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace magneto::obs {
+
+/// Scoped tracing for the MAGNETO hot paths, exported as Chrome
+/// `trace_event` JSON (load in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Cost model:
+///   * Tracing OFF (default): each `TraceSpan` is one relaxed atomic load.
+///   * Tracing ON: two steady-clock reads plus one write into a
+///     pre-allocated per-thread ring buffer. No allocation, no locks on the
+///     span path (the ring's mutex is uncontended except during export).
+///
+/// Enable with the `MAGNETO_TRACE` environment variable (anything but empty
+/// or "0"), or programmatically with `SetTraceEnabled(true)`.
+///
+/// Span names must be string literals (or otherwise outlive the trace) —
+/// the ring stores the pointer, not a copy.
+
+/// One completed span. Timestamps are steady-clock nanoseconds.
+struct TraceEvent {
+  const char* name;
+  uint64_t begin_ns;
+  uint64_t end_ns;
+  uint32_t thread;  ///< stable small id, assigned per thread on first span
+  uint16_t depth;   ///< nesting depth at the span's open
+};
+
+/// True when spans are being recorded. First call latches the
+/// `MAGNETO_TRACE` environment variable.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// RAII span: records [construction, destruction) of the enclosing scope.
+/// A span captures the enabled flag at open, so toggling tracing mid-span is
+/// safe (the span is dropped or kept atomically).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr when tracing was off at open
+  uint64_t begin_ns_ = 0;
+  uint16_t depth_ = 0;
+};
+
+/// Spans each thread's ring can hold before the oldest are overwritten.
+/// Applies to rings created after the call (a thread's ring is created on
+/// its first recorded span). Mainly for tests; default 16384.
+void SetTraceRingCapacity(size_t spans);
+
+/// Drops every recorded span (rings stay allocated).
+void ClearTrace();
+
+/// All recorded spans, ordered by begin time. Thread-safe.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Chrome trace_event JSON: {"traceEvents": [...]} with matched "B"/"E"
+/// pairs per span, timestamps in microseconds relative to the earliest span.
+std::string TraceToJson();
+
+/// Writes `TraceToJson()` to `path`; false on I/O failure.
+bool WriteTrace(const std::string& path);
+
+}  // namespace magneto::obs
+
+#endif  // MAGNETO_OBS_TRACE_H_

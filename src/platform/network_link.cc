@@ -1,8 +1,35 @@
 #include "platform/network_link.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace magneto::platform {
+
+namespace {
+
+/// Byte counters keyed by direction x payload kind, e.g.
+/// `net.uplink.user_data.bytes`. A static 2x4 handle table so Transfer only
+/// does two array indexes plus an atomic add.
+obs::Counter* BytesCounter(Direction direction, PayloadKind kind) {
+  static obs::Counter* const table[2][4] = {
+      {obs::Registry::Global().GetCounter("net.uplink.user_data.bytes"),
+       obs::Registry::Global().GetCounter("net.uplink.model_artifact.bytes"),
+       obs::Registry::Global().GetCounter("net.uplink.control.bytes"),
+       obs::Registry::Global().GetCounter("net.uplink.result.bytes")},
+      {obs::Registry::Global().GetCounter("net.downlink.user_data.bytes"),
+       obs::Registry::Global().GetCounter("net.downlink.model_artifact.bytes"),
+       obs::Registry::Global().GetCounter("net.downlink.control.bytes"),
+       obs::Registry::Global().GetCounter("net.downlink.result.bytes")}};
+  return table[static_cast<size_t>(direction)][static_cast<size_t>(kind)];
+}
+
+obs::Counter* TransferCounter() {
+  static obs::Counter* const transfers =
+      obs::Registry::Global().GetCounter("net.transfers");
+  return transfers;
+}
+
+}  // namespace
 
 NetworkLink::NetworkLink(double rtt_ms, double bandwidth_mbps)
     : rtt_ms_(rtt_ms), bandwidth_mbps_(bandwidth_mbps) {
@@ -21,6 +48,8 @@ double NetworkLink::Transfer(Direction direction, PayloadKind kind,
                              size_t bytes) {
   const double seconds = EstimateSeconds(bytes);
   records_.push_back({direction, kind, bytes, seconds});
+  TransferCounter()->Increment();
+  BytesCounter(direction, kind)->Increment(bytes);
   return seconds;
 }
 

@@ -1,10 +1,30 @@
 #include "preprocess/pipeline.h"
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace magneto::preprocess {
 
 namespace {
+
+struct PipelineMetrics {
+  obs::Counter* recordings =
+      obs::Registry::Global().GetCounter("pipeline.recordings");
+  obs::Counter* windows =
+      obs::Registry::Global().GetCounter("pipeline.windows");
+  obs::Counter* stream_windows =
+      obs::Registry::Global().GetCounter("pipeline.stream_windows");
+  obs::Histogram* batch_ms = obs::Registry::Global().GetHistogram(
+      "pipeline.batch_ms", obs::LatencyBucketsMs());
+  obs::Histogram* window_us =
+      obs::Registry::Global().GetHistogram("pipeline.window_us");
+};
+
+PipelineMetrics& Metrics() {
+  static PipelineMetrics* metrics = new PipelineMetrics;
+  return *metrics;
+}
 
 /// Returns the first non-OK status in `statuses`, or OK. Scanning in index
 /// order keeps the reported error identical to the serial loop's.
@@ -77,27 +97,34 @@ Result<std::vector<float>> Pipeline::Featurize(const Matrix& window) const {
 
 Result<sensors::FeatureDataset> Pipeline::RawFeatures(
     const std::vector<sensors::LabeledRecording>& recordings) const {
+  obs::TraceSpan span("Pipeline::RawFeatures");
+  obs::ScopedTimer timer(Metrics().batch_ms, /*scale=*/1e3);
+  Metrics().recordings->Increment(recordings.size());
+
   // Stage 1: denoise + segment, one recording per work item.
   const size_t n = recordings.size();
   std::vector<std::vector<Matrix>> windows(n);
   std::vector<Status> seg_status(n, Status::Ok());
-  ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      Result<Matrix> denoised =
-          Denoise(recordings[i].recording.samples, config_.denoise);
-      if (!denoised.ok()) {
-        seg_status[i] = denoised.status();
-        continue;
+  {
+    obs::TraceSpan segment_span("Pipeline::DenoiseSegment");
+    ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        Result<Matrix> denoised =
+            Denoise(recordings[i].recording.samples, config_.denoise);
+        if (!denoised.ok()) {
+          seg_status[i] = denoised.status();
+          continue;
+        }
+        Result<std::vector<Matrix>> segs =
+            Segment(denoised.value(), config_.segmentation);
+        if (!segs.ok()) {
+          seg_status[i] = segs.status();
+          continue;
+        }
+        windows[i] = std::move(segs).value();
       }
-      Result<std::vector<Matrix>> segs =
-          Segment(denoised.value(), config_.segmentation);
-      if (!segs.ok()) {
-        seg_status[i] = segs.status();
-        continue;
-      }
-      windows[i] = std::move(segs).value();
-    }
-  });
+    });
+  }
   MAGNETO_RETURN_IF_ERROR(FirstError(seg_status));
 
   // Stage 2: featurize every window. The flattened work list preserves
@@ -111,18 +138,22 @@ Result<sensors::FeatureDataset> Pipeline::RawFeatures(
       work_labels.push_back(recordings[i].label);
     }
   }
+  Metrics().windows->Increment(work.size());
   std::vector<std::vector<float>> features(work.size());
   std::vector<Status> feat_status(work.size(), Status::Ok());
-  ParallelFor(0, work.size(), 1, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      Result<std::vector<float>> f = Featurize(*work[i]);
-      if (f.ok()) {
-        features[i] = std::move(f).value();
-      } else {
-        feat_status[i] = f.status();
+  {
+    obs::TraceSpan featurize_span("Pipeline::Featurize");
+    ParallelFor(0, work.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        Result<std::vector<float>> f = Featurize(*work[i]);
+        if (f.ok()) {
+          features[i] = std::move(f).value();
+        } else {
+          feat_status[i] = f.status();
+        }
       }
-    }
-  });
+    });
+  }
   MAGNETO_RETURN_IF_ERROR(FirstError(feat_status));
 
   sensors::FeatureDataset out;
@@ -134,6 +165,7 @@ Result<sensors::FeatureDataset> Pipeline::RawFeatures(
 
 Result<sensors::FeatureDataset> Pipeline::Fit(
     const std::vector<sensors::LabeledRecording>& recordings) {
+  obs::TraceSpan span("Pipeline::Fit");
   MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset raw,
                            RawFeatures(recordings));
   if (raw.empty()) {
@@ -149,6 +181,9 @@ Result<std::vector<float>> Pipeline::ProcessWindow(const Matrix& window) const {
   if (!fitted()) {
     return Status::FailedPrecondition("pipeline normalizer not fitted");
   }
+  obs::TraceSpan span("Pipeline::ProcessWindow");
+  obs::ScopedTimer timer(Metrics().window_us);
+  Metrics().stream_windows->Increment();
   MAGNETO_ASSIGN_OR_RETURN(Matrix denoised, Denoise(window, config_.denoise));
   MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features, Featurize(denoised));
   MAGNETO_RETURN_IF_ERROR(normalizer_.Apply(&features));
@@ -186,6 +221,7 @@ Result<sensors::FeatureDataset> Pipeline::ProcessLabeled(
   if (!fitted()) {
     return Status::FailedPrecondition("pipeline normalizer not fitted");
   }
+  obs::TraceSpan span("Pipeline::ProcessLabeled");
   MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset raw,
                            RawFeatures(recordings));
   return normalizer_.ApplyToDataset(raw);

@@ -1,0 +1,86 @@
+// LogConfig contract: level filtering, MAGNETO_LOG_LEVEL parsing, and the
+// pluggable sink that lets tests capture log output instead of stderr.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace magneto {
+namespace {
+
+struct CapturedLine {
+  LogLevel level;
+  std::string file;
+  int line;
+  std::string message;
+};
+
+/// Installs a capturing sink for the test's duration and restores the
+/// stderr default (and kInfo level) afterwards.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LogConfig::SetMinLevel(LogLevel::kInfo);
+    LogConfig::SetSink([this](LogLevel level, const char* file, int line,
+                              const std::string& message) {
+      lines_.push_back({level, file, line, message});
+    });
+  }
+  void TearDown() override {
+    LogConfig::SetSink(nullptr);
+    LogConfig::SetMinLevel(LogLevel::kInfo);
+  }
+
+  std::vector<CapturedLine> lines_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedMessages) {
+  MAGNETO_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kInfo);
+  EXPECT_NE(lines_[0].message.find("hello 42"), std::string::npos);
+  EXPECT_NE(lines_[0].message.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(lines_[0].file.find("logging_test.cc"), std::string::npos);
+  EXPECT_GT(lines_[0].line, 0);
+}
+
+TEST_F(LoggingTest, MessagesBelowMinLevelAreDropped) {
+  MAGNETO_LOG(Debug) << "too quiet";
+  EXPECT_TRUE(lines_.empty());
+
+  LogConfig::SetMinLevel(LogLevel::kError);
+  MAGNETO_LOG(Info) << "still too quiet";
+  MAGNETO_LOG(Warning) << "and this";
+  EXPECT_TRUE(lines_.empty());
+  MAGNETO_LOG(Error) << "loud enough";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LoweringTheLevelEnablesDebug) {
+  LogConfig::SetMinLevel(LogLevel::kDebug);
+  MAGNETO_LOG(Debug) << "now visible";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kDebug);
+}
+
+TEST(ParseLevelTest, AcceptsNamesAnyCaseAndDigits) {
+  EXPECT_EQ(LogConfig::ParseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(LogConfig::ParseLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(LogConfig::ParseLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(LogConfig::ParseLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(LogConfig::ParseLevel("WARNING"), LogLevel::kWarning);
+  EXPECT_EQ(LogConfig::ParseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(LogConfig::ParseLevel("fatal"), LogLevel::kFatal);
+  EXPECT_EQ(LogConfig::ParseLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(LogConfig::ParseLevel("4"), LogLevel::kFatal);
+  EXPECT_EQ(LogConfig::ParseLevel(""), std::nullopt);
+  EXPECT_EQ(LogConfig::ParseLevel("verbose"), std::nullopt);
+  EXPECT_EQ(LogConfig::ParseLevel("7"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace magneto

@@ -119,5 +119,68 @@ TEST(ParallelDeterminismTest, SiameseTrainingBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(TelemetryDeterminismTest, TracingOnDoesNotPerturbResults) {
+  // Telemetry must be an observer: with spans and metrics recording, the
+  // pipeline still produces bit-identical features at any thread count.
+  sensors::SyntheticGenerator gen(23);
+  const std::vector<sensors::LabeledRecording> corpus =
+      gen.GenerateDataset(sensors::DefaultActivityLibrary(), 2, 5.0);
+
+  obs::SetTraceEnabled(true);
+  auto run = [&] {
+    preprocess::Pipeline pipeline{preprocess::PipelineConfig{}};
+    auto fitted = pipeline.Fit(corpus);
+    EXPECT_TRUE(fitted.ok()) << fitted.status().ToString();
+    return std::move(fitted).value().ToMatrix();
+  };
+  auto serial = WithThreads(1, run);
+  auto threaded = WithThreads(8, run);
+  obs::SetTraceEnabled(false);
+  obs::ClearTrace();
+  ExpectBitIdentical(serial, threaded, "Pipeline::Fit under tracing");
+}
+
+TEST(TelemetryDeterminismTest, HistogramSnapshotIdenticalAcrossThreadCounts) {
+  // The same deterministic value stream, recorded from inside ParallelFor
+  // bodies at different lane counts, must snapshot identically: fixed bucket
+  // boundaries, exact counts, and an interleaving-independent sum.
+  obs::Histogram* h = obs::Registry::Global().GetHistogram(
+      "test.determinism.parallel_hist", {1.0, 10.0, 100.0, 1000.0});
+
+  auto fill_and_snapshot = [&] {
+    h->Reset();
+    ParallelFor(0, 4096, 16, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        h->Record(static_cast<double>(i % 1500) + 0.125);
+      }
+    });
+    obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+    const obs::Snapshot::HistogramValue* value =
+        snap.FindHistogram("test.determinism.parallel_hist");
+    EXPECT_NE(value, nullptr);
+    return *value;
+  };
+
+  const auto serial = WithThreads(1, fill_and_snapshot);
+  const auto threaded = WithThreads(8, fill_and_snapshot);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(serial.count, 4096u);
+  EXPECT_EQ(serial.bounds, (std::vector<double>{1.0, 10.0, 100.0, 1000.0}));
+}
+
+TEST(TelemetryDeterminismTest, CounterTotalsExactAcrossThreadCounts) {
+  obs::Counter* c =
+      obs::Registry::Global().GetCounter("test.determinism.parallel_counter");
+  auto fill = [&] {
+    c->Reset();
+    ParallelFor(0, 10000, 7, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) c->Increment();
+    });
+    return c->value();
+  };
+  EXPECT_EQ(WithThreads(1, fill), 10000u);
+  EXPECT_EQ(WithThreads(8, fill), 10000u);
+}
+
 }  // namespace
 }  // namespace magneto

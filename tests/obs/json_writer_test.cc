@@ -1,0 +1,78 @@
+// The shared JSON writer underpins the metrics snapshot, the Chrome trace
+// export, and the BENCH_*.json artifacts — its output must be exactly right.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_writer.h"
+
+namespace magneto::obs {
+namespace {
+
+TEST(JsonWriterTest, CompactObjectWithEveryValueKind) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject()
+      .Field("s", "text")
+      .Field("i", int64_t{-3})
+      .Field("u", uint64_t{18446744073709551615ull})
+      .Field("d", 1.5)
+      .Field("b", true)
+      .EndObject();
+  EXPECT_TRUE(json.Complete());
+  EXPECT_EQ(json.str(),
+            "{\"s\":\"text\",\"i\":-3,\"u\":18446744073709551615,"
+            "\"d\":1.5,\"b\":true}");
+}
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject().Key("rows").BeginArray();
+  json.Value(1).Value(2);
+  json.BeginObject().Field("k", "v").EndObject();
+  json.EndArray().EndObject();
+  EXPECT_TRUE(json.Complete());
+  EXPECT_EQ(json.str(), "{\"rows\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndControlCharacters) {
+  std::string out;
+  JsonEscape("a\"b\\c\nd\te\x01", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginArray()
+      .Value(std::numeric_limits<double>::quiet_NaN())
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(0.0)
+      .EndArray();
+  EXPECT_EQ(json.str(), "[null,null,0]");
+}
+
+TEST(JsonWriterTest, PrettyModeIndents) {
+  JsonWriter json(/*pretty=*/true);
+  json.BeginObject().Field("a", 1).EndObject();
+  EXPECT_EQ(json.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriterTest, CompleteOnlyAfterRootCloses) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject();
+  EXPECT_FALSE(json.Complete());
+  json.EndObject();
+  EXPECT_TRUE(json.Complete());
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject().Key("o").BeginObject().EndObject().Key("a").BeginArray()
+      .EndArray().EndObject();
+  EXPECT_EQ(json.str(), "{\"o\":{},\"a\":[]}");
+}
+
+}  // namespace
+}  // namespace magneto::obs

@@ -1,0 +1,200 @@
+// Correctness and concurrency contract of the metrics registry: exact totals
+// under N-thread hammering, deterministic snapshots, and well-formed exports.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace magneto::obs {
+namespace {
+
+/// Unique-per-test metric names keep tests independent of registration order
+/// (the registry is process-global and never unregisters).
+std::string Name(const char* base) {
+  return std::string("test.") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         "." + base;
+}
+
+TEST(CounterTest, ExactTotalsFromConcurrentIncrements) {
+  Counter* counter = Registry::Global().GetCounter(Name("hits"));
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, BulkIncrementAndReset) {
+  Counter* counter = Registry::Global().GetCounter(Name("bulk"));
+  counter->Increment(41);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 42u);
+  counter->Reset();
+  EXPECT_EQ(counter->value(), 0u);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  const std::string name = Name("shared");
+  Counter* a = Registry::Global().GetCounter(name);
+  Counter* b = Registry::Global().GetCounter(name);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), name);
+}
+
+TEST(GaugeTest, SetAndConcurrentAdd) {
+  Gauge* gauge = Registry::Global().GetGauge(Name("level"));
+  gauge->Set(7.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 7.5);
+
+  gauge->Reset();
+  constexpr size_t kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Each CAS-add of exactly 1.0 is exact in double arithmetic.
+  EXPECT_DOUBLE_EQ(gauge->value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketsCountSumMinMax) {
+  Histogram* h =
+      Registry::Global().GetHistogram(Name("lat"), {1.0, 10.0, 100.0});
+  h->Record(0.5);    // bucket 0 (<= 1)
+  h->Record(1.0);    // bucket 0 (boundary is inclusive)
+  h->Record(7.0);    // bucket 1
+  h->Record(100.0);  // bucket 2
+  h->Record(999.0);  // overflow bucket
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->num_buckets(), 4u);
+  EXPECT_EQ(h->bucket(0), 2u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 1u);
+  EXPECT_EQ(h->bucket(3), 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1107.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 999.0);
+}
+
+TEST(HistogramTest, ExactAggregatesUnderConcurrentRecords) {
+  Histogram* h =
+      Registry::Global().GetHistogram(Name("conc"), {10.0, 100.0, 1000.0});
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        // Deterministic value set, identical for every thread.
+        h->Record(static_cast<double>((t * kPerThread + i) % 2000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  // Every value in [0, 2000) appears exactly kThreads*kPerThread/2000 times.
+  const double per_value = kThreads * kPerThread / 2000.0;
+  EXPECT_DOUBLE_EQ(h->sum(), per_value * (1999.0 * 2000.0 / 2.0));
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 1999.0);
+  uint64_t total = 0;
+  for (size_t b = 0; b < h->num_buckets(); ++b) total += h->bucket(b);
+  EXPECT_EQ(total, h->count());
+}
+
+TEST(HistogramTest, DefaultBoundsAreTheSharedLatencyBuckets) {
+  Histogram* h = Registry::Global().GetHistogram(Name("default_bounds"));
+  EXPECT_EQ(h->bounds(), LatencyBucketsUs());
+  for (size_t i = 1; i < h->bounds().size(); ++i) {
+    EXPECT_LT(h->bounds()[i - 1], h->bounds()[i]) << "bounds must increase";
+  }
+}
+
+TEST(SnapshotTest, FindAndQuantile) {
+  const std::string cname = Name("snap_counter");
+  const std::string hname = Name("snap_hist");
+  Registry::Global().GetCounter(cname)->Increment(3);
+  Histogram* h = Registry::Global().GetHistogram(hname, {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h->Record(i < 90 ? 1.0 : 3.0);
+
+  Snapshot snap = Registry::Global().TakeSnapshot();
+  const auto* counter = snap.FindCounter(cname);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 3u);
+  EXPECT_EQ(snap.FindCounter("test.does.not.exist"), nullptr);
+
+  const auto* hist = snap.FindHistogram(hname);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 100u);
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.5), 1.0);   // 90% of mass at <= 1
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.95), 4.0);  // tail lands in (2, 4]
+}
+
+TEST(SnapshotTest, SortedDeterministicAndJsonWellFormed) {
+  Registry::Global().GetCounter(Name("b"))->Increment();
+  Registry::Global().GetCounter(Name("a"))->Increment();
+  Snapshot snap = Registry::Global().TakeSnapshot();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  // Two snapshots of an unchanged registry are identical.
+  Snapshot again = Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counters, again.counters);
+  EXPECT_EQ(snap.ToJson(), again.ToJson());
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Balanced braces => structurally plausible; the trace test runs a full
+  // JSON well-formedness check on the shared writer.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(SnapshotTest, TableListsEveryMetric) {
+  const std::string cname = Name("table_counter");
+  Registry::Global().GetCounter(cname)->Increment(9);
+  const std::string table = Registry::Global().TakeSnapshot().ToTable();
+  EXPECT_NE(table.find(cname), std::string::npos);
+  EXPECT_NE(table.find('9'), std::string::npos);
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsHandles) {
+  Counter* counter = Registry::Global().GetCounter(Name("reset"));
+  Histogram* h = Registry::Global().GetHistogram(Name("reset_h"), {1.0});
+  counter->Increment(5);
+  h->Record(0.5);
+  Registry::Global().ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  // The handle stays registered and usable.
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 1u);
+  EXPECT_EQ(Registry::Global().GetCounter(Name("reset")), counter);
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleInTheRequestedUnit) {
+  Histogram* h = Registry::Global().GetHistogram(Name("timer"));
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GE(h->min(), 0.0);
+}
+
+}  // namespace
+}  // namespace magneto::obs

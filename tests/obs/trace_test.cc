@@ -1,0 +1,251 @@
+// Tracer contract: zero recording when disabled, correct nesting depths,
+// bounded rings that drop oldest-first, and Chrome trace_event JSON that a
+// strict parser accepts with every span exported as a matched B/E pair.
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace magneto::obs {
+namespace {
+
+/// Strict recursive-descent JSON well-formedness checker. Small on purpose:
+/// it validates structure (the golden-file property we need), not semantics.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    const bool ok = Value();
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    return Consume('"');
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      if (!String() || !Consume(':') || !Value()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+  bool Array() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!Value()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Every test owns the global tracer state for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearTrace();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+    SetTraceRingCapacity(16384);
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetTraceEnabled(false);
+  { TraceSpan span("invisible"); }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TraceTest, NestedSpansGetIncreasingDepths) {
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan middle("middle");
+      { TraceSpan inner("inner"); }
+    }
+  }
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  std::map<std::string, const TraceEvent*> by_name;
+  for (const TraceEvent& e : events) by_name[e.name] = &e;
+  ASSERT_EQ(by_name.size(), 3u);
+  EXPECT_EQ(by_name["outer"]->depth, 0);
+  EXPECT_EQ(by_name["middle"]->depth, 1);
+  EXPECT_EQ(by_name["inner"]->depth, 2);
+  // Nested spans are contained in their parents.
+  EXPECT_LE(by_name["outer"]->begin_ns, by_name["middle"]->begin_ns);
+  EXPECT_GE(by_name["outer"]->end_ns, by_name["middle"]->end_ns);
+  EXPECT_LE(by_name["middle"]->begin_ns, by_name["inner"]->begin_ns);
+}
+
+TEST_F(TraceTest, EventsSortedByBeginTime) {
+  { TraceSpan a("first"); }
+  { TraceSpan b("second"); }
+  { TraceSpan c("third"); }
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "first");
+  EXPECT_STREQ(events[1].name, "second");
+  EXPECT_STREQ(events[2].name, "third");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].begin_ns, events[i].begin_ns);
+  }
+}
+
+TEST_F(TraceTest, RingWraparoundKeepsNewestSpans) {
+  // A fresh capacity only applies to rings created after the call; spans on
+  // this thread may use an existing ring, so run on a new thread.
+  SetTraceRingCapacity(4);
+  std::vector<std::string> names;
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      switch (i) {
+        case 6: { TraceSpan s("span6"); break; }
+        case 7: { TraceSpan s("span7"); break; }
+        case 8: { TraceSpan s("span8"); break; }
+        case 9: { TraceSpan s("span9"); break; }
+        default: { TraceSpan s("older"); break; }
+      }
+    }
+  });
+  worker.join();
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 4u);  // capacity bounds retention
+  EXPECT_STREQ(events[0].name, "span6");
+  EXPECT_STREQ(events[1].name, "span7");
+  EXPECT_STREQ(events[2].name, "span8");
+  EXPECT_STREQ(events[3].name, "span9");
+}
+
+TEST_F(TraceTest, ChromeJsonParsesAndPairsEveryBeginWithAnEnd) {
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  { TraceSpan after("after"); }
+  const std::string json = TraceToJson();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  // Count B and E markers per name: every span contributes exactly one of
+  // each (the viewer rejects unbalanced stacks).
+  auto count = [&json](const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"B\""), 3u);
+  EXPECT_EQ(count("\"ph\":\"E\""), 3u);
+  for (const char* name : {"outer", "inner", "after"}) {
+    EXPECT_EQ(count(std::string("\"name\":\"") + name + "\""), 2u) << name;
+  }
+}
+
+TEST_F(TraceTest, GoldenShapeOfOneSpan) {
+  // With a single span the whole document is predictable except timestamps:
+  // B at ts 0, E at the span's duration.
+  { TraceSpan span("solo"); }
+  const std::string json = TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  const std::string expected_prefix =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"solo\","
+      "\"cat\":\"magneto\",\"ph\":\"B\",\"ts\":0,";
+  EXPECT_EQ(json.substr(0, expected_prefix.size()), expected_prefix) << json;
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearTraceDropsEverything) {
+  { TraceSpan span("gone"); }
+  ASSERT_FALSE(CollectTraceEvents().empty());
+  ClearTrace();
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+}  // namespace
+}  // namespace magneto::obs

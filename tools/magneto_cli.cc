@@ -35,6 +35,13 @@
 ///   magneto export-csv --bundle <bundle> --data data.msns --out features.csv
 ///       Runs a campaign through the bundle's preprocessing pipeline and
 ///       writes the normalised features as CSV for external analysis.
+///
+/// Telemetry flags, valid with every subcommand:
+///   --metrics-out FILE   after the command, write the metrics registry
+///                        snapshot (counters/gauges/histograms) as JSON
+///   --trace-out FILE     enable tracing for the run and write a Chrome
+///                        trace_event JSON (open in chrome://tracing or
+///                        https://ui.perfetto.dev)
 
 #include <cstdio>
 #include <cstring>
@@ -187,6 +194,19 @@ int CmdSimulate(const Args& args) {
   const std::string activity = args.Get("activity", "Walk");
   const double seconds = args.GetDouble("seconds", 6.0);
   const double intensity = args.GetDouble("user-intensity", 0.0);
+
+  // Model the cloud -> edge provisioning step: the bundle is the only thing
+  // that crosses the link (MAGNETO's privacy contract: no user data uplink).
+  platform::NetworkLink link(args.GetDouble("rtt-ms", 50.0),
+                             args.GetDouble("mbps", 10.0));
+  const double provision_s =
+      link.Transfer(platform::Direction::kDownlink,
+                    platform::PayloadKind::kModelArtifact,
+                    bundle.value().SerializedBytes());
+  std::printf("provisioned %.1f KiB bundle in %.2f s "
+              "(rtt %.0f ms, %.0f Mbit/s)\n",
+              bundle.value().SerializedBytes() / 1024.0, provision_s,
+              link.rtt_ms(), link.bandwidth_mbps());
 
   auto id = bundle.value().registry.IdOf(activity);
   sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
@@ -450,13 +470,10 @@ void Usage() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    Usage();
-    return 2;
-  }
-  const std::string command = argv[1];
-  Args args(argc, argv, 2);
+namespace {
+
+int Dispatch(const std::string& command, const Args& args, int argc,
+             char** argv) {
   if (command == "pretrain") return CmdPretrain(args);
   if (command == "inspect") {
     if (argc < 3) {
@@ -474,4 +491,44 @@ int main(int argc, char** argv) {
   if (command == "export-csv") return CmdExportCsv(args);
   Usage();
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+
+  // Telemetry flags work with every subcommand. Scanned over raw argv so a
+  // positional argument (e.g. `inspect <bundle>`) cannot misalign them.
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  }
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
+
+  const int rc = Dispatch(command, args, argc, argv);
+
+  if (!metrics_out.empty()) {
+    const std::string json = obs::Registry::Global().TakeSnapshot().ToJson();
+    if (!obs::WriteStringToFile(json, metrics_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::WriteTrace(trace_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+  return rc;
 }
