@@ -1,8 +1,12 @@
 #include "common/serial.h"
 
 #include <array>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 
 namespace magneto {
 
@@ -185,6 +189,50 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+namespace {
+std::atomic<size_t> g_max_write_bytes{std::numeric_limits<size_t>::max()};
+}  // namespace
+
+namespace testing_internal {
+void SetMaxWriteBytesForTest(size_t n) {
+  g_max_write_bytes.store(n, std::memory_order_relaxed);
+}
+}  // namespace testing_internal
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = AtomicTempPath(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    const size_t limit = g_max_write_bytes.load(std::memory_order_relaxed);
+    if (contents.size() > limit) {
+      // Fault hook fired: emulate power loss mid-write — the partial temp
+      // stays behind and `path` is untouched, exactly the state the
+      // last-known-good recovery path must handle.
+      out.write(contents.data(), static_cast<std::streamsize>(limit));
+      out.flush();
+      return Status::IoError("simulated partial write: " + tmp);
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
   return Status::Ok();
 }
 

@@ -91,11 +91,29 @@ class BinaryReader {
   size_t pos_;
 };
 
-/// Writes `contents` atomically-ish to `path` (write + flush). Overwrites.
+/// Writes `contents` to `path` directly (open with trunc + write + flush).
+/// NOT crash-safe: a crash or I/O fault mid-write destroys any previous
+/// contents of `path`. Prefer `WriteFileAtomic` for anything irreplaceable.
 Status WriteFile(const std::string& path, const std::string& contents);
+
+/// Crash-safe file replacement: writes `contents` to `<path>.tmp`, flushes,
+/// then renames over `path` (atomic on POSIX filesystems). A crash or fault
+/// mid-write leaves the previous `path` intact — at worst a stale temp file
+/// remains, which the next atomic write overwrites.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// The temp path `WriteFileAtomic(path, ...)` stages into.
+std::string AtomicTempPath(const std::string& path);
 
 /// Reads the whole file at `path`.
 Result<std::string> ReadFile(const std::string& path);
+
+namespace testing_internal {
+/// Fault hook for persistence tests: `WriteFileAtomic` stops after writing
+/// `n` bytes of content and returns kIoError, leaving the partial temp file
+/// behind exactly as a power loss would. `SIZE_MAX` (the default) disables.
+void SetMaxWriteBytesForTest(size_t n);
+}  // namespace testing_internal
 
 }  // namespace magneto
 

@@ -1,5 +1,8 @@
 #include "core/edge_runtime.h"
 
+#include <filesystem>
+
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -205,6 +208,58 @@ Result<UpdateReport> EdgeRuntime::CommitUpdate() {
   ++stats_.updates;
   Metrics().updates->Increment();
   return std::move(outcome.report);
+}
+
+ModelBundle EdgeRuntime::ToBundle() const {
+  ModelBundle bundle;
+  bundle.pipeline = model_.pipeline();
+  bundle.backbone = model_.backbone().Clone();
+  bundle.classifier = model_.classifier();
+  bundle.registry = model_.registry();
+  bundle.support = support_;
+  return bundle;
+}
+
+std::string EdgeRuntime::LastKnownGoodPath(const std::string& path) {
+  return path + ".lkg";
+}
+
+Status EdgeRuntime::SaveCheckpoint(const std::string& path) const {
+  // Rotate the current checkpoint (whatever its health — it was the last
+  // state this code accepted) to the fallback slot, then atomically write
+  // the new one. A crash between the two steps leaves the .lkg loadable; a
+  // crash mid-write leaves the temp behind and the rotation intact.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, LastKnownGoodPath(path), ec);
+    if (ec) {
+      return Status::IoError("checkpoint rotation failed: " + path + ": " +
+                             ec.message());
+    }
+  }
+  MAGNETO_RETURN_IF_ERROR(ToBundle().SaveToFile(path));
+  static obs::Counter* const saves =
+      obs::Registry::Global().GetCounter("edge.checkpoint.saves");
+  saves->Increment();
+  return Status::Ok();
+}
+
+Result<EdgeRuntime> EdgeRuntime::FromCheckpoint(const std::string& path,
+                                                IncrementalOptions options,
+                                                double sample_rate_hz) {
+  bool used_fallback = false;
+  MAGNETO_ASSIGN_OR_RETURN(
+      ModelBundle bundle,
+      ModelBundle::LoadFromFileWithFallback(path, LastKnownGoodPath(path),
+                                            &used_fallback));
+  if (used_fallback) {
+    MAGNETO_LOG(Warning) << "checkpoint " << path
+                         << " unusable; restored last-known-good "
+                         << LastKnownGoodPath(path);
+  }
+  SupportSet support = std::move(bundle.support);
+  return EdgeRuntime(std::move(bundle).ToEdgeModel(), std::move(support),
+                     options, sample_rate_hz);
 }
 
 void EdgeRuntime::EnableSmoothing(PredictionSmoother::Options options) {

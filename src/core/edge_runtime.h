@@ -13,6 +13,7 @@
 #include "core/edge_model.h"
 #include "core/incremental_learner.h"
 #include "core/drift_monitor.h"
+#include "core/model_bundle.h"
 #include "core/smoother.h"
 #include "core/support_set.h"
 #include "sensors/recording.h"
@@ -89,6 +90,27 @@ class EdgeRuntime {
   /// and support set in, and returns the report. On training failure the
   /// current model stays in place and the error is returned.
   Result<UpdateReport> CommitUpdate();
+
+  // -- Crash-safe persistence ---------------------------------------------------
+
+  /// Deep-copies the current model + support set into a transferable bundle
+  /// (the exact artifact a fresh provisioning would ship).
+  ModelBundle ToBundle() const;
+
+  /// `<path>.lkg` — where `SaveCheckpoint` rotates the previous checkpoint.
+  static std::string LastKnownGoodPath(const std::string& path);
+
+  /// Crash-safe checkpoint: rotates any existing file at `path` to
+  /// `LastKnownGoodPath(path)`, then atomically writes the current state.
+  /// A crash at any point leaves at least one loadable checkpoint on disk.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Boots a runtime from a checkpoint, falling back to the last-known-good
+  /// file when the primary is missing or corrupt (counted under
+  /// `edge.checkpoint.fallbacks`) instead of failing closed.
+  static Result<EdgeRuntime> FromCheckpoint(
+      const std::string& path, IncrementalOptions options,
+      double sample_rate_hz = sensors::kDefaultSampleRateHz);
 
   // -- Output smoothing ----------------------------------------------------------
 

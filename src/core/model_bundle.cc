@@ -2,11 +2,40 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace magneto::core {
 
 namespace {
 constexpr char kMagic[4] = {'M', 'G', 'T', 'O'};
-constexpr uint32_t kVersion = 1;
+/// v1: trailing CRC covered the body only — a bit-flip in the version or
+/// length field surfaced as a misleading "unsupported version" / "truncated
+/// body". v2 keeps the identical field layout but the trailing CRC covers
+/// version + length + body, so any header damage is a checksum error.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kFooterBytes = sizeof(uint32_t);
+
+/// Parses the five bundle sections out of a bounds-checked body reader.
+Result<ModelBundle> ParseBody(BinaryReader* body_reader) {
+  ModelBundle bundle;
+  MAGNETO_ASSIGN_OR_RETURN(bundle.pipeline,
+                           preprocess::Pipeline::Deserialize(body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
+                           nn::Sequential::Deserialize(body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.classifier,
+                           NcmClassifier::Deserialize(body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.registry,
+                           sensors::ActivityRegistry::Deserialize(body_reader));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.support,
+                           SupportSet::Deserialize(body_reader));
+  if (!body_reader->AtEnd()) {
+    return Status::Corruption("trailing bytes in bundle body");
+  }
+  return bundle;
+}
+
 }  // namespace
 
 std::string ModelBundle::SerializeToString() const {
@@ -23,13 +52,14 @@ std::string ModelBundle::SerializeToString() const {
   out.WriteU32(kVersion);
   out.WriteU64(body.size());
   out.WriteBytes(body.data(), body.size());
-  out.WriteU32(Crc32(body.data(), body.size()));
+  // v2: the CRC protects everything after the magic — version, length, body.
+  out.WriteU32(Crc32(out.buffer().data() + sizeof(kMagic),
+                     out.size() - sizeof(kMagic)));
   return out.TakeBuffer();
 }
 
 Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
-  BinaryReader reader(bytes);
-  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
     return Status::Corruption("bundle too small");
   }
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -38,47 +68,81 @@ Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
   BinaryReader header(bytes.data() + sizeof(kMagic),
                       bytes.size() - sizeof(kMagic));
   MAGNETO_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t body_size, header.ReadU64());
+
+  if (version == 1) {
+    // Legacy read path: CRC over the body only, located via the length
+    // field. Subtraction-form bounds check — `body_size` is untrusted, and
+    // `body_size + sizeof(uint32_t)` can wrap past UINT64_MAX and slip
+    // through an addition-form comparison, putting the reader's bounds far
+    // past the buffer.
+    if (header.remaining() < sizeof(uint32_t) ||
+        body_size > header.remaining() - sizeof(uint32_t)) {
+      return Status::Corruption("truncated bundle body");
+    }
+    const char* body = bytes.data() + kHeaderBytes;
+    BinaryReader crc_reader(body + body_size, sizeof(uint32_t));
+    MAGNETO_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.ReadU32());
+    if (Crc32(body, body_size) != stored_crc) {
+      return Status::Corruption("bundle checksum mismatch");
+    }
+    BinaryReader body_reader(body, body_size);
+    return ParseBody(&body_reader);
+  }
+
+  // v2+: the trailing CRC is anchored to the end of the buffer, not to the
+  // (untrusted) length field, so it can be verified before anything else in
+  // the header is believed. Corruption anywhere — version and length fields
+  // included — therefore reports as a checksum mismatch, and the version /
+  // length errors below only fire for genuinely well-formed inputs.
+  BinaryReader crc_reader(bytes.data() + bytes.size() - kFooterBytes,
+                          kFooterBytes);
+  MAGNETO_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.ReadU32());
+  if (Crc32(bytes.data() + sizeof(kMagic),
+            bytes.size() - sizeof(kMagic) - kFooterBytes) != stored_crc) {
+    return Status::Corruption("bundle checksum mismatch");
+  }
   if (version != kVersion) {
     return Status::Corruption("unsupported bundle version: " +
                               std::to_string(version));
   }
-  MAGNETO_ASSIGN_OR_RETURN(uint64_t body_size, header.ReadU64());
-  if (header.remaining() < body_size + sizeof(uint32_t)) {
+  if (body_size != bytes.size() - kHeaderBytes - kFooterBytes) {
     return Status::Corruption("truncated bundle body");
   }
-  const char* body = bytes.data() + (bytes.size() - header.remaining());
-  BinaryReader body_reader(body, body_size);
-
-  BinaryReader crc_reader(body + body_size, sizeof(uint32_t));
-  MAGNETO_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.ReadU32());
-  if (Crc32(body, body_size) != stored_crc) {
-    return Status::Corruption("bundle checksum mismatch");
-  }
-
-  ModelBundle bundle;
-  MAGNETO_ASSIGN_OR_RETURN(bundle.pipeline,
-                           preprocess::Pipeline::Deserialize(&body_reader));
-  MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
-                           nn::Sequential::Deserialize(&body_reader));
-  MAGNETO_ASSIGN_OR_RETURN(bundle.classifier,
-                           NcmClassifier::Deserialize(&body_reader));
-  MAGNETO_ASSIGN_OR_RETURN(bundle.registry,
-                           sensors::ActivityRegistry::Deserialize(&body_reader));
-  MAGNETO_ASSIGN_OR_RETURN(bundle.support,
-                           SupportSet::Deserialize(&body_reader));
-  if (!body_reader.AtEnd()) {
-    return Status::Corruption("trailing bytes in bundle body");
-  }
-  return bundle;
+  BinaryReader body_reader(bytes.data() + kHeaderBytes, body_size);
+  return ParseBody(&body_reader);
 }
 
 Status ModelBundle::SaveToFile(const std::string& path) const {
-  return WriteFile(path, SerializeToString());
+  // Atomic replacement: a crash mid-save must never brick the device by
+  // destroying the only copy of the deployed bundle.
+  return WriteFileAtomic(path, SerializeToString());
 }
 
 Result<ModelBundle> ModelBundle::LoadFromFile(const std::string& path) {
   MAGNETO_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
   return FromString(bytes);
+}
+
+Result<ModelBundle> ModelBundle::LoadFromFileWithFallback(
+    const std::string& path, const std::string& fallback_path,
+    bool* used_fallback) {
+  if (used_fallback != nullptr) *used_fallback = false;
+  Result<ModelBundle> primary = LoadFromFile(path);
+  if (primary.ok()) return primary;
+  Result<ModelBundle> fallback = LoadFromFile(fallback_path);
+  if (!fallback.ok()) {
+    // Surface the primary failure; the fallback being absent is expected
+    // before the first checkpoint rotation.
+    return Status(primary.status().code(),
+                  primary.status().message() + " (fallback " + fallback_path +
+                      ": " + fallback.status().message() + ")");
+  }
+  static obs::Counter* const fallbacks =
+      obs::Registry::Global().GetCounter("edge.checkpoint.fallbacks");
+  fallbacks->Increment();
+  if (used_fallback != nullptr) *used_fallback = true;
+  return fallback;
 }
 
 EdgeModel ModelBundle::ToEdgeModel() && {

@@ -18,8 +18,11 @@ namespace magneto::core {
 /// model, the support set, plus the activity registry and NCM prototypes
 /// derived from them.
 ///
-/// Wire format (".magneto" file): magic "MGTO", u32 version, u64 payload
-/// length, payload, u32 CRC-32 of the payload. Move-only (owns the backbone).
+/// Wire format (".magneto" file), v2: magic "MGTO", u32 version, u64 payload
+/// length, payload, u32 CRC-32 over everything after the magic (version +
+/// length + payload), so header bit-flips report as checksum errors. v1
+/// files (CRC over the payload only) still load. Move-only (owns the
+/// backbone).
 struct ModelBundle {
   preprocess::Pipeline pipeline;
   nn::Sequential backbone;
@@ -37,8 +40,19 @@ struct ModelBundle {
   /// Parses and checksum-verifies a serialised bundle.
   static Result<ModelBundle> FromString(const std::string& bytes);
 
+  /// Crash-safe: writes via `WriteFileAtomic`, so an interrupted save leaves
+  /// any previous file at `path` intact.
   Status SaveToFile(const std::string& path) const;
   static Result<ModelBundle> LoadFromFile(const std::string& path);
+
+  /// Loads `path`; if it is missing or corrupt, falls back to
+  /// `fallback_path` (the last-known-good checkpoint — see
+  /// `EdgeRuntime::SaveCheckpoint`). Increments the
+  /// `edge.checkpoint.fallbacks` counter and sets `*used_fallback` when the
+  /// fallback was used. Fails with the primary's error when both fail.
+  static Result<ModelBundle> LoadFromFileWithFallback(
+      const std::string& path, const std::string& fallback_path,
+      bool* used_fallback = nullptr);
 
   /// Exact size of the artifact the edge must store — the paper's "< 5 MB"
   /// claim (§4.2.2) is measured on this.

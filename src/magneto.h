@@ -62,9 +62,11 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/bundle_transport.h"
 #include "platform/cloud_server.h"
 #include "platform/edge_device.h"
 #include "platform/energy.h"
+#include "platform/fault_injector.h"
 #include "platform/network_link.h"
 #include "platform/privacy_auditor.h"
 #include "platform/protocols.h"

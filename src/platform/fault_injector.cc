@@ -1,0 +1,90 @@
+#include "platform/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace magneto::platform {
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPolicy policy)
+    : policy_(policy), rng_(policy.seed) {
+  MAGNETO_CHECK(policy.drop_rate >= 0.0);
+  MAGNETO_CHECK(policy.truncate_rate >= 0.0);
+  MAGNETO_CHECK(policy.bit_flip_rate >= 0.0);
+  MAGNETO_CHECK(policy.delay_rate >= 0.0);
+  MAGNETO_CHECK(policy.total_rate() <= 1.0);
+}
+
+FaultDecision FaultInjector::Decide(size_t payload_bytes) {
+  // One uniform draw selects the outcome; two more position it. Always
+  // drawing all three keeps the stream alignment independent of which branch
+  // fires, so changing one rate does not reshuffle every later decision.
+  const double u = rng_.Uniform();
+  const size_t offset = payload_bytes > 0 ? rng_.Index(payload_bytes) : 0;
+  const uint8_t bit = static_cast<uint8_t>(rng_.UniformInt(0, 7));
+
+  FaultDecision decision;
+  double threshold = policy_.drop_rate;
+  if (u < threshold) {
+    decision.kind = FaultKind::kDrop;
+    return decision;
+  }
+  threshold += policy_.truncate_rate;
+  if (u < threshold) {
+    decision.kind = FaultKind::kTruncate;
+    decision.offset = offset;
+    return decision;
+  }
+  threshold += policy_.bit_flip_rate;
+  if (u < threshold) {
+    decision.kind = FaultKind::kBitFlip;
+    decision.offset = offset;
+    decision.bit = bit;
+    return decision;
+  }
+  threshold += policy_.delay_rate;
+  if (u < threshold) {
+    decision.kind = FaultKind::kDelay;
+    decision.extra_seconds = policy_.delay_seconds;
+    return decision;
+  }
+  return decision;
+}
+
+bool FaultInjector::Apply(const FaultDecision& decision, std::string* payload) {
+  switch (decision.kind) {
+    case FaultKind::kDrop:
+      return false;
+    case FaultKind::kTruncate:
+      if (!payload->empty()) {
+        payload->resize(decision.offset % payload->size());
+      }
+      return true;
+    case FaultKind::kBitFlip:
+      if (!payload->empty()) {
+        (*payload)[decision.offset % payload->size()] ^=
+            static_cast<char>(1u << (decision.bit & 7));
+      }
+      return true;
+    case FaultKind::kNone:
+    case FaultKind::kDelay:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace magneto::platform

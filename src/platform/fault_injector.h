@@ -1,0 +1,78 @@
+#ifndef MAGNETO_PLATFORM_FAULT_INJECTOR_H_
+#define MAGNETO_PLATFORM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace magneto::platform {
+
+/// What the injector decided to do to one transfer.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kDrop = 1,      ///< the transfer never arrives
+  kTruncate = 2,  ///< the payload arrives cut short
+  kBitFlip = 3,   ///< one bit of the payload arrives flipped
+  kDelay = 4,     ///< arrives intact but late
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// Per-transfer fault probabilities for a simulated lossy link. Rates are
+/// independent probabilities of mutually exclusive outcomes, evaluated in
+/// declaration order from a single uniform draw (their sum must be <= 1;
+/// the remainder is a clean delivery).
+struct FaultPolicy {
+  double drop_rate = 0.0;
+  double truncate_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  double delay_rate = 0.0;
+  double delay_seconds = 0.25;  ///< extra simulated latency when delayed
+  uint64_t seed = 0;
+
+  double total_rate() const {
+    return drop_rate + truncate_rate + bit_flip_rate + delay_rate;
+  }
+};
+
+/// One concrete fault, positioned within a specific payload.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  size_t offset = 0;          ///< truncation length / byte to flip
+  uint8_t bit = 0;            ///< bit index within the flipped byte
+  double extra_seconds = 0.0;  ///< added latency (kDelay)
+};
+
+/// Deterministic, seeded fault source for `NetworkLink`. Every transfer asks
+/// the injector for a decision; the same seed and transfer sequence always
+/// produce the same faults, so lossy-link tests and benches are exactly
+/// reproducible. Virtual so tests can script exact fault sequences.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPolicy policy);
+  virtual ~FaultInjector() = default;
+
+  /// Draws the fault (if any) for the next transfer of `payload_bytes`.
+  /// Advances the seeded stream; call exactly once per transfer.
+  virtual FaultDecision Decide(size_t payload_bytes);
+
+  /// Applies `decision` to `payload` in place. Returns false when the
+  /// transfer is dropped entirely (payload content is then meaningless).
+  static bool Apply(const FaultDecision& decision, std::string* payload);
+
+  const FaultPolicy& policy() const { return policy_; }
+
+ protected:
+  /// For scripted test subclasses that bypass the random stream.
+  FaultInjector() : rng_(0) {}
+
+ private:
+  FaultPolicy policy_;
+  Rng rng_{0};
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_FAULT_INJECTOR_H_

@@ -1,5 +1,7 @@
 #include "platform/network_link.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "obs/metrics.h"
 
@@ -29,6 +31,16 @@ obs::Counter* TransferCounter() {
   return transfers;
 }
 
+/// Injected-fault counters keyed by what the injector did (kNone excluded).
+obs::Counter* FaultCounter(FaultKind kind) {
+  static obs::Counter* const table[4] = {
+      obs::Registry::Global().GetCounter("net.faults.drop"),
+      obs::Registry::Global().GetCounter("net.faults.truncate"),
+      obs::Registry::Global().GetCounter("net.faults.bit_flip"),
+      obs::Registry::Global().GetCounter("net.faults.delay")};
+  return table[static_cast<size_t>(kind) - 1];
+}
+
 }  // namespace
 
 NetworkLink::NetworkLink(double rtt_ms, double bandwidth_mbps)
@@ -51,6 +63,36 @@ double NetworkLink::Transfer(Direction direction, PayloadKind kind,
   TransferCounter()->Increment();
   BytesCounter(direction, kind)->Increment(bytes);
   return seconds;
+}
+
+Delivery NetworkLink::SendPayload(Direction direction, PayloadKind kind,
+                                  std::string payload, bool pay_latency) {
+  Delivery delivery;
+  const double serialize_s = static_cast<double>(payload.size()) * 8.0 /
+                             (bandwidth_mbps_ * 1e6);
+  delivery.seconds =
+      serialize_s + (pay_latency ? rtt_ms_ / 2.0 / 1000.0 : 0.0);
+
+  FaultDecision decision;
+  if (injector_ != nullptr) decision = injector_->Decide(payload.size());
+  delivery.fault = decision.kind;
+  delivery.seconds += decision.extra_seconds;
+
+  // The ledger and byte counters record what the sender put on the wire:
+  // the radio cost is paid whether or not the payload survives.
+  records_.push_back({direction, kind, payload.size(), delivery.seconds});
+  TransferCounter()->Increment();
+  BytesCounter(direction, kind)->Increment(payload.size());
+  if (decision.kind != FaultKind::kNone) FaultCounter(decision.kind)->Increment();
+
+  delivery.delivered = FaultInjector::Apply(decision, &payload);
+  delivery.payload = std::move(payload);
+  if (!delivery.delivered) delivery.payload.clear();
+  return delivery;
+}
+
+void NetworkLink::SetFaultInjector(std::unique_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
 }
 
 size_t NetworkLink::TotalBytes(Direction direction) const {

@@ -2,8 +2,11 @@
 #define MAGNETO_PLATFORM_NETWORK_LINK_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "platform/fault_injector.h"
 
 namespace magneto::platform {
 
@@ -29,11 +32,28 @@ struct TransferRecord {
   double seconds;  ///< simulated wall time of this transfer
 };
 
+/// What arrived at the far end of one payload-carrying send.
+struct Delivery {
+  bool delivered = false;              ///< false: dropped entirely
+  FaultKind fault = FaultKind::kNone;  ///< what the injector did
+  std::string payload;                 ///< possibly truncated / bit-flipped
+  double seconds = 0.0;  ///< simulated time spent (paid even on a drop)
+};
+
 /// A deterministic latency/bandwidth model of the user-cloud connection.
 ///
 /// Transfer time = one-way latency + bytes / bandwidth. Every transfer is
 /// logged so the `PrivacyAuditor` can verify Definition 1 (no user data from
 /// edge to cloud) and the Figure-1 benchmark can report exact byte counts.
+///
+/// An optional `FaultInjector` makes the link lossy: `SendPayload` runs each
+/// payload through the injector's per-transfer decision (drop / truncate /
+/// bit-flip / delay). The byte-count-only `Transfer` is unaffected by faults.
+///
+/// Counter semantics: `Reset()` clears only this link's transfer ledger
+/// (`records()` and the `TotalBytes`/`TotalSeconds` sums derived from it).
+/// The process-wide obs counters (`net.*`) are cumulative across every link
+/// and are NOT reset — use `obs::Registry::ResetAll()` for that.
 class NetworkLink {
  public:
   /// `rtt_ms`: round-trip time; `bandwidth_mbps`: megabits/second, shared by
@@ -43,8 +63,20 @@ class NetworkLink {
   /// Simulates one transfer and returns its duration in seconds.
   double Transfer(Direction direction, PayloadKind kind, size_t bytes);
 
+  /// Simulates sending a concrete payload, applying the configured fault
+  /// injector (if any). `pay_latency = false` models a frame streamed over
+  /// an already-open connection: it pays serialization time only, not the
+  /// one-way latency (the chunked transport uses this for back-to-back
+  /// chunks; a retry re-opens the stream and pays latency again).
+  Delivery SendPayload(Direction direction, PayloadKind kind,
+                       std::string payload, bool pay_latency = true);
+
   /// Transfer duration without recording (for what-if probes).
   double EstimateSeconds(size_t bytes) const;
+
+  /// Makes the link lossy (nullptr restores a clean link).
+  void SetFaultInjector(std::unique_ptr<FaultInjector> injector);
+  FaultInjector* fault_injector() const { return injector_.get(); }
 
   double rtt_ms() const { return rtt_ms_; }
   double bandwidth_mbps() const { return bandwidth_mbps_; }
@@ -53,12 +85,16 @@ class NetworkLink {
   size_t TotalBytes(Direction direction) const;
   size_t TotalBytes(Direction direction, PayloadKind kind) const;
   double TotalSeconds() const;
+
+  /// Clears the per-link ledger only; see the class comment for how this
+  /// relates to the cumulative `net.*` obs counters.
   void Reset() { records_.clear(); }
 
  private:
   double rtt_ms_;
   double bandwidth_mbps_;
   std::vector<TransferRecord> records_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace magneto::platform

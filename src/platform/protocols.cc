@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "platform/bundle_transport.h"
 #include "platform/energy.h"
 #include "sensors/sensor_types.h"
 
@@ -76,13 +77,21 @@ Result<ProtocolMetrics> EdgeProtocol::Run(
                            server_->ServeBundleBytes());
   ProtocolMetrics metrics;
   metrics.protocol = "edge";
-  metrics.setup_latency_s = link_->Transfer(
-      Direction::kDownlink, PayloadKind::kModelArtifact, bundle_bytes.size());
+  // Provisioning goes through the fault-tolerant chunked transport: on a
+  // clean link it costs one latency hit plus serialization (like a single
+  // transfer, modulo chunk-header bytes); on a lossy link it retries with
+  // backoff until the device holds a byte-identical bundle.
+  BundleTransport transport(link_, TransportOptions{});
+  MAGNETO_ASSIGN_OR_RETURN(
+      std::string delivered,
+      transport.Deliver(Direction::kDownlink, PayloadKind::kModelArtifact,
+                        bundle_bytes));
+  metrics.setup_latency_s = transport.report().seconds;
   metrics.network_seconds += metrics.setup_latency_s;
 
   MAGNETO_ASSIGN_OR_RETURN(
       EdgeDevice device,
-      EdgeDevice::Provision(bundle_bytes, core::IncrementalOptions{}));
+      EdgeDevice::Provision(delivered, core::IncrementalOptions{}));
   core::EdgeModel& model = device.runtime().model();
 
   size_t correct = 0;

@@ -117,5 +117,53 @@ TEST(FileIoTest, MissingFileIsIoError) {
   EXPECT_EQ(res.status().code(), StatusCode::kIoError);
 }
 
+TEST(AtomicFileIoTest, RoundTripAndOverwrite) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "magneto_atomic_test.bin";
+  const std::string first("first\x00payload", 13);
+  ASSERT_TRUE(WriteFileAtomic(path, first).ok());
+  EXPECT_EQ(ReadFile(path).value(), first);
+  // No staging residue after a successful write.
+  EXPECT_FALSE(std::filesystem::exists(AtomicTempPath(path)));
+
+  const std::string second(100000, 'z');
+  ASSERT_TRUE(WriteFileAtomic(path, second).ok());
+  EXPECT_EQ(ReadFile(path).value(), second);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileIoTest, PartialWriteLeavesOriginalIntact) {
+  // Simulated power loss mid-write: the original file must survive, fully
+  // readable — the property that makes `ModelBundle::SaveToFile` safe.
+  const std::string path =
+      std::filesystem::temp_directory_path() / "magneto_atomic_partial.bin";
+  const std::string original = "the deployed bundle we cannot afford to lose";
+  ASSERT_TRUE(WriteFileAtomic(path, original).ok());
+
+  testing_internal::SetMaxWriteBytesForTest(7);
+  const std::string replacement(4096, 'R');
+  Status failed = WriteFileAtomic(path, replacement);
+  testing_internal::SetMaxWriteBytesForTest(SIZE_MAX);
+
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // The victim of the "crash" is only the staging file...
+  EXPECT_TRUE(std::filesystem::exists(AtomicTempPath(path)));
+  EXPECT_LT(std::filesystem::file_size(AtomicTempPath(path)),
+            replacement.size());
+  // ...while the original contents are untouched.
+  EXPECT_EQ(ReadFile(path).value(), original);
+
+  // The stale temp does not poison the next write.
+  ASSERT_TRUE(WriteFileAtomic(path, replacement).ok());
+  EXPECT_EQ(ReadFile(path).value(), replacement);
+  EXPECT_FALSE(std::filesystem::exists(AtomicTempPath(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileIoTest, FailureToUnwritableDirectoryIsIoError) {
+  Status s = WriteFileAtomic("/nonexistent/dir/file.bin", "x");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace magneto

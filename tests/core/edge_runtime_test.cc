@@ -1,5 +1,8 @@
 #include "core/edge_runtime.h"
 
+#include <cstdio>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "sensors/user_profile.h"
@@ -211,6 +214,69 @@ TEST(EdgeRuntimeTest, GappedStrideSkipsFrames) {
     if (pred.value().has_value()) ++emitted;
   }
   EXPECT_EQ(emitted, 3u);
+}
+
+TEST(EdgeRuntimeCheckpointTest, SaveAndRestoreRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "magneto_runtime_ckpt.magneto";
+  EdgeRuntime runtime = MakeRuntime(420);
+  sensors::SyntheticGenerator gen(9);
+  sensors::Recording rec =
+      gen.Generate(sensors::DefaultActivityLibrary()[sensors::kWalk], 2.0);
+
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  auto restored = EdgeRuntime::FromCheckpoint(path, FastUpdateOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  // The restored runtime must predict exactly like the one that saved.
+  auto original_preds = Stream(&runtime, rec);
+  auto restored_preds = Stream(&restored.value(), rec);
+  ASSERT_EQ(original_preds.size(), restored_preds.size());
+  for (size_t i = 0; i < original_preds.size(); ++i) {
+    EXPECT_EQ(original_preds[i].name, restored_preds[i].name);
+    EXPECT_NEAR(original_preds[i].prediction.distance,
+                restored_preds[i].prediction.distance, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeRuntimeCheckpointTest, SecondSaveRotatesLastKnownGood) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "magneto_runtime_rotate.magneto";
+  const std::string lkg = EdgeRuntime::LastKnownGoodPath(path);
+  EXPECT_EQ(lkg, path + ".lkg");
+
+  EdgeRuntime runtime = MakeRuntime(421);
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(lkg));  // nothing to rotate yet
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(lkg));
+  EXPECT_TRUE(ModelBundle::LoadFromFile(lkg).ok());
+  std::remove(path.c_str());
+  std::remove(lkg.c_str());
+}
+
+TEST(EdgeRuntimeCheckpointTest, CorruptPrimaryFallsBackToLastKnownGood) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "magneto_runtime_fallback.magneto";
+  const std::string lkg = EdgeRuntime::LastKnownGoodPath(path);
+  EdgeRuntime runtime = MakeRuntime(422);
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());  // populates the .lkg copy
+
+  // Smash the primary the way an interrupted non-atomic writer would have.
+  ASSERT_TRUE(WriteFile(path, "MGTO\x02partial garbage").ok());
+  auto restored = EdgeRuntime::FromCheckpoint(path, FastUpdateOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().model().registry().size(), 5u);
+  std::remove(path.c_str());
+  std::remove(lkg.c_str());
+}
+
+TEST(EdgeRuntimeCheckpointTest, MissingBothCheckpointsFails) {
+  auto restored = EdgeRuntime::FromCheckpoint(
+      "/no/such/dir/runtime_ckpt.magneto", FastUpdateOptions());
+  EXPECT_FALSE(restored.ok());
 }
 
 }  // namespace

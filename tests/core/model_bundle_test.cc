@@ -1,14 +1,36 @@
 #include "core/model_bundle.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "testing/test_helpers.h"
 
 namespace magneto::core {
 namespace {
+
+// Wire layout shared by v1 and v2: magic(4) | version u32 | body length u64 |
+// body | CRC u32. v2's CRC covers version+length+body; v1's covered the body
+// only.
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFooterBytes = 4;
+
+/// Rebuilds a bundle image with an arbitrary version/body and a *valid* v2
+/// CRC, so version/length error paths can be exercised on well-formed input.
+std::string BuildImage(uint32_t version, uint64_t declared_body_size,
+                       const std::string& body) {
+  BinaryWriter out;
+  out.WriteBytes("MGTO", 4);
+  out.WriteU32(version);
+  out.WriteU64(declared_body_size);
+  out.WriteBytes(body.data(), body.size());
+  out.WriteU32(Crc32(out.buffer().data() + 4, out.size() - 4));
+  return out.TakeBuffer();
+}
 
 class ModelBundleTest : public ::testing::Test {
  protected:
@@ -103,6 +125,160 @@ TEST_F(ModelBundleTest, FileRoundTrip) {
 TEST_F(ModelBundleTest, LoadMissingFileFails) {
   EXPECT_EQ(ModelBundle::LoadFromFile("/no/such/file.magneto").status().code(),
             StatusCode::kIoError);
+}
+
+TEST_F(ModelBundleTest, OverflowingLengthHeaderRejected) {
+  // Regression: the v1 bounds check used to be written as
+  // `remaining < body_size + 4`, which wraps when body_size is near
+  // UINT64_MAX and walks the reader far out of bounds. The subtraction-form
+  // check must reject this cleanly (ASan-verified in scripts/check.sh).
+  BinaryWriter w;
+  w.WriteBytes("MGTO", 4);
+  w.WriteU32(1);  // legacy version: length field locates the CRC
+  w.WriteU64(std::numeric_limits<uint64_t>::max() - 2);
+  w.WriteBytes("payloadpayload", 14);
+  auto res = ModelBundle::FromString(w.TakeBuffer());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+
+  // Same trap at every other wrap-around boundary.
+  for (uint64_t lie : {std::numeric_limits<uint64_t>::max(),
+                       std::numeric_limits<uint64_t>::max() - 3,
+                       uint64_t{1} << 63}) {
+    BinaryWriter crafted;
+    crafted.WriteBytes("MGTO", 4);
+    crafted.WriteU32(1);
+    crafted.WriteU64(lie);
+    crafted.WriteBytes("xxxxxxxx", 8);
+    EXPECT_EQ(ModelBundle::FromString(crafted.TakeBuffer()).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST_F(ModelBundleTest, V1ReadPathStillLoads) {
+  // Reconstruct a v1 image (CRC over the body only) from the v2 bytes; the
+  // legacy read path must keep accepting bundles written before the bump.
+  const std::string v2 = bundle_->SerializeToString();
+  const std::string body =
+      v2.substr(kHeaderBytes, v2.size() - kHeaderBytes - kFooterBytes);
+  BinaryWriter w;
+  w.WriteBytes("MGTO", 4);
+  w.WriteU32(1);
+  w.WriteU64(body.size());
+  w.WriteBytes(body.data(), body.size());
+  w.WriteU32(Crc32(body.data(), body.size()));
+  auto back = ModelBundle::FromString(w.TakeBuffer());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().registry.size(), bundle_->registry.size());
+  EXPECT_EQ(back.value().backbone.NumParameters(),
+            bundle_->backbone.NumParameters());
+}
+
+TEST_F(ModelBundleTest, HeaderBitFlipReportsChecksumMismatch) {
+  // v2's CRC covers the version and length fields, so header damage must
+  // surface as a checksum error — not as a misleading "unsupported version"
+  // or "truncated body".
+  const std::string clean = bundle_->SerializeToString();
+  for (size_t offset = 4; offset < kHeaderBytes; ++offset) {
+    std::string bytes = clean;
+    bytes[offset] ^= 0x04;
+    auto res = ModelBundle::FromString(bytes);
+    ASSERT_FALSE(res.ok()) << "header offset " << offset;
+    EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(res.status().message().find("checksum"), std::string::npos)
+        << "offset " << offset << ": " << res.status().message();
+  }
+}
+
+TEST_F(ModelBundleTest, VersionAndLengthErrorsFireOnWellFormedInput) {
+  // With a freshly recomputed CRC, the specific error paths are reachable.
+  const std::string v2 = bundle_->SerializeToString();
+  const std::string body =
+      v2.substr(kHeaderBytes, v2.size() - kHeaderBytes - kFooterBytes);
+
+  auto bad_version = ModelBundle::FromString(BuildImage(99, body.size(), body));
+  ASSERT_FALSE(bad_version.ok());
+  EXPECT_NE(bad_version.status().message().find("unsupported bundle version"),
+            std::string::npos)
+      << bad_version.status().message();
+
+  auto bad_length =
+      ModelBundle::FromString(BuildImage(2, body.size() + 8, body));
+  ASSERT_FALSE(bad_length.ok());
+  EXPECT_NE(bad_length.status().message().find("truncated bundle body"),
+            std::string::npos)
+      << bad_length.status().message();
+}
+
+TEST_F(ModelBundleTest, FuzzEveryTruncationIsRejected) {
+  // Every prefix of a valid image must parse as corruption — never crash,
+  // never read out of bounds (the ASan leg of check.sh runs this test).
+  const std::string bytes = bundle_->SerializeToString();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto res = ModelBundle::FromString(bytes.substr(0, len));
+    ASSERT_FALSE(res.ok()) << "truncated to " << len;
+    ASSERT_EQ(res.status().code(), StatusCode::kCorruption) << len;
+  }
+}
+
+TEST_F(ModelBundleTest, FuzzSeededBitFlipsAreRejected) {
+  const std::string clean = bundle_->SerializeToString();
+  Rng rng(0xB17F11F5);
+  for (int trial = 0; trial < 512; ++trial) {
+    std::string bytes = clean;
+    const size_t offset = rng.Index(bytes.size());
+    bytes[offset] ^= static_cast<char>(1u << rng.UniformInt(0, 7));
+    auto res = ModelBundle::FromString(bytes);
+    ASSERT_FALSE(res.ok()) << "flip at " << offset;
+    ASSERT_EQ(res.status().code(), StatusCode::kCorruption) << offset;
+  }
+}
+
+TEST_F(ModelBundleTest, SaveIsAtomicNoTempLeftBehind) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "magneto_bundle_atomic.magneto";
+  ASSERT_TRUE(bundle_->SaveToFile(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(AtomicTempPath(path)));
+  EXPECT_TRUE(ModelBundle::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelBundleTest, LoadWithFallbackPrefersPrimary) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string primary = dir / "magneto_fb_primary.magneto";
+  const std::string fallback = dir / "magneto_fb_lkg.magneto";
+  ASSERT_TRUE(bundle_->SaveToFile(primary).ok());
+  ASSERT_TRUE(bundle_->SaveToFile(fallback).ok());
+  bool used_fallback = true;
+  auto res =
+      ModelBundle::LoadFromFileWithFallback(primary, fallback, &used_fallback);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(used_fallback);
+  std::remove(primary.c_str());
+  std::remove(fallback.c_str());
+}
+
+TEST_F(ModelBundleTest, LoadWithFallbackRecoversFromCorruptPrimary) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string primary = dir / "magneto_fb_corrupt.magneto";
+  const std::string fallback = dir / "magneto_fb_good.magneto";
+  ASSERT_TRUE(WriteFile(primary, "MGTO garbage, not a bundle").ok());
+  ASSERT_TRUE(bundle_->SaveToFile(fallback).ok());
+  bool used_fallback = false;
+  auto res =
+      ModelBundle::LoadFromFileWithFallback(primary, fallback, &used_fallback);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_TRUE(used_fallback);
+  EXPECT_EQ(res.value().registry.size(), bundle_->registry.size());
+  std::remove(primary.c_str());
+  std::remove(fallback.c_str());
+}
+
+TEST_F(ModelBundleTest, LoadWithFallbackReportsBothFailures) {
+  auto res = ModelBundle::LoadFromFileWithFallback(
+      "/no/such/primary.magneto", "/no/such/fallback.magneto", nullptr);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().message().find("fallback"), std::string::npos);
 }
 
 TEST_F(ModelBundleTest, SerializedSizeIsStable) {

@@ -1,0 +1,246 @@
+#include "platform/bundle_transport.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace magneto::platform {
+namespace {
+
+std::string RandomPayload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string payload(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<char>(rng.UniformInt(0, 255));
+  }
+  return payload;
+}
+
+/// Plays back an exact fault sequence; clean once the script runs out.
+class ScriptedInjector : public FaultInjector {
+ public:
+  explicit ScriptedInjector(std::vector<FaultDecision> script)
+      : script_(std::move(script)) {}
+
+  FaultDecision Decide(size_t) override {
+    if (next_ < script_.size()) return script_[next_++];
+    return FaultDecision{};
+  }
+
+ private:
+  std::vector<FaultDecision> script_;
+  size_t next_ = 0;
+};
+
+FaultDecision Fault(FaultKind kind, size_t offset = 0) {
+  FaultDecision decision;
+  decision.kind = kind;
+  decision.offset = offset;
+  return decision;
+}
+
+TransportOptions SmallChunks() {
+  TransportOptions options;
+  options.chunk_bytes = 1024;
+  return options;
+}
+
+TEST(BundleTransportTest, CleanDeliveryIsByteIdentical) {
+  const std::string payload = RandomPayload(10000, 1);
+  NetworkLink link(50.0, 10.0);
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered.value(), payload);
+
+  const TransportReport& report = transport.report();
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.chunks, 10u);  // ceil(10000 / 1024)
+  EXPECT_EQ(report.attempts, 10u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.backoff_seconds, 0.0);
+  EXPECT_GT(report.wire_bytes, payload.size());  // chunk framing overhead
+  for (size_t attempts : report.chunk_attempts) EXPECT_EQ(attempts, 1u);
+  // Timing: one latency hit for the stream, serialization for every frame.
+  EXPECT_NEAR(report.seconds,
+              0.025 + static_cast<double>(report.wire_bytes) * 8.0 / 10e6,
+              1e-9);
+}
+
+TEST(BundleTransportTest, DropOnChunkKResumesAtChunkKNotChunkZero) {
+  const std::string payload = RandomPayload(8192, 2);  // 8 chunks of 1024
+  const size_t k = 5;
+  std::vector<FaultDecision> script(k, Fault(FaultKind::kNone));
+  script.push_back(Fault(FaultKind::kDrop));  // chunk k, first attempt
+  NetworkLink link(50.0, 10.0);
+  link.SetFaultInjector(std::make_unique<ScriptedInjector>(script));
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered.value(), payload);
+
+  const TransportReport& report = transport.report();
+  ASSERT_EQ(report.chunk_attempts.size(), 8u);
+  for (size_t i = 0; i < report.chunk_attempts.size(); ++i) {
+    // The resume contract: only chunk k is re-sent; chunks before (and
+    // after) the fault go over the wire exactly once.
+    EXPECT_EQ(report.chunk_attempts[i], i == k ? 2u : 1u) << "chunk " << i;
+  }
+  EXPECT_EQ(report.attempts, 9u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_GT(report.backoff_seconds, 0.0);
+}
+
+TEST(BundleTransportTest, CorruptedChunkIsRetriedUntilClean) {
+  const std::string payload = RandomPayload(4096, 3);  // 4 chunks
+  // Chunk 0 suffers a bit-flip then a truncation before going through.
+  std::vector<FaultDecision> script = {Fault(FaultKind::kBitFlip, 100),
+                                       Fault(FaultKind::kTruncate, 37)};
+  NetworkLink link(50.0, 10.0);
+  link.SetFaultInjector(std::make_unique<ScriptedInjector>(script));
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered.value(), payload);
+  EXPECT_EQ(transport.report().chunk_attempts[0], 3u);
+  EXPECT_EQ(transport.report().retries, 2u);
+}
+
+TEST(BundleTransportTest, DelayFaultCostsTimeButDelivers) {
+  const std::string payload = RandomPayload(1024, 4);
+  FaultDecision delay = Fault(FaultKind::kDelay);
+  delay.extra_seconds = 0.75;
+  NetworkLink link(50.0, 10.0);
+  link.SetFaultInjector(
+      std::make_unique<ScriptedInjector>(std::vector<FaultDecision>{delay}));
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(transport.report().retries, 0u);
+  EXPECT_GT(transport.report().seconds, 0.75);
+}
+
+TEST(BundleTransportTest, HopelessLinkFailsBounded) {
+  FaultPolicy policy;
+  policy.drop_rate = 1.0;
+  NetworkLink link(50.0, 10.0);
+  link.SetFaultInjector(std::make_unique<FaultInjector>(policy));
+  TransportOptions options = SmallChunks();
+  options.max_attempts_per_chunk = 5;
+  BundleTransport transport(&link, options);
+  const std::string payload = RandomPayload(4096, 5);
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  EXPECT_EQ(delivered.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(transport.report().delivered);
+  // Bounded: exactly the per-chunk budget on chunk 0, then abort.
+  EXPECT_EQ(transport.report().attempts, 5u);
+  EXPECT_EQ(transport.report().chunk_attempts[0], 5u);
+}
+
+TEST(BundleTransportTest, SeededLossyLinkDeliversByteIdentical) {
+  // The acceptance scenario: 20% drop + 5% corruption, seeded. Delivery
+  // must complete in bounded retries with a byte-identical payload.
+  const std::string payload = RandomPayload(64 * 1024, 6);
+  FaultPolicy policy;
+  policy.drop_rate = 0.2;
+  policy.truncate_rate = 0.025;
+  policy.bit_flip_rate = 0.025;
+  policy.seed = 23;
+  NetworkLink link(50.0, 10.0);
+  link.SetFaultInjector(std::make_unique<FaultInjector>(policy));
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered = transport.Deliver(Direction::kDownlink,
+                                     PayloadKind::kModelArtifact, payload);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered.value(), payload);
+  EXPECT_GT(transport.report().retries, 0u);
+  EXPECT_TRUE(transport.report().delivered);
+}
+
+TEST(BundleTransportTest, SameSeedsSameReport) {
+  const std::string payload = RandomPayload(32 * 1024, 7);
+  FaultPolicy policy;
+  policy.drop_rate = 0.25;
+  policy.seed = 41;
+
+  auto run = [&]() {
+    NetworkLink link(50.0, 10.0);
+    link.SetFaultInjector(std::make_unique<FaultInjector>(policy));
+    BundleTransport transport(&link, SmallChunks());
+    auto delivered = transport.Deliver(Direction::kDownlink,
+                                       PayloadKind::kModelArtifact, payload);
+    EXPECT_TRUE(delivered.ok());
+    return transport.report();
+  };
+  const TransportReport a = run();
+  const TransportReport b = run();
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.chunk_attempts, b.chunk_attempts);
+}
+
+TEST(BundleTransportTest, BackoffGrowsExponentiallyAndCaps) {
+  NetworkLink link(50.0, 10.0);
+  TransportOptions options;
+  options.jitter_fraction = 0.0;  // exact values
+  BundleTransport transport(&link, options);
+  EXPECT_DOUBLE_EQ(transport.BackoffSeconds(1), 0.05);
+  EXPECT_DOUBLE_EQ(transport.BackoffSeconds(2), 0.10);
+  EXPECT_DOUBLE_EQ(transport.BackoffSeconds(3), 0.20);
+  EXPECT_DOUBLE_EQ(transport.BackoffSeconds(20), options.backoff_max_s);
+}
+
+TEST(BundleTransportTest, EmptyPayloadDeliversTrivially) {
+  NetworkLink link(50.0, 10.0);
+  BundleTransport transport(&link, SmallChunks());
+  auto delivered =
+      transport.Deliver(Direction::kDownlink, PayloadKind::kModelArtifact, "");
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_TRUE(delivered.value().empty());
+  EXPECT_EQ(transport.report().chunks, 0u);
+  EXPECT_TRUE(transport.report().delivered);
+}
+
+TEST(ChunkFrameTest, RoundTrip) {
+  const std::string chunk = RandomPayload(512, 8);
+  const std::string frame = EncodeChunkFrame(3, 10, 9999, chunk);
+  auto decoded = DecodeChunkFrame(frame, 3, 10, 9999);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value(), chunk);
+}
+
+TEST(ChunkFrameTest, RejectsHeaderMismatchAndCorruption) {
+  const std::string chunk = RandomPayload(512, 9);
+  std::string frame = EncodeChunkFrame(3, 10, 9999, chunk);
+  EXPECT_EQ(DecodeChunkFrame(frame, 4, 10, 9999).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeChunkFrame(frame, 3, 11, 9999).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeChunkFrame(frame, 3, 10, 10000).status().code(),
+            StatusCode::kCorruption);
+  // Any single-byte truncation of the frame must read as corruption.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_EQ(
+        DecodeChunkFrame(frame.substr(0, len), 3, 10, 9999).status().code(),
+        StatusCode::kCorruption)
+        << "truncated to " << len;
+  }
+  frame[40] ^= 0x10;  // payload bit-flip
+  EXPECT_EQ(DecodeChunkFrame(frame, 3, 10, 9999).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace magneto::platform

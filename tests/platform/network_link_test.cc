@@ -1,5 +1,8 @@
 #include "platform/network_link.h"
 
+#include <memory>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace magneto::platform {
@@ -42,6 +45,47 @@ TEST(NetworkLinkTest, FasterLinkIsFaster) {
   NetworkLink slow(50.0, 1.0);
   NetworkLink fast(50.0, 100.0);
   EXPECT_GT(slow.EstimateSeconds(100000), fast.EstimateSeconds(100000));
+}
+
+TEST(NetworkLinkTest, SendPayloadCleanLinkDeliversVerbatim) {
+  NetworkLink link(100.0, 8.0);
+  Delivery d = link.SendPayload(Direction::kDownlink,
+                                PayloadKind::kModelArtifact, "hello world");
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.fault, FaultKind::kNone);
+  EXPECT_EQ(d.payload, "hello world");
+  EXPECT_NEAR(d.seconds, 0.05 + 11.0 * 8.0 / 8e6, 1e-12);
+  ASSERT_EQ(link.records().size(), 1u);
+  EXPECT_EQ(link.records()[0].bytes, 11u);
+}
+
+TEST(NetworkLinkTest, SendPayloadWithoutLatencyPaysSerializationOnly) {
+  NetworkLink link(100.0, 8.0);
+  Delivery d =
+      link.SendPayload(Direction::kDownlink, PayloadKind::kModelArtifact,
+                       std::string(1000, 'x'), /*pay_latency=*/false);
+  EXPECT_NEAR(d.seconds, 1000.0 * 8.0 / 8e6, 1e-12);
+}
+
+TEST(NetworkLinkTest, SendPayloadAppliesFaultInjector) {
+  NetworkLink link(50.0, 10.0);
+  FaultPolicy policy;
+  policy.drop_rate = 1.0;
+  link.SetFaultInjector(std::make_unique<FaultInjector>(policy));
+  Delivery d = link.SendPayload(Direction::kDownlink,
+                                PayloadKind::kModelArtifact, "doomed");
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.fault, FaultKind::kDrop);
+  EXPECT_TRUE(d.payload.empty());
+  EXPECT_GT(d.seconds, 0.0);  // a dropped transfer still costs time
+  // The sender put the bytes on the wire; the ledger records them.
+  EXPECT_EQ(link.TotalBytes(Direction::kDownlink), 6u);
+
+  link.SetFaultInjector(nullptr);  // back to a clean link
+  EXPECT_TRUE(link
+                  .SendPayload(Direction::kDownlink,
+                               PayloadKind::kModelArtifact, "fine")
+                  .delivered);
 }
 
 TEST(NetworkLinkDeathTest, InvalidParametersAbort) {

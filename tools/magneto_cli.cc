@@ -9,9 +9,15 @@
 ///       Prints the bundle's architecture, classes, and size breakdown.
 ///
 ///   magneto simulate --bundle <bundle> [--activity NAME] [--seconds S]
-///                    [--user-intensity X]
+///                    [--user-intensity X] [--rtt-ms MS] [--mbps M]
+///                    [--fault-drop-rate P] [--fault-corrupt-rate P]
+///                    [--net-seed N] [--chunk-bytes B]
 ///       Streams synthetic sensor data through the edge runtime and prints
-///       the live predictions.
+///       the live predictions. Provisioning crosses a simulated lossy link
+///       via the chunked fault-tolerant transport: --fault-drop-rate drops
+///       whole chunk frames, --fault-corrupt-rate corrupts them in flight
+///       (half truncations, half bit-flips), --net-seed makes the fault
+///       sequence reproducible.
 ///
 ///   magneto learn --bundle <bundle> --out <bundle> --name NAME
 ///                 [--gesture-seed N] [--seconds S]
@@ -46,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "magneto.h"
@@ -197,16 +204,38 @@ int CmdSimulate(const Args& args) {
 
   // Model the cloud -> edge provisioning step: the bundle is the only thing
   // that crosses the link (MAGNETO's privacy contract: no user data uplink).
+  // Delivery uses the chunked fault-tolerant transport so an injected-fault
+  // link still yields a byte-identical, CRC-verified bundle.
   platform::NetworkLink link(args.GetDouble("rtt-ms", 50.0),
                              args.GetDouble("mbps", 10.0));
-  const double provision_s =
-      link.Transfer(platform::Direction::kDownlink,
-                    platform::PayloadKind::kModelArtifact,
-                    bundle.value().SerializedBytes());
+  const double drop_rate = args.GetDouble("fault-drop-rate", 0.0);
+  const double corrupt_rate = args.GetDouble("fault-corrupt-rate", 0.0);
+  if (drop_rate > 0.0 || corrupt_rate > 0.0) {
+    platform::FaultPolicy policy;
+    policy.drop_rate = drop_rate;
+    policy.truncate_rate = corrupt_rate / 2.0;
+    policy.bit_flip_rate = corrupt_rate / 2.0;
+    policy.seed = static_cast<uint64_t>(args.GetInt("net-seed", 1));
+    link.SetFaultInjector(std::make_unique<platform::FaultInjector>(policy));
+  }
+  platform::TransportOptions transport_options;
+  transport_options.chunk_bytes =
+      static_cast<size_t>(args.GetInt("chunk-bytes", 4096));
+  platform::BundleTransport transport(&link, transport_options);
+  const std::string sent_bytes = bundle.value().SerializeToString();
+  auto delivered = transport.Deliver(platform::Direction::kDownlink,
+                                     platform::PayloadKind::kModelArtifact,
+                                     sent_bytes);
+  if (!delivered.ok()) return Fail(delivered.status(), "provision transport");
+  const platform::TransportReport& report = transport.report();
   std::printf("provisioned %.1f KiB bundle in %.2f s "
-              "(rtt %.0f ms, %.0f Mbit/s)\n",
-              bundle.value().SerializedBytes() / 1024.0, provision_s,
-              link.rtt_ms(), link.bandwidth_mbps());
+              "(rtt %.0f ms, %.0f Mbit/s; %zu chunks, %zu retries)\n",
+              sent_bytes.size() / 1024.0, report.seconds, link.rtt_ms(),
+              link.bandwidth_mbps(), report.chunks, report.retries);
+  // Re-parse from the delivered bytes: the device boots from what actually
+  // crossed the (possibly lossy) link, proving end-to-end integrity.
+  bundle = core::ModelBundle::FromString(delivered.value());
+  if (!bundle.ok()) return Fail(bundle.status(), "delivered bundle");
 
   auto id = bundle.value().registry.IdOf(activity);
   sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
