@@ -1,0 +1,184 @@
+// Multi-session serving throughput: N concurrent sessions stream synthetic
+// users through one shared EdgeFleet deployment while embedding forwards are
+// micro-batched across sessions. Sweeps session count x pool threads and
+// emits BENCH_fleet.json (throughput, p50/p99 classify latency, batch
+// coalescing) so the serving-path perf trajectory is tracked across PRs.
+//
+// Speedups are only meaningful on a machine with that many cores;
+// `hardware_threads` is recorded in the JSON so readers can judge.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  size_t sessions = 0;
+  size_t threads = 0;
+  size_t windows = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+};
+
+/// Per-session frame streams, personalised per simulated user. Generated
+/// once per session count so every thread-count run replays identical input.
+std::vector<std::vector<sensors::Frame>> SessionStreams(size_t sessions,
+                                                        double seconds) {
+  const sensors::ActivityId cycle[] = {sensors::kStill, sensors::kWalk,
+                                       sensors::kRun};
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  std::vector<std::vector<sensors::Frame>> streams(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    sensors::UserProfile user(300 + s, 0.5);
+    sensors::SyntheticGenerator gen(400 + s);
+    sensors::Recording rec =
+        gen.Generate(user.Personalize(lib[cycle[s % 3]]), seconds);
+    streams[s].resize(rec.num_samples());
+    for (size_t i = 0; i < rec.num_samples(); ++i) {
+      for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+        streams[s][i][c] = rec.samples.At(i, c);
+      }
+    }
+  }
+  return streams;
+}
+
+RunResult DriveFleet(const core::ModelBundle& bundle,
+                     const std::vector<std::vector<sensors::Frame>>& streams,
+                     size_t threads) {
+  SetParallelThreads(threads);
+  obs::Registry::Global().ResetAll();
+
+  core::ModelBundle copy;
+  copy.pipeline = bundle.pipeline;
+  copy.backbone = bundle.backbone.Clone();
+  copy.classifier = bundle.classifier;
+  copy.registry = bundle.registry;
+  copy.support = bundle.support;
+  platform::FleetOptions options;
+  options.max_batch = 8;
+  auto fleet = Unwrap(
+      platform::EdgeFleet::Create(std::move(copy), streams.size(), options),
+      "create fleet");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  const auto t0 = Clock::now();
+  for (size_t s = 0; s < streams.size(); ++s) {
+    drivers.emplace_back([&, s] {
+      for (const sensors::Frame& frame : streams[s]) {
+        if (!fleet->PushFrame(s, frame).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "fleet run had %d PushFrame failures\n",
+                 failures.load());
+    std::exit(1);
+  }
+
+  RunResult result;
+  result.sessions = streams.size();
+  result.threads = threads;
+  result.seconds = wall;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    result.windows += fleet->session_stats(s).windows;
+  }
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  if (const auto* h = snap.FindHistogram("fleet.classify_us")) {
+    result.p50_us = h->Quantile(0.5);
+    result.p99_us = h->Quantile(0.99);
+  }
+  if (const auto* c = snap.FindCounter("fleet.requests")) {
+    result.requests = c->value;
+  }
+  if (const auto* c = snap.FindCounter("fleet.batches")) {
+    result.batches = c->value;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() {
+  using namespace magneto;
+  using namespace magneto::bench;
+
+  core::CloudConfig config = BenchCloudConfig();
+  config.train.epochs = 8;  // the serving path is what's measured, not this
+  core::CloudInitializer cloud(config);
+  core::ModelBundle bundle =
+      Unwrap(cloud.Initialize(BenchCorpus(/*seed=*/33, /*per_class=*/3),
+                              sensors::ActivityRegistry::BaseActivities()),
+             "pretrain");
+
+  const std::vector<size_t> session_sweep = {1, 4, 8, 16};
+  const std::vector<size_t> thread_sweep = {1, 2, 4, 8};
+  const double seconds_per_session = 8.0;
+
+  std::vector<RunResult> results;
+  for (size_t sessions : session_sweep) {
+    const auto streams = SessionStreams(sessions, seconds_per_session);
+    for (size_t threads : thread_sweep) {
+      RunResult r = DriveFleet(bundle, streams, threads);
+      results.push_back(r);
+      std::printf(
+          "sessions %2zu  threads %zu: %4zu windows in %6.1f ms "
+          "(%7.0f win/s, p50 %6.0f us, p99 %6.0f us, %llu reqs / %llu "
+          "batches)\n",
+          r.sessions, r.threads, r.windows, r.seconds * 1e3,
+          r.windows / r.seconds, r.p50_us, r.p99_us,
+          static_cast<unsigned long long>(r.requests),
+          static_cast<unsigned long long>(r.batches));
+    }
+  }
+
+  obs::JsonWriter json = BenchJson("fleet_throughput");
+  json.Field("hardware_threads", std::thread::hardware_concurrency())
+      .Field("seconds_per_session", seconds_per_session)
+      .Field("max_batch", static_cast<uint64_t>(8))
+      .Key("runs")
+      .BeginArray();
+  for (const RunResult& r : results) {
+    json.BeginObject()
+        .Field("sessions", static_cast<uint64_t>(r.sessions))
+        .Field("threads", static_cast<uint64_t>(r.threads))
+        .Field("windows", static_cast<uint64_t>(r.windows))
+        .Field("seconds", r.seconds)
+        .Field("windows_per_s", r.windows / r.seconds)
+        .Field("classify_p50_us", r.p50_us)
+        .Field("classify_p99_us", r.p99_us)
+        .Field("requests", r.requests)
+        .Field("batches", r.batches)
+        .Field("mean_batch",
+               r.batches > 0 ? static_cast<double>(r.requests) /
+                                   static_cast<double>(r.batches)
+                             : 0.0)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteToFile("BENCH_fleet.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  WriteMetricsSnapshot("BENCH_fleet.metrics.json");
+  std::printf("wrote BENCH_fleet.json (hardware threads: %u)\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

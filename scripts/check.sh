@@ -11,12 +11,19 @@ ctest --test-dir build -j"$(nproc)" --output-on-failure
 # TSan pass over the shared thread pool and the parallel kernels. Forces an
 # oversubscribed pool so races surface even on small CI machines.
 cmake -B build-tsan -G Ninja -DMAGNETO_SANITIZE=thread
-cmake --build build-tsan --target common_test obs_test
+cmake --build build-tsan --target common_test obs_test core_test platform_test
 MAGNETO_THREADS=8 ./build-tsan/tests/common_test \
   --gtest_filter='Parallel*:MatMul*:MatrixTest.*:Logging*'
 # Telemetry under TSan with tracing forced on: the metrics registry and the
 # per-thread trace rings must stay race-free while the pool hammers them.
 MAGNETO_THREADS=8 MAGNETO_TRACE=1 ./build-tsan/tests/obs_test
+# The concurrent serving path: AsyncUpdater worker-handle lock order,
+# scratch-free KNN classify, and the EdgeFleet stress (8 sessions classifying
+# while a bundle promotion lands mid-run).
+MAGNETO_THREADS=8 ./build-tsan/tests/core_test \
+  --gtest_filter='AsyncUpdaterStressTest.*:KnnClassifierTest.Concurrent*'
+MAGNETO_THREADS=8 ./build-tsan/tests/platform_test \
+  --gtest_filter='EdgeFleet*'
 
 # ASan pass over the untrusted-input surface: serializer corruption and
 # overflow regressions, the atomic-write fault hook, and the lossy-transport
@@ -53,6 +60,16 @@ grep -Eq '"net\.retries": [1-9]' "$smoke_dir/fault_metrics.json" \
   || { echo "fault smoke: expected nonzero net.retries" >&2; exit 1; }
 grep -Eq '"net\.transport\.deliveries": [1-9]' "$smoke_dir/fault_metrics.json" \
   || { echo "fault smoke: delivery did not complete" >&2; exit 1; }
+
+# Fleet smoke: concurrent sessions over one shared deployment with a mid-run
+# promotion. The serving path must actually have been exercised — zero
+# fleet.requests means the sessions never classified anything.
+./build/tools/magneto fleet --bundle "$smoke_dir/m.magneto" --sessions 6 \
+  --seconds 3 --metrics-out "$smoke_dir/fleet_metrics.json"
+grep -Eq '"fleet\.requests": [1-9]' "$smoke_dir/fleet_metrics.json" \
+  || { echo "fleet smoke: expected nonzero fleet.requests" >&2; exit 1; }
+grep -Eq '"fleet\.promotions": [1-9]' "$smoke_dir/fleet_metrics.json" \
+  || { echo "fleet smoke: mid-run promotion did not land" >&2; exit 1; }
 
 for b in build/bench/bench_*; do
   echo "== $b =="

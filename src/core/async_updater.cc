@@ -29,9 +29,21 @@ AsyncMetrics& Metrics() {
 
 }  // namespace
 
-AsyncUpdater::~AsyncUpdater() {
-  if (worker_.joinable()) worker_.join();
+void AsyncUpdater::ReapWorker() {
+  // Lock order: the handle leaves the object under mu_, the join happens
+  // outside it. The worker's last act is to lock mu_ and publish its
+  // outcome, so joining while holding mu_ would deadlock — and joining an
+  // unguarded `worker_` (the old code) raced with a concurrent Launch
+  // reassigning it.
+  std::thread finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished = std::move(worker_);
+  }
+  if (finished.joinable()) finished.join();
 }
+
+AsyncUpdater::~AsyncUpdater() { ReapWorker(); }
 
 Status AsyncUpdater::StartLearn(const EdgeModel& model,
                                 const SupportSet& support, std::string name,
@@ -76,36 +88,49 @@ Status AsyncUpdater::StartCalibrate(
 void AsyncUpdater::Launch(
     EdgeModel snapshot_model, SupportSet snapshot_support,
     std::function<Result<UpdateReport>(EdgeModel*, SupportSet*)> update) {
-  // A previous (already-taken) worker may still need joining.
-  if (worker_.joinable()) worker_.join();
+  // A previous (already-taken) worker may still need joining. Only one
+  // Launch can be active (state_ was CASed kIdle -> kRunning by the caller),
+  // so nothing refills worker_ between the reap and the store below.
+  ReapWorker();
   Metrics().started->Increment();
   // The snapshots move into the worker; the caller's deployment is untouched
   // and keeps serving inference.
-  worker_ = std::thread(
-      [this, model = std::make_shared<EdgeModel>(std::move(snapshot_model)),
-       support = std::make_shared<SupportSet>(std::move(snapshot_support)),
-       update = std::move(update)]() mutable {
-        const auto start = std::chrono::steady_clock::now();
-        Result<UpdateReport> report = [&] {
-          obs::TraceSpan span("AsyncUpdater::Update");
-          return update(model.get(), support.get());
-        }();
-        Metrics().update_ms->Record(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count() *
-            1e3);
-        (report.ok() ? Metrics().completed : Metrics().failed)->Increment();
-        auto outcome = std::make_unique<Result<Outcome>>([&]() -> Result<Outcome> {
-          if (!report.ok()) return report.status();
-          Outcome out{std::move(*model), std::move(*support),
-                      std::move(report).value()};
-          return out;
-        }());
-        std::lock_guard<std::mutex> lock(mu_);
-        outcome_ = std::move(outcome);
-        state_ = State::kDone;
-      });
+  auto body = [this,
+               model = std::make_shared<EdgeModel>(std::move(snapshot_model)),
+               support =
+                   std::make_shared<SupportSet>(std::move(snapshot_support)),
+               update = std::move(update)]() mutable {
+    const auto start = std::chrono::steady_clock::now();
+    Result<UpdateReport> report = [&] {
+      obs::TraceSpan span("AsyncUpdater::Update");
+      return update(model.get(), support.get());
+    }();
+    Metrics().update_ms->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() *
+        1e3);
+    (report.ok() ? Metrics().completed : Metrics().failed)->Increment();
+    auto outcome = std::make_unique<Result<Outcome>>([&]() -> Result<Outcome> {
+      if (!report.ok()) return report.status();
+      Outcome out{std::move(*model), std::move(*support),
+                  std::move(report).value()};
+      return out;
+    }());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      outcome_ = std::move(outcome);
+      state_ = State::kDone;
+    }
+    cv_.notify_all();
+  };
+  // Create and store the handle under mu_: the worker's completion also
+  // takes mu_, so by the time anyone can observe kDone the handle is in
+  // place. (Storing outside the lock let a fast worker finish — and a
+  // concurrent Take reset to kIdle — before the handle was visible, after
+  // which a second Launch could clobber it.)
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_ = std::thread(std::move(body));
 }
 
 bool AsyncUpdater::busy() const {
@@ -119,18 +144,30 @@ bool AsyncUpdater::ready() const {
 }
 
 Result<AsyncUpdater::Outcome> AsyncUpdater::Take() {
+  std::thread finished;
+  Result<Outcome> result = Status::Internal("unreachable");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (state_ == State::kIdle) {
       return Status::FailedPrecondition("no update was started");
     }
+    // Wait on the worker's completion signal instead of joining the handle
+    // unlocked (which raced with Launch's reassignment). A concurrent Take
+    // may win the outcome while we wait; it leaves state_ at kIdle.
+    cv_.wait(lock, [&] { return state_ != State::kRunning; });
+    if (state_ == State::kIdle) {
+      return Status::FailedPrecondition(
+          "the update was taken by a concurrent Take");
+    }
+    MAGNETO_CHECK(outcome_ != nullptr);
+    result = std::move(*outcome_);
+    outcome_.reset();
+    state_ = State::kIdle;
+    finished = std::move(worker_);
   }
-  if (worker_.joinable()) worker_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  MAGNETO_CHECK(state_ == State::kDone && outcome_ != nullptr);
-  Result<Outcome> result = std::move(*outcome_);
-  outcome_.reset();
-  state_ = State::kIdle;
+  // The worker already published its outcome, so this join is a reap, not a
+  // wait; outside mu_ purely for lock-order hygiene.
+  if (finished.joinable()) finished.join();
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MAGNETO_CORE_ASYNC_UPDATER_H_
 #define MAGNETO_CORE_ASYNC_UPDATER_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,13 @@ namespace magneto::core {
 /// Protocol: `StartLearn`/`StartCalibrate` (fails if an update is running) ->
 /// poll `ready()` (or just call `Take`, which blocks) -> `Take()` returns the
 /// updated model + support set for an atomic swap by the owner.
+///
+/// Thread-safe: Start*/busy/ready/Take may race from any threads. All state,
+/// including the worker handle, is guarded by `mu_`; the lock order is
+/// fixed — the handle of a finished worker is moved out under `mu_` and
+/// joined *outside* it (the worker's tail takes `mu_` to publish its
+/// outcome, so joining under the lock would deadlock). Destruction must not
+/// race with other calls (usual C++ object lifetime rule).
 class AsyncUpdater {
  public:
   /// The updated deployment produced by a background update.
@@ -68,10 +76,15 @@ class AsyncUpdater {
               std::function<Result<UpdateReport>(EdgeModel*, SupportSet*)>
                   update);
 
+  /// Moves the worker handle out under `mu_` and joins it outside. The only
+  /// way any code path reaps a worker thread.
+  void ReapWorker();
+
   IncrementalOptions options_;
   mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signalled when state_ becomes kDone
   State state_ = State::kIdle;
-  std::thread worker_;
+  std::thread worker_;  ///< guarded by mu_; joined only via ReapWorker
   std::unique_ptr<Result<Outcome>> outcome_;
 };
 

@@ -32,8 +32,11 @@ Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
   return knn;
 }
 
-Result<Prediction> KnnClassifier::Classify(const float* embedding,
-                                           size_t n) const {
+Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
+                                           Scratch* scratch) const {
+  if (scratch == nullptr) {
+    return Status::InvalidArgument("scratch must not be null");
+  }
   if (labels_.empty()) {
     return Status::FailedPrecondition("classifier has no exemplars");
   }
@@ -45,9 +48,11 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding,
 
   // Squared distances to all exemplars; ranking by squared distance is
   // order-identical (sqrt is monotone), so the single sqrt per reported
-  // neighbour is deferred to the vote/margin computation below. The scratch
-  // buffer is reused across calls to keep the per-query cost allocation-free.
-  static thread_local std::vector<std::pair<float, uint32_t>> dist;
+  // neighbour is deferred to the vote/margin computation below. The caller's
+  // scratch is reused across calls to keep the per-query cost
+  // allocation-free without the hidden process-lifetime footprint of a
+  // `static thread_local` buffer.
+  std::vector<std::pair<float, uint32_t>>& dist = scratch->dist;
   dist.resize(labels_.size());
   ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {

@@ -17,12 +17,26 @@ namespace magneto::core {
 /// it stores every exemplar embedding (k x the memory of NCM's single
 /// prototype per class) and pays O(support size) per query instead of
 /// O(classes); bench_pretraining reports the trade.
+///
+/// Concurrency contract: a built classifier is immutable, so `Classify` may
+/// be called from any number of threads concurrently — each call either
+/// brings its own `Scratch` or allocates a local one. (It used to keep a
+/// `static thread_local` scratch, which retained the largest-ever allocation
+/// per thread for the life of the process and was invisible shared state
+/// across every classifier instance on that thread.)
 class KnnClassifier {
  public:
   struct Options {
     size_t k = 5;
     /// Weight votes by 1/(distance + eps) instead of uniformly.
     bool distance_weighted = true;
+  };
+
+  /// Reusable per-query workspace. Passing the same instance across calls
+  /// keeps the hot path allocation-free; distinct threads must use distinct
+  /// instances. Predictions are byte-identical with or without one.
+  struct Scratch {
+    std::vector<std::pair<float, uint32_t>> dist;
   };
 
   /// Embeds every support exemplar through `embedder`.
@@ -40,8 +54,14 @@ class KnnClassifier {
   /// Classifies one embedding: majority (or distance-weighted) vote among
   /// the k nearest stored exemplars. `Prediction::distance` is the distance
   /// to the nearest exemplar of the winning class; `confidence` is the
-  /// winning class's share of the vote mass.
-  Result<Prediction> Classify(const float* embedding, size_t n) const;
+  /// winning class's share of the vote mass. `scratch` (optional) is reused
+  /// across calls to keep the query allocation-free.
+  Result<Prediction> Classify(const float* embedding, size_t n,
+                              Scratch* scratch) const;
+  Result<Prediction> Classify(const float* embedding, size_t n) const {
+    Scratch local;
+    return Classify(embedding, n, &local);
+  }
   Result<Prediction> Classify(const std::vector<float>& embedding) const {
     return Classify(embedding.data(), embedding.size());
   }

@@ -11,18 +11,27 @@ PredictionSmoother::PredictionSmoother(Options options) : options_(options) {
 }
 
 NamedPrediction PredictionSmoother::Push(const NamedPrediction& raw) {
+  ++ticks_;
   if (raw.prediction.confidence >= options_.min_confidence) {
-    history_.push_back(raw);
+    history_.push_back({raw, ticks_});
     while (history_.size() > options_.window) history_.pop_front();
+  }
+  // Age out votes regardless of whether this push was accepted: an entry may
+  // vote for the `window` pushes that follow it, after which it expires even
+  // if rejected pushes kept it from being displaced. This is what lets the
+  // smoother recover from an activity change that arrives as a run of
+  // low-confidence windows instead of reporting the stale winner forever.
+  while (!history_.empty() && ticks_ - history_.front().tick > options_.window) {
+    history_.pop_front();
   }
   if (history_.empty()) return raw;
 
   // Confidence-weighted vote over the history.
   std::map<sensors::ActivityId, double> votes;
   double total = 0.0;
-  for (const NamedPrediction& p : history_) {
-    votes[p.prediction.activity] += p.prediction.confidence;
-    total += p.prediction.confidence;
+  for (const Entry& e : history_) {
+    votes[e.prediction.prediction.activity] += e.prediction.prediction.confidence;
+    total += e.prediction.prediction.confidence;
   }
   sensors::ActivityId winner = raw.prediction.activity;
   double best = -1.0;
@@ -37,8 +46,8 @@ NamedPrediction PredictionSmoother::Push(const NamedPrediction& raw) {
   // distance stay meaningful), with the smoothed confidence.
   NamedPrediction out = raw;
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
-    if (it->prediction.activity == winner) {
-      out = *it;
+    if (it->prediction.prediction.activity == winner) {
+      out = it->prediction;
       break;
     }
   }
@@ -46,6 +55,9 @@ NamedPrediction PredictionSmoother::Push(const NamedPrediction& raw) {
   return out;
 }
 
-void PredictionSmoother::Reset() { history_.clear(); }
+void PredictionSmoother::Reset() {
+  history_.clear();
+  ticks_ = 0;
+}
 
 }  // namespace magneto::core

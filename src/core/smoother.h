@@ -1,6 +1,7 @@
 #ifndef MAGNETO_CORE_SMOOTHER_H_
 #define MAGNETO_CORE_SMOOTHER_H_
 
+#include <cstdint>
 #include <deque>
 
 #include "core/edge_model.h"
@@ -16,6 +17,16 @@ namespace magneto::core {
 /// the last `window` predictions, weighting each vote by its confidence, and
 /// only switches its output once the new activity actually wins the window.
 /// Latency cost: a switch is confirmed after about `window/2` windows.
+///
+/// Votes expire by *time*, not only by displacement: a prediction stops
+/// voting once it is more than `window` pushes old, even when the pushes in
+/// between were rejected by `min_confidence` and so never entered the
+/// history themselves. Without that, a burst of low-confidence windows after
+/// an activity change would leave the pre-change winner in the history
+/// indefinitely and the smoother would keep reporting it.
+///
+/// Not thread-safe; in a multi-session deployment each session owns its own
+/// smoother (see platform::EdgeFleet).
 class PredictionSmoother {
  public:
   struct Options {
@@ -35,8 +46,14 @@ class PredictionSmoother {
   size_t history_size() const { return history_.size(); }
 
  private:
+  struct Entry {
+    NamedPrediction prediction;
+    uint64_t tick;  ///< value of ticks_ when the entry was accepted
+  };
+
   Options options_;
-  std::deque<NamedPrediction> history_;
+  std::deque<Entry> history_;
+  uint64_t ticks_ = 0;  ///< total pushes, accepted or rejected
 };
 
 }  // namespace magneto::core

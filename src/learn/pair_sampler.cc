@@ -12,7 +12,7 @@ PairSampler::PairSampler(const sensors::FeatureDataset& data, uint64_t seed)
   }
   for (const auto& [label, indices] : class_indices_) {
     classes_.push_back(label);
-    if (indices.size() >= 2) has_positive_class_ = true;
+    if (indices.size() >= 2) positive_classes_.push_back(label);
   }
 }
 
@@ -36,11 +36,13 @@ PairBatch PairSampler::Sample(size_t batch_size) {
 
     size_t ia = 0, ib = 0;
     if (want_positive) {
-      // Pick a class with at least two examples, uniformly among such.
-      sensors::ActivityId cls;
-      do {
-        cls = classes_[rng_.Index(classes_.size())];
-      } while (class_indices_[cls].size() < 2);
+      // One uniform draw over the precomputed pair-capable classes. When
+      // every class is pair-capable this consumes the same RNG stream as the
+      // old rejection loop (which then never rejected), so seeded training
+      // runs are unchanged; when most classes are singletons it replaces an
+      // expected O(num_classes / num_pair_capable) spin per pair.
+      const sensors::ActivityId cls =
+          positive_classes_[rng_.Index(positive_classes_.size())];
       const std::vector<size_t>& idx = class_indices_[cls];
       ia = idx[rng_.Index(idx.size())];
       do {

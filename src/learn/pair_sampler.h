@@ -37,15 +37,19 @@ class PairSampler {
 
   /// True if the dataset supports positive pairs (some class has >= 2
   /// examples) and negative pairs (>= 2 classes).
-  bool CanSamplePositives() const { return has_positive_class_; }
+  bool CanSamplePositives() const { return !positive_classes_.empty(); }
   bool CanSampleNegatives() const { return class_indices_.size() >= 2; }
 
  private:
   const sensors::FeatureDataset& data_;
   Rng rng_;
   std::vector<sensors::ActivityId> classes_;
+  /// Classes with >= 2 examples, precomputed so positive sampling is one
+  /// uniform draw. Rejection-sampling over `classes_` instead is unboundedly
+  /// slow in the normal mid-incremental-learning state where most classes
+  /// are singletons (one freshly captured exemplar each).
+  std::vector<sensors::ActivityId> positive_classes_;
   std::map<sensors::ActivityId, std::vector<size_t>> class_indices_;
-  bool has_positive_class_ = false;
 };
 
 }  // namespace magneto::learn

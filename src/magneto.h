@@ -65,6 +65,7 @@
 #include "platform/bundle_transport.h"
 #include "platform/cloud_server.h"
 #include "platform/edge_device.h"
+#include "platform/edge_fleet.h"
 #include "platform/energy.h"
 #include "platform/fault_injector.h"
 #include "platform/network_link.h"

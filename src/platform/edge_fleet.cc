@@ -1,0 +1,414 @@
+#include "platform/edge_fleet.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace magneto::platform {
+
+namespace {
+
+struct FleetMetrics {
+  obs::Counter* requests =
+      obs::Registry::Global().GetCounter("fleet.requests");
+  obs::Counter* frames = obs::Registry::Global().GetCounter("fleet.frames");
+  obs::Counter* windows = obs::Registry::Global().GetCounter("fleet.windows");
+  obs::Counter* predictions =
+      obs::Registry::Global().GetCounter("fleet.predictions");
+  obs::Counter* batches = obs::Registry::Global().GetCounter("fleet.batches");
+  obs::Counter* promotions =
+      obs::Registry::Global().GetCounter("fleet.promotions");
+  obs::Counter* session_resets =
+      obs::Registry::Global().GetCounter("fleet.session_resets");
+  obs::Gauge* sessions = obs::Registry::Global().GetGauge("fleet.sessions");
+  obs::Histogram* batch_size = obs::Registry::Global().GetHistogram(
+      "fleet.batch_size", {1, 2, 4, 8, 16, 32, 64});
+  obs::Histogram* classify_us = obs::Registry::Global().GetHistogram(
+      "fleet.classify_us", obs::LatencyBucketsUs());
+};
+
+FleetMetrics& Metrics() {
+  static FleetMetrics* metrics = new FleetMetrics;
+  return *metrics;
+}
+
+}  // namespace
+
+// -- Deployment ---------------------------------------------------------------
+
+EdgeFleet::Deployment::Deployment(core::ModelBundle bundle, uint64_t ver)
+    : pipeline(std::move(bundle.pipeline)),
+      classifier(std::move(bundle.classifier)),
+      registry(std::move(bundle.registry)),
+      support(std::move(bundle.support)),
+      version(ver),
+      backbone_(std::move(bundle.backbone)) {
+  input_dim = backbone_.InputDim();
+}
+
+Matrix EdgeFleet::Deployment::Embed(const Matrix& features) const {
+  // Sequential::Forward writes layer activation caches even in inference
+  // mode, so the logically-const backbone needs this mutex. One stacked
+  // forward at a time; the GEMM inside fans out across the ThreadPool.
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  return backbone_.Forward(features, /*training=*/false);
+}
+
+core::EdgeModel EdgeFleet::Deployment::SnapshotModel() const {
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  return core::EdgeModel(pipeline, backbone_.Clone(), classifier, registry);
+}
+
+nn::Sequential EdgeFleet::Deployment::CloneBackbone() const {
+  std::lock_guard<std::mutex> lock(embed_mu_);
+  return backbone_.Clone();
+}
+
+// -- Construction -------------------------------------------------------------
+
+EdgeFleet::EdgeFleet(core::ModelBundle bundle, size_t num_sessions,
+                     FleetOptions options)
+    : options_(std::move(options)) {
+  deployment_ = std::make_shared<const Deployment>(std::move(bundle),
+                                                   /*version=*/1);
+  const auto& seg = deployment_->pipeline.config().segmentation;
+  const double journal_window_s =
+      options_.sample_rate_hz > 0
+          ? static_cast<double>(seg.stride) / options_.sample_rate_hz
+          : 1.0;
+  sessions_.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    auto session = std::make_unique<Session>();
+    session->deployment_version = deployment_->version;
+    if (options_.enable_smoothing) {
+      session->smoother =
+          std::make_unique<core::PredictionSmoother>(options_.smoother);
+    }
+    if (options_.enable_drift_monitoring) {
+      session->drift = std::make_unique<core::DriftMonitor>(options_.drift);
+      session->drift->SetBaselineDistance(options_.drift_baseline_distance);
+    }
+    if (options_.enable_journal) {
+      session->journal =
+          std::make_unique<core::ActivityJournal>(journal_window_s);
+    }
+    sessions_.push_back(std::move(session));
+  }
+  Metrics().sessions->Set(static_cast<double>(num_sessions));
+}
+
+EdgeFleet::~EdgeFleet() = default;
+
+Result<std::unique_ptr<EdgeFleet>> EdgeFleet::Create(core::ModelBundle bundle,
+                                                     size_t num_sessions,
+                                                     FleetOptions options) {
+  if (num_sessions == 0) {
+    return Status::InvalidArgument("a fleet needs at least one session");
+  }
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (!bundle.pipeline.fitted()) {
+    return Status::FailedPrecondition("bundle pipeline is not fitted");
+  }
+  if (bundle.classifier.num_classes() == 0) {
+    return Status::FailedPrecondition("bundle classifier has no classes");
+  }
+  return std::unique_ptr<EdgeFleet>(
+      new EdgeFleet(std::move(bundle), num_sessions, std::move(options)));
+}
+
+// -- Deployment management ----------------------------------------------------
+
+std::shared_ptr<const EdgeFleet::Deployment> EdgeFleet::CurrentDeployment()
+    const {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  return deployment_;
+}
+
+void EdgeFleet::InstallDeployment(
+    std::shared_ptr<const Deployment> deployment) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  deployment_ = std::move(deployment);
+}
+
+uint64_t EdgeFleet::deployment_version() const {
+  return CurrentDeployment()->version;
+}
+
+Status EdgeFleet::PromoteBundle(core::ModelBundle bundle) {
+  if (!bundle.pipeline.fitted()) {
+    return Status::FailedPrecondition("bundle pipeline is not fitted");
+  }
+  if (bundle.classifier.num_classes() == 0) {
+    return Status::FailedPrecondition("bundle classifier has no classes");
+  }
+  // Copy-on-swap: the new deployment is fully built before the pointer
+  // flips, so no reader ever sees a half-initialized model, and in-flight
+  // classifications keep their pinned snapshot alive through the shared_ptr.
+  auto next = std::make_shared<const Deployment>(
+      std::move(bundle), next_version_.fetch_add(1));
+  InstallDeployment(std::move(next));
+  Metrics().promotions->Increment();
+  return Status::Ok();
+}
+
+Status EdgeFleet::BeginLearn(const std::string& name,
+                             std::vector<sensors::Recording> recordings) {
+  std::shared_ptr<const Deployment> dep = CurrentDeployment();
+  core::EdgeModel snapshot = dep->SnapshotModel();
+  core::AsyncUpdater* updater = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    if (updater_ == nullptr) {
+      updater_ = std::make_unique<core::AsyncUpdater>(options_.update_options);
+    }
+    updater = updater_.get();
+  }
+  return updater->StartLearn(snapshot, dep->support, name,
+                             std::move(recordings));
+}
+
+bool EdgeFleet::UpdatePending() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return updater_ != nullptr && updater_->busy();
+}
+
+bool EdgeFleet::UpdateReady() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return updater_ != nullptr && updater_->ready();
+}
+
+Result<core::UpdateReport> EdgeFleet::PromoteUpdate() {
+  core::AsyncUpdater* updater = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    updater = updater_.get();
+  }
+  if (updater == nullptr) {
+    return Status::FailedPrecondition("no update was started");
+  }
+  // Take() blocks for the trainer; the sessions keep classifying on the
+  // current deployment the whole time (update_mu_ is not held here).
+  MAGNETO_ASSIGN_OR_RETURN(core::AsyncUpdater::Outcome outcome,
+                           updater->Take());
+  core::ModelBundle bundle;
+  bundle.pipeline = outcome.model.pipeline();
+  bundle.backbone = std::move(outcome.model.backbone());
+  bundle.classifier = outcome.model.classifier();
+  bundle.registry = outcome.model.registry();
+  bundle.support = std::move(outcome.support);
+  MAGNETO_RETURN_IF_ERROR(PromoteBundle(std::move(bundle)));
+  return std::move(outcome.report);
+}
+
+core::ModelBundle EdgeFleet::ToBundle() const {
+  std::shared_ptr<const Deployment> dep = CurrentDeployment();
+  core::ModelBundle bundle;
+  bundle.pipeline = dep->pipeline;
+  bundle.backbone = dep->CloneBackbone();
+  bundle.classifier = dep->classifier;
+  bundle.registry = dep->registry;
+  bundle.support = dep->support;
+  return bundle;
+}
+
+// -- Micro-batched classification ---------------------------------------------
+
+void EdgeFleet::ServeBatch(const std::vector<PendingRequest*>& batch) {
+  Metrics().batches->Increment();
+  Metrics().batch_size->Record(static_cast<double>(batch.size()));
+  const Deployment& dep = *batch.front()->deployment;
+
+  // Validate dims first so a malformed request degrades to a per-request
+  // error, never a malformed stack.
+  std::vector<PendingRequest*> valid;
+  valid.reserve(batch.size());
+  for (PendingRequest* req : batch) {
+    if (dep.input_dim > 0 && req->features->size() != dep.input_dim) {
+      req->status = Status::InvalidArgument(
+          "feature vector has dim " + std::to_string(req->features->size()) +
+          ", backbone expects " + std::to_string(dep.input_dim));
+      continue;
+    }
+    valid.push_back(req);
+  }
+  if (valid.empty()) return;
+
+  // Stack into one matrix and run a single forward — the same trick
+  // NcmClassifier::FromSupportSet uses to re-embed a whole support set.
+  // Row-independent kernels keep each row's result identical to a
+  // batch-of-one forward, so batch composition never changes a prediction.
+  const size_t dim = valid.front()->features->size();
+  Matrix stacked(valid.size(), dim);
+  for (size_t r = 0; r < valid.size(); ++r) {
+    std::memcpy(stacked.RowPtr(r), valid[r]->features->data(),
+                dim * sizeof(float));
+  }
+  obs::TraceSpan span("EdgeFleet::ServeBatch");
+  Matrix embeddings = dep.Embed(stacked);
+  for (size_t r = 0; r < valid.size(); ++r) {
+    Result<core::Prediction> pred =
+        options_.rejection_threshold > 0.0
+            ? dep.classifier.ClassifyWithRejection(
+                  embeddings.RowPtr(r), embeddings.cols(),
+                  options_.rejection_threshold)
+            : dep.classifier.Classify(embeddings.RowPtr(r),
+                                      embeddings.cols());
+    if (pred.ok()) {
+      valid[r]->prediction = pred.value();
+    } else {
+      valid[r]->status = pred.status();
+    }
+  }
+}
+
+Result<core::Prediction> EdgeFleet::ClassifyBatched(
+    std::shared_ptr<const Deployment> deployment,
+    const std::vector<float>& features) {
+  Metrics().requests->Increment();
+  PendingRequest req;
+  req.features = &features;
+  req.deployment = std::move(deployment);
+
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  batch_queue_.push_back(&req);
+  while (!req.done) {
+    if (!leader_active_) {
+      // Combining leader: serve FIFO batches until our own request has been
+      // classified (usually the first batch — it contains us), then step
+      // down and wake a successor for anything still queued.
+      leader_active_ = true;
+      while (!req.done) {
+        std::vector<PendingRequest*> batch;
+        batch.reserve(std::min(options_.max_batch, batch_queue_.size()));
+        const Deployment* pinned = batch_queue_.front()->deployment.get();
+        while (!batch_queue_.empty() && batch.size() < options_.max_batch &&
+               batch_queue_.front()->deployment.get() == pinned) {
+          batch.push_back(batch_queue_.front());
+          batch_queue_.pop_front();
+        }
+        lock.unlock();
+        ServeBatch(batch);
+        lock.lock();
+        for (PendingRequest* served : batch) served->done = true;
+        batch_cv_.notify_all();
+      }
+      leader_active_ = false;
+      if (!batch_queue_.empty()) batch_cv_.notify_all();
+    } else {
+      batch_cv_.wait(lock);
+    }
+  }
+  if (!req.status.ok()) return req.status;
+  return req.prediction;
+}
+
+// -- Streaming ----------------------------------------------------------------
+
+Result<std::optional<core::NamedPrediction>> EdgeFleet::PushFrame(
+    size_t session, const sensors::Frame& frame) {
+  if (session >= sessions_.size()) {
+    return Status::InvalidArgument("no such session: " +
+                                   std::to_string(session));
+  }
+  Session& s = *sessions_[session];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.stats.frames;
+  Metrics().frames->Increment();
+
+  std::shared_ptr<const Deployment> dep = CurrentDeployment();
+  if (s.deployment_version != dep->version) {
+    // A promotion landed since this session's last frame: stale stream
+    // context (a half-filled window, smoother votes, drift evidence) would
+    // straddle two models. Same semantics as EdgeRuntime::CommitUpdate; the
+    // journal intentionally survives — it is a user-facing ledger.
+    s.stream.clear();
+    s.pending_skip = 0;
+    if (s.smoother != nullptr) s.smoother->Reset();
+    if (s.drift != nullptr) s.drift->Reset();
+    s.deployment_version = dep->version;
+    Metrics().session_resets->Increment();
+  }
+
+  if (s.pending_skip > 0) {
+    --s.pending_skip;
+    return std::optional<core::NamedPrediction>{};
+  }
+  s.stream.push_back(frame);
+  const auto& seg = dep->pipeline.config().segmentation;
+  if (s.stream.size() < seg.window_samples) {
+    return std::optional<core::NamedPrediction>{};
+  }
+
+  Matrix window(seg.window_samples, sensors::kNumChannels);
+  for (size_t r = 0; r < seg.window_samples; ++r) {
+    const sensors::Frame& f = s.stream[r];
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      window.At(r, c) = f[c];
+    }
+  }
+  const size_t advance = std::min<size_t>(seg.stride, s.stream.size());
+  s.stream.erase(s.stream.begin(), s.stream.begin() + advance);
+  s.pending_skip = seg.stride - advance;
+  ++s.stats.windows;
+  Metrics().windows->Increment();
+
+  // Featurization is const and thread-safe: it runs right here on the
+  // session thread. Only the backbone forward goes through the batcher.
+  MAGNETO_ASSIGN_OR_RETURN(std::vector<float> features,
+                           dep->pipeline.ProcessWindow(window));
+  core::Prediction prediction;
+  {
+    obs::ScopedTimer classify_timer(Metrics().classify_us);
+    MAGNETO_ASSIGN_OR_RETURN(prediction,
+                             ClassifyBatched(dep, features));
+  }
+  ++s.stats.predictions;
+  Metrics().predictions->Increment();
+
+  core::NamedPrediction named;
+  named.prediction = prediction;
+  if (prediction.is_unknown()) {
+    named.name = "Unknown";
+  } else {
+    auto name = dep->registry.NameOf(prediction.activity);
+    named.name = name.ok() ? name.value()
+                           : ("#" + std::to_string(prediction.activity));
+  }
+  if (s.smoother != nullptr) named = s.smoother->Push(named);
+  if (s.drift != nullptr) s.drift->Observe(named.prediction);
+  if (s.journal != nullptr) s.journal->Record(named);
+  s.last = named;
+  return std::optional<core::NamedPrediction>(std::move(named));
+}
+
+// -- Introspection ------------------------------------------------------------
+
+FleetSessionStats EdgeFleet::session_stats(size_t session) const {
+  const Session& s = *sessions_[session];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
+}
+
+std::optional<core::NamedPrediction> EdgeFleet::last_prediction(
+    size_t session) const {
+  const Session& s = *sessions_[session];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.last;
+}
+
+const core::ActivityJournal* EdgeFleet::journal(size_t session) const {
+  return sessions_[session]->journal.get();
+}
+
+bool EdgeFleet::Drifting(size_t session) const {
+  const Session& s = *sessions_[session];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.drift != nullptr && s.drift->drifting();
+}
+
+}  // namespace magneto::platform

@@ -1,0 +1,248 @@
+#ifndef MAGNETO_PLATFORM_EDGE_FLEET_H_
+#define MAGNETO_PLATFORM_EDGE_FLEET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/activity_journal.h"
+#include "core/async_updater.h"
+#include "core/drift_monitor.h"
+#include "core/edge_model.h"
+#include "core/incremental_learner.h"
+#include "core/model_bundle.h"
+#include "core/ncm_classifier.h"
+#include "core/smoother.h"
+#include "core/support_set.h"
+#include "sensors/recording.h"
+#include "sensors/sensor_types.h"
+
+namespace magneto::platform {
+
+/// Tuning knobs of the multi-session serving layer.
+struct FleetOptions {
+  /// Micro-batch cap: up to this many pending windows (across sessions) are
+  /// stacked into one backbone forward. 1 disables cross-request batching.
+  size_t max_batch = 8;
+  double sample_rate_hz = sensors::kDefaultSampleRateHz;
+  /// Open-set rejection threshold applied at classification (0 = off).
+  double rejection_threshold = 0.0;
+  /// Per-session temporal smoothing of the prediction stream.
+  bool enable_smoothing = false;
+  core::PredictionSmoother::Options smoother;
+  /// Per-session drift monitoring of the emitted predictions.
+  bool enable_drift_monitoring = false;
+  core::DriftMonitor::Options drift;
+  double drift_baseline_distance = 0.0;
+  /// Per-session activity journals.
+  bool enable_journal = false;
+  /// Options for background incremental updates started via BeginLearn.
+  core::IncrementalOptions update_options;
+};
+
+/// Per-session lifetime counters (mirror of core::RuntimeStats).
+struct FleetSessionStats {
+  size_t frames = 0;
+  size_t windows = 0;
+  size_t predictions = 0;
+};
+
+/// Multi-session edge serving: one process hosts N independent user sessions
+/// over a single shared, immutable deployed bundle and the global ThreadPool
+/// — the shape the paper's deployment implies once "all inference happens
+/// on-device" meets a simulator (or an edge gateway) that must drive many
+/// users at once.
+///
+/// ## Threading model & concurrency contract
+///
+/// Three kinds of state, three rules:
+///
+///  1. **Shared immutable deployment** — pipeline, backbone, NCM classifier,
+///     registry, support set. Held as `shared_ptr<const Deployment>` and
+///     never mutated after construction; every reader works off a snapshot
+///     it pins with its own reference. The one asterisk is the backbone:
+///     `nn::Sequential::Forward` caches activations for backward, so raw
+///     forwards are not concurrently callable. The fleet therefore funnels
+///     *all* embedding forwards through the micro-batcher below, which runs
+///     one stacked forward at a time (guarded by the deployment's own
+///     mutex) while the GEMM inside fans out across the global ThreadPool.
+///  2. **Per-session mutable state** — stream buffer, smoother, drift
+///     monitor, journal, stats. Guarded by a per-session mutex; sessions
+///     never touch each other's state, so S sessions classify concurrently
+///     with zero shared-state contention outside the batcher handoff.
+///  3. **Copy-on-swap promotion** — `PromoteBundle` (or `PromoteUpdate`,
+///     which takes an `AsyncUpdater` outcome) builds a complete new
+///     deployment and swaps the shared pointer. In-flight classifications
+///     keep the snapshot they pinned and finish on the old model; no
+///     request ever observes a half-updated deployment and nothing stalls.
+///     A session notices the new version on its next `PushFrame` and resets
+///     its stream context (same semantics as `EdgeRuntime::CommitUpdate`).
+///
+/// ## Cross-request micro-batching
+///
+/// A session thread that completes a window featurizes it (thread-safe,
+/// const pipeline), enqueues the feature vector, and the first thread to
+/// find no active leader becomes the batch leader: it drains up to
+/// `max_batch` pending requests, stacks them into one matrix, runs a single
+/// `Embed` forward (the same stacking trick `NcmClassifier::FromSupportSet`
+/// uses for support-set re-embedding), classifies each row, publishes the
+/// results, and steps down once its own request is served. Row-independent
+/// kernels (the PR 1 determinism contract) make every per-window result
+/// bit-identical regardless of which batch it landed in — so per-session
+/// prediction streams are reproducible at any thread count and batch size.
+///
+/// Calls on *different* sessions may race freely. Calls on the *same*
+/// session are serialized by the session mutex; drive each session from one
+/// logical producer for meaningful frame ordering.
+class EdgeFleet {
+ public:
+  /// Boots `num_sessions` sessions over the deployed bundle. Fails on an
+  /// unfitted pipeline, an empty classifier, or zero sessions.
+  static Result<std::unique_ptr<EdgeFleet>> Create(core::ModelBundle bundle,
+                                                   size_t num_sessions,
+                                                   FleetOptions options = {});
+
+  ~EdgeFleet();
+  EdgeFleet(const EdgeFleet&) = delete;
+  EdgeFleet& operator=(const EdgeFleet&) = delete;
+
+  size_t num_sessions() const { return sessions_.size(); }
+
+  /// Feeds one frame into `session`'s stream. Returns a prediction whenever
+  /// the frame completes a window; otherwise nullopt. Blocks while the
+  /// window's embedding rides a micro-batch.
+  Result<std::optional<core::NamedPrediction>> PushFrame(
+      size_t session, const sensors::Frame& frame);
+
+  // -- Bundle promotion (copy-on-swap) ----------------------------------------
+
+  /// Atomically replaces the shared deployment. In-flight classifications
+  /// finish on the deployment they pinned; subsequent windows use the new
+  /// one. Sessions reset their stream context on their next PushFrame.
+  Status PromoteBundle(core::ModelBundle bundle);
+
+  /// Snapshots the current deployment and learns `name` on a background
+  /// thread (the sessions keep serving the current model meanwhile).
+  Status BeginLearn(const std::string& name,
+                    std::vector<sensors::Recording> recordings);
+
+  /// True while a background update is in flight or awaiting promotion.
+  bool UpdatePending() const;
+  /// True once the background update finished and PromoteUpdate won't block.
+  bool UpdateReady() const;
+
+  /// Blocks for the background update if needed and promotes its result.
+  /// On training failure the current deployment stays live.
+  Result<core::UpdateReport> PromoteUpdate();
+
+  // -- Introspection ----------------------------------------------------------
+
+  /// Monotone deployment version; starts at 1, +1 per promotion.
+  uint64_t deployment_version() const;
+
+  FleetSessionStats session_stats(size_t session) const;
+  std::optional<core::NamedPrediction> last_prediction(size_t session) const;
+  /// The session's journal, or nullptr when journals are disabled.
+  const core::ActivityJournal* journal(size_t session) const;
+  /// True while the session's armed drift monitor recommends calibration.
+  bool Drifting(size_t session) const;
+
+  /// Deep-copies the current shared deployment into a transferable bundle.
+  core::ModelBundle ToBundle() const;
+
+ private:
+  /// The immutable-shared half of the fleet. Logically const; the backbone
+  /// is `mutable` behind `embed_mu_` only because `Forward` caches
+  /// activations (see the class comment).
+  struct Deployment {
+    Deployment(core::ModelBundle bundle, uint64_t version);
+
+    /// One stacked forward, serialized per deployment. Concurrent batches
+    /// against *different* deployments (old pinned + newly promoted) do not
+    /// block each other.
+    Matrix Embed(const Matrix& features) const;
+
+    /// Deep copy for background-update snapshots.
+    core::EdgeModel SnapshotModel() const;
+
+    /// Deep copy of the backbone weights (for ToBundle).
+    nn::Sequential CloneBackbone() const;
+
+    preprocess::Pipeline pipeline;
+    core::NcmClassifier classifier;
+    sensors::ActivityRegistry registry;
+    core::SupportSet support{200, core::SelectionStrategy::kHerding};
+    size_t input_dim = 0;  ///< backbone input width, for batch validation
+    uint64_t version = 0;
+
+   private:
+    mutable std::mutex embed_mu_;
+    mutable nn::Sequential backbone_;
+  };
+
+  /// One pending classification handed to the micro-batcher. The request
+  /// pins the deployment that featurized its window, so a window is always
+  /// classified by the matching backbone even when a promotion lands while
+  /// it queues.
+  struct PendingRequest {
+    const std::vector<float>* features = nullptr;
+    std::shared_ptr<const Deployment> deployment;
+    core::Prediction prediction;
+    Status status = Status::Ok();
+    bool done = false;  ///< guarded by batch_mu_
+  };
+
+  struct Session {
+    mutable std::mutex mu;
+    std::deque<sensors::Frame> stream;
+    size_t pending_skip = 0;
+    std::unique_ptr<core::PredictionSmoother> smoother;
+    std::unique_ptr<core::DriftMonitor> drift;
+    std::unique_ptr<core::ActivityJournal> journal;
+    FleetSessionStats stats;
+    std::optional<core::NamedPrediction> last;
+    uint64_t deployment_version = 0;  ///< last version this session saw
+  };
+
+  EdgeFleet(core::ModelBundle bundle, size_t num_sessions,
+            FleetOptions options);
+
+  std::shared_ptr<const Deployment> CurrentDeployment() const;
+  void InstallDeployment(std::shared_ptr<const Deployment> deployment);
+
+  /// Enqueues `features` (pinned to `deployment`) and blocks until a
+  /// micro-batch (possibly led by this thread) classifies it.
+  Result<core::Prediction> ClassifyBatched(
+      std::shared_ptr<const Deployment> deployment,
+      const std::vector<float>& features);
+
+  /// Embeds + classifies one drained batch (all pinned to the same
+  /// deployment). Runs without batch_mu_ held.
+  void ServeBatch(const std::vector<PendingRequest*>& batch);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  mutable std::mutex deploy_mu_;
+  std::shared_ptr<const Deployment> deployment_;  ///< guarded by deploy_mu_
+  std::atomic<uint64_t> next_version_{2};  ///< version 1 = the Create bundle
+
+  mutable std::mutex update_mu_;               ///< guards updater_ creation
+  std::unique_ptr<core::AsyncUpdater> updater_;  ///< lazily created
+
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<PendingRequest*> batch_queue_;  ///< guarded by batch_mu_
+  bool leader_active_ = false;               ///< guarded by batch_mu_
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_EDGE_FLEET_H_

@@ -137,6 +137,97 @@ TEST(AsyncUpdaterTest, DestructorJoinsInFlightWork) {
   SUCCEED();
 }
 
+TEST(AsyncUpdaterStressTest, ConcurrentStartPollTakeHammer) {
+  // Regression for the unlocked `worker_` join/reassign in Launch: threads
+  // hammer Start/busy/ready/Take on one updater while updates complete at
+  // arbitrary times. Run under -DMAGNETO_SANITIZE=thread this is the race
+  // detector for the worker-handle lock order; unsanitized it still checks
+  // the protocol (exactly one Take succeeds per successful Start).
+  Deployment dep = Deploy(709);
+  IncrementalOptions fast = FastOptions();
+  fast.train.epochs = 1;
+  fast.train.batch_size = 16;
+  AsyncUpdater updater(fast);
+
+  std::atomic<int> starts{0};
+  std::atomic<int> takes{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Two starter threads compete to launch updates (distinct names so
+  // repeated learns keep succeeding), two taker threads compete to reap
+  // them, one poller spins on busy()/ready().
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        const std::string name =
+            "G" + std::to_string(t) + "_" + std::to_string(i);
+        if (updater.StartLearn(dep.model, dep.support, name, Capture(20 + i))
+                .ok()) {
+          starts.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto outcome = updater.Take();
+        if (outcome.ok() ||
+            outcome.status().code() != StatusCode::kFailedPrecondition) {
+          takes.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      updater.busy();
+      updater.ready();
+    }
+  });
+
+  threads[0].join();
+  threads[1].join();
+  // Drain any final in-flight update, then stop the takers/poller.
+  while (updater.busy()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (size_t t = 2; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_GT(starts.load(), 0);
+  // Every successful start was reaped by exactly one successful Take (a
+  // training failure also counts: it surfaces through one Take).
+  EXPECT_EQ(takes.load(), starts.load());
+  EXPECT_FALSE(updater.busy());
+}
+
+TEST(AsyncUpdaterStressTest, DestroyWhileConcurrentlyPolled) {
+  // Construct/poll/destroy cycles: the destructor's reap must not race the
+  // poller's locked state reads.
+  Deployment dep = Deploy(710);
+  IncrementalOptions fast = FastOptions();
+  fast.train.epochs = 1;
+  for (int round = 0; round < 3; ++round) {
+    auto updater = std::make_unique<AsyncUpdater>(fast);
+    ASSERT_TRUE(updater
+                    ->StartLearn(dep.model, dep.support,
+                                 "R" + std::to_string(round), Capture(40))
+                    .ok());
+    std::thread poller([&u = *updater] {
+      for (int i = 0; i < 200; ++i) {
+        u.busy();
+        u.ready();
+      }
+    });
+    poller.join();
+    updater.reset();  // joins the in-flight worker
+  }
+  SUCCEED();
+}
+
 TEST(EdgeRuntimeAsyncTest, FullAsyncFlowWithHotSwap) {
   ModelBundle bundle = testing::SmallPretrainedBundle(707);
   SupportSet support = std::move(bundle.support);

@@ -1,5 +1,10 @@
 #include "core/knn_classifier.h"
 
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace magneto::core {
@@ -110,6 +115,83 @@ TEST(KnnClassifierTest, InvalidInputsRejected) {
   auto knn = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
   EXPECT_EQ(knn.Classify({1.0f}).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(KnnClassifierTest, ScratchReuseIsByteIdentical) {
+  // Regression for the `static thread_local` scratch removal: a reused
+  // caller-provided scratch — including one carrying stale capacity from a
+  // *larger* classifier — must produce byte-identical predictions to the
+  // scratch-free overload.
+  SupportSet small = TwoClusterSupport();
+  SupportSet big(100, SelectionStrategy::kRandom);
+  {
+    Rng rng(3);
+    sensors::FeatureDataset c0, c1;
+    for (int i = 0; i < 40; ++i) {
+      c0.Append({0.01f * i, 0.0f}, 0);
+      c1.Append({10.0f + 0.01f * i, 1.0f}, 1);
+    }
+    MAGNETO_CHECK(big.SetClass(0, c0, nullptr, &rng).ok());
+    MAGNETO_CHECK(big.SetClass(1, c1, nullptr, &rng).ok());
+  }
+  IdentityEmbedder embedder;
+  auto knn_small = KnnClassifier::FromSupportSet(small, &embedder, {}).value();
+  auto knn_big = KnnClassifier::FromSupportSet(big, &embedder, {}).value();
+
+  KnnClassifier::Scratch scratch;
+  for (float x : {0.0f, 1.0f, 4.9f, 5.1f, 8.0f, 10.5f}) {
+    const std::vector<float> q{x, 0.0f};
+    // Interleave big and small so the scratch always arrives at the small
+    // classifier oversized from the previous big query.
+    Prediction big_pred =
+        knn_big.Classify(q.data(), q.size(), &scratch).value();
+    Prediction big_ref = knn_big.Classify(q).value();
+    Prediction small_pred =
+        knn_small.Classify(q.data(), q.size(), &scratch).value();
+    Prediction small_ref = knn_small.Classify(q).value();
+    EXPECT_EQ(std::memcmp(&big_pred, &big_ref, sizeof(Prediction)), 0)
+        << "big, x=" << x;
+    EXPECT_EQ(std::memcmp(&small_pred, &small_ref, sizeof(Prediction)), 0)
+        << "small, x=" << x;
+  }
+  const std::vector<float> probe{1.0f, 0.0f};
+  EXPECT_EQ(
+      knn_small.Classify(probe.data(), probe.size(), nullptr).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(KnnClassifierTest, ConcurrentClassifyWithPerThreadScratch) {
+  // The classifier is immutable after construction: concurrent Classify
+  // calls with distinct scratches must agree with the serial answers. (Run
+  // under -DMAGNETO_SANITIZE=thread this also proves there is no hidden
+  // shared scratch left.)
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  const std::vector<std::vector<float>> queries = {
+      {0.0f, 0.0f}, {2.0f, 0.0f}, {8.0f, 0.0f}, {10.5f, 0.0f}};
+  std::vector<Prediction> expected;
+  for (const auto& q : queries) expected.push_back(knn.Classify(q).value());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      KnnClassifier::Scratch scratch;
+      for (int rep = 0; rep < 50; ++rep) {
+        const size_t qi = static_cast<size_t>((t + rep) % queries.size());
+        auto pred = knn.Classify(queries[qi].data(), queries[qi].size(),
+                                 &scratch);
+        if (!pred.ok() ||
+            std::memcmp(&pred.value(), &expected[qi], sizeof(Prediction)) !=
+                0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(KnnClassifierTest, AgreesWithNcmOnSeparatedClusters) {

@@ -90,6 +90,37 @@ TEST(PredictionSmootherTest, WindowBoundsHistory) {
   EXPECT_DOUBLE_EQ(out.prediction.confidence, 1.0);
 }
 
+TEST(PredictionSmootherTest, RejectedWindowsAgeOutStaleHistory) {
+  // Regression: an activity change that arrives as a run of low-confidence
+  // windows must not leave the pre-change winner in the history forever.
+  // Before the tick-based expiry, rejected pushes never aged the history, so
+  // the smoother reported "Walk" indefinitely here.
+  PredictionSmoother smoother({.window = 3, .min_confidence = 0.5});
+  for (int i = 0; i < 3; ++i) smoother.Push(Pred(0, 0.8, "Walk"));
+
+  // The change to activity 1 comes in below the confidence bar. The stale
+  // votes may coast for up to `window` pushes...
+  NamedPrediction out = Pred(0, 0.0);
+  for (int i = 0; i < 3; ++i) out = smoother.Push(Pred(1, 0.3, "Run"));
+  // ...but by the (window+1)-th rejected window every stale vote has
+  // expired and the raw prediction passes through.
+  out = smoother.Push(Pred(1, 0.3, "Run"));
+  EXPECT_EQ(smoother.history_size(), 0u);
+  EXPECT_EQ(out.prediction.activity, 1);
+  EXPECT_EQ(out.name, "Run");
+}
+
+TEST(PredictionSmootherTest, AcceptedPushesStillDisplaceByCount) {
+  // The size cap is unchanged: with only accepted pushes the behaviour is
+  // exactly the pre-fix sliding window.
+  PredictionSmoother smoother({.window = 2});
+  smoother.Push(Pred(0, 0.9));
+  smoother.Push(Pred(1, 0.8));
+  NamedPrediction out = smoother.Push(Pred(1, 0.8));
+  EXPECT_EQ(smoother.history_size(), 2u);
+  EXPECT_EQ(out.prediction.activity, 1);
+}
+
 TEST(PredictionSmootherDeathTest, ZeroWindowAborts) {
   EXPECT_DEATH(PredictionSmoother({.window = 0}), "Check failed");
 }

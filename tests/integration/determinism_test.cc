@@ -4,6 +4,7 @@
 // compare raw float bits.
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -116,6 +117,73 @@ TEST(ParallelDeterminismTest, SiameseTrainingBitIdenticalAcrossThreadCounts) {
   for (size_t e = 0; e < serial.second.size(); ++e) {
     EXPECT_EQ(serial.second[e].embedding_loss, threaded.second[e].embedding_loss)
         << "epoch " << e;
+  }
+}
+
+TEST(ParallelDeterminismTest, FleetStreamsBitIdenticalAcrossThreadCounts) {
+  // Multi-session serving inherits the contract: concurrent sessions whose
+  // windows land in arbitrary micro-batch compositions must emit the same
+  // per-session prediction stream at any pool size — row-independent
+  // kernels make a row's result independent of its batch neighbours.
+  constexpr size_t kSessions = 6;
+  const sensors::ActivityId activities[] = {sensors::kStill, sensors::kWalk,
+                                            sensors::kRun};
+
+  auto run = [&] {
+    core::CloudConfig config;
+    config.backbone_dims = {32, 16};
+    config.train.epochs = 4;
+    config.train.batch_size = 32;
+    config.train.seed = 21;
+    config.support_capacity = 12;
+    config.seed = 31;
+    core::CloudInitializer cloud(config);
+    sensors::SyntheticGenerator corpus_gen(61);
+    auto bundle = cloud.Initialize(
+        corpus_gen.GenerateDataset(sensors::DefaultActivityLibrary(), 2, 4.0),
+        sensors::ActivityRegistry::BaseActivities());
+    EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+    platform::FleetOptions options;
+    options.max_batch = 8;
+    auto fleet = platform::EdgeFleet::Create(std::move(bundle).value(),
+                                             kSessions, options);
+    EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+    std::vector<std::vector<core::Prediction>> streams(kSessions);
+    std::vector<std::thread> drivers;
+    for (size_t s = 0; s < kSessions; ++s) {
+      drivers.emplace_back([&, s] {
+        sensors::SyntheticGenerator gen(70 + s);
+        sensors::Recording rec = gen.Generate(
+            sensors::DefaultActivityLibrary()[activities[s % 3]], 3.0);
+        for (size_t i = 0; i < rec.num_samples(); ++i) {
+          sensors::Frame frame;
+          for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+            frame[c] = rec.samples.At(i, c);
+          }
+          auto pred = fleet.value()->PushFrame(s, frame);
+          EXPECT_TRUE(pred.ok());
+          if (pred.ok() && pred.value().has_value()) {
+            streams[s].push_back(pred.value()->prediction);
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+    return streams;
+  };
+
+  const auto serial = WithThreads(1, run);
+  const auto threaded = WithThreads(8, run);
+  for (size_t s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(serial[s].size(), threaded[s].size()) << "session " << s;
+    ASSERT_GT(serial[s].size(), 0u) << "session " << s;
+    for (size_t i = 0; i < serial[s].size(); ++i) {
+      EXPECT_EQ(std::memcmp(&serial[s][i], &threaded[s][i],
+                            sizeof(core::Prediction)),
+                0)
+          << "session " << s << ", window " << i;
+    }
   }
 }
 

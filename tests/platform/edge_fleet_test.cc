@@ -1,0 +1,274 @@
+#include "platform/edge_fleet.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/edge_runtime.h"
+#include "obs/metrics.h"
+#include "sensors/synthetic_generator.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::platform {
+namespace {
+
+core::IncrementalOptions FastUpdateOptions() {
+  core::IncrementalOptions options;
+  options.train.epochs = 2;
+  options.train.batch_size = 16;
+  options.train.seed = 7;
+  return options;
+}
+
+std::vector<sensors::Frame> FramesOf(const sensors::Recording& rec) {
+  std::vector<sensors::Frame> frames(rec.num_samples());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frames[i][c] = rec.samples.At(i, c);
+    }
+  }
+  return frames;
+}
+
+std::vector<sensors::Frame> ActivityFrames(sensors::ActivityId activity,
+                                           double seconds, uint64_t seed) {
+  sensors::SyntheticGenerator gen(seed);
+  return FramesOf(
+      gen.Generate(sensors::DefaultActivityLibrary()[activity], seconds));
+}
+
+TEST(EdgeFleetTest, CreateValidatesInputs) {
+  EXPECT_EQ(EdgeFleet::Create(testing::SmallPretrainedBundle(801), 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // An unfitted/empty bundle is refused.
+  EXPECT_EQ(EdgeFleet::Create(core::ModelBundle{}, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  FleetOptions zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_EQ(EdgeFleet::Create(testing::SmallPretrainedBundle(801), 2,
+                              zero_batch)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(801), 3);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet.value()->num_sessions(), 3u);
+  EXPECT_EQ(fleet.value()->deployment_version(), 1u);
+}
+
+TEST(EdgeFleetTest, SingleSessionMatchesEdgeRuntime) {
+  // A fleet of one must be byte-for-byte the single-session runtime: same
+  // bundle, same frames, identical prediction stream.
+  core::ModelBundle runtime_bundle = testing::SmallPretrainedBundle(802);
+  core::SupportSet support = std::move(runtime_bundle.support);
+  core::EdgeRuntime runtime(std::move(runtime_bundle).ToEdgeModel(),
+                            std::move(support), FastUpdateOptions());
+  auto fleet =
+      EdgeFleet::Create(testing::SmallPretrainedBundle(802), 1).value();
+
+  std::vector<sensors::Frame> frames = ActivityFrames(sensors::kWalk, 3.0, 5);
+  std::vector<sensors::Frame> more = ActivityFrames(sensors::kStill, 3.0, 6);
+  frames.insert(frames.end(), more.begin(), more.end());
+
+  size_t predictions = 0;
+  for (const sensors::Frame& frame : frames) {
+    auto from_runtime = runtime.PushFrame(frame);
+    auto from_fleet = fleet->PushFrame(0, frame);
+    ASSERT_TRUE(from_runtime.ok());
+    ASSERT_TRUE(from_fleet.ok());
+    ASSERT_EQ(from_runtime.value().has_value(),
+              from_fleet.value().has_value());
+    if (!from_fleet.value().has_value()) continue;
+    ++predictions;
+    const core::NamedPrediction& a = *from_runtime.value();
+    const core::NamedPrediction& b = *from_fleet.value();
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(std::memcmp(&a.prediction, &b.prediction,
+                          sizeof(core::Prediction)),
+              0);
+  }
+  EXPECT_GE(predictions, 5u);
+  EXPECT_EQ(fleet->session_stats(0).predictions, predictions);
+}
+
+TEST(EdgeFleetTest, SessionsHaveIndependentState) {
+  FleetOptions options;
+  options.enable_journal = true;
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(803), 3,
+                                 options)
+                   .value();
+  for (const sensors::Frame& f : ActivityFrames(sensors::kWalk, 2.0, 11)) {
+    ASSERT_TRUE(fleet->PushFrame(0, f).ok());
+  }
+  for (const sensors::Frame& f : ActivityFrames(sensors::kStill, 1.0, 12)) {
+    ASSERT_TRUE(fleet->PushFrame(1, f).ok());
+  }
+
+  EXPECT_EQ(fleet->session_stats(0).frames, 240u);
+  EXPECT_EQ(fleet->session_stats(0).windows, 2u);
+  EXPECT_EQ(fleet->session_stats(1).frames, 120u);
+  EXPECT_EQ(fleet->session_stats(1).windows, 1u);
+  // Session 2 was never fed: untouched.
+  EXPECT_EQ(fleet->session_stats(2).frames, 0u);
+  EXPECT_FALSE(fleet->last_prediction(2).has_value());
+  ASSERT_TRUE(fleet->last_prediction(0).has_value());
+  ASSERT_NE(fleet->journal(0), nullptr);
+  EXPECT_GT(fleet->journal(0)->elapsed_seconds(), 0.0);
+  EXPECT_EQ(fleet->journal(2)->elapsed_seconds(), 0.0);
+
+  EXPECT_EQ(fleet->PushFrame(99, ActivityFrames(sensors::kWalk, 0.1, 1)[0])
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeFleetTest, PromotionSwapsAtomicallyAndResetsStreams) {
+  auto fleet =
+      EdgeFleet::Create(testing::SmallPretrainedBundle(804), 1).value();
+  std::vector<sensors::Frame> frames = ActivityFrames(sensors::kWalk, 2.0, 21);
+
+  // Fill half a window, then promote: the partial window must be discarded.
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fleet->PushFrame(0, frames[i]).ok());
+  }
+  ASSERT_TRUE(fleet->PromoteBundle(testing::SmallPretrainedBundle(805)).ok());
+  EXPECT_EQ(fleet->deployment_version(), 2u);
+
+  size_t frames_to_first = 0;
+  for (size_t i = 60; i < frames.size(); ++i) {
+    auto pred = fleet->PushFrame(0, frames[i]);
+    ASSERT_TRUE(pred.ok());
+    ++frames_to_first;
+    if (pred.value().has_value()) break;
+  }
+  // A full fresh window (120 frames) after the promotion, not 60.
+  EXPECT_EQ(frames_to_first, 120u);
+
+  // Promoting junk is refused and the live deployment is untouched.
+  EXPECT_EQ(fleet->PromoteBundle(core::ModelBundle{}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fleet->deployment_version(), 2u);
+}
+
+TEST(EdgeFleetTest, BackgroundLearnAndPromoteUpdate) {
+  FleetOptions options;
+  options.update_options = FastUpdateOptions();
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(806), 2,
+                                 options)
+                   .value();
+  EXPECT_EQ(fleet->PromoteUpdate().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  sensors::SyntheticGenerator gen(31);
+  std::vector<sensors::Recording> capture{
+      gen.Generate(sensors::MakeGestureModel(31), 20.0)};
+  ASSERT_TRUE(fleet->BeginLearn("Gesture Hi", std::move(capture)).ok());
+  EXPECT_TRUE(fleet->UpdatePending());
+
+  // Sessions keep serving the current model while training runs.
+  for (const sensors::Frame& f : ActivityFrames(sensors::kWalk, 1.0, 32)) {
+    ASSERT_TRUE(fleet->PushFrame(0, f).ok());
+  }
+
+  auto report = fleet->PromoteUpdate();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(fleet->deployment_version(), 2u);
+  EXPECT_FALSE(fleet->UpdatePending());
+  core::ModelBundle out = fleet->ToBundle();
+  EXPECT_EQ(out.registry.size(), 6u);
+  EXPECT_TRUE(out.registry.IdOf("Gesture Hi").ok());
+  EXPECT_TRUE(out.support.HasClass(report.value().activity));
+}
+
+TEST(EdgeFleetTest, BatchingKeepsMetricsConsistent) {
+  obs::Registry::Global().ResetAll();
+  FleetOptions options;
+  options.max_batch = 4;
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(807), 4,
+                                 options)
+                   .value();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (size_t s = 0; s < 4; ++s) {
+    threads.emplace_back([&, s] {
+      for (const sensors::Frame& f :
+           ActivityFrames(sensors::kWalk, 2.0, 40 + s)) {
+        if (!fleet->PushFrame(s, f).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  const auto* requests = snap.FindCounter("fleet.requests");
+  const auto* batches = snap.FindCounter("fleet.batches");
+  const auto* batch_size = snap.FindHistogram("fleet.batch_size");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_NE(batches, nullptr);
+  ASSERT_NE(batch_size, nullptr);
+  EXPECT_EQ(requests->value, 8u);  // 4 sessions x 2 windows
+  EXPECT_GT(batches->value, 0u);
+  EXPECT_LE(batches->value, requests->value);
+  EXPECT_EQ(batch_size->count, batches->value);
+  // Total classified rows across all batches equals total requests.
+  EXPECT_DOUBLE_EQ(batch_size->sum, static_cast<double>(requests->value));
+}
+
+TEST(EdgeFleetStressTest, ConcurrentSessionsWithMidRunPromotion) {
+  // The tentpole: many sessions classify concurrently while a bundle
+  // promotion lands mid-run. Under -DMAGNETO_SANITIZE=thread this is the
+  // race detector for the whole serving path (shared deployment, batcher,
+  // per-session state, copy-on-swap).
+  constexpr size_t kSessions = 8;
+  FleetOptions options;
+  options.max_batch = 8;
+  options.enable_smoothing = true;
+  options.smoother.window = 3;
+  options.enable_journal = true;
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(808),
+                                 kSessions, options)
+                   .value();
+
+  const sensors::ActivityId activities[] = {sensors::kStill, sensors::kWalk,
+                                            sensors::kRun};
+  std::atomic<int> failures{0};
+  std::atomic<size_t> sessions_done{0};
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      std::vector<sensors::Frame> frames =
+          ActivityFrames(activities[s % 3], 4.0, 50 + s);
+      for (const sensors::Frame& f : frames) {
+        if (!fleet->PushFrame(s, f).ok()) failures.fetch_add(1);
+      }
+      sessions_done.fetch_add(1);
+    });
+  }
+  // Promote once a few sessions are underway, well before they finish.
+  while (sessions_done.load() == 0 && fleet->session_stats(0).windows < 1) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(fleet->PromoteBundle(testing::SmallPretrainedBundle(809)).ok());
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fleet->deployment_version(), 2u);
+  for (size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(fleet->session_stats(s).frames, 480u) << "session " << s;
+    EXPECT_GT(fleet->session_stats(s).predictions, 0u) << "session " << s;
+    EXPECT_TRUE(fleet->last_prediction(s).has_value()) << "session " << s;
+  }
+  // The fleet survives a second promotion after the storm.
+  EXPECT_TRUE(fleet->PromoteBundle(fleet->ToBundle()).ok());
+  EXPECT_EQ(fleet->deployment_version(), 3u);
+}
+
+}  // namespace
+}  // namespace magneto::platform

@@ -32,6 +32,16 @@
 ///                    [--method int8|student|lowrank] [--student-dims N]
 ///       Produces an inference-only compressed deployment bundle.
 ///
+///   magneto fleet --bundle <bundle> [--sessions N] [--seconds S]
+///                 [--max-batch B] [--threads T] [--promote 0|1]
+///       Serves N concurrent user sessions from one shared deployment
+///       (platform::EdgeFleet): each session streams a personalised
+///       synthetic activity from its own thread while embedding forwards
+///       are micro-batched across sessions. With --promote 1 (default) a
+///       copy-on-swap bundle promotion lands mid-run to demonstrate that
+///       classification never stalls. Prints per-session results and
+///       aggregate throughput.
+///
 ///   magneto collect --out data.msns [--users N] [--seconds S] [--seed N]
 ///       Writes a synthetic multi-user collection campaign to disk.
 ///
@@ -49,11 +59,15 @@
 ///                        trace_event JSON (open in chrome://tracing or
 ///                        https://ui.perfetto.dev)
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "magneto.h"
 
@@ -417,6 +431,95 @@ int CmdCompress(const Args& args) {
   return 0;
 }
 
+int CmdFleet(const Args& args) {
+  auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
+  if (!bundle.ok()) return Fail(bundle.status(), "load");
+  const size_t sessions = static_cast<size_t>(args.GetInt("sessions", 8));
+  const double seconds = args.GetDouble("seconds", 6.0);
+  const bool promote = args.GetInt("promote", 1) != 0;
+  const int64_t threads = args.GetInt("threads", 0);
+  if (threads > 0) SetParallelThreads(static_cast<size_t>(threads));
+
+  platform::FleetOptions options;
+  options.max_batch = static_cast<size_t>(args.GetInt("max-batch", 8));
+  auto fleet =
+      platform::EdgeFleet::Create(std::move(bundle).value(), sessions,
+                                  options);
+  if (!fleet.ok()) return Fail(fleet.status(), "create fleet");
+
+  // Each session is a distinct simulated user: own personalisation, own
+  // activity, own driver thread. Only the frozen deployment is shared.
+  const sensors::ActivityId cycle[] = {sensors::kStill, sensors::kWalk,
+                                       sensors::kRun};
+  sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
+  std::printf("fleet: %zu sessions x %.0f s @ %zu pool threads, "
+              "max batch %zu\n",
+              sessions, seconds, ParallelThreads(), options.max_batch);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < sessions; ++s) {
+    drivers.emplace_back([&, s] {
+      sensors::UserProfile user(100 + s, 0.5);
+      sensors::SyntheticGenerator gen(200 + s);
+      sensors::Recording rec =
+          gen.Generate(user.Personalize(lib[cycle[s % 3]]), seconds);
+      for (size_t i = 0; i < rec.num_samples(); ++i) {
+        sensors::Frame frame;
+        for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+          frame[c] = rec.samples.At(i, c);
+        }
+        if (!fleet.value()->PushFrame(s, frame).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  if (promote) {
+    // Wait for the fleet to warm up, then hot-swap the deployment under
+    // full classification load.
+    while (fleet.value()->session_stats(0).windows < 1) {
+      std::this_thread::yield();
+    }
+    Status promoted = fleet.value()->PromoteBundle(fleet.value()->ToBundle());
+    if (!promoted.ok()) return Fail(promoted, "promote");
+  }
+  for (auto& t : drivers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "error: %d PushFrame failures\n", failures.load());
+    return 1;
+  }
+
+  std::printf("%8s %8s %8s  %-14s %10s\n", "session", "frames", "windows",
+              "last", "confidence");
+  size_t total_windows = 0;
+  for (size_t s = 0; s < sessions; ++s) {
+    platform::FleetSessionStats stats = fleet.value()->session_stats(s);
+    total_windows += stats.windows;
+    auto last = fleet.value()->last_prediction(s);
+    std::printf("%8zu %8zu %8zu  %-14s %9.2f\n", s, stats.frames,
+                stats.windows, last ? last->name.c_str() : "-",
+                last ? last->prediction.confidence : 0.0);
+  }
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  const auto* batches = snap.FindCounter("fleet.batches");
+  const auto* requests = snap.FindCounter("fleet.requests");
+  std::printf("%zu windows in %.2f s (%.0f windows/s); %llu requests in "
+              "%llu batches (mean %.2f); deployment v%llu\n",
+              total_windows, wall, total_windows / wall,
+              static_cast<unsigned long long>(requests ? requests->value : 0),
+              static_cast<unsigned long long>(batches ? batches->value : 0),
+              batches && batches->value > 0
+                  ? static_cast<double>(requests->value) /
+                        static_cast<double>(batches->value)
+                  : 0.0,
+              static_cast<unsigned long long>(
+                  fleet.value()->deployment_version()));
+  return 0;
+}
+
 int CmdCollect(const Args& args) {
   const std::string out = args.Get("out", "campaign.msns");
   const size_t users = static_cast<size_t>(args.GetInt("users", 8));
@@ -493,7 +596,7 @@ int CmdExportCsv(const Args& args) {
 void Usage() {
   std::fprintf(stderr,
                "usage: magneto <pretrain|inspect|simulate|learn|calibrate|compress|"
-               "collect|crossval|export-csv> "
+               "fleet|collect|crossval|export-csv> "
                "[flags]\n(see the header of tools/magneto_cli.cc)\n");
 }
 
@@ -515,6 +618,7 @@ int Dispatch(const std::string& command, const Args& args, int argc,
   if (command == "learn") return CmdLearn(args);
   if (command == "calibrate") return CmdCalibrate(args);
   if (command == "compress") return CmdCompress(args);
+  if (command == "fleet") return CmdFleet(args);
   if (command == "collect") return CmdCollect(args);
   if (command == "crossval") return CmdCrossval(args);
   if (command == "export-csv") return CmdExportCsv(args);
