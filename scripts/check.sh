@@ -31,7 +31,9 @@ MAGNETO_THREADS=8 ./build-tsan/tests/platform_test \
 cmake -B build-asan -G Ninja -DMAGNETO_SANITIZE=address
 cmake --build build-asan --target common_test core_test platform_test
 ./build-asan/tests/common_test --gtest_filter='Crc32*:BinarySerial*:*FileIo*'
-./build-asan/tests/core_test --gtest_filter='ModelBundle*'
+# UpdateTransaction* stages/commits/rolls back full model snapshots — the
+# exact place a dangling pointer into swapped-out state would hide.
+./build-asan/tests/core_test --gtest_filter='ModelBundle*:UpdateTransaction*'
 ./build-asan/tests/platform_test \
   --gtest_filter='FaultInjector*:BundleTransport*:ChunkFrame*'
 
@@ -70,6 +72,42 @@ grep -Eq '"fleet\.requests": [1-9]' "$smoke_dir/fleet_metrics.json" \
   || { echo "fleet smoke: expected nonzero fleet.requests" >&2; exit 1; }
 grep -Eq '"fleet\.promotions": [1-9]' "$smoke_dir/fleet_metrics.json" \
   || { echo "fleet smoke: mid-run promotion did not land" >&2; exit 1; }
+
+# Transactional-update smoke: inject a failure mid-update and prove the
+# all-or-nothing contract end to end. The checkpoint written before the
+# failed update must be byte-identical to the input bundle (nothing staged
+# leaked), still load, and classify exactly like the original. The rollback
+# must be counted, and the recovery must NOT have needed the .lkg fallback.
+./build/tools/magneto learn --bundle "$smoke_dir/m.magneto" \
+  --out "$smoke_dir/rollback.magneto" --fail-step train \
+  --metrics-out "$smoke_dir/learn_fail_metrics.json"
+cmp "$smoke_dir/m.magneto" "$smoke_dir/rollback.magneto" \
+  || { echo "learn smoke: rolled-back checkpoint differs from pre-update bundle" >&2; exit 1; }
+./build/tools/magneto simulate --bundle "$smoke_dir/m.magneto" --seconds 2 \
+  > "$smoke_dir/sim_before.txt"
+./build/tools/magneto simulate --bundle "$smoke_dir/rollback.magneto" \
+  --seconds 2 > "$smoke_dir/sim_after.txt"
+diff "$smoke_dir/sim_before.txt" "$smoke_dir/sim_after.txt" \
+  || { echo "learn smoke: rolled-back checkpoint classifies differently" >&2; exit 1; }
+grep -Eq '"learner\.rollbacks": [1-9]' "$smoke_dir/learn_fail_metrics.json" \
+  || { echo "learn smoke: expected nonzero learner.rollbacks" >&2; exit 1; }
+grep -Eq '"learner\.commits": 0' "$smoke_dir/learn_fail_metrics.json" \
+  || { echo "learn smoke: failed update must not count as a commit" >&2; exit 1; }
+if grep -Eq '"edge\.checkpoint\.fallbacks": [1-9]' "$smoke_dir/learn_fail_metrics.json"; then
+  echo "learn smoke: recovery should not have needed the .lkg fallback" >&2
+  exit 1
+fi
+# The committed path: same capture without the fault lands, checkpoints the
+# updated model to --out, and rotates the pre-update state to the .lkg slot.
+./build/tools/magneto learn --bundle "$smoke_dir/m.magneto" \
+  --out "$smoke_dir/updated.magneto" \
+  --metrics-out "$smoke_dir/learn_ok_metrics.json"
+grep -Eq '"learner\.commits": [1-9]' "$smoke_dir/learn_ok_metrics.json" \
+  || { echo "learn smoke: expected nonzero learner.commits" >&2; exit 1; }
+cmp "$smoke_dir/m.magneto" "$smoke_dir/updated.magneto.lkg" \
+  || { echo "learn smoke: .lkg must hold the pre-update bundle" >&2; exit 1; }
+./build/tools/magneto inspect "$smoke_dir/updated.magneto" | grep -q 'Gesture Hi' \
+  || { echo "learn smoke: committed bundle lacks the new activity" >&2; exit 1; }
 
 for b in build/bench/bench_*; do
   echo "== $b =="

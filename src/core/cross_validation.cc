@@ -1,6 +1,7 @@
 #include "core/cross_validation.h"
 
 #include <cmath>
+#include <map>
 
 #include "common/random.h"
 #include "learn/metrics.h"
@@ -16,14 +17,26 @@ Result<CrossValidationReport> CrossValidateCloud(
     return Status::InvalidArgument("fewer recordings than folds");
   }
 
-  // Shuffle recording indices once, then deal them round-robin into folds —
-  // round-robin keeps the per-class balance of the (class-ordered) corpus.
-  std::vector<size_t> order(corpus.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stratified dealing: shuffle each label's recordings, then round-robin
+  // them into folds. Dealing over a globally shuffled order is NOT balanced
+  // — on small corpora it produces unbalanced or even single-class folds;
+  // stratifying bounds every fold's per-class count within one recording of
+  // even. The fold cursor continues across labels so classes with fewer
+  // recordings than folds do not all pile onto fold 0.
+  std::map<sensors::ActivityId, std::vector<size_t>> by_label;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    by_label[corpus[i].label].push_back(i);
+  }
   Rng rng(seed);
-  rng.Shuffle(&order);
   std::vector<size_t> fold_of(corpus.size());
-  for (size_t i = 0; i < order.size(); ++i) fold_of[order[i]] = i % folds;
+  size_t cursor = 0;
+  for (auto& [label, members] : by_label) {
+    rng.Shuffle(&members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      fold_of[members[j]] = (cursor + j) % folds;
+    }
+    cursor = (cursor + members.size()) % folds;
+  }
 
   CrossValidationReport report;
   report.folds.reserve(folds);
@@ -60,18 +73,22 @@ Result<CrossValidationReport> CrossValidateCloud(
     report.folds.push_back(result);
   }
 
-  double sum = 0.0, sum2 = 0.0, f1 = 0.0;
+  double sum = 0.0, f1 = 0.0;
   for (const FoldResult& fold : report.folds) {
     sum += fold.accuracy;
-    sum2 += fold.accuracy * fold.accuracy;
     f1 += fold.macro_f1;
   }
   const double n = static_cast<double>(folds);
   report.mean_accuracy = sum / n;
-  report.stddev_accuracy =
-      std::sqrt(std::max(0.0, sum2 / n - report.mean_accuracy *
-                                             report.mean_accuracy));
   report.mean_macro_f1 = f1 / n;
+  // Sample (n-1) stddev: the folds are a sample of possible splits, and the
+  // population formula biases the spread low for the small k used here.
+  double var = 0.0;
+  for (const FoldResult& fold : report.folds) {
+    const double d = fold.accuracy - report.mean_accuracy;
+    var += d * d;
+  }
+  report.stddev_accuracy = std::sqrt(var / (n - 1.0));
   return report;
 }
 

@@ -97,6 +97,22 @@ Status EdgeModel::RebuildPrototypes(const SupportSet& support) {
   return Status::Ok();
 }
 
+EdgeModel::Snapshot EdgeModel::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.backbone = backbone_.Clone();
+  snapshot.classifier = classifier_;
+  snapshot.registry = registry_;
+  snapshot.rejection_threshold = rejection_threshold_;
+  return snapshot;
+}
+
+void EdgeModel::Restore(Snapshot&& snapshot) {
+  backbone_ = std::move(snapshot.backbone);
+  classifier_ = std::move(snapshot.classifier);
+  registry_ = std::move(snapshot.registry);
+  rejection_threshold_ = snapshot.rejection_threshold;
+}
+
 size_t EdgeModel::BackboneBytes() const {
   return backbone_.NumParameters() * sizeof(float);
 }

@@ -83,6 +83,25 @@ class EdgeModel : public Embedder {
   /// backbone. Call after any backbone update.
   Status RebuildPrototypes(const SupportSet& support);
 
+  // -- Transactional weight state -----------------------------------------------
+
+  /// The mutable knowledge of the model — everything an incremental update
+  /// may change. An `UpdateTransaction` stages its work on a snapshot and
+  /// installs it with a single `Restore` only once every step succeeded, so
+  /// a failed update can never leave the live model half-mutated.
+  struct Snapshot {
+    nn::Sequential backbone;
+    NcmClassifier classifier;
+    sensors::ActivityRegistry registry;
+    double rejection_threshold = 0.0;
+  };
+
+  /// Deep copy of the mutable state (backbone weights included).
+  Snapshot TakeSnapshot() const;
+
+  /// Installs a snapshot with a single swap (no partial visibility).
+  void Restore(Snapshot&& snapshot);
+
   // -- Accessors ---------------------------------------------------------------
 
   const preprocess::Pipeline& pipeline() const { return pipeline_; }

@@ -131,8 +131,7 @@ Result<UpdateReport> EdgeRuntime::FinishRecordingAndLearn(
   MAGNETO_ASSIGN_OR_RETURN(
       UpdateReport report,
       learner_.LearnNewActivity(&model_, &support_, name, {rec}));
-  ++stats_.updates;
-  Metrics().updates->Increment();
+  OnUpdateCommitted();
   return report;
 }
 
@@ -146,10 +145,29 @@ Result<UpdateReport> EdgeRuntime::FinishRecordingAndCalibrate(
   sensors::Recording rec = FinishCapture();
   MAGNETO_ASSIGN_OR_RETURN(
       UpdateReport report, learner_.Calibrate(&model_, &support_, id, {rec}));
-  ++stats_.updates;
-  Metrics().updates->Increment();
+  OnUpdateCommitted();
   return report;
 }
+
+void EdgeRuntime::OnUpdateCommitted() {
+  ++stats_.updates;
+  Metrics().updates->Increment();
+  if (auto_checkpoint_path_.empty()) return;
+  // The learner only returns success once the staged state is fully
+  // committed, so what is persisted here is exactly the post-update model.
+  // A rolled-back update never reaches this point and the previous
+  // checkpoint (the pre-update model) stays authoritative on disk.
+  Status saved = SaveCheckpoint(auto_checkpoint_path_);
+  if (!saved.ok()) {
+    MAGNETO_LOG(Warning) << "auto-checkpoint failed: " << saved.ToString();
+  }
+}
+
+void EdgeRuntime::EnableAutoCheckpoint(std::string path) {
+  auto_checkpoint_path_ = std::move(path);
+}
+
+void EdgeRuntime::DisableAutoCheckpoint() { auto_checkpoint_path_.clear(); }
 
 void EdgeRuntime::CancelRecording() {
   capture_buffer_.clear();
@@ -205,8 +223,7 @@ Result<UpdateReport> EdgeRuntime::CommitUpdate() {
   stream_buffer_.clear();
   if (smoother_ != nullptr) smoother_->Reset();
   if (drift_monitor_ != nullptr) drift_monitor_->Reset();
-  ++stats_.updates;
-  Metrics().updates->Increment();
+  OnUpdateCommitted();
   return std::move(outcome.report);
 }
 

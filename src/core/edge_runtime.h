@@ -112,6 +112,14 @@ class EdgeRuntime {
       const std::string& path, IncrementalOptions options,
       double sample_rate_hz = sensors::kDefaultSampleRateHz);
 
+  /// Arms commit-point checkpointing: `SaveCheckpoint(path)` runs after
+  /// every *committed* update (FinishRecordingAndLearn/-Calibrate and
+  /// CommitUpdate). A failed or rolled-back update writes nothing, so the
+  /// on-disk checkpoint always holds the last committed model and a crash
+  /// mid-update recovers to the pre-update state via the `.lkg` path.
+  void EnableAutoCheckpoint(std::string path);
+  void DisableAutoCheckpoint();
+
   // -- Output smoothing ----------------------------------------------------------
 
   /// Turns on temporal majority smoothing of the prediction stream.
@@ -158,6 +166,10 @@ class EdgeRuntime {
 
   sensors::Recording FinishCapture();
 
+  /// Commit point of a successful update: bumps the update counters and,
+  /// when auto-checkpointing is armed, persists the committed state.
+  void OnUpdateCommitted();
+
   EdgeModel model_;
   SupportSet support_;
   IncrementalOptions update_options_;
@@ -167,6 +179,8 @@ class EdgeRuntime {
   std::unique_ptr<PredictionSmoother> smoother_;
   std::unique_ptr<DriftMonitor> drift_monitor_;
   std::unique_ptr<ActivityJournal> journal_;
+
+  std::string auto_checkpoint_path_;  ///< empty = auto-checkpointing off
 
   RuntimeMode mode_ = RuntimeMode::kInference;
   std::deque<sensors::Frame> stream_buffer_;

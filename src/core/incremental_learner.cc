@@ -39,6 +39,12 @@ double MsSince(UpdateClock::time_point start) {
          1e3;
 }
 
+/// Test-only injection point: pretends the step that just ran failed.
+Status CheckStep(const IncrementalOptions& options, UpdateStep step) {
+  if (options.failure_hook) return options.failure_hook(step);
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<UpdateReport> IncrementalLearner::LearnNewActivity(
@@ -47,26 +53,13 @@ Result<UpdateReport> IncrementalLearner::LearnNewActivity(
   if (model == nullptr || support == nullptr) {
     return Status::InvalidArgument("model and support must not be null");
   }
-  MAGNETO_ASSIGN_OR_RETURN(sensors::ActivityId id,
-                           model->registry().Register(name));
-  auto report = Update(model, support, id, recordings, /*is_new_class=*/true);
-  if (!report.ok()) {
-    // Roll back the registration so a failed capture can be retried under
-    // the same name.
-    // (Registry has no unregister; re-register would collide.)
-    // NOTE: ids are never reused, so simply removing the name is safe.
-    // We reconstruct the registry without the failed entry.
-    sensors::ActivityRegistry cleaned;
-    for (sensors::ActivityId existing : model->registry().Ids()) {
-      if (existing == id) continue;
-      auto existing_name = model->registry().NameOf(existing);
-      MAGNETO_CHECK(existing_name.ok());
-      MAGNETO_CHECK(
-          cleaned.RegisterWithId(existing, existing_name.value()).ok());
-    }
-    model->registry() = std::move(cleaned);
-  }
-  return report;
+  UpdateTransaction tx(model, support);
+  // Registration happens on the staged registry: a failure anywhere below
+  // (or of the registration itself) drops the staged copy, the live
+  // registry is never written, and the name stays free for a retry.
+  MAGNETO_ASSIGN_OR_RETURN(sensors::ActivityId id, tx.registry().Register(name));
+  return Update(&tx, model->pipeline(), &model->backbone(), id, recordings,
+                /*is_new_class=*/true);
 }
 
 Result<UpdateReport> IncrementalLearner::Calibrate(
@@ -83,11 +76,14 @@ Result<UpdateReport> IncrementalLearner::Calibrate(
     return Status::FailedPrecondition(
         "activity has no support data to replace: " + std::to_string(id));
   }
-  return Update(model, support, id, recordings, /*is_new_class=*/false);
+  UpdateTransaction tx(model, support);
+  return Update(&tx, model->pipeline(), &model->backbone(), id, recordings,
+                /*is_new_class=*/false);
 }
 
 Result<UpdateReport> IncrementalLearner::Update(
-    EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+    UpdateTransaction* tx, const preprocess::Pipeline& pipeline,
+    nn::Sequential* teacher, sensors::ActivityId id,
     const std::vector<sensors::Recording>& recordings,
     bool is_new_class) const {
   obs::TraceSpan span("IncrementalLearner::Update");
@@ -102,18 +98,21 @@ Result<UpdateReport> IncrementalLearner::Update(
     labeled.push_back({rec, id});
   }
   MAGNETO_ASSIGN_OR_RETURN(sensors::FeatureDataset new_data,
-                           model->pipeline().ProcessLabeled(labeled));
+                           pipeline.ProcessLabeled(labeled));
   Metrics().preprocess_ms->Record(MsSince(preprocess_start));
   if (new_data.empty()) {
     return Status::InvalidArgument(
         "recordings yielded no complete windows; record for longer");
   }
+  MAGNETO_RETURN_IF_ERROR(CheckStep(options_, UpdateStep::kPreprocess));
 
-  // (2) Freeze the pre-update backbone as the distillation teacher. The
-  // distillation targets are the embeddings of the *retained* knowledge:
+  // (2) The *live* backbone — untouched until commit — is the frozen
+  // distillation teacher; the staged clone is the student being retrained.
+  // The distillation targets are the embeddings of the retained knowledge:
   // every support class except the one being (re)learned.
-  const sensors::FeatureDataset retained =
-      is_new_class ? support->AsDataset() : support->DatasetExcluding(id);
+  const sensors::FeatureDataset retained = is_new_class
+                                               ? tx->support().AsDataset()
+                                               : tx->support().DatasetExcluding(id);
 
   // (3) Joint retraining on old exemplars + fresh windows (or, with
   // rehearsal disabled, the naive fine-tuning baseline).
@@ -127,8 +126,9 @@ Result<UpdateReport> IncrementalLearner::Update(
   const bool use_ewc = options_.ewc_weight > 0.0 && !retained.empty();
   train_options.ewc_weight = use_ewc ? options_.ewc_weight : 0.0;
 
-  // EWC importance is measured on the *pre-update* model against the
-  // retained knowledge, before any weight moves.
+  // EWC importance is measured on the *pre-update* weights against the
+  // retained knowledge, before any weight moves — the staged backbone still
+  // carries them at this point.
   std::unique_ptr<learn::EwcRegularizer> ewc;
   if (use_ewc) {
     learn::EwcRegularizer::Options ewc_options;
@@ -136,7 +136,7 @@ Result<UpdateReport> IncrementalLearner::Update(
     ewc_options.seed = options_.seed ^ 0x5757;
     MAGNETO_ASSIGN_OR_RETURN(
         learn::EwcRegularizer estimated,
-        learn::EwcRegularizer::Estimate(&model->backbone(), retained,
+        learn::EwcRegularizer::Estimate(&tx->backbone(), retained,
                                         ewc_options));
     ewc = std::make_unique<learn::EwcRegularizer>(std::move(estimated));
   }
@@ -145,34 +145,41 @@ Result<UpdateReport> IncrementalLearner::Update(
   learn::TrainReport train_report;
   const auto train_start = UpdateClock::now();
   if (distill) {
-    nn::Sequential teacher = model->backbone().Clone();
     MAGNETO_ASSIGN_OR_RETURN(
         train_report,
-        trainer.Train(&model->backbone(), train_data, &teacher, &retained,
+        trainer.Train(&tx->backbone(), train_data, teacher, &retained,
                       ewc.get()));
   } else {
     MAGNETO_ASSIGN_OR_RETURN(
         train_report,
-        trainer.Train(&model->backbone(), train_data, nullptr, nullptr,
+        trainer.Train(&tx->backbone(), train_data, nullptr, nullptr,
                       ewc.get()));
   }
   Metrics().train_ms->Record(MsSince(train_start));
+  MAGNETO_RETURN_IF_ERROR(CheckStep(options_, UpdateStep::kTrain));
 
   // (4) Support-set update: fold in (or, for calibration, replace with) the
-  // fresh windows, herded through the *updated* embedding space.
+  // fresh windows, herded through the *updated* (staged) embedding space.
   const auto support_start = UpdateClock::now();
   Rng rng(options_.seed ^ static_cast<uint64_t>(id));
-  MAGNETO_RETURN_IF_ERROR(support->SetClass(id, new_data, model, &rng));
+  MAGNETO_RETURN_IF_ERROR(
+      tx->support().SetClass(id, new_data, &tx->embedder(), &rng));
+  MAGNETO_RETURN_IF_ERROR(CheckStep(options_, UpdateStep::kSupportSet));
 
   // (5) All prototypes move when the backbone moves — rebuild every class.
-  MAGNETO_RETURN_IF_ERROR(model->RebuildPrototypes(*support));
+  MAGNETO_RETURN_IF_ERROR(tx->RebuildPrototypes());
   Metrics().support_ms->Record(MsSince(support_start));
+  MAGNETO_RETURN_IF_ERROR(CheckStep(options_, UpdateStep::kPrototypes));
 
   UpdateReport report;
   report.activity = id;
   report.new_windows = new_data.size();
   report.train = std::move(train_report);
-  report.support_bytes = support->MemoryBytes();
+  report.support_bytes = tx->support().MemoryBytes();
+
+  // Every step succeeded against the staged state: install it with one
+  // swap. Nothing before this line has written to the live deployment.
+  tx->Commit();
   return report;
 }
 

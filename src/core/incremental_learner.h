@@ -1,16 +1,27 @@
 #ifndef MAGNETO_CORE_INCREMENTAL_LEARNER_H_
 #define MAGNETO_CORE_INCREMENTAL_LEARNER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/edge_model.h"
 #include "core/support_set.h"
+#include "core/update_transaction.h"
 #include "learn/siamese_trainer.h"
 #include "sensors/recording.h"
 
 namespace magneto::core {
+
+/// The steps of one incremental update (§3.3), in execution order. Step
+/// boundaries of the update transaction; used by the failure-injection hook.
+enum class UpdateStep : uint8_t {
+  kPreprocess = 0,  ///< (1) featurize the capture with the frozen pipeline
+  kTrain = 1,       ///< (2)+(3) distillation teacher + joint retraining
+  kSupportSet = 2,  ///< (4) fold/replace exemplars in the support set
+  kPrototypes = 3,  ///< (5) rebuild every NCM prototype
+};
 
 /// Hyperparameters of an on-device update.
 struct IncrementalOptions {
@@ -38,6 +49,12 @@ struct IncrementalOptions {
   bool rehearse_support = true;
 
   uint64_t seed = 99;
+
+  /// Test-only failure injection: invoked after each update step has run
+  /// against the *staged* transaction state; returning an error makes the
+  /// step fail as if the step itself had errored. Production leaves this
+  /// unset. Used to prove the all-or-nothing guarantee at every boundary.
+  std::function<Status(UpdateStep)> failure_hook;
 };
 
 /// Outcome of one on-device update.
@@ -60,6 +77,13 @@ struct UpdateReport {
 ///      contrastive + distillation objective,
 ///   4. fold the new windows into the support set (herding),
 ///   5. recompute all NCM prototypes through the updated backbone.
+///
+/// Every update is transactional: steps (1)-(5) run against an
+/// `UpdateTransaction`'s staged copies and commit with a single swap only
+/// when all of them succeed. An error at *any* step — including a failed
+/// registration of the new name — leaves the model, support set,
+/// prototypes and registry byte-identical to before the call, so a failed
+/// capture is always safely retryable.
 class IncrementalLearner {
  public:
   explicit IncrementalLearner(IncrementalOptions options)
@@ -81,8 +105,12 @@ class IncrementalLearner {
       const std::vector<sensors::Recording>& recordings) const;
 
  private:
+  /// Runs steps (1)-(5) against the transaction's staged state and commits
+  /// on success. `pipeline` and `teacher` belong to the live (read-only
+  /// during the update) model.
   Result<UpdateReport> Update(
-      EdgeModel* model, SupportSet* support, sensors::ActivityId id,
+      UpdateTransaction* tx, const preprocess::Pipeline& pipeline,
+      nn::Sequential* teacher, sensors::ActivityId id,
       const std::vector<sensors::Recording>& recordings,
       bool is_new_class) const;
 

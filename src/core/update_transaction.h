@@ -1,0 +1,91 @@
+#ifndef MAGNETO_CORE_UPDATE_TRANSACTION_H_
+#define MAGNETO_CORE_UPDATE_TRANSACTION_H_
+
+#include "common/result.h"
+#include "core/edge_model.h"
+#include "core/support_set.h"
+#include "nn/sequential.h"
+
+namespace magneto::core {
+
+/// All-or-nothing staging for one incremental update (§3.3).
+///
+/// The learner's five steps used to mutate the live deployment in place, so
+/// a failure in step (4) or (5) left the backbone retrained while the
+/// support set / prototypes / registry described the pre-update world — a
+/// silently diverged model. The transaction closes that hole: every step
+/// runs against private copies of `{backbone weights, support set,
+/// prototypes, registry}` and `Commit()` installs them with a single swap.
+/// Until then the live model and support set are never written, so any
+/// error (or a crash) leaves them byte-identical to before the call.
+///
+/// The staging is cheap: the backbone copy is the same `Clone()` the
+/// distillation recipe already paid for — the staged backbone is trained as
+/// the student while the untouched *live* backbone serves as the frozen
+/// teacher, so no second weight copy exists.
+///
+/// Not committing (destruction, early return, error) is a rollback.
+/// Counters: `learner.commits`, `learner.rollbacks`; the
+/// `learner.staged_bytes` gauge reports the transaction's staged payload.
+class UpdateTransaction {
+ public:
+  /// Snapshots `model` + `support`. Neither is written before `Commit`.
+  UpdateTransaction(EdgeModel* model, SupportSet* support);
+
+  /// Rolls back (drops the staged state) unless `Commit` ran.
+  ~UpdateTransaction();
+
+  UpdateTransaction(const UpdateTransaction&) = delete;
+  UpdateTransaction& operator=(const UpdateTransaction&) = delete;
+
+  // -- Staged state (what the update steps mutate) -----------------------------
+
+  nn::Sequential& backbone() { return staged_.backbone; }
+  SupportSet& support() { return support_; }
+  sensors::ActivityRegistry& registry() { return staged_.registry; }
+
+  /// Embeds through the *staged* backbone — hand this to support-set
+  /// herding so exemplars are selected in the post-update embedding space.
+  Embedder& embedder() { return embedder_; }
+
+  /// Rebuilds every NCM prototype from the staged support set through the
+  /// staged backbone (step (5) against staged state).
+  Status RebuildPrototypes();
+
+  /// Bytes of staged state held by this transaction (backbone weights +
+  /// support exemplars + prototypes).
+  size_t StagedBytes() const;
+
+  // -- Commit ------------------------------------------------------------------
+
+  /// Installs the staged state into the live model and support set with a
+  /// single swap. Call only after every step succeeded.
+  void Commit();
+
+  bool committed() const { return committed_; }
+
+ private:
+  /// Embedder facade over the staged backbone (inference-mode forwards).
+  class StagedEmbedder : public Embedder {
+   public:
+    explicit StagedEmbedder(nn::Sequential* backbone) : backbone_(backbone) {}
+    Matrix Embed(const Matrix& features) override {
+      return backbone_->Forward(features, /*training=*/false);
+    }
+    size_t embedding_dim() const override;
+
+   private:
+    nn::Sequential* backbone_;
+  };
+
+  EdgeModel* model_;
+  SupportSet* live_support_;
+  EdgeModel::Snapshot staged_;
+  SupportSet support_;
+  StagedEmbedder embedder_;
+  bool committed_ = false;
+};
+
+}  // namespace magneto::core
+
+#endif  // MAGNETO_CORE_UPDATE_TRANSACTION_H_

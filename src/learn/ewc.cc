@@ -26,29 +26,40 @@ Result<EwcRegularizer> EwcRegularizer::Estimate(
     ewc.fisher_.emplace_back(p->rows(), p->cols());
   }
 
+  // Empirical Fisher: mean of squared *per-sample* gradients. Squaring a
+  // batch-aggregated gradient instead couples the estimate to batch_size
+  // (the cross-sample terms of (sum_i g_i)^2 scale with the batch), which
+  // silently rescaled the effective ewc_weight whenever the batch size
+  // changed — so each pair gets its own forward/backward here.
   PairSampler sampler(old_data, options.seed);
+  size_t total_pairs = 0;
+  std::vector<uint8_t> same_one(1);
   for (size_t b = 0; b < options.batches; ++b) {
-    net->ZeroGrad();
     PairBatch batch = sampler.Sample(options.batch_size);
-    Matrix stacked = VStack(batch.a, batch.b);
-    Matrix emb = net->Forward(stacked, /*training=*/false);
-    const size_t half = batch.size();
-    nn::PairLossResult loss =
-        nn::ContrastiveLoss(emb.RowSlice(0, half), emb.RowSlice(half, 2 * half),
-                            batch.same, options.margin);
-    net->Backward(VStack(loss.grad_a, loss.grad_b));
-    // Empirical Fisher: accumulate squared gradients.
-    for (size_t i = 0; i < grads.size(); ++i) {
-      const Matrix& g = *grads[i];
-      Matrix& f = ewc.fisher_[i];
-      for (size_t j = 0; j < g.size(); ++j) {
-        f.data()[j] += g.data()[j] * g.data()[j];
+    for (size_t pair = 0; pair < batch.size(); ++pair) {
+      net->ZeroGrad();
+      Matrix stacked =
+          VStack(batch.a.RowSlice(pair, pair + 1),
+                 batch.b.RowSlice(pair, pair + 1));
+      Matrix emb = net->Forward(stacked, /*training=*/false);
+      same_one[0] = batch.same[pair];
+      nn::PairLossResult loss =
+          nn::ContrastiveLoss(emb.RowSlice(0, 1), emb.RowSlice(1, 2),
+                              same_one, options.margin);
+      net->Backward(VStack(loss.grad_a, loss.grad_b));
+      for (size_t i = 0; i < grads.size(); ++i) {
+        const Matrix& g = *grads[i];
+        Matrix& f = ewc.fisher_[i];
+        for (size_t j = 0; j < g.size(); ++j) {
+          f.data()[j] += g.data()[j] * g.data()[j];
+        }
       }
+      ++total_pairs;
     }
   }
   net->ZeroGrad();
-  const float inv_batches = 1.0f / static_cast<float>(options.batches);
-  for (Matrix& f : ewc.fisher_) f.Scale(inv_batches);
+  const float inv_pairs = 1.0f / static_cast<float>(total_pairs);
+  for (Matrix& f : ewc.fisher_) f.Scale(inv_pairs);
   return ewc;
 }
 

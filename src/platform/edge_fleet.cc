@@ -21,6 +21,8 @@ struct FleetMetrics {
   obs::Counter* batches = obs::Registry::Global().GetCounter("fleet.batches");
   obs::Counter* promotions =
       obs::Registry::Global().GetCounter("fleet.promotions");
+  obs::Counter* update_failures =
+      obs::Registry::Global().GetCounter("fleet.update_failures");
   obs::Counter* session_resets =
       obs::Registry::Global().GetCounter("fleet.session_resets");
   obs::Gauge* sessions = obs::Registry::Global().GetGauge("fleet.sessions");
@@ -193,8 +195,16 @@ Result<core::UpdateReport> EdgeFleet::PromoteUpdate() {
   }
   // Take() blocks for the trainer; the sessions keep classifying on the
   // current deployment the whole time (update_mu_ is not held here).
-  MAGNETO_ASSIGN_OR_RETURN(core::AsyncUpdater::Outcome outcome,
-                           updater->Take());
+  // A failed update rolled back inside the learner's transaction and
+  // surfaces as an error Outcome — it stops here, before PromoteBundle, so
+  // a failed update can never reach a serving session and the deployment
+  // version does not advance.
+  Result<core::AsyncUpdater::Outcome> taken = updater->Take();
+  if (!taken.ok()) {
+    Metrics().update_failures->Increment();
+    return taken.status();
+  }
+  core::AsyncUpdater::Outcome outcome = std::move(taken).value();
   core::ModelBundle bundle;
   bundle.pipeline = outcome.model.pipeline();
   bundle.backbone = std::move(outcome.model.backbone());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "testing/test_helpers.h"
 
 namespace magneto::core {
@@ -66,6 +68,50 @@ TEST(CrossValidationTest, FoldsPartitionTheCorpus) {
   }
   // 4 s recordings -> 4 windows each; 10 recordings.
   EXPECT_EQ(total_test, 40u);
+}
+
+TEST(CrossValidationTest, FoldsAreStratifiedPerLabel) {
+  // Give every class a distinct recording duration. Stratified dealing puts
+  // exactly one of each class's two recordings into each of two folds, so
+  // both folds must carry the identical per-class window mix — i.e. equal
+  // test_windows. Dealing over a globally shuffled order (the old behaviour)
+  // breaks this for almost every seed.
+  sensors::SyntheticGenerator gen(9);
+  const auto library = sensors::DefaultActivityLibrary();
+  std::vector<sensors::LabeledRecording> corpus;
+  for (sensors::ActivityId id = 0; id < 5; ++id) {
+    const double seconds = 4.0 + 2.0 * static_cast<double>(id);
+    for (int rep = 0; rep < 2; ++rep) {
+      corpus.push_back({gen.Generate(library.at(id), seconds), id});
+    }
+  }
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    auto report = CrossValidateCloud(
+        testing::SmallCloudConfig(), corpus,
+        sensors::ActivityRegistry::BaseActivities(), 2, seed);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_EQ(report.value().folds.size(), 2u);
+    // 4+6+8+10+12 seconds of test data per fold, one window per second.
+    EXPECT_EQ(report.value().folds[0].test_windows, 40u) << "seed " << seed;
+    EXPECT_EQ(report.value().folds[1].test_windows, 40u) << "seed " << seed;
+  }
+}
+
+TEST(CrossValidationTest, StddevIsSampleStddev) {
+  auto corpus = testing::SmallCorpus(5, 3, 4.0);
+  auto report = CrossValidateCloud(testing::SmallCloudConfig(), corpus,
+                                   sensors::ActivityRegistry::BaseActivities(),
+                                   3, 17);
+  ASSERT_TRUE(report.ok()) << report.status();
+  double mean = 0.0;
+  for (const FoldResult& fold : report.value().folds) mean += fold.accuracy;
+  mean /= 3.0;
+  double var = 0.0;
+  for (const FoldResult& fold : report.value().folds) {
+    var += (fold.accuracy - mean) * (fold.accuracy - mean);
+  }
+  // Bessel-corrected (n-1) denominator, not the population n.
+  EXPECT_DOUBLE_EQ(report.value().stddev_accuracy, std::sqrt(var / 2.0));
 }
 
 }  // namespace

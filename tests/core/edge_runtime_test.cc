@@ -279,5 +279,71 @@ TEST(EdgeRuntimeCheckpointTest, MissingBothCheckpointsFails) {
   EXPECT_FALSE(restored.ok());
 }
 
+TEST(EdgeRuntimeCheckpointTest, AutoCheckpointSkipsRolledBackUpdate) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "magneto_runtime_rollback.magneto";
+  const std::string lkg = EdgeRuntime::LastKnownGoodPath(path);
+  std::remove(path.c_str());
+  std::remove(lkg.c_str());
+
+  ModelBundle bundle = testing::SmallPretrainedBundle(430);
+  SupportSet support = std::move(bundle.support);
+  EdgeModel model = std::move(bundle).ToEdgeModel();
+  IncrementalOptions options = FastUpdateOptions();
+  options.failure_hook = [](UpdateStep step) {
+    if (step == UpdateStep::kTrain) return Status::Internal("injected");
+    return Status::Ok();
+  };
+  EdgeRuntime runtime(std::move(model), std::move(support), options);
+
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  runtime.EnableAutoCheckpoint(path);
+
+  ASSERT_TRUE(runtime.StartRecording().ok());
+  sensors::SyntheticGenerator gen(12);
+  Stream(&runtime, gen.Generate(sensors::MakeGestureModel(60), 25.0));
+  auto report = runtime.FinishRecordingAndLearn("Gesture Hi");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(runtime.stats().updates, 0u);
+
+  // The rollback wrote nothing: no rotation happened and the checkpoint on
+  // disk still boots the pre-update model.
+  EXPECT_FALSE(std::filesystem::exists(lkg));
+  auto restored = EdgeRuntime::FromCheckpoint(path, FastUpdateOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().model().registry().size(), 5u);
+  EXPECT_FALSE(restored.value().model().registry().IdOf("Gesture Hi").ok());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeRuntimeCheckpointTest, AutoCheckpointPersistsCommittedUpdate) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "magneto_runtime_commit.magneto";
+  const std::string lkg = EdgeRuntime::LastKnownGoodPath(path);
+  std::remove(path.c_str());
+  std::remove(lkg.c_str());
+
+  EdgeRuntime runtime = MakeRuntime(431);
+  ASSERT_TRUE(runtime.SaveCheckpoint(path).ok());
+  runtime.EnableAutoCheckpoint(path);
+
+  ASSERT_TRUE(runtime.StartRecording().ok());
+  sensors::SyntheticGenerator gen(13);
+  Stream(&runtime, gen.Generate(sensors::MakeGestureModel(61), 25.0));
+  auto report = runtime.FinishRecordingAndLearn("Gesture Hi");
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Commit point persisted the new model and rotated the pre-update one.
+  auto restored = EdgeRuntime::FromCheckpoint(path, FastUpdateOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored.value().model().registry().IdOf("Gesture Hi").ok());
+  ASSERT_TRUE(std::filesystem::exists(lkg));
+  auto previous = ModelBundle::LoadFromFile(lkg);
+  ASSERT_TRUE(previous.ok()) << previous.status();
+  EXPECT_EQ(previous.value().registry.size(), 5u);
+  std::remove(path.c_str());
+  std::remove(lkg.c_str());
+}
+
 }  // namespace
 }  // namespace magneto::core

@@ -144,6 +144,40 @@ TEST(EwcTest, ReducesDriftOnImportantWeights) {
       << "EWC " << with_ewc << " vs plain " << without;
 }
 
+TEST(EwcTest, FisherScaleIsBatchSizeInvariant) {
+  // The Fisher is a per-sample statistic: estimating it with 8 batches of 8
+  // pairs or 2 batches of 32 pairs (same pair budget, same data) must land
+  // on the same order of magnitude. Squaring batch-aggregated gradients
+  // instead ties the scale to batch_size — the old bug made the effective
+  // ewc_weight drift whenever the training batch size was tuned.
+  Rng rng(21);
+  nn::Sequential net = nn::BuildMlp(6, {8, 4}, &rng);
+  sensors::FeatureDataset data = Blobs(2, 40, 6, 22);
+
+  EwcRegularizer::Options small;
+  small.batches = 8;
+  small.batch_size = 8;
+  EwcRegularizer::Options large;
+  large.batches = 2;
+  large.batch_size = 32;
+  auto ewc_small = EwcRegularizer::Estimate(&net, data, small).value();
+  auto ewc_large = EwcRegularizer::Estimate(&net, data, large).value();
+
+  // Probe the Fisher magnitude through the penalty at a fixed uniform drift.
+  for (Matrix* p : net.Params()) {
+    for (size_t j = 0; j < p->size(); ++j) p->data()[j] += 0.1f;
+  }
+  const double penalty_small = ewc_small.Penalty(&net, 1.0);
+  const double penalty_large = ewc_large.Penalty(&net, 1.0);
+  ASSERT_GT(penalty_small, 0.0);
+  ASSERT_GT(penalty_large, 0.0);
+  const double ratio = penalty_small / penalty_large;
+  // Same statistic, different sampling: within ~2x. The batch-coupled bug
+  // put the two 4x apart (Fisher scaled with 1/batch_size).
+  EXPECT_GT(ratio, 0.5) << penalty_small << " vs " << penalty_large;
+  EXPECT_LT(ratio, 2.0) << penalty_small << " vs " << penalty_large;
+}
+
 TEST(EwcTest, InputValidation) {
   Rng rng(14);
   nn::Sequential net = nn::BuildMlp(4, {4}, &rng);

@@ -186,6 +186,55 @@ TEST(EdgeFleetTest, BackgroundLearnAndPromoteUpdate) {
   EXPECT_TRUE(out.support.HasClass(report.value().activity));
 }
 
+TEST(EdgeFleetTest, FailedUpdateIsNeverPromoted) {
+  FleetOptions options;
+  options.update_options = FastUpdateOptions();
+  options.update_options.failure_hook = [](core::UpdateStep step) {
+    if (step == core::UpdateStep::kTrain) {
+      return Status::Internal("injected training failure");
+    }
+    return Status::Ok();
+  };
+  auto fleet = EdgeFleet::Create(testing::SmallPretrainedBundle(810), 2,
+                                 options)
+                   .value();
+
+  const uint64_t failures_before = [] {
+    const auto snap = obs::Registry::Global().TakeSnapshot();
+    const auto* c = snap.FindCounter("fleet.update_failures");
+    return c == nullptr ? uint64_t{0} : c->value;
+  }();
+
+  sensors::SyntheticGenerator gen(33);
+  std::vector<sensors::Recording> capture{
+      gen.Generate(sensors::MakeGestureModel(33), 20.0)};
+  ASSERT_TRUE(fleet->BeginLearn("Gesture Hi", std::move(capture)).ok());
+
+  auto report = fleet->PromoteUpdate();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+
+  // The failed update never reached the deployment: version unchanged, the
+  // registry untouched, and the failure counted.
+  EXPECT_EQ(fleet->deployment_version(), 1u);
+  EXPECT_FALSE(fleet->ToBundle().registry.IdOf("Gesture Hi").ok());
+  {
+    const auto snap = obs::Registry::Global().TakeSnapshot();
+    const auto* c = snap.FindCounter("fleet.update_failures");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, failures_before + 1);
+  }
+
+  // Sessions keep serving after the rollback.
+  size_t predictions = 0;
+  for (const sensors::Frame& f : ActivityFrames(sensors::kWalk, 2.0, 34)) {
+    auto pred = fleet->PushFrame(0, f);
+    ASSERT_TRUE(pred.ok());
+    if (pred.value().has_value()) ++predictions;
+  }
+  EXPECT_EQ(predictions, 2u);
+}
+
 TEST(EdgeFleetTest, BatchingKeepsMetricsConsistent) {
   obs::Registry::Global().ResetAll();
   FleetOptions options;

@@ -20,9 +20,15 @@
 ///       sequence reproducible.
 ///
 ///   magneto learn --bundle <bundle> --out <bundle> --name NAME
-///                 [--gesture-seed N] [--seconds S]
-///       On-device incremental learning of a new synthetic gesture;
-///       writes the updated bundle.
+///                 [--gesture-seed N] [--seconds S] [--fail-step STEP]
+///       On-device incremental learning of a new synthetic gesture. The
+///       update is transactional: on commit the updated bundle is
+///       checkpointed to --out (the pre-update state rotates to
+///       <out>.lkg); on rollback --out still holds the pre-update model
+///       and the capture can be retried. --fail-step
+///       preprocess|train|support|prototypes injects a failure at that
+///       update step (test/CI hook) and exits 0 after verifying the
+///       rollback.
 ///
 ///   magneto calibrate --bundle <bundle> --out <bundle> --activity NAME
 ///                     [--user-intensity X] [--seconds S]
@@ -292,6 +298,16 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+/// Maps a `--fail-step` name to the update step it should sabotage.
+bool ParseUpdateStep(const std::string& name, core::UpdateStep* step) {
+  if (name == "preprocess") *step = core::UpdateStep::kPreprocess;
+  else if (name == "train") *step = core::UpdateStep::kTrain;
+  else if (name == "support") *step = core::UpdateStep::kSupportSet;
+  else if (name == "prototypes") *step = core::UpdateStep::kPrototypes;
+  else return false;
+  return true;
+}
+
 int CmdLearn(const Args& args) {
   auto bundle = core::ModelBundle::LoadFromFile(args.Get("bundle", ""));
   if (!bundle.ok()) return Fail(bundle.status(), "load");
@@ -300,9 +316,40 @@ int CmdLearn(const Args& args) {
   const double seconds = args.GetDouble("seconds", 25.0);
   const uint64_t gesture_seed =
       static_cast<uint64_t>(args.GetInt("gesture-seed", 4242));
+  const std::string fail_step = args.Get("fail-step", "");
+
+  core::IncrementalOptions options;
+  options.train.epochs = 12;
+  options.train.learning_rate = 1e-3;
+  options.train.distill_weight = 1.0;
+  if (!fail_step.empty()) {
+    core::UpdateStep step;
+    if (!ParseUpdateStep(fail_step, &step)) {
+      std::fprintf(stderr,
+                   "error: unknown --fail-step '%s' "
+                   "(preprocess|train|support|prototypes)\n",
+                   fail_step.c_str());
+      return 2;
+    }
+    options.failure_hook = [step, fail_step](core::UpdateStep s) {
+      if (s == step) {
+        return Status::Internal("injected failure at step '" + fail_step +
+                                "'");
+      }
+      return Status::Ok();
+    };
+  }
 
   core::SupportSet support = std::move(bundle.value().support);
   core::EdgeModel model = std::move(bundle).value().ToEdgeModel();
+  core::EdgeRuntime runtime(std::move(model), std::move(support), options);
+
+  // Persist the pre-update state first: whatever happens to the update,
+  // --out always holds a loadable checkpoint — the committed post-update
+  // model, or the unchanged pre-update one after a rollback.
+  Status pre = runtime.SaveCheckpoint(out);
+  if (!pre.ok()) return Fail(pre, "checkpoint");
+  runtime.EnableAutoCheckpoint(out);
 
   sensors::SyntheticGenerator gen(7);
   sensors::Recording capture =
@@ -310,30 +357,34 @@ int CmdLearn(const Args& args) {
   std::printf("learning '%s' from a %.0f s synthetic capture...\n",
               name.c_str(), seconds);
 
-  core::IncrementalOptions options;
-  options.train.epochs = 12;
-  options.train.learning_rate = 1e-3;
-  options.train.distill_weight = 1.0;
-  core::IncrementalLearner learner(options);
-  auto report = learner.LearnNewActivity(&model, &support, name, {capture});
-  if (!report.ok()) return Fail(report.status(), "learn");
-  std::printf("learned activity #%lld from %zu windows "
+  Status recording = runtime.StartRecording();
+  if (!recording.ok()) return Fail(recording, "record");
+  for (size_t i = 0; i < capture.samples.rows(); ++i) {
+    sensors::Frame frame;
+    for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+      frame[c] = capture.samples.At(i, c);
+    }
+    auto pushed = runtime.PushFrame(frame);
+    if (!pushed.ok()) return Fail(pushed.status(), "capture");
+  }
+  auto report = runtime.FinishRecordingAndLearn(name);
+  if (!report.ok()) {
+    std::printf("update rolled back: %s\n",
+                report.status().ToString().c_str());
+    std::printf("deployed model unchanged; %s still holds the pre-update "
+                "checkpoint, the capture is safely retryable\n", out.c_str());
+    // An injected failure is the expected outcome of a --fail-step run.
+    return fail_step.empty() ? Fail(report.status(), "learn") : 0;
+  }
+  std::printf("update committed: activity #%lld from %zu windows "
               "(contrastive %.4f, distill %.4f)\n",
               static_cast<long long>(report.value().activity),
               report.value().new_windows,
               report.value().train.final_embedding_loss(),
               report.value().train.final_distill_loss());
-
-  core::ModelBundle updated;
-  updated.pipeline = model.pipeline();
-  updated.classifier = model.classifier();
-  updated.registry = model.registry();
-  updated.support = std::move(support);
-  updated.backbone = std::move(model.backbone());
-  Status saved = updated.SaveToFile(out);
-  if (!saved.ok()) return Fail(saved, "save");
-  std::printf("wrote %s (%.1f KiB)\n", out.c_str(),
-              updated.SerializedBytes() / 1024.0);
+  std::printf("wrote %s (%.1f KiB; pre-update state in %s)\n", out.c_str(),
+              runtime.ToBundle().SerializedBytes() / 1024.0,
+              core::EdgeRuntime::LastKnownGoodPath(out).c_str());
   return 0;
 }
 
@@ -369,7 +420,13 @@ int CmdCalibrate(const Args& args) {
   options.train.distill_weight = 1.0;
   core::IncrementalLearner learner(options);
   auto report = learner.Calibrate(&model, &support, id.value(), {capture});
-  if (!report.ok()) return Fail(report.status(), "calibrate");
+  if (!report.ok()) {
+    std::printf("update rolled back: deployed model unchanged, the capture "
+                "is safely retryable\n");
+    return Fail(report.status(), "calibrate");
+  }
+  std::printf("update committed: %zu fresh windows folded in\n",
+              report.value().new_windows);
 
   core::ModelBundle updated;
   updated.pipeline = model.pipeline();
