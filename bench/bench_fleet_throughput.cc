@@ -1,14 +1,26 @@
-// Multi-session serving throughput: N concurrent sessions stream synthetic
-// users through one shared EdgeFleet deployment while embedding forwards are
-// micro-batched across sessions. Sweeps session count x pool threads and
-// emits BENCH_fleet.json (throughput, p50/p99 classify latency, batch
-// coalescing) so the serving-path perf trajectory is tracked across PRs.
+// Multi-session serving throughput in two regimes, emitted as BENCH_fleet.json
+// with every run labeled by `mode`:
+//
+//  * closed_loop — N session threads stream frames through PushFrame and block
+//    for each prediction. Offered load can never exceed service capacity, so
+//    micro-batches only form when session threads collide; this measures the
+//    interactive path (offered_rate is recorded as 0: the callers self-clock).
+//  * open_loop — a Poisson arrival generator pushes pre-featurized windows
+//    through SubmitWindow at a fixed offered rate, independent of how fast the
+//    fleet drains them. The bounded admission queue builds a backlog whenever
+//    arrivals outpace service, which is exactly what lets the serve workers
+//    drain multi-window micro-batches (mean_batch > 1) — and sheds arrivals
+//    once the queue is full instead of queueing without bound. The rate sweep
+//    is calibrated against the measured service capacity of this machine so
+//    the under/over-saturation shape is reproducible anywhere.
 //
 // Speedups are only meaningful on a machine with that many cores;
 // `hardware_threads` is recorded in the JSON so readers can judge.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -21,13 +33,28 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct RunResult {
+struct ClosedLoopResult {
   size_t sessions = 0;
   size_t threads = 0;
   size_t windows = 0;
   double seconds = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+};
+
+struct OpenLoopResult {
+  double offered_rate = 0.0;  ///< target arrivals per second
+  size_t arrivals = 0;
+  size_t admitted = 0;
+  size_t rejected = 0;
+  size_t served = 0;
+  double seconds = 0.0;  ///< generator start -> queue fully drained
+  double classify_p50_us = 0.0;
+  double classify_p99_us = 0.0;
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p99_us = 0.0;
   uint64_t requests = 0;
   uint64_t batches = 0;
 };
@@ -55,23 +82,28 @@ std::vector<std::vector<sensors::Frame>> SessionStreams(size_t sessions,
   return streams;
 }
 
-RunResult DriveFleet(const core::ModelBundle& bundle,
-                     const std::vector<std::vector<sensors::Frame>>& streams,
-                     size_t threads) {
-  SetParallelThreads(threads);
-  obs::Registry::Global().ResetAll();
-
+core::ModelBundle CopyBundle(const core::ModelBundle& bundle) {
   core::ModelBundle copy;
   copy.pipeline = bundle.pipeline;
   copy.backbone = bundle.backbone.Clone();
   copy.classifier = bundle.classifier;
   copy.registry = bundle.registry;
   copy.support = bundle.support;
+  return copy;
+}
+
+ClosedLoopResult DriveClosedLoop(
+    const core::ModelBundle& bundle,
+    const std::vector<std::vector<sensors::Frame>>& streams, size_t threads) {
+  SetParallelThreads(threads);
+  obs::Registry::Global().ResetAll();
+
   platform::FleetOptions options;
   options.max_batch = 8;
-  auto fleet = Unwrap(
-      platform::EdgeFleet::Create(std::move(copy), streams.size(), options),
-      "create fleet");
+  auto fleet =
+      Unwrap(platform::EdgeFleet::Create(CopyBundle(bundle), streams.size(),
+                                         options),
+             "create fleet");
 
   std::atomic<int> failures{0};
   std::vector<std::thread> drivers;
@@ -92,7 +124,7 @@ RunResult DriveFleet(const core::ModelBundle& bundle,
     std::exit(1);
   }
 
-  RunResult result;
+  ClosedLoopResult result;
   result.sessions = streams.size();
   result.threads = threads;
   result.seconds = wall;
@@ -113,6 +145,99 @@ RunResult DriveFleet(const core::ModelBundle& bundle,
   return result;
 }
 
+/// Pre-featurizes `count` windows per session through the bundle's pipeline —
+/// the open-loop generator replays these so the measured path is admission +
+/// batching + embedding + classification, not featurization.
+std::vector<std::vector<std::vector<float>>> FeaturizeWindows(
+    const core::ModelBundle& bundle,
+    const std::vector<std::vector<sensors::Frame>>& streams, size_t count) {
+  const auto& seg = bundle.pipeline.config().segmentation;
+  std::vector<std::vector<std::vector<float>>> features(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    for (size_t w = 0; w < count; ++w) {
+      const size_t start = (w * seg.stride) %
+                           (streams[s].size() - seg.window_samples + 1);
+      Matrix window(seg.window_samples, sensors::kNumChannels);
+      for (size_t r = 0; r < seg.window_samples; ++r) {
+        for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+          window.At(r, c) = streams[s][start + r][c];
+        }
+      }
+      features[s].push_back(
+          Unwrap(bundle.pipeline.ProcessWindow(window), "featurize"));
+    }
+  }
+  return features;
+}
+
+/// Fires `arrivals` windows at the fleet with exponential inter-arrival times
+/// (Poisson process at `rate` arrivals/s; rate <= 0 = as fast as possible),
+/// round-robin across sessions, then drains. Spin-waits between arrivals:
+/// sleep granularity is far coarser than the microsecond gaps at high rates.
+OpenLoopResult DriveOpenLoop(
+    const core::ModelBundle& bundle,
+    const std::vector<std::vector<std::vector<float>>>& features,
+    const platform::FleetOptions& base_options, double rate,
+    size_t arrivals) {
+  obs::Registry::Global().ResetAll();
+  auto fleet =
+      Unwrap(platform::EdgeFleet::Create(CopyBundle(bundle), features.size(),
+                                         base_options),
+             "create fleet");
+
+  Rng rng(917);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (size_t i = 0; i < arrivals; ++i) {
+    if (rate > 0.0) {
+      const double gap_s = -std::log(1.0 - rng.Uniform()) / rate;
+      next += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap_s));
+      while (Clock::now() < next) {
+      }
+    }
+    const size_t session = i % features.size();
+    const auto& pool = features[session];
+    fleet->SubmitWindow(session, pool[(i / features.size()) % pool.size()]);
+  }
+  fleet->DrainSubmitted();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  OpenLoopResult result;
+  result.offered_rate = rate;
+  result.arrivals = arrivals;
+  result.seconds = wall;
+  for (size_t s = 0; s < features.size(); ++s) {
+    const platform::FleetSessionStats stats = fleet->session_stats(s);
+    result.admitted += stats.submitted;
+    result.rejected += stats.rejected;
+    result.served += stats.windows;
+  }
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  if (const auto* h = snap.FindHistogram("fleet.classify_us")) {
+    result.classify_p50_us = h->Quantile(0.5);
+    result.classify_p99_us = h->Quantile(0.99);
+  }
+  if (const auto* h = snap.FindHistogram("fleet.queue_wait_us")) {
+    result.queue_wait_p50_us = h->Quantile(0.5);
+    result.queue_wait_p99_us = h->Quantile(0.99);
+  }
+  if (const auto* c = snap.FindCounter("fleet.requests")) {
+    result.requests = c->value;
+  }
+  if (const auto* c = snap.FindCounter("fleet.batches")) {
+    result.batches = c->value;
+  }
+  return result;
+}
+
+double MeanBatch(uint64_t requests, uint64_t batches) {
+  return batches > 0
+             ? static_cast<double>(requests) / static_cast<double>(batches)
+             : 0.0;
+}
+
 }  // namespace
 }  // namespace magneto::bench
 
@@ -128,35 +253,89 @@ int main() {
                               sensors::ActivityRegistry::BaseActivities()),
              "pretrain");
 
+  // --- Closed loop: sessions x pool threads ---
   const std::vector<size_t> session_sweep = {1, 4, 8, 16};
   const std::vector<size_t> thread_sweep = {1, 2, 4, 8};
   const double seconds_per_session = 8.0;
 
-  std::vector<RunResult> results;
+  std::vector<ClosedLoopResult> closed;
   for (size_t sessions : session_sweep) {
     const auto streams = SessionStreams(sessions, seconds_per_session);
     for (size_t threads : thread_sweep) {
-      RunResult r = DriveFleet(bundle, streams, threads);
-      results.push_back(r);
+      ClosedLoopResult r = DriveClosedLoop(bundle, streams, threads);
+      closed.push_back(r);
       std::printf(
-          "sessions %2zu  threads %zu: %4zu windows in %6.1f ms "
-          "(%7.0f win/s, p50 %6.0f us, p99 %6.0f us, %llu reqs / %llu "
-          "batches)\n",
+          "closed  sessions %2zu  threads %zu: %4zu windows in %6.1f ms "
+          "(%7.0f win/s, p50 %6.0f us, p99 %6.0f us, mean batch %.2f)\n",
           r.sessions, r.threads, r.windows, r.seconds * 1e3,
           r.windows / r.seconds, r.p50_us, r.p99_us,
-          static_cast<unsigned long long>(r.requests),
-          static_cast<unsigned long long>(r.batches));
+          MeanBatch(r.requests, r.batches));
     }
+  }
+
+  // --- Open loop: Poisson rate sweep over a fixed serving configuration ---
+  // Intra-op parallelism is pinned to 1 so all concurrency comes from the
+  // serve workers + concurrent batch leaders — the lock-free const-backbone
+  // path this bench exists to measure.
+  SetParallelThreads(1);
+  constexpr size_t kOpenLoopSessions = 8;
+  platform::FleetOptions open_options;
+  open_options.max_batch = 8;
+  open_options.max_concurrent_batches = 4;
+  open_options.serve_threads = 4;
+  open_options.admission_capacity = 256;
+
+  const auto open_streams = SessionStreams(kOpenLoopSessions, 4.0);
+  const auto features = FeaturizeWindows(bundle, open_streams, 32);
+
+  // Calibrate: an unthrottled burst measures this machine's service
+  // capacity, so the sweep brackets saturation identically on any hardware.
+  OpenLoopResult calibration =
+      DriveOpenLoop(bundle, features, open_options, /*rate=*/0.0,
+                    /*arrivals=*/4000);
+  const double capacity = calibration.served / calibration.seconds;
+  std::printf("open    calibration: %.0f windows/s service capacity\n",
+              capacity);
+
+  const std::vector<double> load_factors = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<OpenLoopResult> open;
+  for (double factor : load_factors) {
+    const double rate = factor * capacity;
+    const size_t arrivals = static_cast<size_t>(
+        std::clamp(rate * 0.75, 1000.0, 30000.0));
+    OpenLoopResult r = DriveOpenLoop(bundle, features, open_options, rate,
+                                     arrivals);
+    open.push_back(r);
+    std::printf(
+        "open    rate %8.0f/s (%.2fx): %5zu/%5zu admitted, %5zu shed, "
+        "%7.0f win/s, classify p99 %6.0f us, wait p99 %8.0f us, "
+        "mean batch %.2f\n",
+        r.offered_rate, factor, r.admitted, r.arrivals, r.rejected,
+        r.served / r.seconds, r.classify_p99_us, r.queue_wait_p99_us,
+        MeanBatch(r.requests, r.batches));
   }
 
   obs::JsonWriter json = BenchJson("fleet_throughput");
   json.Field("hardware_threads", std::thread::hardware_concurrency())
       .Field("seconds_per_session", seconds_per_session)
       .Field("max_batch", static_cast<uint64_t>(8))
+      .Key("open_loop_config")
+      .BeginObject()
+      .Field("sessions", static_cast<uint64_t>(kOpenLoopSessions))
+      .Field("serve_threads",
+             static_cast<uint64_t>(open_options.serve_threads))
+      .Field("max_concurrent_batches",
+             static_cast<uint64_t>(open_options.max_concurrent_batches))
+      .Field("admission_capacity",
+             static_cast<uint64_t>(open_options.admission_capacity))
+      .Field("calibrated_capacity_windows_per_s", capacity)
+      .EndObject()
       .Key("runs")
       .BeginArray();
-  for (const RunResult& r : results) {
+  for (const ClosedLoopResult& r : closed) {
     json.BeginObject()
+        .Field("mode", std::string("closed_loop"))
+        .Field("offered_rate", 0.0)  // callers self-clock on the reply
         .Field("sessions", static_cast<uint64_t>(r.sessions))
         .Field("threads", static_cast<uint64_t>(r.threads))
         .Field("windows", static_cast<uint64_t>(r.windows))
@@ -166,10 +345,26 @@ int main() {
         .Field("classify_p99_us", r.p99_us)
         .Field("requests", r.requests)
         .Field("batches", r.batches)
-        .Field("mean_batch",
-               r.batches > 0 ? static_cast<double>(r.requests) /
-                                   static_cast<double>(r.batches)
-                             : 0.0)
+        .Field("mean_batch", MeanBatch(r.requests, r.batches))
+        .EndObject();
+  }
+  for (const OpenLoopResult& r : open) {
+    json.BeginObject()
+        .Field("mode", std::string("open_loop"))
+        .Field("offered_rate", r.offered_rate)
+        .Field("arrivals", static_cast<uint64_t>(r.arrivals))
+        .Field("admitted", static_cast<uint64_t>(r.admitted))
+        .Field("rejected", static_cast<uint64_t>(r.rejected))
+        .Field("windows", static_cast<uint64_t>(r.served))
+        .Field("seconds", r.seconds)
+        .Field("windows_per_s", r.served / r.seconds)
+        .Field("classify_p50_us", r.classify_p50_us)
+        .Field("classify_p99_us", r.classify_p99_us)
+        .Field("queue_wait_p50_us", r.queue_wait_p50_us)
+        .Field("queue_wait_p99_us", r.queue_wait_p99_us)
+        .Field("requests", r.requests)
+        .Field("batches", r.batches)
+        .Field("mean_batch", MeanBatch(r.requests, r.batches))
         .EndObject();
   }
   json.EndArray().EndObject();

@@ -63,10 +63,27 @@ struct Workload {
   std::vector<Sample> samples;  // one per thread count
 };
 
-void Report(const std::vector<Workload>& workloads, bool deterministic) {
+/// Heap traffic of the forward pass, measured via Matrix::AllocationCount.
+/// One workspace reused across calls amortizes every buffer to zero steady-
+/// state allocations; a fresh workspace per call re-pays all of them — the
+/// before/after of the ping-pong buffer refactor.
+struct AllocStats {
+  double reused_per_forward = 0.0;
+  double fresh_per_forward = 0.0;
+  double forward_us = 0.0;  ///< mean reused-workspace forward, 64-row batch
+};
+
+void Report(const std::vector<Workload>& workloads, bool deterministic,
+            const AllocStats& allocs) {
   obs::JsonWriter json = BenchJson("parallel_scaling");
   json.Field("hardware_threads", std::thread::hardware_concurrency())
       .Field("deterministic_across_thread_counts", deterministic)
+      .Key("workspace_allocations")
+      .BeginObject()
+      .Field("allocs_per_forward_reused_ws", allocs.reused_per_forward)
+      .Field("allocs_per_forward_fresh_ws", allocs.fresh_per_forward)
+      .Field("forward_us_reused_ws", allocs.forward_us)
+      .EndObject()
       .Key("workloads")
       .BeginArray();
   for (const Workload& wl : workloads) {
@@ -177,6 +194,39 @@ int main() {
     workloads.push_back(wl);
   }
 
+  // --- Forward-pass allocation traffic: reused vs fresh workspace ---
+  AllocStats allocs;
+  {
+    SetParallelThreads(1);
+    Rng rng(5);
+    nn::Sequential net = nn::BuildMlp(64, {256, 128, 64}, &rng);
+    Matrix x(64, 64);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>((i * 2654435761u) % 19) - 9.0f;
+    }
+    constexpr size_t kForwards = 200;
+    nn::ForwardWorkspace ws;
+    net.Forward(x, &ws);  // grow buffers to their steady-state shapes
+    uint64_t before = Matrix::AllocationCount();
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < kForwards; ++i) net.Forward(x, &ws);
+    allocs.forward_us = Seconds(t0, Clock::now()) / kForwards * 1e6;
+    allocs.reused_per_forward =
+        static_cast<double>(Matrix::AllocationCount() - before) / kForwards;
+    before = Matrix::AllocationCount();
+    for (size_t i = 0; i < kForwards; ++i) {
+      nn::ForwardWorkspace fresh;
+      net.Forward(x, &fresh);
+    }
+    allocs.fresh_per_forward =
+        static_cast<double>(Matrix::AllocationCount() - before) / kForwards;
+    std::printf(
+        "forward allocations: %.2f/call reused workspace vs %.2f/call "
+        "fresh (%.1f us/forward)\n",
+        allocs.reused_per_forward, allocs.fresh_per_forward,
+        allocs.forward_us);
+  }
+
   for (const Workload& wl : workloads) {
     std::printf("%-18s", wl.name.c_str());
     for (size_t i = 0; i < wl.threads.size(); ++i) {
@@ -194,7 +244,7 @@ int main() {
     }
   }
 
-  Report(workloads, deterministic);
+  Report(workloads, deterministic, allocs);
   std::printf("wrote BENCH_parallel.json (hardware threads: %u)\n",
               std::thread::hardware_concurrency());
   return deterministic ? 0 : 1;

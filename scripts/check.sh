@@ -11,15 +11,21 @@ ctest --test-dir build -j"$(nproc)" --output-on-failure
 # TSan pass over the shared thread pool and the parallel kernels. Forces an
 # oversubscribed pool so races surface even on small CI machines.
 cmake -B build-tsan -G Ninja -DMAGNETO_SANITIZE=thread
-cmake --build build-tsan --target common_test obs_test core_test platform_test
+cmake --build build-tsan --target common_test obs_test nn_test core_test \
+  platform_test
 MAGNETO_THREADS=8 ./build-tsan/tests/common_test \
   --gtest_filter='Parallel*:MatMul*:MatrixTest.*:Logging*'
 # Telemetry under TSan with tracing forced on: the metrics registry and the
 # per-thread trace rings must stay race-free while the pool hammers them.
 MAGNETO_THREADS=8 MAGNETO_TRACE=1 ./build-tsan/tests/obs_test
+# The lock-free embed contract: many threads forward through one shared
+# const Sequential, each with its own workspace, no locks anywhere.
+MAGNETO_THREADS=8 ./build-tsan/tests/nn_test \
+  --gtest_filter='WorkspaceConcurrencyTest.*'
 # The concurrent serving path: AsyncUpdater worker-handle lock order,
-# scratch-free KNN classify, and the EdgeFleet stress (8 sessions classifying
-# while a bundle promotion lands mid-run).
+# scratch-free KNN classify, and the EdgeFleet stress tests (closed-loop
+# sessions + open-loop SubmitWindow producers, both with a bundle promotion
+# landing mid-run).
 MAGNETO_THREADS=8 ./build-tsan/tests/core_test \
   --gtest_filter='AsyncUpdaterStressTest.*:KnnClassifierTest.Concurrent*'
 MAGNETO_THREADS=8 ./build-tsan/tests/platform_test \
@@ -72,6 +78,21 @@ grep -Eq '"fleet\.requests": [1-9]' "$smoke_dir/fleet_metrics.json" \
   || { echo "fleet smoke: expected nonzero fleet.requests" >&2; exit 1; }
 grep -Eq '"fleet\.promotions": [1-9]' "$smoke_dir/fleet_metrics.json" \
   || { echo "fleet smoke: mid-run promotion did not land" >&2; exit 1; }
+
+# Open-loop fleet smoke: an unthrottled generator (--rate 0) must overdrive
+# the serve workers so cross-session micro-batching actually engages — the
+# run fails unless the mean embed batch exceeds one window.
+./build/tools/magneto fleet --bundle "$smoke_dir/m.magneto" --sessions 6 \
+  --seconds 4 --open-loop 1 --rate 0 --windows 600 --serve-threads 6 \
+  --concurrent-batches 2 --threads 1 \
+  --metrics-out "$smoke_dir/fleet_open_metrics.json" \
+  | tee "$smoke_dir/fleet_open.txt"
+mean_batch="$(grep -o 'mean batch [0-9.]*' "$smoke_dir/fleet_open.txt" \
+  | awk '{print $3}')"
+awk -v m="$mean_batch" 'BEGIN { exit (m > 1.0) ? 0 : 1 }' \
+  || { echo "open-loop fleet smoke: mean batch $mean_batch is not > 1" >&2; exit 1; }
+grep -Eq '"fleet\.requests": [1-9]' "$smoke_dir/fleet_open_metrics.json" \
+  || { echo "open-loop fleet smoke: nothing was classified" >&2; exit 1; }
 
 # Transactional-update smoke: inject a failure mid-update and prove the
 # all-or-nothing contract end to end. The checkpoint written before the

@@ -1,6 +1,7 @@
 #include "common/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -9,6 +10,18 @@
 #include "common/parallel.h"
 
 namespace magneto {
+
+namespace {
+std::atomic<uint64_t> g_matrix_allocations{0};
+}  // namespace
+
+void Matrix::BumpAllocations() {
+  g_matrix_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Matrix::AllocationCount() {
+  return g_matrix_allocations.load(std::memory_order_relaxed);
+}
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -31,9 +44,23 @@ void Matrix::Fill(float value) {
 }
 
 void Matrix::Reset(size_t rows, size_t cols) {
+  if (rows * cols > data_.capacity()) BumpAllocations();
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::ResetForOverwrite(size_t rows, size_t cols) {
+  if (rows * cols > data_.capacity()) BumpAllocations();
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::CopyFrom(const Matrix& src) {
+  MAGNETO_CHECK(this != &src);
+  ResetForOverwrite(src.rows_, src.cols_);
+  std::memcpy(data_.data(), src.data_.data(), data_.size() * sizeof(float));
 }
 
 Matrix& Matrix::AddInPlace(const Matrix& other) {
@@ -174,20 +201,27 @@ void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t row0,
 
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   MAGNETO_CHECK(a.cols() == b.rows());
+  MAGNETO_CHECK(out != &a && out != &b);
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix out(m, n);
+  out->Reset(m, n);  // the ikj kernel accumulates, so it needs zeros
   ParallelFor(0, m, RowGrain(k * n), [&](size_t row0, size_t row1) {
-    MatMulRows(a, b, &out, row0, row1);
+    MatMulRows(a, b, out, row0, row1);
   });
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
   return out;
 }
 
-Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out) {
   MAGNETO_CHECK(a.rows() == b.rows());
+  MAGNETO_CHECK(out != &a && out != &b);
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix out(m, n);
+  out->Reset(m, n);
   // Partitioned over output rows (columns of a): each row of the result is
   // accumulated over kk by exactly one chunk, in the same order as the serial
   // loop, so results are bit-identical at any thread count. b's rows stream
@@ -198,25 +232,36 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
       const float* brow = b.RowPtr(kk);
       for (size_t i = i0; i < i1; ++i) {
         const float av = arow[i];
-        float* orow = out.RowPtr(i);
+        float* orow = out->RowPtr(i);
         for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
       }
     }
   });
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulTransAInto(a, b, &out);
   return out;
 }
 
-Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out) {
   MAGNETO_CHECK(a.cols() == b.cols());
+  MAGNETO_CHECK(out != &a && out != &b);
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix out(m, n);
+  out->ResetForOverwrite(m, n);  // every element is assigned below
   ParallelFor(0, m, RowGrain(k * n), [&](size_t row0, size_t row1) {
     for (size_t i = row0; i < row1; ++i) {
       const float* arow = a.RowPtr(i);
-      float* orow = out.RowPtr(i);
+      float* orow = out->RowPtr(i);
       for (size_t j = 0; j < n; ++j) orow[j] = Dot(arow, b.RowPtr(j), k);
     }
   });
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulTransBInto(a, b, &out);
   return out;
 }
 

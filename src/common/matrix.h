@@ -2,6 +2,7 @@
 #define MAGNETO_COMMON_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,15 +25,34 @@ class Matrix {
 
   /// Creates a `rows` x `cols` matrix, zero-initialised.
   Matrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    if (!data_.empty()) BumpAllocations();
+  }
 
   /// Creates a matrix from row-major data. `data.size()` must be rows*cols.
   Matrix(size_t rows, size_t cols, std::vector<float> data);
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) BumpAllocations();
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      if (other.data_.size() > data_.capacity()) BumpAllocations();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+    }
+    return *this;
+  }
   Matrix(Matrix&&) noexcept = default;
   Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Process-wide count of float-buffer heap allocations caused by Matrix
+  /// construction, copies, and capacity growth. Monotone; read deltas to
+  /// measure the allocation cost of a code path (see bench_parallel_scaling's
+  /// forward-pass workload).
+  static uint64_t AllocationCount();
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -66,8 +86,18 @@ class Matrix {
 
   void Fill(float value);
 
-  /// Resizes to rows x cols, discarding contents (zero-filled).
+  /// Resizes to rows x cols, discarding contents (zero-filled). Keeps the
+  /// existing capacity, so a buffer reused at a stable shape never
+  /// reallocates.
   void Reset(size_t rows, size_t cols);
+
+  /// Resizes to rows x cols without the zero-fill guarantee: elements carry
+  /// arbitrary values and every one must be written before it is read. For
+  /// reusable output buffers whose kernel overwrites the full matrix.
+  void ResetForOverwrite(size_t rows, size_t cols);
+
+  /// Overwrites this matrix with a copy of `src`, reusing capacity.
+  void CopyFrom(const Matrix& src);
 
   // -- Elementwise / scalar ops (in place) -----------------------------------
 
@@ -104,6 +134,8 @@ class Matrix {
   std::string ShapeString() const;
 
  private:
+  static void BumpAllocations();
+
   size_t rows_;
   size_t cols_;
   std::vector<float> data_;
@@ -119,6 +151,15 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 /// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n), without
 /// materialising the transpose.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+// Allocation-free variants of the three GEMMs: identical kernels and chunk
+// decomposition (so results are bit-identical to the producer forms), but the
+// result lands in a caller-owned buffer that is resized in place — a buffer
+// reused at a stable shape never touches the allocator. `out` must not alias
+// `a` or `b`.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Stacks `top` above `bottom` (column counts must match).
 Matrix VStack(const Matrix& top, const Matrix& bottom);

@@ -157,9 +157,10 @@ Result<nn::Sequential> DistillStudent(const nn::Sequential& teacher,
     return Status::InvalidArgument("epochs and batch_size must be > 0");
   }
 
-  // Teacher targets, computed once (teacher frozen).
-  nn::Sequential frozen = teacher.Clone();
-  Matrix targets = frozen.Forward(transfer_data.ToMatrix(), false);
+  // Teacher targets, computed once. Forward is const, so the teacher can be
+  // used directly — no defensive clone.
+  nn::ForwardWorkspace teacher_ws;
+  Matrix targets = teacher.Forward(transfer_data.ToMatrix(), &teacher_ws);
   const size_t embedding_dim = targets.cols();
 
   std::vector<size_t> dims = options.dims;
@@ -173,6 +174,7 @@ Result<nn::Sequential> DistillStudent(const nn::Sequential& teacher,
 
   const size_t steps_per_epoch = std::max<size_t>(
       1, (transfer_data.size() + options.batch_size - 1) / options.batch_size);
+  nn::ForwardWorkspace ws;
   double last_loss = 0.0;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
@@ -189,9 +191,9 @@ Result<nn::Sequential> DistillStudent(const nn::Sequential& teacher,
         std::memcpy(t.RowPtr(b), targets.RowPtr(idx),
                     embedding_dim * sizeof(float));
       }
-      Matrix pred = student.Forward(x, true);
+      const Matrix& pred = student.Forward(x, &ws, /*training=*/true);
       nn::LossResult loss = nn::DistillationMse(pred, t);
-      student.Backward(loss.grad);
+      student.Backward(loss.grad, &ws);
       optimizer.Step();
       epoch_loss += loss.loss;
     }

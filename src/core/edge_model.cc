@@ -13,7 +13,7 @@ EdgeModel::EdgeModel(preprocess::Pipeline pipeline, nn::Sequential backbone,
       registry_(std::move(registry)) {}
 
 Matrix EdgeModel::Embed(const Matrix& features) {
-  return backbone_.Forward(features, /*training=*/false);
+  return backbone_.Forward(features, &embed_ws_);
 }
 
 size_t EdgeModel::embedding_dim() const {

@@ -45,7 +45,10 @@ class EdgeModel : public Embedder {
 
   // -- Embedder ---------------------------------------------------------------
 
-  /// Embeds preprocessed feature vectors (inference mode).
+  /// Embeds preprocessed feature vectors (inference mode) through the
+  /// model's own workspace. Single-owner semantics, like the rest of
+  /// EdgeModel; concurrent serving goes through EdgeFleet, which forwards
+  /// the shared backbone with per-thread workspaces.
   Matrix Embed(const Matrix& features) override;
   size_t embedding_dim() const override;
 
@@ -123,6 +126,7 @@ class EdgeModel : public Embedder {
   NcmClassifier classifier_;
   sensors::ActivityRegistry registry_;
   double rejection_threshold_ = 0.0;
+  nn::ForwardWorkspace embed_ws_;  ///< reused across Embed calls
 };
 
 /// Computes an open-set rejection threshold empirically: the `percentile`

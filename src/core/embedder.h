@@ -17,8 +17,9 @@ class Embedder {
  public:
   virtual ~Embedder() = default;
 
-  /// Embeds a batch (rows = feature vectors). Non-const because network
-  /// forward passes cache activations.
+  /// Embeds a batch (rows = feature vectors). Non-const because
+  /// implementations own the forward workspace their backbone writes
+  /// through (the network itself is const during inference).
   virtual Matrix Embed(const Matrix& features) = 0;
 
   virtual size_t embedding_dim() const = 0;

@@ -65,17 +65,19 @@ class UpdateTransaction {
   bool committed() const { return committed_; }
 
  private:
-  /// Embedder facade over the staged backbone (inference-mode forwards).
+  /// Embedder facade over the staged backbone (inference-mode forwards
+  /// through the transaction's own workspace).
   class StagedEmbedder : public Embedder {
    public:
     explicit StagedEmbedder(nn::Sequential* backbone) : backbone_(backbone) {}
     Matrix Embed(const Matrix& features) override {
-      return backbone_->Forward(features, /*training=*/false);
+      return backbone_->Forward(features, &ws_);
     }
     size_t embedding_dim() const override;
 
    private:
     nn::Sequential* backbone_;
+    nn::ForwardWorkspace ws_;
   };
 
   EdgeModel* model_;

@@ -34,6 +34,9 @@ Result<EwcRegularizer> EwcRegularizer::Estimate(
   PairSampler sampler(old_data, options.seed);
   size_t total_pairs = 0;
   std::vector<uint8_t> same_one(1);
+  // Fisher wants inference behaviour (dropout off) but still needs the
+  // backward pass — exactly the training=false, record=true split.
+  nn::ForwardWorkspace ws;
   for (size_t b = 0; b < options.batches; ++b) {
     PairBatch batch = sampler.Sample(options.batch_size);
     for (size_t pair = 0; pair < batch.size(); ++pair) {
@@ -41,12 +44,13 @@ Result<EwcRegularizer> EwcRegularizer::Estimate(
       Matrix stacked =
           VStack(batch.a.RowSlice(pair, pair + 1),
                  batch.b.RowSlice(pair, pair + 1));
-      Matrix emb = net->Forward(stacked, /*training=*/false);
+      const Matrix& emb =
+          net->Forward(stacked, &ws, /*training=*/false, /*record=*/true);
       same_one[0] = batch.same[pair];
       nn::PairLossResult loss =
           nn::ContrastiveLoss(emb.RowSlice(0, 1), emb.RowSlice(1, 2),
                               same_one, options.margin);
-      net->Backward(VStack(loss.grad_a, loss.grad_b));
+      net->Backward(VStack(loss.grad_a, loss.grad_b), &ws);
       for (size_t i = 0; i < grads.size(); ++i) {
         const Matrix& g = *grads[i];
         Matrix& f = ewc.fisher_[i];

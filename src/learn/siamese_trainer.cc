@@ -124,12 +124,12 @@ Result<TrainReport> SiameseTrainer::Train(
         "ewc_weight is positive but no EwcRegularizer was given");
   }
 
-  // The teacher is frozen: compute its targets once.
+  // The teacher is frozen: compute its targets once. Forward is const, so
+  // no defensive clone is needed — the teacher weights are never touched.
   Matrix teacher_targets;
   if (distill) {
-    nn::Sequential frozen = teacher->Clone();
-    teacher_targets =
-        frozen.Forward(distill_data->ToMatrix(), /*training=*/false);
+    nn::ForwardWorkspace teacher_ws;
+    teacher_targets = teacher->Forward(distill_data->ToMatrix(), &teacher_ws);
   }
 
   const size_t pairs_per_epoch = options_.pairs_per_epoch > 0
@@ -142,6 +142,12 @@ Result<TrainReport> SiameseTrainer::Train(
   Rng rng(options_.seed);
   PairSampler sampler(data, rng.engine()());
   std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(options_, net);
+
+  // One workspace for the whole run: activation buffers reach their
+  // high-water shape in the first step and are reused from then on, and the
+  // dropout mask stream advances across steps exactly as a layer-owned RNG
+  // would.
+  nn::ForwardWorkspace ws;
 
   // SupCon needs dense integer labels.
   std::vector<int> dense_labels;
@@ -184,13 +190,13 @@ Result<TrainReport> SiameseTrainer::Train(
         Matrix stacked = VStack(batch.a, batch.b);
         sample_ms += MsSince(sample_start);
         const auto fb_start = TrainClock::now();
-        Matrix emb = net->Forward(stacked, /*training=*/true);
+        const Matrix& emb = net->Forward(stacked, &ws, /*training=*/true);
         const size_t b = batch.size();
         Matrix emb_a = emb.RowSlice(0, b);
         Matrix emb_b = emb.RowSlice(b, 2 * b);
         nn::PairLossResult pair =
             nn::ContrastiveLoss(emb_a, emb_b, batch.same, options_.margin);
-        net->Backward(VStack(pair.grad_a, pair.grad_b));
+        net->Backward(VStack(pair.grad_a, pair.grad_b), &ws);
         forward_backward_ms += MsSince(fb_start);
         stats.embedding_loss += pair.loss;
       } else {
@@ -204,10 +210,10 @@ Result<TrainReport> SiameseTrainer::Train(
         Matrix x = GatherRows(data, idx);
         sample_ms += MsSince(sample_start);
         const auto fb_start = TrainClock::now();
-        Matrix emb = net->Forward(x, /*training=*/true);
+        const Matrix& emb = net->Forward(x, &ws, /*training=*/true);
         nn::LossResult loss =
             nn::SupConLoss(emb, labels, options_.supcon_temperature);
-        net->Backward(loss.grad);
+        net->Backward(loss.grad, &ws);
         forward_backward_ms += MsSince(fb_start);
         stats.embedding_loss += loss.loss;
       }
@@ -221,13 +227,13 @@ Result<TrainReport> SiameseTrainer::Train(
         for (size_t i = 0; i < b; ++i) idx[i] = rng.Index(distill_data->size());
         Matrix x = GatherRows(*distill_data, idx);
         Matrix targets = GatherRows(teacher_targets, idx);
-        Matrix student = net->Forward(x, /*training=*/true);
+        const Matrix& student = net->Forward(x, &ws, /*training=*/true);
         nn::LossResult dl =
             options_.distillation == DistillationKind::kCosine
                 ? nn::DistillationCosine(student, targets)
                 : nn::DistillationMse(student, targets);
         dl.grad.Scale(static_cast<float>(options_.distill_weight));
-        net->Backward(dl.grad);
+        net->Backward(dl.grad, &ws);
         stats.distill_loss += options_.distill_weight * dl.loss;
         distill_ms += MsSince(distill_start);
       }

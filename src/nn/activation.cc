@@ -4,68 +4,79 @@
 
 namespace magneto::nn {
 
-Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
-  cached_input_ = input;
-  Matrix out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+void Relu::Forward(const Matrix& input, bool /*training*/,
+                   LayerState* /*state*/, Matrix* output) const {
+  output->ResetForOverwrite(input.rows(), input.cols());
+  const float* in = input.data();
+  float* out = output->data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    out[i] = in[i] < 0.0f ? 0.0f : in[i];
   }
-  return out;
 }
 
-Matrix Relu::Backward(const Matrix& grad_output) {
-  MAGNETO_CHECK(grad_output.SameShape(cached_input_));
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+void Relu::Backward(const Matrix& grad_output, const Matrix& input,
+                    const Matrix& /*output*/, LayerState* /*state*/,
+                    Matrix* grad_input) {
+  MAGNETO_CHECK(grad_output.SameShape(input));
+  grad_input->ResetForOverwrite(grad_output.rows(), grad_output.cols());
+  const float* g = grad_output.data();
+  const float* in = input.data();
+  float* gi = grad_input->data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = in[i] <= 0.0f ? 0.0f : g[i];
   }
-  return grad;
 }
 
 void Relu::Serialize(BinaryWriter* writer) const {
   writer->WriteU8(static_cast<uint8_t>(LayerType::kRelu));
 }
 
-Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
-  Matrix out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
-  cached_output_ = out;
-  return out;
+void Tanh::Forward(const Matrix& input, bool /*training*/,
+                   LayerState* /*state*/, Matrix* output) const {
+  output->ResetForOverwrite(input.rows(), input.cols());
+  const float* in = input.data();
+  float* out = output->data();
+  for (size_t i = 0; i < input.size(); ++i) out[i] = std::tanh(in[i]);
 }
 
-Matrix Tanh::Backward(const Matrix& grad_output) {
-  MAGNETO_CHECK(grad_output.SameShape(cached_output_));
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    const float y = cached_output_.data()[i];
-    grad.data()[i] *= 1.0f - y * y;
+void Tanh::Backward(const Matrix& grad_output, const Matrix& /*input*/,
+                    const Matrix& output, LayerState* /*state*/,
+                    Matrix* grad_input) {
+  MAGNETO_CHECK(grad_output.SameShape(output));
+  grad_input->ResetForOverwrite(grad_output.rows(), grad_output.cols());
+  const float* g = grad_output.data();
+  const float* y = output.data();
+  float* gi = grad_input->data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = g[i] * (1.0f - y[i] * y[i]);
   }
-  return grad;
 }
 
 void Tanh::Serialize(BinaryWriter* writer) const {
   writer->WriteU8(static_cast<uint8_t>(LayerType::kTanh));
 }
 
-Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
-  Matrix out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+void Sigmoid::Forward(const Matrix& input, bool /*training*/,
+                      LayerState* /*state*/, Matrix* output) const {
+  output->ResetForOverwrite(input.rows(), input.cols());
+  const float* in = input.data();
+  float* out = output->data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
   }
-  cached_output_ = out;
-  return out;
 }
 
-Matrix Sigmoid::Backward(const Matrix& grad_output) {
-  MAGNETO_CHECK(grad_output.SameShape(cached_output_));
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    const float y = cached_output_.data()[i];
-    grad.data()[i] *= y * (1.0f - y);
+void Sigmoid::Backward(const Matrix& grad_output, const Matrix& /*input*/,
+                       const Matrix& output, LayerState* /*state*/,
+                       Matrix* grad_input) {
+  MAGNETO_CHECK(grad_output.SameShape(output));
+  grad_input->ResetForOverwrite(grad_output.rows(), grad_output.cols());
+  const float* g = grad_output.data();
+  const float* y = output.data();
+  float* gi = grad_input->data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = g[i] * y[i] * (1.0f - y[i]);
   }
-  return grad;
 }
 
 void Sigmoid::Serialize(BinaryWriter* writer) const {

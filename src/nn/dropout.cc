@@ -2,34 +2,50 @@
 
 namespace magneto::nn {
 
-Dropout::Dropout(double p, uint64_t seed) : p_(p), seed_(seed), rng_(seed) {
+Dropout::Dropout(double p, uint64_t seed) : p_(p), seed_(seed) {
   MAGNETO_CHECK(p >= 0.0 && p < 1.0);
 }
 
-Matrix Dropout::Forward(const Matrix& input, bool training) {
-  last_training_ = training;
-  if (!training || p_ == 0.0) return input;
+void Dropout::Forward(const Matrix& input, bool training, LayerState* state,
+                      Matrix* output) const {
+  if (!training || p_ == 0.0) {
+    if (state != nullptr) state->flag = false;
+    output->CopyFrom(input);
+    return;
+  }
+  MAGNETO_CHECK(state != nullptr);  // the mask RNG lives in the run state
+  state->flag = true;
+  if (state->rng == nullptr || state->rng_seed != seed_) {
+    state->rng = std::make_unique<Rng>(seed_);
+    state->rng_seed = seed_;
+  }
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
-  mask_.Reset(input.rows(), input.cols());
-  Matrix out = input;
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (rng_.Bernoulli(p_)) {
-      out.data()[i] = 0.0f;
-      mask_.data()[i] = 0.0f;
+  state->cached.ResetForOverwrite(input.rows(), input.cols());
+  output->ResetForOverwrite(input.rows(), input.cols());
+  const float* in = input.data();
+  float* out = output->data();
+  float* mask = state->cached.data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (state->rng->Bernoulli(p_)) {
+      out[i] = 0.0f;
+      mask[i] = 0.0f;
     } else {
-      out.data()[i] *= keep_scale;
-      mask_.data()[i] = keep_scale;
+      out[i] = in[i] * keep_scale;
+      mask[i] = keep_scale;
     }
   }
-  return out;
 }
 
-Matrix Dropout::Backward(const Matrix& grad_output) {
-  if (!last_training_ || p_ == 0.0) return grad_output;
-  MAGNETO_CHECK(grad_output.SameShape(mask_));
-  Matrix grad = grad_output;
-  grad.MulInPlace(mask_);
-  return grad;
+void Dropout::Backward(const Matrix& grad_output, const Matrix& /*input*/,
+                       const Matrix& /*output*/, LayerState* state,
+                       Matrix* grad_input) {
+  if (p_ == 0.0 || state == nullptr || !state->flag) {
+    grad_input->CopyFrom(grad_output);
+    return;
+  }
+  MAGNETO_CHECK(grad_output.SameShape(state->cached));
+  grad_input->CopyFrom(grad_output);
+  grad_input->MulInPlace(state->cached);
 }
 
 std::string Dropout::name() const {

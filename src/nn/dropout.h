@@ -13,14 +13,21 @@ namespace magneto::nn {
 /// Inverted dropout: in training, each unit is zeroed with probability `p`
 /// and survivors are scaled by 1/(1-p); in inference the layer is identity.
 ///
-/// The mask RNG is owned by the layer (seeded at construction) so training
-/// runs are reproducible.
+/// The layer itself holds only `p` and the mask seed; the mask RNG and the
+/// keep-mask live in the caller's `LayerState`, lazily seeded from the
+/// layer's seed on the first training forward. A training run that keeps one
+/// workspace therefore sees the exact reproducible mask sequence a
+/// layer-owned RNG would have produced, while concurrent inference runs
+/// share the layer with zero mutable state.
 class Dropout : public Layer {
  public:
   Dropout(double p, uint64_t seed);
 
-  Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  void Forward(const Matrix& input, bool training, LayerState* state,
+               Matrix* output) const override;
+  void Backward(const Matrix& grad_output, const Matrix& input,
+                const Matrix& output, LayerState* state,
+                Matrix* grad_input) override;
 
   LayerType type() const override { return LayerType::kDropout; }
   std::string name() const override;
@@ -33,9 +40,6 @@ class Dropout : public Layer {
  private:
   double p_;
   uint64_t seed_;
-  Rng rng_;
-  Matrix mask_;         ///< scaled keep-mask of the last training forward
-  bool last_training_ = false;
 };
 
 }  // namespace magneto::nn

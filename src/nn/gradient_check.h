@@ -18,8 +18,9 @@ struct GradientCheckResult {
 
 /// Verifies a network's parameter gradients against central differences.
 ///
-/// `loss_fn` must run `net.Forward(..., /*training=*/true)` exactly once,
-/// call `net.Backward` (accumulating gradients), and return the scalar loss.
+/// `loss_fn` must run `net.Forward(..., ws, /*training=*/true)` exactly once
+/// through a workspace it owns, call `net.Backward(..., ws)` (accumulating
+/// gradients), and return the scalar loss.
 /// The checker zeroes gradients itself before invoking `loss_fn`. Float32
 /// parameters limit achievable agreement; rel_tol around 1e-2 with
 /// epsilon ~1e-3 is the practical regime, and the check perturbs at most

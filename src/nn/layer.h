@@ -7,6 +7,7 @@
 
 #include "common/matrix.h"
 #include "common/serial.h"
+#include "nn/workspace.h"
 
 namespace magneto::nn {
 
@@ -22,20 +23,39 @@ enum class LayerType : uint8_t {
 /// A differentiable network layer.
 ///
 /// MAGNETO's backbone is a plain MLP, so the layer contract is the classic
-/// batch one: `Forward` maps a (batch x in_dim) matrix to (batch x out_dim)
-/// and caches whatever it needs; `Backward` receives dLoss/dOutput,
-/// *accumulates* parameter gradients, and returns dLoss/dInput. Gradients
-/// accumulate across calls until `ZeroGrad` — that is what lets the joint
-/// contrastive + distillation objective sum several loss terms per step.
+/// batch one: `Forward` maps a (batch x in_dim) matrix to (batch x out_dim);
+/// `Backward` receives dLoss/dOutput, *accumulates* parameter gradients, and
+/// produces dLoss/dInput. Gradients accumulate across calls until `ZeroGrad`
+/// — that is what lets the joint contrastive + distillation objective sum
+/// several loss terms per step.
+///
+/// Layers are stateless across runs: `Forward` is `const` and every
+/// per-run tensor (activations, masks, statistics) lives in the caller's
+/// `LayerState` slot and output buffer, so one layer instance serves any
+/// number of concurrent forwards as long as each caller brings its own
+/// state. In practice callers go through `Sequential`, which threads a
+/// `ForwardWorkspace` slot per layer.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// `training` enables train-only behaviour (e.g. dropout masking).
-  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+  /// Computes `output` from `input`. `output` is a reusable caller buffer
+  /// (resized in place) and must not alias `input`. `training` enables
+  /// train-only behaviour (e.g. dropout masking). `state` is the layer's
+  /// per-run slot for anything `Backward` will need (dropout mask,
+  /// layer-norm statistics); it may be null for pure inference, except that
+  /// dropout requires it whenever `training` is true (the mask RNG lives in
+  /// the slot).
+  virtual void Forward(const Matrix& input, bool training, LayerState* state,
+                       Matrix* output) const = 0;
 
-  /// Must be called after a matching `Forward`.
-  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  /// Must follow a matching `Forward`. `input`/`output` are the tensors of
+  /// that forward and `state` is the slot it recorded into (required).
+  /// Accumulates parameter gradients and writes dLoss/dInput into
+  /// `grad_input` (a reusable caller buffer; must not alias `grad_output`).
+  virtual void Backward(const Matrix& grad_output, const Matrix& input,
+                        const Matrix& output, LayerState* state,
+                        Matrix* grad_input) = 0;
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Matrix*> Params() { return {}; }
@@ -52,7 +72,7 @@ class Layer {
   /// Fixed input width, or 0 if the layer accepts any width.
   virtual size_t input_dim() const { return 0; }
 
-  /// Deep copy, including parameter values (not cached activations).
+  /// Deep copy, including parameter values.
   virtual std::unique_ptr<Layer> Clone() const = 0;
 
   /// Writes the layer type tag plus its own payload.

@@ -15,12 +15,15 @@ LayerNorm::LayerNorm(size_t dim, double epsilon)
   gamma_.Fill(1.0f);
 }
 
-Matrix LayerNorm::Forward(const Matrix& input, bool /*training*/) {
+void LayerNorm::Forward(const Matrix& input, bool /*training*/,
+                        LayerState* state, Matrix* output) const {
   MAGNETO_CHECK(input.cols() == dim_);
   const size_t batch = input.rows();
-  normalized_.Reset(batch, dim_);
-  inv_std_.resize(batch);
-  Matrix out(batch, dim_);
+  if (state != nullptr) {
+    state->cached.ResetForOverwrite(batch, dim_);  // x_hat
+    state->stats.resize(batch);                    // 1/std per row
+  }
+  output->ResetForOverwrite(batch, dim_);
   for (size_t r = 0; r < batch; ++r) {
     const float* x = input.RowPtr(r);
     double mean = 0.0;
@@ -33,29 +36,32 @@ Matrix LayerNorm::Forward(const Matrix& input, bool /*training*/) {
     }
     var /= static_cast<double>(dim_);
     const float inv_std = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
-    inv_std_[r] = inv_std;
-    float* xhat = normalized_.RowPtr(r);
-    float* y = out.RowPtr(r);
+    if (state != nullptr) state->stats[r] = inv_std;
+    float* xhat = state != nullptr ? state->cached.RowPtr(r) : nullptr;
+    float* y = output->RowPtr(r);
     const float* g = gamma_.RowPtr(0);
     const float* b = beta_.RowPtr(0);
     for (size_t j = 0; j < dim_; ++j) {
-      xhat[j] = (x[j] - static_cast<float>(mean)) * inv_std;
-      y[j] = g[j] * xhat[j] + b[j];
+      const float xh = (x[j] - static_cast<float>(mean)) * inv_std;
+      if (xhat != nullptr) xhat[j] = xh;
+      y[j] = g[j] * xh + b[j];
     }
   }
-  return out;
 }
 
-Matrix LayerNorm::Backward(const Matrix& grad_output) {
-  MAGNETO_CHECK(grad_output.rows() == normalized_.rows());
+void LayerNorm::Backward(const Matrix& grad_output, const Matrix& /*input*/,
+                         const Matrix& /*output*/, LayerState* state,
+                         Matrix* grad_input) {
+  MAGNETO_CHECK(state != nullptr);
+  MAGNETO_CHECK(grad_output.rows() == state->cached.rows());
   MAGNETO_CHECK(grad_output.cols() == dim_);
   const size_t batch = grad_output.rows();
-  Matrix grad_in(batch, dim_);
+  grad_input->ResetForOverwrite(batch, dim_);
   const float* g = gamma_.RowPtr(0);
   const double n = static_cast<double>(dim_);
   for (size_t r = 0; r < batch; ++r) {
     const float* dy = grad_output.RowPtr(r);
-    const float* xhat = normalized_.RowPtr(r);
+    const float* xhat = state->cached.RowPtr(r);
     // Parameter gradients.
     float* gg = grad_gamma_.RowPtr(0);
     float* gb = grad_beta_.RowPtr(0);
@@ -72,15 +78,14 @@ Matrix LayerNorm::Backward(const Matrix& grad_output) {
       sum_dxhat += dxhat;
       sum_dxhat_xhat += dxhat * xhat[j];
     }
-    float* dx = grad_in.RowPtr(r);
-    const double inv_std = inv_std_[r];
+    float* dx = grad_input->RowPtr(r);
+    const double inv_std = state->stats[r];
     for (size_t j = 0; j < dim_; ++j) {
       const double dxhat = static_cast<double>(dy[j]) * g[j];
       dx[j] = static_cast<float>(
           inv_std / n * (n * dxhat - sum_dxhat - xhat[j] * sum_dxhat_xhat));
     }
   }
-  return grad_in;
 }
 
 void LayerNorm::ZeroGrad() {

@@ -25,8 +25,11 @@ class LayerNorm : public Layer {
  public:
   explicit LayerNorm(size_t dim, double epsilon = 1e-5);
 
-  Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  void Forward(const Matrix& input, bool training, LayerState* state,
+               Matrix* output) const override;
+  void Backward(const Matrix& grad_output, const Matrix& input,
+                const Matrix& output, LayerState* state,
+                Matrix* grad_input) override;
 
   std::vector<Matrix*> Params() override { return {&gamma_, &beta_}; }
   std::vector<Matrix*> Grads() override { return {&grad_gamma_, &grad_beta_}; }
@@ -53,10 +56,8 @@ class LayerNorm : public Layer {
   Matrix beta_;        ///< 1 x dim, init 0
   Matrix grad_gamma_;
   Matrix grad_beta_;
-
-  // Forward cache for backward.
-  Matrix normalized_;        ///< x_hat
-  std::vector<float> inv_std_;  ///< per row
+  // The backward caches (x_hat and the per-row 1/std) live in the caller's
+  // LayerState: `cached` and `stats` respectively.
 };
 
 }  // namespace magneto::nn

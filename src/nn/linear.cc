@@ -24,24 +24,30 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
   }
 }
 
-Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+void Linear::Forward(const Matrix& input, bool /*training*/,
+                     LayerState* /*state*/, Matrix* output) const {
   MAGNETO_CHECK(input.cols() == in_dim_);
-  cached_input_ = input;
-  Matrix out = MatMul(input, weight_);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
+  MatMulInto(input, weight_, output);
+  for (size_t r = 0; r < output->rows(); ++r) {
+    float* row = output->RowPtr(r);
     const float* b = bias_.RowPtr(0);
     for (size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
   }
-  return out;
 }
 
-Matrix Linear::Backward(const Matrix& grad_output) {
+void Linear::Backward(const Matrix& grad_output, const Matrix& input,
+                      const Matrix& /*output*/, LayerState* state,
+                      Matrix* grad_input) {
   MAGNETO_CHECK(grad_output.cols() == out_dim_);
-  MAGNETO_CHECK(grad_output.rows() == cached_input_.rows());
-  grad_weight_.AddInPlace(MatMulTransA(cached_input_, grad_output));
+  MAGNETO_CHECK(grad_output.rows() == input.rows());
+  MAGNETO_CHECK(state != nullptr);
+  // The weight gradient lands in the workspace scratch first and is then
+  // accumulated — same compute order as a freshly-allocated temporary, so
+  // gradients stay bit-identical, without the per-step allocation.
+  MatMulTransAInto(input, grad_output, &state->scratch);
+  grad_weight_.AddInPlace(state->scratch);
   grad_bias_.AddInPlace(grad_output.ColSum());
-  return MatMulTransB(grad_output, weight_);
+  MatMulTransBInto(grad_output, weight_, grad_input);
 }
 
 void Linear::ZeroGrad() {

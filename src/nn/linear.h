@@ -21,8 +21,11 @@ class Linear : public Layer {
   /// He-uniform initialised weights, zero bias.
   Linear(size_t in_dim, size_t out_dim, Rng* rng);
 
-  Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  void Forward(const Matrix& input, bool training, LayerState* state,
+               Matrix* output) const override;
+  void Backward(const Matrix& grad_output, const Matrix& input,
+                const Matrix& output, LayerState* state,
+                Matrix* grad_input) override;
 
   std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> Grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -51,7 +54,6 @@ class Linear : public Layer {
   Matrix bias_;         ///< 1 x out_dim
   Matrix grad_weight_;
   Matrix grad_bias_;
-  Matrix cached_input_;  ///< last forward input, for backward
 };
 
 }  // namespace magneto::nn

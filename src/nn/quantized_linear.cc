@@ -43,14 +43,15 @@ QuantizedLinear::QuantizedLinear(const Linear& source)
       weight_(QuantizedMatrix::Quantize(source.weight())),
       bias_(source.bias().Row(0)) {}
 
-Matrix QuantizedLinear::Forward(const Matrix& input, bool /*training*/) {
+void QuantizedLinear::Forward(const Matrix& input, bool /*training*/,
+                              LayerState* /*state*/, Matrix* output) const {
   MAGNETO_CHECK(input.cols() == in_dim_);
-  Matrix out(input.rows(), out_dim_);
+  output->ResetForOverwrite(input.rows(), out_dim_);
   // y[r][j] = (sum_i x[r][i] * q[i][j]) * scale[j] + b[j]. The inner
   // accumulation runs over int8 weights widened on the fly.
   for (size_t r = 0; r < input.rows(); ++r) {
     const float* x = input.RowPtr(r);
-    float* y = out.RowPtr(r);
+    float* y = output->RowPtr(r);
     for (size_t j = 0; j < out_dim_; ++j) y[j] = 0.0f;
     for (size_t i = 0; i < in_dim_; ++i) {
       const float xi = x[i];
@@ -64,12 +65,13 @@ Matrix QuantizedLinear::Forward(const Matrix& input, bool /*training*/) {
       y[j] = y[j] * weight_.scales[j] + bias_[j];
     }
   }
-  return out;
 }
 
-Matrix QuantizedLinear::Backward(const Matrix& /*grad_output*/) {
+void QuantizedLinear::Backward(const Matrix& /*grad_output*/,
+                               const Matrix& /*input*/,
+                               const Matrix& /*output*/, LayerState* /*state*/,
+                               Matrix* /*grad_input*/) {
   MAGNETO_LOG(Fatal) << "QuantizedLinear is inference-only";
-  return Matrix();
 }
 
 std::string QuantizedLinear::name() const {

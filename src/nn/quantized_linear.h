@@ -41,10 +41,13 @@ class QuantizedLinear : public Layer {
   /// Quantizes an existing fp32 layer.
   explicit QuantizedLinear(const Linear& source);
 
-  Matrix Forward(const Matrix& input, bool training) override;
+  void Forward(const Matrix& input, bool training, LayerState* state,
+               Matrix* output) const override;
 
   /// Always aborts: quantized layers are inference-only.
-  Matrix Backward(const Matrix& grad_output) override;
+  void Backward(const Matrix& grad_output, const Matrix& input,
+                const Matrix& output, LayerState* state,
+                Matrix* grad_input) override;
 
   LayerType type() const override {
     return static_cast<LayerType>(kQuantizedLinearTag);

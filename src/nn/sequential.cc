@@ -9,18 +9,62 @@
 
 namespace magneto::nn {
 
-Matrix Sequential::Forward(const Matrix& input, bool training) {
-  Matrix x = input;
-  for (auto& layer : layers_) x = layer->Forward(x, training);
-  return x;
+const Matrix& Sequential::Forward(const Matrix& input, ForwardWorkspace* ws,
+                                  bool training, bool record) const {
+  MAGNETO_CHECK(ws != nullptr);
+  // A training forward without recording would lose the dropout mask the
+  // backward needs; nothing legitimately wants that combination.
+  MAGNETO_CHECK(record || !training);
+  ws->PrepareLayers(layers_.size());
+  ws->recorded_ = record;
+  ws->recorded_net_ = record ? this : nullptr;
+  ws->recorded_layers_ = layers_.size();
+  if (record) {
+    // Per-layer activation slots: acts_[i] is layer i's input, so Backward
+    // can replay the stack without any layer caching its own copy.
+    ws->acts_[0].CopyFrom(input);
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      layers_[i]->Forward(ws->acts_[i], training, &ws->states_[i],
+                          &ws->acts_[i + 1]);
+    }
+    return ws->acts_[layers_.size()];
+  }
+  // Inference: ping-pong between two reusable buffers — no per-layer
+  // temporaries, no caches, nothing written outside `ws`.
+  if (layers_.empty()) {
+    ws->io_[0].CopyFrom(input);
+    return ws->io_[0];
+  }
+  const Matrix* x = &input;
+  size_t flip = 0;
+  for (const auto& layer : layers_) {
+    Matrix* out = &ws->io_[flip];
+    layer->Forward(*x, training, /*state=*/nullptr, out);
+    x = out;
+    flip ^= 1;
+  }
+  return *x;
 }
 
-Matrix Sequential::Backward(const Matrix& grad_output) {
-  Matrix g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+const Matrix& Sequential::Backward(const Matrix& grad_output,
+                                   ForwardWorkspace* ws) {
+  MAGNETO_CHECK(ws != nullptr);
+  MAGNETO_CHECK(ws->recorded_ && ws->recorded_net_ == this &&
+                ws->recorded_layers_ == layers_.size());
+  if (layers_.empty()) {
+    ws->grad_[0].CopyFrom(grad_output);
+    return ws->grad_[0];
   }
-  return g;
+  const Matrix* g = &grad_output;
+  size_t flip = 0;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Matrix* gi = &ws->grad_[flip];
+    layers_[i]->Backward(*g, ws->acts_[i], ws->acts_[i + 1], &ws->states_[i],
+                         gi);
+    g = gi;
+    flip ^= 1;
+  }
+  return *g;
 }
 
 std::vector<Matrix*> Sequential::Params() {

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace magneto::nn {
 
@@ -16,6 +17,12 @@ namespace magneto::nn {
 /// Move-only (owns its layers). `Clone()` deep-copies parameters, which is
 /// how the incremental learner freezes the pre-update "teacher" model for
 /// distillation.
+///
+/// The network holds parameters only; every per-run tensor lives in the
+/// caller's `ForwardWorkspace`. `Forward` is therefore `const` and one
+/// network instance serves any number of concurrent forwards, each caller
+/// bringing its own workspace — the session/run-context split that lets the
+/// fleet's micro-batcher embed lock-free.
 class Sequential {
  public:
   Sequential() = default;
@@ -30,12 +37,28 @@ class Sequential {
   Layer& layer(size_t i) { return *layers_[i]; }
   const Layer& layer(size_t i) const { return *layers_[i]; }
 
-  /// Runs all layers. `training` is forwarded to each layer.
-  Matrix Forward(const Matrix& input, bool training = false);
+  /// Runs all layers through `ws`; `training` is forwarded to each layer.
+  /// With `record` (defaults to `training`) the per-layer activations are
+  /// kept in the workspace so `Backward` can run; without it the layers
+  /// ping-pong between two reusable buffers and nothing is retained. The
+  /// returned reference points into `ws` and stays valid until the
+  /// workspace's next forward. `input` must not be a buffer inside `ws`.
+  ///
+  /// The rare split of the two flags is an inference-mode forward that
+  /// still supports backward (dropout off, caches on) — what EWC's Fisher
+  /// estimation wants.
+  const Matrix& Forward(const Matrix& input, ForwardWorkspace* ws,
+                        bool training, bool record) const;
+  const Matrix& Forward(const Matrix& input, ForwardWorkspace* ws,
+                        bool training = false) const {
+    return Forward(input, ws, training, /*record=*/training);
+  }
 
-  /// Backpropagates; every layer accumulates its parameter gradients.
-  /// Returns dLoss/dInput. Must follow a matching `Forward`.
-  Matrix Backward(const Matrix& grad_output);
+  /// Backpropagates through the activations recorded in `ws` (which must be
+  /// the workspace of the matching recorded `Forward`); every layer
+  /// accumulates its parameter gradients. Returns dLoss/dInput, pointing
+  /// into `ws` (valid until the workspace's next backward).
+  const Matrix& Backward(const Matrix& grad_output, ForwardWorkspace* ws);
 
   std::vector<Matrix*> Params();
   std::vector<Matrix*> Grads();

@@ -25,16 +25,35 @@ struct FleetMetrics {
       obs::Registry::Global().GetCounter("fleet.update_failures");
   obs::Counter* session_resets =
       obs::Registry::Global().GetCounter("fleet.session_resets");
+  obs::Counter* rejected = obs::Registry::Global().GetCounter("fleet.rejected");
   obs::Gauge* sessions = obs::Registry::Global().GetGauge("fleet.sessions");
+  obs::Gauge* queue_depth =
+      obs::Registry::Global().GetGauge("fleet.queue_depth");
   obs::Histogram* batch_size = obs::Registry::Global().GetHistogram(
       "fleet.batch_size", {1, 2, 4, 8, 16, 32, 64});
   obs::Histogram* classify_us = obs::Registry::Global().GetHistogram(
       "fleet.classify_us", obs::LatencyBucketsUs());
+  obs::Histogram* queue_wait_us = obs::Registry::Global().GetHistogram(
+      "fleet.queue_wait_us", obs::LatencyBucketsUs());
 };
 
 FleetMetrics& Metrics() {
   static FleetMetrics* metrics = new FleetMetrics;
   return *metrics;
+}
+
+core::NamedPrediction Nameify(const sensors::ActivityRegistry& registry,
+                              const core::Prediction& prediction) {
+  core::NamedPrediction named;
+  named.prediction = prediction;
+  if (prediction.is_unknown()) {
+    named.name = "Unknown";
+    return named;
+  }
+  auto name = registry.NameOf(prediction.activity);
+  named.name =
+      name.ok() ? name.value() : ("#" + std::to_string(prediction.activity));
+  return named;
 }
 
 }  // namespace
@@ -43,30 +62,16 @@ FleetMetrics& Metrics() {
 
 EdgeFleet::Deployment::Deployment(core::ModelBundle bundle, uint64_t ver)
     : pipeline(std::move(bundle.pipeline)),
+      backbone(std::move(bundle.backbone)),
       classifier(std::move(bundle.classifier)),
       registry(std::move(bundle.registry)),
       support(std::move(bundle.support)),
-      version(ver),
-      backbone_(std::move(bundle.backbone)) {
-  input_dim = backbone_.InputDim();
-}
-
-Matrix EdgeFleet::Deployment::Embed(const Matrix& features) const {
-  // Sequential::Forward writes layer activation caches even in inference
-  // mode, so the logically-const backbone needs this mutex. One stacked
-  // forward at a time; the GEMM inside fans out across the ThreadPool.
-  std::lock_guard<std::mutex> lock(embed_mu_);
-  return backbone_.Forward(features, /*training=*/false);
+      version(ver) {
+  input_dim = backbone.InputDim();
 }
 
 core::EdgeModel EdgeFleet::Deployment::SnapshotModel() const {
-  std::lock_guard<std::mutex> lock(embed_mu_);
-  return core::EdgeModel(pipeline, backbone_.Clone(), classifier, registry);
-}
-
-nn::Sequential EdgeFleet::Deployment::CloneBackbone() const {
-  std::lock_guard<std::mutex> lock(embed_mu_);
-  return backbone_.Clone();
+  return core::EdgeModel(pipeline, backbone.Clone(), classifier, registry);
 }
 
 // -- Construction -------------------------------------------------------------
@@ -100,9 +105,20 @@ EdgeFleet::EdgeFleet(core::ModelBundle bundle, size_t num_sessions,
     sessions_.push_back(std::move(session));
   }
   Metrics().sessions->Set(static_cast<double>(num_sessions));
+  workers_.reserve(options_.serve_threads);
+  for (size_t i = 0; i < options_.serve_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
-EdgeFleet::~EdgeFleet() = default;
+EdgeFleet::~EdgeFleet() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    stopping_ = true;
+  }
+  admit_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
 
 Result<std::unique_ptr<EdgeFleet>> EdgeFleet::Create(core::ModelBundle bundle,
                                                      size_t num_sessions,
@@ -112,6 +128,13 @@ Result<std::unique_ptr<EdgeFleet>> EdgeFleet::Create(core::ModelBundle bundle,
   }
   if (options.max_batch == 0) {
     return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (options.max_concurrent_batches == 0) {
+    return Status::InvalidArgument("max_concurrent_batches must be >= 1");
+  }
+  if (options.serve_threads > 0 && options.admission_capacity == 0) {
+    return Status::InvalidArgument(
+        "admission_capacity must be >= 1 when serve_threads > 0");
   }
   if (!bundle.pipeline.fitted()) {
     return Status::FailedPrecondition("bundle pipeline is not fitted");
@@ -219,7 +242,7 @@ core::ModelBundle EdgeFleet::ToBundle() const {
   std::shared_ptr<const Deployment> dep = CurrentDeployment();
   core::ModelBundle bundle;
   bundle.pipeline = dep->pipeline;
-  bundle.backbone = dep->CloneBackbone();
+  bundle.backbone = dep->backbone.Clone();
   bundle.classifier = dep->classifier;
   bundle.registry = dep->registry;
   bundle.support = dep->support;
@@ -259,7 +282,12 @@ void EdgeFleet::ServeBatch(const std::vector<PendingRequest*>& batch) {
                 dim * sizeof(float));
   }
   obs::TraceSpan span("EdgeFleet::ServeBatch");
-  Matrix embeddings = dep.Embed(stacked);
+  // One workspace per serving thread: the backbone is immutable and its
+  // Forward is const, so concurrent leaders (same deployment or old pinned
+  // + newly promoted) embed in parallel with zero shared mutable state. The
+  // workspace reaches its high-water shape once and is reused thereafter.
+  static thread_local nn::ForwardWorkspace ws;
+  const Matrix& embeddings = dep.backbone.Forward(stacked, &ws);
   for (size_t r = 0; r < valid.size(); ++r) {
     Result<core::Prediction> pred =
         options_.rejection_threshold > 0.0
@@ -283,16 +311,32 @@ Result<core::Prediction> EdgeFleet::ClassifyBatched(
   PendingRequest req;
   req.features = &features;
   req.deployment = std::move(deployment);
+  EnqueueAndServe({&req});
+  if (!req.status.ok()) return req.status;
+  return req.prediction;
+}
 
+void EdgeFleet::EnqueueAndServe(
+    const std::vector<PendingRequest*>& requests) {
   std::unique_lock<std::mutex> lock(batch_mu_);
-  batch_queue_.push_back(&req);
-  while (!req.done) {
-    if (!leader_active_) {
-      // Combining leader: serve FIFO batches until our own request has been
-      // classified (usually the first batch — it contains us), then step
-      // down and wake a successor for anything still queued.
-      leader_active_ = true;
-      while (!req.done) {
+  for (PendingRequest* req : requests) batch_queue_.push_back(req);
+  const auto all_done = [&requests] {
+    for (const PendingRequest* req : requests) {
+      if (!req->done) return false;
+    }
+    return true;
+  };
+  while (!all_done()) {
+    if (active_leaders_ < options_.max_concurrent_batches &&
+        !batch_queue_.empty()) {
+      // Combining leader: serve FIFO batches until our own requests have
+      // been classified (usually the first batch — it contains us), then
+      // step down and wake a successor for anything still queued. With
+      // max_concurrent_batches > 1 several leaders drain disjoint batches
+      // at once; another leader may serve our requests, in which case the
+      // inner loop exits on done without leading a batch.
+      ++active_leaders_;
+      while (!all_done() && !batch_queue_.empty()) {
         std::vector<PendingRequest*> batch;
         batch.reserve(std::min(options_.max_batch, batch_queue_.size()));
         const Deployment* pinned = batch_queue_.front()->deployment.get();
@@ -307,14 +351,129 @@ Result<core::Prediction> EdgeFleet::ClassifyBatched(
         for (PendingRequest* served : batch) served->done = true;
         batch_cv_.notify_all();
       }
-      leader_active_ = false;
+      --active_leaders_;
       if (!batch_queue_.empty()) batch_cv_.notify_all();
     } else {
       batch_cv_.wait(lock);
     }
   }
-  if (!req.status.ok()) return req.status;
-  return req.prediction;
+}
+
+// -- Open-loop admission ------------------------------------------------------
+
+bool EdgeFleet::SubmitWindow(size_t session, std::vector<float> features) {
+  if (workers_.empty()) {
+    MAGNETO_LOG(Fatal)
+        << "SubmitWindow requires FleetOptions::serve_threads > 0";
+  }
+  if (session >= sessions_.size()) return false;
+  Submission sub;
+  sub.session = session;
+  sub.features = std::move(features);
+  sub.admitted = std::chrono::steady_clock::now();
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (admit_queue_.size() < options_.admission_capacity) {
+      admit_queue_.push_back(std::move(sub));
+      Metrics().queue_depth->Set(static_cast<double>(admit_queue_.size()));
+      admitted = true;
+    }
+  }
+  // Session stats outside admit_mu_: never hold the admission lock while
+  // taking a session mutex (workers take them in the same order).
+  Session& s = *sessions_[session];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (admitted) {
+      ++s.stats.submitted;
+    } else {
+      ++s.stats.rejected;
+    }
+  }
+  if (admitted) {
+    admit_cv_.notify_one();
+  } else {
+    Metrics().rejected->Increment();
+  }
+  return admitted;
+}
+
+void EdgeFleet::DrainSubmitted() {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  drain_cv_.wait(lock,
+                 [&] { return admit_queue_.empty() && serving_now_ == 0; });
+}
+
+void EdgeFleet::WorkerLoop() {
+  for (;;) {
+    std::vector<Submission> chunk;
+    {
+      std::unique_lock<std::mutex> lock(admit_mu_);
+      admit_cv_.wait(lock,
+                     [&] { return stopping_ || !admit_queue_.empty(); });
+      if (stopping_) return;  // backlog abandoned; we are being destroyed
+      // Bulk-pop up to max_batch: under backlog the chunk IS the batch, so
+      // batch size tracks queue depth deterministically instead of relying
+      // on workers colliding inside the combiner (which never happens on a
+      // single-core host).
+      const size_t take = std::min(options_.max_batch, admit_queue_.size());
+      chunk.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        chunk.push_back(std::move(admit_queue_.front()));
+        admit_queue_.pop_front();
+      }
+      serving_now_ += chunk.size();
+      Metrics().queue_depth->Set(static_cast<double>(admit_queue_.size()));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (const Submission& sub : chunk) {
+      Metrics().queue_wait_us->Record(
+          std::chrono::duration<double, std::micro>(now - sub.admitted)
+              .count());
+    }
+    const size_t served = chunk.size();
+    ServeChunk(std::move(chunk));
+    {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      serving_now_ -= served;
+      if (admit_queue_.empty() && serving_now_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void EdgeFleet::ServeChunk(std::vector<Submission> chunk) {
+  // One deployment pinned for the whole chunk: all its requests share it,
+  // so the combiner's same-deployment FIFO prefix rule stacks them into a
+  // single batched forward (possibly merged with other callers' requests).
+  std::shared_ptr<const Deployment> dep = CurrentDeployment();
+  std::vector<PendingRequest> requests(chunk.size());
+  std::vector<PendingRequest*> pointers;
+  pointers.reserve(chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    Metrics().requests->Increment();
+    requests[i].features = &chunk[i].features;
+    requests[i].deployment = dep;
+    pointers.push_back(&requests[i]);
+  }
+  {
+    obs::ScopedTimer classify_timer(Metrics().classify_us);
+    EnqueueAndServe(pointers);
+  }
+  // Classification-only path: stats and last_prediction update, but the
+  // smoother / drift monitor / journal are stream-ordered consumers — an
+  // open-loop window has no position in the session's frame stream, so
+  // feeding them here would corrupt their temporal semantics.
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    Session& s = *sessions_[chunk[i].session];
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.stats.windows;
+    Metrics().windows->Increment();
+    if (!requests[i].status.ok()) continue;
+    ++s.stats.predictions;
+    Metrics().predictions->Increment();
+    s.last = Nameify(dep->registry, requests[i].prediction);
+  }
 }
 
 // -- Streaming ----------------------------------------------------------------
@@ -380,15 +539,7 @@ Result<std::optional<core::NamedPrediction>> EdgeFleet::PushFrame(
   ++s.stats.predictions;
   Metrics().predictions->Increment();
 
-  core::NamedPrediction named;
-  named.prediction = prediction;
-  if (prediction.is_unknown()) {
-    named.name = "Unknown";
-  } else {
-    auto name = dep->registry.NameOf(prediction.activity);
-    named.name = name.ok() ? name.value()
-                           : ("#" + std::to_string(prediction.activity));
-  }
+  core::NamedPrediction named = Nameify(dep->registry, prediction);
   if (s.smoother != nullptr) named = s.smoother->Push(named);
   if (s.drift != nullptr) s.drift->Observe(named.prediction);
   if (s.journal != nullptr) s.journal->Record(named);

@@ -2,6 +2,7 @@
 #define MAGNETO_PLATFORM_EDGE_FLEET_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +33,19 @@ struct FleetOptions {
   /// Micro-batch cap: up to this many pending windows (across sessions) are
   /// stacked into one backbone forward. 1 disables cross-request batching.
   size_t max_batch = 8;
+  /// Micro-batches allowed in flight simultaneously. Each in-flight batch
+  /// runs on its own leader thread with its own forward workspace — the
+  /// backbone is immutable and its Forward is const, so >1 trades batch
+  /// size for embed parallelism. 1 reproduces strictly serial batching.
+  size_t max_concurrent_batches = 1;
+  /// Bound of the open-loop admission queue (`SubmitWindow`). Arrivals past
+  /// capacity are shed (rejected), never queued — an open-loop generator
+  /// does not slow down, so an unbounded queue would grow without limit
+  /// whenever offered load exceeds service capacity.
+  size_t admission_capacity = 256;
+  /// Worker threads draining the admission queue into the micro-batcher.
+  /// 0 disables the open-loop path (`SubmitWindow` then check-fails).
+  size_t serve_threads = 0;
   double sample_rate_hz = sensors::kDefaultSampleRateHz;
   /// Open-set rejection threshold applied at classification (0 = off).
   double rejection_threshold = 0.0;
@@ -52,6 +67,10 @@ struct FleetSessionStats {
   size_t frames = 0;
   size_t windows = 0;
   size_t predictions = 0;
+  /// Open-loop path only: windows admitted via SubmitWindow, and windows
+  /// shed because the admission queue was full.
+  size_t submitted = 0;
+  size_t rejected = 0;
 };
 
 /// Multi-session edge serving: one process hosts N independent user sessions
@@ -67,12 +86,12 @@ struct FleetSessionStats {
 ///  1. **Shared immutable deployment** — pipeline, backbone, NCM classifier,
 ///     registry, support set. Held as `shared_ptr<const Deployment>` and
 ///     never mutated after construction; every reader works off a snapshot
-///     it pins with its own reference. The one asterisk is the backbone:
-///     `nn::Sequential::Forward` caches activations for backward, so raw
-///     forwards are not concurrently callable. The fleet therefore funnels
-///     *all* embedding forwards through the micro-batcher below, which runs
-///     one stacked forward at a time (guarded by the deployment's own
-///     mutex) while the GEMM inside fans out across the global ThreadPool.
+///     it pins with its own reference. The backbone included: all
+///     forward-pass state lives in a caller-owned `nn::ForwardWorkspace`,
+///     so `Sequential::Forward` is const and any number of threads embed
+///     through the same weights concurrently, each with its own
+///     (thread-local) workspace. There is no embedding mutex anywhere in
+///     the fleet.
 ///  2. **Per-session mutable state** — stream buffer, smoother, drift
 ///     monitor, journal, stats. Guarded by a per-session mutex; sessions
 ///     never touch each other's state, so S sessions classify concurrently
@@ -87,16 +106,33 @@ struct FleetSessionStats {
 ///
 /// ## Cross-request micro-batching
 ///
-/// A session thread that completes a window featurizes it (thread-safe,
-/// const pipeline), enqueues the feature vector, and the first thread to
-/// find no active leader becomes the batch leader: it drains up to
-/// `max_batch` pending requests, stacks them into one matrix, runs a single
-/// `Embed` forward (the same stacking trick `NcmClassifier::FromSupportSet`
-/// uses for support-set re-embedding), classifies each row, publishes the
-/// results, and steps down once its own request is served. Row-independent
-/// kernels (the PR 1 determinism contract) make every per-window result
-/// bit-identical regardless of which batch it landed in — so per-session
-/// prediction streams are reproducible at any thread count and batch size.
+/// A thread that needs a classification enqueues its feature vector and the
+/// first thread to find a free leader slot becomes a batch leader: it
+/// drains up to `max_batch` pending requests, stacks them into one matrix,
+/// runs a single stacked forward through its own workspace (the same
+/// stacking trick `NcmClassifier::FromSupportSet` uses for support-set
+/// re-embedding), classifies each row, publishes the results, and steps
+/// down once its own request is served. Up to `max_concurrent_batches`
+/// leaders embed in parallel — the const backbone makes the stacked
+/// forwards lock-free. Row-independent kernels (the PR 1 determinism
+/// contract) make every per-window result bit-identical regardless of
+/// which batch it landed in — so per-session prediction streams are
+/// reproducible at any thread count and batch size.
+///
+/// ## Open-loop admission (load generation)
+///
+/// `PushFrame` is closed-loop: the caller blocks for its prediction, so
+/// offered load can never exceed service capacity and micro-batches rarely
+/// form unless many session threads collide. `SubmitWindow` is the
+/// open-loop half: a non-blocking admission of one pre-featurized window
+/// into a bounded queue drained by `serve_threads` workers. When arrivals
+/// outpace service the queue fills and further arrivals are shed
+/// (`false`, `fleet.rejected`) — and the backlog is exactly what lets the
+/// workers drain multi-window micro-batches. Submitted windows take the
+/// classification-only path: session stats and `last_prediction` update,
+/// but the smoother / drift monitor / journal are stream-ordered consumers
+/// and stay untouched. Metrics: `fleet.queue_depth` (gauge),
+/// `fleet.queue_wait_us` (histogram), `fleet.rejected` (counter).
 ///
 /// Calls on *different* sessions may race freely. Calls on the *same*
 /// session are serialized by the session mutex; drive each session from one
@@ -120,6 +156,19 @@ class EdgeFleet {
   /// window's embedding rides a micro-batch.
   Result<std::optional<core::NamedPrediction>> PushFrame(
       size_t session, const sensors::Frame& frame);
+
+  // -- Open-loop admission ------------------------------------------------------
+
+  /// Admits one pre-featurized window for `session` into the bounded
+  /// queue. Never blocks: returns false (and sheds the window) when the
+  /// queue is at `admission_capacity` or `session` is out of range.
+  /// Requires `serve_threads > 0`. See the class comment for what the
+  /// served path does and does not update.
+  bool SubmitWindow(size_t session, std::vector<float> features);
+
+  /// Blocks until every admitted window has been served (queue empty and
+  /// no submission in flight).
+  void DrainSubmitted();
 
   // -- Bundle promotion (copy-on-swap) ----------------------------------------
 
@@ -158,33 +207,22 @@ class EdgeFleet {
   core::ModelBundle ToBundle() const;
 
  private:
-  /// The immutable-shared half of the fleet. Logically const; the backbone
-  /// is `mutable` behind `embed_mu_` only because `Forward` caches
-  /// activations (see the class comment).
+  /// The immutable-shared half of the fleet. Genuinely const after
+  /// construction — the backbone's Forward is const (state lives in the
+  /// caller's workspace), so no mutex or `mutable` is needed anywhere.
   struct Deployment {
     Deployment(core::ModelBundle bundle, uint64_t version);
-
-    /// One stacked forward, serialized per deployment. Concurrent batches
-    /// against *different* deployments (old pinned + newly promoted) do not
-    /// block each other.
-    Matrix Embed(const Matrix& features) const;
 
     /// Deep copy for background-update snapshots.
     core::EdgeModel SnapshotModel() const;
 
-    /// Deep copy of the backbone weights (for ToBundle).
-    nn::Sequential CloneBackbone() const;
-
     preprocess::Pipeline pipeline;
+    nn::Sequential backbone;
     core::NcmClassifier classifier;
     sensors::ActivityRegistry registry;
     core::SupportSet support{200, core::SelectionStrategy::kHerding};
     size_t input_dim = 0;  ///< backbone input width, for batch validation
     uint64_t version = 0;
-
-   private:
-    mutable std::mutex embed_mu_;
-    mutable nn::Sequential backbone_;
   };
 
   /// One pending classification handed to the micro-batcher. The request
@@ -197,6 +235,13 @@ class EdgeFleet {
     core::Prediction prediction;
     Status status = Status::Ok();
     bool done = false;  ///< guarded by batch_mu_
+  };
+
+  /// One admitted open-loop window waiting for a worker.
+  struct Submission {
+    size_t session = 0;
+    std::vector<float> features;
+    std::chrono::steady_clock::time_point admitted;
   };
 
   struct Session {
@@ -223,9 +268,22 @@ class EdgeFleet {
       std::shared_ptr<const Deployment> deployment,
       const std::vector<float>& features);
 
+  /// Pushes `requests` into the micro-batcher and blocks until every one is
+  /// classified, leading batches whenever a leader slot is free. The shared
+  /// combining core of both serving paths: closed-loop callers bring one
+  /// request, open-loop workers bring a whole backlog chunk, and requests
+  /// from different callers coalesce into the same stacked forwards.
+  void EnqueueAndServe(const std::vector<PendingRequest*>& requests);
+
   /// Embeds + classifies one drained batch (all pinned to the same
-  /// deployment). Runs without batch_mu_ held.
+  /// deployment). Runs without batch_mu_ held; concurrent calls are safe
+  /// (each serving thread embeds through its own workspace).
   void ServeBatch(const std::vector<PendingRequest*>& batch);
+
+  /// Worker body: pops admitted windows — up to `max_batch` per pop, so a
+  /// backlog turns directly into multi-window batches — and classifies them.
+  void WorkerLoop();
+  void ServeChunk(std::vector<Submission> chunk);
 
   FleetOptions options_;
   std::vector<std::unique_ptr<Session>> sessions_;
@@ -240,7 +298,15 @@ class EdgeFleet {
   std::mutex batch_mu_;
   std::condition_variable batch_cv_;
   std::deque<PendingRequest*> batch_queue_;  ///< guarded by batch_mu_
-  bool leader_active_ = false;               ///< guarded by batch_mu_
+  size_t active_leaders_ = 0;                ///< guarded by batch_mu_
+
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;  ///< workers wait for arrivals
+  std::condition_variable drain_cv_;  ///< DrainSubmitted waits for quiesce
+  std::deque<Submission> admit_queue_;  ///< guarded by admit_mu_
+  size_t serving_now_ = 0;              ///< popped, not yet served
+  bool stopping_ = false;               ///< guarded by admit_mu_
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace magneto::platform

@@ -25,8 +25,9 @@ Matrix RandomBatch(size_t rows, size_t cols, uint64_t seed) {
 }
 
 double MaxOutputDiff(nn::Sequential* a, nn::Sequential* b, const Matrix& x) {
-  Matrix ya = a->Forward(x, false);
-  Matrix yb = b->Forward(x, false);
+  nn::ForwardWorkspace ws;
+  Matrix ya = a->Forward(x, &ws);
+  Matrix yb = b->Forward(x, &ws);
   ya.SubInPlace(yb);
   return ya.AbsMax();
 }
@@ -36,7 +37,8 @@ TEST(QuantizeBackboneTest, PreservesOutputsApproximately) {
   auto quantized = QuantizeBackbone(net);
   ASSERT_TRUE(quantized.ok());
   Matrix x = RandomBatch(5, 12, 2);
-  Matrix y = net.Forward(x, false);
+  nn::ForwardWorkspace ws;
+  Matrix y = net.Forward(x, &ws);
   EXPECT_LT(MaxOutputDiff(&net, &quantized.value(), x),
             0.05f * (y.AbsMax() + 1.0f));
 }
@@ -75,11 +77,12 @@ TEST(PruneTest, AchievesRequestedSparsity) {
 TEST(PruneTest, ZeroFractionIsNoOp) {
   nn::Sequential net = SmallNet(8);
   Matrix x = RandomBatch(2, 12, 9);
-  Matrix before = net.Forward(x, false);
+  nn::ForwardWorkspace ws;
+  Matrix before = net.Forward(x, &ws);
   auto sparsity = PruneByMagnitude(&net, 0.0);
   ASSERT_TRUE(sparsity.ok());
   EXPECT_DOUBLE_EQ(sparsity.value(), 0.0);
-  Matrix after = net.Forward(x, false);
+  Matrix after = net.Forward(x, &ws);
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
   }
@@ -90,7 +93,8 @@ TEST(PruneTest, MildPruningBarelyMovesOutputs) {
   nn::Sequential original = net.Clone();
   ASSERT_TRUE(PruneByMagnitude(&net, 0.2).ok());
   Matrix x = RandomBatch(4, 12, 11);
-  Matrix y = original.Forward(x, false);
+  nn::ForwardWorkspace ws;
+  Matrix y = original.Forward(x, &ws);
   // Removing the smallest 20% of weights changes outputs far less than the
   // output scale.
   EXPECT_LT(MaxOutputDiff(&original, &net, x), 0.35f * (y.AbsMax() + 1.0f));
@@ -179,8 +183,8 @@ TEST(DistillStudentTest, StudentApproximatesTeacher) {
   // Success criterion relative to the teacher's own output energy: the
   // student must explain most of the teacher's variance, not hit an
   // arbitrary absolute number.
-  nn::Sequential frozen = teacher.Clone();
-  Matrix targets = frozen.Forward(transfer.ToMatrix(), false);
+  nn::ForwardWorkspace ws;
+  Matrix targets = teacher.Forward(transfer.ToMatrix(), &ws);
   const double energy = static_cast<double>(targets.SumOfSquares()) /
                         static_cast<double>(targets.rows());
   EXPECT_LT(final_loss, 0.25 * energy)
@@ -188,8 +192,8 @@ TEST(DistillStudentTest, StudentApproximatesTeacher) {
 
   // On fresh inputs the student stays near the teacher.
   Matrix x = RandomBatch(8, 12, 24);
-  Matrix t = frozen.Forward(x, false);
-  Matrix s = student.value().Forward(x, false);
+  Matrix t = teacher.Forward(x, &ws);
+  Matrix s = student.value().Forward(x, &ws);
   auto mse = nn::DistillationMse(s, t);
   EXPECT_LT(mse.loss, 0.6 * energy);
 }

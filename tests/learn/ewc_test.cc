@@ -112,10 +112,11 @@ TEST(EwcTest, ReducesDriftOnImportantWeights) {
   auto old_task_loss = [&](nn::Sequential* m) {
     // Mean contrastive loss over a fixed pair sample of task A.
     PairSampler sampler(task_a, 99);
+    nn::ForwardWorkspace ws;
     double total = 0.0;
     for (int i = 0; i < 10; ++i) {
       PairBatch batch = sampler.Sample(32);
-      Matrix emb = m->Forward(VStack(batch.a, batch.b), false);
+      const Matrix& emb = m->Forward(VStack(batch.a, batch.b), &ws);
       total += nn::ContrastiveLoss(emb.RowSlice(0, 32), emb.RowSlice(32, 64),
                                    batch.same, 5.0)
                    .loss;

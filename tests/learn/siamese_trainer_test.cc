@@ -31,7 +31,8 @@ sensors::FeatureDataset Blobs(size_t classes, size_t per_class, size_t dim,
 /// 1-nearest-class-mean accuracy in the embedding space.
 double NcmAccuracy(nn::Sequential* net, const sensors::FeatureDataset& train,
                    const sensors::FeatureDataset& test) {
-  Matrix train_emb = net->Forward(train.ToMatrix(), false);
+  nn::ForwardWorkspace ws;
+  Matrix train_emb = net->Forward(train.ToMatrix(), &ws);
   std::map<sensors::ActivityId, std::pair<std::vector<double>, size_t>> sums;
   for (size_t i = 0; i < train.size(); ++i) {
     auto& [sum, count] = sums[train.Label(i)];
@@ -41,7 +42,7 @@ double NcmAccuracy(nn::Sequential* net, const sensors::FeatureDataset& train,
     }
     ++count;
   }
-  Matrix test_emb = net->Forward(test.ToMatrix(), false);
+  Matrix test_emb = net->Forward(test.ToMatrix(), &ws);
   size_t correct = 0;
   for (size_t i = 0; i < test.size(); ++i) {
     double best = 1e300;
@@ -162,7 +163,8 @@ TEST(SiameseTrainerTest, DistillationAnchorsTeacherEmbeddings) {
   ASSERT_TRUE(SiameseTrainer(pretrain).Train(&net, old_data).ok());
 
   nn::Sequential teacher = net.Clone();
-  Matrix old_emb_before = teacher.Forward(old_data.ToMatrix(), false);
+  nn::ForwardWorkspace ws;
+  Matrix old_emb_before = teacher.Forward(old_data.ToMatrix(), &ws);
 
   sensors::FeatureDataset new_data = Blobs(3, 30, 8, 0.3, 10);
 
@@ -179,7 +181,7 @@ TEST(SiameseTrainerTest, DistillationAnchorsTeacherEmbeddings) {
     } else {
       EXPECT_TRUE(trainer.Train(&student, new_data).ok());
     }
-    Matrix after = student.Forward(old_data.ToMatrix(), false);
+    Matrix after = student.Forward(old_data.ToMatrix(), &ws);
     after.SubInPlace(old_emb_before);
     return std::sqrt(after.SumOfSquares() / after.rows());
   };
@@ -197,7 +199,8 @@ TEST(SiameseTrainerTest, DeterministicForSeed) {
     SiameseTrainer trainer(FastOptions());
     auto report = trainer.Train(&net, data);
     EXPECT_TRUE(report.ok());
-    return net.Forward(data.ToMatrix(), false);
+    nn::ForwardWorkspace ws;
+    return Matrix(net.Forward(data.ToMatrix(), &ws));
   };
   Matrix a = run();
   Matrix b = run();

@@ -12,7 +12,8 @@ namespace {
 TEST(ReluTest, ForwardClampsNegatives) {
   Relu relu;
   Matrix x(1, 4, {-2, -0.5f, 0, 3});
-  Matrix y = relu.Forward(x, false);
+  Matrix y;
+  relu.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_FLOAT_EQ(y.At(0, 0), 0.0f);
   EXPECT_FLOAT_EQ(y.At(0, 1), 0.0f);
   EXPECT_FLOAT_EQ(y.At(0, 2), 0.0f);
@@ -22,9 +23,11 @@ TEST(ReluTest, ForwardClampsNegatives) {
 TEST(ReluTest, BackwardGatesOnInputSign) {
   Relu relu;
   Matrix x(1, 3, {-1, 0, 2});
-  relu.Forward(x, true);
+  Matrix y;
+  relu.Forward(x, /*training=*/true, /*state=*/nullptr, &y);
   Matrix g(1, 3, {5, 5, 5});
-  Matrix gx = relu.Backward(g);
+  Matrix gx;
+  relu.Backward(g, x, y, /*state=*/nullptr, &gx);
   EXPECT_FLOAT_EQ(gx.At(0, 0), 0.0f);
   EXPECT_FLOAT_EQ(gx.At(0, 1), 0.0f);  // zero input blocks gradient
   EXPECT_FLOAT_EQ(gx.At(0, 2), 5.0f);
@@ -33,11 +36,13 @@ TEST(ReluTest, BackwardGatesOnInputSign) {
 TEST(TanhTest, ForwardAndBackward) {
   Tanh tanh_layer;
   Matrix x(1, 2, {0.0f, 1.0f});
-  Matrix y = tanh_layer.Forward(x, false);
+  Matrix y;
+  tanh_layer.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_FLOAT_EQ(y.At(0, 0), 0.0f);
   EXPECT_NEAR(y.At(0, 1), std::tanh(1.0), 1e-6);
   Matrix g(1, 2, {1, 1});
-  Matrix gx = tanh_layer.Backward(g);
+  Matrix gx;
+  tanh_layer.Backward(g, x, y, /*state=*/nullptr, &gx);
   EXPECT_NEAR(gx.At(0, 0), 1.0, 1e-6);  // 1 - tanh(0)^2
   EXPECT_NEAR(gx.At(0, 1), 1.0 - std::tanh(1.0) * std::tanh(1.0), 1e-6);
 }
@@ -45,11 +50,13 @@ TEST(TanhTest, ForwardAndBackward) {
 TEST(SigmoidTest, ForwardAndBackward) {
   Sigmoid sig;
   Matrix x(1, 2, {0.0f, 100.0f});
-  Matrix y = sig.Forward(x, false);
+  Matrix y;
+  sig.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_NEAR(y.At(0, 0), 0.5, 1e-6);
   EXPECT_NEAR(y.At(0, 1), 1.0, 1e-6);  // saturates without overflow
   Matrix g(1, 2, {1, 1});
-  Matrix gx = sig.Backward(g);
+  Matrix gx;
+  sig.Backward(g, x, y, /*state=*/nullptr, &gx);
   EXPECT_NEAR(gx.At(0, 0), 0.25, 1e-6);
   EXPECT_NEAR(gx.At(0, 1), 0.0, 1e-6);
 }
@@ -57,7 +64,8 @@ TEST(SigmoidTest, ForwardAndBackward) {
 TEST(DropoutTest, InferenceIsIdentity) {
   Dropout dropout(0.5, 1);
   Matrix x(2, 3, {1, 2, 3, 4, 5, 6});
-  Matrix y = dropout.Forward(x, /*training=*/false);
+  Matrix y;
+  dropout.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   for (size_t i = 0; i < x.size(); ++i) {
     EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
   }
@@ -67,7 +75,9 @@ TEST(DropoutTest, TrainingZeroesAndRescales) {
   Dropout dropout(0.5, 7);
   Matrix x(1, 1000);
   x.Fill(1.0f);
-  Matrix y = dropout.Forward(x, /*training=*/true);
+  LayerState state;
+  Matrix y;
+  dropout.Forward(x, /*training=*/true, &state, &y);
   size_t zeros = 0;
   for (size_t i = 0; i < y.size(); ++i) {
     if (y.data()[i] == 0.0f) {
@@ -83,10 +93,13 @@ TEST(DropoutTest, BackwardUsesSameMask) {
   Dropout dropout(0.3, 11);
   Matrix x(1, 100);
   x.Fill(1.0f);
-  Matrix y = dropout.Forward(x, true);
+  LayerState state;
+  Matrix y;
+  dropout.Forward(x, /*training=*/true, &state, &y);
   Matrix g(1, 100);
   g.Fill(1.0f);
-  Matrix gx = dropout.Backward(g);
+  Matrix gx;
+  dropout.Backward(g, x, y, &state, &gx);
   for (size_t i = 0; i < y.size(); ++i) {
     // Gradient flows exactly where the forward pass kept the unit.
     EXPECT_FLOAT_EQ(gx.data()[i], y.data()[i]);
@@ -96,7 +109,9 @@ TEST(DropoutTest, BackwardUsesSameMask) {
 TEST(DropoutTest, ZeroProbabilityIsIdentityEvenInTraining) {
   Dropout dropout(0.0, 3);
   Matrix x(1, 10, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
-  Matrix y = dropout.Forward(x, true);
+  LayerState state;
+  Matrix y;
+  dropout.Forward(x, /*training=*/true, &state, &y);
   for (size_t i = 0; i < x.size(); ++i) {
     EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
   }

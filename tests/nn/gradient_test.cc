@@ -27,10 +27,11 @@ TEST(NetworkGradientTest, MlpWithSoftmaxCrossEntropy) {
   Sequential net = BuildMlp(5, {7, 3}, &rng);
   Matrix x = RandomBatch(4, 5, 2);
   const std::vector<int> labels{0, 1, 2, 1};
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
-    Matrix logits = net.Forward(x, true);
+    const Matrix& logits = net.Forward(x, &ws, /*training=*/true);
     auto res = SoftmaxCrossEntropy(logits, labels);
-    net.Backward(res.grad);
+    net.Backward(res.grad, &ws);
     return res.loss;
   };
   auto check = CheckParameterGradients(&net, loss_fn, 1e-2, 12);
@@ -52,13 +53,14 @@ TEST(NetworkGradientTest, SiameseContrastiveThroughSharedWeights) {
   Matrix a = RandomBatch(3, 4, 4);
   Matrix b = RandomBatch(3, 4, 5);
   const std::vector<uint8_t> same{1, 0, 1};
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
     Matrix stacked = VStack(a, b);
-    Matrix emb = net.Forward(stacked, true);
+    const Matrix& emb = net.Forward(stacked, &ws, /*training=*/true);
     Matrix emb_a = emb.RowSlice(0, 3);
     Matrix emb_b = emb.RowSlice(3, 6);
     auto res = ContrastiveLoss(emb_a, emb_b, same, 10.0);
-    net.Backward(VStack(res.grad_a, res.grad_b));
+    net.Backward(VStack(res.grad_a, res.grad_b), &ws);
     return res.loss;
   };
   auto check = CheckParameterGradients(&net, loss_fn, 1e-3, 10);
@@ -76,21 +78,23 @@ TEST(NetworkGradientTest, JointContrastivePlusDistillation) {
   Matrix a = RandomBatch(2, 4, 9);
   Matrix b = RandomBatch(2, 4, 10);
   Matrix distill_x = RandomBatch(3, 4, 11);
-  Matrix targets = teacher.Forward(distill_x, false);
+  ForwardWorkspace teacher_ws;
+  Matrix targets = teacher.Forward(distill_x, &teacher_ws);
   const std::vector<uint8_t> same{1, 0};
   const double lambda = 0.7;
 
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
     Matrix stacked = VStack(a, b);
-    Matrix emb = net.Forward(stacked, true);
+    const Matrix& emb = net.Forward(stacked, &ws, /*training=*/true);
     auto contrastive = ContrastiveLoss(emb.RowSlice(0, 2), emb.RowSlice(2, 4),
                                        same, 1.0);
-    net.Backward(VStack(contrastive.grad_a, contrastive.grad_b));
+    net.Backward(VStack(contrastive.grad_a, contrastive.grad_b), &ws);
 
-    Matrix student = net.Forward(distill_x, true);
+    const Matrix& student = net.Forward(distill_x, &ws, /*training=*/true);
     auto distill = DistillationMse(student, targets);
     distill.grad.Scale(static_cast<float>(lambda));
-    net.Backward(distill.grad);
+    net.Backward(distill.grad, &ws);
 
     return contrastive.loss + lambda * distill.loss;
   };
@@ -103,10 +107,11 @@ TEST(NetworkGradientTest, SupConThroughNetwork) {
   Sequential net = BuildMlp(4, {6, 3}, &rng);
   Matrix x = RandomBatch(4, 4, 14);
   const std::vector<int> labels{0, 0, 1, 1};
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
-    Matrix emb = net.Forward(x, true);
+    const Matrix& emb = net.Forward(x, &ws, /*training=*/true);
     auto res = SupConLoss(emb, labels, 0.5);
-    net.Backward(res.grad);
+    net.Backward(res.grad, &ws);
     return res.loss;
   };
   auto check = CheckParameterGradients(&net, loss_fn, 1e-2, 8);
@@ -122,10 +127,11 @@ TEST(NetworkGradientTest, TanhNetwork) {
   net.Add(std::make_unique<Linear>(5, 2, &rng));
   Matrix x = RandomBatch(3, 3, 16);
   Matrix target = RandomBatch(3, 2, 17);
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
-    Matrix out = net.Forward(x, true);
+    const Matrix& out = net.Forward(x, &ws, /*training=*/true);
     auto res = DistillationMse(out, target);
-    net.Backward(res.grad);
+    net.Backward(res.grad, &ws);
     return res.loss;
   };
   auto check = CheckParameterGradients(&net, loss_fn, 1e-2, 10);

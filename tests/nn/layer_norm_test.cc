@@ -16,7 +16,8 @@ namespace {
 TEST(LayerNormTest, ForwardStandardisesEachRow) {
   LayerNorm ln(4);
   Matrix x(2, 4, {1, 2, 3, 4, 10, 10, 10, 10});
-  Matrix y = ln.Forward(x, false);
+  Matrix y;
+  ln.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   // Row 0: mean 2.5, population std sqrt(1.25).
   double mean = 0.0, var = 0.0;
   for (size_t j = 0; j < 4; ++j) mean += y.At(0, j);
@@ -38,7 +39,8 @@ TEST(LayerNormTest, AffineParametersApply) {
   ln.gamma() = Matrix(1, 2, {2.0f, 3.0f});
   ln.beta() = Matrix(1, 2, {1.0f, -1.0f});
   Matrix x(1, 2, {-1, 1});  // xhat = {-1, 1}
-  Matrix y = ln.Forward(x, false);
+  Matrix y;
+  ln.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_NEAR(y.At(0, 0), 2.0f * -1.0f + 1.0f, 1e-4);
   EXPECT_NEAR(y.At(0, 1), 3.0f * 1.0f - 1.0f, 1e-4);
 }
@@ -58,10 +60,11 @@ TEST(LayerNormTest, ParameterGradientsMatchFiniteDifference) {
   for (size_t i = 0; i < target.size(); ++i) {
     target.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
   }
+  ForwardWorkspace ws;
   auto loss_fn = [&]() {
-    Matrix out = net.Forward(x, true);
+    const Matrix& out = net.Forward(x, &ws, /*training=*/true);
     auto res = DistillationMse(out, target);
-    net.Backward(res.grad);
+    net.Backward(res.grad, &ws);
     return res.loss;
   };
   auto check = CheckParameterGradients(&net, loss_fn, 1e-3, 10);
@@ -80,13 +83,15 @@ TEST(LayerNormTest, InputGradientMatchesFiniteDifference) {
     x.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
   }
   Matrix target(3, 6);
+  LayerState state;
   auto check = CheckInputGradient(
       x,
       [&](const Matrix& input, Matrix* grad) {
-        Matrix out = ln.Forward(input, true);
+        Matrix out;
+        ln.Forward(input, /*training=*/true, &state, &out);
         auto res = DistillationMse(out, target);
         ln.ZeroGrad();
-        *grad = ln.Backward(res.grad);
+        ln.Backward(res.grad, input, out, &state, grad);
         return res.loss;
       },
       1e-3, 18);
@@ -104,8 +109,9 @@ TEST(LayerNormTest, SerializationRoundTrip) {
   auto back = LayerNorm::Deserialize(&r);
   ASSERT_TRUE(back.ok());
   Matrix x(2, 3, {1, 2, 3, -1, 0, 1});
-  Matrix y1 = ln.Forward(x, false);
-  Matrix y2 = back.value()->Forward(x, false);
+  Matrix y1, y2;
+  ln.Forward(x, /*training=*/false, /*state=*/nullptr, &y1);
+  back.value()->Forward(x, /*training=*/false, /*state=*/nullptr, &y2);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }
@@ -125,8 +131,9 @@ TEST(LayerNormTest, SequentialRoundTripWithLayerNorm) {
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back.value().num_layers(), 4u);
   Matrix x(2, 4, {1, 2, 3, 4, -1, 0, 1, 2});
-  Matrix y1 = net.Forward(x, false);
-  Matrix y2 = back.value().Forward(x, false);
+  ForwardWorkspace ws;
+  Matrix y1 = net.Forward(x, &ws);
+  Matrix y2 = back.value().Forward(x, &ws);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }
@@ -143,11 +150,14 @@ TEST(LayerNormTest, CloneIsDeep) {
 TEST(LayerNormTest, GradAccumulationAndZero) {
   LayerNorm ln(3);
   Matrix x(1, 3, {1, 2, 3});
-  ln.Forward(x, true);
+  LayerState state;
+  Matrix y;
+  Matrix gx;
   Matrix g(1, 3, {1, 1, 1});
-  ln.Backward(g);
-  ln.Forward(x, true);
-  ln.Backward(g);
+  ln.Forward(x, /*training=*/true, &state, &y);
+  ln.Backward(g, x, y, &state, &gx);
+  ln.Forward(x, /*training=*/true, &state, &y);
+  ln.Backward(g, x, y, &state, &gx);
   EXPECT_GT(ln.Grads()[1]->AbsMax(), 0.0f);  // beta grad = 2 per dim
   EXPECT_FLOAT_EQ(ln.Grads()[1]->At(0, 0), 2.0f);
   ln.ZeroGrad();

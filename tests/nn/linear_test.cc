@@ -11,7 +11,8 @@ TEST(LinearTest, ForwardComputesAffineMap) {
   layer.weight() = Matrix(2, 3, {1, 2, 3, 4, 5, 6});
   layer.bias() = Matrix(1, 3, {0.5f, -0.5f, 1.0f});
   Matrix x(1, 2, {1, 2});
-  Matrix y = layer.Forward(x, false);
+  Matrix y;
+  layer.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_FLOAT_EQ(y.At(0, 0), 1 + 8 + 0.5f);
   EXPECT_FLOAT_EQ(y.At(0, 1), 2 + 10 - 0.5f);
   EXPECT_FLOAT_EQ(y.At(0, 2), 3 + 12 + 1.0f);
@@ -21,7 +22,8 @@ TEST(LinearTest, ForwardBatches) {
   Linear layer(2, 2);
   layer.weight() = Matrix(2, 2, {1, 0, 0, 1});  // identity
   Matrix x(3, 2, {1, 2, 3, 4, 5, 6});
-  Matrix y = layer.Forward(x, false);
+  Matrix y;
+  layer.Forward(x, /*training=*/false, /*state=*/nullptr, &y);
   EXPECT_EQ(y.rows(), 3u);
   EXPECT_FLOAT_EQ(y.At(2, 1), 6.0f);
 }
@@ -30,9 +32,12 @@ TEST(LinearTest, BackwardShapesAndGradients) {
   Linear layer(2, 2);
   layer.weight() = Matrix(2, 2, {1, 2, 3, 4});
   Matrix x(1, 2, {1, 1});
-  layer.Forward(x, true);
+  LayerState state;
+  Matrix y;
+  layer.Forward(x, /*training=*/true, &state, &y);
   Matrix grad_out(1, 2, {1, 0});
-  Matrix grad_in = layer.Backward(grad_out);
+  Matrix grad_in;
+  layer.Backward(grad_out, x, y, &state, &grad_in);
   // dL/dx = grad_out * W^T = [1*1+0*2, 1*3+0*4] = [1, 3]
   EXPECT_FLOAT_EQ(grad_in.At(0, 0), 1.0f);
   EXPECT_FLOAT_EQ(grad_in.At(0, 1), 3.0f);
@@ -49,10 +54,13 @@ TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
   Linear layer(1, 1);
   layer.weight() = Matrix(1, 1, {2});
   Matrix x(1, 1, {3});
-  layer.Forward(x, true);
-  layer.Backward(Matrix(1, 1, {1}));
-  layer.Forward(x, true);
-  layer.Backward(Matrix(1, 1, {1}));
+  LayerState state;
+  Matrix y;
+  Matrix grad_in;
+  layer.Forward(x, /*training=*/true, &state, &y);
+  layer.Backward(Matrix(1, 1, {1}), x, y, &state, &grad_in);
+  layer.Forward(x, /*training=*/true, &state, &y);
+  layer.Backward(Matrix(1, 1, {1}), x, y, &state, &grad_in);
   EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 0), 6.0f);  // 3 + 3
   layer.ZeroGrad();
   EXPECT_FLOAT_EQ(layer.Grads()[0]->At(0, 0), 0.0f);

@@ -57,8 +57,9 @@ TEST(QuantizedLinearTest, ForwardTracksFp32Layer) {
   for (size_t i = 0; i < x.size(); ++i) {
     x.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
   }
-  Matrix y_fp = fp32.Forward(x, false);
-  Matrix y_q = q.Forward(x, false);
+  Matrix y_fp, y_q;
+  fp32.Forward(x, /*training=*/false, /*state=*/nullptr, &y_fp);
+  q.Forward(x, /*training=*/false, /*state=*/nullptr, &y_q);
   ASSERT_TRUE(y_fp.SameShape(y_q));
   const float scale = y_fp.AbsMax();
   for (size_t i = 0; i < y_fp.size(); ++i) {
@@ -83,8 +84,9 @@ TEST(QuantizedLinearTest, SerializationRoundTrip) {
   ASSERT_TRUE(back.ok());
   Matrix x(2, 6);
   x.Fill(0.5f);
-  Matrix y1 = q.Forward(x, false);
-  Matrix y2 = back.value()->Forward(x, false);
+  Matrix y1, y2;
+  q.Forward(x, /*training=*/false, /*state=*/nullptr, &y1);
+  back.value()->Forward(x, /*training=*/false, /*state=*/nullptr, &y2);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }
@@ -108,8 +110,9 @@ TEST(QuantizedLinearTest, CloneIsIndependentCopy) {
   auto clone = q.Clone();
   Matrix x(1, 4);
   x.Fill(1.0f);
-  Matrix y1 = q.Forward(x, false);
-  Matrix y2 = clone->Forward(x, false);
+  Matrix y1, y2;
+  q.Forward(x, /*training=*/false, /*state=*/nullptr, &y1);
+  clone->Forward(x, /*training=*/false, /*state=*/nullptr, &y2);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }
@@ -118,8 +121,11 @@ TEST(QuantizedLinearTest, CloneIsIndependentCopy) {
 TEST(QuantizedLinearDeathTest, BackwardAborts) {
   QuantizedLinear q(RandomLinear(4, 4, 9));
   Matrix x(1, 4);
-  q.Forward(x, true);
-  EXPECT_DEATH(q.Backward(Matrix(1, 4)), "inference-only");
+  Matrix y;
+  q.Forward(x, /*training=*/true, /*state=*/nullptr, &y);
+  Matrix grad_in;
+  EXPECT_DEATH(q.Backward(Matrix(1, 4), x, y, nullptr, &grad_in),
+               "inference-only");
 }
 
 TEST(QuantizedLinearTest, DeserializeRejectsSizeMismatch) {

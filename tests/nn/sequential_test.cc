@@ -50,7 +50,8 @@ TEST(SequentialTest, ForwardProducesEmbedding) {
   Sequential net = SmallNet(2);
   Matrix x(5, 4);
   x.Fill(0.5f);
-  Matrix y = net.Forward(x, false);
+  ForwardWorkspace ws;
+  const Matrix& y = net.Forward(x, &ws);
   EXPECT_EQ(y.rows(), 5u);
   EXPECT_EQ(y.cols(), 3u);
 }
@@ -59,14 +60,15 @@ TEST(SequentialTest, CloneIsIndependent) {
   Sequential net = SmallNet(3);
   Sequential clone = net.Clone();
   Matrix x(1, 4, {1, 2, 3, 4});
-  Matrix y1 = net.Forward(x, false);
-  Matrix y2 = clone.Forward(x, false);
+  ForwardWorkspace ws;
+  Matrix y1 = net.Forward(x, &ws);
+  Matrix y2 = clone.Forward(x, &ws);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }
   // Mutating the original must not affect the clone.
   net.Params()[0]->Fill(0.0f);
-  Matrix y3 = clone.Forward(x, false);
+  Matrix y3 = clone.Forward(x, &ws);
   for (size_t i = 0; i < y2.size(); ++i) {
     EXPECT_FLOAT_EQ(y3.data()[i], y2.data()[i]);
   }
@@ -87,10 +89,11 @@ TEST(SequentialTest, BackwardFillsAllGradients) {
   Sequential net = SmallNet(5);
   Matrix x(2, 4);
   x.Fill(1.0f);
-  Matrix y = net.Forward(x, true);
+  ForwardWorkspace ws;
+  const Matrix& y = net.Forward(x, &ws, /*training=*/true);
   Matrix g(y.rows(), y.cols());
   g.Fill(1.0f);
-  net.Backward(g);
+  net.Backward(g, &ws);
   bool any_nonzero = false;
   for (Matrix* grad : net.Grads()) {
     any_nonzero = any_nonzero || grad->AbsMax() > 0.0f;
@@ -117,8 +120,9 @@ TEST(SequentialTest, SerializationRoundTripPreservesOutputs) {
     x.data()[i] = static_cast<float>(i) * 0.1f;
   }
   // Inference mode: dropout inactive, outputs must match exactly.
-  Matrix y1 = net.Forward(x, false);
-  Matrix y2 = back.value().Forward(x, false);
+  ForwardWorkspace ws;
+  Matrix y1 = net.Forward(x, &ws);
+  Matrix y2 = back.value().Forward(x, &ws);
   for (size_t i = 0; i < y1.size(); ++i) {
     EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
   }

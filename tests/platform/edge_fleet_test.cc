@@ -270,6 +270,200 @@ TEST(EdgeFleetTest, BatchingKeepsMetricsConsistent) {
   EXPECT_DOUBLE_EQ(batch_size->sum, static_cast<double>(requests->value));
 }
 
+/// Pre-featurizes `count` consecutive windows of synthetic `activity` data
+/// through the bundle's own pipeline — exactly what an open-loop generator
+/// feeds `SubmitWindow`.
+std::vector<std::vector<float>> FeaturizedWindows(
+    const core::ModelBundle& bundle, sensors::ActivityId activity,
+    size_t count, uint64_t seed) {
+  const auto& seg = bundle.pipeline.config().segmentation;
+  const double seconds =
+      static_cast<double>(seg.window_samples + count * seg.stride) /
+          sensors::kDefaultSampleRateHz +
+      1.0;
+  std::vector<sensors::Frame> frames = ActivityFrames(activity, seconds, seed);
+  std::vector<std::vector<float>> out;
+  out.reserve(count);
+  for (size_t w = 0; w < count; ++w) {
+    Matrix window(seg.window_samples, sensors::kNumChannels);
+    for (size_t r = 0; r < seg.window_samples; ++r) {
+      const sensors::Frame& f = frames[w * seg.stride + r];
+      for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+        window.At(r, c) = f[c];
+      }
+    }
+    out.push_back(bundle.pipeline.ProcessWindow(window).value());
+  }
+  return out;
+}
+
+TEST(EdgeFleetTest, OpenLoopOptionsValidated) {
+  FleetOptions no_leaders;
+  no_leaders.max_concurrent_batches = 0;
+  EXPECT_EQ(EdgeFleet::Create(testing::SmallPretrainedBundle(811), 1,
+                              no_leaders)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  FleetOptions no_queue;
+  no_queue.serve_threads = 2;
+  no_queue.admission_capacity = 0;
+  EXPECT_EQ(EdgeFleet::Create(testing::SmallPretrainedBundle(811), 1,
+                              no_queue)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeFleetDeathTest, SubmitWindowWithoutWorkersAborts) {
+  // Default options leave serve_threads = 0: the open-loop path is off and
+  // SubmitWindow is a configuration error, not a quiet no-op.
+  auto fleet =
+      EdgeFleet::Create(testing::SmallPretrainedBundle(812), 1).value();
+  EXPECT_DEATH(fleet->SubmitWindow(0, std::vector<float>(4, 0.0f)),
+               "serve_threads");
+}
+
+TEST(EdgeFleetTest, OpenLoopServesSubmittedWindows) {
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(813);
+  auto windows = FeaturizedWindows(bundle, sensors::kWalk, 6, 60);
+  FleetOptions options;
+  options.serve_threads = 2;
+  options.max_concurrent_batches = 2;
+  auto fleet = EdgeFleet::Create(std::move(bundle), 2, options).value();
+
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_TRUE(fleet->SubmitWindow(i % 2, windows[i]));
+  }
+  // Out-of-range sessions are shed, not fatal: the generator keeps running.
+  EXPECT_FALSE(fleet->SubmitWindow(99, windows[0]));
+  fleet->DrainSubmitted();
+
+  for (size_t s = 0; s < 2; ++s) {
+    const FleetSessionStats stats = fleet->session_stats(s);
+    EXPECT_EQ(stats.submitted, 3u) << "session " << s;
+    EXPECT_EQ(stats.rejected, 0u) << "session " << s;
+    EXPECT_EQ(stats.windows, 3u) << "session " << s;
+    EXPECT_EQ(stats.predictions, 3u) << "session " << s;
+    // SubmitWindow bypasses the frame stream entirely.
+    EXPECT_EQ(stats.frames, 0u) << "session " << s;
+    EXPECT_TRUE(fleet->last_prediction(s).has_value()) << "session " << s;
+  }
+}
+
+TEST(EdgeFleetTest, OpenLoopMatchesClosedLoopPrediction) {
+  // The same window must classify identically whether it arrives frame by
+  // frame (PushFrame) or pre-featurized through the admission queue.
+  core::ModelBundle closed_bundle = testing::SmallPretrainedBundle(814);
+  core::ModelBundle open_bundle = testing::SmallPretrainedBundle(814);
+  auto windows = FeaturizedWindows(open_bundle, sensors::kRun, 1, 61);
+
+  auto closed = EdgeFleet::Create(std::move(closed_bundle), 1).value();
+  const auto& seg = open_bundle.pipeline.config().segmentation;
+  const double seconds = static_cast<double>(seg.window_samples + seg.stride) /
+                             sensors::kDefaultSampleRateHz +
+                         1.0;
+  std::optional<core::NamedPrediction> from_frames;
+  for (const sensors::Frame& f : ActivityFrames(sensors::kRun, seconds, 61)) {
+    auto pred = closed->PushFrame(0, f);
+    ASSERT_TRUE(pred.ok());
+    if (pred.value().has_value()) {
+      from_frames = pred.value();
+      break;
+    }
+  }
+  ASSERT_TRUE(from_frames.has_value());
+
+  FleetOptions options;
+  options.serve_threads = 1;
+  auto open = EdgeFleet::Create(std::move(open_bundle), 1, options).value();
+  ASSERT_TRUE(open->SubmitWindow(0, windows[0]));
+  open->DrainSubmitted();
+  ASSERT_TRUE(open->last_prediction(0).has_value());
+  EXPECT_EQ(open->last_prediction(0)->name, from_frames->name);
+  EXPECT_EQ(open->last_prediction(0)->prediction.activity,
+            from_frames->prediction.activity);
+}
+
+TEST(EdgeFleetTest, OpenLoopShedsWhenQueueFull) {
+  obs::Registry::Global().ResetAll();
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(815);
+  auto windows = FeaturizedWindows(bundle, sensors::kStill, 1, 62);
+  FleetOptions options;
+  options.serve_threads = 1;
+  options.admission_capacity = 4;
+  auto fleet = EdgeFleet::Create(std::move(bundle), 1, options).value();
+
+  // A hard burst: admission is a queue push, service is a backbone forward,
+  // and the queue holds 4 — the lone worker cannot keep up and most of the
+  // burst must shed.
+  constexpr size_t kBurst = 500;
+  size_t admitted = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    if (fleet->SubmitWindow(0, windows[0])) ++admitted;
+  }
+  fleet->DrainSubmitted();
+
+  const FleetSessionStats stats = fleet->session_stats(0);
+  EXPECT_EQ(stats.submitted, admitted);
+  EXPECT_EQ(stats.rejected, kBurst - admitted);
+  EXPECT_GT(stats.rejected, 0u);
+  // Every admitted window was served, every shed window was not.
+  EXPECT_EQ(stats.windows, admitted);
+  EXPECT_EQ(stats.predictions, admitted);
+
+  obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  const auto* rejected = snap.FindCounter("fleet.rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->value, stats.rejected);
+  const auto* wait = snap.FindHistogram("fleet.queue_wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, admitted);
+  const auto* depth = snap.FindGauge("fleet.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value, 0.0);  // drained
+}
+
+TEST(EdgeFleetStressTest, OpenLoopConcurrentSubmitWithMidRunPromotion) {
+  // Open-loop counterpart of the promotion storm below: producer threads
+  // hammer SubmitWindow while workers drain and a promotion swaps the
+  // deployment mid-run. TSan target for the admission queue handoff.
+  constexpr size_t kSessions = 4;
+  constexpr size_t kPerSession = 50;
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(816);
+  auto windows = FeaturizedWindows(bundle, sensors::kWalk, 4, 63);
+  FleetOptions options;
+  options.serve_threads = 4;
+  options.max_concurrent_batches = 4;
+  options.max_batch = 8;
+  options.admission_capacity = 64;
+  auto fleet =
+      EdgeFleet::Create(std::move(bundle), kSessions, options).value();
+
+  std::vector<std::thread> producers;
+  for (size_t s = 0; s < kSessions; ++s) {
+    producers.emplace_back([&, s] {
+      for (size_t i = 0; i < kPerSession; ++i) {
+        fleet->SubmitWindow(s, windows[i % windows.size()]);
+        if (i % 8 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  while (fleet->session_stats(0).windows == 0) std::this_thread::yield();
+  ASSERT_TRUE(fleet->PromoteBundle(testing::SmallPretrainedBundle(817)).ok());
+  for (auto& t : producers) t.join();
+  fleet->DrainSubmitted();
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    const FleetSessionStats stats = fleet->session_stats(s);
+    EXPECT_EQ(stats.submitted + stats.rejected, kPerSession)
+        << "session " << s;
+    EXPECT_EQ(stats.windows, stats.submitted) << "session " << s;
+    EXPECT_EQ(stats.predictions, stats.submitted) << "session " << s;
+  }
+  EXPECT_EQ(fleet->deployment_version(), 2u);
+}
+
 TEST(EdgeFleetStressTest, ConcurrentSessionsWithMidRunPromotion) {
   // The tentpole: many sessions classify concurrently while a bundle
   // promotion lands mid-run. Under -DMAGNETO_SANITIZE=thread this is the

@@ -40,6 +40,8 @@
 ///
 ///   magneto fleet --bundle <bundle> [--sessions N] [--seconds S]
 ///                 [--max-batch B] [--threads T] [--promote 0|1]
+///                 [--open-loop 0|1] [--rate R] [--windows W]
+///                 [--serve-threads T] [--queue C] [--concurrent-batches B]
 ///       Serves N concurrent user sessions from one shared deployment
 ///       (platform::EdgeFleet): each session streams a personalised
 ///       synthetic activity from its own thread while embedding forwards
@@ -47,6 +49,14 @@
 ///       copy-on-swap bundle promotion lands mid-run to demonstrate that
 ///       classification never stalls. Prints per-session results and
 ///       aggregate throughput.
+///       With --open-loop 1 the closed PushFrame loop is replaced by an
+///       open-loop generator: W pre-featurized windows arrive as a Poisson
+///       process at R windows/s (0 = as fast as possible), admitted into a
+///       C-slot bounded queue drained by T serve workers with up to B
+///       micro-batches embedding concurrently. Arrivals past a full queue
+///       are shed, the backlog is what makes cross-session micro-batches
+///       actually form (watch "mean batch" exceed 1 as R climbs past the
+///       service capacity).
 ///
 ///   magneto collect --out data.msns [--users N] [--seconds S] [--seed N]
 ///       Writes a synthetic multi-user collection campaign to disk.
@@ -67,6 +77,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -494,77 +505,159 @@ int CmdFleet(const Args& args) {
   const size_t sessions = static_cast<size_t>(args.GetInt("sessions", 8));
   const double seconds = args.GetDouble("seconds", 6.0);
   const bool promote = args.GetInt("promote", 1) != 0;
+  const bool open_loop = args.GetInt("open-loop", 0) != 0;
   const int64_t threads = args.GetInt("threads", 0);
   if (threads > 0) SetParallelThreads(static_cast<size_t>(threads));
 
   platform::FleetOptions options;
   options.max_batch = static_cast<size_t>(args.GetInt("max-batch", 8));
-  auto fleet =
-      platform::EdgeFleet::Create(std::move(bundle).value(), sessions,
-                                  options);
-  if (!fleet.ok()) return Fail(fleet.status(), "create fleet");
+  if (open_loop) {
+    options.serve_threads =
+        static_cast<size_t>(args.GetInt("serve-threads", 4));
+    options.max_concurrent_batches =
+        static_cast<size_t>(args.GetInt("concurrent-batches", 4));
+    options.admission_capacity =
+        static_cast<size_t>(args.GetInt("queue", 256));
+  }
 
   // Each session is a distinct simulated user: own personalisation, own
   // activity, own driver thread. Only the frozen deployment is shared.
   const sensors::ActivityId cycle[] = {sensors::kStill, sensors::kWalk,
                                        sensors::kRun};
   sensors::ActivityLibrary lib = sensors::DefaultActivityLibrary();
-  std::printf("fleet: %zu sessions x %.0f s @ %zu pool threads, "
-              "max batch %zu\n",
-              sessions, seconds, ParallelThreads(), options.max_batch);
 
-  std::atomic<int> failures{0};
-  std::vector<std::thread> drivers;
-  const auto start = std::chrono::steady_clock::now();
-  for (size_t s = 0; s < sessions; ++s) {
-    drivers.emplace_back([&, s] {
+  // The open-loop generator replays pre-featurized windows, so featurize
+  // through the bundle's pipeline before it moves into the fleet.
+  const size_t arrivals =
+      static_cast<size_t>(args.GetInt("windows", 400));
+  const double rate = args.GetDouble("rate", 0.0);
+  std::vector<std::vector<std::vector<float>>> features(sessions);
+  if (open_loop) {
+    const auto& seg = bundle.value().pipeline.config().segmentation;
+    for (size_t s = 0; s < sessions; ++s) {
       sensors::UserProfile user(100 + s, 0.5);
       sensors::SyntheticGenerator gen(200 + s);
       sensors::Recording rec =
           gen.Generate(user.Personalize(lib[cycle[s % 3]]), seconds);
-      for (size_t i = 0; i < rec.num_samples(); ++i) {
-        sensors::Frame frame;
-        for (size_t c = 0; c < sensors::kNumChannels; ++c) {
-          frame[c] = rec.samples.At(i, c);
+      for (size_t start = 0; start + seg.window_samples <= rec.num_samples();
+           start += seg.stride) {
+        Matrix window(seg.window_samples, sensors::kNumChannels);
+        for (size_t r = 0; r < seg.window_samples; ++r) {
+          for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+            window.At(r, c) = rec.samples.At(start + r, c);
+          }
         }
-        if (!fleet.value()->PushFrame(s, frame).ok()) failures.fetch_add(1);
+        auto fv = bundle.value().pipeline.ProcessWindow(window);
+        if (!fv.ok()) return Fail(fv.status(), "featurize");
+        features[s].push_back(std::move(fv).value());
       }
-    });
-  }
-  if (promote) {
-    // Wait for the fleet to warm up, then hot-swap the deployment under
-    // full classification load.
-    while (fleet.value()->session_stats(0).windows < 1) {
-      std::this_thread::yield();
+      if (features[s].empty()) {
+        return Fail(Status::InvalidArgument("--seconds too short for a "
+                                            "single window"),
+                    "featurize");
+      }
     }
-    Status promoted = fleet.value()->PromoteBundle(fleet.value()->ToBundle());
-    if (!promoted.ok()) return Fail(promoted, "promote");
-  }
-  for (auto& t : drivers) t.join();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  if (failures.load() > 0) {
-    std::fprintf(stderr, "error: %d PushFrame failures\n", failures.load());
-    return 1;
   }
 
-  std::printf("%8s %8s %8s  %-14s %10s\n", "session", "frames", "windows",
-              "last", "confidence");
+  auto fleet =
+      platform::EdgeFleet::Create(std::move(bundle).value(), sessions,
+                                  options);
+  if (!fleet.ok()) return Fail(fleet.status(), "create fleet");
+
+  double wall = 0.0;
+  if (open_loop) {
+    std::printf("fleet: %zu sessions, open loop @ %s windows/s, %zu windows, "
+                "%zu serve threads, queue %zu, max batch %zu x %zu "
+                "concurrent\n",
+                sessions, rate > 0 ? std::to_string(rate).c_str() : "max",
+                arrivals, options.serve_threads, options.admission_capacity,
+                options.max_batch, options.max_concurrent_batches);
+    Rng rng(917);
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto next = start;
+    for (size_t i = 0; i < arrivals; ++i) {
+      if (rate > 0.0) {
+        // Poisson arrivals: exponential gaps, spin-waited (sleep granularity
+        // is far coarser than the gaps at interesting rates).
+        const double gap_s = -std::log(1.0 - rng.Uniform()) / rate;
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(gap_s));
+        while (Clock::now() < next) {
+        }
+      }
+      const size_t s = i % sessions;
+      const auto& pool = features[s];
+      fleet.value()->SubmitWindow(s, pool[(i / sessions) % pool.size()]);
+      if (promote && i == arrivals / 2) {
+        Status promoted =
+            fleet.value()->PromoteBundle(fleet.value()->ToBundle());
+        if (!promoted.ok()) return Fail(promoted, "promote");
+      }
+    }
+    fleet.value()->DrainSubmitted();
+    wall = std::chrono::duration<double>(Clock::now() - start).count();
+  } else {
+    std::printf("fleet: %zu sessions x %.0f s @ %zu pool threads, "
+                "max batch %zu\n",
+                sessions, seconds, ParallelThreads(), options.max_batch);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> drivers;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < sessions; ++s) {
+      drivers.emplace_back([&, s] {
+        sensors::UserProfile user(100 + s, 0.5);
+        sensors::SyntheticGenerator gen(200 + s);
+        sensors::Recording rec =
+            gen.Generate(user.Personalize(lib[cycle[s % 3]]), seconds);
+        for (size_t i = 0; i < rec.num_samples(); ++i) {
+          sensors::Frame frame;
+          for (size_t c = 0; c < sensors::kNumChannels; ++c) {
+            frame[c] = rec.samples.At(i, c);
+          }
+          if (!fleet.value()->PushFrame(s, frame).ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    if (promote) {
+      // Wait for the fleet to warm up, then hot-swap the deployment under
+      // full classification load.
+      while (fleet.value()->session_stats(0).windows < 1) {
+        std::this_thread::yield();
+      }
+      Status promoted =
+          fleet.value()->PromoteBundle(fleet.value()->ToBundle());
+      if (!promoted.ok()) return Fail(promoted, "promote");
+    }
+    for (auto& t : drivers) t.join();
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    if (failures.load() > 0) {
+      std::fprintf(stderr, "error: %d PushFrame failures\n", failures.load());
+      return 1;
+    }
+  }
+
+  std::printf("%8s %8s %8s %9s %8s  %-14s %10s\n", "session", "frames",
+              "windows", "submitted", "rejected", "last", "confidence");
   size_t total_windows = 0;
+  size_t total_rejected = 0;
   for (size_t s = 0; s < sessions; ++s) {
     platform::FleetSessionStats stats = fleet.value()->session_stats(s);
     total_windows += stats.windows;
+    total_rejected += stats.rejected;
     auto last = fleet.value()->last_prediction(s);
-    std::printf("%8zu %8zu %8zu  %-14s %9.2f\n", s, stats.frames,
-                stats.windows, last ? last->name.c_str() : "-",
+    std::printf("%8zu %8zu %8zu %9zu %8zu  %-14s %9.2f\n", s, stats.frames,
+                stats.windows, stats.submitted, stats.rejected,
+                last ? last->name.c_str() : "-",
                 last ? last->prediction.confidence : 0.0);
   }
   const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
   const auto* batches = snap.FindCounter("fleet.batches");
   const auto* requests = snap.FindCounter("fleet.requests");
   std::printf("%zu windows in %.2f s (%.0f windows/s); %llu requests in "
-              "%llu batches (mean %.2f); deployment v%llu\n",
+              "%llu batches (mean batch %.2f); %zu shed; deployment v%llu\n",
               total_windows, wall, total_windows / wall,
               static_cast<unsigned long long>(requests ? requests->value : 0),
               static_cast<unsigned long long>(batches ? batches->value : 0),
@@ -572,6 +665,7 @@ int CmdFleet(const Args& args) {
                   ? static_cast<double>(requests->value) /
                         static_cast<double>(batches->value)
                   : 0.0,
+              total_rejected,
               static_cast<unsigned long long>(
                   fleet.value()->deployment_version()));
   return 0;
