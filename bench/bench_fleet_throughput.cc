@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +45,19 @@ struct ClosedLoopResult {
   uint64_t batches = 0;
 };
 
+/// One serving stage's latency quantiles, read from the fleet.stage.*
+/// histograms. The five stages tile the admit -> publish interval, so their
+/// means sum to the end-to-end mean exactly (quantiles approximately).
+struct StageLatency {
+  const char* stage = nullptr;  ///< fleet.stage.<stage>_us suffix
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+constexpr const char* kStageNames[] = {"queue", "batch_wait", "embed",
+                                       "classify", "publish"};
+
 struct OpenLoopResult {
   double offered_rate = 0.0;  ///< target arrivals per second
   size_t arrivals = 0;
@@ -55,8 +69,13 @@ struct OpenLoopResult {
   double classify_p99_us = 0.0;
   double queue_wait_p50_us = 0.0;
   double queue_wait_p99_us = 0.0;
+  double e2e_mean_us = 0.0;
+  double e2e_p50_us = 0.0;
+  double e2e_p99_us = 0.0;
+  std::vector<StageLatency> stages;  ///< one entry per kStageNames
   uint64_t requests = 0;
   uint64_t batches = 0;
+  const char* health = "OK";  ///< end-of-run SLO state (when monitored)
 };
 
 /// Per-session frame streams, personalised per simulated user. Generated
@@ -178,13 +197,18 @@ OpenLoopResult DriveOpenLoop(
     const core::ModelBundle& bundle,
     const std::vector<std::vector<std::vector<float>>>& features,
     const platform::FleetOptions& base_options, double rate,
-    size_t arrivals) {
+    size_t arrivals, obs::SloMonitor* slo = nullptr) {
   obs::Registry::Global().ResetAll();
+  platform::FleetOptions options = base_options;
+  options.slo_monitor = slo;
   auto fleet =
       Unwrap(platform::EdgeFleet::Create(CopyBundle(bundle), features.size(),
-                                         base_options),
+                                         options),
              "create fleet");
 
+  // The exporter samples health on a timer so the run leaves a time-series,
+  // not just end-of-run totals.
+  if (slo != nullptr) slo->StartExporter(/*period_seconds=*/0.02);
   Rng rng(917);
   const auto t0 = Clock::now();
   auto next = t0;
@@ -203,6 +227,7 @@ OpenLoopResult DriveOpenLoop(
   fleet->DrainSubmitted();
   const double wall =
       std::chrono::duration<double>(Clock::now() - t0).count();
+  if (slo != nullptr) slo->StopExporter();
 
   OpenLoopResult result;
   result.offered_rate = rate;
@@ -223,11 +248,33 @@ OpenLoopResult DriveOpenLoop(
     result.queue_wait_p50_us = h->Quantile(0.5);
     result.queue_wait_p99_us = h->Quantile(0.99);
   }
+  if (const auto* h = snap.FindHistogram("fleet.e2e_us")) {
+    result.e2e_mean_us = h->count > 0 ? h->sum / h->count : 0.0;
+    result.e2e_p50_us = h->Quantile(0.5);
+    result.e2e_p99_us = h->Quantile(0.99);
+  }
+  for (const char* stage : kStageNames) {
+    StageLatency lat;
+    lat.stage = stage;
+    const std::string name = std::string("fleet.stage.") + stage + "_us";
+    if (const auto* h = snap.FindHistogram(name)) {
+      // The five stage means sum to the e2e mean exactly (the stages tile
+      // admit -> publish); the quantiles are log-bucket upper bounds and
+      // only sum approximately.
+      lat.mean_us = h->count > 0 ? h->sum / h->count : 0.0;
+      lat.p50_us = h->Quantile(0.5);
+      lat.p99_us = h->Quantile(0.99);
+    }
+    result.stages.push_back(lat);
+  }
   if (const auto* c = snap.FindCounter("fleet.requests")) {
     result.requests = c->value;
   }
   if (const auto* c = snap.FindCounter("fleet.batches")) {
     result.batches = c->value;
+  }
+  if (slo != nullptr) {
+    result.health = obs::HealthStateName(slo->Evaluate().state);
   }
   return result;
 }
@@ -297,22 +344,67 @@ int main() {
   std::printf("open    calibration: %.0f windows/s service capacity\n",
               capacity);
 
+  // Trace overhead: what fraction of one request's service time the tracing
+  // machinery costs when enabled. Measured directly — a tight loop emitting
+  // exactly the event sequence one served request records (the
+  // EdgeFleet::SubmitWindow span plus the s/t/f flow markers; the
+  // per-chunk and per-batch spans amortize across many requests and are
+  // sub-dominant) — rather than as a trace-on vs trace-off throughput A/B:
+  // on small or oversubscribed machines the A/B's run-to-run scheduler
+  // noise (30%+ observed) dwarfs a sub-microsecond per-request cost. The
+  // budget is < 2% of the calibrated per-request service time.
+  obs::SetTraceEnabled(true);
+  constexpr int kTraceReps = 200000;
+  // Cleared every 2048 iterations (5 events each) so the loop measures the
+  // no-overwrite steady state — a ring sized for its trace window — not the
+  // perpetually-wrapping worst case the counters already surface.
+  constexpr int kTraceClearEvery = 2048;
+  const uint64_t trace_ts = obs::RequestContext::NowNs();
+  const auto trace_t0 = Clock::now();
+  for (int i = 0; i < kTraceReps; ++i) {
+    if (i % kTraceClearEvery == 0) obs::ClearTrace();
+    const uint64_t id = static_cast<uint64_t>(i) + 1;
+    obs::TraceSpan span("bench.request", trace_ts);
+    obs::TraceFlowBeginAt("bench.flow", id, trace_ts);
+    obs::TraceFlowStepAt("bench.flow", id, trace_ts);
+    obs::TraceFlowEndAt("bench.flow", id, trace_ts);
+  }
+  const double trace_ns_per_request =
+      std::chrono::duration<double, std::nano>(Clock::now() - trace_t0)
+          .count() /
+      kTraceReps;
+  obs::SetTraceEnabled(false);
+  obs::ClearTrace();
+  const double service_ns_per_request = capacity > 0 ? 1e9 / capacity : 0.0;
+  const double trace_overhead =
+      service_ns_per_request > 0 ? trace_ns_per_request / service_ns_per_request
+                                 : 0.0;
+  std::printf(
+      "open    trace overhead: %.0f ns/request vs %.0f ns service "
+      "(%.2f%%)\n",
+      trace_ns_per_request, service_ns_per_request, trace_overhead * 100.0);
+
   const std::vector<double> load_factors = {0.25, 0.5, 1.0, 2.0, 4.0};
   std::vector<OpenLoopResult> open;
+  // Each run gets a fresh SLO monitor (rolling window must not blend load
+  // points); the last one stays alive so its health block + exporter
+  // timeline can be embedded in the final metrics snapshot.
+  std::unique_ptr<obs::SloMonitor> slo;
   for (double factor : load_factors) {
     const double rate = factor * capacity;
     const size_t arrivals = static_cast<size_t>(
         std::clamp(rate * 0.75, 1000.0, 30000.0));
+    slo = std::make_unique<obs::SloMonitor>();
     OpenLoopResult r = DriveOpenLoop(bundle, features, open_options, rate,
-                                     arrivals);
+                                     arrivals, slo.get());
     open.push_back(r);
     std::printf(
         "open    rate %8.0f/s (%.2fx): %5zu/%5zu admitted, %5zu shed, "
         "%7.0f win/s, classify p99 %6.0f us, wait p99 %8.0f us, "
-        "mean batch %.2f\n",
+        "mean batch %.2f, %s\n",
         r.offered_rate, factor, r.admitted, r.arrivals, r.rejected,
         r.served / r.seconds, r.classify_p99_us, r.queue_wait_p99_us,
-        MeanBatch(r.requests, r.batches));
+        MeanBatch(r.requests, r.batches), r.health);
   }
 
   obs::JsonWriter json = BenchJson("fleet_throughput");
@@ -329,6 +421,13 @@ int main() {
       .Field("admission_capacity",
              static_cast<uint64_t>(open_options.admission_capacity))
       .Field("calibrated_capacity_windows_per_s", capacity)
+      .EndObject()
+      .Key("trace_overhead")
+      .BeginObject()
+      .Field("trace_ns_per_request", trace_ns_per_request)
+      .Field("service_ns_per_request", service_ns_per_request)
+      .Field("overhead_fraction", trace_overhead)
+      .Field("budget_fraction", 0.02)
       .EndObject()
       .Key("runs")
       .BeginArray();
@@ -362,6 +461,22 @@ int main() {
         .Field("classify_p99_us", r.classify_p99_us)
         .Field("queue_wait_p50_us", r.queue_wait_p50_us)
         .Field("queue_wait_p99_us", r.queue_wait_p99_us)
+        .Field("e2e_mean_us", r.e2e_mean_us)
+        .Field("e2e_p50_us", r.e2e_p50_us)
+        .Field("e2e_p99_us", r.e2e_p99_us);
+    // Per-stage attribution: the five stages tile admit -> publish, so the
+    // stage means sum to e2e_mean_us and explain where latency is spent.
+    json.Key("stages").BeginObject();
+    for (const StageLatency& lat : r.stages) {
+      json.Key(lat.stage)
+          .BeginObject()
+          .Field("mean_us", lat.mean_us)
+          .Field("p50_us", lat.p50_us)
+          .Field("p99_us", lat.p99_us)
+          .EndObject();
+    }
+    json.EndObject()
+        .Field("health", std::string(r.health))
         .Field("requests", r.requests)
         .Field("batches", r.batches)
         .Field("mean_batch", MeanBatch(r.requests, r.batches))
@@ -372,7 +487,19 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
     return 1;
   }
-  WriteMetricsSnapshot("BENCH_fleet.metrics.json");
+  // The snapshot reflects the last (4x overload) sweep run; its SLO
+  // monitor's health block — including the exporter's time-series — rides
+  // along under "health".
+  const std::string snapshot_json =
+      obs::Registry::Global().TakeSnapshot().ToJson(
+          /*pretty=*/true, [&](obs::JsonWriter& w) {
+            w.Key("health");
+            slo->AppendHealthJson(w);
+          });
+  if (!obs::WriteStringToFile(snapshot_json, "BENCH_fleet.metrics.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.metrics.json\n");
+    return 1;
+  }
   std::printf("wrote BENCH_fleet.json (hardware threads: %u)\n",
               std::thread::hardware_concurrency());
   return 0;

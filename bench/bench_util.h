@@ -12,8 +12,12 @@ namespace magneto::bench {
 
 /// Version of the BENCH_*.json layout. Bump when a field changes meaning so
 /// downstream tooling can tell old artifacts from new ones. v2: emitted via
-/// obs::JsonWriter, top-level {"schema_version", "bench", ...}.
-inline constexpr int kBenchSchemaVersion = 2;
+/// obs::JsonWriter, top-level {"schema_version", "bench", ...}. v3: open-loop
+/// fleet runs carry per-stage latency attribution (stage_*_p50/p99_us) and
+/// SLO health, BENCH_fleet.json gains a trace_overhead block, and the
+/// metrics snapshots move to metrics schema_version 2 (histogram exemplars,
+/// optional embedded "health" object).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Starts a BENCH_*.json document with the common header fields. The caller
 /// fills in bench-specific fields and closes the root object.

@@ -15,8 +15,11 @@ cmake --build build-tsan --target common_test obs_test nn_test core_test \
   platform_test
 MAGNETO_THREADS=8 ./build-tsan/tests/common_test \
   --gtest_filter='Parallel*:MatMul*:MatrixTest.*:Logging*'
-# Telemetry under TSan with tracing forced on: the metrics registry and the
-# per-thread trace rings must stay race-free while the pool hammers them.
+# Telemetry under TSan with tracing forced on: the metrics registry, the
+# per-thread trace rings, the seqlock flight recorder, and the SLO monitor's
+# epoch ring must stay race-free while 8 producer threads hammer them
+# (FlightRecorderTest.ConcurrentProducers / SloMonitorTest.ConcurrentObservers
+# run inside this binary).
 MAGNETO_THREADS=8 MAGNETO_TRACE=1 ./build-tsan/tests/obs_test
 # The lock-free embed contract: many threads forward through one shared
 # const Sequential, each with its own workspace, no locks anywhere.
@@ -86,6 +89,8 @@ grep -Eq '"fleet\.promotions": [1-9]' "$smoke_dir/fleet_metrics.json" \
   --seconds 4 --open-loop 1 --rate 0 --windows 600 --serve-threads 6 \
   --concurrent-batches 2 --threads 1 \
   --metrics-out "$smoke_dir/fleet_open_metrics.json" \
+  --trace-out "$smoke_dir/fleet_open_trace.json" \
+  --flight-record-out "$smoke_dir/fleet_open_flight.json" \
   | tee "$smoke_dir/fleet_open.txt"
 mean_batch="$(grep -o 'mean batch [0-9.]*' "$smoke_dir/fleet_open.txt" \
   | awk '{print $3}')"
@@ -93,6 +98,22 @@ awk -v m="$mean_batch" 'BEGIN { exit (m > 1.0) ? 0 : 1 }' \
   || { echo "open-loop fleet smoke: mean batch $mean_batch is not > 1" >&2; exit 1; }
 grep -Eq '"fleet\.requests": [1-9]' "$smoke_dir/fleet_open_metrics.json" \
   || { echo "open-loop fleet smoke: nothing was classified" >&2; exit 1; }
+# Request-scoped observability smoke: the exported trace must hold the
+# exporter's invariants (balanced B/E stacks, every flow begin finished,
+# monotonic per-track timestamps), the flight recorder must have captured
+# served requests with stage timings, and the per-stage histograms + SLO
+# health gauge must be present in the snapshot.
+python3 tools/validate_trace.py "$smoke_dir/fleet_open_trace.json"
+grep -q '"ph":"s"' "$smoke_dir/fleet_open_trace.json" \
+  || { echo "obs smoke: trace has no flow-begin events" >&2; exit 1; }
+grep -q '"outcome": "ok"' "$smoke_dir/fleet_open_flight.json" \
+  || { echo "obs smoke: flight record has no served requests" >&2; exit 1; }
+grep -q '"fleet.stage.embed_us"' "$smoke_dir/fleet_open_metrics.json" \
+  || { echo "obs smoke: missing per-stage histograms" >&2; exit 1; }
+grep -q '"slo.health_state"' "$smoke_dir/fleet_open_metrics.json" \
+  || { echo "obs smoke: missing SLO health gauge" >&2; exit 1; }
+grep -q '^slo: ' "$smoke_dir/fleet_open.txt" \
+  || { echo "obs smoke: missing SLO health summary line" >&2; exit 1; }
 
 # Transactional-update smoke: inject a failure mid-update and prove the
 # all-or-nothing contract end to end. The checkpoint written before the

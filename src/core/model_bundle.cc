@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace magneto::core {
@@ -141,6 +142,9 @@ Result<ModelBundle> ModelBundle::LoadFromFileWithFallback(
   static obs::Counter* const fallbacks =
       obs::Registry::Global().GetCounter("edge.checkpoint.fallbacks");
   fallbacks->Increment();
+  // Falling back to the last-known-good checkpoint means the primary was
+  // corrupt — snapshot the recent serving history for the post-mortem.
+  obs::FlightRecorder::Global().NoteAnomaly("checkpoint_fallback");
   if (used_fallback != nullptr) *used_fallback = true;
   return fallback;
 }

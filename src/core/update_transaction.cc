@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace magneto::core {
@@ -34,7 +35,12 @@ UpdateTransaction::UpdateTransaction(EdgeModel* model, SupportSet* support)
 }
 
 UpdateTransaction::~UpdateTransaction() {
-  if (!committed_) Metrics().rollbacks->Increment();
+  if (!committed_) {
+    Metrics().rollbacks->Increment();
+    // A rollback is an anomaly worth a post-mortem: snapshot the recent
+    // serving history (auto-dumps when a dump path is configured).
+    obs::FlightRecorder::Global().NoteAnomaly("update_rollback");
+  }
   Metrics().staged_bytes->Set(0.0);
 }
 

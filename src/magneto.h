@@ -59,8 +59,11 @@
 #include "nn/optimizer.h"
 #include "nn/quantized_linear.h"
 #include "nn/sequential.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/slo_monitor.h"
 #include "obs/trace.h"
 #include "platform/bundle_transport.h"
 #include "platform/cloud_server.h"

@@ -1,0 +1,216 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace magneto::obs {
+
+namespace {
+
+const char* OutcomeName(FlightRecord::Outcome outcome) {
+  switch (outcome) {
+    case FlightRecord::Outcome::kOk:
+      return "ok";
+    case FlightRecord::Outcome::kShed:
+      return "shed";
+    case FlightRecord::Outcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity),
+      seqs_(new std::atomic<uint64_t>[capacity_]),
+      words_(new std::atomic<uint64_t>[capacity_ * kWordsPerSlot]) {
+  for (size_t i = 0; i < capacity_; ++i) seqs_[i].store(0);
+  for (size_t i = 0; i < capacity_ * kWordsPerSlot; ++i) words_[i].store(0);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder;  // leaked, like
+  return *recorder;                                      // Registry::Global
+}
+
+void FlightRecorder::Record(const FlightRecord& record) {
+  const size_t slot =
+      cursor_.fetch_add(1, std::memory_order_relaxed) % capacity_;
+  std::atomic<uint64_t>& seq = seqs_[slot];
+  uint64_t s = seq.load(std::memory_order_relaxed);
+  // A slot is claimed by bumping its sequence to odd. Losing the CAS means
+  // another writer lapped the ring onto this slot mid-fill; that record is
+  // about to be overwritten anyway, so dropping ours is harmless.
+  if ((s & 1) != 0 ||
+      !seq.compare_exchange_strong(s, s + 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+    return;
+  }
+  std::atomic<uint64_t>* w = &words_[slot * kWordsPerSlot];
+  w[kIdWord].store(record.id, std::memory_order_relaxed);
+  w[kSessionWord].store(record.session, std::memory_order_relaxed);
+  w[kBatchWord].store(record.batch_size, std::memory_order_relaxed);
+  w[kVersionWord].store(record.deployment_version, std::memory_order_relaxed);
+  w[kOutcomeWord].store(static_cast<uint64_t>(record.outcome),
+                        std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumRequestStages; ++i) {
+    w[kStageWord0 + i].store(record.stage_ns[i], std::memory_order_relaxed);
+  }
+  seq.store(s + 2, std::memory_order_release);
+}
+
+void FlightRecorder::RecordShed(uint64_t id, uint32_t session) {
+  FlightRecord record;
+  record.id = id;
+  record.session = session;
+  record.outcome = FlightRecord::Outcome::kShed;
+  record.stage_ns[static_cast<size_t>(RequestStage::kAdmit)] =
+      RequestContext::NowNs();
+  Record(record);
+  const uint64_t streak = shed_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // `==` not `>=`: a sustained burst dumps once at the threshold, not on
+  // every subsequent shed; the streak re-arms when an admit goes through.
+  if (streak == shed_burst_threshold_.load(std::memory_order_relaxed)) {
+    NoteAnomaly("shed_burst");
+  }
+}
+
+void FlightRecorder::NoteAdmit() {
+  shed_streak_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::NoteAnomaly(const std::string& kind) {
+  static Counter* const anomalies =
+      Registry::Global().GetCounter("flight.anomalies");
+  anomalies->Increment();
+  // Per-kind counter: cold path, so the by-name lookup is fine here.
+  Registry::Global().GetCounter("flight.anomaly." + kind)->Increment();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    last_anomaly_ = kind;
+    path = auto_dump_path_;
+  }
+  if (!path.empty()) Dump(path);
+}
+
+void FlightRecorder::SetAutoDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  auto_dump_path_ = path;
+}
+
+void FlightRecorder::SetShedBurstThreshold(uint64_t consecutive) {
+  shed_burst_threshold_.store(consecutive == 0 ? 1 : consecutive,
+                              std::memory_order_relaxed);
+}
+
+bool FlightRecorder::ReadSlot(size_t slot, FlightRecord* out) const {
+  const std::atomic<uint64_t>* w = &words_[slot * kWordsPerSlot];
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t s1 = seqs_[slot].load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) continue;  // writer mid-fill
+    FlightRecord record;
+    record.id = w[kIdWord].load(std::memory_order_relaxed);
+    record.session =
+        static_cast<uint32_t>(w[kSessionWord].load(std::memory_order_relaxed));
+    record.batch_size =
+        static_cast<uint32_t>(w[kBatchWord].load(std::memory_order_relaxed));
+    record.deployment_version =
+        w[kVersionWord].load(std::memory_order_relaxed);
+    record.outcome = static_cast<FlightRecord::Outcome>(
+        w[kOutcomeWord].load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kNumRequestStages; ++i) {
+      record.stage_ns[i] = w[kStageWord0 + i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seqs_[slot].load(std::memory_order_relaxed) != s1) continue;
+    if (record.id == 0) return false;  // never written (or cleared)
+    *out = record;
+    return true;
+  }
+  return false;  // persistently contended; skip rather than block
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> records;
+  records.reserve(capacity_);
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    FlightRecord record;
+    if (ReadSlot(slot, &record)) records.push_back(record);
+  }
+  // Request ids are allocated monotonically, so sorting by id is both the
+  // arrival order and a deterministic dump order.
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.id < b.id;
+            });
+  return records;
+}
+
+std::string FlightRecorder::ToJson(bool pretty) const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::string last_anomaly;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    last_anomaly = last_anomaly_;
+  }
+  JsonWriter json(pretty);
+  json.BeginObject();
+  json.Field("schema_version", 1);
+  json.Field("capacity", static_cast<uint64_t>(capacity_));
+  json.Field("last_anomaly", last_anomaly);
+  json.Key("records").BeginArray();
+  for (const FlightRecord& r : records) {
+    json.BeginObject();
+    json.Field("id", r.id);
+    json.Field("session", static_cast<uint64_t>(r.session));
+    json.Field("outcome", OutcomeName(r.outcome));
+    json.Field("batch_size", static_cast<uint64_t>(r.batch_size));
+    json.Field("deployment_version", r.deployment_version);
+    json.Field("admit_ns",
+               r.stage_ns[static_cast<size_t>(RequestStage::kAdmit)]);
+    json.Field("queue_us",
+               r.StageUs(RequestStage::kAdmit, RequestStage::kDequeue));
+    json.Field("batch_wait_us",
+               r.StageUs(RequestStage::kDequeue, RequestStage::kEmbedStart));
+    json.Field("embed_us",
+               r.StageUs(RequestStage::kEmbedStart, RequestStage::kEmbedEnd));
+    json.Field("classify_us", r.StageUs(RequestStage::kEmbedEnd,
+                                        RequestStage::kClassifyEnd));
+    json.Field("publish_us", r.StageUs(RequestStage::kClassifyEnd,
+                                       RequestStage::kPublish));
+    json.Field("e2e_us",
+               r.StageUs(RequestStage::kAdmit, RequestStage::kPublish));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+bool FlightRecorder::Dump(const std::string& path) const {
+  return WriteStringToFile(ToJson(), path);
+}
+
+void FlightRecorder::Clear() {
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    std::atomic<uint64_t>& seq = seqs_[slot];
+    uint64_t s = seq.load(std::memory_order_relaxed);
+    if ((s & 1) != 0 ||
+        !seq.compare_exchange_strong(s, s + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      continue;  // a live writer owns the slot; it will overwrite anyway
+    }
+    std::atomic<uint64_t>* w = &words_[slot * kWordsPerSlot];
+    for (size_t i = 0; i < kWordsPerSlot; ++i) {
+      w[i].store(0, std::memory_order_relaxed);
+    }
+    seq.store(s + 2, std::memory_order_release);
+  }
+  shed_streak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace magneto::obs

@@ -1,0 +1,141 @@
+#ifndef MAGNETO_OBS_FLIGHT_RECORDER_H_
+#define MAGNETO_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/request_context.h"
+
+namespace magneto::obs {
+
+/// Bounded lock-free ring of the most recent per-request serving records —
+/// the "black box" of the fleet. Every published, shed, or errored request
+/// leaves one fixed-size record (id, session, per-stage stamps, batch size,
+/// deployment version, outcome). The ring can be dumped as deterministic
+/// JSON on demand (`magneto fleet --flight-record-out`) and dumps itself
+/// automatically on anomalies: a shed burst, an update rollback, or a
+/// checkpoint fallback. That gives a post-mortem of the requests *leading
+/// up to* the event, which aggregate histograms cannot reconstruct.
+///
+/// Concurrency: `Record` is wait-free apart from one CAS — a slot is claimed
+/// from a monotonic cursor and guarded by a per-slot sequence counter
+/// (seqlock). Writers never block; a writer that lands on a slot another
+/// writer is mid-filling (only possible after cursor wraparound) drops its
+/// record. Readers retry a slot a few times and skip it if it stays
+/// unstable, so dumps taken under fire are consistent per record.
+
+/// One request's record. All fields are plain words so the ring can store
+/// them as relaxed atomics.
+struct FlightRecord {
+  enum class Outcome : uint64_t {
+    kOk = 0,     ///< prediction published
+    kShed = 1,   ///< rejected at admission (queue full)
+    kError = 2,  ///< serve path returned a non-OK status
+  };
+
+  uint64_t id = 0;  ///< RequestContext id; 0 = empty slot
+  uint32_t session = 0;
+  uint32_t batch_size = 0;        ///< micro-batch the request was embedded in
+  uint64_t deployment_version = 0;
+  Outcome outcome = Outcome::kOk;
+  std::array<uint64_t, kNumRequestStages> stage_ns{};
+
+  /// Microseconds between two stages; 0 when either is missing.
+  double StageUs(RequestStage from, RequestStage to) const {
+    const uint64_t a = stage_ns[static_cast<size_t>(from)];
+    const uint64_t b = stage_ns[static_cast<size_t>(to)];
+    if (a == 0 || b == 0 || b < a) return 0.0;
+    return static_cast<double>(b - a) / 1000.0;
+  }
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to at least 2 and fixed for the recorder's
+  /// life (the record path is lock-free, so the ring cannot be resized
+  /// underneath it).
+  explicit FlightRecorder(size_t capacity = 4096);
+
+  /// Process-wide recorder (leaked, like Registry::Global). The fleet and
+  /// the anomaly hooks in core/ write here unless a test injects its own.
+  static FlightRecorder& Global();
+
+  /// Stores `record` into the ring (overwrites the oldest). Lock-free.
+  void Record(const FlightRecord& record);
+
+  /// Convenience for an admission-time rejection: records a kShed record
+  /// stamped at `now` and advances the shed-burst detector. A run of
+  /// `shed_burst_threshold()` consecutive sheds (no intervening NoteAdmit)
+  /// raises the "shed_burst" anomaly once per burst.
+  void RecordShed(uint64_t id, uint32_t session);
+
+  /// Marks a successful admission: resets the shed-burst streak.
+  void NoteAdmit();
+
+  /// Raises an anomaly: bumps `flight.anomalies` (and a per-kind counter),
+  /// remembers `kind` as the dump's "last_anomaly", and — when an auto-dump
+  /// path is configured — writes the ring to it. `kind` must be a short
+  /// identifier ([a-z_], e.g. "update_rollback").
+  void NoteAnomaly(const std::string& kind);
+
+  /// Enables anomaly auto-dump to `path` (empty disables).
+  void SetAutoDumpPath(const std::string& path);
+  /// Consecutive sheds that constitute a burst (default 32; minimum 1).
+  void SetShedBurstThreshold(uint64_t consecutive);
+  uint64_t shed_burst_threshold() const {
+    return shed_burst_threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent copies of every non-empty slot, sorted by request id
+  /// ascending — the deterministic dump order.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// {"schema_version": 1, "capacity": N, "last_anomaly": "...",
+  ///  "records": [...sorted by id...]} with per-record stage attribution in
+  ///  microseconds.
+  std::string ToJson(bool pretty = true) const;
+
+  /// Writes `ToJson()` to `path`; false on I/O failure.
+  bool Dump(const std::string& path) const;
+
+  /// Empties the ring and resets the shed streak (config survives).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  // Slot layout, all relaxed-atomic words.
+  static constexpr size_t kIdWord = 0;
+  static constexpr size_t kSessionWord = 1;
+  static constexpr size_t kBatchWord = 2;
+  static constexpr size_t kVersionWord = 3;
+  static constexpr size_t kOutcomeWord = 4;
+  static constexpr size_t kStageWord0 = 5;
+  static constexpr size_t kWordsPerSlot = kStageWord0 + kNumRequestStages;
+
+  bool ReadSlot(size_t slot, FlightRecord* out) const;
+
+  const size_t capacity_;
+  std::unique_ptr<std::atomic<uint64_t>[]> seqs_;   // per-slot seqlock
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;  // capacity_*kWordsPerSlot
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> shed_streak_{0};
+  std::atomic<uint64_t> shed_burst_threshold_{32};
+
+  mutable std::mutex config_mu_;  // auto_dump_path_, last_anomaly_
+  std::string auto_dump_path_;
+  std::string last_anomaly_;
+};
+
+}  // namespace magneto::obs
+
+#endif  // MAGNETO_OBS_FLIGHT_RECORDER_H_

@@ -40,13 +40,31 @@ const std::vector<double>& LatencyBucketsMs() {
   return bounds;
 }
 
+const std::vector<double>& LogLatencyBucketsUs() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    b.reserve(29);
+    for (int k = 0; k <= 28; ++k) {  // 10^(0/4) .. 10^(28/4): 1us .. 10s
+      b.push_back(std::pow(10.0, static_cast<double>(k) / 4.0));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
 Histogram::Histogram(std::string name, std::vector<double> bounds)
     : name_(std::move(name)),
       bounds_(std::move(bounds)),
       buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      exemplar_ids_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      exemplar_bits_(new std::atomic<uint64_t>[bounds_.size() + 1]),
       min_bits_(DoubleBits(std::numeric_limits<double>::infinity())),
       max_bits_(DoubleBits(-std::numeric_limits<double>::infinity())) {
-  for (size_t i = 0; i < bounds_.size() + 1; ++i) buckets_[i].store(0);
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0);
+    exemplar_ids_[i].store(0);
+    exemplar_bits_[i].store(0);
+  }
 }
 
 void Histogram::Record(double value) {
@@ -71,6 +89,23 @@ void Histogram::Record(double value) {
   }
 }
 
+void Histogram::Record(double value, uint64_t exemplar_id) {
+  Record(value);
+  if (exemplar_id == 0) return;
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  // Two independent relaxed stores: a reader may pair an id with the
+  // previous value (benign — see header). Value first so a freshly-visible
+  // id is never paired with a stale zero.
+  exemplar_bits_[i].store(DoubleBits(value), std::memory_order_relaxed);
+  exemplar_ids_[i].store(exemplar_id, std::memory_order_relaxed);
+}
+
+double Histogram::exemplar_value(size_t i) const {
+  return BitsDouble(exemplar_bits_[i].load(std::memory_order_relaxed));
+}
+
 double Histogram::min() const {
   const double v = BitsDouble(min_bits_.load(std::memory_order_relaxed));
   return std::isinf(v) ? 0.0 : v;
@@ -84,6 +119,8 @@ double Histogram::max() const {
 void Histogram::Reset() {
   for (size_t i = 0; i < num_buckets(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+    exemplar_bits_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_milli_.store(0, std::memory_order_relaxed);
@@ -160,6 +197,12 @@ Snapshot Registry::TakeSnapshot() const {
     value.sum = histogram->sum();
     value.min = histogram->min();
     value.max = histogram->max();
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      const uint64_t id = histogram->exemplar_id(i);
+      if (id != 0) {
+        value.exemplars.push_back({i, id, histogram->exemplar_value(i)});
+      }
+    }
     snapshot.histograms.push_back(std::move(value));
   }
   return snapshot;
@@ -209,10 +252,11 @@ const Snapshot::HistogramValue* Snapshot::FindHistogram(
   return nullptr;
 }
 
-std::string Snapshot::ToJson(bool pretty) const {
+std::string Snapshot::ToJson(
+    bool pretty, const std::function<void(JsonWriter&)>& extra) const {
   JsonWriter json(pretty);
   json.BeginObject();
-  json.Field("schema_version", 1);
+  json.Field("schema_version", 2);
   json.Key("counters").BeginObject();
   for (const CounterValue& c : counters) json.Field(c.name, c.value);
   json.EndObject();
@@ -237,9 +281,21 @@ std::string Snapshot::ToJson(bool pretty) const {
     json.Key("buckets").BeginArray();
     for (uint64_t b : h.buckets) json.Value(b);
     json.EndArray();
+    if (!h.exemplars.empty()) {
+      json.Key("exemplars").BeginArray();
+      for (const HistogramValue::Exemplar& e : h.exemplars) {
+        json.BeginObject();
+        json.Field("bucket", static_cast<uint64_t>(e.bucket));
+        json.Field("id", e.id);
+        json.Field("value", e.value);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
   json.EndObject();
+  if (extra) extra(json);
   json.EndObject();
   return json.str();
 }

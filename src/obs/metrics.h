@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,8 @@
 #include <vector>
 
 namespace magneto::obs {
+
+class JsonWriter;
 
 /// Process-wide metrics for the MAGNETO hot paths.
 ///
@@ -85,6 +88,17 @@ class Histogram {
  public:
   void Record(double value);
 
+  /// Like `Record`, but additionally remembers (id, value) as the bucket's
+  /// exemplar when `exemplar_id != 0`. Exemplars let a tail bucket name a
+  /// concrete request: the id is the `RequestContext` id, which doubles as
+  /// the trace flow id and the flight-recorder key. Last writer wins per
+  /// bucket; the (id, value) pair is two relaxed atomics, so a concurrent
+  /// read can pair an id with a neighbouring value — acceptable for a
+  /// debugging breadcrumb, and why exemplars are excluded from snapshot
+  /// equality (they depend on thread interleaving even for deterministic
+  /// workloads).
+  void Record(double value, uint64_t exemplar_id);
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   /// Sum of recorded values, quantised to 1/1000 units.
   double sum() const {
@@ -98,6 +112,11 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   size_t num_buckets() const { return bounds_.size() + 1; }
+  /// Exemplar id last stored for bucket `i` (0 = none).
+  uint64_t exemplar_id(size_t i) const {
+    return exemplar_ids_[i].load(std::memory_order_relaxed);
+  }
+  double exemplar_value(size_t i) const;
 
   void Reset();
 
@@ -110,6 +129,10 @@ class Histogram {
   std::string name_;
   std::vector<double> bounds_;  // strictly increasing, fixed for life
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  /// Per-bucket exemplars: last (request id, value bits) recorded into the
+  /// bucket. Two separate relaxed atomics per bucket (see Record).
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_bits_;
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> sum_milli_{0};
   std::atomic<uint64_t> min_bits_;  // double bit pattern, CAS-updated
@@ -125,6 +148,13 @@ const std::vector<double>& LatencyBucketsUs();
 /// (training epochs, incremental updates).
 const std::vector<double>& LatencyBucketsMs();
 
+/// Log-spaced boundaries in microseconds: 10^(k/4) for k = 0..28, i.e.
+/// 1 µs .. 10 s with four buckets per decade (~78% ratio between adjacent
+/// bounds). Preferred for microsecond-scale serving stages where the 1-2-5
+/// series is too coarse to resolve p99 (a p99 answer is always a bucket
+/// upper bound, so resolution IS accuracy).
+const std::vector<double>& LogLatencyBucketsUs();
+
 /// Point-in-time copy of every registered metric, sorted by name.
 struct Snapshot {
   struct CounterValue {
@@ -138,16 +168,31 @@ struct Snapshot {
     bool operator==(const GaugeValue&) const = default;
   };
   struct HistogramValue {
+    /// A concrete sample representing one bucket: the request id recorded
+    /// with `Histogram::Record(value, id)` that last landed there.
+    struct Exemplar {
+      size_t bucket = 0;
+      uint64_t id = 0;
+      double value = 0.0;
+    };
+
     std::string name;
     std::vector<double> bounds;
     std::vector<uint64_t> buckets;
+    std::vector<Exemplar> exemplars;  ///< only buckets with an exemplar
     uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
     /// Upper bucket boundary at which the cumulative count crosses `q`.
     double Quantile(double q) const;
-    bool operator==(const HistogramValue&) const = default;
+    /// Exemplars are deliberately excluded: which request last hit a bucket
+    /// depends on thread interleaving, and snapshot equality is the
+    /// determinism contract (see tests/integration/determinism_test.cc).
+    bool operator==(const HistogramValue& o) const {
+      return name == o.name && bounds == o.bounds && buckets == o.buckets &&
+             count == o.count && sum == o.sum && min == o.min && max == o.max;
+    }
   };
 
   std::vector<CounterValue> counters;
@@ -159,10 +204,16 @@ struct Snapshot {
   const HistogramValue* FindHistogram(std::string_view name) const;
   const GaugeValue* FindGauge(std::string_view name) const;
 
-  /// {"schema_version": 1, "counters": {...}, "gauges": {...},
+  /// {"schema_version": 2, "counters": {...}, "gauges": {...},
   ///  "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
-  ///                        bounds, buckets}}}
-  std::string ToJson(bool pretty = true) const;
+  ///                        bounds, buckets[, exemplars]}}}
+  /// `extra`, when set, is invoked with the writer positioned inside the
+  /// root object so callers can append fields (e.g. an SLO "health" block)
+  /// without re-parsing the document. Exemplars are emitted only for
+  /// histograms that have at least one (deterministic workloads without
+  /// exemplars produce byte-identical JSON across thread counts).
+  std::string ToJson(bool pretty = true,
+                     const std::function<void(JsonWriter&)>& extra = {}) const;
 
   /// Fixed-width text table for terminal output.
   std::string ToTable() const;

@@ -1,0 +1,231 @@
+#include "obs/slo_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace magneto::obs {
+
+/// One epoch's worth of observations. All members are relaxed atomics: an
+/// observer that races with `AdvanceEpoch` may land its sample in an epoch
+/// that was just zeroed (counted once, slightly late) — acceptable for a
+/// monitor, and the reason the observe path needs no lock.
+struct SloMonitor::Epoch {
+  explicit Epoch(size_t num_buckets)
+      : buckets(new std::atomic<uint64_t>[num_buckets]),
+        num_buckets(num_buckets) {
+    Zero();
+  }
+
+  void Zero() {
+    for (size_t i = 0; i < num_buckets; ++i) {
+      buckets[i].store(0, std::memory_order_relaxed);
+    }
+    requests.store(0, std::memory_order_relaxed);
+    shed.store(0, std::memory_order_relaxed);
+    errors.store(0, std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+  const size_t num_buckets;
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "OK";
+    case HealthState::kDegraded:
+      return "DEGRADED";
+    case HealthState::kCritical:
+      return "CRITICAL";
+  }
+  return "UNKNOWN";
+}
+
+SloMonitor::SloMonitor(SloTargets targets)
+    : targets_([&] {
+        SloTargets t = targets;
+        if (t.window_epochs == 0) t.window_epochs = 1;
+        return t;
+      }()),
+      bounds_(LogLatencyBucketsUs()) {
+  epochs_.reserve(targets_.window_epochs);
+  for (size_t i = 0; i < targets_.window_epochs; ++i) {
+    epochs_.push_back(std::make_unique<Epoch>(bounds_.size() + 1));
+  }
+}
+
+SloMonitor::~SloMonitor() { StopExporter(); }
+
+SloMonitor::Epoch& SloMonitor::CurrentEpoch() {
+  return *epochs_[current_.load(std::memory_order_relaxed) % epochs_.size()];
+}
+
+void SloMonitor::ObserveLatency(double us) {
+  Epoch& epoch = CurrentEpoch();
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), us) - bounds_.begin());
+  epoch.buckets[i].fetch_add(1, std::memory_order_relaxed);
+  epoch.requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::ObserveShed() {
+  CurrentEpoch().shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::ObserveError() {
+  CurrentEpoch().errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  const size_t next =
+      (current_.load(std::memory_order_relaxed) + 1) % epochs_.size();
+  epochs_[next]->Zero();
+  current_.store(next, std::memory_order_relaxed);
+}
+
+HealthReport SloMonitor::Evaluate() const {
+  HealthReport report;
+  std::vector<uint64_t> buckets(bounds_.size() + 1, 0);
+  for (const std::unique_ptr<Epoch>& epoch : epochs_) {
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += epoch->buckets[i].load(std::memory_order_relaxed);
+    }
+    report.requests += epoch->requests.load(std::memory_order_relaxed);
+    report.shed += epoch->shed.load(std::memory_order_relaxed);
+    report.errors += epoch->errors.load(std::memory_order_relaxed);
+  }
+
+  if (report.requests > 0) {
+    const uint64_t target = static_cast<uint64_t>(
+        std::ceil(0.99 * static_cast<double>(report.requests)));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      if (cumulative >= target) {
+        report.p99_latency_us =
+            i < bounds_.size() ? bounds_[i] : bounds_.back();
+        break;
+      }
+    }
+  }
+
+  const uint64_t arrivals = report.requests + report.shed;
+  if (arrivals > 0) {
+    report.shed_rate =
+        static_cast<double>(report.shed) / static_cast<double>(arrivals);
+    report.error_rate =
+        static_cast<double>(report.errors) / static_cast<double>(arrivals);
+  }
+  report.error_budget_burn =
+      targets_.error_budget > 0.0 ? report.error_rate / targets_.error_budget
+                                  : (report.error_rate > 0.0 ? 4.0 : 0.0);
+
+  report.state = HealthState::kOk;
+  if (report.p99_latency_us > targets_.p99_latency_us ||
+      report.shed_rate > targets_.max_shed_rate ||
+      report.error_budget_burn > 1.0) {
+    report.state = HealthState::kDegraded;
+  }
+  if (report.p99_latency_us > 2.0 * targets_.p99_latency_us ||
+      report.shed_rate > 4.0 * targets_.max_shed_rate ||
+      report.error_budget_burn > 4.0) {
+    report.state = HealthState::kCritical;
+  }
+
+  static Gauge* const health_gauge =
+      Registry::Global().GetGauge("slo.health_state");
+  health_gauge->Set(static_cast<double>(static_cast<int>(report.state)));
+  return report;
+}
+
+void SloMonitor::StartExporter(double period_seconds) {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  if (exporter_.joinable()) return;
+  exporter_stop_ = false;
+  const auto period = std::chrono::duration<double>(
+      period_seconds > 0.0 ? period_seconds : 0.01);
+  exporter_ = std::thread([this, period] {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(exporter_mu_);
+    while (!exporter_stop_) {
+      if (exporter_cv_.wait_for(lock, period,
+                                [this] { return exporter_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      AdvanceEpoch();
+      TimelinePoint point;
+      point.t_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      point.report = Evaluate();
+      lock.lock();
+      timeline_.push_back(point);
+    }
+  });
+}
+
+void SloMonitor::StopExporter() {
+  {
+    std::lock_guard<std::mutex> lock(exporter_mu_);
+    if (!exporter_.joinable()) return;
+    exporter_stop_ = true;
+  }
+  exporter_cv_.notify_all();
+  exporter_.join();
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  exporter_ = std::thread();
+}
+
+std::vector<SloMonitor::TimelinePoint> SloMonitor::Timeline() const {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  return timeline_;
+}
+
+void SloMonitor::ReportToJson(const HealthReport& report, JsonWriter& json) {
+  json.Field("state", HealthStateName(report.state));
+  json.Field("p99_latency_us", report.p99_latency_us);
+  json.Field("shed_rate", report.shed_rate);
+  json.Field("error_rate", report.error_rate);
+  json.Field("error_budget_burn", report.error_budget_burn);
+  json.Field("requests", report.requests);
+  json.Field("shed", report.shed);
+  json.Field("errors", report.errors);
+}
+
+void SloMonitor::AppendHealthJson(JsonWriter& json) const {
+  const HealthReport report = Evaluate();
+  json.BeginObject();
+  ReportToJson(report, json);
+  json.Key("targets").BeginObject();
+  json.Field("p99_latency_us", targets_.p99_latency_us);
+  json.Field("max_shed_rate", targets_.max_shed_rate);
+  json.Field("error_budget", targets_.error_budget);
+  json.Field("window_epochs", static_cast<uint64_t>(targets_.window_epochs));
+  json.EndObject();
+  json.Key("timeline").BeginArray();
+  for (const TimelinePoint& point : Timeline()) {
+    json.BeginObject();
+    json.Field("t_seconds", point.t_seconds);
+    ReportToJson(point.report, json);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string SloMonitor::HealthJson(bool pretty) const {
+  JsonWriter json(pretty);
+  AppendHealthJson(json);
+  return json.str();
+}
+
+}  // namespace magneto::obs

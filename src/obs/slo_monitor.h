@@ -1,0 +1,126 @@
+#ifndef MAGNETO_OBS_SLO_MONITOR_H_
+#define MAGNETO_OBS_SLO_MONITOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace magneto::obs {
+
+class JsonWriter;
+
+/// Rolling-window SLO evaluation for the serving path.
+///
+/// The monitor keeps a ring of fixed-length epochs; observations land in the
+/// current epoch (relaxed atomics, no locks on the observe path) and
+/// `AdvanceEpoch` rotates the ring, so `Evaluate` always aggregates the last
+/// `window_epochs` epochs — a rolling window that forgets old load instead
+/// of averaging over the whole run. A background exporter (`StartExporter`)
+/// rotates epochs on a timer and appends one `TimelinePoint` per tick, which
+/// is how BENCH_fleet.metrics.json gets a health time-series instead of only
+/// end-of-run totals.
+///
+/// Health states and thresholds (vs `SloTargets`):
+///   * OK        — everything within target.
+///   * DEGRADED  — rolling p99 > p99_latency_us, shed rate > max_shed_rate,
+///                 or error-budget burn > 1.
+///   * CRITICAL  — p99 > 2x target, shed rate > 4x target, or burn > 4.
+/// An empty window is OK (no evidence of trouble). Every `Evaluate` also
+/// publishes the state to the `slo.health_state` gauge (0/1/2).
+
+struct SloTargets {
+  double p99_latency_us = 50'000.0;  ///< end-to-end request latency target
+  double max_shed_rate = 0.01;       ///< tolerated shed fraction of arrivals
+  double error_budget = 0.001;       ///< tolerated error fraction of arrivals
+  size_t window_epochs = 8;          ///< rolling window length (>= 1)
+};
+
+enum class HealthState : int { kOk = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStateName(HealthState state);
+
+struct HealthReport {
+  HealthState state = HealthState::kOk;
+  double p99_latency_us = 0.0;
+  double shed_rate = 0.0;
+  double error_rate = 0.0;
+  /// error_rate / error_budget: > 1 means the budget is being burned faster
+  /// than allowed.
+  double error_budget_burn = 0.0;
+  uint64_t requests = 0;  ///< served (latency-observed) requests in window
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloTargets targets = {});
+  ~SloMonitor();
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// One served request with end-to-end latency `us`. Lock-free.
+  void ObserveLatency(double us);
+  /// One request rejected at admission. Lock-free.
+  void ObserveShed();
+  /// One request that failed in the serve path. Lock-free.
+  void ObserveError();
+
+  /// Rotates the ring: the oldest epoch is zeroed and becomes current.
+  /// Called by the exporter thread; exposed for tests driving time by hand.
+  void AdvanceEpoch();
+
+  /// Aggregates the window, publishes `slo.health_state`, returns the
+  /// report. p99 is a log-bucket upper bound (LogLatencyBucketsUs).
+  HealthReport Evaluate() const;
+
+  /// Starts a background thread that every `period_seconds` advances the
+  /// epoch, evaluates, and appends a timeline point. No-op if running.
+  void StartExporter(double period_seconds);
+  /// Stops and joins the exporter (idempotent; also runs on destruction).
+  void StopExporter();
+
+  struct TimelinePoint {
+    double t_seconds = 0.0;  ///< since StartExporter
+    HealthReport report;
+  };
+  std::vector<TimelinePoint> Timeline() const;
+
+  const SloTargets& targets() const { return targets_; }
+
+  /// Appends a complete JSON object value — state, window aggregates,
+  /// targets, and the exporter timeline. Call with the writer expecting a
+  /// value (e.g. after `json.Key("health")`).
+  void AppendHealthJson(JsonWriter& json) const;
+  /// The same object as a standalone document.
+  std::string HealthJson(bool pretty = true) const;
+
+ private:
+  struct Epoch;
+
+  Epoch& CurrentEpoch();
+  static void ReportToJson(const HealthReport& report, JsonWriter& json);
+
+  const SloTargets targets_;
+  const std::vector<double>& bounds_;  ///< LogLatencyBucketsUs
+  std::vector<std::unique_ptr<Epoch>> epochs_;
+  std::atomic<size_t> current_{0};
+  std::mutex advance_mu_;  // serializes AdvanceEpoch
+
+  mutable std::mutex exporter_mu_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
+  std::thread exporter_;
+  std::vector<TimelinePoint> timeline_;
+};
+
+}  // namespace magneto::obs
+
+#endif  // MAGNETO_OBS_SLO_MONITOR_H_

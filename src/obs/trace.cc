@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 
 namespace magneto::obs {
 
@@ -40,7 +41,11 @@ std::atomic<uint32_t> g_next_thread_id{0};
 /// exports as a matched B/E pair.
 struct Ring {
   explicit Ring(size_t capacity, uint32_t thread_id)
-      : capacity(capacity), thread(thread_id) {
+      : capacity(capacity),
+        thread(thread_id),
+        // Resolved once per ring, not per push: the registry lookup (mutex +
+        // map) must stay off the per-event path.
+        dropped(Registry::Global().GetCounter("obs.trace.dropped")) {
     events.reserve(capacity);
   }
 
@@ -49,8 +54,13 @@ struct Ring {
     if (events.size() < capacity) {
       events.push_back(event);
     } else {
+      // Overwriting the oldest event is silent data loss for the exporter,
+      // so it is surfaced in the metrics snapshot (`obs.trace.dropped`).
+      dropped->Increment();
       events[head] = event;
-      head = (head + 1) % capacity;
+      // Branch, not `% capacity`: the capacity is not a compile-time
+      // constant, and an integer divide would dominate the push.
+      if (++head == capacity) head = 0;
     }
   }
 
@@ -76,6 +86,7 @@ struct Ring {
   size_t head = 0;  // oldest element once the ring is full
   const size_t capacity;
   const uint32_t thread;
+  Counter* const dropped;
 };
 
 /// Keeps every thread's ring alive past thread exit so late exports still
@@ -92,14 +103,16 @@ RingDirectory& Directory() {
 }
 
 Ring& ThreadRing() {
-  thread_local std::shared_ptr<Ring> ring = [] {
+  // The shared_ptr keeps the ring alive in the directory past thread exit;
+  // the raw pointer is what the hot path dereferences.
+  thread_local Ring* ring = [] {
     auto r = std::make_shared<Ring>(
         g_ring_capacity.load(std::memory_order_relaxed),
         g_next_thread_id.fetch_add(1, std::memory_order_relaxed));
     RingDirectory& directory = Directory();
     std::lock_guard<std::mutex> lock(directory.mu);
     directory.rings.push_back(r);
-    return r;
+    return r.get();
   }();
   return *ring;
 }
@@ -124,6 +137,13 @@ TraceSpan::TraceSpan(const char* name)
   begin_ns_ = NowNs();
 }
 
+TraceSpan::TraceSpan(const char* name, uint64_t begin_ns)
+    : name_(TraceEnabled() ? name : nullptr) {
+  if (name_ == nullptr) return;
+  depth_ = t_depth++;
+  begin_ns_ = begin_ns;
+}
+
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
   uint64_t end_ns = NowNs();
@@ -133,6 +153,49 @@ TraceSpan::~TraceSpan() {
   --t_depth;
   Ring& ring = ThreadRing();
   ring.Push({name_, begin_ns_, end_ns, ring.thread, depth_});
+}
+
+namespace {
+
+void PushFlowMarkerAt(const char* name, uint64_t id, TracePhase phase,
+                      uint64_t ts_ns) {
+  if (!TraceEnabled()) return;
+  Ring& ring = ThreadRing();
+  TraceEvent event{name, ts_ns, ts_ns, ring.thread, t_depth};
+  event.phase = phase;
+  event.flow_id = id;
+  ring.Push(event);
+}
+
+void PushFlowMarker(const char* name, uint64_t id, TracePhase phase) {
+  if (!TraceEnabled()) return;
+  PushFlowMarkerAt(name, id, phase, NowNs());
+}
+
+}  // namespace
+
+void TraceFlowBegin(const char* name, uint64_t id) {
+  PushFlowMarker(name, id, TracePhase::kFlowBegin);
+}
+
+void TraceFlowStep(const char* name, uint64_t id) {
+  PushFlowMarker(name, id, TracePhase::kFlowStep);
+}
+
+void TraceFlowEnd(const char* name, uint64_t id) {
+  PushFlowMarker(name, id, TracePhase::kFlowEnd);
+}
+
+void TraceFlowBeginAt(const char* name, uint64_t id, uint64_t ts_ns) {
+  PushFlowMarkerAt(name, id, TracePhase::kFlowBegin, ts_ns);
+}
+
+void TraceFlowStepAt(const char* name, uint64_t id, uint64_t ts_ns) {
+  PushFlowMarkerAt(name, id, TracePhase::kFlowStep, ts_ns);
+}
+
+void TraceFlowEndAt(const char* name, uint64_t id, uint64_t ts_ns) {
+  PushFlowMarkerAt(name, id, TracePhase::kFlowEnd, ts_ns);
 }
 
 void SetTraceRingCapacity(size_t spans) {
@@ -164,30 +227,38 @@ std::vector<TraceEvent> CollectTraceEvents() {
 }
 
 std::string TraceToJson() {
-  const std::vector<TraceEvent> spans = CollectTraceEvents();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
 
-  // Split every span into a B and an E marker, then order them the way the
-  // Chrome trace viewer requires: by timestamp; at equal timestamps closes
-  // precede opens (disjoint spans) and outer spans open before inner ones.
+  // Split every span into a B and an E marker (flow markers stay single
+  // events), then order them the way the Chrome trace viewer requires: by
+  // timestamp; at equal timestamps closes precede opens (disjoint spans),
+  // outer spans open before inner ones, and flow markers sort after opens so
+  // they land inside the slice that recorded them.
+  enum MarkerKind { kClose = 0, kOpen = 1, kFlow = 2 };
   struct Marker {
     uint64_t ts_ns;
-    bool is_begin;
-    const TraceEvent* span;
+    MarkerKind kind;
+    const TraceEvent* event;
   };
   std::vector<Marker> markers;
-  markers.reserve(spans.size() * 2);
+  markers.reserve(events.size() * 2);
   uint64_t epoch_ns = UINT64_MAX;
-  for (const TraceEvent& span : spans) {
-    markers.push_back({span.begin_ns, true, &span});
-    markers.push_back({span.end_ns, false, &span});
-    epoch_ns = std::min(epoch_ns, span.begin_ns);
+  for (const TraceEvent& event : events) {
+    if (event.phase == TracePhase::kSpan) {
+      markers.push_back({event.begin_ns, kOpen, &event});
+      markers.push_back({event.end_ns, kClose, &event});
+    } else {
+      markers.push_back({event.begin_ns, kFlow, &event});
+    }
+    epoch_ns = std::min(epoch_ns, event.begin_ns);
   }
   std::sort(markers.begin(), markers.end(),
             [](const Marker& a, const Marker& b) {
               if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
-              if (a.is_begin != b.is_begin) return !a.is_begin;  // E first
-              return a.is_begin ? a.span->depth < b.span->depth
-                                : a.span->depth > b.span->depth;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.kind == kFlow) return a.event->flow_id < b.event->flow_id;
+              return a.kind == kOpen ? a.event->depth < b.event->depth
+                                     : a.event->depth > b.event->depth;
             });
 
   JsonWriter json(/*pretty=*/false);
@@ -196,13 +267,26 @@ std::string TraceToJson() {
   json.Key("traceEvents").BeginArray();
   for (const Marker& marker : markers) {
     json.BeginObject();
-    json.Field("name", marker.span->name);
+    json.Field("name", marker.event->name);
     json.Field("cat", "magneto");
-    json.Field("ph", marker.is_begin ? "B" : "E");
+    if (marker.kind == kFlow) {
+      const TracePhase phase = marker.event->phase;
+      json.Field("ph", phase == TracePhase::kFlowBegin  ? "s"
+                       : phase == TracePhase::kFlowStep ? "t"
+                                                        : "f");
+    } else {
+      json.Field("ph", marker.kind == kOpen ? "B" : "E");
+    }
     json.Field("ts",
                static_cast<double>(marker.ts_ns - epoch_ns) / 1000.0);
     json.Field("pid", 1);
-    json.Field("tid", marker.span->thread);
+    json.Field("tid", marker.event->thread);
+    if (marker.kind == kFlow) {
+      json.Field("id", marker.event->flow_id);
+      // "bp":"e" binds the finish to the *enclosing* slice instead of the
+      // next one, matching where TraceFlowEnd was actually called.
+      if (marker.event->phase == TracePhase::kFlowEnd) json.Field("bp", "e");
+    }
     json.EndObject();
   }
   json.EndArray();

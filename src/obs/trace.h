@@ -23,13 +23,27 @@ namespace magneto::obs {
 /// Span names must be string literals (or otherwise outlive the trace) —
 /// the ring stores the pointer, not a copy.
 
-/// One completed span. Timestamps are steady-clock nanoseconds.
+/// What a recorded event is. Spans export as matched "B"/"E" duration
+/// pairs; flow markers export as single "s"/"t"/"f" events that the trace
+/// viewer draws as arrows between the duration slices enclosing them, which
+/// is what links one request's life across threads.
+enum class TracePhase : uint8_t {
+  kSpan = 0,
+  kFlowBegin,  ///< ph "s"
+  kFlowStep,   ///< ph "t"
+  kFlowEnd,    ///< ph "f" (with "bp":"e": binds to the enclosing slice)
+};
+
+/// One completed span or flow marker. Timestamps are steady-clock
+/// nanoseconds; flow markers use `begin_ns` only.
 struct TraceEvent {
   const char* name;
   uint64_t begin_ns;
   uint64_t end_ns;
   uint32_t thread;  ///< stable small id, assigned per thread on first span
   uint16_t depth;   ///< nesting depth at the span's open
+  TracePhase phase = TracePhase::kSpan;
+  uint64_t flow_id = 0;  ///< links s/t/f markers of one flow; 0 for spans
 };
 
 /// True when spans are being recorded. First call latches the
@@ -43,6 +57,10 @@ void SetTraceEnabled(bool enabled);
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
+  /// Opens the span at a caller-supplied steady-clock timestamp instead of
+  /// reading the clock (hot paths reuse a stamp they already took). Same
+  /// monotonicity caveat as the flow `At` variants.
+  TraceSpan(const char* name, uint64_t begin_ns);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -53,6 +71,29 @@ class TraceSpan {
   uint64_t begin_ns_ = 0;
   uint16_t depth_ = 0;
 };
+
+/// Flow markers: causally link the duration slices a request passes through
+/// on different threads. Emit `TraceFlowBegin` inside the slice where the
+/// request is born (same `name` + `id` for the whole flow), `TraceFlowStep`
+/// inside each intermediate hop, and `TraceFlowEnd` inside the slice that
+/// retires it. Each call records one instant marker on the current thread
+/// (no-op when tracing is off); the exporter turns them into Chrome
+/// `ph:"s"/"t"/"f"` events that bind to the enclosing slice, so Perfetto
+/// draws one arrow chain per id. `name` must be a string literal.
+void TraceFlowBegin(const char* name, uint64_t id);
+void TraceFlowStep(const char* name, uint64_t id);
+void TraceFlowEnd(const char* name, uint64_t id);
+
+/// `At` variants stamp the marker at a caller-supplied steady-clock
+/// nanosecond timestamp instead of reading the clock again. The serving path
+/// uses these to reuse the stage timestamps it already takes for the latency
+/// histograms — per-marker cost drops to a ring write. The timestamp must be
+/// from `RequestContext::NowNs`'s clock and not precede earlier events
+/// recorded by the same thread, or the exported trace loses per-track
+/// timestamp monotonicity.
+void TraceFlowBeginAt(const char* name, uint64_t id, uint64_t ts_ns);
+void TraceFlowStepAt(const char* name, uint64_t id, uint64_t ts_ns);
+void TraceFlowEndAt(const char* name, uint64_t id, uint64_t ts_ns);
 
 /// Spans each thread's ring can hold before the oldest are overwritten.
 /// Applies to rings created after the call (a thread's ring is created on

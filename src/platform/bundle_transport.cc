@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/serial.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 
 namespace magneto::platform {
 
@@ -104,9 +106,17 @@ double BundleTransport::BackoffSeconds(size_t attempt) {
   return wait * (1.0 + jitter_rng_.Uniform(0.0, options_.jitter_fraction));
 }
 
+/// Flow-event name linking one delivery's provision -> chunk/retry -> commit
+/// chain. The id comes from the same monotonic space as serving requests,
+/// so a delivery and a window can never alias in the same trace.
+constexpr const char* kDeliveryFlow = "net.delivery";
+
 Result<std::string> BundleTransport::Deliver(Direction direction,
                                              PayloadKind kind,
                                              const std::string& payload) {
+  obs::TraceSpan span("BundleTransport::Deliver");
+  const uint64_t flow_id = obs::NextRequestId();
+  obs::TraceFlowBegin(kDeliveryFlow, flow_id);
   report_ = TransportReport{};
   report_.payload_bytes = payload.size();
   const uint32_t total_chunks = static_cast<uint32_t>(
@@ -118,6 +128,8 @@ Result<std::string> BundleTransport::Deliver(Direction direction,
   // Resume-from-last-good-chunk is structural: `received` only ever grows by
   // validated chunks, and a failed attempt re-sends the current chunk only.
   for (uint32_t index = 0; index < total_chunks; ++index) {
+    obs::TraceSpan chunk_span("BundleTransport::Chunk");
+    obs::TraceFlowStep(kDeliveryFlow, flow_id);
     const size_t begin = static_cast<size_t>(index) * options_.chunk_bytes;
     const std::string chunk = payload.substr(
         begin, std::min(options_.chunk_bytes, payload.size() - begin));
@@ -159,6 +171,9 @@ Result<std::string> BundleTransport::Deliver(Direction direction,
     }
     if (!chunk_delivered) {
       Metrics().failures->Increment();
+      // The flow ends on failure too: a dangling `s` with no `f` would make
+      // the exported trace fail validation (tools/validate_trace.py).
+      obs::TraceFlowEnd(kDeliveryFlow, flow_id);
       return Status::ResourceExhausted(
           "bundle delivery failed: chunk " + std::to_string(index) + "/" +
           std::to_string(total_chunks) + " exceeded " +
@@ -172,12 +187,14 @@ Result<std::string> BundleTransport::Deliver(Direction direction,
       Crc32(received.data(), received.size()) !=
           Crc32(payload.data(), payload.size())) {
     Metrics().failures->Increment();
+    obs::TraceFlowEnd(kDeliveryFlow, flow_id);
     return Status::Corruption("reassembled bundle does not match source");
   }
   report_.chunks = total_chunks;
   report_.delivered = true;
   Metrics().deliveries->Increment();
   Metrics().delivery_ms->Record(report_.seconds * 1e3);
+  obs::TraceFlowEnd(kDeliveryFlow, flow_id);
   return received;
 }
 

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo_monitor.h"
 #include "obs/trace.h"
 
 namespace magneto::platform {
@@ -33,14 +35,40 @@ struct FleetMetrics {
       "fleet.batch_size", {1, 2, 4, 8, 16, 32, 64});
   obs::Histogram* classify_us = obs::Registry::Global().GetHistogram(
       "fleet.classify_us", obs::LatencyBucketsUs());
+  // Queue wait and the per-stage attribution histograms live on the
+  // log-spaced preset: serving stages are microseconds-scale and a p99 is
+  // only as accurate as its bucket. Tail buckets carry request-id exemplars.
   obs::Histogram* queue_wait_us = obs::Registry::Global().GetHistogram(
-      "fleet.queue_wait_us", obs::LatencyBucketsUs());
+      "fleet.queue_wait_us", obs::LogLatencyBucketsUs());
+  // Adjacent-stage intervals of one open-loop request; recorded together at
+  // publish, so all five histograms have identical counts and their means
+  // sum exactly to the end-to-end mean.
+  obs::Histogram* stage_queue_us = obs::Registry::Global().GetHistogram(
+      "fleet.stage.queue_us", obs::LogLatencyBucketsUs());
+  obs::Histogram* stage_batch_wait_us = obs::Registry::Global().GetHistogram(
+      "fleet.stage.batch_wait_us", obs::LogLatencyBucketsUs());
+  obs::Histogram* stage_embed_us = obs::Registry::Global().GetHistogram(
+      "fleet.stage.embed_us", obs::LogLatencyBucketsUs());
+  obs::Histogram* stage_classify_us = obs::Registry::Global().GetHistogram(
+      "fleet.stage.classify_us", obs::LogLatencyBucketsUs());
+  obs::Histogram* stage_publish_us = obs::Registry::Global().GetHistogram(
+      "fleet.stage.publish_us", obs::LogLatencyBucketsUs());
+  obs::Histogram* e2e_us = obs::Registry::Global().GetHistogram(
+      "fleet.e2e_us", obs::LogLatencyBucketsUs());
 };
 
 FleetMetrics& Metrics() {
   static FleetMetrics* metrics = new FleetMetrics;
   return *metrics;
 }
+
+obs::FlightRecorder& Recorder(const FleetOptions& options) {
+  return options.flight_recorder != nullptr ? *options.flight_recorder
+                                            : obs::FlightRecorder::Global();
+}
+
+/// Flow-event name shared by every s/t/f marker of one request's life.
+constexpr const char* kRequestFlow = "fleet.request";
 
 core::NamedPrediction Nameify(const sensors::ActivityRegistry& registry,
                               const core::Prediction& prediction) {
@@ -281,13 +309,30 @@ void EdgeFleet::ServeBatch(const std::vector<PendingRequest*>& batch) {
     std::memcpy(stacked.RowPtr(r), valid[r]->features->data(),
                 dim * sizeof(float));
   }
-  obs::TraceSpan span("EdgeFleet::ServeBatch");
+  // The flow chain hops onto the combiner thread here: this batch may be
+  // served by a different worker (or a closed-loop caller) than the one
+  // that popped the requests off the admission queue. The embed-start stamp
+  // doubles as the span begin and the step timestamps.
+  const uint64_t embed_start_ns = obs::RequestContext::NowNs();
+  obs::TraceSpan span("EdgeFleet::ServeBatch", embed_start_ns);
+  for (PendingRequest* req : valid) {
+    if (req->ctx == nullptr) continue;
+    obs::TraceFlowStepAt(kRequestFlow, req->ctx->id, embed_start_ns);
+    req->ctx->StampAt(obs::RequestStage::kEmbedStart, embed_start_ns);
+    req->batch_size = static_cast<uint32_t>(valid.size());
+  }
   // One workspace per serving thread: the backbone is immutable and its
   // Forward is const, so concurrent leaders (same deployment or old pinned
   // + newly promoted) embed in parallel with zero shared mutable state. The
   // workspace reaches its high-water shape once and is reused thereafter.
   static thread_local nn::ForwardWorkspace ws;
   const Matrix& embeddings = dep.backbone.Forward(stacked, &ws);
+  const uint64_t embed_end_ns = obs::RequestContext::NowNs();
+  for (PendingRequest* req : valid) {
+    if (req->ctx != nullptr) {
+      req->ctx->StampAt(obs::RequestStage::kEmbedEnd, embed_end_ns);
+    }
+  }
   for (size_t r = 0; r < valid.size(); ++r) {
     Result<core::Prediction> pred =
         options_.rejection_threshold > 0.0
@@ -300,6 +345,9 @@ void EdgeFleet::ServeBatch(const std::vector<PendingRequest*>& batch) {
       valid[r]->prediction = pred.value();
     } else {
       valid[r]->status = pred.status();
+    }
+    if (valid[r]->ctx != nullptr) {
+      valid[r]->ctx->Stamp(obs::RequestStage::kClassifyEnd);
     }
   }
 }
@@ -370,7 +418,15 @@ bool EdgeFleet::SubmitWindow(size_t session, std::vector<float> features) {
   Submission sub;
   sub.session = session;
   sub.features = std::move(features);
-  sub.admitted = std::chrono::steady_clock::now();
+  sub.ctx.id = obs::NextRequestId();
+  sub.ctx.session = static_cast<uint32_t>(session);
+  sub.ctx.Stamp(obs::RequestStage::kAdmit);
+  const uint64_t request_id = sub.ctx.id;
+  // The admit stamp doubles as the span begin and the flow-begin timestamp:
+  // tracing adds no clock reads on this path beyond the stamps the latency
+  // histograms need anyway.
+  const uint64_t admit_ns = sub.ctx.At(obs::RequestStage::kAdmit);
+  obs::TraceSpan span("EdgeFleet::SubmitWindow", admit_ns);
   bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
@@ -392,9 +448,16 @@ bool EdgeFleet::SubmitWindow(size_t session, std::vector<float> features) {
     }
   }
   if (admitted) {
+    // The flow starts only for requests that actually enter the system; a
+    // shed window leaves a flight record instead of a dangling flow `s`.
+    obs::TraceFlowBeginAt(kRequestFlow, request_id, admit_ns);
+    Recorder(options_).NoteAdmit();
     admit_cv_.notify_one();
   } else {
     Metrics().rejected->Increment();
+    Recorder(options_).RecordShed(request_id,
+                                  static_cast<uint32_t>(session));
+    if (options_.slo_monitor != nullptr) options_.slo_monitor->ObserveShed();
   }
   return admitted;
 }
@@ -426,11 +489,13 @@ void EdgeFleet::WorkerLoop() {
       serving_now_ += chunk.size();
       Metrics().queue_depth->Set(static_cast<double>(admit_queue_.size()));
     }
-    const auto now = std::chrono::steady_clock::now();
-    for (const Submission& sub : chunk) {
+    const uint64_t dequeue_ns = obs::RequestContext::NowNs();
+    for (Submission& sub : chunk) {
+      sub.ctx.StampAt(obs::RequestStage::kDequeue, dequeue_ns);
       Metrics().queue_wait_us->Record(
-          std::chrono::duration<double, std::micro>(now - sub.admitted)
-              .count());
+          sub.ctx.StageUs(obs::RequestStage::kAdmit,
+                          obs::RequestStage::kDequeue),
+          sub.ctx.id);
     }
     const size_t served = chunk.size();
     ServeChunk(std::move(chunk));
@@ -443,6 +508,12 @@ void EdgeFleet::WorkerLoop() {
 }
 
 void EdgeFleet::ServeChunk(std::vector<Submission> chunk) {
+  // The span opens at the chunk's shared dequeue stamp so the per-request
+  // flow steps (also stamped at dequeue) land inside the slice.
+  const uint64_t dequeue_ns =
+      chunk.empty() ? obs::RequestContext::NowNs()
+                    : chunk.front().ctx.At(obs::RequestStage::kDequeue);
+  obs::TraceSpan span("EdgeFleet::ServeChunk", dequeue_ns);
   // One deployment pinned for the whole chunk: all its requests share it,
   // so the combiner's same-deployment FIFO prefix rule stacks them into a
   // single batched forward (possibly merged with other callers' requests).
@@ -454,6 +525,11 @@ void EdgeFleet::ServeChunk(std::vector<Submission> chunk) {
     Metrics().requests->Increment();
     requests[i].features = &chunk[i].features;
     requests[i].deployment = dep;
+    requests[i].ctx = &chunk[i].ctx;
+    // No flow step here: the dequeue hop is already visible as this
+    // ServeChunk slice (opened at the dequeue stamp) on the worker's track,
+    // and the same worker emits the flow finish at publish. One marker per
+    // thread role keeps the per-request trace cost inside the 2% budget.
     pointers.push_back(&requests[i]);
   }
   {
@@ -466,13 +542,66 @@ void EdgeFleet::ServeChunk(std::vector<Submission> chunk) {
   // feeding them here would corrupt their temporal semantics.
   for (size_t i = 0; i < chunk.size(); ++i) {
     Session& s = *sessions_[chunk[i].session];
-    std::lock_guard<std::mutex> lock(s.mu);
-    ++s.stats.windows;
-    Metrics().windows->Increment();
-    if (!requests[i].status.ok()) continue;
-    ++s.stats.predictions;
-    Metrics().predictions->Increment();
-    s.last = Nameify(dep->registry, requests[i].prediction);
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      ++s.stats.windows;
+      Metrics().windows->Increment();
+      if (requests[i].status.ok()) {
+        ++s.stats.predictions;
+        Metrics().predictions->Increment();
+        s.last = Nameify(dep->registry, requests[i].prediction);
+      }
+    }
+    PublishObservability(chunk[i].ctx, requests[i], dep->version);
+  }
+}
+
+// Stamps publish, records the five adjacent stage intervals (with the
+// request id as the bucket exemplar), closes the trace flow, leaves a
+// flight record, and feeds the SLO monitor. Runs outside the session mutex.
+void EdgeFleet::PublishObservability(obs::RequestContext& ctx,
+                                     const PendingRequest& request,
+                                     uint64_t deployment_version) {
+  using obs::RequestStage;
+  ctx.Stamp(RequestStage::kPublish);
+  const bool ok = request.status.ok();
+  if (ok) {
+    FleetMetrics& m = Metrics();
+    m.stage_queue_us->Record(
+        ctx.StageUs(RequestStage::kAdmit, RequestStage::kDequeue), ctx.id);
+    m.stage_batch_wait_us->Record(
+        ctx.StageUs(RequestStage::kDequeue, RequestStage::kEmbedStart),
+        ctx.id);
+    m.stage_embed_us->Record(
+        ctx.StageUs(RequestStage::kEmbedStart, RequestStage::kEmbedEnd),
+        ctx.id);
+    m.stage_classify_us->Record(
+        ctx.StageUs(RequestStage::kEmbedEnd, RequestStage::kClassifyEnd),
+        ctx.id);
+    m.stage_publish_us->Record(
+        ctx.StageUs(RequestStage::kClassifyEnd, RequestStage::kPublish),
+        ctx.id);
+    m.e2e_us->Record(ctx.EndToEndUs(), ctx.id);
+  }
+  obs::TraceFlowEndAt(kRequestFlow, ctx.id,
+                      ctx.At(RequestStage::kPublish));
+
+  obs::FlightRecord record;
+  record.id = ctx.id;
+  record.session = ctx.session;
+  record.batch_size = request.batch_size;
+  record.deployment_version = deployment_version;
+  record.outcome = ok ? obs::FlightRecord::Outcome::kOk
+                      : obs::FlightRecord::Outcome::kError;
+  record.stage_ns = ctx.stage_ns;
+  Recorder(options_).Record(record);
+
+  if (options_.slo_monitor != nullptr) {
+    if (ok) {
+      options_.slo_monitor->ObserveLatency(ctx.EndToEndUs());
+    } else {
+      options_.slo_monitor->ObserveError();
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/request_context.h"
 #include "core/activity_journal.h"
 #include "core/async_updater.h"
 #include "core/drift_monitor.h"
@@ -25,6 +26,11 @@
 #include "core/support_set.h"
 #include "sensors/recording.h"
 #include "sensors/sensor_types.h"
+
+namespace magneto::obs {
+class FlightRecorder;
+class SloMonitor;
+}  // namespace magneto::obs
 
 namespace magneto::platform {
 
@@ -60,6 +66,13 @@ struct FleetOptions {
   bool enable_journal = false;
   /// Options for background incremental updates started via BeginLearn.
   core::IncrementalOptions update_options;
+  /// Flight recorder receiving one record per open-loop request (published,
+  /// shed, or errored). nullptr = the process-wide
+  /// `obs::FlightRecorder::Global()`; tests inject their own.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// Optional SLO monitor fed from the open-loop publish path
+  /// (latency / shed / error observations). nullptr = disabled.
+  obs::SloMonitor* slo_monitor = nullptr;
 };
 
 /// Per-session lifetime counters (mirror of core::RuntimeStats).
@@ -133,6 +146,19 @@ struct FleetSessionStats {
 /// but the smoother / drift monitor / journal are stream-ordered consumers
 /// and stay untouched. Metrics: `fleet.queue_depth` (gauge),
 /// `fleet.queue_wait_us` (histogram), `fleet.rejected` (counter).
+///
+/// ## Request-scoped observability (open-loop path)
+///
+/// Every admitted window carries an `obs::RequestContext`: a monotonic id
+/// plus per-stage steady-clock stamps (admit / dequeue / embed start+end /
+/// classify / publish). The id threads one request through three sinks —
+/// trace flow events (`fleet.request` s/t/f markers across the admission,
+/// worker, combiner, and publish threads), `fleet.stage.*` histograms whose
+/// bucket exemplars carry the id, and one `obs::FlightRecord` per request
+/// (including sheds, which also drive the recorder's shed-burst anomaly).
+/// Adjacent stages partition the end-to-end latency exactly, so the stage
+/// histograms' means sum to the e2e mean. See DESIGN.md "Request tracing,
+/// flight recorder & SLOs".
 ///
 /// Calls on *different* sessions may race freely. Calls on the *same*
 /// session are serialized by the session mutex; drive each session from one
@@ -235,13 +261,21 @@ class EdgeFleet {
     core::Prediction prediction;
     Status status = Status::Ok();
     bool done = false;  ///< guarded by batch_mu_
+    /// Request-scoped tracing context (open-loop path only; closed-loop
+    /// PushFrame requests carry none). Owned by the worker's chunk; the
+    /// serving leader stamps embed/classify stages through this pointer.
+    obs::RequestContext* ctx = nullptr;
+    /// Size of the micro-batch this request was embedded in (set by
+    /// ServeBatch; 0 = never reached a batch).
+    uint32_t batch_size = 0;
   };
 
-  /// One admitted open-loop window waiting for a worker.
+  /// One admitted open-loop window waiting for a worker. Timing lives in
+  /// `ctx` (the kAdmit stamp is the enqueue time).
   struct Submission {
     size_t session = 0;
     std::vector<float> features;
-    std::chrono::steady_clock::time_point admitted;
+    obs::RequestContext ctx;
   };
 
   struct Session {
@@ -284,6 +318,12 @@ class EdgeFleet {
   /// backlog turns directly into multi-window batches — and classifies them.
   void WorkerLoop();
   void ServeChunk(std::vector<Submission> chunk);
+
+  /// Retires one open-loop request against every observability sink (stage
+  /// histograms + exemplars, trace flow end, flight record, SLO monitor).
+  void PublishObservability(obs::RequestContext& ctx,
+                            const PendingRequest& request,
+                            uint64_t deployment_version);
 
   FleetOptions options_;
   std::vector<std::unique_ptr<Session>> sessions_;

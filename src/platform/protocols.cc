@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "platform/bundle_transport.h"
 #include "platform/energy.h"
 #include "sensors/sensor_types.h"
@@ -73,6 +74,7 @@ Result<ProtocolMetrics> CloudProtocol::Run(
 
 Result<ProtocolMetrics> EdgeProtocol::Run(
     const std::vector<sensors::LabeledRecording>& stream) {
+  obs::TraceSpan span("EdgeProtocol::Run");
   MAGNETO_ASSIGN_OR_RETURN(std::string bundle_bytes,
                            server_->ServeBundleBytes());
   ProtocolMetrics metrics;
@@ -80,7 +82,9 @@ Result<ProtocolMetrics> EdgeProtocol::Run(
   // Provisioning goes through the fault-tolerant chunked transport: on a
   // clean link it costs one latency hit plus serialization (like a single
   // transfer, modulo chunk-header bytes); on a lossy link it retries with
-  // backoff until the device holds a byte-identical bundle.
+  // backoff until the device holds a byte-identical bundle. The transport
+  // emits a `net.delivery` flow (begin -> chunk steps -> commit/fail), which
+  // this span encloses together with the device-side decode.
   BundleTransport transport(link_, TransportOptions{});
   MAGNETO_ASSIGN_OR_RETURN(
       std::string delivered,

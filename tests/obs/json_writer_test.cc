@@ -2,6 +2,7 @@
 // export, and the BENCH_*.json artifacts — its output must be exactly right.
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 
@@ -72,6 +73,51 @@ TEST(JsonWriterTest, EmptyContainers) {
   json.BeginObject().Key("o").BeginObject().EndObject().Key("a").BeginArray()
       .EndArray().EndObject();
   EXPECT_EQ(json.str(), "{\"o\":{},\"a\":[]}");
+}
+
+TEST(JsonWriterTest, DeeplyNestedContainersStayBalanced) {
+  JsonWriter json(/*pretty=*/false);
+  constexpr int kDepth = 64;
+  for (int i = 0; i < kDepth; ++i) json.BeginArray();
+  json.Value(1);
+  for (int i = 0; i < kDepth; ++i) json.EndArray();
+  EXPECT_TRUE(json.Complete());
+  const std::string out = json.str();
+  EXPECT_EQ(out, std::string(kDepth, '[') + "1" + std::string(kDepth, ']'));
+}
+
+TEST(JsonWriterTest, EveryControlByteEscapes) {
+  // RFC 8259: every byte below 0x20 must be escaped, whether via a short
+  // form (\n, \t, ...) or \u00XX. None may pass through raw.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string out;
+    JsonEscape(std::string(1, static_cast<char>(c)), &out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], '\\') << "control byte " << c << " not escaped";
+    for (char ch : out) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+    }
+  }
+}
+
+TEST(JsonWriterTest, IntegerExtremesRoundTripExactly) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginArray()
+      .Value(std::numeric_limits<int64_t>::min())
+      .Value(std::numeric_limits<int64_t>::max())
+      .Value(std::numeric_limits<uint64_t>::max())
+      .EndArray();
+  EXPECT_EQ(json.str(),
+            "[-9223372036854775808,9223372036854775807,"
+            "18446744073709551615]");
+}
+
+TEST(JsonWriterTest, PrettyModeNestsIndentation) {
+  JsonWriter json(/*pretty=*/true);
+  json.BeginObject().Key("outer").BeginObject().Field("inner", 1).EndObject()
+      .EndObject();
+  EXPECT_EQ(json.str(),
+            "{\n  \"outer\": {\n    \"inner\": 1\n  }\n}");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // under N-thread hammering, deterministic snapshots, and well-formed exports.
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -187,6 +189,107 @@ TEST(RegistryTest, ResetAllZeroesButKeepsHandles) {
   counter->Increment();
   EXPECT_EQ(counter->value(), 1u);
   EXPECT_EQ(Registry::Global().GetCounter(Name("reset")), counter);
+}
+
+TEST(MetricsTest, LogLatencyBucketsSpanMicrosecondToTenSeconds) {
+  const std::vector<double>& bounds = LogLatencyBucketsUs();
+  ASSERT_EQ(bounds.size(), 29u);  // 10^(k/4), k = 0..28
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_NEAR(bounds.back(), 1e7, 1.0);  // 10 s in microseconds
+  // Four buckets per decade: a constant ~10^(1/4) ratio between neighbours.
+  const double ratio = std::pow(10.0, 0.25);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(HistogramTest, ExemplarsNameAConcreteRequest) {
+  Histogram* h =
+      Registry::Global().GetHistogram(Name("exemplar"), {10.0, 100.0});
+  h->Record(5.0, /*exemplar_id=*/0);  // id 0 = no exemplar
+  h->Record(50.0, /*exemplar_id=*/77);
+  h->Record(60.0, /*exemplar_id=*/78);  // last writer wins per bucket
+  EXPECT_EQ(h->exemplar_id(0), 0u);
+  EXPECT_EQ(h->exemplar_id(1), 78u);
+  EXPECT_DOUBLE_EQ(h->exemplar_value(1), 60.0);
+
+  Snapshot snap = Registry::Global().TakeSnapshot();
+  const auto* hist = snap.FindHistogram(Name("exemplar"));
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->exemplars.size(), 1u);  // only buckets that have one
+  EXPECT_EQ(hist->exemplars[0].bucket, 1u);
+  EXPECT_EQ(hist->exemplars[0].id, 78u);
+  EXPECT_DOUBLE_EQ(hist->exemplars[0].value, 60.0);
+  const std::string json = snap.ToJson(/*pretty=*/false);
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("78"), std::string::npos);
+}
+
+TEST(HistogramTest, ExemplarsExcludedFromSnapshotEquality) {
+  // Which request last hit a bucket depends on thread interleaving, so
+  // exemplars must not break the snapshot determinism contract.
+  Histogram* h =
+      Registry::Global().GetHistogram(Name("exemplar_eq"), {10.0});
+  h->Record(5.0, 1);
+  Snapshot a = Registry::Global().TakeSnapshot();
+  // Re-record the same value with a different exemplar id: identical
+  // aggregates, different exemplar. Snapshots must still compare equal.
+  Registry::Global().ResetAll();
+  h->Record(5.0, 2);
+  Snapshot b = Registry::Global().TakeSnapshot();
+  const auto* ha = a.FindHistogram(Name("exemplar_eq"));
+  const auto* hb = b.FindHistogram(Name("exemplar_eq"));
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_TRUE(*ha == *hb);
+  EXPECT_NE(ha->exemplars[0].id, hb->exemplars[0].id);
+}
+
+TEST(SnapshotTest, ConsistentUnderConcurrentWriters) {
+  // Snapshots taken while 4 writers hammer the registry must stay internally
+  // sane (monotonic counters across snapshots, bucket sums bounded by the
+  // final count) and, once writers quiesce, deterministic: two consecutive
+  // snapshots byte-identical.
+  Counter* counter = Registry::Global().GetCounter(Name("live"));
+  Histogram* h = Registry::Global().GetHistogram(Name("live_h"), {10.0});
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Snapshot snap = Registry::Global().TakeSnapshot();
+      const auto* c = snap.FindCounter(Name("live"));
+      ASSERT_NE(c, nullptr);
+      EXPECT_GE(c->value, last);  // counters never run backwards
+      last = c->value;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        h->Record(static_cast<double>(i % 20));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  Snapshot final_a = Registry::Global().TakeSnapshot();
+  Snapshot final_b = Registry::Global().TakeSnapshot();
+  EXPECT_EQ(final_a.ToJson(), final_b.ToJson());
+  const auto* hist = final_a.FindHistogram(Name("live_h"));
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+  uint64_t total = 0;
+  for (uint64_t b : hist->buckets) total += b;
+  EXPECT_EQ(total, hist->count);
 }
 
 TEST(ScopedTimerTest, RecordsOneSampleInTheRequestedUnit) {

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace magneto::obs {
@@ -245,6 +246,88 @@ TEST_F(TraceTest, ClearTraceDropsEverything) {
   ASSERT_FALSE(CollectTraceEvents().empty());
   ClearTrace();
   EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TraceTest, FlowMarkersExportAsLinkedSTFEvents) {
+  // One request crossing three slices: the exporter must emit s/t/f sharing
+  // the flow id, with "bp":"e" on the finish so it binds to the enclosing
+  // slice (where TraceFlowEnd was actually called).
+  constexpr uint64_t kId = 42;
+  {
+    TraceSpan admit("admit");
+    TraceFlowBegin("request", kId);
+  }
+  {
+    TraceSpan embed("embed");
+    TraceFlowStep("request", kId);
+  }
+  {
+    TraceSpan publish("publish");
+    TraceFlowEnd("request", kId);
+  }
+
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 6u);  // 3 spans + 3 flow markers
+  size_t flows = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == TracePhase::kSpan) continue;
+    ++flows;
+    EXPECT_EQ(e.flow_id, kId);
+    EXPECT_STREQ(e.name, "request");
+  }
+  EXPECT_EQ(flows, 3u);
+
+  const std::string json = TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST_F(TraceTest, AtVariantsRecordTheSuppliedTimestamps) {
+  // The serving path reuses its stage stamps instead of re-reading the
+  // clock; the recorded events must carry exactly those timestamps.
+  const uint64_t base = 1'000'000'000ull;
+  {
+    TraceSpan span("stamped", base);
+    TraceFlowBeginAt("flow", 7, base + 100);
+    TraceFlowStepAt("flow", 7, base + 200);
+    TraceFlowEndAt("flow", 7, base + 300);
+  }
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "stamped");
+  EXPECT_EQ(events[0].begin_ns, base);
+  EXPECT_EQ(events[1].begin_ns, base + 100);
+  EXPECT_EQ(events[1].phase, TracePhase::kFlowBegin);
+  EXPECT_EQ(events[2].begin_ns, base + 200);
+  EXPECT_EQ(events[2].phase, TracePhase::kFlowStep);
+  EXPECT_EQ(events[3].begin_ns, base + 300);
+  EXPECT_EQ(events[3].phase, TracePhase::kFlowEnd);
+}
+
+TEST_F(TraceTest, DisabledFlowMarkersRecordNothing) {
+  SetTraceEnabled(false);
+  TraceFlowBegin("off", 1);
+  TraceFlowStep("off", 1);
+  TraceFlowEnd("off", 1);
+  TraceFlowBeginAt("off", 1, 123);
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TraceTest, RingOverwriteBumpsDroppedCounter) {
+  Counter* dropped = Registry::Global().GetCounter("obs.trace.dropped");
+  const uint64_t before = dropped->value();
+  SetTraceRingCapacity(4);
+  // Fresh thread -> fresh ring with the small capacity (this thread's ring
+  // already exists at the default size).
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) TraceFlowStep("overflow", 1);
+  });
+  worker.join();
+  EXPECT_EQ(dropped->value(), before + 6);  // 10 pushes, 4 kept
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include "platform/edge_fleet.h"
 
+#include <array>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -9,7 +14,10 @@
 #include <gtest/gtest.h>
 
 #include "core/edge_runtime.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo_monitor.h"
+#include "obs/trace.h"
 #include "sensors/synthetic_generator.h"
 #include "testing/test_helpers.h"
 
@@ -422,6 +430,151 @@ TEST(EdgeFleetTest, OpenLoopShedsWhenQueueFull) {
   const auto* depth = snap.FindGauge("fleet.queue_depth");
   ASSERT_NE(depth, nullptr);
   EXPECT_EQ(depth->value, 0.0);  // drained
+}
+
+TEST(EdgeFleetTest, OpenLoopEmitsLinkedFlowEventsAndStageHistograms) {
+  // The tentpole property: one submitted window is followable end-to-end —
+  // a flow begin on the admission thread, a step at the combiner, a finish
+  // at publish, all sharing the request id, plus one sample in every
+  // fleet.stage.* histogram whose stages tile admit -> publish.
+  obs::Registry::Global().ResetAll();
+  obs::ClearTrace();
+  obs::SetTraceEnabled(true);
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(818);
+  auto windows = FeaturizedWindows(bundle, sensors::kWalk, 4, 64);
+  FleetOptions options;
+  options.serve_threads = 2;
+  auto fleet = EdgeFleet::Create(std::move(bundle), 1, options).value();
+
+  for (const auto& w : windows) ASSERT_TRUE(fleet->SubmitWindow(0, w));
+  fleet->DrainSubmitted();
+  obs::SetTraceEnabled(false);
+
+  // Each request contributes exactly one s and one f marker (and at least
+  // one t at the embed hop), every marker carrying the same nonzero id.
+  std::map<uint64_t, std::array<size_t, 3>> flows;  // id -> {s, t, f} counts
+  for (const obs::TraceEvent& e : obs::CollectTraceEvents()) {
+    if (e.phase == obs::TracePhase::kSpan) continue;
+    ASSERT_STREQ(e.name, "fleet.request");
+    ASSERT_NE(e.flow_id, 0u);
+    auto& counts = flows[e.flow_id];
+    switch (e.phase) {
+      case obs::TracePhase::kFlowBegin: ++counts[0]; break;
+      case obs::TracePhase::kFlowStep: ++counts[1]; break;
+      case obs::TracePhase::kFlowEnd: ++counts[2]; break;
+      default: break;
+    }
+  }
+  ASSERT_EQ(flows.size(), windows.size());
+  for (const auto& [id, counts] : flows) {
+    EXPECT_EQ(counts[0], 1u) << "flow " << id;
+    EXPECT_EQ(counts[1], 1u) << "flow " << id;
+    EXPECT_EQ(counts[2], 1u) << "flow " << id;
+  }
+
+  // Stage attribution: every stage histogram saw every request, and the
+  // stage means tile the end-to-end mean exactly (adjacent intervals).
+  obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  double stage_mean_sum = 0.0;
+  for (const char* stage : {"queue", "batch_wait", "embed", "classify",
+                            "publish"}) {
+    const auto* h = snap.FindHistogram(std::string("fleet.stage.") + stage +
+                                       "_us");
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_EQ(h->count, windows.size()) << stage;
+    stage_mean_sum += h->sum / static_cast<double>(h->count);
+  }
+  const auto* e2e_h = snap.FindHistogram("fleet.e2e_us");
+  ASSERT_NE(e2e_h, nullptr);
+  EXPECT_EQ(e2e_h->count, windows.size());
+  const double e2e_mean = e2e_h->sum / static_cast<double>(e2e_h->count);
+  // The 1/1000 fixed-point quantisation of each histogram's sum is the only
+  // slack between the tiled stages and the end-to-end interval.
+  EXPECT_NEAR(stage_mean_sum, e2e_mean, 0.01 * 6);
+  // Tail buckets carry exemplars: concrete request ids, not just counts.
+  bool any_exemplar = false;
+  for (const auto& ex : e2e_h->exemplars) any_exemplar |= ex.id != 0;
+  EXPECT_TRUE(any_exemplar);
+}
+
+TEST(EdgeFleetTest, OpenLoopFillsInjectedFlightRecorder) {
+  obs::FlightRecorder recorder(64);
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(819);
+  auto windows = FeaturizedWindows(bundle, sensors::kRun, 5, 65);
+  FleetOptions options;
+  options.serve_threads = 1;
+  options.flight_recorder = &recorder;
+  auto fleet = EdgeFleet::Create(std::move(bundle), 1, options).value();
+  for (const auto& w : windows) ASSERT_TRUE(fleet->SubmitWindow(0, w));
+  fleet->DrainSubmitted();
+
+  const std::vector<obs::FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), windows.size());
+  for (const obs::FlightRecord& r : records) {
+    EXPECT_EQ(r.outcome, obs::FlightRecord::Outcome::kOk);
+    EXPECT_EQ(r.session, 0u);
+    EXPECT_EQ(r.deployment_version, 1u);
+    EXPECT_GE(r.batch_size, 1u);
+    // Stage stamps are complete and ordered for a published request.
+    uint64_t prev = 0;
+    for (size_t s = 0; s < obs::kNumRequestStages; ++s) {
+      EXPECT_GT(r.stage_ns[s], 0u) << "stage " << s;
+      EXPECT_GE(r.stage_ns[s], prev) << "stage " << s;
+      prev = r.stage_ns[s];
+    }
+  }
+}
+
+TEST(EdgeFleetTest, ShedBurstDegradesHealthAndAutoDumps) {
+  // Forced-degradation drill: a burst against a tiny queue must leave shed
+  // records in the injected recorder, fire the shed_burst anomaly (with an
+  // auto-dump), and push the SLO monitor out of OK.
+  const std::string dump_path =
+      ::testing::TempDir() + "fleet_shed_burst_dump.json";
+  std::remove(dump_path.c_str());
+  obs::FlightRecorder recorder(128);
+  recorder.SetShedBurstThreshold(8);
+  recorder.SetAutoDumpPath(dump_path);
+  obs::SloMonitor slo;
+
+  core::ModelBundle bundle = testing::SmallPretrainedBundle(820);
+  auto windows = FeaturizedWindows(bundle, sensors::kStill, 1, 66);
+  FleetOptions options;
+  options.serve_threads = 1;
+  options.admission_capacity = 4;
+  options.flight_recorder = &recorder;
+  options.slo_monitor = &slo;
+  auto fleet = EdgeFleet::Create(std::move(bundle), 1, options).value();
+
+  constexpr size_t kBurst = 400;
+  size_t admitted = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    if (fleet->SubmitWindow(0, windows[0])) ++admitted;
+  }
+  fleet->DrainSubmitted();
+  ASSERT_GT(kBurst - admitted, 8u);  // the burst actually shed
+
+  // Shed records landed in the ring alongside served ones.
+  size_t shed_records = 0;
+  for (const obs::FlightRecord& r : recorder.Snapshot()) {
+    if (r.outcome == obs::FlightRecord::Outcome::kShed) ++shed_records;
+  }
+  EXPECT_GT(shed_records, 0u);
+
+  // The burst crossed the threshold: anomaly dump exists and names it.
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << "shed burst did not auto-dump";
+  std::ostringstream contents;
+  contents << dump.rdbuf();
+  EXPECT_NE(contents.str().find("\"last_anomaly\": \"shed_burst\""),
+            std::string::npos);
+  std::remove(dump_path.c_str());
+
+  // Sheds outnumber serves by ~100x, far past any shed-rate target.
+  const obs::HealthReport health = slo.Evaluate();
+  EXPECT_NE(health.state, obs::HealthState::kOk);
+  EXPECT_GT(health.shed_rate, slo.targets().max_shed_rate);
+  EXPECT_EQ(health.requests + health.shed, kBurst);
 }
 
 TEST(EdgeFleetStressTest, OpenLoopConcurrentSubmitWithMidRunPromotion) {

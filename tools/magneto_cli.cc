@@ -73,7 +73,16 @@
 ///                        snapshot (counters/gauges/histograms) as JSON
 ///   --trace-out FILE     enable tracing for the run and write a Chrome
 ///                        trace_event JSON (open in chrome://tracing or
-///                        https://ui.perfetto.dev)
+///                        https://ui.perfetto.dev). Serving requests and
+///                        bundle deliveries carry flow events, so one
+///                        window is causally linked across threads.
+///   --flight-record-out FILE
+///                        write the flight recorder ring (the last ~4096
+///                        requests: stage timings, batch size, outcome) as
+///                        JSON after the run; the same path receives an
+///                        automatic dump when an anomaly fires mid-run
+///                        (shed burst, update rollback, checkpoint
+///                        fallback).
 
 #include <atomic>
 #include <chrono>
@@ -559,6 +568,12 @@ int CmdFleet(const Args& args) {
     }
   }
 
+  // SLO health for the open-loop run: rolling p99 / shed-rate / error-budget
+  // burn, sampled by a background exporter so the metrics snapshot carries a
+  // health timeline. Declared before the fleet so it outlives the workers.
+  obs::SloMonitor slo;
+  if (open_loop) options.slo_monitor = &slo;
+
   auto fleet =
       platform::EdgeFleet::Create(std::move(bundle).value(), sessions,
                                   options);
@@ -574,6 +589,7 @@ int CmdFleet(const Args& args) {
                 options.max_batch, options.max_concurrent_batches);
     Rng rng(917);
     using Clock = std::chrono::steady_clock;
+    slo.StartExporter(0.05);
     const auto start = Clock::now();
     auto next = start;
     for (size_t i = 0; i < arrivals; ++i) {
@@ -597,6 +613,7 @@ int CmdFleet(const Args& args) {
     }
     fleet.value()->DrainSubmitted();
     wall = std::chrono::duration<double>(Clock::now() - start).count();
+    slo.StopExporter();
   } else {
     std::printf("fleet: %zu sessions x %.0f s @ %zu pool threads, "
                 "max batch %zu\n",
@@ -668,6 +685,14 @@ int CmdFleet(const Args& args) {
               total_rejected,
               static_cast<unsigned long long>(
                   fleet.value()->deployment_version()));
+  if (open_loop) {
+    const obs::HealthReport health = slo.Evaluate();
+    std::printf("slo: %s (p99 %.0f us vs %.0f us target, shed rate %.3f, "
+                "error-budget burn %.2f)\n",
+                obs::HealthStateName(health.state), health.p99_latency_us,
+                slo.targets().p99_latency_us, health.shed_rate,
+                health.error_budget_burn);
+  }
   return 0;
 }
 
@@ -791,11 +816,21 @@ int main(int argc, char** argv) {
   // positional argument (e.g. `inspect <bundle>`) cannot misalign them.
   std::string metrics_out;
   std::string trace_out;
+  std::string flight_record_out;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
     if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--flight-record-out") == 0) {
+      flight_record_out = argv[i + 1];
+    }
   }
   if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  if (!flight_record_out.empty()) {
+    // Configured before dispatch so mid-run anomalies (shed burst, update
+    // rollback, checkpoint fallback) auto-dump; the final dump below then
+    // overwrites with the complete end-of-run picture.
+    obs::FlightRecorder::Global().SetAutoDumpPath(flight_record_out);
+  }
 
   const int rc = Dispatch(command, args, argc, argv);
 
@@ -813,6 +848,14 @@ int main(int argc, char** argv) {
       return rc != 0 ? rc : 1;
     }
     std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+  if (!flight_record_out.empty()) {
+    if (!obs::FlightRecorder::Global().Dump(flight_record_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   flight_record_out.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::printf("wrote flight record to %s\n", flight_record_out.c_str());
   }
   return rc;
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON exported by obs::WriteTrace.
+
+Checks, per the invariants the exporter promises:
+
+  * B/E discipline — on every (pid, tid) track the duration events form a
+    proper stack: every "E" closes the most recent unclosed "B" and no "B"
+    is left open at the end of the track.
+  * Flow completeness — every flow begin ("s") has a matching finish ("f")
+    with the same name + id. Orphan "t" steps or "f" finishes are tolerated
+    (a ring overwrite can drop the begin) but a dangling "s" means a request
+    vanished mid-flight, which the serving path never allows.
+  * Monotonic timestamps — events on one (pid, tid) track must be sorted by
+    "ts"; the exporter sorts globally, so any inversion is an exporter bug.
+
+Exit status 0 when the trace holds all invariants, 1 with a message on the
+first violation, 2 on usage / parse errors.
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print("validate_trace: FAIL: %s" % message, file=sys.stderr)
+    return 1
+
+
+def validate(events):
+    stacks = {}  # (pid, tid) -> list of open B names
+    last_ts = {}  # (pid, tid) -> last seen ts
+    flow_begun = {}  # (name, id) -> count of "s"
+    flow_finished = {}  # (name, id) -> count of "f"
+
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        track = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail("event %d has no numeric ts: %r" % (i, event))
+        if ts < last_ts.get(track, float("-inf")):
+            return fail(
+                "event %d (%s %r) on track %r: ts %s < previous %s"
+                % (i, ph, event.get("name"), track, ts, last_ts[track])
+            )
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(event.get("name"))
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                return fail(
+                    "event %d: E on track %r with no open B" % (i, track)
+                )
+            stack.pop()
+        elif ph in ("s", "t", "f"):
+            key = (event.get("name"), event.get("id"))
+            if key[0] is None or key[1] is None:
+                return fail("event %d: flow %s without name/id" % (i, ph))
+            if ph == "s":
+                flow_begun[key] = flow_begun.get(key, 0) + 1
+            elif ph == "f":
+                flow_finished[key] = flow_finished.get(key, 0) + 1
+
+    for track, stack in stacks.items():
+        if stack:
+            return fail(
+                "track %r ends with unclosed B events: %s" % (track, stack)
+            )
+
+    for key, begun in sorted(flow_begun.items()):
+        finished = flow_finished.get(key, 0)
+        if finished < begun:
+            return fail(
+                "flow %r id %d: %d begin(s) but %d finish(es)"
+                % (key[0], key[1], begun, finished)
+            )
+
+    n_flows = len(flow_begun)
+    print(
+        "validate_trace: OK: %d events, %d tracks, %d flows"
+        % (len(events), len(last_ts), n_flows)
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            trace = json.load(f)
+    except (OSError, ValueError) as e:
+        print("validate_trace: cannot read %s: %s" % (argv[1], e),
+              file=sys.stderr)
+        return 2
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("validate_trace: %s has no traceEvents" % argv[1],
+              file=sys.stderr)
+        return 2
+    return validate(events)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
