@@ -38,11 +38,20 @@ MAGNETO_THREADS=8 ./build-tsan/tests/platform_test \
 # overflow regressions, the atomic-write fault hook, and the lossy-transport
 # state machine. A bounds slip anywhere here is a remote-input memory bug.
 cmake -B build-asan -G Ninja -DMAGNETO_SANITIZE=address
-cmake --build build-asan --target common_test core_test platform_test
-./build-asan/tests/common_test --gtest_filter='Crc32*:BinarySerial*:*FileIo*'
+cmake --build build-asan --target common_test core_test platform_test \
+  nn_test integration_test
+./build-asan/tests/common_test \
+  --gtest_filter='Crc32*:BinarySerial*:*FileIo*:QGemm*'
 # UpdateTransaction* stages/commits/rolls back full model snapshots — the
 # exact place a dangling pointer into swapped-out state would hide.
-./build-asan/tests/core_test --gtest_filter='ModelBundle*:UpdateTransaction*'
+# The quantized legs cover the int8 deserializers: the wire-v3 bundle
+# truncation/bit-flip tests, the SupportSet int8 row reader, and the
+# kQuantizedLinearTag payload fuzz — the validate-before-allocate fix in
+# QuantizedLinear::Deserialize only proves itself under ASan.
+./build-asan/tests/core_test --gtest_filter='ModelBundle*:UpdateTransaction*:SupportSetTest.*Quantized*'
+./build-asan/tests/nn_test --gtest_filter='QuantizedLinear*:QuantizedMatrix*'
+./build-asan/tests/integration_test \
+  --gtest_filter='*QuantizedLinearPayloadFuzz*'
 ./build-asan/tests/platform_test \
   --gtest_filter='FaultInjector*:BundleTransport*:ChunkFrame*'
 
@@ -71,6 +80,24 @@ grep -Eq '"net\.retries": [1-9]' "$smoke_dir/fault_metrics.json" \
   || { echo "fault smoke: expected nonzero net.retries" >&2; exit 1; }
 grep -Eq '"net\.transport\.deliveries": [1-9]' "$smoke_dir/fault_metrics.json" \
   || { echo "fault smoke: delivery did not complete" >&2; exit 1; }
+
+# Quantized-bundle smoke: compress to the wire-v3 int8 bundle, provision it
+# over the same faulty link, and prove the quantized payload arrives
+# byte-identical (the transport retried, not silently passed corruption) and
+# still classifies.
+./build/tools/magneto compress --bundle "$smoke_dir/m.magneto" \
+  --method int8 --out "$smoke_dir/q.magneto" | tee "$smoke_dir/compress.txt"
+grep -q 'wire v3' "$smoke_dir/compress.txt" \
+  || { echo "quant smoke: compress did not emit a wire-v3 bundle" >&2; exit 1; }
+./build/tools/magneto inspect "$smoke_dir/q.magneto" | grep -q 'wire v3' \
+  || { echo "quant smoke: inspect does not report wire v3" >&2; exit 1; }
+./build/tools/magneto simulate --bundle "$smoke_dir/q.magneto" --seconds 3 \
+  --fault-drop-rate 0.2 --fault-corrupt-rate 0.05 --net-seed 7 \
+  --metrics-out "$smoke_dir/quant_metrics.json" | tee "$smoke_dir/quant_sim.txt"
+grep -q 'delivery: wire v3, byte-identical: yes' "$smoke_dir/quant_sim.txt" \
+  || { echo "quant smoke: v3 bundle not delivered byte-identical" >&2; exit 1; }
+grep -Eq '"net\.retries": [1-9]' "$smoke_dir/quant_metrics.json" \
+  || { echo "quant smoke: expected nonzero net.retries" >&2; exit 1; }
 
 # Fleet smoke: concurrent sessions over one shared deployment with a mid-run
 # promotion. The serving path must actually have been exercised — zero
@@ -154,6 +181,14 @@ cmp "$smoke_dir/m.magneto" "$smoke_dir/updated.magneto.lkg" \
 for b in build/bench/bench_*; do
   echo "== $b =="
   "$b"
+done
+
+# bench_quant enforces its own acceptance gates (int8 speedup vs the dequant
+# reference, bundle ratio, accuracy delta); here just pin the artifact schema.
+for key in '"schema_version"' '"speedup_int8_vs_reference"' \
+    '"bundle_ratio"' '"accuracy_delta"'; do
+  grep -q "$key" BENCH_quant.json \
+    || { echo "bench_quant: BENCH_quant.json missing $key" >&2; exit 1; }
 done
 
 for e in build/examples/*; do

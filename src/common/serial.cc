@@ -183,6 +183,34 @@ Result<std::vector<int8_t>> BinaryReader::ReadI8Vector() {
   return v;
 }
 
+Result<std::vector<float>> BinaryReader::ReadF32VectorExpected(
+    uint64_t expected) {
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n != expected) {
+    return Status::Corruption("f32 vector count " + std::to_string(n) +
+                              " != expected " + std::to_string(expected));
+  }
+  MAGNETO_RETURN_IF_ERROR(Require(n * sizeof(float)));
+  std::vector<float> v(n);
+  if (n > 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return v;
+}
+
+Result<std::vector<int8_t>> BinaryReader::ReadI8VectorExpected(
+    uint64_t expected) {
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n != expected) {
+    return Status::Corruption("i8 vector count " + std::to_string(n) +
+                              " != expected " + std::to_string(expected));
+  }
+  MAGNETO_RETURN_IF_ERROR(Require(n));
+  std::vector<int8_t> v(n);
+  if (n > 0) std::memcpy(v.data(), data_ + pos_, n);
+  pos_ += n;
+  return v;
+}
+
 Status WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);

@@ -79,6 +79,15 @@ class BinaryReader {
   Result<std::vector<int64_t>> ReadI64Vector();
   Result<std::vector<int8_t>> ReadI8Vector();
 
+  /// Validate-before-allocate vector reads for untrusted payloads whose
+  /// element count the caller already knows (e.g. from validated layer
+  /// dimensions). The length prefix is compared against `expected` *before*
+  /// any allocation; a mismatch returns Corruption without touching the
+  /// heap, so a corrupt length field can never drive an oversized
+  /// allocation.
+  Result<std::vector<float>> ReadF32VectorExpected(uint64_t expected);
+  Result<std::vector<int8_t>> ReadI8VectorExpected(uint64_t expected);
+
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -33,8 +33,10 @@ Result<nn::Sequential> QuantizeBackbone(const nn::Sequential& net) {
   for (size_t i = 0; i < net.num_layers(); ++i) {
     const nn::Layer& layer = net.layer(i);
     if (layer.type() == nn::LayerType::kLinear) {
-      out.Add(std::make_unique<nn::QuantizedLinear>(
-          static_cast<const nn::Linear&>(layer)));
+      MAGNETO_ASSIGN_OR_RETURN(
+          std::unique_ptr<nn::QuantizedLinear> quantized,
+          nn::QuantizedLinear::FromLinear(static_cast<const nn::Linear&>(layer)));
+      out.Add(std::move(quantized));
     } else {
       out.Add(layer.Clone());
     }

@@ -29,6 +29,17 @@ Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
   knn.embeddings_ = embedder->Embed(all.ToMatrix());
   knn.labels_ = all.labels();
   knn.dim_ = knn.embeddings_.cols();
+  if (options.quantize_exemplars) {
+    // Quantize every exemplar row and precompute its exact integer norm,
+    // then drop the fp32 copy — the scan below never needs it back.
+    QuantizeRowsInt8(knn.embeddings_, &knn.quantized_);
+    knn.norms_.resize(knn.quantized_.rows);
+    for (size_t i = 0; i < knn.quantized_.rows; ++i) {
+      knn.norms_[i] =
+          SquaredNormInt8(knn.quantized_.data.data() + i * knn.dim_, knn.dim_);
+    }
+    knn.embeddings_ = Matrix();
+  }
   return knn;
 }
 
@@ -54,12 +65,35 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
   // `static thread_local` buffer.
   std::vector<std::pair<float, uint32_t>>& dist = scratch->dist;
   dist.resize(labels_.size());
-  ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      dist[i] = {SquaredL2(embedding, embeddings_.RowPtr(i), dim_),
-                 static_cast<uint32_t>(i)};
-    }
-  });
+  if (options_.quantize_exemplars) {
+    // Int8 scan: quantize the query once, then compute the exact-rescale
+    // squared distance against each stored exemplar,
+    //   d² = sq²·Σqx² − 2·sq·si·(qx·qi) + si²·Σqi²,
+    // where the dot product and both norms are exact int32 and only the
+    // final three-term combination runs in floating point.
+    scratch->q_query.resize(dim_);
+    const float sq = QuantizeRowInt8(embedding, dim_, scratch->q_query.data());
+    const int32_t query_norm = SquaredNormInt8(scratch->q_query.data(), dim_);
+    const int8_t* qx = scratch->q_query.data();
+    ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const int8_t* qi = quantized_.data.data() + i * dim_;
+        const double si = quantized_.scales[i];
+        const double d2 = double(sq) * sq * query_norm -
+                          2.0 * sq * si * DotInt8(qx, qi, dim_) +
+                          si * si * norms_[i];
+        dist[i] = {static_cast<float>(std::max(0.0, d2)),
+                   static_cast<uint32_t>(i)};
+      }
+    });
+  } else {
+    ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        dist[i] = {SquaredL2(embedding, embeddings_.RowPtr(i), dim_),
+                   static_cast<uint32_t>(i)};
+      }
+    });
+  }
   const size_t k = std::min(options_.k, dist.size());
   std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
 

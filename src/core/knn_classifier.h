@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/qgemm.h"
 #include "common/result.h"
 #include "core/embedder.h"
 #include "core/ncm_classifier.h"
@@ -30,6 +31,15 @@ class KnnClassifier {
     size_t k = 5;
     /// Weight votes by 1/(distance + eps) instead of uniformly.
     bool distance_weighted = true;
+    /// Store the support embeddings as symmetric per-exemplar int8 instead
+    /// of fp32 (4x less scan memory and bandwidth). Queries are quantized
+    /// per call and distances computed by the exact rescale
+    ///   d² = sq²·Σqx² − 2·sq·si·(qx·qi) + si²·Σqi²
+    /// over exact integer dot products and precomputed exemplar norms, so
+    /// the only approximation is the int8 rounding of the vectors
+    /// themselves. Composes with `compress::QuantizeBackbone` for the fully
+    /// quantized edge path.
+    bool quantize_exemplars = false;
   };
 
   /// Reusable per-query workspace. Passing the same instance across calls
@@ -37,6 +47,7 @@ class KnnClassifier {
   /// instances. Predictions are byte-identical with or without one.
   struct Scratch {
     std::vector<std::pair<float, uint32_t>> dist;
+    std::vector<int8_t> q_query;  ///< int8 path: quantized query vector
   };
 
   /// Embeds every support exemplar through `embedder`.
@@ -48,8 +59,16 @@ class KnnClassifier {
   size_t embedding_dim() const { return dim_; }
   const Options& options() const { return options_; }
 
-  /// Bytes of stored exemplar embeddings.
-  size_t MemoryBytes() const { return embeddings_.size() * sizeof(float); }
+  /// Bytes of stored exemplar embeddings (int8 data + scales + norms when
+  /// `quantize_exemplars` is set — the fp32 copy is dropped).
+  size_t MemoryBytes() const {
+    if (options_.quantize_exemplars) {
+      return quantized_.data.size() +
+             quantized_.scales.size() * sizeof(float) +
+             norms_.size() * sizeof(int32_t);
+    }
+    return embeddings_.size() * sizeof(float);
+  }
 
   /// Classifies one embedding: majority (or distance-weighted) vote among
   /// the k nearest stored exemplars. `Prediction::distance` is the distance
@@ -71,7 +90,9 @@ class KnnClassifier {
 
   Options options_;
   size_t dim_ = 0;
-  Matrix embeddings_;  ///< num_examples x dim
+  Matrix embeddings_;  ///< num_examples x dim (fp32 path; empty when int8)
+  QuantizedRows quantized_;      ///< int8 path: per-exemplar int8 + scale
+  std::vector<int32_t> norms_;   ///< int8 path: Σqi² per exemplar
   std::vector<sensors::ActivityId> labels_;
 };
 

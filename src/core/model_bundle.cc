@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
@@ -13,14 +14,18 @@ constexpr char kMagic[4] = {'M', 'G', 'T', 'O'};
 /// length field surfaced as a misleading "unsupported version" / "truncated
 /// body". v2 keeps the identical field layout but the trailing CRC covers
 /// version + length + body, so any header damage is a checksum error.
-constexpr uint32_t kVersion = 2;
+/// v3 keeps v2's framing; only the support-set section encoding differs.
 constexpr size_t kHeaderBytes =
     sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
 constexpr size_t kFooterBytes = sizeof(uint32_t);
 
 /// Parses the five bundle sections out of a bounds-checked body reader.
-Result<ModelBundle> ParseBody(BinaryReader* body_reader) {
+/// v1/v2 bodies are identical; a v3 body carries the quantized support-set
+/// encoding and restores the classifier's int8 scan state.
+Result<ModelBundle> ParseBody(BinaryReader* body_reader, uint32_t version) {
   ModelBundle bundle;
+  bundle.wire_version =
+      version == 1 ? kBundleWireV2 : version;  // v1 re-saves as v2
   MAGNETO_ASSIGN_OR_RETURN(bundle.pipeline,
                            preprocess::Pipeline::Deserialize(body_reader));
   MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
@@ -29,8 +34,19 @@ Result<ModelBundle> ParseBody(BinaryReader* body_reader) {
                            NcmClassifier::Deserialize(body_reader));
   MAGNETO_ASSIGN_OR_RETURN(bundle.registry,
                            sensors::ActivityRegistry::Deserialize(body_reader));
-  MAGNETO_ASSIGN_OR_RETURN(bundle.support,
-                           SupportSet::Deserialize(body_reader));
+  if (version == kBundleWireV3) {
+    MAGNETO_ASSIGN_OR_RETURN(bundle.support,
+                             SupportSet::DeserializeQuantized(body_reader));
+    // A v3 bundle was written by a quantized deployment; the serialized
+    // prototypes are dequantized int8 vectors, so re-quantizing restores
+    // the int8 scan state exactly.
+    if (bundle.classifier.num_classes() > 0) {
+      MAGNETO_RETURN_IF_ERROR(bundle.classifier.QuantizePrototypes());
+    }
+  } else {
+    MAGNETO_ASSIGN_OR_RETURN(bundle.support,
+                             SupportSet::Deserialize(body_reader));
+  }
   if (!body_reader->AtEnd()) {
     return Status::Corruption("trailing bytes in bundle body");
   }
@@ -40,17 +56,23 @@ Result<ModelBundle> ParseBody(BinaryReader* body_reader) {
 }  // namespace
 
 std::string ModelBundle::SerializeToString() const {
+  MAGNETO_CHECK(wire_version == kBundleWireV2 ||
+                wire_version == kBundleWireV3);
   BinaryWriter payload;
   pipeline.Serialize(&payload);
   backbone.Serialize(&payload);
   classifier.Serialize(&payload);
   registry.Serialize(&payload);
-  support.Serialize(&payload);
+  if (wire_version == kBundleWireV3) {
+    support.SerializeQuantized(&payload);
+  } else {
+    support.Serialize(&payload);
+  }
   const std::string& body = payload.buffer();
 
   BinaryWriter out;
   out.WriteBytes(kMagic, sizeof(kMagic));
-  out.WriteU32(kVersion);
+  out.WriteU32(wire_version);
   out.WriteU64(body.size());
   out.WriteBytes(body.data(), body.size());
   // v2: the CRC protects everything after the magic — version, length, body.
@@ -88,7 +110,7 @@ Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
       return Status::Corruption("bundle checksum mismatch");
     }
     BinaryReader body_reader(body, body_size);
-    return ParseBody(&body_reader);
+    return ParseBody(&body_reader, version);
   }
 
   // v2+: the trailing CRC is anchored to the end of the buffer, not to the
@@ -103,7 +125,7 @@ Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
             bytes.size() - sizeof(kMagic) - kFooterBytes) != stored_crc) {
     return Status::Corruption("bundle checksum mismatch");
   }
-  if (version != kVersion) {
+  if (version != kBundleWireV2 && version != kBundleWireV3) {
     return Status::Corruption("unsupported bundle version: " +
                               std::to_string(version));
   }
@@ -111,7 +133,7 @@ Result<ModelBundle> ModelBundle::FromString(const std::string& bytes) {
     return Status::Corruption("truncated bundle body");
   }
   BinaryReader body_reader(bytes.data() + kHeaderBytes, body_size);
-  return ParseBody(&body_reader);
+  return ParseBody(&body_reader, version);
 }
 
 Status ModelBundle::SaveToFile(const std::string& path) const {

@@ -13,6 +13,10 @@
 
 namespace magneto::core {
 
+/// Bundle wire versions accepted by `ModelBundle::FromString`.
+inline constexpr uint32_t kBundleWireV2 = 2;
+inline constexpr uint32_t kBundleWireV3 = 3;
+
 /// The single artifact that crosses the cloud -> edge link (§3.2): the
 /// pre-processing function (with frozen normaliser stats), the initial ML
 /// model, the support set, plus the activity registry and NCM prototypes
@@ -21,8 +25,15 @@ namespace magneto::core {
 /// Wire format (".magneto" file), v2: magic "MGTO", u32 version, u64 payload
 /// length, payload, u32 CRC-32 over everything after the magic (version +
 /// length + payload), so header bit-flips report as checksum errors. v1
-/// files (CRC over the payload only) still load. Move-only (owns the
-/// backbone).
+/// files (CRC over the payload only) still load.
+///
+/// v3 shares v2's header/CRC framing but ships the support set quantized
+/// (int8 rows + per-row scale, see `SupportSet::SerializeQuantized`) and
+/// re-quantizes the NCM prototypes on load. Paired with a
+/// `compress::QuantizeBackbone`d backbone this puts the whole cloud→edge
+/// artifact at roughly a quarter of the fp32 v2 bytes. v1/v2 read paths are
+/// kept; loading remembers the wire version so round trips preserve it.
+/// Move-only (owns the backbone).
 struct ModelBundle {
   preprocess::Pipeline pipeline;
   nn::Sequential backbone;
@@ -30,14 +41,20 @@ struct ModelBundle {
   sensors::ActivityRegistry registry;
   SupportSet support{200, SelectionStrategy::kHerding};
 
+  /// Wire version this bundle serialises to. `FromString` records the
+  /// version it read, so a loaded v3 bundle checkpoints back as v3 instead
+  /// of silently inflating to fp32 on the next save.
+  uint32_t wire_version = kBundleWireV2;
+
   ModelBundle() = default;
   ModelBundle(ModelBundle&&) noexcept = default;
   ModelBundle& operator=(ModelBundle&&) noexcept = default;
 
-  /// Serialises the whole bundle (with header and checksum).
+  /// Serialises the whole bundle (with header and checksum) at
+  /// `wire_version`.
   std::string SerializeToString() const;
 
-  /// Parses and checksum-verifies a serialised bundle.
+  /// Parses and checksum-verifies a serialised bundle (wire v1/v2/v3).
   static Result<ModelBundle> FromString(const std::string& bytes);
 
   /// Crash-safe: writes via `WriteFileAtomic`, so an interrupted save leaves

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/qgemm.h"
+
 namespace magneto::core {
 
 Status NcmClassifier::SetPrototypeFromEmbeddings(sensors::ActivityId id,
@@ -20,6 +22,31 @@ Status NcmClassifier::SetPrototypeFromEmbeddings(sensors::ActivityId id,
                                    std::to_string(embeddings.cols()));
   }
   prototypes_[id] = embeddings.ColMean().Row(0);
+  if (quantized_scan_) QuantizeOne(id);
+  return Status::Ok();
+}
+
+void NcmClassifier::QuantizeOne(sensors::ActivityId id) {
+  std::vector<float>& proto = prototypes_[id];
+  QuantizedPrototype qp;
+  qp.q.resize(dim_);
+  qp.scale = QuantizeRowInt8(proto.data(), dim_, qp.q.data());
+  qp.norm = SquaredNormInt8(qp.q.data(), dim_);
+  // The fp32 prototype becomes the dequantized vector, keeping Prototype(),
+  // Serialize() and the scan in exact agreement.
+  for (size_t i = 0; i < dim_; ++i) {
+    proto[i] = static_cast<float>(qp.q[i]) * qp.scale;
+  }
+  quantized_[id] = std::move(qp);
+}
+
+Status NcmClassifier::QuantizePrototypes() {
+  if (prototypes_.empty()) {
+    return Status::FailedPrecondition("classifier has no prototypes");
+  }
+  quantized_scan_ = true;
+  quantized_.clear();
+  for (const auto& [id, proto] : prototypes_) QuantizeOne(id);
   return Status::Ok();
 }
 
@@ -74,6 +101,7 @@ Status NcmClassifier::RemoveClass(sensors::ActivityId id) {
   if (prototypes_.erase(id) == 0) {
     return Status::NotFound("class not in classifier: " + std::to_string(id));
   }
+  quantized_.erase(id);
   return Status::Ok();
 }
 
@@ -105,9 +133,24 @@ NcmClassifier::Distances(const float* embedding, size_t n) const {
   }
   std::vector<std::pair<sensors::ActivityId, double>> out;
   out.reserve(prototypes_.size());
-  for (const auto& [id, proto] : prototypes_) {
-    out.emplace_back(
-        id, std::sqrt(SquaredL2(embedding, proto.data(), dim_)));
+  if (quantized_scan_) {
+    // Exact-rescale int8 scan: quantize the query once, then combine exact
+    // integer dot products and norms with the two scales.
+    std::vector<int8_t> qx(dim_);
+    const double sq = QuantizeRowInt8(embedding, dim_, qx.data());
+    const int32_t query_norm = SquaredNormInt8(qx.data(), dim_);
+    for (const auto& [id, qp] : quantized_) {
+      const double si = qp.scale;
+      const double d2 = sq * sq * query_norm -
+                        2.0 * sq * si * DotInt8(qx.data(), qp.q.data(), dim_) +
+                        si * si * qp.norm;
+      out.emplace_back(id, std::sqrt(std::max(0.0, d2)));
+    }
+  } else {
+    for (const auto& [id, proto] : prototypes_) {
+      out.emplace_back(
+          id, std::sqrt(SquaredL2(embedding, proto.data(), dim_)));
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });

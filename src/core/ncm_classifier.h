@@ -73,12 +73,36 @@ class NcmClassifier {
   Result<std::vector<std::pair<sensors::ActivityId, double>>> Distances(
       const float* embedding, size_t n) const;
 
+  /// Switches the classifier to int8 prototype scans: every prototype is
+  /// quantized (symmetric per-vector, like the support-set wire format) and
+  /// queries are scanned with the exact-rescale distance
+  ///   d² = sq²·Σqx² − 2·sq·si·(qx·qi) + si²·Σqi².
+  /// The stored fp32 prototypes are replaced by their dequantized values so
+  /// `Prototype`/`Serialize` describe exactly what the scan sees — which
+  /// also makes re-quantization after a round trip exact (the max-|q|
+  /// element is always ±127, so the recovered scale is bit-identical).
+  /// Prototypes added later via `SetPrototypeFromEmbeddings` are quantized
+  /// on entry. FailedPrecondition if the classifier is empty.
+  Status QuantizePrototypes();
+  bool quantized() const { return quantized_scan_; }
+
   void Serialize(BinaryWriter* writer) const;
   static Result<NcmClassifier> Deserialize(BinaryReader* reader);
 
  private:
+  /// One int8-scanned prototype: quantized values, scale, exact Σq².
+  struct QuantizedPrototype {
+    std::vector<int8_t> q;
+    float scale = 1.0f;
+    int32_t norm = 0;
+  };
+
+  void QuantizeOne(sensors::ActivityId id);
+
   size_t dim_ = 0;
   std::map<sensors::ActivityId, std::vector<float>> prototypes_;
+  std::map<sensors::ActivityId, QuantizedPrototype> quantized_;
+  bool quantized_scan_ = false;
 };
 
 }  // namespace magneto::core

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/qgemm.h"
+
 namespace magneto::core {
 
 namespace {
@@ -202,6 +204,67 @@ void SupportSet::Serialize(BinaryWriter* writer) const {
     writer->WriteU64(rows.size());
     for (const std::vector<float>& row : rows) writer->WriteF32Vector(row);
   }
+}
+
+void SupportSet::SerializeQuantized(BinaryWriter* writer) const {
+  writer->WriteU64(capacity_per_class_);
+  writer->WriteU8(static_cast<uint8_t>(strategy_));
+  writer->WriteU64(dim_);
+  writer->WriteU64(exemplars_.size());
+  std::vector<int8_t> q(dim_);
+  for (const auto& [id, rows] : exemplars_) {
+    writer->WriteI64(id);
+    writer->WriteU64(stream_counts_.count(id) ? stream_counts_.at(id) : 0);
+    writer->WriteU64(rows.size());
+    for (const std::vector<float>& row : rows) {
+      const float scale = QuantizeRowInt8(row.data(), dim_, q.data());
+      writer->WriteF32(scale);
+      writer->WriteI8Vector(q);
+    }
+  }
+}
+
+Result<SupportSet> SupportSet::DeserializeQuantized(BinaryReader* reader) {
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t capacity, reader->ReadU64());
+  MAGNETO_ASSIGN_OR_RETURN(uint8_t strategy, reader->ReadU8());
+  if (strategy > static_cast<uint8_t>(SelectionStrategy::kReservoir)) {
+    return Status::Corruption("bad selection strategy: " +
+                              std::to_string(strategy));
+  }
+  SupportSet set(capacity, static_cast<SelectionStrategy>(strategy));
+  MAGNETO_ASSIGN_OR_RETURN(set.dim_, reader->ReadU64());
+  constexpr uint64_t kMaxDim = 1 << 20;
+  if (set.dim_ > kMaxDim) {
+    return Status::Corruption("support dim out of range");
+  }
+  MAGNETO_ASSIGN_OR_RETURN(uint64_t num_classes, reader->ReadU64());
+  for (uint64_t c = 0; c < num_classes; ++c) {
+    MAGNETO_ASSIGN_OR_RETURN(int64_t id, reader->ReadI64());
+    MAGNETO_ASSIGN_OR_RETURN(uint64_t seen, reader->ReadU64());
+    MAGNETO_ASSIGN_OR_RETURN(uint64_t rows, reader->ReadU64());
+    std::vector<std::vector<float>> data;
+    // `rows` comes off the wire: cap the reservation so a hostile count
+    // cannot force a giant allocation before the per-row reads fail.
+    data.reserve(std::min<uint64_t>(rows, 4096));
+    for (uint64_t r = 0; r < rows; ++r) {
+      MAGNETO_ASSIGN_OR_RETURN(float scale, reader->ReadF32());
+      if (!std::isfinite(scale) || scale <= 0.0f) {
+        return Status::Corruption("support row scale not finite-positive");
+      }
+      // Bounded by the already-validated dim: a corrupt length field fails
+      // before allocating.
+      MAGNETO_ASSIGN_OR_RETURN(std::vector<int8_t> q,
+                               reader->ReadI8VectorExpected(set.dim_));
+      std::vector<float> row(set.dim_);
+      for (size_t i = 0; i < row.size(); ++i) {
+        row[i] = static_cast<float>(q[i]) * scale;
+      }
+      data.push_back(std::move(row));
+    }
+    set.exemplars_[id] = std::move(data);
+    set.stream_counts_[id] = seen;
+  }
+  return set;
 }
 
 Result<SupportSet> SupportSet::Deserialize(BinaryReader* reader) {

@@ -80,6 +80,14 @@ class SupportSet {
   void Serialize(BinaryWriter* writer) const;
   static Result<SupportSet> Deserialize(BinaryReader* reader);
 
+  /// Bundle wire v3 payload: identical section layout to `Serialize`, but
+  /// each exemplar row ships as a symmetric int8 vector plus one f32 scale —
+  /// ~4x fewer bytes over the cloud→edge link. Rows are dequantized to fp32
+  /// on load, so everything downstream of `DeserializeQuantized` sees a
+  /// normal support set (with per-element error ≤ scale/2).
+  void SerializeQuantized(BinaryWriter* writer) const;
+  static Result<SupportSet> DeserializeQuantized(BinaryReader* reader);
+
  private:
   size_t capacity_per_class_;
   SelectionStrategy strategy_;

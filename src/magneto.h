@@ -25,6 +25,7 @@
 #include "common/math_utils.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
+#include "common/qgemm.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/serial.h"

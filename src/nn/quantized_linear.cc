@@ -1,10 +1,23 @@
 #include "nn/quantized_linear.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/qgemm.h"
 
 namespace magneto::nn {
 
-QuantizedMatrix QuantizedMatrix::Quantize(const Matrix& w) {
+Result<QuantizedMatrix> QuantizedMatrix::Quantize(const Matrix& w) {
+  for (size_t i = 0; i < w.rows(); ++i) {
+    const float* row = w.RowPtr(i);
+    for (size_t j = 0; j < w.cols(); ++j) {
+      if (!std::isfinite(row[j])) {
+        return Status::InvalidArgument(
+            "cannot quantize non-finite weight at (" + std::to_string(i) +
+            ", " + std::to_string(j) + ")");
+      }
+    }
+  }
   QuantizedMatrix q;
   q.rows = w.rows();
   q.cols = w.cols();
@@ -37,18 +50,42 @@ Matrix QuantizedMatrix::Dequantize() const {
   return w;
 }
 
-QuantizedLinear::QuantizedLinear(const Linear& source)
-    : in_dim_(source.in_dim()),
-      out_dim_(source.out_dim()),
-      weight_(QuantizedMatrix::Quantize(source.weight())),
-      bias_(source.bias().Row(0)) {}
+Result<std::unique_ptr<QuantizedLinear>> QuantizedLinear::FromLinear(
+    const Linear& source) {
+  auto layer = std::unique_ptr<QuantizedLinear>(new QuantizedLinear());
+  layer->in_dim_ = source.in_dim();
+  layer->out_dim_ = source.out_dim();
+  MAGNETO_ASSIGN_OR_RETURN(layer->weight_,
+                           QuantizedMatrix::Quantize(source.weight()));
+  layer->bias_ = source.bias().Row(0);
+  for (float b : layer->bias_) {
+    if (!std::isfinite(b)) {
+      return Status::InvalidArgument("cannot quantize non-finite bias");
+    }
+  }
+  return layer;
+}
 
 void QuantizedLinear::Forward(const Matrix& input, bool /*training*/,
                               LayerState* /*state*/, Matrix* output) const {
   MAGNETO_CHECK(input.cols() == in_dim_);
+  if (QGemmEnabled()) {
+    // Quantize the activations per row, then run the integer GEMM. The
+    // scratch is call-local so one immutable layer can serve concurrent
+    // forwards. Output is bit-identical across thread counts: integer
+    // accumulation is exact and the scale fold is a fixed float sequence.
+    QuantizedRows qx;
+    QuantizeRowsInt8(input, &qx);
+    QGemmInt8(qx, weight_.data.data(), in_dim_, out_dim_,
+              weight_.scales.data(), bias_.data(), output);
+    return;
+  }
+  // MAGNETO_QGEMM=off: the serial fp32-dequant reference — weights widened
+  // on the fly, activations left in float. This is the path the int8 kernel
+  // replaced; it has no activation-quantization error, so the kernel must
+  // track it within the per-row quantization tolerance (and beat it on
+  // latency — see bench_quant).
   output->ResetForOverwrite(input.rows(), out_dim_);
-  // y[r][j] = (sum_i x[r][i] * q[i][j]) * scale[j] + b[j]. The inner
-  // accumulation runs over int8 weights widened on the fly.
   for (size_t r = 0; r < input.rows(); ++r) {
     const float* x = input.RowPtr(r);
     float* y = output->RowPtr(r);
@@ -113,15 +150,29 @@ Result<std::unique_ptr<QuantizedLinear>> QuantizedLinear::Deserialize(
       layer->in_dim_ > kMaxDim || layer->out_dim_ > kMaxDim) {
     return Status::Corruption("quantized linear dimensions out of range");
   }
-  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.data, reader->ReadI8Vector());
-  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.scales, reader->ReadF32Vector());
-  MAGNETO_ASSIGN_OR_RETURN(layer->bias_, reader->ReadF32Vector());
+  // Every vector read is bounded by the element count the validated dims
+  // imply — a corrupt length field fails *before* any allocation instead of
+  // driving a huge one from untrusted bundle bytes.
+  const uint64_t weight_count = layer->in_dim_ * layer->out_dim_;
+  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.data,
+                           reader->ReadI8VectorExpected(weight_count));
+  MAGNETO_ASSIGN_OR_RETURN(layer->weight_.scales,
+                           reader->ReadF32VectorExpected(layer->out_dim_));
+  MAGNETO_ASSIGN_OR_RETURN(layer->bias_,
+                           reader->ReadF32VectorExpected(layer->out_dim_));
   layer->weight_.rows = layer->in_dim_;
   layer->weight_.cols = layer->out_dim_;
-  if (layer->weight_.data.size() != layer->in_dim_ * layer->out_dim_ ||
-      layer->weight_.scales.size() != layer->out_dim_ ||
-      layer->bias_.size() != layer->out_dim_) {
-    return Status::Corruption("quantized linear payload size mismatch");
+  for (float s : layer->weight_.scales) {
+    // A NaN/inf/zero/negative scale silently poisons every embedding that
+    // flows through the layer; reject at the trust boundary instead.
+    if (!std::isfinite(s) || s <= 0.0f) {
+      return Status::Corruption("quantized linear scale not finite-positive");
+    }
+  }
+  for (float b : layer->bias_) {
+    if (!std::isfinite(b)) {
+      return Status::Corruption("quantized linear bias not finite");
+    }
   }
   return layer;
 }

@@ -23,7 +23,9 @@ struct QuantizedMatrix {
   std::vector<int8_t> data;   ///< row-major, rows x cols
   std::vector<float> scales;  ///< per column
 
-  static QuantizedMatrix Quantize(const Matrix& w);
+  /// InvalidArgument if `w` holds any non-finite value: a single NaN or inf
+  /// would otherwise poison the column scale and silently zero the channel.
+  static Result<QuantizedMatrix> Quantize(const Matrix& w);
   Matrix Dequantize() const;
   size_t PayloadBytes() const { return data.size() + scales.size() * 4; }
 };
@@ -38,9 +40,18 @@ struct QuantizedMatrix {
 /// a training target; on-device retraining keeps the fp32 backbone.
 class QuantizedLinear : public Layer {
  public:
-  /// Quantizes an existing fp32 layer.
-  explicit QuantizedLinear(const Linear& source);
+  /// Quantizes an existing fp32 layer. InvalidArgument if the source holds
+  /// non-finite weights or biases.
+  static Result<std::unique_ptr<QuantizedLinear>> FromLinear(
+      const Linear& source);
 
+  /// Dynamic-activation int8 GEMM: the input rows are quantized to int8 on
+  /// the fly, multiplied through `QGemmInt8`, and rescaled per output
+  /// channel. Integer accumulation is exact, so the int8 output is
+  /// bit-identical across thread counts. With `MAGNETO_QGEMM=off` (or
+  /// `SetQGemmEnabled(false)`) the layer instead runs the serial fp32-dequant
+  /// reference — weights widened on the fly, activations unquantized — which
+  /// the kernel path must track within the quantization tolerance.
   void Forward(const Matrix& input, bool training, LayerState* state,
                Matrix* output) const override;
 

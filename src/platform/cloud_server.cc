@@ -1,5 +1,6 @@
 #include "platform/cloud_server.h"
 
+#include "compress/compress.h"
 #include "core/model_bundle.h"
 
 namespace magneto::platform {
@@ -21,6 +22,36 @@ Result<std::string> CloudServer::ServeBundleBytes() const {
     return Status::FailedPrecondition("server has not pretrained a model");
   }
   return bundle_bytes_;
+}
+
+Result<std::string> CloudServer::ServeQuantizedBundleBytes() {
+  if (!pretrained()) {
+    return Status::FailedPrecondition("server has not pretrained a model");
+  }
+  if (!quantized_bundle_bytes_.empty()) return quantized_bundle_bytes_;
+
+  // Same flow as the CLI's `compress --method int8`: quantize the backbone,
+  // rebuild the prototypes through the quantized embedding (they must match
+  // what the device will compute), switch the classifier to int8 scans, and
+  // ship the whole thing on wire v3.
+  MAGNETO_ASSIGN_OR_RETURN(core::ModelBundle bundle,
+                           core::ModelBundle::FromString(bundle_bytes_));
+  MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
+                           compress::QuantizeBackbone(bundle.backbone));
+  core::SupportSet support = std::move(bundle.support);
+  core::EdgeModel model = std::move(bundle).ToEdgeModel();
+  MAGNETO_RETURN_IF_ERROR(model.RebuildPrototypes(support));
+
+  core::ModelBundle quantized;
+  quantized.wire_version = core::kBundleWireV3;
+  quantized.pipeline = model.pipeline();
+  quantized.classifier = model.classifier();
+  MAGNETO_RETURN_IF_ERROR(quantized.classifier.QuantizePrototypes());
+  quantized.registry = model.registry();
+  quantized.support = std::move(support);
+  quantized.backbone = std::move(model.backbone());
+  quantized_bundle_bytes_ = quantized.SerializeToString();
+  return quantized_bundle_bytes_;
 }
 
 Result<core::NamedPrediction> CloudServer::RemoteInfer(

@@ -33,6 +33,13 @@ class CloudServer {
   /// Serialised bundle for the cloud -> edge transfer. Requires Pretrain.
   Result<std::string> ServeBundleBytes() const;
 
+  /// Wire-v3 quantized variant for bandwidth-constrained delivery: int8
+  /// backbone (`compress::QuantizeBackbone`), NCM prototypes rebuilt through
+  /// the quantized embedding and switched to int8 scans, support set shipped
+  /// as int8 rows — roughly a quarter of the fp32 bundle's bytes. Built
+  /// lazily on first call, then cached. Requires Pretrain.
+  Result<std::string> ServeQuantizedBundleBytes();
+
   /// Cloud-protocol inference endpoint: classifies one preprocessed feature
   /// vector that the edge uplinked. Requires Pretrain.
   Result<core::NamedPrediction> RemoteInfer(const std::vector<float>& features);
@@ -43,6 +50,7 @@ class CloudServer {
  private:
   core::CloudInitializer initializer_;
   std::string bundle_bytes_;
+  std::string quantized_bundle_bytes_;      ///< lazy wire-v3 cache
   std::unique_ptr<core::EdgeModel> model_;  ///< server-side inference copy
 };
 

@@ -24,6 +24,10 @@ size_t PrivacyAuditor::UserBytesUplinked() const {
   return link_->TotalBytes(Direction::kUplink, PayloadKind::kUserData);
 }
 
+size_t PrivacyAuditor::BundleBytesDownlinked() const {
+  return link_->TotalBytes(Direction::kDownlink, PayloadKind::kModelArtifact);
+}
+
 Status PrivacyAuditor::Verify() const {
   const size_t leaked = UserBytesUplinked();
   if (leaked > 0) {
@@ -38,6 +42,7 @@ std::string PrivacyAuditor::Report() const {
   std::ostringstream os;
   os << "privacy audit: uplink user bytes = " << UserBytesUplinked()
      << (UserBytesUplinked() == 0 ? " (PASS)" : " (VIOLATION)") << "\n";
+  os << "  bundle downlink bytes = " << BundleBytesDownlinked() << "\n";
   const PayloadKind kinds[] = {PayloadKind::kUserData,
                                PayloadKind::kModelArtifact,
                                PayloadKind::kControl, PayloadKind::kResult};

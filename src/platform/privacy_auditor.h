@@ -19,6 +19,11 @@ class PrivacyAuditor {
   /// edge-protocol deployment.
   size_t UserBytesUplinked() const;
 
+  /// Bytes of model artifact (bundle) delivered cloud -> edge — the
+  /// provisioning cost a quantized wire-v3 bundle shrinks ~4x. Includes
+  /// transport retries/chunk overhead, i.e. what actually crossed the link.
+  size_t BundleBytesDownlinked() const;
+
   /// kPermissionDenied with a byte count if any user data went uplink.
   Status Verify() const;
 

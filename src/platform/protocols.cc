@@ -76,9 +76,11 @@ Result<ProtocolMetrics> EdgeProtocol::Run(
     const std::vector<sensors::LabeledRecording>& stream) {
   obs::TraceSpan span("EdgeProtocol::Run");
   MAGNETO_ASSIGN_OR_RETURN(std::string bundle_bytes,
-                           server_->ServeBundleBytes());
+                           quantized_bundle_
+                               ? server_->ServeQuantizedBundleBytes()
+                               : server_->ServeBundleBytes());
   ProtocolMetrics metrics;
-  metrics.protocol = "edge";
+  metrics.protocol = quantized_bundle_ ? "edge(int8)" : "edge";
   // Provisioning goes through the fault-tolerant chunked transport: on a
   // clean link it costs one latency hit plus serialization (like a single
   // transfer, modulo chunk-header bytes); on a lossy link it retries with

@@ -61,8 +61,12 @@ class CloudProtocol {
 /// setup; all inference local; zero uplink.
 class EdgeProtocol {
  public:
-  EdgeProtocol(CloudServer* server, NetworkLink* link)
-      : server_(server), link_(link) {}
+  /// `quantized_bundle` provisions with the wire-v3 int8 bundle
+  /// (`CloudServer::ServeQuantizedBundleBytes`) instead of the fp32 v2 one:
+  /// ~4x fewer downlink bytes and int8 inference on the device.
+  EdgeProtocol(CloudServer* server, NetworkLink* link,
+               bool quantized_bundle = false)
+      : server_(server), link_(link), quantized_bundle_(quantized_bundle) {}
 
   /// Provisions a device over the link, then classifies `stream` locally.
   Result<ProtocolMetrics> Run(
@@ -71,6 +75,7 @@ class EdgeProtocol {
  private:
   CloudServer* server_;
   NetworkLink* link_;
+  bool quantized_bundle_ = false;
 };
 
 }  // namespace magneto::platform

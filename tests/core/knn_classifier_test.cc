@@ -207,5 +207,35 @@ TEST(KnnClassifierTest, AgreesWithNcmOnSeparatedClusters) {
   }
 }
 
+TEST(KnnClassifierTest, QuantizedScanAgreesWithFp32) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  KnnClassifier::Options q_options;
+  q_options.quantize_exemplars = true;
+  auto fp = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  auto q =
+      KnnClassifier::FromSupportSet(support, &embedder, q_options).value();
+  // int8 data + fp32 scale + int32 norm per exemplar vs fp32 rows. (At this
+  // toy dim=2 the per-exemplar overhead dominates; the ~4x win needs real
+  // embedding dims — see bench_quant.)
+  EXPECT_EQ(q.MemoryBytes(), 12u * (2u + sizeof(float) + sizeof(int32_t)));
+  EXPECT_EQ(fp.MemoryBytes(), 12u * 2u * sizeof(float));
+
+  // Probes sweep both clusters, staying clear of the x = 5 midline so an
+  // int8 rounding of the exemplars (~0.08 here) can never flip the vote.
+  for (int i = 0; i <= 20; ++i) {
+    const float off = 0.5f + 3.0f * static_cast<float>(i) / 20.0f;
+    for (const std::vector<float>& probe :
+         {std::vector<float>{off, 0.3f}, std::vector<float>{10.0f - off,
+                                                            -0.3f}}) {
+      auto pf = fp.Classify(probe).value();
+      auto pq = q.Classify(probe).value();
+      EXPECT_EQ(pf.activity, pq.activity) << "probe x=" << probe[0];
+      // The exact-rescale distance only differs by the exemplar rounding.
+      EXPECT_NEAR(pf.distance, pq.distance, 0.05 * (pf.distance + 1.0));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace magneto::core

@@ -287,5 +287,56 @@ TEST_F(ModelBundleTest, SerializedSizeIsStable) {
   EXPECT_LT(bundle_->SerializedBytes(), 5u * 1024 * 1024);
 }
 
+TEST_F(ModelBundleTest, WireVersionDefaultsToV2AndIsPreserved) {
+  EXPECT_EQ(bundle_->wire_version, kBundleWireV2);
+  auto back = ModelBundle::FromString(bundle_->SerializeToString());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().wire_version, kBundleWireV2);
+}
+
+TEST_F(ModelBundleTest, V3QuantizedRoundTrip) {
+  const std::string v2 = bundle_->SerializeToString();
+  auto copy = ModelBundle::FromString(v2);
+  ASSERT_TRUE(copy.ok());
+  copy.value().wire_version = kBundleWireV3;
+  ASSERT_TRUE(copy.value().classifier.QuantizePrototypes().ok());
+  const std::string v3 = copy.value().SerializeToString();
+  // Only the support set is int8 here (the backbone stays fp32 unless
+  // compressed), but v3 must already be strictly smaller.
+  EXPECT_LT(v3.size(), v2.size());
+
+  auto back = ModelBundle::FromString(v3);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().wire_version, kBundleWireV3);
+  EXPECT_TRUE(back.value().classifier.quantized());
+  EXPECT_EQ(back.value().support.TotalSize(), bundle_->support.TotalSize());
+  EXPECT_EQ(back.value().registry.size(), bundle_->registry.size());
+
+  // Save -> load -> save stability: re-quantizing dequantized rows and
+  // prototypes is exact, so a loaded v3 bundle re-serializes byte-identical
+  // (checkpoints of a quantized device cannot drift).
+  EXPECT_EQ(back.value().SerializeToString(), v3);
+}
+
+TEST_F(ModelBundleTest, V3RejectsTruncationAndBitFlips) {
+  auto copy = ModelBundle::FromString(bundle_->SerializeToString());
+  ASSERT_TRUE(copy.ok());
+  copy.value().wire_version = kBundleWireV3;
+  ASSERT_TRUE(copy.value().classifier.QuantizePrototypes().ok());
+  const std::string v3 = copy.value().SerializeToString();
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bytes = v3.substr(0, rng.Index(v3.size()));
+    EXPECT_FALSE(ModelBundle::FromString(bytes).ok());
+  }
+  size_t parsed_ok = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string bytes = v3;
+    bytes[rng.Index(bytes.size())] ^= static_cast<char>(1 + rng.Index(255));
+    if (ModelBundle::FromString(bytes).ok()) ++parsed_ok;
+  }
+  EXPECT_LT(parsed_ok, 3u);  // CRC catches essentially everything
+}
+
 }  // namespace
 }  // namespace magneto::core

@@ -175,5 +175,53 @@ TEST(NcmClassifierTest, DeserializeRejectsDimMismatch) {
   EXPECT_FALSE(NcmClassifier::Deserialize(&r).ok());
 }
 
+TEST(NcmClassifierTest, QuantizePrototypesEmptyFails) {
+  NcmClassifier ncm;
+  EXPECT_EQ(ncm.QuantizePrototypes().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ncm.quantized());
+}
+
+TEST(NcmClassifierTest, QuantizedScanAgreesWithFp32) {
+  NcmClassifier fp = TwoClassClassifier();
+  NcmClassifier q = fp;
+  ASSERT_TRUE(q.QuantizePrototypes().ok());
+  EXPECT_TRUE(q.quantized());
+  EXPECT_FALSE(fp.quantized());
+  for (float x : {0.0f, 1.5f, 3.0f, 7.0f, 8.5f, 10.0f}) {
+    const std::vector<float> probe{x, 0.4f};
+    auto pf = fp.Classify(probe).value();
+    auto pq = q.Classify(probe).value();
+    EXPECT_EQ(pf.activity, pq.activity) << "probe x=" << x;
+    EXPECT_NEAR(pf.distance, pq.distance, 0.05 * (pf.distance + 1.0));
+  }
+}
+
+TEST(NcmClassifierTest, QuantizePrototypesIsIdempotent) {
+  NcmClassifier ncm = TwoClassClassifier();
+  ASSERT_TRUE(ncm.QuantizePrototypes().ok());
+  const std::vector<float> p1 = ncm.Prototype(1).value();
+  const double d1 = ncm.Classify({3.0f, 1.0f}).value().distance;
+  // The max-|q| element of a quantized vector is exactly ±127, so a second
+  // quantization of the dequantized prototype recovers the identical scale
+  // and codes: nothing may move.
+  ASSERT_TRUE(ncm.QuantizePrototypes().ok());
+  const std::vector<float> p2 = ncm.Prototype(1).value();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+  EXPECT_EQ(ncm.Classify({3.0f, 1.0f}).value().distance, d1);
+}
+
+TEST(NcmClassifierTest, QuantizedClassifierTracksUpdatesAndRemovals) {
+  NcmClassifier ncm = TwoClassClassifier();
+  ASSERT_TRUE(ncm.QuantizePrototypes().ok());
+  // A prototype added after quantization joins the int8 scan.
+  ASSERT_TRUE(
+      ncm.SetPrototypeFromEmbeddings(2, Matrix(1, 2, {0, 10})).ok());
+  EXPECT_EQ(ncm.Classify({0.2f, 9.5f}).value().activity, 2);
+  ASSERT_TRUE(ncm.RemoveClass(2).ok());
+  EXPECT_NE(ncm.Classify({0.2f, 9.5f}).value().activity, 2);
+}
+
 }  // namespace
 }  // namespace magneto::core

@@ -1,6 +1,7 @@
 #include "core/support_set.h"
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -250,6 +251,77 @@ TEST_P(SupportCapacityTest, CapacityInvariant) {
       set.SetClass(0, ClassData(0, 57, 0.0f, 26), &embedder, &rng).ok());
   EXPECT_EQ(set.ClassSize(0), std::min<size_t>(capacity, 57));
   EXPECT_EQ(set.MemoryBytes(), set.TotalSize() * 2 * sizeof(float));
+}
+
+TEST(SupportSetTest, QuantizedSerializationRoundTrip) {
+  SupportSet set(5, SelectionStrategy::kHerding);
+  IdentityEmbedder embedder;
+  ASSERT_TRUE(set.SetClass(0, ClassData(0, 9, 0.0f, 23), &embedder, nullptr)
+                  .ok());
+  ASSERT_TRUE(set.SetClass(1, ClassData(1, 9, 4.0f, 24), &embedder, nullptr)
+                  .ok());
+  BinaryWriter w;
+  set.SerializeQuantized(&w);
+  BinaryReader r(w.buffer());
+  auto back = SupportSet::DeserializeQuantized(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().capacity_per_class(), 5u);
+  EXPECT_EQ(back.value().strategy(), SelectionStrategy::kHerding);
+  EXPECT_EQ(back.value().TotalSize(), set.TotalSize());
+  Matrix orig = set.ClassExemplars(1).value();
+  Matrix copy = back.value().ClassExemplars(1).value();
+  ASSERT_TRUE(orig.SameShape(copy));
+  // Per-row symmetric int8: worst-case error is max|row|/127 per element.
+  for (size_t row = 0; row < orig.rows(); ++row) {
+    float max_abs = 0.0f;
+    for (size_t j = 0; j < orig.cols(); ++j) {
+      max_abs = std::max(max_abs, std::fabs(orig.At(row, j)));
+    }
+    for (size_t j = 0; j < orig.cols(); ++j) {
+      EXPECT_NEAR(copy.At(row, j), orig.At(row, j),
+                  max_abs / 127.0f + 1e-6f);
+    }
+  }
+  // Re-quantizing the dequantized rows is exact, so a second quantized
+  // serialization must be byte-identical — the bundle-v3 stability property.
+  BinaryWriter w2;
+  back.value().SerializeQuantized(&w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(SupportSetTest, DeserializeQuantizedRejectsBadScale) {
+  for (float bad : {0.0f, -1.0f, std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity()}) {
+    BinaryWriter w;
+    w.WriteU64(4);                    // capacity
+    w.WriteU8(0);                     // strategy
+    w.WriteU64(2);                    // dim
+    w.WriteU64(1);                    // num_classes
+    w.WriteI64(0);                    // class id
+    w.WriteU64(0);                    // seen
+    w.WriteU64(1);                    // rows
+    w.WriteF32(bad);                  // poisoned scale
+    w.WriteI8Vector({12, -3});
+    BinaryReader r(w.buffer());
+    auto set = SupportSet::DeserializeQuantized(&r);
+    ASSERT_FALSE(set.ok());
+    EXPECT_EQ(set.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SupportSetTest, DeserializeQuantizedSurvivesTruncation) {
+  SupportSet set(3, SelectionStrategy::kRandom);
+  Rng rng(7);
+  ASSERT_TRUE(
+      set.SetClass(0, ClassData(0, 4, 1.0f, 31), nullptr, &rng).ok());
+  BinaryWriter w;
+  set.SerializeQuantized(&w);
+  const std::string& full = w.buffer();
+  for (size_t len = 0; len < full.size(); ++len) {
+    BinaryReader r(full.data(), len);
+    EXPECT_FALSE(SupportSet::DeserializeQuantized(&r).ok())
+        << "truncation at " << len << " parsed";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -64,7 +64,7 @@ TEST(WorkspaceTest, RecordedAndPingPongPathsBitIdentical) {
 TEST(WorkspaceTest, QuantizedLinearForwardBitIdenticalAcrossPaths) {
   Rng rng(3);
   Sequential net;
-  net.Add(std::make_unique<QuantizedLinear>(Linear(6, 4, &rng)));
+  net.Add(QuantizedLinear::FromLinear(Linear(6, 4, &rng)).value());
   net.Add(std::make_unique<Relu>());
   Matrix x = RandomBatch(3, 6, 4);
   ForwardWorkspace ws_a;

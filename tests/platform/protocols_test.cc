@@ -163,5 +163,46 @@ TEST_F(ProtocolsTest, ProvisionedDeviceReportsBundleSize) {
   EXPECT_EQ(device.value().runtime().model().registry().size(), 5u);
 }
 
+TEST_F(ProtocolsTest, ServeQuantizedBundleIsWireV3AndSmaller) {
+  const std::string fp32 = server_->ServeBundleBytes().value();
+  auto quant = server_->ServeQuantizedBundleBytes();
+  ASSERT_TRUE(quant.ok()) << quant.status();
+  EXPECT_LT(quant.value().size(), fp32.size() / 2);
+  auto bundle = core::ModelBundle::FromString(quant.value());
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle.value().wire_version, core::kBundleWireV3);
+  EXPECT_TRUE(bundle.value().classifier.quantized());
+  // Lazily cached: a second call serves the identical bytes.
+  EXPECT_EQ(server_->ServeQuantizedBundleBytes().value(), quant.value());
+}
+
+// The quantized-vs-fp32 agreement scenario: both protocols classify the same
+// synthetic stream; the int8 bundle must cost a fraction of the downlink
+// bytes (the privacy auditor reads it off the link) and stay within the
+// paper-replication accuracy tolerance of the fp32 deployment.
+TEST_F(ProtocolsTest, QuantizedEdgeProtocolShrinksDownlinkAndAgrees) {
+  NetworkLink fp_link(50.0, 10.0);
+  NetworkLink q_link(50.0, 10.0);
+  EdgeProtocol fp32(server_, &fp_link);
+  EdgeProtocol quant(server_, &q_link, /*quantized_bundle=*/true);
+  auto m_fp = fp32.Run(*stream_);
+  ASSERT_TRUE(m_fp.ok()) << m_fp.status();
+  auto m_q = quant.Run(*stream_);
+  ASSERT_TRUE(m_q.ok()) << m_q.status();
+
+  EXPECT_EQ(m_q.value().protocol, "edge(int8)");
+  EXPECT_EQ(m_q.value().uplink_user_bytes, 0u);
+  EXPECT_TRUE(PrivacyAuditor(&q_link).Verify().ok());
+
+  const size_t fp_bytes = PrivacyAuditor(&fp_link).BundleBytesDownlinked();
+  const size_t q_bytes = PrivacyAuditor(&q_link).BundleBytesDownlinked();
+  ASSERT_GT(fp_bytes, 0u);
+  ASSERT_GT(q_bytes, 0u);
+  EXPECT_LT(q_bytes, fp_bytes / 2);  // bench_quant pins ~4x at paper scale
+
+  EXPECT_EQ(m_q.value().windows, m_fp.value().windows);
+  EXPECT_NEAR(m_q.value().accuracy, m_fp.value().accuracy, 0.05);
+}
+
 }  // namespace
 }  // namespace magneto::platform

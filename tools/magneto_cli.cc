@@ -208,7 +208,9 @@ int CmdInspect(const std::string& path) {
   if (!bundle.ok()) return Fail(bundle.status(), "load");
   const core::ModelBundle& b = bundle.value();
   std::printf("bundle: %s\n", path.c_str());
-  std::printf("  serialized: %.1f KiB\n", b.SerializedBytes() / 1024.0);
+  std::printf("  serialized: %.1f KiB (wire v%u%s)\n",
+              b.SerializedBytes() / 1024.0, b.wire_version,
+              b.classifier.quantized() ? ", int8 scans" : "");
   std::printf("  backbone (%zu params, %.1f KiB):\n",
               b.backbone.NumParameters(),
               b.backbone.NumParameters() * sizeof(float) / 1024.0);
@@ -274,6 +276,9 @@ int CmdSimulate(const Args& args) {
               link.bandwidth_mbps(), report.chunks, report.retries);
   // Re-parse from the delivered bytes: the device boots from what actually
   // crossed the (possibly lossy) link, proving end-to-end integrity.
+  std::printf("delivery: wire v%u, byte-identical: %s\n",
+              bundle.value().wire_version,
+              delivered.value() == sent_bytes ? "yes" : "NO");
   bundle = core::ModelBundle::FromString(delivered.value());
   if (!bundle.ok()) return Fail(bundle.status(), "delivered bundle");
 
@@ -498,11 +503,18 @@ int CmdCompress(const Args& args) {
   updated.registry = model.registry();
   updated.support = std::move(support);
   updated.backbone = std::move(model.backbone());
+  if (method == "int8") {
+    // Full quantized edge path: int8 backbone, int8 prototype scans, and
+    // the wire-v3 quantized bundle encoding for the download itself.
+    updated.wire_version = core::kBundleWireV3;
+    Status quantized = updated.classifier.QuantizePrototypes();
+    if (!quantized.ok()) return Fail(quantized, "quantize prototypes");
+  }
   Status saved = updated.SaveToFile(out);
   if (!saved.ok()) return Fail(saved, "save");
-  std::printf("%s: %.1f KiB -> %.1f KiB (%s)%s\n", out.c_str(),
+  std::printf("%s: %.1f KiB -> %.1f KiB (%s, wire v%u)%s\n", out.c_str(),
               before / 1024.0, updated.SerializedBytes() / 1024.0,
-              method.c_str(),
+              method.c_str(), updated.wire_version,
               method == "int8" ? "  [inference-only: no on-device updates]"
                                : "");
   return 0;
