@@ -1,0 +1,191 @@
+// Fleet-scale sweep over the sharded cloud control plane: provisions
+// simulated device fleets (heterogeneous arrival rates, per-device lossy
+// links, mid-transfer churn with chunk-level resume) across a grid of fleet
+// sizes and fault rates, then walks a staged canary rollout across the
+// largest fleet under churn. Reports provisioning throughput and the
+// simulated rollout-completion curve per row; the rollout must complete with
+// nonzero resumed transfers or the bench fails — the control-plane contract
+// of DESIGN.md, "Cloud control plane".
+//
+// Emits BENCH_cloud_scale.json (+ metrics sidecar).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace magneto::bench {
+namespace {
+
+struct FleetRow {
+  size_t devices = 0;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  platform::FleetReport report;
+};
+
+int Run() {
+  // One small pretrained bundle shared by every row: the sweep varies fleet
+  // size and link behaviour, not the model.
+  core::CloudConfig config = BenchCloudConfig();
+  config.backbone_dims = {64, 32};
+  config.train.epochs = 6;
+  platform::CloudServer server(config);
+  CheckOk(server.Pretrain(BenchCorpus(33, 2, 6.0),
+                          sensors::ActivityRegistry::BaseActivities()),
+          "pretrain");
+
+  const std::vector<size_t> fleet_sizes = {10'000, 30'000};
+  const std::vector<std::pair<double, double>> fault_rates = {
+      {0.0, 0.0}, {0.2, 0.05}};
+
+  platform::CloudControlPlane::Options options;
+  options.num_shards = 16;
+  options.provision_workers = 8;
+
+  std::vector<FleetRow> rows;
+  for (size_t devices : fleet_sizes) {
+    for (const auto& [drop, corrupt] : fault_rates) {
+      // Fresh plane per row so each fleet's device table starts empty.
+      platform::CloudControlPlane plane(options);
+      platform::TenantId tenant =
+          Unwrap(plane.RegisterTenant("bench", server), "register tenant");
+
+      platform::FleetSpec spec;
+      spec.num_devices = devices;
+      spec.seed = 29;
+      spec.faulty_fraction = drop > 0.0 || corrupt > 0.0 ? 0.2 : 0.0;
+      spec.drop_rate = drop;
+      spec.corrupt_rate = corrupt;
+      spec.churn_fraction = 0.1;
+      spec.quantized_fraction = 0.5;
+
+      FleetRow row;
+      row.devices = devices;
+      row.drop_rate = drop;
+      row.corrupt_rate = corrupt;
+      row.report = Unwrap(plane.ProvisionFleet(tenant, spec), "provision");
+      std::printf(
+          "%6zu devices drop %4.0f%%: %6zu ok %4zu failed  %6.2f s wall "
+          "(%6.0f dev/s)  %5zu resumed  sim p99 %6.1f s\n",
+          devices, drop * 100.0, row.report.provisioned, row.report.failed,
+          row.report.wall_seconds, row.report.devices_per_second,
+          row.report.resumed_sessions, row.report.CompletionQuantile(0.99));
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Staged canary rollout at 10^4 devices under churn + faults: provision,
+  // publish v2, walk the stages. This is the end-to-end control-plane story:
+  // old and new versions in flight, churned devices resuming mid-bundle.
+  platform::CloudControlPlane plane(options);
+  platform::TenantId tenant =
+      Unwrap(plane.RegisterTenant("bench-rollout", server), "register tenant");
+  platform::FleetSpec rollout_spec;
+  rollout_spec.num_devices = 10'000;
+  rollout_spec.seed = 31;
+  rollout_spec.faulty_fraction = 0.2;
+  rollout_spec.drop_rate = 0.2;
+  rollout_spec.corrupt_rate = 0.05;
+  rollout_spec.churn_fraction = 0.1;
+  platform::FleetReport provisioned =
+      Unwrap(plane.ProvisionFleet(tenant, rollout_spec), "provision rollout");
+  const std::string fp32 =
+      Unwrap(plane.Artifact(tenant, 1), "artifact")->fp32_bytes;
+  const uint64_t v2 =
+      Unwrap(plane.PublishVersionBytes(tenant, fp32), "publish v2");
+  platform::RolloutReport rollout = Unwrap(
+      plane.RunRollout(tenant, v2, platform::RolloutPolicy{}, rollout_spec),
+      "rollout");
+  std::printf("rollout to v%llu: %s, %zu updated, %zu failed, %zu resumed "
+              "sessions, sim %.1f s\n",
+              static_cast<unsigned long long>(v2),
+              platform::RolloutStateName(rollout.state),
+              rollout.devices_updated, rollout.devices_failed,
+              rollout.resumed_sessions, rollout.sim_completion_s);
+  if (rollout.state != platform::RolloutState::kCompleted) {
+    std::fprintf(stderr, "rollout halted — fault rates exceed what the "
+                         "transport can absorb\n");
+    return 1;
+  }
+  if (rollout.resumed_sessions == 0 || provisioned.resumed_sessions == 0) {
+    std::fprintf(stderr, "no resumed sessions despite churn — the resume "
+                         "path did not exercise\n");
+    return 1;
+  }
+
+  obs::JsonWriter json = BenchJson("cloud_scale");
+  json.Field("bundle_fp32_bytes",
+             static_cast<uint64_t>(fp32.size()))
+      .Field("provision_workers", static_cast<uint64_t>(options.provision_workers))
+      .Field("num_shards", static_cast<uint64_t>(options.num_shards))
+      .Key("fleet_rows")
+      .BeginArray();
+  for (const FleetRow& row : rows) {
+    json.BeginObject()
+        .Field("devices", static_cast<uint64_t>(row.devices))
+        .Field("drop_rate", row.drop_rate)
+        .Field("corrupt_rate", row.corrupt_rate)
+        .Field("provisioned", static_cast<uint64_t>(row.report.provisioned))
+        .Field("failed", static_cast<uint64_t>(row.report.failed))
+        .Field("churned_devices",
+               static_cast<uint64_t>(row.report.churned_devices))
+        .Field("resumed_sessions",
+               static_cast<uint64_t>(row.report.resumed_sessions))
+        .Field("fp32_devices", static_cast<uint64_t>(row.report.fp32_devices))
+        .Field("int8_devices", static_cast<uint64_t>(row.report.int8_devices))
+        .Field("wire_bytes", static_cast<uint64_t>(row.report.wire_bytes))
+        .Field("wall_seconds", row.report.wall_seconds)
+        .Field("devices_per_second", row.report.devices_per_second)
+        .Key("completion_curve_s")
+        .BeginArray();
+    // The rollout-completion curve as deciles of simulated completion time.
+    for (int d = 1; d <= 10; ++d) {
+      json.Value(row.report.CompletionQuantile(d / 10.0));
+    }
+    json.EndArray().EndObject();
+  }
+  json.EndArray();
+
+  json.Key("rollout").BeginObject();
+  json.Field("devices", static_cast<uint64_t>(rollout_spec.num_devices))
+      .Field("to_version", static_cast<uint64_t>(rollout.to_version))
+      .Field("state", platform::RolloutStateName(rollout.state))
+      .Field("devices_updated", static_cast<uint64_t>(rollout.devices_updated))
+      .Field("devices_failed", static_cast<uint64_t>(rollout.devices_failed))
+      .Field("resumed_sessions",
+             static_cast<uint64_t>(rollout.resumed_sessions))
+      .Field("sim_completion_s", rollout.sim_completion_s)
+      .Field("wall_seconds", rollout.wall_seconds)
+      .Key("stages")
+      .BeginArray();
+  for (const platform::StageRecord& stage : rollout.stage_records) {
+    json.BeginObject()
+        .Field("fraction", stage.fraction)
+        .Field("targeted", static_cast<uint64_t>(stage.targeted))
+        .Field("updated", static_cast<uint64_t>(stage.updated))
+        .Field("failed", static_cast<uint64_t>(stage.failed))
+        .Field("failure_rate", stage.failure_rate)
+        .Field("skew_old_before", static_cast<uint64_t>(stage.skew_old_before))
+        .Field("skew_new_before", static_cast<uint64_t>(stage.skew_new_before))
+        .Field("sim_end_s", stage.sim_end_s)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+
+  json.EndObject();
+  if (!json.WriteToFile("BENCH_cloud_scale.json")) {
+    std::fprintf(stderr, "cannot write BENCH_cloud_scale.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_cloud_scale.json\n");
+  WriteMetricsSnapshot("BENCH_cloud_scale.metrics.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace magneto::bench
+
+int main() { return magneto::bench::Run(); }

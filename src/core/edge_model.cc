@@ -39,6 +39,13 @@ NamedPrediction EdgeModel::WithName(const Prediction& prediction) const {
 
 Result<NamedPrediction> EdgeModel::InferFeatures(
     const std::vector<float>& features) {
+  return static_cast<const EdgeModel*>(this)->InferFeatures(features,
+                                                            &embed_ws_);
+}
+
+Result<NamedPrediction> EdgeModel::InferFeatures(
+    const std::vector<float>& features,
+    nn::ForwardWorkspace* workspace) const {
   const size_t expected = backbone_.InputDim();
   if (expected > 0 && features.size() != expected) {
     return Status::InvalidArgument(
@@ -46,7 +53,8 @@ Result<NamedPrediction> EdgeModel::InferFeatures(
         ", backbone expects " + std::to_string(expected));
   }
   Matrix batch(1, features.size(), features);
-  Matrix emb = Embed(batch);
+  const Matrix& emb =
+      backbone_.Forward(batch, workspace, /*training=*/false);
   Result<Prediction> pred =
       rejection_threshold_ > 0.0
           ? classifier_.ClassifyWithRejection(emb.RowPtr(0), emb.cols(),

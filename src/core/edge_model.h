@@ -65,6 +65,13 @@ class EdgeModel : public Embedder {
   /// Classifies an already-preprocessed feature vector.
   Result<NamedPrediction> InferFeatures(const std::vector<float>& features);
 
+  /// Concurrent-serving variant: embeds through `workspace` instead of the
+  /// model's own scratch, leaving the model untouched — `Forward` is const
+  /// (PR 6), so N threads may call this on one shared model, each with its
+  /// own workspace. `CloudServer::RemoteInfer` serves through this path.
+  Result<NamedPrediction> InferFeatures(const std::vector<float>& features,
+                                        nn::ForwardWorkspace* workspace) const;
+
   /// Evaluates on a labeled feature dataset; returns (truth, predicted)
   /// pairs for metric computation.
   Result<std::vector<std::pair<sensors::ActivityId, sensors::ActivityId>>>

@@ -1,0 +1,656 @@
+#include "platform/cloud_control_plane.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "platform/fault_injector.h"
+
+namespace magneto::platform {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// SplitMix64: the per-device randomness primitive. Every behavioural draw
+/// of a device is a fixed chain of these starting from (seed, device id), so
+/// outcomes are independent of worker count, shard count, and job order.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double U01(uint64_t h) {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The deterministic per-device behaviour profile: what a device will do
+/// when provisioned, derived purely from (spec.seed, device id).
+struct DeviceProfile {
+  double arrival_s = 0.0;   ///< exponential arrival offset (class-weighted)
+  bool faulty = false;      ///< lossy link?
+  bool churns = false;      ///< disconnects after churn_after_chunks?
+  bool quantized = false;   ///< wants wire-v3 int8 instead of fp32 v2
+  uint64_t link_seed = 1;   ///< fault injector / jitter seed
+};
+
+DeviceProfile ProfileOf(const FleetSpec& spec, DeviceId device) {
+  uint64_t h = SplitMix64(spec.seed ^ (device + 0x2545F4914F6CDD1Dull));
+  const uint64_t h_class = (h = SplitMix64(h));
+  const uint64_t h_arrival = (h = SplitMix64(h));
+  const uint64_t h_faulty = (h = SplitMix64(h));
+  const uint64_t h_churn = (h = SplitMix64(h));
+  const uint64_t h_quant = (h = SplitMix64(h));
+  const uint64_t h_link = (h = SplitMix64(h));
+
+  DeviceProfile profile;
+  // Arrival classes: 60% eager (x1), 30% standard (x4), 10% laggard (x16).
+  const double u_class = U01(h_class);
+  const double mean = spec.mean_arrival_s *
+                      (u_class < 0.6 ? 1.0 : (u_class < 0.9 ? 4.0 : 16.0));
+  // Inverse-CDF exponential draw; clamp the uniform away from 1 so the log
+  // stays finite.
+  const double u = std::min(U01(h_arrival), 1.0 - 1e-12);
+  profile.arrival_s = -mean * std::log(1.0 - u);
+  profile.faulty = U01(h_faulty) < spec.faulty_fraction;
+  profile.churns = U01(h_churn) < spec.churn_fraction;
+  profile.quantized = U01(h_quant) < spec.quantized_fraction;
+  profile.link_seed = h_link | 1;  // seeds must not be 0
+  return profile;
+}
+
+/// Hash bucket in [0, 1) that decides which rollout stage a device belongs
+/// to. Salted by target version so consecutive rollouts canary on different
+/// devices.
+double RolloutBucket(uint64_t seed, uint64_t to_version, DeviceId device) {
+  return U01(SplitMix64(SplitMix64(seed ^ (to_version * 0xA24BAED4963EE407ull)) ^
+                        device));
+}
+
+struct PlaneMetrics {
+  obs::Counter* provisioned;
+  obs::Counter* failures;
+  obs::Counter* resumed;
+  obs::Counter* churns;
+  obs::Counter* tenants;
+  obs::Counter* versions;
+  obs::Counter* rollouts;
+  obs::Counter* rollout_stages;
+  obs::Counter* rollout_halts;
+  obs::Counter* pins;
+  obs::Gauge* fleet_devices;
+  obs::Histogram* provision_sim_ms;
+};
+
+const PlaneMetrics& Metrics() {
+  static const PlaneMetrics m = [] {
+    obs::Registry& r = obs::Registry::Global();
+    PlaneMetrics pm;
+    pm.provisioned = r.GetCounter("cloud.provisioned");
+    pm.failures = r.GetCounter("cloud.provision_failures");
+    pm.resumed = r.GetCounter("cloud.resumed");
+    pm.churns = r.GetCounter("cloud.churn_disconnects");
+    pm.tenants = r.GetCounter("cloud.tenants");
+    pm.versions = r.GetCounter("cloud.versions");
+    pm.rollouts = r.GetCounter("cloud.rollouts");
+    pm.rollout_stages = r.GetCounter("cloud.rollout_stages");
+    pm.rollout_halts = r.GetCounter("cloud.rollout_halts");
+    pm.pins = r.GetCounter("cloud.pins");
+    pm.fleet_devices = r.GetGauge("cloud.fleet_devices");
+    pm.provision_sim_ms =
+        r.GetHistogram("cloud.provision_sim_ms", obs::LatencyBucketsMs());
+    return pm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+double FleetReport::CompletionQuantile(double q) const {
+  if (completion_sorted_s.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(completion_sorted_s.size() - 1) + 0.5);
+  return completion_sorted_s[index];
+}
+
+const char* RolloutStateName(RolloutState state) {
+  switch (state) {
+    case RolloutState::kCompleted:
+      return "completed";
+    case RolloutState::kHalted:
+      return "halted";
+  }
+  return "unknown";
+}
+
+CloudControlPlane::CloudControlPlane(Options options)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.provision_workers == 0) options_.provision_workers = 1;
+}
+
+Result<TenantId> CloudControlPlane::RegisterTenant(std::string name,
+                                                   const CloudServer& server) {
+  MAGNETO_ASSIGN_OR_RETURN(std::string fp32, server.ServeBundleBytes());
+  MAGNETO_ASSIGN_OR_RETURN(std::string int8, server.ServeQuantizedBundleBytes());
+
+  auto artifact = std::make_shared<BundleArtifact>();
+  artifact->version = 1;
+  artifact->fp32_bytes = std::move(fp32);
+  artifact->int8_bytes = std::move(int8);
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = std::move(name);
+  tenant->versions.push_back(std::move(artifact));
+  tenant->shards.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    tenant->shards.push_back(std::make_unique<Shard>());
+  }
+
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  tenants_.push_back(std::move(tenant));
+  Metrics().tenants->Increment();
+  Metrics().versions->Increment();
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+Result<uint64_t> CloudControlPlane::PublishVersion(
+    TenantId tenant, const core::ModelBundle& bundle) {
+  return PublishVersionBytes(tenant, bundle.SerializeToString());
+}
+
+Result<uint64_t> CloudControlPlane::PublishVersionBytes(
+    TenantId tenant, const std::string& fp32_bytes) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  // Validate + build both encodings OUTSIDE the registry lock (quantization
+  // is the expensive part); only the append is serialized.
+  MAGNETO_ASSIGN_OR_RETURN(core::ModelBundle parsed,
+                           core::ModelBundle::FromString(fp32_bytes));
+  if (parsed.wire_version != core::kBundleWireV2) {
+    return Status::InvalidArgument(
+        "PublishVersion wants an fp32 wire-v2 bundle, got wire v" +
+        std::to_string(parsed.wire_version));
+  }
+  MAGNETO_ASSIGN_OR_RETURN(std::string int8,
+                           CloudServer::EncodeQuantizedBundle(fp32_bytes));
+
+  auto artifact = std::make_shared<BundleArtifact>();
+  artifact->fp32_bytes = fp32_bytes;
+  artifact->int8_bytes = std::move(int8);
+
+  std::lock_guard<std::mutex> lock(t->registry_mu);
+  artifact->version = t->versions.size() + 1;
+  const uint64_t version = artifact->version;
+  t->versions.push_back(std::move(artifact));
+  Metrics().versions->Increment();
+  return version;
+}
+
+Result<std::shared_ptr<const BundleArtifact>> CloudControlPlane::Artifact(
+    TenantId tenant, uint64_t version) const {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  std::lock_guard<std::mutex> lock(t->registry_mu);
+  if (version == 0 || version > t->versions.size()) {
+    return Status::NotFound("tenant " + std::to_string(tenant) +
+                            " has no version " + std::to_string(version));
+  }
+  return t->versions[version - 1];
+}
+
+Result<uint64_t> CloudControlPlane::LatestVersion(TenantId tenant) const {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  std::lock_guard<std::mutex> lock(t->registry_mu);
+  return static_cast<uint64_t>(t->versions.size());
+}
+
+size_t CloudControlPlane::NumTenants() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_.size();
+}
+
+CloudControlPlane::Tenant* CloudControlPlane::FindTenant(
+    TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  if (tenant >= tenants_.size()) return nullptr;
+  return tenants_[tenant].get();
+}
+
+CloudControlPlane::Shard& CloudControlPlane::ShardOf(Tenant& tenant,
+                                                     DeviceId device) const {
+  return *tenant.shards[SplitMix64(device) % tenant.shards.size()];
+}
+
+ProvisionOutcome CloudControlPlane::ProvisionDevice(
+    Tenant& tenant, const std::shared_ptr<const BundleArtifact>& artifact,
+    const FleetSpec& spec, DeviceId device, double arrival_s) {
+  const DeviceProfile profile = ProfileOf(spec, device);
+  ProvisionOutcome out;
+  out.quantized = profile.quantized;
+  const std::string& payload = artifact->bytes(profile.quantized);
+
+  // Each device job owns its link: no cross-device contention on the wire
+  // model, and the fault stream is the device's own.
+  NetworkLink link(spec.rtt_ms, spec.bandwidth_mbps);
+  if (profile.faulty &&
+      (spec.drop_rate > 0.0 || spec.corrupt_rate > 0.0)) {
+    FaultPolicy policy;
+    policy.drop_rate = spec.drop_rate;
+    policy.truncate_rate = spec.corrupt_rate / 2.0;
+    policy.bit_flip_rate = spec.corrupt_rate / 2.0;
+    policy.seed = profile.link_seed;
+    link.SetFaultInjector(std::make_unique<FaultInjector>(policy));
+  }
+
+  double sim_s = arrival_s;
+  uint32_t next_chunk = 0;
+  size_t reconnects = 0;
+  bool first_session = true;
+  std::string assembled;
+  assembled.reserve(payload.size());
+
+  while (true) {
+    TransportOptions topt = options_.transport;
+    topt.jitter_seed = profile.link_seed ^ 0x5BF03635F0C5B2F1ull;
+    // Churn model: the device's FIRST session dies after a few chunks; the
+    // reconnect then resumes from the last validated chunk.
+    if (first_session && profile.churns && spec.churn_after_chunks > 0) {
+      topt.session_chunk_budget = spec.churn_after_chunks;
+    }
+    BundleTransport transport(&link, topt);
+    ++out.sessions;
+    if (next_chunk > 0) {
+      ++out.resumed_sessions;
+      Metrics().resumed->Increment();
+    }
+
+    Result<std::string> got = transport.Deliver(
+        Direction::kDownlink, PayloadKind::kModelArtifact, payload, next_chunk);
+    const TransportReport& report = transport.report();
+    sim_s += report.seconds;
+    out.wire_bytes += report.wire_bytes;
+    first_session = false;
+
+    if (got.ok()) {
+      assembled += got.value();
+      next_chunk = report.next_chunk;
+      if (next_chunk >= report.total_chunks) break;  // fully delivered
+      // Clean partial session: the simulated disconnect (churn).
+      out.churned = true;
+      Metrics().churns->Increment();
+      sim_s += spec.reconnect_delay_s;
+      continue;
+    }
+
+    // Session aborted (chunk retry budget exhausted). Keep what the receiver
+    // validated and reconnect, up to the per-device budget.
+    assembled += report.partial;
+    next_chunk = report.next_chunk;
+    if (reconnects >= options_.max_reconnects) {
+      out.failed = true;
+      break;
+    }
+    ++reconnects;
+    sim_s += spec.reconnect_delay_s;
+  }
+
+  if (!out.failed) {
+    bool ok = assembled == payload;
+    if (ok && spec.decode_check_every > 0 &&
+        device % spec.decode_check_every == 0) {
+      // End-to-end decode probe on a deterministic subset of the fleet.
+      ok = core::ModelBundle::FromString(assembled).ok();
+    }
+    if (ok) {
+      out.installed = true;
+      out.sim_completion_s = sim_s;
+      Metrics().provision_sim_ms->Record((sim_s - arrival_s) * 1e3);
+    } else {
+      out.failed = true;
+    }
+  }
+
+  Shard& shard = ShardOf(tenant, device);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  DeviceState& state = shard.devices[device];
+  if (out.installed) {
+    state.installed_version = artifact->version;
+    state.quantized = profile.quantized;
+    state.failed = false;
+  } else {
+    state.failed = true;
+  }
+  return out;
+}
+
+void CloudControlPlane::RunJobs(size_t n,
+                                const std::function<void(size_t)>& fn) const {
+  const size_t workers =
+      std::max<size_t>(1, std::min(options_.provision_workers, n));
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+FleetReport CloudControlPlane::Aggregate(
+    uint64_t version, const std::vector<ProvisionOutcome>& outcomes,
+    double wall_seconds) const {
+  FleetReport report;
+  report.version = version;
+  report.devices = outcomes.size();
+  report.wall_seconds = wall_seconds;
+  report.completion_sorted_s.reserve(outcomes.size());
+  for (const ProvisionOutcome& out : outcomes) {
+    if (out.installed) {
+      ++report.provisioned;
+      (out.quantized ? report.int8_devices : report.fp32_devices) += 1;
+      report.completion_sorted_s.push_back(out.sim_completion_s);
+    }
+    if (out.failed) ++report.failed;
+    if (out.churned) ++report.churned_devices;
+    report.resumed_sessions += out.resumed_sessions;
+    report.wire_bytes += out.wire_bytes;
+  }
+  std::sort(report.completion_sorted_s.begin(),
+            report.completion_sorted_s.end());
+  if (wall_seconds > 0.0) {
+    report.devices_per_second =
+        static_cast<double>(report.devices) / wall_seconds;
+  }
+  Metrics().provisioned->Increment(report.provisioned);
+  Metrics().failures->Increment(report.failed);
+  return report;
+}
+
+Result<FleetReport> CloudControlPlane::ProvisionFleet(TenantId tenant,
+                                                      const FleetSpec& spec) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  if (spec.num_devices == 0) {
+    return Status::InvalidArgument("fleet must have at least one device");
+  }
+  std::lock_guard<std::mutex> fleet_lock(t->fleet_mu);
+
+  std::shared_ptr<const BundleArtifact> latest;
+  {
+    std::lock_guard<std::mutex> lock(t->registry_mu);
+    if (t->versions.empty()) {
+      return Status::FailedPrecondition("tenant has no published versions");
+    }
+    latest = t->versions.back();
+  }
+
+  // Arrival-ordered job list: workers drain devices in the order they come
+  // online, like a real provisioning queue.
+  struct Job {
+    DeviceId device;
+    double arrival_s;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(spec.num_devices);
+  for (DeviceId id = 0; id < spec.num_devices; ++id) {
+    jobs.push_back({id, ProfileOf(spec, id).arrival_s});
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival_s < b.arrival_s ||
+           (a.arrival_s == b.arrival_s && a.device < b.device);
+  });
+
+  std::vector<ProvisionOutcome> outcomes(jobs.size());
+  const double wall0 = NowSeconds();
+  RunJobs(jobs.size(), [&](size_t i) {
+    const Job& job = jobs[i];
+    std::shared_ptr<const BundleArtifact> target = latest;
+    // Honour pins surviving from earlier runs: a pinned device re-provisions
+    // its pinned version, not the latest.
+    {
+      Shard& shard = ShardOf(*t, job.device);
+      uint64_t pinned = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.devices.find(job.device);
+        if (it != shard.devices.end()) pinned = it->second.pinned_version;
+      }
+      if (pinned != 0) {
+        auto artifact = Artifact(tenant, pinned);
+        if (artifact.ok()) target = artifact.value();
+      }
+    }
+    outcomes[i] = ProvisionDevice(*t, target, spec, job.device, job.arrival_s);
+  });
+  const double wall_seconds = NowSeconds() - wall0;
+
+  t->fleet_size = spec.num_devices;
+  Metrics().fleet_devices->Set(static_cast<double>(spec.num_devices));
+  return Aggregate(latest->version, outcomes, wall_seconds);
+}
+
+Result<RolloutReport> CloudControlPlane::RunRollout(TenantId tenant,
+                                                    uint64_t to_version,
+                                                    const RolloutPolicy& policy,
+                                                    const FleetSpec& spec) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  MAGNETO_ASSIGN_OR_RETURN(std::shared_ptr<const BundleArtifact> target,
+                           Artifact(tenant, to_version));
+  if (policy.stages.empty()) {
+    return Status::InvalidArgument("rollout policy has no stages");
+  }
+  double prev_fraction = 0.0;
+  for (double fraction : policy.stages) {
+    if (fraction <= prev_fraction || fraction > 1.0) {
+      return Status::InvalidArgument(
+          "rollout stages must be strictly increasing fractions in (0, 1]");
+    }
+    prev_fraction = fraction;
+  }
+  std::lock_guard<std::mutex> fleet_lock(t->fleet_mu);
+  if (t->fleet_size == 0) {
+    return Status::FailedPrecondition(
+        "no fleet provisioned; call ProvisionFleet first");
+  }
+
+  RolloutReport rollout;
+  rollout.to_version = to_version;
+  const double wall0 = NowSeconds();
+  double sim_now = 0.0;
+  prev_fraction = 0.0;
+
+  for (double fraction : policy.stages) {
+    StageRecord stage;
+    stage.fraction = fraction;
+
+    // Version-skew evidence at stage start: who is already on the target vs
+    // still serving an older version. Mixed counts mid-rollout are the
+    // normal, supported state.
+    for (const std::unique_ptr<Shard>& shard : t->shards) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [id, state] : shard->devices) {
+        if (state.installed_version == to_version) {
+          ++stage.skew_new_before;
+        } else {
+          ++stage.skew_old_before;
+        }
+      }
+    }
+
+    // This stage's slice: hash buckets in [prev_fraction, fraction) — each
+    // stage targets a disjoint slice, so no device is retried across stages.
+    struct Job {
+      DeviceId device;
+      double arrival_s;
+    };
+    std::vector<Job> jobs;
+    for (DeviceId id = 0; id < t->fleet_size; ++id) {
+      const double bucket = RolloutBucket(spec.seed, to_version, id);
+      if (bucket < prev_fraction || bucket >= fraction) continue;
+      uint64_t pinned = 0;
+      uint64_t installed = 0;
+      bool failed = false;
+      {
+        Shard& shard = ShardOf(*t, id);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.devices.find(id);
+        if (it != shard.devices.end()) {
+          pinned = it->second.pinned_version;
+          installed = it->second.installed_version;
+          failed = it->second.failed;
+        }
+      }
+      if (pinned != 0 && pinned != to_version) {
+        ++rollout.devices_pinned;
+        continue;
+      }
+      if (installed == to_version || failed) {
+        ++rollout.devices_skipped;
+        continue;
+      }
+      jobs.push_back({id, sim_now + ProfileOf(spec, id).arrival_s});
+    }
+    stage.targeted = jobs.size();
+
+    std::vector<ProvisionOutcome> outcomes(jobs.size());
+    const double stage_wall0 = NowSeconds();
+    RunJobs(jobs.size(), [&](size_t i) {
+      outcomes[i] =
+          ProvisionDevice(*t, target, spec, jobs[i].device, jobs[i].arrival_s);
+    });
+    const double stage_wall = NowSeconds() - stage_wall0;
+
+    stage.report = Aggregate(to_version, outcomes, stage_wall);
+    stage.updated = stage.report.provisioned;
+    stage.failed = stage.report.failed;
+    stage.failure_rate =
+        stage.targeted > 0
+            ? static_cast<double>(stage.failed) /
+                  static_cast<double>(stage.targeted)
+            : 0.0;
+    stage.sim_end_s = stage.report.completion_sorted_s.empty()
+                          ? sim_now
+                          : stage.report.completion_sorted_s.back();
+    sim_now = std::max(sim_now, stage.sim_end_s);
+
+    rollout.devices_updated += stage.updated;
+    rollout.devices_failed += stage.failed;
+    rollout.resumed_sessions += stage.report.resumed_sessions;
+    rollout.stage_records.push_back(std::move(stage));
+    Metrics().rollout_stages->Increment();
+
+    const StageRecord& done = rollout.stage_records.back();
+    if (done.targeted >= policy.min_sample &&
+        done.failure_rate > policy.halt_failure_rate) {
+      rollout.state = RolloutState::kHalted;
+      Metrics().rollout_halts->Increment();
+      break;
+    }
+    prev_fraction = fraction;
+  }
+
+  rollout.sim_completion_s = sim_now;
+  rollout.wall_seconds = NowSeconds() - wall0;
+  Metrics().rollouts->Increment();
+  return rollout;
+}
+
+Status CloudControlPlane::PinDevice(TenantId tenant, DeviceId device,
+                                    uint64_t version) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  if (version != 0) {
+    std::lock_guard<std::mutex> lock(t->registry_mu);
+    if (version > t->versions.size()) {
+      return Status::NotFound("tenant has no version " +
+                              std::to_string(version));
+    }
+  }
+  Shard& shard = ShardOf(*t, device);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.devices[device].pinned_version = version;
+  if (version != 0) Metrics().pins->Increment();
+  return Status::Ok();
+}
+
+Result<std::map<uint64_t, size_t>> CloudControlPlane::VersionCounts(
+    TenantId tenant) const {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  std::map<uint64_t, size_t> counts;
+  for (const std::unique_ptr<Shard>& shard : t->shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, state] : shard->devices) {
+      ++counts[state.installed_version];
+    }
+  }
+  return counts;
+}
+
+Result<uint64_t> CloudControlPlane::InstalledVersion(TenantId tenant,
+                                                     DeviceId device) const {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  Shard& shard = ShardOf(*t, device);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.devices.find(device);
+  if (it == shard.devices.end()) {
+    return Status::NotFound("device " + std::to_string(device) +
+                            " never provisioned");
+  }
+  return it->second.installed_version;
+}
+
+Result<size_t> CloudControlPlane::DeviceCount(TenantId tenant) const {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("no tenant " + std::to_string(tenant));
+  }
+  size_t count = 0;
+  for (const std::unique_ptr<Shard>& shard : t->shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    count += shard->devices.size();
+  }
+  return count;
+}
+
+}  // namespace magneto::platform

@@ -1,0 +1,311 @@
+#ifndef MAGNETO_PLATFORM_CLOUD_CONTROL_PLANE_H_
+#define MAGNETO_PLATFORM_CLOUD_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_bundle.h"
+#include "platform/bundle_transport.h"
+#include "platform/cloud_server.h"
+#include "platform/network_link.h"
+
+namespace magneto::platform {
+
+using TenantId = uint32_t;
+using DeviceId = uint64_t;
+
+/// One published model version of a tenant, in both wire encodings. Built
+/// once (under the tenant registry lock) and immutable thereafter: every
+/// in-flight delivery pins the artifact with a shared_ptr, so publishing new
+/// versions never invalidates bytes already on the wire — the version-skew
+/// rule that lets old and new bundles coexist during a rollout.
+struct BundleArtifact {
+  uint64_t version = 0;
+  std::string fp32_bytes;  ///< wire v2, full-precision
+  std::string int8_bytes;  ///< wire v3, quantized (~4x smaller)
+
+  const std::string& bytes(bool quantized) const {
+    return quantized ? int8_bytes : fp32_bytes;
+  }
+};
+
+/// The deterministic traffic model of one simulated fleet. Every per-device
+/// behaviour (arrival time, link fault rates, churn, encoding preference) is
+/// a pure function of (seed, device id), so a fleet run is reproducible at
+/// any worker count and any shard count.
+struct FleetSpec {
+  size_t num_devices = 10'000;
+  uint64_t seed = 1;
+
+  /// Heterogeneous arrival rates: devices split into eager / standard /
+  /// laggard classes whose exponential arrival means are this base value
+  /// x1, x4, and x16 respectively. Simulated seconds.
+  double mean_arrival_s = 2.0;
+
+  /// Fraction of devices on lossy links, and the fault rates those links
+  /// inject per chunk frame (corruption splits evenly into truncations and
+  /// bit-flips, like the CLI's --fault-corrupt-rate).
+  double faulty_fraction = 0.2;
+  double drop_rate = 0.2;
+  double corrupt_rate = 0.05;
+
+  /// Fraction of devices that churn: disconnect after `churn_after_chunks`
+  /// chunks of their first session, then reconnect after
+  /// `reconnect_delay_s` (simulated) and resume from the last good chunk.
+  double churn_fraction = 0.1;
+  size_t churn_after_chunks = 2;
+  double reconnect_delay_s = 0.5;
+
+  /// Fraction of devices provisioned with the wire-v3 int8 encoding (the
+  /// bandwidth-constrained cohort); the rest take fp32 v2.
+  double quantized_fraction = 0.5;
+
+  /// Link shape shared by every device (per-device variation comes from the
+  /// fault injector, not the latency/bandwidth model).
+  double rtt_ms = 50.0;
+  double bandwidth_mbps = 10.0;
+
+  /// Every `decode_check_every`-th device fully deserializes its delivered
+  /// bundle (`ModelBundle::FromString`) instead of only CRC/byte-comparing
+  /// it — an end-to-end decode probe that stays affordable at 10^6 devices.
+  /// 0 disables the probe.
+  size_t decode_check_every = 256;
+};
+
+/// Staged (canary) rollout policy. `stages` are cumulative fleet fractions;
+/// each stage re-provisions the devices whose deterministic hash bucket
+/// falls inside the new slice. After every stage the plane compares the
+/// stage's failure rate against `halt_failure_rate` and aborts the rollout
+/// (state kHalted) when it is exceeded — devices not yet updated simply
+/// keep the old version (version skew is a supported steady state).
+struct RolloutPolicy {
+  std::vector<double> stages = {0.01, 0.10, 0.50, 1.0};
+  double halt_failure_rate = 0.25;
+  /// A stage is only judged once it targeted at least this many devices
+  /// (a 1-device canary failing should not read as a 100% failure rate).
+  size_t min_sample = 8;
+};
+
+/// What provisioning one device cost and how it went.
+struct ProvisionOutcome {
+  bool installed = false;
+  bool failed = false;    ///< permanently failed (reconnect budget exhausted)
+  bool churned = false;   ///< disconnected mid-transfer at least once
+  bool quantized = false; ///< took the wire-v3 int8 encoding
+  size_t resumed_sessions = 0;  ///< sessions that started at chunk > 0
+  size_t sessions = 0;
+  size_t wire_bytes = 0;
+  double sim_completion_s = 0.0;  ///< arrival -> installed, simulated
+};
+
+/// Aggregate of one `ProvisionFleet` (or one rollout stage) run.
+struct FleetReport {
+  uint64_t version = 0;  ///< version the fleet converged to
+  size_t devices = 0;
+  size_t provisioned = 0;
+  size_t failed = 0;
+  size_t resumed_sessions = 0;
+  size_t churned_devices = 0;
+  size_t fp32_devices = 0;
+  size_t int8_devices = 0;
+  size_t wire_bytes = 0;
+
+  double wall_seconds = 0.0;  ///< real time for the whole concurrent run
+  double devices_per_second = 0.0;
+
+  /// Simulated per-device completion times (arrival -> installed), sorted
+  /// ascending — the rollout-completion curve. Failed devices are excluded.
+  std::vector<double> completion_sorted_s;
+  /// Upper completion time at which a fraction `q` of successful devices
+  /// were provisioned (0 when none were).
+  double CompletionQuantile(double q) const;
+};
+
+enum class RolloutState : uint8_t { kCompleted = 0, kHalted = 1 };
+const char* RolloutStateName(RolloutState state);
+
+/// One stage of a staged rollout, with the version-skew evidence: how many
+/// devices were still on an older version vs already on the target when the
+/// stage began.
+struct StageRecord {
+  double fraction = 0.0;  ///< cumulative fleet fraction this stage covers
+  size_t targeted = 0;
+  size_t updated = 0;
+  size_t failed = 0;
+  size_t skew_old_before = 0;  ///< devices on a version != target at start
+  size_t skew_new_before = 0;  ///< devices already on target at start
+  double failure_rate = 0.0;
+  double sim_end_s = 0.0;  ///< simulated time when the stage finished
+  FleetReport report;
+};
+
+struct RolloutReport {
+  uint64_t to_version = 0;
+  RolloutState state = RolloutState::kCompleted;
+  std::vector<StageRecord> stage_records;
+  size_t devices_updated = 0;
+  size_t devices_failed = 0;
+  size_t devices_pinned = 0;    ///< skipped because pinned to a version
+  size_t devices_skipped = 0;   ///< already on target / previously failed
+  size_t resumed_sessions = 0;
+  double sim_completion_s = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Sharded, multi-tenant control plane in front of `CloudServer`: the cloud
+/// half of the ROADMAP's "serve a simulated million-device fleet" item.
+///
+/// ## Tenancy & sharding
+///
+/// Each tenant owns an immutable, versioned artifact registry (fp32 wire-v2
+/// and int8 wire-v3 encodings of every published bundle) plus a device table
+/// split across `num_shards` shards. A device id hashes to one shard; shard
+/// mutexes are held only for table lookups/updates, never across a delivery,
+/// so provisioning workers on different devices contend only when their
+/// devices collide on a shard.
+///
+/// ## Provisioning
+///
+/// `ProvisionFleet` runs the deterministic traffic generator of a
+/// `FleetSpec`: `provision_workers` threads drain the arrival-ordered device
+/// list, each delivering the device's preferred encoding over its own
+/// `NetworkLink` (per-device fault injector) via the chunked
+/// `BundleTransport` — retries within a session, churn + reconnect + resume
+/// across sessions, bounded by `max_reconnects`. Every outcome is a pure
+/// function of (spec.seed, device id), so fleet-level counters and simulated
+/// completion curves are bit-stable across worker counts.
+///
+/// ## Rollout state machine
+///
+///   kStaging --(stage ok)--> next stage --(last stage ok)--> kCompleted
+///       \--(failure rate > halt threshold)--> kHalted
+///
+/// `RunRollout` walks `RolloutPolicy::stages`; each stage re-provisions the
+/// hash-bucket slice of the fleet onto `to_version`. Old and new versions
+/// are in flight simultaneously (each delivery pins its artifact), devices
+/// pinned via `PinDevice` are never moved, and a halted rollout leaves the
+/// remaining devices serving the old version indefinitely — mixed-version
+/// fleets are the normal operating mode, not an error.
+///
+/// ## Thread safety
+///
+/// All public methods are safe to call concurrently. Registry reads take the
+/// tenant mutex briefly to copy a shared_ptr; artifacts themselves are
+/// immutable. `ProvisionFleet`/`RunRollout` may run concurrently for
+/// different tenants; concurrent runs for the same tenant are serialized by
+/// the tenant's fleet mutex (the device table is one fleet's ground truth).
+class CloudControlPlane {
+ public:
+  struct Options {
+    size_t num_shards = 16;
+    size_t provision_workers = 8;
+    /// Reconnect budget per device job: a delivery whose session dies this
+    /// many times (beyond churn disconnects, which always reconnect) marks
+    /// the device failed.
+    size_t max_reconnects = 8;
+    TransportOptions transport;
+  };
+
+  CloudControlPlane() : CloudControlPlane(Options{}) {}
+  explicit CloudControlPlane(Options options);
+
+  // -- Tenancy & registry -----------------------------------------------------
+
+  /// Registers a tenant backed by `server` (which must be pretrained) and
+  /// publishes its bundle as version 1 in both encodings. The server is only
+  /// read during this call; it is not retained.
+  Result<TenantId> RegisterTenant(std::string name, const CloudServer& server);
+
+  /// Publishes a new version of `tenant`'s model from an fp32 (wire v2)
+  /// bundle; the int8 wire-v3 encoding is built here, once, and both become
+  /// immutable. Returns the new version number (monotonic per tenant).
+  Result<uint64_t> PublishVersion(TenantId tenant,
+                                  const core::ModelBundle& bundle);
+  Result<uint64_t> PublishVersionBytes(TenantId tenant,
+                                       const std::string& fp32_bytes);
+
+  Result<std::shared_ptr<const BundleArtifact>> Artifact(
+      TenantId tenant, uint64_t version) const;
+  Result<uint64_t> LatestVersion(TenantId tenant) const;
+  size_t NumTenants() const;
+
+  // -- Fleet provisioning -----------------------------------------------------
+
+  /// Provisions `spec.num_devices` simulated devices of `tenant` onto the
+  /// latest published version. Devices persist in the tenant's shards, so a
+  /// later `RunRollout` moves this same fleet.
+  Result<FleetReport> ProvisionFleet(TenantId tenant, const FleetSpec& spec);
+
+  /// Staged rollout of the fleet provisioned by the last `ProvisionFleet`
+  /// onto `to_version`. `spec` must be the same traffic model (it determines
+  /// per-device behaviour); the device population is taken from the shards.
+  Result<RolloutReport> RunRollout(TenantId tenant, uint64_t to_version,
+                                   const RolloutPolicy& policy,
+                                   const FleetSpec& spec);
+
+  // -- Device state -----------------------------------------------------------
+
+  /// Pins `device` to `version`: rollouts skip it until unpinned (pass 0).
+  Status PinDevice(TenantId tenant, DeviceId device, uint64_t version);
+
+  /// Installed-version histogram over the tenant's devices — the version-skew
+  /// observable (a mid-rollout fleet shows several nonzero buckets).
+  Result<std::map<uint64_t, size_t>> VersionCounts(TenantId tenant) const;
+  Result<uint64_t> InstalledVersion(TenantId tenant, DeviceId device) const;
+  Result<size_t> DeviceCount(TenantId tenant) const;
+
+ private:
+  struct DeviceState {
+    uint64_t installed_version = 0;  ///< 0 = never provisioned
+    uint64_t pinned_version = 0;     ///< 0 = unpinned
+    bool quantized = false;
+    bool failed = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<DeviceId, DeviceState> devices;
+  };
+
+  struct Tenant {
+    std::string name;
+    mutable std::mutex registry_mu;  ///< guards `versions` (append-only)
+    std::vector<std::shared_ptr<const BundleArtifact>> versions;
+    std::mutex fleet_mu;  ///< serializes ProvisionFleet/RunRollout
+    std::vector<std::unique_ptr<Shard>> shards;
+    size_t fleet_size = 0;  ///< devices provisioned by the last fleet run
+  };
+
+  Tenant* FindTenant(TenantId tenant) const;
+  Shard& ShardOf(Tenant& tenant, DeviceId device) const;
+
+  /// Delivers `artifact` to one device (the churn / reconnect / resume loop)
+  /// and updates its shard entry. Runs on a provisioning worker.
+  ProvisionOutcome ProvisionDevice(
+      Tenant& tenant, const std::shared_ptr<const BundleArtifact>& artifact,
+      const FleetSpec& spec, DeviceId device, double arrival_s);
+
+  /// Runs `fn(i)` for i in [0, n) on up to `provision_workers` threads.
+  void RunJobs(size_t n, const std::function<void(size_t)>& fn) const;
+
+  /// Aggregates per-device outcomes into a FleetReport (and the cloud.*
+  /// metrics) after a concurrent run.
+  FleetReport Aggregate(uint64_t version,
+                        const std::vector<ProvisionOutcome>& outcomes,
+                        double wall_seconds) const;
+
+  Options options_;
+  mutable std::mutex tenants_mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace magneto::platform
+
+#endif  // MAGNETO_PLATFORM_CLOUD_CONTROL_PLANE_H_

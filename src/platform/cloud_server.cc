@@ -2,6 +2,7 @@
 
 #include "compress/compress.h"
 #include "core/model_bundle.h"
+#include "nn/workspace.h"
 
 namespace magneto::platform {
 
@@ -11,9 +12,18 @@ Status CloudServer::Pretrain(
   core::CloudReport report;
   auto bundle = initializer_.Initialize(corpus, registry, &report);
   if (!bundle.ok()) return bundle.status();
-  bundle_bytes_ = bundle.value().SerializeToString();
-  model_ = std::make_unique<core::EdgeModel>(
-      std::move(bundle).value().ToEdgeModel());
+  return AdoptBundle(std::move(bundle).value());
+}
+
+Status CloudServer::AdoptBundle(core::ModelBundle bundle) {
+  if (pretrained()) {
+    return Status::FailedPrecondition("server already holds a model");
+  }
+  if (!bundle.pipeline.fitted()) {
+    return Status::InvalidArgument("adopted bundle has an unfitted pipeline");
+  }
+  bundle_bytes_ = bundle.SerializeToString();
+  model_ = std::make_unique<core::EdgeModel>(std::move(bundle).ToEdgeModel());
   return Status::Ok();
 }
 
@@ -24,18 +34,14 @@ Result<std::string> CloudServer::ServeBundleBytes() const {
   return bundle_bytes_;
 }
 
-Result<std::string> CloudServer::ServeQuantizedBundleBytes() {
-  if (!pretrained()) {
-    return Status::FailedPrecondition("server has not pretrained a model");
-  }
-  if (!quantized_bundle_bytes_.empty()) return quantized_bundle_bytes_;
-
+Result<std::string> CloudServer::EncodeQuantizedBundle(
+    const std::string& fp32_bytes) {
   // Same flow as the CLI's `compress --method int8`: quantize the backbone,
   // rebuild the prototypes through the quantized embedding (they must match
   // what the device will compute), switch the classifier to int8 scans, and
   // ship the whole thing on wire v3.
   MAGNETO_ASSIGN_OR_RETURN(core::ModelBundle bundle,
-                           core::ModelBundle::FromString(bundle_bytes_));
+                           core::ModelBundle::FromString(fp32_bytes));
   MAGNETO_ASSIGN_OR_RETURN(bundle.backbone,
                            compress::QuantizeBackbone(bundle.backbone));
   core::SupportSet support = std::move(bundle.support);
@@ -50,16 +56,40 @@ Result<std::string> CloudServer::ServeQuantizedBundleBytes() {
   quantized.registry = model.registry();
   quantized.support = std::move(support);
   quantized.backbone = std::move(model.backbone());
-  quantized_bundle_bytes_ = quantized.SerializeToString();
+  return quantized.SerializeToString();
+}
+
+Result<std::string> CloudServer::ServeQuantizedBundleBytes() const {
+  if (!pretrained()) {
+    return Status::FailedPrecondition("server has not pretrained a model");
+  }
+  // Exactly one caller builds the encoding; concurrent first callers block
+  // here until it is cached, then everyone reads the immutable bytes. (The
+  // previous unguarded lazy cache let one thread write the string while
+  // another moved it out — the PR 9 regression test races this path.)
+  std::call_once(quant_once_, [this] {
+    auto encoded = EncodeQuantizedBundle(bundle_bytes_);
+    if (encoded.ok()) {
+      quantized_bundle_bytes_ = std::move(encoded).value();
+    } else {
+      quant_status_ = encoded.status();
+    }
+  });
+  if (!quant_status_.ok()) return quant_status_;
   return quantized_bundle_bytes_;
 }
 
 Result<core::NamedPrediction> CloudServer::RemoteInfer(
-    const std::vector<float>& features) {
+    const std::vector<float>& features) const {
   if (!pretrained()) {
     return Status::FailedPrecondition("server has not pretrained a model");
   }
-  return model_->InferFeatures(features);
+  // One scratch workspace per serving thread: the shared model's weights are
+  // read-only, so concurrent requests never synchronize. The workspace
+  // resizes to whatever model it last served, making it safe to share across
+  // CloudServer instances on the same thread.
+  thread_local nn::ForwardWorkspace workspace;
+  return model_->InferFeatures(features, &workspace);
 }
 
 }  // namespace magneto::platform

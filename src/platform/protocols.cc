@@ -35,8 +35,16 @@ Result<ProtocolMetrics> CloudProtocol::Run(
 
   size_t correct = 0;
   for (const sensors::LabeledRecording& labeled : stream) {
+    // The edge still pays for preprocessing locally even in the cloud
+    // baseline — it is device compute and burns device joules. (Leaving it
+    // untimed kept cpu_joules at exactly 0 and silently flattered the cloud
+    // column of the Figure-1 energy comparison.)
+    const double pre0 = NowSeconds();
     MAGNETO_ASSIGN_OR_RETURN(std::vector<std::vector<float>> windows,
                              edge_pipeline.Process(labeled.recording));
+    const double pre_s = NowSeconds() - pre0;
+    metrics.compute_seconds += pre_s;
+    metrics.total_latency_s += pre_s;
     for (const std::vector<float>& features : windows) {
       const size_t uplink_bytes = uplink_raw_windows
                                       ? raw_window_bytes
@@ -102,8 +110,13 @@ Result<ProtocolMetrics> EdgeProtocol::Run(
 
   size_t correct = 0;
   for (const sensors::LabeledRecording& labeled : stream) {
+    // Same accounting as the cloud loop: preprocessing is device compute.
+    const double pre0 = NowSeconds();
     MAGNETO_ASSIGN_OR_RETURN(std::vector<std::vector<float>> windows,
                              model.pipeline().Process(labeled.recording));
+    const double pre_s = NowSeconds() - pre0;
+    metrics.compute_seconds += pre_s;
+    metrics.total_latency_s += pre_s;
     for (const std::vector<float>& features : windows) {
       const double t0 = NowSeconds();
       MAGNETO_ASSIGN_OR_RETURN(core::NamedPrediction pred,

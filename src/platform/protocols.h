@@ -22,6 +22,10 @@ struct ProtocolMetrics {
   /// the device", including simulated network time and real compute time.
   double mean_window_latency_s = 0.0;
   double total_latency_s = 0.0;
+  /// Byte counters are read off the `NetworkLink`'s cumulative ledger at the
+  /// end of `Run`, so a link reused across runs WITHOUT `Reset()` reports
+  /// the ledger total up to that run (run k's value = sum of runs 1..k) —
+  /// exact, deterministic, and pinned by ProtocolMetricsInvariants tests.
   size_t uplink_user_bytes = 0;   ///< the privacy cost
   size_t downlink_bytes = 0;      ///< provisioning + results
   /// One-time setup latency (bundle download for the edge protocol).

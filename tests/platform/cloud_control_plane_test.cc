@@ -1,0 +1,334 @@
+#include "platform/cloud_control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/model_bundle.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::platform {
+namespace {
+
+class CloudControlPlaneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    server_ = new CloudServer(testing::SmallCloudConfig());
+    ASSERT_TRUE(server_
+                    ->Pretrain(testing::SmallCorpus(701),
+                               sensors::ActivityRegistry::BaseActivities())
+                    .ok());
+  }
+  static void TearDownTestSuite() { delete server_; }
+
+  /// Small but non-trivial traffic model: lossy links, churn, both
+  /// encodings. 200 devices keeps a test under a second.
+  static FleetSpec SmallFleet(size_t devices = 200) {
+    FleetSpec spec;
+    spec.num_devices = devices;
+    spec.seed = 5;
+    spec.mean_arrival_s = 0.5;
+    spec.faulty_fraction = 0.2;
+    spec.drop_rate = 0.2;
+    spec.corrupt_rate = 0.05;
+    spec.churn_fraction = 0.3;
+    spec.decode_check_every = 64;
+    return spec;
+  }
+
+  static CloudServer* server_;
+};
+
+CloudServer* CloudControlPlaneTest::server_ = nullptr;
+
+TEST_F(CloudControlPlaneTest, RegisterTenantPublishesBothEncodings) {
+  CloudControlPlane plane;
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok()) << tenant.status();
+  EXPECT_EQ(plane.NumTenants(), 1u);
+  EXPECT_EQ(plane.LatestVersion(tenant.value()).value(), 1u);
+
+  auto artifact = plane.Artifact(tenant.value(), 1);
+  ASSERT_TRUE(artifact.ok());
+  auto fp32 = core::ModelBundle::FromString(artifact.value()->fp32_bytes);
+  auto int8 = core::ModelBundle::FromString(artifact.value()->int8_bytes);
+  ASSERT_TRUE(fp32.ok());
+  ASSERT_TRUE(int8.ok());
+  EXPECT_EQ(fp32.value().wire_version, core::kBundleWireV2);
+  EXPECT_EQ(int8.value().wire_version, core::kBundleWireV3);
+  EXPECT_LT(artifact.value()->int8_bytes.size(),
+            artifact.value()->fp32_bytes.size() / 2);
+
+  EXPECT_EQ(plane.Artifact(tenant.value(), 2).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(plane.Artifact(99, 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CloudControlPlaneTest, PublishVersionBytesValidatesWireVersion) {
+  CloudControlPlane plane;
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+  auto artifact = plane.Artifact(tenant.value(), 1);
+  ASSERT_TRUE(artifact.ok());
+
+  auto v2 = plane.PublishVersionBytes(tenant.value(),
+                                      artifact.value()->fp32_bytes);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2.value(), 2u);
+  EXPECT_EQ(plane.LatestVersion(tenant.value()).value(), 2u);
+
+  // An int8 wire-v3 payload is not a publishable source encoding.
+  EXPECT_EQ(plane
+                .PublishVersionBytes(tenant.value(),
+                                     artifact.value()->int8_bytes)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(plane.PublishVersionBytes(tenant.value(), "garbage").ok());
+}
+
+TEST_F(CloudControlPlaneTest, ProvisionFleetInstallsChurnsAndResumes) {
+  CloudControlPlane plane;
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+  const FleetSpec spec = SmallFleet();
+
+  auto fleet = plane.ProvisionFleet(tenant.value(), spec);
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  const FleetReport& report = fleet.value();
+  EXPECT_EQ(report.devices, spec.num_devices);
+  EXPECT_EQ(report.provisioned, spec.num_devices);  // retries absorb faults
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.fp32_devices + report.int8_devices, report.provisioned);
+  EXPECT_GT(report.int8_devices, 0u);
+  EXPECT_GT(report.fp32_devices, 0u);
+  // ~30% churners must have disconnected and resumed mid-bundle.
+  EXPECT_GT(report.churned_devices, spec.num_devices / 10);
+  EXPECT_GE(report.resumed_sessions, report.churned_devices);
+  EXPECT_GT(report.wire_bytes, 0u);
+
+  // The completion curve covers every installed device and is sorted.
+  ASSERT_EQ(report.completion_sorted_s.size(), report.provisioned);
+  EXPECT_TRUE(std::is_sorted(report.completion_sorted_s.begin(),
+                             report.completion_sorted_s.end()));
+  EXPECT_LE(report.CompletionQuantile(0.5), report.CompletionQuantile(0.99));
+
+  EXPECT_EQ(plane.DeviceCount(tenant.value()).value(), spec.num_devices);
+  EXPECT_EQ(plane.InstalledVersion(tenant.value(), 0).value(), 1u);
+  auto counts = plane.VersionCounts(tenant.value());
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().at(1), spec.num_devices);
+}
+
+TEST_F(CloudControlPlaneTest, FleetRunsAreDeterministicAcrossWorkerCounts) {
+  const FleetSpec spec = SmallFleet(150);
+  FleetReport reports[2];
+  const size_t workers[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    CloudControlPlane::Options options;
+    options.provision_workers = workers[i];
+    options.num_shards = i == 0 ? 1 : 16;  // sharding must not matter either
+    CloudControlPlane plane(options);
+    auto tenant = plane.RegisterTenant("acme", *server_);
+    ASSERT_TRUE(tenant.ok());
+    auto fleet = plane.ProvisionFleet(tenant.value(), spec);
+    ASSERT_TRUE(fleet.ok()) << fleet.status();
+    reports[i] = std::move(fleet).value();
+  }
+  EXPECT_EQ(reports[0].provisioned, reports[1].provisioned);
+  EXPECT_EQ(reports[0].failed, reports[1].failed);
+  EXPECT_EQ(reports[0].churned_devices, reports[1].churned_devices);
+  EXPECT_EQ(reports[0].resumed_sessions, reports[1].resumed_sessions);
+  EXPECT_EQ(reports[0].fp32_devices, reports[1].fp32_devices);
+  EXPECT_EQ(reports[0].wire_bytes, reports[1].wire_bytes);
+  // Bit-stable simulated completion times, not just equal counts.
+  EXPECT_EQ(reports[0].completion_sorted_s, reports[1].completion_sorted_s);
+}
+
+TEST_F(CloudControlPlaneTest, StagedRolloutCompletesWithVersionSkew) {
+  CloudControlPlane plane;
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+  const FleetSpec spec = SmallFleet(300);
+  ASSERT_TRUE(plane.ProvisionFleet(tenant.value(), spec).ok());
+  auto artifact = plane.Artifact(tenant.value(), 1);
+  ASSERT_TRUE(artifact.ok());
+  auto v2 = plane.PublishVersionBytes(tenant.value(),
+                                      artifact.value()->fp32_bytes);
+  ASSERT_TRUE(v2.ok());
+
+  RolloutPolicy policy;
+  policy.stages = {0.1, 0.5, 1.0};
+  auto rollout = plane.RunRollout(tenant.value(), v2.value(), policy, spec);
+  ASSERT_TRUE(rollout.ok()) << rollout.status();
+  const RolloutReport& report = rollout.value();
+  EXPECT_EQ(report.state, RolloutState::kCompleted);
+  ASSERT_EQ(report.stage_records.size(), 3u);
+
+  // Stage 1 starts on an all-old fleet; later stages see the skewed mix.
+  EXPECT_EQ(report.stage_records[0].skew_new_before, 0u);
+  EXPECT_EQ(report.stage_records[0].skew_old_before, spec.num_devices);
+  EXPECT_GT(report.stage_records[1].skew_new_before, 0u);
+  EXPECT_GT(report.stage_records[1].skew_old_before, 0u);
+
+  EXPECT_EQ(report.devices_updated, spec.num_devices);
+  EXPECT_EQ(report.devices_failed, 0u);
+  auto counts = plane.VersionCounts(tenant.value());
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().at(v2.value()), spec.num_devices);
+}
+
+TEST_F(CloudControlPlaneTest, RolloutHaltsWhenStageFailureRateSpikes) {
+  // Tight budgets: 2 attempts per chunk, no reconnects, so a hostile link
+  // actually fails devices instead of being absorbed by retries.
+  CloudControlPlane::Options options;
+  options.transport.max_attempts_per_chunk = 2;
+  options.max_reconnects = 0;
+  CloudControlPlane plane(options);
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+
+  FleetSpec clean = SmallFleet(120);
+  clean.faulty_fraction = 0.0;
+  clean.churn_fraction = 0.0;
+  ASSERT_TRUE(plane.ProvisionFleet(tenant.value(), clean).ok());
+  auto artifact = plane.Artifact(tenant.value(), 1);
+  ASSERT_TRUE(artifact.ok());
+  auto v2 = plane.PublishVersionBytes(tenant.value(),
+                                      artifact.value()->fp32_bytes);
+  ASSERT_TRUE(v2.ok());
+
+  FleetSpec hostile = clean;
+  hostile.faulty_fraction = 1.0;
+  hostile.drop_rate = 0.8;
+  RolloutPolicy policy;
+  policy.stages = {0.25, 1.0};
+  policy.halt_failure_rate = 0.5;
+  auto rollout = plane.RunRollout(tenant.value(), v2.value(), policy, hostile);
+  ASSERT_TRUE(rollout.ok()) << rollout.status();
+  EXPECT_EQ(rollout.value().state, RolloutState::kHalted);
+  EXPECT_LT(rollout.value().stage_records.size(), policy.stages.size());
+  EXPECT_GT(rollout.value().devices_failed, 0u);
+
+  // The halted fleet keeps serving the old version — mixed versions are a
+  // steady state, not an error.
+  auto counts = plane.VersionCounts(tenant.value());
+  ASSERT_TRUE(counts.ok());
+  EXPECT_GT(counts.value().at(1), 0u);
+}
+
+TEST_F(CloudControlPlaneTest, PinnedDevicesAreNeverMovedByRollouts) {
+  CloudControlPlane plane;
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+  FleetSpec spec = SmallFleet(80);
+  spec.faulty_fraction = 0.0;
+  spec.churn_fraction = 0.0;
+  ASSERT_TRUE(plane.ProvisionFleet(tenant.value(), spec).ok());
+  auto artifact = plane.Artifact(tenant.value(), 1);
+  ASSERT_TRUE(artifact.ok());
+  auto v2 = plane.PublishVersionBytes(tenant.value(),
+                                      artifact.value()->fp32_bytes);
+  ASSERT_TRUE(v2.ok());
+
+  ASSERT_TRUE(plane.PinDevice(tenant.value(), 7, 1).ok());
+  EXPECT_EQ(plane.PinDevice(tenant.value(), 7, 99).code(),
+            StatusCode::kNotFound);
+
+  RolloutPolicy policy;
+  policy.stages = {1.0};
+  auto rollout = plane.RunRollout(tenant.value(), v2.value(), policy, spec);
+  ASSERT_TRUE(rollout.ok());
+  EXPECT_EQ(rollout.value().devices_pinned, 1u);
+  EXPECT_EQ(plane.InstalledVersion(tenant.value(), 7).value(), 1u);
+  EXPECT_EQ(plane.InstalledVersion(tenant.value(), 8).value(), v2.value());
+
+  // Unpin and re-run: the device now joins the rollout.
+  ASSERT_TRUE(plane.PinDevice(tenant.value(), 7, 0).ok());
+  auto again = plane.RunRollout(tenant.value(), v2.value(), policy, spec);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(plane.InstalledVersion(tenant.value(), 7).value(), v2.value());
+}
+
+TEST_F(CloudControlPlaneTest, ReportsErrorsForBadInputs) {
+  CloudControlPlane plane;
+  EXPECT_EQ(plane.LatestVersion(0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(plane.ProvisionFleet(0, FleetSpec{}).status().code(),
+            StatusCode::kNotFound);
+
+  auto tenant = plane.RegisterTenant("acme", *server_);
+  ASSERT_TRUE(tenant.ok());
+  FleetSpec empty;
+  empty.num_devices = 0;
+  EXPECT_EQ(plane.ProvisionFleet(tenant.value(), empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Rollout needs a provisioned fleet and sane stages.
+  EXPECT_EQ(plane.RunRollout(tenant.value(), 1, RolloutPolicy{}, FleetSpec{})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(plane.ProvisionFleet(tenant.value(), SmallFleet(40)).ok());
+  RolloutPolicy bad;
+  bad.stages = {0.5, 0.25};
+  EXPECT_EQ(plane.RunRollout(tenant.value(), 1, bad, SmallFleet(40))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(plane.RunRollout(tenant.value(), 9, RolloutPolicy{}, SmallFleet(40))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(plane.InstalledVersion(tenant.value(), 12345).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Registry and device-table locking under concurrent publishers, readers,
+// and a provisioning run on a second tenant. Run under TSan via check.sh.
+TEST_F(CloudControlPlaneTest, ConcurrentPublishReadAndProvision) {
+  CloudControlPlane plane;
+  auto tenant_a = plane.RegisterTenant("a", *server_);
+  auto tenant_b = plane.RegisterTenant("b", *server_);
+  ASSERT_TRUE(tenant_a.ok());
+  ASSERT_TRUE(tenant_b.ok());
+  const std::string fp32 =
+      plane.Artifact(tenant_a.value(), 1).value()->fp32_bytes;
+
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  // Two publishers on tenant A.
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        if (!plane.PublishVersionBytes(tenant_a.value(), fp32).ok()) ++errors;
+      }
+    });
+  }
+  // Two readers racing the publishers.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto latest = plane.LatestVersion(tenant_a.value());
+        if (!latest.ok() || !plane.Artifact(tenant_a.value(), latest.value())
+                                 .ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  // A fleet run on tenant B, concurrent with tenant A's registry traffic.
+  threads.emplace_back([&] {
+    FleetSpec spec = SmallFleet(60);
+    if (!plane.ProvisionFleet(tenant_b.value(), spec).ok()) ++errors;
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(plane.LatestVersion(tenant_a.value()).value(), 7u);  // 1 + 2x3
+  EXPECT_EQ(plane.DeviceCount(tenant_b.value()).value(), 60u);
+}
+
+}  // namespace
+}  // namespace magneto::platform

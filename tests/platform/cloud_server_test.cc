@@ -1,0 +1,124 @@
+#include "platform/cloud_server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/model_bundle.h"
+#include "testing/test_helpers.h"
+
+namespace magneto::platform {
+namespace {
+
+class CloudServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    server_ = new CloudServer(testing::SmallCloudConfig());
+    ASSERT_TRUE(server_
+                    ->Pretrain(testing::SmallCorpus(601),
+                               sensors::ActivityRegistry::BaseActivities())
+                    .ok());
+  }
+  static void TearDownTestSuite() { delete server_; }
+
+  static CloudServer* server_;
+};
+
+CloudServer* CloudServerTest::server_ = nullptr;
+
+TEST_F(CloudServerTest, AdoptBundleServesWithoutPretraining) {
+  CloudServer adopted(core::CloudConfig{});
+  EXPECT_FALSE(adopted.pretrained());
+  ASSERT_TRUE(adopted.AdoptBundle(testing::SmallPretrainedBundle()).ok());
+  EXPECT_TRUE(adopted.pretrained());
+  EXPECT_GT(adopted.ServeBundleBytes().value().size(), 1000u);
+  auto pred =
+      adopted.RemoteInfer(std::vector<float>(80, 0.1f));
+  EXPECT_TRUE(pred.ok()) << pred.status();
+}
+
+TEST_F(CloudServerTest, AdoptBundleRejectsDoubleAdopt) {
+  CloudServer adopted(core::CloudConfig{});
+  ASSERT_TRUE(adopted.AdoptBundle(testing::SmallPretrainedBundle()).ok());
+  EXPECT_EQ(adopted.AdoptBundle(testing::SmallPretrainedBundle()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CloudServerTest, EncodeQuantizedBundleIsAPureWireV3Reencoding) {
+  const std::string fp32 = server_->ServeBundleBytes().value();
+  auto int8_a = CloudServer::EncodeQuantizedBundle(fp32);
+  auto int8_b = CloudServer::EncodeQuantizedBundle(fp32);
+  ASSERT_TRUE(int8_a.ok()) << int8_a.status();
+  ASSERT_TRUE(int8_b.ok());
+  EXPECT_EQ(int8_a.value(), int8_b.value());  // pure function of the bytes
+  EXPECT_LT(int8_a.value().size(), fp32.size() / 2);
+  auto decoded = core::ModelBundle::FromString(int8_a.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().wire_version, core::kBundleWireV3);
+  EXPECT_FALSE(CloudServer::EncodeQuantizedBundle("garbage").ok());
+}
+
+// Regression: the lazy wire-v3 cache used to be an unguarded mutable string
+// (first concurrent callers raced the build and could serve a torn copy).
+// Now a std::once_flag serializes the build; run with TSan to pin it.
+TEST_F(CloudServerTest, ConcurrentQuantizedServeBuildsOnceRaceFree) {
+  CloudServer fresh(core::CloudConfig{});
+  ASSERT_TRUE(fresh.AdoptBundle(testing::SmallPretrainedBundle()).ok());
+  constexpr size_t kThreads = 8;
+  std::vector<std::string> served(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fresh, &served, t] {
+      auto bytes = fresh.ServeQuantizedBundleBytes();
+      if (bytes.ok()) served[t] = std::move(bytes).value();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(served[0].empty());
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(served[t], served[0]) << "thread " << t << " saw torn bytes";
+  }
+}
+
+// Regression: RemoteInfer used to route N threads through the shared
+// EdgeModel's single embedding workspace (a data race on the scratch
+// matrices). Now the forward pass runs through a thread-local workspace over
+// the const model; concurrent calls must agree with the serial answer.
+TEST_F(CloudServerTest, ConcurrentRemoteInferMatchesSerial) {
+  std::vector<std::vector<float>> queries;
+  for (size_t q = 0; q < 16; ++q) {
+    queries.push_back(
+        std::vector<float>(80, 0.01f * static_cast<float>(q + 1)));
+  }
+  std::vector<core::NamedPrediction> serial;
+  for (const auto& query : queries) {
+    serial.push_back(server_->RemoteInfer(query).value());
+  }
+
+  constexpr size_t kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < 25; ++round) {
+        const size_t q = (t + round) % queries.size();
+        auto pred = server_->RemoteInfer(queries[q]);
+        if (!pred.ok() ||
+            pred.value().prediction.activity !=
+                serial[q].prediction.activity ||
+            pred.value().prediction.distance !=
+                serial[q].prediction.distance) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace magneto::platform

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "platform/privacy_auditor.h"
 #include "testing/test_helpers.h"
 
@@ -202,6 +205,88 @@ TEST_F(ProtocolsTest, QuantizedEdgeProtocolShrinksDownlinkAndAgrees) {
 
   EXPECT_EQ(m_q.value().windows, m_fp.value().windows);
   EXPECT_NEAR(m_q.value().accuracy, m_fp.value().accuracy, 0.05);
+}
+
+// Regression: CloudProtocol::Run never timed the device-side preprocessing,
+// so the cloud column of the energy comparison reported cpu_joules == 0 — a
+// free lunch for the architecture the paper argues against.
+TEST_F(ProtocolsTest, CloudProtocolAccountsPreprocessCompute) {
+  NetworkLink link(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  auto metrics = CloudProtocol(server_, &link)
+                     .Run(*stream_, bundle.value().pipeline);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics.value().compute_seconds, 0.0);
+  EXPECT_GT(metrics.value().cpu_joules, 0.0);
+  // Compute shows up in the end-to-end latency too, not just the energy.
+  EXPECT_GE(metrics.value().total_latency_s, metrics.value().compute_seconds);
+}
+
+// ProtocolMetrics invariants when one link is reused across runs WITHOUT
+// Reset(): byte counters read the link's cumulative ledger, so run k reports
+// the sum of runs 1..k — exactly (documented in protocols.h).
+TEST_F(ProtocolsTest, ByteCountersAccumulateAcrossRunsWithoutReset) {
+  NetworkLink link(50.0, 10.0);
+  auto bundle = core::ModelBundle::FromString(
+      server_->ServeBundleBytes().value());
+  ASSERT_TRUE(bundle.ok());
+  CloudProtocol protocol(server_, &link);
+  auto first = protocol.Run(*stream_, bundle.value().pipeline);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().uplink_user_bytes,
+            link.TotalBytes(Direction::kUplink, PayloadKind::kUserData));
+
+  auto second = protocol.Run(*stream_, bundle.value().pipeline);
+  ASSERT_TRUE(second.ok());
+  // Deterministic stream, same run: the ledger doubles exactly.
+  EXPECT_EQ(second.value().uplink_user_bytes,
+            2 * first.value().uplink_user_bytes);
+  EXPECT_EQ(second.value().downlink_bytes, 2 * first.value().downlink_bytes);
+  EXPECT_EQ(second.value().uplink_user_bytes,
+            link.TotalBytes(Direction::kUplink, PayloadKind::kUserData));
+
+  // After Reset() the next run reports single-run numbers again.
+  link.Reset();
+  auto third = protocol.Run(*stream_, bundle.value().pipeline);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().uplink_user_bytes, first.value().uplink_user_bytes);
+}
+
+// Many devices provisioning and classifying concurrently against ONE shared
+// CloudServer: each thread owns its link and protocol, the server's bundle
+// caches and model are shared. Run under TSan via check.sh; the fp32/int8
+// split makes half the threads race the quantized-cache build.
+TEST_F(ProtocolsTest, MultiDeviceConcurrentEdgeProtocolRuns) {
+  constexpr size_t kDevices = 6;
+  std::vector<Result<ProtocolMetrics>> results(
+      kDevices, Status::Internal("not run"));
+  std::vector<std::thread> devices;
+  for (size_t d = 0; d < kDevices; ++d) {
+    devices.emplace_back([&, d] {
+      NetworkLink link(50.0, 10.0);
+      EdgeProtocol protocol(server_, &link, /*quantized_bundle=*/d % 2 == 1);
+      results[d] = protocol.Run(*stream_);
+    });
+  }
+  for (std::thread& t : devices) t.join();
+
+  ASSERT_TRUE(results[0].ok()) << results[0].status();
+  const ProtocolMetrics& fp32 = results[0].value();
+  for (size_t d = 1; d < kDevices; ++d) {
+    ASSERT_TRUE(results[d].ok()) << "device " << d << ": "
+                                 << results[d].status();
+    const ProtocolMetrics& m = results[d].value();
+    EXPECT_EQ(m.windows, fp32.windows);
+    EXPECT_EQ(m.uplink_user_bytes, 0u);
+    if (d % 2 == 0) {
+      // Same protocol, same model, independent links: identical accuracy.
+      EXPECT_NEAR(m.accuracy, fp32.accuracy, 1e-12);
+    } else {
+      EXPECT_NEAR(m.accuracy, fp32.accuracy, 0.05);  // int8 tolerance
+    }
+  }
 }
 
 }  // namespace
