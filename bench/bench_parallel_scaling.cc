@@ -8,14 +8,62 @@
 // Speedups are only meaningful on a machine with that many cores;
 // `hardware_threads` is recorded in the JSON so readers can judge.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+
+// Process-wide heap telemetry for the zero-allocation serving assertions
+// below: every operator new/new[] funnels through one counter. Coarse but
+// exact — if a hot path allocates anything at all (a std::vector growth, a
+// map node, a Matrix buffer), the per-call delta says so. Matrix's own
+// AllocationCount only sees Matrix buffers; the classifier scratch is plain
+// std::vector storage, which only this counter can observe.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+uint64_t HeapAllocations() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1)) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace magneto::bench {
 namespace {
@@ -71,6 +119,12 @@ struct AllocStats {
   double reused_per_forward = 0.0;
   double fresh_per_forward = 0.0;
   double forward_us = 0.0;  ///< mean reused-workspace forward, 64-row batch
+  /// NCM serving: heap allocations per Classify with a caller-owned,
+  /// warmed scratch (the EdgeFleet contract: must be exactly 0), with a
+  /// fresh scratch per call for contrast, and through the ANN index.
+  double ncm_scratch_per_classify = 0.0;
+  double ncm_fresh_per_classify = 0.0;
+  double ncm_ann_scratch_per_classify = 0.0;
 };
 
 void Report(const std::vector<Workload>& workloads, bool deterministic,
@@ -83,6 +137,10 @@ void Report(const std::vector<Workload>& workloads, bool deterministic,
       .Field("allocs_per_forward_reused_ws", allocs.reused_per_forward)
       .Field("allocs_per_forward_fresh_ws", allocs.fresh_per_forward)
       .Field("forward_us_reused_ws", allocs.forward_us)
+      .Field("ncm_allocs_per_classify_scratch", allocs.ncm_scratch_per_classify)
+      .Field("ncm_allocs_per_classify_fresh", allocs.ncm_fresh_per_classify)
+      .Field("ncm_allocs_per_classify_ann_scratch",
+             allocs.ncm_ann_scratch_per_classify)
       .EndObject()
       .Key("workloads")
       .BeginArray();
@@ -227,6 +285,75 @@ int main() {
         allocs.forward_us);
   }
 
+  // --- NCM serving allocations: with a caller-owned warmed scratch the
+  // classify steady state must be exactly allocation-free (the contract the
+  // EdgeFleet serve path relies on), exact scan and ANN path alike ---
+  bool ncm_alloc_free = true;
+  {
+    SetParallelThreads(1);
+    Rng rng(9);
+    const size_t dim = 32, classes = 64;
+    core::NcmClassifier ncm;
+    for (size_t c = 0; c < classes; ++c) {
+      Matrix rows(4, dim);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows.data()[i] =
+            static_cast<float>(rng.Normal(static_cast<double>(c), 1.0));
+      }
+      CheckOk(ncm.SetPrototypeFromEmbeddings(
+                  static_cast<sensors::ActivityId>(100 + c), rows),
+              "set prototype");
+    }
+    std::vector<float> query(dim, 0.5f);
+    constexpr size_t kCalls = 1000;
+    core::NcmClassifier::Scratch scratch;
+    Unwrap(ncm.Classify(query.data(), dim, &scratch), "warm classify");
+    uint64_t before = HeapAllocations();
+    for (size_t i = 0; i < kCalls; ++i) {
+      Unwrap(ncm.Classify(query.data(), dim, &scratch), "classify");
+    }
+    allocs.ncm_scratch_per_classify =
+        static_cast<double>(HeapAllocations() - before) / kCalls;
+    before = HeapAllocations();
+    for (size_t i = 0; i < kCalls; ++i) {
+      core::NcmClassifier::Scratch fresh;
+      Unwrap(ncm.Classify(query.data(), dim, &fresh), "classify fresh");
+    }
+    allocs.ncm_fresh_per_classify =
+        static_cast<double>(HeapAllocations() - before) / kCalls;
+
+    core::AnnOptions ann;
+    ann.enable = true;
+    ann.min_index_size = 1;
+    ann.nlist = 8;
+    ann.nprobe = 4;
+    CheckOk(ncm.EnableAnn(ann), "enable ann");
+    if (!ncm.ann_active()) {
+      std::fprintf(stderr, "NCM ANN index failed to activate\n");
+      std::exit(1);
+    }
+    Unwrap(ncm.Classify(query.data(), dim, &scratch), "warm ann classify");
+    before = HeapAllocations();
+    for (size_t i = 0; i < kCalls; ++i) {
+      Unwrap(ncm.Classify(query.data(), dim, &scratch), "ann classify");
+    }
+    allocs.ncm_ann_scratch_per_classify =
+        static_cast<double>(HeapAllocations() - before) / kCalls;
+
+    std::printf(
+        "ncm classify allocations: %.3f/call warmed scratch, %.3f/call ann "
+        "scratch, %.2f/call fresh scratch\n",
+        allocs.ncm_scratch_per_classify, allocs.ncm_ann_scratch_per_classify,
+        allocs.ncm_fresh_per_classify);
+    if (allocs.ncm_scratch_per_classify != 0.0 ||
+        allocs.ncm_ann_scratch_per_classify != 0.0) {
+      std::fprintf(stderr,
+                   "NCM classify with warmed scratch allocated on the "
+                   "steady-state path!\n");
+      ncm_alloc_free = false;
+    }
+  }
+
   for (const Workload& wl : workloads) {
     std::printf("%-18s", wl.name.c_str());
     for (size_t i = 0; i < wl.threads.size(); ++i) {
@@ -247,5 +374,5 @@ int main() {
   Report(workloads, deterministic, allocs);
   std::printf("wrote BENCH_parallel.json (hardware threads: %u)\n",
               std::thread::hardware_concurrency());
-  return deterministic ? 0 : 1;
+  return (deterministic && ncm_alloc_free) ? 0 : 1;
 }

@@ -29,8 +29,13 @@ MAGNETO_THREADS=8 ./build-tsan/tests/nn_test \
 # scratch-free KNN classify, and the EdgeFleet stress tests (closed-loop
 # sessions + open-loop SubmitWindow producers, both with a bundle promotion
 # landing mid-run).
+# The ANN legs: concurrent searches through one shared immutable index with
+# per-thread scratch, concurrent ANN-routed NCM classify, and the
+# thread-count determinism contract of the k-means build — plus (inside the
+# platform_test EdgeFleet* filter) an ANN deployment serving concurrent
+# sessions across a mid-run promotion swap.
 MAGNETO_THREADS=8 ./build-tsan/tests/core_test \
-  --gtest_filter='AsyncUpdaterStressTest.*:KnnClassifierTest.Concurrent*'
+  --gtest_filter='AsyncUpdaterStressTest.*:KnnClassifierTest.Concurrent*:AnnIndexTest.Concurrent*:AnnIndexTest.DeterministicAcrossThreadCounts:NcmClassifierTest.ConcurrentAnn*'
 MAGNETO_THREADS=8 ./build-tsan/tests/platform_test \
   --gtest_filter='EdgeFleet*'
 # The cloud control plane under TSan: the CloudServer once_flag quantize
@@ -223,6 +228,16 @@ for key in '"schema_version"' '"fleet_rows"' '"completion_curve_s"' \
     '"skew_old_before"'; do
   grep -q "$key" BENCH_cloud_scale.json \
     || { echo "bench_cloud_scale: BENCH_cloud_scale.json missing $key" >&2; exit 1; }
+done
+
+# bench_ann enforces its own gates (recall@1 + speedup at 200 classes,
+# byte-identical exact fallback, bit-identical predictions across thread
+# counts); pin the artifact schema and the embedded check verdicts here.
+for key in '"schema_version"' '"recall_at_1"' '"recall_at_5"' '"nprobe"' \
+    '"speedup"' '"gate_recall_at_1"' '"gate_speedup"' \
+    '"exact_fallback_byte_identical"' '"thread_count_bit_identical"'; do
+  grep -q "$key" BENCH_ann.json \
+    || { echo "bench_ann: BENCH_ann.json missing $key" >&2; exit 1; }
 done
 
 for e in build/examples/*; do

@@ -39,13 +39,20 @@ NamedPrediction EdgeModel::WithName(const Prediction& prediction) const {
 
 Result<NamedPrediction> EdgeModel::InferFeatures(
     const std::vector<float>& features) {
-  return static_cast<const EdgeModel*>(this)->InferFeatures(features,
-                                                            &embed_ws_);
+  return static_cast<const EdgeModel*>(this)->InferFeatures(
+      features, &embed_ws_, &classify_scratch_);
 }
 
 Result<NamedPrediction> EdgeModel::InferFeatures(
     const std::vector<float>& features,
     nn::ForwardWorkspace* workspace) const {
+  NcmClassifier::Scratch local;
+  return InferFeatures(features, workspace, &local);
+}
+
+Result<NamedPrediction> EdgeModel::InferFeatures(
+    const std::vector<float>& features, nn::ForwardWorkspace* workspace,
+    NcmClassifier::Scratch* scratch) const {
   const size_t expected = backbone_.InputDim();
   if (expected > 0 && features.size() != expected) {
     return Status::InvalidArgument(
@@ -58,8 +65,8 @@ Result<NamedPrediction> EdgeModel::InferFeatures(
   Result<Prediction> pred =
       rejection_threshold_ > 0.0
           ? classifier_.ClassifyWithRejection(emb.RowPtr(0), emb.cols(),
-                                              rejection_threshold_)
-          : classifier_.Classify(emb.RowPtr(0), emb.cols());
+                                              rejection_threshold_, scratch)
+          : classifier_.Classify(emb.RowPtr(0), emb.cols(), scratch);
   if (!pred.ok()) return pred.status();
   return WithName(pred.value());
 }
@@ -92,7 +99,8 @@ EdgeModel::Predict(const sensors::FeatureDataset& data) {
   for (size_t i = 0; i < data.size(); ++i) {
     MAGNETO_ASSIGN_OR_RETURN(
         Prediction pred,
-        classifier_.Classify(embeddings.RowPtr(i), embeddings.cols()));
+        classifier_.Classify(embeddings.RowPtr(i), embeddings.cols(),
+                             &classify_scratch_));
     out.emplace_back(data.Label(i), pred.activity);
   }
   return out;
@@ -101,6 +109,12 @@ EdgeModel::Predict(const sensors::FeatureDataset& data) {
 Status EdgeModel::RebuildPrototypes(const SupportSet& support) {
   MAGNETO_ASSIGN_OR_RETURN(NcmClassifier rebuilt,
                            NcmClassifier::FromSupportSet(support, this));
+  // ANN is runtime serving configuration, not derived from the support set:
+  // carry it across the rebuild so an incremental update can never silently
+  // drop the index (rebuild-on-mutation contract).
+  if (classifier_.ann_enabled()) {
+    MAGNETO_RETURN_IF_ERROR(rebuilt.EnableAnn(classifier_.ann_options()));
+  }
   classifier_ = std::move(rebuilt);
   return Status::Ok();
 }

@@ -69,8 +69,14 @@ class EdgeModel : public Embedder {
   /// model's own scratch, leaving the model untouched — `Forward` is const
   /// (PR 6), so N threads may call this on one shared model, each with its
   /// own workspace. `CloudServer::RemoteInfer` serves through this path.
+  /// The overload taking a `NcmClassifier::Scratch` additionally keeps the
+  /// classifier scan allocation-free (same ownership rule as the
+  /// workspace: one instance per thread).
   Result<NamedPrediction> InferFeatures(const std::vector<float>& features,
                                         nn::ForwardWorkspace* workspace) const;
+  Result<NamedPrediction> InferFeatures(const std::vector<float>& features,
+                                        nn::ForwardWorkspace* workspace,
+                                        NcmClassifier::Scratch* scratch) const;
 
   /// Evaluates on a labeled feature dataset; returns (truth, predicted)
   /// pairs for metric computation.
@@ -92,6 +98,15 @@ class EdgeModel : public Embedder {
   /// Recomputes every NCM prototype from `support` through the current
   /// backbone. Call after any backbone update.
   Status RebuildPrototypes(const SupportSet& support);
+
+  /// Turns the classifier's approximate prototype index on for this model
+  /// (runtime serving config, never serialized). The setting survives
+  /// `RebuildPrototypes` and transactional updates — both re-train the
+  /// index on the fresh prototypes before the swap.
+  Status EnableAnn(AnnOptions options) {
+    return classifier_.EnableAnn(options);
+  }
+  void DisableAnn() { classifier_.DisableAnn(); }
 
   // -- Transactional weight state -----------------------------------------------
 
@@ -134,6 +149,10 @@ class EdgeModel : public Embedder {
   sensors::ActivityRegistry registry_;
   double rejection_threshold_ = 0.0;
   nn::ForwardWorkspace embed_ws_;  ///< reused across Embed calls
+  /// Reused by the single-owner inference paths (InferFeatures / Predict),
+  /// keeping the classifier scan allocation-free like embed_ws_ does for
+  /// the forward pass. The concurrent const path takes a caller-owned one.
+  NcmClassifier::Scratch classify_scratch_;
 };
 
 /// Computes an open-set rejection threshold empirically: the `percentile`

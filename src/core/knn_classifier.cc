@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace magneto::core {
+
+namespace {
+
+obs::Histogram* ScanHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("ann.scan_us");
+  return h;
+}
+
+float SanitizeDistance(float d2) {
+  // A NaN (from a non-finite stored or query embedding) would violate
+  // partial_sort's strict weak ordering — UB, not just a bad ranking.
+  return std::isfinite(d2) ? d2 : std::numeric_limits<float>::infinity();
+}
+
+}  // namespace
 
 Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
                                                     Embedder* embedder,
@@ -29,6 +47,14 @@ Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
   knn.embeddings_ = embedder->Embed(all.ToMatrix());
   knn.labels_ = all.labels();
   knn.dim_ = knn.embeddings_.cols();
+  // The coarse quantizer trains on the fp32 embeddings — before the int8
+  // path below drops them — so fp32 and int8 classifiers built from the
+  // same support probe identical lists.
+  if (options.ann.enable && knn.labels_.size() >= options.ann.min_index_size) {
+    MAGNETO_ASSIGN_OR_RETURN(AnnIndex index,
+                             AnnIndex::Build(knn.embeddings_, options.ann));
+    knn.ann_index_ = std::make_shared<const AnnIndex>(std::move(index));
+  }
   if (options.quantize_exemplars) {
     // Quantize every exemplar row and precompute its exact integer norm,
     // then drop the fp32 copy — the scan below never needs it back.
@@ -43,8 +69,8 @@ Result<KnnClassifier> KnnClassifier::FromSupportSet(const SupportSet& support,
   return knn;
 }
 
-Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
-                                           Scratch* scratch) const {
+Result<size_t> KnnClassifier::ScanTopK(const float* embedding, size_t n,
+                                       size_t k, Scratch* scratch) const {
   if (scratch == nullptr) {
     return Status::InvalidArgument("scratch must not be null");
   }
@@ -57,14 +83,23 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
                                    std::to_string(dim_));
   }
 
-  // Squared distances to all exemplars; ranking by squared distance is
-  // order-identical (sqrt is monotone), so the single sqrt per reported
-  // neighbour is deferred to the vote/margin computation below. The caller's
-  // scratch is reused across calls to keep the per-query cost
+  // Squared distances to the scanned exemplars; ranking by squared distance
+  // is order-identical (sqrt is monotone), so the single sqrt per reported
+  // neighbour is deferred to the vote/margin computation in Classify. The
+  // caller's scratch is reused across calls to keep the per-query cost
   // allocation-free without the hidden process-lifetime footprint of a
   // `static thread_local` buffer.
+  const bool use_ann = ann_index_ != nullptr;
+  const uint32_t* candidates = nullptr;
+  if (use_ann) {
+    scratch->candidates.clear();
+    ann_index_->AppendCandidates(embedding, &scratch->ann,
+                                 &scratch->candidates);
+    candidates = scratch->candidates.data();
+  }
+  const size_t count = use_ann ? scratch->candidates.size() : labels_.size();
   std::vector<std::pair<float, uint32_t>>& dist = scratch->dist;
-  dist.resize(labels_.size());
+  dist.resize(count);
   if (options_.quantize_exemplars) {
     // Int8 scan: quantize the query once, then compute the exact-rescale
     // squared distance against each stored exemplar,
@@ -75,27 +110,51 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
     const float sq = QuantizeRowInt8(embedding, dim_, scratch->q_query.data());
     const int32_t query_norm = SquaredNormInt8(scratch->q_query.data(), dim_);
     const int8_t* qx = scratch->q_query.data();
-    ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
+    ParallelFor(0, count, 2048, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
-        const int8_t* qi = quantized_.data.data() + i * dim_;
-        const double si = quantized_.scales[i];
+        const size_t idx = use_ann ? candidates[i] : i;
+        const int8_t* qi = quantized_.data.data() + idx * dim_;
+        const double si = quantized_.scales[idx];
         const double d2 = double(sq) * sq * query_norm -
                           2.0 * sq * si * DotInt8(qx, qi, dim_) +
-                          si * si * norms_[i];
-        dist[i] = {static_cast<float>(std::max(0.0, d2)),
-                   static_cast<uint32_t>(i)};
+                          si * si * norms_[idx];
+        dist[i] = {SanitizeDistance(static_cast<float>(std::max(0.0, d2))),
+                   static_cast<uint32_t>(idx)};
       }
     });
   } else {
-    ParallelFor(0, labels_.size(), 2048, [&](size_t lo, size_t hi) {
+    ParallelFor(0, count, 2048, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
-        dist[i] = {SquaredL2(embedding, embeddings_.RowPtr(i), dim_),
-                   static_cast<uint32_t>(i)};
+        const size_t idx = use_ann ? candidates[i] : i;
+        dist[i] = {
+            SanitizeDistance(SquaredL2(embedding, embeddings_.RowPtr(idx),
+                                       dim_)),
+            static_cast<uint32_t>(idx)};
       }
     });
   }
-  const size_t k = std::min(options_.k, dist.size());
-  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  const size_t top = std::min(k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + top, dist.end());
+  return top;
+}
+
+Result<std::vector<std::pair<float, uint32_t>>> KnnClassifier::Neighbors(
+    const float* embedding, size_t n, size_t k, Scratch* scratch) const {
+  MAGNETO_ASSIGN_OR_RETURN(size_t top, ScanTopK(embedding, n, k, scratch));
+  return std::vector<std::pair<float, uint32_t>>(scratch->dist.begin(),
+                                                 scratch->dist.begin() + top);
+}
+
+Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
+                                           Scratch* scratch) const {
+  size_t k = 0;
+  if (ann_index_ != nullptr) {
+    obs::ScopedTimer timer(ScanHistogram());
+    MAGNETO_ASSIGN_OR_RETURN(k, ScanTopK(embedding, n, options_.k, scratch));
+  } else {
+    MAGNETO_ASSIGN_OR_RETURN(k, ScanTopK(embedding, n, options_.k, scratch));
+  }
+  const std::vector<std::pair<float, uint32_t>>& dist = scratch->dist;
 
   std::map<sensors::ActivityId, double> votes;
   std::map<sensors::ActivityId, double> nearest;
@@ -113,13 +172,19 @@ Result<Prediction> KnnClassifier::Classify(const float* embedding, size_t n,
 
   Prediction pred;
   double best = -1.0;
+  double best_near = std::numeric_limits<double>::infinity();
   for (const auto& [label, vote] : votes) {
-    if (vote > best) {
+    // Equal vote mass is broken by the nearer nearest-exemplar, not by the
+    // ordered-map iteration (which would always hand ties to the lowest
+    // ActivityId regardless of geometry).
+    const double near = nearest.find(label)->second;
+    if (vote > best || (vote == best && near < best_near)) {
       best = vote;
+      best_near = near;
       pred.activity = label;
     }
   }
-  pred.distance = nearest[pred.activity];
+  pred.distance = best_near;
   pred.confidence = total_vote > 0.0 ? best / total_vote : 0.0;
   return pred;
 }

@@ -1,10 +1,12 @@
 #ifndef MAGNETO_CORE_KNN_CLASSIFIER_H_
 #define MAGNETO_CORE_KNN_CLASSIFIER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/qgemm.h"
 #include "common/result.h"
+#include "core/ann_index.h"
 #include "core/embedder.h"
 #include "core/ncm_classifier.h"
 #include "core/support_set.h"
@@ -40,6 +42,13 @@ class KnnClassifier {
     /// themselves. Composes with `compress::QuantizeBackbone` for the fully
     /// quantized edge path.
     bool quantize_exemplars = false;
+    /// Approximate support index (IVF-Flat, optional PQ pre-ranking). When
+    /// `ann.enable` and the support set holds at least `ann.min_index_size`
+    /// exemplars, queries scan only the probed lists' candidates; otherwise
+    /// the exact linear scan runs unchanged. The index selects candidates
+    /// only — distances always come from this classifier's own store (fp32
+    /// rows or int8 codes), so ANN composes with `quantize_exemplars`.
+    AnnOptions ann;
   };
 
   /// Reusable per-query workspace. Passing the same instance across calls
@@ -48,6 +57,8 @@ class KnnClassifier {
   struct Scratch {
     std::vector<std::pair<float, uint32_t>> dist;
     std::vector<int8_t> q_query;  ///< int8 path: quantized query vector
+    AnnIndex::Scratch ann;
+    std::vector<uint32_t> candidates;  ///< ANN path: ids to rerank
   };
 
   /// Embeds every support exemplar through `embedder`.
@@ -58,6 +69,10 @@ class KnnClassifier {
   size_t num_examples() const { return labels_.size(); }
   size_t embedding_dim() const { return dim_; }
   const Options& options() const { return options_; }
+  /// True when queries actually go through the ANN index (built at
+  /// construction because `options().ann.enable` was set and the support
+  /// size reached `ann.min_index_size`). False = exact scan.
+  bool ann_active() const { return ann_index_ != nullptr; }
 
   /// Bytes of stored exemplar embeddings (int8 data + scales + norms when
   /// `quantize_exemplars` is set — the fp32 copy is dropped).
@@ -85,8 +100,25 @@ class KnnClassifier {
     return Classify(embedding.data(), embedding.size());
   }
 
+  /// The `k` nearest stored exemplars as (squared distance, exemplar index)
+  /// pairs, ascending. Under ANN the search is restricted to the probed
+  /// candidates (exactly the pool `Classify` votes over) — which is what
+  /// bench_ann measures recall against the exact scan with.
+  Result<std::vector<std::pair<float, uint32_t>>> Neighbors(
+      const float* embedding, size_t n, size_t k, Scratch* scratch) const;
+
+  sensors::ActivityId label(size_t exemplar) const { return labels_[exemplar]; }
+
  private:
   KnnClassifier() = default;
+
+  /// Fills `scratch->dist` with (squared distance, exemplar index) pairs —
+  /// every exemplar on the exact path, the ANN candidates otherwise — and
+  /// partial-sorts the best `k` to the front. Non-finite distances are
+  /// sanitized to +inf (a NaN would break partial_sort's strict weak
+  /// ordering). Returns the number of ranked pairs (>= 1).
+  Result<size_t> ScanTopK(const float* embedding, size_t n, size_t k,
+                          Scratch* scratch) const;
 
   Options options_;
   size_t dim_ = 0;
@@ -94,6 +126,8 @@ class KnnClassifier {
   QuantizedRows quantized_;      ///< int8 path: per-exemplar int8 + scale
   std::vector<int32_t> norms_;   ///< int8 path: Σqi² per exemplar
   std::vector<sensors::ActivityId> labels_;
+  /// Immutable once built; shared so copies stay cheap and identical.
+  std::shared_ptr<const AnnIndex> ann_index_;
 };
 
 }  // namespace magneto::core

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/qgemm.h"
+#include "obs/metrics.h"
 
 namespace magneto::core {
+
+namespace {
+
+obs::Histogram* ScanHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("ann.scan_us");
+  return h;
+}
+
+double SanitizeDistance(double d) {
+  // A NaN (from a non-finite prototype or query embedding) would violate
+  // std::sort's strict weak ordering — UB, not just a bad ranking.
+  return std::isfinite(d) ? d : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
 
 Status NcmClassifier::SetPrototypeFromEmbeddings(sensors::ActivityId id,
                                                  const Matrix& embeddings) {
@@ -23,7 +41,7 @@ Status NcmClassifier::SetPrototypeFromEmbeddings(sensors::ActivityId id,
   }
   prototypes_[id] = embeddings.ColMean().Row(0);
   if (quantized_scan_) QuantizeOne(id);
-  return Status::Ok();
+  return RebuildAnnIndex();
 }
 
 void NcmClassifier::QuantizeOne(sensors::ActivityId id) {
@@ -47,7 +65,9 @@ Status NcmClassifier::QuantizePrototypes() {
   quantized_scan_ = true;
   quantized_.clear();
   for (const auto& [id, proto] : prototypes_) QuantizeOne(id);
-  return Status::Ok();
+  // Quantization moved every prototype (to its dequantized value), so the
+  // coarse quantizer must re-train on what the scan now sees.
+  return RebuildAnnIndex();
 }
 
 Result<NcmClassifier> NcmClassifier::FromSupportSet(const SupportSet& support,
@@ -102,6 +122,40 @@ Status NcmClassifier::RemoveClass(sensors::ActivityId id) {
     return Status::NotFound("class not in classifier: " + std::to_string(id));
   }
   quantized_.erase(id);
+  return RebuildAnnIndex();
+}
+
+Status NcmClassifier::EnableAnn(AnnOptions options) {
+  options.enable = true;
+  ann_options_ = options;
+  return RebuildAnnIndex();
+}
+
+void NcmClassifier::DisableAnn() {
+  ann_options_ = AnnOptions{};
+  ann_index_.reset();
+  ann_ids_.clear();
+}
+
+Status NcmClassifier::RebuildAnnIndex() {
+  ann_index_.reset();
+  ann_ids_.clear();
+  if (!ann_options_.enable ||
+      prototypes_.size() < ann_options_.min_index_size) {
+    // Exact fallback: absent index, nothing stale to consult.
+    return Status::Ok();
+  }
+  Matrix protos(prototypes_.size(), dim_);
+  ann_ids_.reserve(prototypes_.size());
+  size_t row = 0;
+  for (const auto& [id, proto] : prototypes_) {
+    std::memcpy(protos.RowPtr(row), proto.data(), dim_ * sizeof(float));
+    ann_ids_.push_back(id);
+    ++row;
+  }
+  MAGNETO_ASSIGN_OR_RETURN(AnnIndex index,
+                           AnnIndex::Build(protos, ann_options_));
+  ann_index_ = std::make_shared<const AnnIndex>(std::move(index));
   return Status::Ok();
 }
 
@@ -121,8 +175,8 @@ Result<std::vector<float>> NcmClassifier::Prototype(
   return it->second;
 }
 
-Result<std::vector<std::pair<sensors::ActivityId, double>>>
-NcmClassifier::Distances(const float* embedding, size_t n) const {
+Status NcmClassifier::DistancesInto(const float* embedding, size_t n,
+                                    Scratch* scratch) const {
   if (prototypes_.empty()) {
     return Status::FailedPrecondition("classifier has no prototypes");
   }
@@ -131,39 +185,101 @@ NcmClassifier::Distances(const float* embedding, size_t n) const {
                                    " != classifier dim " +
                                    std::to_string(dim_));
   }
-  std::vector<std::pair<sensors::ActivityId, double>> out;
+  std::vector<std::pair<sensors::ActivityId, double>>& out = scratch->dist;
+  out.clear();
   out.reserve(prototypes_.size());
   if (quantized_scan_) {
     // Exact-rescale int8 scan: quantize the query once, then combine exact
     // integer dot products and norms with the two scales.
-    std::vector<int8_t> qx(dim_);
-    const double sq = QuantizeRowInt8(embedding, dim_, qx.data());
-    const int32_t query_norm = SquaredNormInt8(qx.data(), dim_);
+    scratch->q_query.resize(dim_);
+    int8_t* qx = scratch->q_query.data();
+    const double sq = QuantizeRowInt8(embedding, dim_, qx);
+    const int32_t query_norm = SquaredNormInt8(qx, dim_);
     for (const auto& [id, qp] : quantized_) {
       const double si = qp.scale;
       const double d2 = sq * sq * query_norm -
-                        2.0 * sq * si * DotInt8(qx.data(), qp.q.data(), dim_) +
+                        2.0 * sq * si * DotInt8(qx, qp.q.data(), dim_) +
                         si * si * qp.norm;
       out.emplace_back(id, std::sqrt(std::max(0.0, d2)));
     }
   } else {
     for (const auto& [id, proto] : prototypes_) {
-      out.emplace_back(
-          id, std::sqrt(SquaredL2(embedding, proto.data(), dim_)));
+      out.emplace_back(id, SanitizeDistance(std::sqrt(
+                               SquaredL2(embedding, proto.data(), dim_))));
     }
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
-  return out;
+  return Status::Ok();
 }
 
-Result<Prediction> NcmClassifier::Classify(const float* embedding,
-                                           size_t n) const {
-  MAGNETO_ASSIGN_OR_RETURN(auto distances, Distances(embedding, n));
+Result<std::vector<std::pair<sensors::ActivityId, double>>>
+NcmClassifier::Distances(const float* embedding, size_t n) const {
+  // Always the exact full scan: Distances promises the distance to *every*
+  // prototype (drift monitoring, calibration); only Classify routes through
+  // the ANN candidate subset.
+  Scratch local;
+  MAGNETO_RETURN_IF_ERROR(DistancesInto(embedding, n, &local));
+  return std::move(local.dist);
+}
+
+Result<Prediction> NcmClassifier::Classify(const float* embedding, size_t n,
+                                           Scratch* scratch) const {
+  if (scratch == nullptr) {
+    return Status::InvalidArgument("scratch must not be null");
+  }
+  if (ann_index_ != nullptr) {
+    if (prototypes_.empty()) {
+      return Status::FailedPrecondition("classifier has no prototypes");
+    }
+    if (n != dim_) {
+      return Status::InvalidArgument("embedding dim " + std::to_string(n) +
+                                     " != classifier dim " +
+                                     std::to_string(dim_));
+    }
+    obs::ScopedTimer timer(ScanHistogram());
+    scratch->candidates.clear();
+    ann_index_->AppendCandidates(embedding, &scratch->ann,
+                                 &scratch->candidates);
+    std::vector<std::pair<sensors::ActivityId, double>>& out = scratch->dist;
+    out.clear();
+    if (quantized_scan_) {
+      scratch->q_query.resize(dim_);
+      int8_t* qx = scratch->q_query.data();
+      const double sq = QuantizeRowInt8(embedding, dim_, qx);
+      const int32_t query_norm = SquaredNormInt8(qx, dim_);
+      for (uint32_t c : scratch->candidates) {
+        const auto it = quantized_.find(ann_ids_[c]);
+        const QuantizedPrototype& qp = it->second;
+        const double si = qp.scale;
+        const double d2 = sq * sq * query_norm -
+                          2.0 * sq * si * DotInt8(qx, qp.q.data(), dim_) +
+                          si * si * qp.norm;
+        out.emplace_back(it->first, std::sqrt(std::max(0.0, d2)));
+      }
+    } else {
+      for (uint32_t c : scratch->candidates) {
+        const auto it = prototypes_.find(ann_ids_[c]);
+        out.emplace_back(it->first,
+                         SanitizeDistance(std::sqrt(SquaredL2(
+                             embedding, it->second.data(), dim_))));
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    });
+  } else {
+    MAGNETO_RETURN_IF_ERROR(DistancesInto(embedding, n, scratch));
+  }
+
+  const std::vector<std::pair<sensors::ActivityId, double>>& distances =
+      scratch->dist;
   Prediction pred;
   pred.activity = distances.front().first;
   pred.distance = distances.front().second;
-  // Confidence: softmax over negative distances.
+  // Confidence: softmax over negative distances. Under ANN this normalizes
+  // over the probed candidates (the prediction and distance are the exact
+  // rerank; only the normalization pool shrinks).
   double denom = 0.0;
   const double dmin = distances.front().second;
   for (const auto& [id, d] : distances) denom += std::exp(dmin - d);
@@ -172,8 +288,9 @@ Result<Prediction> NcmClassifier::Classify(const float* embedding,
 }
 
 Result<Prediction> NcmClassifier::ClassifyWithRejection(
-    const float* embedding, size_t n, double reject_threshold) const {
-  MAGNETO_ASSIGN_OR_RETURN(Prediction pred, Classify(embedding, n));
+    const float* embedding, size_t n, double reject_threshold,
+    Scratch* scratch) const {
+  MAGNETO_ASSIGN_OR_RETURN(Prediction pred, Classify(embedding, n, scratch));
   if (pred.distance > reject_threshold) pred.activity = kUnknownActivity;
   return pred;
 }

@@ -2,11 +2,13 @@
 #define MAGNETO_CORE_NCM_CLASSIFIER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/serial.h"
+#include "core/ann_index.h"
 #include "core/embedder.h"
 #include "core/support_set.h"
 #include "sensors/activity.h"
@@ -32,6 +34,18 @@ struct Prediction {
 /// prototype is the mean embedding of that class's support exemplars.
 class NcmClassifier {
  public:
+  /// Reusable per-query workspace, mirroring `KnnClassifier::Scratch`: the
+  /// serving hot path (`EdgeFleet::ServeBatch`, `EdgeModel` inference) used
+  /// to allocate a fresh distance vector and int8 query buffer per call.
+  /// Distinct threads must use distinct instances; predictions are
+  /// byte-identical with or without one.
+  struct Scratch {
+    std::vector<std::pair<sensors::ActivityId, double>> dist;
+    std::vector<int8_t> q_query;  ///< int8 path: quantized query vector
+    AnnIndex::Scratch ann;
+    std::vector<uint32_t> candidates;  ///< ANN path: prototype rows to rerank
+  };
+
   NcmClassifier() = default;
 
   /// Builds/overwrites the prototype of one class from its embeddings
@@ -56,7 +70,14 @@ class NcmClassifier {
   Result<std::vector<float>> Prototype(sensors::ActivityId id) const;
 
   /// Classifies one embedding (length must equal embedding_dim()).
-  Result<Prediction> Classify(const float* embedding, size_t n) const;
+  /// `scratch` is reused across calls to keep the query allocation-free;
+  /// the scratch-free overloads allocate a local one.
+  Result<Prediction> Classify(const float* embedding, size_t n,
+                              Scratch* scratch) const;
+  Result<Prediction> Classify(const float* embedding, size_t n) const {
+    Scratch local;
+    return Classify(embedding, n, &local);
+  }
   Result<Prediction> Classify(const std::vector<float>& embedding) const {
     return Classify(embedding.data(), embedding.size());
   }
@@ -67,7 +88,13 @@ class NcmClassifier {
   /// A practical threshold is a small multiple of the typical intra-class
   /// distance in the trained embedding — see `CalibrateRejectionThreshold`.
   Result<Prediction> ClassifyWithRejection(const float* embedding, size_t n,
-                                           double reject_threshold) const;
+                                           double reject_threshold,
+                                           Scratch* scratch) const;
+  Result<Prediction> ClassifyWithRejection(const float* embedding, size_t n,
+                                           double reject_threshold) const {
+    Scratch local;
+    return ClassifyWithRejection(embedding, n, reject_threshold, &local);
+  }
 
   /// Distance to every prototype, ascending by distance.
   Result<std::vector<std::pair<sensors::ActivityId, double>>> Distances(
@@ -86,6 +113,26 @@ class NcmClassifier {
   Status QuantizePrototypes();
   bool quantized() const { return quantized_scan_; }
 
+  // -- Approximate prototype index ---------------------------------------------
+  //
+  // Runtime serving configuration, deliberately *not* serialized: a
+  // deserialized classifier always starts exact, and wire bytes are
+  // unchanged from the pre-ANN format.
+
+  /// Turns the ANN path on (`options.enable` is forced true) and builds the
+  /// index if the vocabulary already has `options.min_index_size` classes.
+  /// Rebuild-on-mutation from then on: `SetPrototypeFromEmbeddings`,
+  /// `RemoveClass` and `QuantizePrototypes` re-train the coarse quantizer
+  /// so the index is never stale — below the size threshold the classifier
+  /// simply falls back to the exact scan.
+  Status EnableAnn(AnnOptions options);
+  /// Drops the index and returns to exact scans.
+  void DisableAnn();
+  bool ann_enabled() const { return ann_options_.enable; }
+  /// True when queries actually route through the index right now.
+  bool ann_active() const { return ann_index_ != nullptr; }
+  const AnnOptions& ann_options() const { return ann_options_; }
+
   void Serialize(BinaryWriter* writer) const;
   static Result<NcmClassifier> Deserialize(BinaryReader* reader);
 
@@ -99,10 +146,23 @@ class NcmClassifier {
 
   void QuantizeOne(sensors::ActivityId id);
 
+  /// Exact full scan into `scratch->dist`, ascending by distance —
+  /// byte-identical to the pre-ANN `Distances` computation.
+  Status DistancesInto(const float* embedding, size_t n,
+                       Scratch* scratch) const;
+
+  /// Retrains the coarse quantizer over the current prototypes (or drops
+  /// the index when disabled / below `min_index_size`). Called by every
+  /// prototype mutation while ANN is enabled.
+  Status RebuildAnnIndex();
+
   size_t dim_ = 0;
   std::map<sensors::ActivityId, std::vector<float>> prototypes_;
   std::map<sensors::ActivityId, QuantizedPrototype> quantized_;
   bool quantized_scan_ = false;
+  AnnOptions ann_options_;  ///< .enable records the EnableAnn decision
+  std::shared_ptr<const AnnIndex> ann_index_;  ///< immutable once built
+  std::vector<sensors::ActivityId> ann_ids_;   ///< index row -> class id
 };
 
 }  // namespace magneto::core

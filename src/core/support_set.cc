@@ -65,6 +65,11 @@ Status SupportSet::SetClass(sensors::ActivityId id,
           "class data contains a foreign label: " + std::to_string(label));
     }
   }
+  if (class_data.dim() == 0) {
+    // A 0-dim class would poison `dim_` (and the set's row invariants) for
+    // every later well-formed insertion.
+    return Status::InvalidArgument("class data has empty feature rows");
+  }
   if (dim_ == 0) {
     dim_ = class_data.dim();
   } else if (class_data.dim() != dim_) {
@@ -113,6 +118,11 @@ Status SupportSet::AddStreamingSample(sensors::ActivityId id,
   }
   if (rng == nullptr) {
     return Status::InvalidArgument("reservoir sampling requires an rng");
+  }
+  if (feature.empty()) {
+    // Accepting one empty feature while dim_ == 0 would pin the set's
+    // dimension to 0 and plant a zero-width exemplar row.
+    return Status::InvalidArgument("feature is empty");
   }
   if (dim_ == 0) {
     dim_ = feature.size();

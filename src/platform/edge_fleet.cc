@@ -88,7 +88,8 @@ core::NamedPrediction Nameify(const sensors::ActivityRegistry& registry,
 
 // -- Deployment ---------------------------------------------------------------
 
-EdgeFleet::Deployment::Deployment(core::ModelBundle bundle, uint64_t ver)
+EdgeFleet::Deployment::Deployment(core::ModelBundle bundle, uint64_t ver,
+                                  const core::AnnOptions& ann)
     : pipeline(std::move(bundle.pipeline)),
       backbone(std::move(bundle.backbone)),
       classifier(std::move(bundle.classifier)),
@@ -96,6 +97,13 @@ EdgeFleet::Deployment::Deployment(core::ModelBundle bundle, uint64_t ver)
       support(std::move(bundle.support)),
       version(ver) {
   input_dim = backbone.InputDim();
+  if (ann.enable) {
+    // Built here, while this deployment is still private to the promoting
+    // thread — the shared pointer flips only once the index is complete.
+    // EnableAnn on a consistent non-empty classifier cannot fail (a small
+    // vocabulary just falls back to exact scans).
+    MAGNETO_CHECK(classifier.EnableAnn(ann).ok());
+  }
 }
 
 core::EdgeModel EdgeFleet::Deployment::SnapshotModel() const {
@@ -108,7 +116,8 @@ EdgeFleet::EdgeFleet(core::ModelBundle bundle, size_t num_sessions,
                      FleetOptions options)
     : options_(std::move(options)) {
   deployment_ = std::make_shared<const Deployment>(std::move(bundle),
-                                                   /*version=*/1);
+                                                   /*version=*/1,
+                                                   options_.ann);
   const auto& seg = deployment_->pipeline.config().segmentation;
   const double journal_window_s =
       options_.sample_rate_hz > 0
@@ -203,7 +212,7 @@ Status EdgeFleet::PromoteBundle(core::ModelBundle bundle) {
   // flips, so no reader ever sees a half-initialized model, and in-flight
   // classifications keep their pinned snapshot alive through the shared_ptr.
   auto next = std::make_shared<const Deployment>(
-      std::move(bundle), next_version_.fetch_add(1));
+      std::move(bundle), next_version_.fetch_add(1), options_.ann);
   InstallDeployment(std::move(next));
   Metrics().promotions->Increment();
   return Status::Ok();
@@ -333,14 +342,21 @@ void EdgeFleet::ServeBatch(const std::vector<PendingRequest*>& batch) {
       req->ctx->StampAt(obs::RequestStage::kEmbedEnd, embed_end_ns);
     }
   }
+  // Like the forward workspace above: one classifier scratch per serving
+  // thread keeps the NCM scan (distance buffer + int8 query + ANN probe
+  // state) allocation-free in steady state. The classifier is immutable
+  // and per-call state lives entirely in the scratch, so concurrent
+  // leaders — including ones pinning different deployments across a
+  // promotion — share nothing.
+  static thread_local core::NcmClassifier::Scratch ncm_scratch;
   for (size_t r = 0; r < valid.size(); ++r) {
     Result<core::Prediction> pred =
         options_.rejection_threshold > 0.0
             ? dep.classifier.ClassifyWithRejection(
                   embeddings.RowPtr(r), embeddings.cols(),
-                  options_.rejection_threshold)
+                  options_.rejection_threshold, &ncm_scratch)
             : dep.classifier.Classify(embeddings.RowPtr(r),
-                                      embeddings.cols());
+                                      embeddings.cols(), &ncm_scratch);
     if (pred.ok()) {
       valid[r]->prediction = pred.value();
     } else {

@@ -1,5 +1,7 @@
 #include "sensors/signal_model.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace magneto::sensors {
@@ -403,6 +405,103 @@ SignalModel MakeGestureModel(uint64_t seed) {
   m.channel(Channel::kRotX).harmonics.push_back({0.3, gesture_hz, 0.0});
   m.channel(Channel::kRotY).harmonics.push_back({0.2, gesture_hz, 1.0});
   return m;
+}
+
+namespace {
+
+/// The full parameter vector of one large-vocabulary class signature.
+/// Drawing it as a struct (fixed draw order) lets overlap interpolate a
+/// class toward the shared signature parameter-by-parameter.
+struct VocabularySignature {
+  double base_hz = 0.0;
+  double amp = 0.0;
+  double harmonic_ratio = 0.0;
+  std::array<double, 9> axis_scale{};
+  std::array<double, 9> phase{};
+  double pressure_offset = 0.0;
+  double light_offset = 0.0;
+  double speed_offset = 0.0;
+};
+
+VocabularySignature DrawSignature(Rng* rng) {
+  VocabularySignature s;
+  s.base_hz = rng->Uniform(1.2, 9.0);
+  s.amp = rng->Uniform(0.8, 3.2);
+  s.harmonic_ratio = rng->Uniform(1.6, 2.4);
+  for (double& a : s.axis_scale) a = rng->Uniform(0.2, 1.0);
+  for (double& p : s.phase) p = rng->Uniform(0.0, 2.0 * kPi);
+  s.pressure_offset = rng->Uniform(-0.3, 0.3);
+  s.light_offset = rng->Uniform(-20.0, 20.0);
+  s.speed_offset = rng->Uniform(0.0, 2.0);
+  return s;
+}
+
+double Lerp(double shared, double own, double keep) {
+  return shared + keep * (own - shared);
+}
+
+/// SplitMix64 — decorrelates the per-class seeds from the base seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ActivityLibrary LargeVocabularyLibrary(const LargeVocabularyOptions& options) {
+  const double keep =
+      1.0 - std::min(1.0, std::max(0.0, options.overlap));
+  Rng shared_rng(Mix64(options.seed));
+  const VocabularySignature shared = DrawSignature(&shared_rng);
+
+  ActivityLibrary lib;
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    const ActivityId id = options.first_id + static_cast<ActivityId>(i);
+    Rng rng(Mix64(options.seed ^ Mix64(static_cast<uint64_t>(id))));
+    VocabularySignature own = DrawSignature(&rng);
+    own.base_hz = Lerp(shared.base_hz, own.base_hz, keep);
+    own.amp = Lerp(shared.amp, own.amp, keep);
+    own.harmonic_ratio = Lerp(shared.harmonic_ratio, own.harmonic_ratio, keep);
+    for (size_t a = 0; a < own.axis_scale.size(); ++a) {
+      own.axis_scale[a] = Lerp(shared.axis_scale[a], own.axis_scale[a], keep);
+      own.phase[a] = Lerp(shared.phase[a], own.phase[a], keep);
+    }
+    own.pressure_offset =
+        Lerp(shared.pressure_offset, own.pressure_offset, keep);
+    own.light_offset = Lerp(shared.light_offset, own.light_offset, keep);
+    own.speed_offset = Lerp(shared.speed_offset, own.speed_offset, keep);
+
+    SignalModel m = MakeStill();
+    const Channel motion[] = {Channel::kAccX,    Channel::kAccY,
+                              Channel::kAccZ,    Channel::kGyroX,
+                              Channel::kGyroY,   Channel::kGyroZ,
+                              Channel::kLinAccX, Channel::kLinAccY,
+                              Channel::kLinAccZ};
+    for (size_t a = 0; a < 9; ++a) {
+      ChannelModel& cm = m.channel(motion[a]);
+      cm.harmonics.push_back(
+          {own.amp * own.axis_scale[a], own.base_hz, own.phase[a]});
+      // Secondary harmonic gives each class a distinct timbre (same trick
+      // as MakeGestureModel).
+      cm.harmonics.push_back({own.amp * own.axis_scale[a] * 0.35,
+                              own.base_hz * own.harmonic_ratio,
+                              own.phase[(a + 3) % 9]});
+      cm.noise_sigma += 0.03;
+    }
+    m.channel(Channel::kRotX).harmonics.push_back(
+        {0.25, own.base_hz, own.phase[0]});
+    m.channel(Channel::kRotY).harmonics.push_back(
+        {0.15, own.base_hz, own.phase[1]});
+    // Environment offsets add class signal to the non-motion features.
+    m.channel(Channel::kPressure).baseline += own.pressure_offset;
+    m.channel(Channel::kLight).baseline =
+        std::max(0.0, m.channel(Channel::kLight).baseline + own.light_offset);
+    m.channel(Channel::kSpeed).baseline += own.speed_offset;
+    lib[id] = std::move(m);
+  }
+  return lib;
 }
 
 }  // namespace magneto::sensors

@@ -72,6 +72,27 @@ ActivityLibrary DefaultActivityLibrary();
 /// Different seeds give different, mutually distinguishable gestures.
 SignalModel MakeGestureModel(uint64_t seed);
 
+/// Large-vocabulary mode: hundreds of procedurally generated activity
+/// classes for the ANN-index scaling experiments (ids `first_id`,
+/// `first_id + 1`, ...). Each class gets its own multi-harmonic motion
+/// signature plus environment-baseline offsets.
+struct LargeVocabularyOptions {
+  size_t num_classes = 100;
+  /// Inter-class overlap knob in [0, 1]: every class's parameters are
+  /// interpolated toward one shared signature drawn from `seed`. 0 keeps
+  /// classes maximally distinct; 1 collapses all of them onto the shared
+  /// signature. Raising it squeezes the classes together in feature space,
+  /// which is what actually stresses ANN recall.
+  double overlap = 0.25;
+  uint64_t seed = 1;
+  ActivityId first_id = 1000;
+};
+
+/// Builds the procedural library. Class `i`'s model depends only on
+/// (`seed`, `overlap`, `first_id + i`) — never on `num_classes` — so
+/// growing the vocabulary leaves existing classes bit-identical.
+ActivityLibrary LargeVocabularyLibrary(const LargeVocabularyOptions& options);
+
 }  // namespace magneto::sensors
 
 #endif  // MAGNETO_SENSORS_SIGNAL_MODEL_H_

@@ -93,4 +93,11 @@ std::vector<LabeledRecording> SyntheticGenerator::GenerateDataset(
   return out;
 }
 
+std::vector<LabeledRecording> SyntheticGenerator::GenerateVocabularyDataset(
+    const LargeVocabularyOptions& vocabulary, size_t per_class,
+    double duration_s) {
+  return GenerateDataset(LargeVocabularyLibrary(vocabulary), per_class,
+                         duration_s);
+}
+
 }  // namespace magneto::sensors

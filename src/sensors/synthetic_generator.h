@@ -50,6 +50,14 @@ class SyntheticGenerator {
                                                 size_t per_class,
                                                 double duration_s);
 
+  /// Large-vocabulary mode: builds the procedural library
+  /// (`LargeVocabularyLibrary`) and generates `per_class` labeled
+  /// recordings for each of its `vocabulary.num_classes` classes — the data
+  /// substrate for the hundred-class ANN experiments (bench_ann).
+  std::vector<LabeledRecording> GenerateVocabularyDataset(
+      const LargeVocabularyOptions& vocabulary, size_t per_class,
+      double duration_s);
+
   const GeneratorOptions& options() const { return options_; }
 
  private:

@@ -1,7 +1,9 @@
 #include "core/knn_classifier.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -205,6 +207,201 @@ TEST(KnnClassifierTest, AgreesWithNcmOnSeparatedClusters) {
               ncm.Classify(q).value().activity)
         << "query x=" << x;
   }
+}
+
+TEST(KnnClassifierTest, VoteTieBreaksToNearerClass) {
+  // Regression: on an exact vote tie the classifier used to pick the lowest
+  // ActivityId (map iteration order), so a query whose *nearest* exemplar
+  // belonged to the higher id was misclassified. Class 5 has the nearer
+  // exemplar here; k=2 unweighted gives each class exactly one vote.
+  SupportSet support(10, SelectionStrategy::kRandom);
+  Rng rng(4);
+  sensors::FeatureDataset far_class, near_class;
+  far_class.Append({2.0f, 0.0f}, 3);
+  near_class.Append({-1.0f, 0.0f}, 5);
+  MAGNETO_CHECK(support.SetClass(3, far_class, nullptr, &rng).ok());
+  MAGNETO_CHECK(support.SetClass(5, near_class, nullptr, &rng).ok());
+  IdentityEmbedder embedder;
+  KnnClassifier::Options options;
+  options.k = 2;
+  options.distance_weighted = false;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, options)
+                 .value();
+  auto pred = knn.Classify({0.0f, 0.0f}).value();
+  EXPECT_EQ(pred.activity, 5);  // was 3 before the tie-break fix
+  EXPECT_DOUBLE_EQ(pred.distance, 1.0);
+}
+
+TEST(KnnClassifierTest, NonFiniteExemplarRanksLast) {
+  // Regression: a NaN embedding used to flow straight into the
+  // partial_sort comparator, which is UB (NaN breaks strict weak
+  // ordering). Non-finite distances are now sanitized to +inf, so the
+  // poisoned exemplar simply never wins.
+  SupportSet support(10, SelectionStrategy::kRandom);
+  Rng rng(5);
+  sensors::FeatureDataset poisoned, clean;
+  poisoned.Append({std::numeric_limits<float>::quiet_NaN(), 0.0f}, 0);
+  clean.Append({5.0f, 0.0f}, 1);
+  MAGNETO_CHECK(support.SetClass(0, poisoned, nullptr, &rng).ok());
+  MAGNETO_CHECK(support.SetClass(1, clean, nullptr, &rng).ok());
+  IdentityEmbedder embedder;
+  KnnClassifier::Options options;
+  options.k = 1;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, options)
+                 .value();
+  auto pred = knn.Classify({5.0f, 0.0f}).value();
+  EXPECT_EQ(pred.activity, 1);
+  EXPECT_TRUE(std::isfinite(pred.distance));
+
+  // A NaN *query* poisons every distance: everything sanitizes to +inf and
+  // the scan still terminates with a well-defined (if meaningless) winner.
+  const std::vector<float> nan_query{std::numeric_limits<float>::quiet_NaN(),
+                                     0.0f};
+  auto nan_pred = knn.Classify(nan_query);
+  ASSERT_TRUE(nan_pred.ok());
+  EXPECT_TRUE(std::isinf(nan_pred.value().distance));
+}
+
+// `classes` clusters of `per_class` exemplars each on a widely spaced 2-D
+// grid — large enough to clear a small `min_index_size`.
+SupportSet GridSupport(size_t classes, size_t per_class) {
+  SupportSet support(per_class, SelectionStrategy::kRandom);
+  Rng rng(6);
+  for (size_t c = 0; c < classes; ++c) {
+    const float cx = static_cast<float>(c % 8) * 20.0f;
+    const float cy = static_cast<float>(c / 8) * 20.0f;
+    sensors::FeatureDataset data;
+    for (size_t i = 0; i < per_class; ++i) {
+      data.Append({cx + static_cast<float>(rng.Normal(0.0, 0.3)),
+                   cy + static_cast<float>(rng.Normal(0.0, 0.3))},
+                  static_cast<sensors::ActivityId>(c));
+    }
+    MAGNETO_CHECK(support
+                      .SetClass(static_cast<sensors::ActivityId>(c), data,
+                                nullptr, &rng)
+                      .ok());
+  }
+  return support;
+}
+
+TEST(KnnClassifierTest, AnnFullProbeMatchesExactScanByteForByte) {
+  SupportSet support = GridSupport(16, 8);
+  IdentityEmbedder embedder;
+  auto exact = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+
+  KnnClassifier::Options ann_options;
+  ann_options.ann.enable = true;
+  ann_options.ann.min_index_size = 1;
+  ann_options.ann.nlist = 8;
+  ann_options.ann.nprobe = 8;  // probe every list -> same candidate pool
+  auto ann = KnnClassifier::FromSupportSet(support, &embedder, ann_options)
+                 .value();
+  ASSERT_TRUE(ann.ann_active());
+  EXPECT_FALSE(exact.ann_active());
+
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const std::vector<float> q{static_cast<float>(rng.Uniform(-5.0, 150.0)),
+                               static_cast<float>(rng.Uniform(-5.0, 45.0))};
+    Prediction pe = exact.Classify(q).value();
+    Prediction pa = ann.Classify(q).value();
+    EXPECT_EQ(std::memcmp(&pe, &pa, sizeof(Prediction)), 0) << "trial " << t;
+  }
+}
+
+TEST(KnnClassifierTest, AnnNarrowProbeKeepsActivityParityOnClusters) {
+  SupportSet support = GridSupport(16, 8);
+  IdentityEmbedder embedder;
+  auto exact = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  KnnClassifier::Options ann_options;
+  ann_options.ann.enable = true;
+  ann_options.ann.min_index_size = 1;
+  ann_options.ann.nlist = 16;
+  ann_options.ann.nprobe = 2;
+  auto ann = KnnClassifier::FromSupportSet(support, &embedder, ann_options)
+                 .value();
+  ASSERT_TRUE(ann.ann_active());
+
+  // Query near each cluster center: the right cell is always probed first.
+  Rng rng(8);
+  for (size_t c = 0; c < 16; ++c) {
+    const std::vector<float> q{
+        static_cast<float>(c % 8) * 20.0f +
+            static_cast<float>(rng.Normal(0.0, 0.2)),
+        static_cast<float>(c / 8) * 20.0f +
+            static_cast<float>(rng.Normal(0.0, 0.2))};
+    EXPECT_EQ(ann.Classify(q).value().activity,
+              exact.Classify(q).value().activity)
+        << "class " << c;
+  }
+}
+
+TEST(KnnClassifierTest, AnnBelowThresholdFallsBackToExactScan) {
+  SupportSet support = TwoClusterSupport();
+  IdentityEmbedder embedder;
+  KnnClassifier::Options ann_options;
+  ann_options.ann.enable = true;
+  ann_options.ann.min_index_size = 1000;  // 12 exemplars < threshold
+  auto fallback =
+      KnnClassifier::FromSupportSet(support, &embedder, ann_options).value();
+  EXPECT_FALSE(fallback.ann_active());
+  auto exact = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  for (float x : {0.0f, 2.0f, 5.1f, 8.0f, 10.5f}) {
+    const std::vector<float> q{x, 0.0f};
+    Prediction pf = fallback.Classify(q).value();
+    Prediction pe = exact.Classify(q).value();
+    EXPECT_EQ(std::memcmp(&pf, &pe, sizeof(Prediction)), 0) << "x=" << x;
+  }
+}
+
+TEST(KnnClassifierTest, AnnComposesWithInt8Exemplars) {
+  SupportSet support = GridSupport(16, 8);
+  IdentityEmbedder embedder;
+  auto exact = KnnClassifier::FromSupportSet(support, &embedder, {}).value();
+  KnnClassifier::Options options;
+  options.quantize_exemplars = true;
+  options.ann.enable = true;
+  options.ann.min_index_size = 1;
+  options.ann.nlist = 16;
+  options.ann.nprobe = 3;
+  auto ann_q =
+      KnnClassifier::FromSupportSet(support, &embedder, options).value();
+  ASSERT_TRUE(ann_q.ann_active());
+  // The exemplar store is int8 (at this toy dim=2 the per-exemplar
+  // scale+norm overhead eats the win — see QuantizedScanAgreesWithFp32).
+  EXPECT_EQ(ann_q.MemoryBytes(), 128u * (2u + sizeof(float) + sizeof(int32_t)));
+
+  Rng rng(9);
+  KnnClassifier::Scratch scratch;
+  for (size_t c = 0; c < 16; ++c) {
+    const std::vector<float> q{
+        static_cast<float>(c % 8) * 20.0f +
+            static_cast<float>(rng.Normal(0.0, 0.2)),
+        static_cast<float>(c / 8) * 20.0f +
+            static_cast<float>(rng.Normal(0.0, 0.2))};
+    EXPECT_EQ(ann_q.Classify(q.data(), q.size(), &scratch).value().activity,
+              exact.Classify(q).value().activity)
+        << "class " << c;
+  }
+}
+
+TEST(KnnClassifierTest, NeighborsReportsAscendingDistances) {
+  SupportSet support = GridSupport(16, 8);
+  IdentityEmbedder embedder;
+  KnnClassifier::Options options;
+  options.ann.enable = true;
+  options.ann.min_index_size = 1;
+  options.ann.nprobe = 4;
+  auto knn = KnnClassifier::FromSupportSet(support, &embedder, options)
+                 .value();
+  KnnClassifier::Scratch scratch;
+  const std::vector<float> q{20.0f, 0.0f};
+  auto nn = knn.Neighbors(q.data(), q.size(), 5, &scratch).value();
+  ASSERT_EQ(nn.size(), 5u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].first, nn[i].first);
+  }
+  EXPECT_EQ(knn.label(nn[0].second), 1);  // grid class 1 sits at (20, 0)
 }
 
 TEST(KnnClassifierTest, QuantizedScanAgreesWithFp32) {

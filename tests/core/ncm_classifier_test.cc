@@ -1,5 +1,12 @@
 #include "core/ncm_classifier.h"
 
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace magneto::core {
@@ -221,6 +228,197 @@ TEST(NcmClassifierTest, QuantizedClassifierTracksUpdatesAndRemovals) {
   EXPECT_EQ(ncm.Classify({0.2f, 9.5f}).value().activity, 2);
   ASSERT_TRUE(ncm.RemoveClass(2).ok());
   EXPECT_NE(ncm.Classify({0.2f, 9.5f}).value().activity, 2);
+}
+
+TEST(NcmClassifierTest, ScratchReuseIsByteIdentical) {
+  // Mirror of the KnnClassifier scratch contract: a reused caller-provided
+  // scratch — even one carrying stale capacity from a larger classifier —
+  // must produce byte-identical predictions to the scratch-free overload.
+  NcmClassifier small = TwoClassClassifier();
+  NcmClassifier big;
+  for (int c = 0; c < 12; ++c) {
+    MAGNETO_CHECK(big.SetPrototypeFromEmbeddings(
+                         c, Matrix(1, 2, {static_cast<float>(5 * c), 1.0f}))
+                      .ok());
+  }
+  NcmClassifier::Scratch scratch;
+  for (float x : {0.0f, 3.0f, 5.1f, 27.0f, 55.0f}) {
+    const std::vector<float> q{x, 0.5f};
+    Prediction big_pred = big.Classify(q.data(), q.size(), &scratch).value();
+    Prediction big_ref = big.Classify(q).value();
+    Prediction small_pred =
+        small.Classify(q.data(), q.size(), &scratch).value();
+    Prediction small_ref = small.Classify(q).value();
+    EXPECT_EQ(std::memcmp(&big_pred, &big_ref, sizeof(Prediction)), 0)
+        << "big, x=" << x;
+    EXPECT_EQ(std::memcmp(&small_pred, &small_ref, sizeof(Prediction)), 0)
+        << "small, x=" << x;
+    Prediction rej_pred =
+        big.ClassifyWithRejection(q.data(), q.size(), 2.0, &scratch).value();
+    Prediction rej_ref =
+        big.ClassifyWithRejection(q.data(), q.size(), 2.0).value();
+    EXPECT_EQ(std::memcmp(&rej_pred, &rej_ref, sizeof(Prediction)), 0)
+        << "reject, x=" << x;
+  }
+}
+
+TEST(NcmClassifierTest, NonFinitePrototypeRanksLast) {
+  // Regression: a NaN prototype distance used to reach std::sort's
+  // comparator, which is UB (NaN breaks strict weak ordering). Sanitized to
+  // +inf it sorts last and can never win.
+  NcmClassifier ncm;
+  ASSERT_TRUE(ncm.SetPrototypeFromEmbeddings(
+                     0, Matrix(1, 2,
+                               {std::numeric_limits<float>::quiet_NaN(), 0}))
+                  .ok());
+  ASSERT_TRUE(ncm.SetPrototypeFromEmbeddings(1, Matrix(1, 2, {5, 0})).ok());
+  auto pred = ncm.Classify({5.0f, 0.0f}).value();
+  EXPECT_EQ(pred.activity, 1);
+  EXPECT_TRUE(std::isfinite(pred.distance));
+  const std::vector<float> q{5.0f, 0.0f};
+  auto all = ncm.Distances(q.data(), q.size()).value();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].first, 0);  // poisoned prototype sorted last
+  EXPECT_TRUE(std::isinf(all[1].second));
+}
+
+// `classes` prototypes on a widely spaced 2-D grid.
+NcmClassifier GridNcm(int classes) {
+  NcmClassifier ncm;
+  for (int c = 0; c < classes; ++c) {
+    const float cx = static_cast<float>(c % 8) * 20.0f;
+    const float cy = static_cast<float>(c / 8) * 20.0f;
+    MAGNETO_CHECK(
+        ncm.SetPrototypeFromEmbeddings(c, Matrix(1, 2, {cx, cy})).ok());
+  }
+  return ncm;
+}
+
+AnnOptions SmallAnn(size_t nlist, size_t nprobe) {
+  AnnOptions options;
+  options.min_index_size = 1;
+  options.nlist = nlist;
+  options.nprobe = nprobe;
+  return options;
+}
+
+TEST(NcmClassifierTest, AnnFullProbeMatchesExactActivityAndDistance) {
+  NcmClassifier exact = GridNcm(32);
+  NcmClassifier ann = exact;
+  ASSERT_TRUE(ann.EnableAnn(SmallAnn(8, 8)).ok());
+  ASSERT_TRUE(ann.ann_active());
+  EXPECT_TRUE(ann.ann_enabled());
+  EXPECT_FALSE(exact.ann_active());
+
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const std::vector<float> q{static_cast<float>(rng.Uniform(-5.0, 150.0)),
+                               static_cast<float>(rng.Uniform(-5.0, 70.0))};
+    auto pe = exact.Classify(q).value();
+    auto pa = ann.Classify(q).value();
+    EXPECT_EQ(pe.activity, pa.activity) << "trial " << t;
+    EXPECT_DOUBLE_EQ(pe.distance, pa.distance) << "trial " << t;
+  }
+}
+
+TEST(NcmClassifierTest, AnnRebuildsOnEveryMutation) {
+  NcmClassifier ncm = GridNcm(32);
+  ASSERT_TRUE(ncm.EnableAnn(SmallAnn(8, 2)).ok());
+  ASSERT_TRUE(ncm.ann_active());
+
+  // New class lands in the index immediately.
+  ASSERT_TRUE(
+      ncm.SetPrototypeFromEmbeddings(500, Matrix(1, 2, {300, 300})).ok());
+  EXPECT_EQ(ncm.Classify({299.0f, 301.0f}).value().activity, 500);
+
+  // A removed class is gone from the candidate pool immediately.
+  ASSERT_TRUE(ncm.RemoveClass(500).ok());
+  EXPECT_NE(ncm.Classify({299.0f, 301.0f}).value().activity, 500);
+
+  // Quantization re-trains the quantizer on the dequantized prototypes and
+  // keeps serving.
+  ASSERT_TRUE(ncm.QuantizePrototypes().ok());
+  EXPECT_TRUE(ncm.ann_active());
+  EXPECT_EQ(ncm.Classify({20.0f, 0.5f}).value().activity, 1);
+}
+
+TEST(NcmClassifierTest, AnnBelowThresholdFallsBackToExact) {
+  NcmClassifier ncm = TwoClassClassifier();
+  AnnOptions options;
+  options.min_index_size = 100;  // 2 classes < threshold
+  ASSERT_TRUE(ncm.EnableAnn(options).ok());
+  EXPECT_TRUE(ncm.ann_enabled());
+  EXPECT_FALSE(ncm.ann_active());
+  NcmClassifier exact = TwoClassClassifier();
+  for (float x : {0.0f, 4.9f, 5.1f, 10.0f}) {
+    const std::vector<float> q{x, 0.0f};
+    Prediction pa = ncm.Classify(q).value();
+    Prediction pe = exact.Classify(q).value();
+    EXPECT_EQ(std::memcmp(&pa, &pe, sizeof(Prediction)), 0) << "x=" << x;
+  }
+  ncm.DisableAnn();
+  EXPECT_FALSE(ncm.ann_enabled());
+}
+
+TEST(NcmClassifierTest, AnnNotSerialized) {
+  NcmClassifier ncm = GridNcm(32);
+  ASSERT_TRUE(ncm.EnableAnn(SmallAnn(8, 2)).ok());
+  ASSERT_TRUE(ncm.ann_active());
+  BinaryWriter with_ann;
+  ncm.Serialize(&with_ann);
+  BinaryWriter without_ann;
+  GridNcm(32).Serialize(&without_ann);
+  EXPECT_EQ(with_ann.buffer(), without_ann.buffer());  // wire format unchanged
+  BinaryReader reader(with_ann.buffer());
+  auto back = NcmClassifier::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().ann_enabled());  // deserialized = exact
+}
+
+TEST(NcmClassifierTest, DistancesAlwaysCoversEveryPrototype) {
+  // `Distances` promises a distance to *every* prototype; ANN must not
+  // truncate it.
+  NcmClassifier ncm = GridNcm(32);
+  ASSERT_TRUE(ncm.EnableAnn(SmallAnn(8, 1)).ok());
+  const std::vector<float> q{0.0f, 0.0f};
+  auto all = ncm.Distances(q.data(), q.size()).value();
+  EXPECT_EQ(all.size(), 32u);
+}
+
+TEST(NcmClassifierTest, ConcurrentAnnClassifyWithPerThreadScratch) {
+  // ANN classify is read-only over an immutable shared index: concurrent
+  // calls with distinct scratches must agree with serial answers (run under
+  // -DMAGNETO_SANITIZE=thread via check.sh's ANN leg).
+  NcmClassifier ncm = GridNcm(32);
+  ASSERT_TRUE(ncm.EnableAnn(SmallAnn(8, 3)).ok());
+  ASSERT_TRUE(ncm.ann_active());
+  std::vector<std::vector<float>> queries;
+  for (int c = 0; c < 8; ++c) {
+    queries.push_back({static_cast<float>(c % 8) * 20.0f + 0.5f,
+                       static_cast<float>(c / 8) * 20.0f - 0.5f});
+  }
+  std::vector<Prediction> expected;
+  for (const auto& q : queries) expected.push_back(ncm.Classify(q).value());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      NcmClassifier::Scratch scratch;
+      for (int rep = 0; rep < 50; ++rep) {
+        const size_t qi = static_cast<size_t>((t + rep) % queries.size());
+        auto pred =
+            ncm.Classify(queries[qi].data(), queries[qi].size(), &scratch);
+        if (!pred.ok() ||
+            std::memcmp(&pred.value(), &expected[qi], sizeof(Prediction)) !=
+                0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

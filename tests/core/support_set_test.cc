@@ -163,6 +163,31 @@ TEST(SupportSetTest, StreamingRequiresReservoirStrategy) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(SupportSetTest, StreamingEmptyFeatureRejected) {
+  // Regression: the very first AddStreamingSample used to accept an empty
+  // feature vector (dim_ was still 0, so the length check passed) and pin
+  // the whole set to dim 0 — every later real sample then bounced.
+  SupportSet set(10, SelectionStrategy::kReservoir);
+  Rng rng(17);
+  EXPECT_EQ(set.AddStreamingSample(0, {}, &rng).code(),
+            StatusCode::kInvalidArgument);
+  // The set is untouched: real samples still define the dimension.
+  ASSERT_TRUE(set.AddStreamingSample(0, {1.0f, 2.0f}, &rng).ok());
+  EXPECT_EQ(set.ClassSize(0), 1u);
+}
+
+TEST(SupportSetTest, SetClassZeroDimRejected) {
+  // Same hole via SetClass: a dataset whose rows are zero-length must be
+  // rejected rather than silently creating a dim-0 support set.
+  SupportSet set(5, SelectionStrategy::kRandom);
+  Rng rng(18);
+  sensors::FeatureDataset zero_dim;
+  zero_dim.Append({}, 0);
+  EXPECT_EQ(set.SetClass(0, zero_dim, nullptr, &rng).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(set.NumClasses(), 0u);
+}
+
 TEST(SupportSetTest, RemoveClass) {
   SupportSet set(5, SelectionStrategy::kRandom);
   Rng rng(15);

@@ -1,5 +1,7 @@
 #include "sensors/signal_model.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sensors/sensor_types.h"
@@ -121,6 +123,89 @@ TEST(SignalModelTest, CycleHasIntermediateSpeed) {
   const double cycle = lib[kCycle].channel(Channel::kSpeed).baseline;
   EXPECT_GT(cycle, lib[kWalk].channel(Channel::kSpeed).baseline);
   EXPECT_LT(cycle, lib[kDrive].channel(Channel::kSpeed).baseline);
+}
+
+TEST(SignalModelTest, LargeVocabularyIsDeterministic) {
+  LargeVocabularyOptions options;
+  options.num_classes = 12;
+  ActivityLibrary a = LargeVocabularyLibrary(options);
+  ActivityLibrary b = LargeVocabularyLibrary(options);
+  ASSERT_EQ(a.size(), 12u);
+  ASSERT_EQ(a.begin()->first, options.first_id);
+  for (const auto& [id, model] : a) {
+    const SignalModel& other = b.at(id);
+    for (size_t ch = 0; ch < kNumChannels; ++ch) {
+      ASSERT_EQ(model.channels[ch].harmonics.size(),
+                other.channels[ch].harmonics.size());
+      EXPECT_EQ(model.channels[ch].baseline, other.channels[ch].baseline);
+      for (size_t h = 0; h < model.channels[ch].harmonics.size(); ++h) {
+        EXPECT_EQ(model.channels[ch].harmonics[h].frequency_hz,
+                  other.channels[ch].harmonics[h].frequency_hz);
+        EXPECT_EQ(model.channels[ch].harmonics[h].amplitude,
+                  other.channels[ch].harmonics[h].amplitude);
+      }
+    }
+  }
+}
+
+TEST(SignalModelTest, LargeVocabularyClassesStableUnderGrowth) {
+  // Class i depends only on (seed, overlap, first_id + i): growing the
+  // vocabulary must leave existing classes bit-identical, or every index
+  // rebuild at a new scale would silently shift the data distribution.
+  LargeVocabularyOptions small;
+  small.num_classes = 5;
+  LargeVocabularyOptions big = small;
+  big.num_classes = 50;
+  ActivityLibrary lib_small = LargeVocabularyLibrary(small);
+  ActivityLibrary lib_big = LargeVocabularyLibrary(big);
+  for (const auto& [id, model] : lib_small) {
+    const SignalModel& grown = lib_big.at(id);
+    for (size_t ch = 0; ch < kNumChannels; ++ch) {
+      EXPECT_EQ(model.channels[ch].baseline, grown.channels[ch].baseline);
+      ASSERT_EQ(model.channels[ch].harmonics.size(),
+                grown.channels[ch].harmonics.size());
+      for (size_t h = 0; h < model.channels[ch].harmonics.size(); ++h) {
+        EXPECT_EQ(model.channels[ch].harmonics[h].phase,
+                  grown.channels[ch].harmonics[h].phase);
+      }
+    }
+  }
+}
+
+TEST(SignalModelTest, OverlapOneCollapsesAllClasses) {
+  LargeVocabularyOptions options;
+  options.num_classes = 4;
+  options.overlap = 1.0;
+  ActivityLibrary lib = LargeVocabularyLibrary(options);
+  const SignalModel& first = lib.begin()->second;
+  for (const auto& [id, model] : lib) {
+    for (size_t ch = 0; ch < kNumChannels; ++ch) {
+      EXPECT_EQ(model.channels[ch].baseline, first.channels[ch].baseline);
+      for (size_t h = 0; h < model.channels[ch].harmonics.size(); ++h) {
+        EXPECT_EQ(model.channels[ch].harmonics[h].frequency_hz,
+                  first.channels[ch].harmonics[h].frequency_hz);
+      }
+    }
+  }
+}
+
+TEST(SignalModelTest, ZeroOverlapKeepsClassesDistinct) {
+  LargeVocabularyOptions options;
+  options.num_classes = 8;
+  options.overlap = 0.0;
+  ActivityLibrary lib = LargeVocabularyLibrary(options);
+  // The primary gait frequency separates any two classes.
+  std::vector<double> freqs;
+  for (const auto& [id, model] : lib) {
+    const auto& harmonics = model.channel(Channel::kAccX).harmonics;
+    ASSERT_FALSE(harmonics.empty());
+    freqs.push_back(harmonics[0].frequency_hz);
+  }
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    for (size_t j = i + 1; j < freqs.size(); ++j) {
+      EXPECT_NE(freqs[i], freqs[j]) << "classes " << i << " and " << j;
+    }
+  }
 }
 
 TEST(SensorTypesTest, ChannelNamesAreStable) {

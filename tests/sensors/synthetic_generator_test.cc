@@ -1,6 +1,7 @@
 #include "sensors/synthetic_generator.h"
 
 #include <cmath>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -122,6 +123,26 @@ TEST(SyntheticGeneratorTest, PhaseRandomizationCanBeDisabled) {
   Recording b = g2.Generate(clean, 1.0);
   for (size_t i = 0; i < a.num_samples(); ++i) {
     ASSERT_FLOAT_EQ(a.samples.At(i, 0), b.samples.At(i, 0));
+  }
+}
+
+TEST(SyntheticGeneratorTest, VocabularyDatasetCoversEveryClass) {
+  LargeVocabularyOptions vocab;
+  vocab.num_classes = 30;
+  SyntheticGenerator gen(3);
+  auto dataset = gen.GenerateVocabularyDataset(vocab, /*per_class=*/2,
+                                               /*duration_s=*/0.5);
+  ASSERT_EQ(dataset.size(), 60u);
+  std::map<ActivityId, size_t> counts;
+  for (const auto& rec : dataset) {
+    ++counts[rec.label];
+    EXPECT_GT(rec.recording.num_samples(), 0u);
+  }
+  ASSERT_EQ(counts.size(), 30u);
+  for (const auto& [id, n] : counts) {
+    EXPECT_GE(id, vocab.first_id);
+    EXPECT_LT(id, vocab.first_id + static_cast<ActivityId>(vocab.num_classes));
+    EXPECT_EQ(n, 2u);
   }
 }
 
